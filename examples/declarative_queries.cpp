@@ -1,0 +1,74 @@
+// Runs DeepEverest through its declarative query language — the "SELECT
+// TOPK ..." front end over the same NPI/MAI/NTA machinery.
+//
+//   ./examples/declarative_queries
+#include <cstdio>
+
+#include "core/ql.h"
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+#include "storage/file_store.h"
+
+using namespace deepeverest;  // NOLINT: example brevity
+
+int main() {
+  nn::ModelPtr model = nn::MakeMiniVgg(/*seed=*/12);
+  data::SyntheticImageConfig data_config;
+  data_config.num_inputs = 300;
+  data_config.seed = 5;
+  data::Dataset dataset = data::MakeSyntheticImages(data_config);
+
+  auto dir = storage::MakeTempDir("ql");
+  if (!dir.ok()) return 1;
+  auto store = storage::FileStore::Open(*dir);
+  if (!store.ok()) return 1;
+  core::DeepEverestOptions options;
+  options.batch_size = 16;
+  auto de = core::DeepEverest::Create(model.get(), &dataset, &store.value(),
+                                      options);
+  if (!de.ok()) return 1;
+
+  const int mid = model->activation_layers()[2];
+  const int late = model->activation_layers().back();
+  const std::string queries[] = {
+      "SELECT TOPK 5 HIGHEST FOR LAYER " + std::to_string(mid) +
+          " TOP 3 NEURONS OF INPUT 42",
+      "SELECT TOPK 5 SIMILAR TO 42 FOR LAYER " + std::to_string(mid) +
+          " TOP 3 NEURONS",
+      "SELECT TOPK 5 SIMILAR TO 42 FOR LAYER " + std::to_string(late) +
+          " NEURONS (3, 17, 44) USING L1",
+      "SELECT TOPK 5 SIMILAR TO 42 FOR LAYER " + std::to_string(late) +
+          " TOP 5 NEURONS THETA 0.8",
+  };
+
+  for (const std::string& text : queries) {
+    auto parsed = core::ParseQuery(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n> %s\n", parsed->ToString().c_str());
+    auto result = core::ExecuteQuery(de->get(), text);
+    if (!result.ok()) {
+      std::fprintf(stderr, "execution error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& entry : result->entries) {
+      std::printf("  input %4u  %s %.4f\n", entry.input_id,
+                  parsed->kind == core::ParsedQuery::Kind::kHighest
+                      ? "score"
+                      : "dist ",
+                  entry.value);
+    }
+    std::printf("  (%lld inputs through the DNN)\n",
+                static_cast<long long>(result->stats.inputs_run));
+  }
+
+  // Malformed queries fail with a helpful message instead of crashing.
+  auto bad = core::ParseQuery("SELECT TOPK HIGHEST");
+  std::printf("\n> SELECT TOPK HIGHEST\n  parse error: %s\n",
+              bad.status().ToString().c_str());
+  return 0;
+}

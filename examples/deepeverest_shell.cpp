@@ -1,0 +1,121 @@
+// An interactive shell over the declarative query language: reads
+// `SELECT TOPK ...` statements from stdin and executes them against a
+// demo model/dataset. Also accepts:
+//   LAYERS                 - list queryable activation layers
+//   TOPNEURONS <input> <layer> <m>
+//   STATS                  - inference/storage counters so far
+//   HELP / QUIT
+//
+//   echo "SELECT TOPK 5 HIGHEST FOR LAYER 7 NEURONS (1,2,3)" | \
+//       ./examples/deepeverest_shell
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/ql.h"
+#include "data/dataset.h"
+#include "nn/model_zoo.h"
+#include "storage/file_store.h"
+
+using namespace deepeverest;  // NOLINT: example brevity
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "Statements:\n"
+      "  SELECT TOPK <k> HIGHEST FOR LAYER <l> NEURONS (a, b, ...)\n"
+      "  SELECT TOPK <k> [MOST] SIMILAR TO <input> FOR LAYER <l>\n"
+      "         NEURONS (...) | TOP <m> NEURONS [OF <input>]\n"
+      "         [USING L1|L2|LINF] [THETA <t>]\n"
+      "  LAYERS | TOPNEURONS <input> <layer> <m> | STATS | HELP | QUIT\n");
+}
+
+}  // namespace
+
+int main() {
+  nn::ModelPtr model = nn::MakeMiniVgg(/*seed=*/77);
+  data::SyntheticImageConfig data_config;
+  data_config.num_inputs = 400;
+  data_config.seed = 123;
+  data::Dataset dataset = data::MakeSyntheticImages(data_config);
+
+  auto dir = storage::MakeTempDir("shell");
+  if (!dir.ok()) return 1;
+  auto store = storage::FileStore::Open(*dir);
+  if (!store.ok()) return 1;
+  core::DeepEverestOptions options;
+  options.batch_size = 16;
+  options.enable_iqa = true;
+  auto de = core::DeepEverest::Create(model.get(), &dataset, &store.value(),
+                                      options);
+  if (!de.ok()) return 1;
+
+  std::printf("DeepEverest shell — model %s, %u inputs. Type HELP.\n",
+              model->name().c_str(), dataset.size());
+  std::string line;
+  while (std::printf("deepeverest> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string first;
+    words >> first;
+    for (char& c : first) c = static_cast<char>(std::toupper(c));
+    if (first.empty()) continue;
+    if (first == "QUIT" || first == "EXIT") break;
+    if (first == "HELP") {
+      PrintHelp();
+      continue;
+    }
+    if (first == "LAYERS") {
+      for (int layer : model->activation_layers()) {
+        std::printf("  layer %2d  (%s, %lld neurons)\n", layer,
+                    model->layer(layer).name().c_str(),
+                    static_cast<long long>(model->NeuronCount(layer)));
+      }
+      continue;
+    }
+    if (first == "TOPNEURONS") {
+      uint32_t input = 0;
+      int layer = 0, m = 0;
+      if (!(words >> input >> layer >> m)) {
+        std::printf("usage: TOPNEURONS <input> <layer> <m>\n");
+        continue;
+      }
+      auto top = (*de)->MaximallyActivatedNeurons(input, layer, m);
+      if (!top.ok()) {
+        std::printf("error: %s\n", top.status().ToString().c_str());
+        continue;
+      }
+      std::printf("  ");
+      for (int64_t n : *top) std::printf("%lld ", static_cast<long long>(n));
+      std::printf("\n");
+      continue;
+    }
+    if (first == "STATS") {
+      const auto& stats = (*de)->inference()->stats();
+      std::printf("  inputs through DNN: %lld (in %lld batches)\n",
+                  static_cast<long long>(stats.inputs_run),
+                  static_cast<long long>(stats.batches_run));
+      std::printf("  index storage: %s of %s full materialisation\n",
+                  std::to_string((*de)->PersistedIndexBytes().ValueOr(0))
+                      .c_str(),
+                  std::to_string((*de)->FullMaterializationBytes()).c_str());
+      continue;
+    }
+
+    auto result = core::ExecuteQuery(de->get(), line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    for (const auto& entry : result->entries) {
+      std::printf("  input %4u   %.5f   (label %d)\n", entry.input_id,
+                  entry.value, dataset.label(entry.input_id));
+    }
+    std::printf("  %lld inputs through the DNN, %lld served from IQA cache\n",
+                static_cast<long long>(result->stats.inputs_run),
+                static_cast<long long>(result->stats.iqa_hits));
+  }
+  return 0;
+}

@@ -1,0 +1,147 @@
+#include "baselines/cta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+namespace deepeverest {
+namespace baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Sorted best-first top-k buffer (duplicated from nta.cc's internal helper
+/// on purpose: the baselines must not depend on NTA internals).
+class TopK {
+ public:
+  TopK(int k, bool smaller_is_better)
+      : k_(static_cast<size_t>(k)), smaller_(smaller_is_better) {}
+
+  void Offer(uint32_t id, double value) {
+    if (entries_.size() == k_ && !Better(value, entries_.back().value)) return;
+    auto it = std::upper_bound(entries_.begin(), entries_.end(), value,
+                               [this](double v, const core::ResultEntry& e) {
+                                 return Better(v, e.value);
+                               });
+    entries_.insert(it, core::ResultEntry{id, value});
+    if (entries_.size() > k_) entries_.pop_back();
+  }
+  bool full() const { return entries_.size() == k_; }
+  double Worst() const {
+    return full() ? entries_.back().value : (smaller_ ? kInf : -kInf);
+  }
+  std::vector<core::ResultEntry> Take() { return std::move(entries_); }
+
+ private:
+  bool Better(double a, double b) const { return smaller_ ? a < b : a > b; }
+  size_t k_;
+  bool smaller_;
+  std::vector<core::ResultEntry> entries_;
+};
+
+}  // namespace
+
+CtaResult CtaMostSimilar(const storage::LayerActivationMatrix& matrix,
+                         const std::vector<int64_t>& neurons,
+                         const std::vector<float>& target_acts, int k,
+                         const core::DistancePtr& dist, bool exclude_target,
+                         uint32_t target_id) {
+  const core::DistancePtr d = dist != nullptr ? dist : core::L2Distance();
+  const size_t g = neurons.size();
+  const uint32_t n = matrix.num_inputs;
+
+  // Build the AbsDiff relation: per neuron, inputIDs sorted by
+  // |act - target| ascending.
+  std::vector<std::vector<uint32_t>> lists(g);
+  std::vector<std::vector<double>> gaps(g);
+  for (size_t i = 0; i < g; ++i) {
+    gaps[i].resize(n);
+    lists[i].resize(n);
+    std::iota(lists[i].begin(), lists[i].end(), 0u);
+    const double s = target_acts[i];
+    for (uint32_t id = 0; id < n; ++id) {
+      gaps[i][id] =
+          std::abs(static_cast<double>(matrix.At(id, neurons[i])) - s);
+    }
+    std::sort(lists[i].begin(), lists[i].end(),
+              [&](uint32_t a, uint32_t b) {
+                if (gaps[i][a] != gaps[i][b]) return gaps[i][a] < gaps[i][b];
+                return a < b;
+              });
+  }
+
+  TopK top(k, /*smaller_is_better=*/true);
+  std::unordered_set<uint32_t> seen;
+  std::vector<double> diffs(g);
+  auto random_access = [&](uint32_t id) {
+    if (!seen.insert(id).second) return;
+    if (exclude_target && id == target_id) return;
+    for (size_t i = 0; i < g; ++i) diffs[i] = gaps[i][id];
+    top.Offer(id, d->Aggregate(diffs.data(), g));
+  };
+
+  CtaResult out;
+  std::vector<double> frontier(g);
+  for (uint32_t depth = 0; depth < n; ++depth) {
+    for (size_t i = 0; i < g; ++i) {
+      random_access(lists[i][depth]);
+      frontier[i] = gaps[i][lists[i][depth]];
+    }
+    out.sorted_depth = depth + 1;
+    const double threshold = d->Aggregate(frontier.data(), g);
+    if (top.full() && top.Worst() <= threshold) break;
+  }
+  out.top.entries = top.Take();
+  return out;
+}
+
+CtaResult CtaHighest(const storage::LayerActivationMatrix& matrix,
+                     const std::vector<int64_t>& neurons, int k,
+                     const core::DistancePtr& dist) {
+  const core::DistancePtr d = dist != nullptr ? dist : core::L2Distance();
+  const size_t g = neurons.size();
+  const uint32_t n = matrix.num_inputs;
+
+  std::vector<std::vector<uint32_t>> lists(g);
+  for (size_t i = 0; i < g; ++i) {
+    lists[i].resize(n);
+    std::iota(lists[i].begin(), lists[i].end(), 0u);
+    std::sort(lists[i].begin(), lists[i].end(),
+              [&](uint32_t a, uint32_t b) {
+                const float va = matrix.At(a, neurons[i]);
+                const float vb = matrix.At(b, neurons[i]);
+                if (va != vb) return va > vb;
+                return a < b;
+              });
+  }
+
+  TopK top(k, /*smaller_is_better=*/false);
+  std::unordered_set<uint32_t> seen;
+  std::vector<double> values(g);
+  auto random_access = [&](uint32_t id) {
+    if (!seen.insert(id).second) return;
+    for (size_t i = 0; i < g; ++i) values[i] = matrix.At(id, neurons[i]);
+    top.Offer(id, d->Aggregate(values.data(), g));
+  };
+
+  CtaResult out;
+  std::vector<double> frontier(g);
+  for (uint32_t depth = 0; depth < n; ++depth) {
+    for (size_t i = 0; i < g; ++i) {
+      random_access(lists[i][depth]);
+      frontier[i] =
+          std::max<double>(0.0, matrix.At(lists[i][depth], neurons[i]));
+    }
+    out.sorted_depth = depth + 1;
+    const double threshold = d->Aggregate(frontier.data(), g);
+    if (top.full() && top.Worst() >= threshold) break;
+  }
+  out.top.entries = top.Take();
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

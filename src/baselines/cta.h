@@ -1,0 +1,52 @@
+#ifndef DEEPEVEREST_BASELINES_CTA_H_
+#define DEEPEVEREST_BASELINES_CTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/query.h"
+#include "storage/activation_store.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief Result of a classic threshold algorithm run, including the
+/// maximal sorted-access depth — the quantity NTA's instance-optimality
+/// proof (Theorem 4.1) bounds NTA's accesses against (d + 2R).
+struct CtaResult {
+  core::TopKResult top;
+  /// Depth of sequential (sorted) accesses at which CTA halted, maximised
+  /// over the group's lists.
+  int64_t sorted_depth = 0;
+};
+
+/// \brief Fagin's classic threshold algorithm [11] over a fully
+/// materialised activation matrix.
+///
+/// Builds one sorted list per neuron of |act - target| ascending, walks the
+/// lists in lockstep doing sorted accesses, random-accesses every newly seen
+/// input in the other lists to compute its exact distance, and halts when
+/// the k-th best distance is at or below the threshold
+/// dist(list_0[d], ..., list_{g-1}[d]).
+///
+/// As the paper argues (§4.1), CTA does not reduce query time in our setting
+/// because the matrix itself costs a full inference pass — this
+/// implementation exists as a correctness oracle, for Table 1, and to
+/// measure `sorted_depth` for the instance-optimality experiments.
+CtaResult CtaMostSimilar(const storage::LayerActivationMatrix& matrix,
+                         const std::vector<int64_t>& neurons,
+                         const std::vector<float>& target_acts, int k,
+                         const core::DistancePtr& dist, bool exclude_target,
+                         uint32_t target_id);
+
+/// CTA for top-k highest queries: sorted lists are activations descending;
+/// the threshold aggregates the current depth's activations.
+CtaResult CtaHighest(const storage::LayerActivationMatrix& matrix,
+                     const std::vector<int64_t>& neurons, int k,
+                     const core::DistancePtr& dist);
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_CTA_H_

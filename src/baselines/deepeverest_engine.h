@@ -1,0 +1,49 @@
+#ifndef DEEPEVEREST_BASELINES_DEEPEVEREST_ENGINE_H_
+#define DEEPEVEREST_BASELINES_DEEPEVEREST_ENGINE_H_
+
+#include <string>
+
+#include "baselines/query_engine.h"
+#include "core/deepeverest.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief Adapts the DeepEverest facade to the baseline QueryEngine
+/// interface so multi-method experiment drivers can treat every strategy
+/// uniformly.
+class DeepEverestEngine : public QueryEngine {
+ public:
+  /// Does not take ownership; `system` must outlive this object.
+  explicit DeepEverestEngine(core::DeepEverest* system) : system_(system) {}
+
+  std::string name() const override { return "DeepEverest"; }
+
+  /// Optional: eagerly index every layer (by default DeepEverest indexes
+  /// incrementally and needs no preprocessing).
+  Status Preprocess() override { return system_->PreprocessAllLayers(); }
+
+  Result<core::TopKResult> TopKHighest(const core::NeuronGroup& group, int k,
+                                       core::DistancePtr dist) override {
+    return system_->TopKHighest(group, k, std::move(dist));
+  }
+
+  Result<core::TopKResult> TopKMostSimilar(uint32_t target_id,
+                                           const core::NeuronGroup& group,
+                                           int k,
+                                           core::DistancePtr dist) override {
+    return system_->TopKMostSimilar(target_id, group, k, std::move(dist));
+  }
+
+  Result<uint64_t> StorageBytes() const override {
+    return system_->PersistedIndexBytes();
+  }
+
+ private:
+  core::DeepEverest* system_;
+};
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_DEEPEVEREST_ENGINE_H_

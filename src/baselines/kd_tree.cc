@@ -1,0 +1,284 @@
+#include "baselines/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace deepeverest {
+namespace baselines {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double SquaredL2(const float* a, const float* b, uint32_t dims) {
+  double sum = 0.0;
+  for (uint32_t d = 0; d < dims; ++d) {
+    const double diff = static_cast<double>(a[d]) - static_cast<double>(b[d]);
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+/// Bounded max-heap of (squared distance, id) used by both tree searches.
+class Nearest {
+ public:
+  Nearest(int k, int64_t exclude) : k_(static_cast<size_t>(k)),
+                                    exclude_(exclude) {}
+
+  void Offer(uint32_t id, double d2) {
+    if (exclude_ >= 0 && static_cast<int64_t>(id) == exclude_) return;
+    if (heap_.size() == k_ && d2 >= heap_.front().first) return;
+    heap_.emplace_back(d2, id);
+    std::push_heap(heap_.begin(), heap_.end());
+    if (heap_.size() > k_) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+    }
+  }
+
+  double WorstD2() const {
+    return heap_.size() == k_ ? heap_.front().first : kInf;
+  }
+
+  std::vector<core::ResultEntry> Sorted() {
+    std::sort(heap_.begin(), heap_.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    std::vector<core::ResultEntry> out;
+    out.reserve(heap_.size());
+    for (const auto& [d2, id] : heap_) {
+      out.push_back(core::ResultEntry{id, std::sqrt(d2)});
+    }
+    return out;
+  }
+
+ private:
+  size_t k_;
+  int64_t exclude_;
+  std::vector<std::pair<double, uint32_t>> heap_;
+};
+
+}  // namespace
+
+PointMatrix MakePointMatrix(const storage::LayerActivationMatrix& matrix,
+                            const std::vector<int64_t>& neurons) {
+  PointMatrix points;
+  points.num_points = matrix.num_inputs;
+  points.dims = static_cast<uint32_t>(neurons.size());
+  points.values.resize(static_cast<size_t>(points.num_points) * points.dims);
+  for (uint32_t id = 0; id < points.num_points; ++id) {
+    float* row = points.values.data() +
+                 static_cast<size_t>(id) * points.dims;
+    for (uint32_t d = 0; d < points.dims; ++d) {
+      row[d] = matrix.At(id, static_cast<uint64_t>(neurons[d]));
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// KdTree
+// ---------------------------------------------------------------------------
+
+KdTree::KdTree(PointMatrix points) : points_(std::move(points)) {
+  DE_CHECK_GT(points_.num_points, 0u);
+  DE_CHECK_GT(points_.dims, 0u);
+  point_ids_.resize(points_.num_points);
+  std::iota(point_ids_.begin(), point_ids_.end(), 0u);
+  BuildNode(0, points_.num_points);
+}
+
+int32_t KdTree::BuildNode(uint32_t begin, uint32_t end) {
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= kLeafSize) {
+    nodes_[node_index].begin = begin;
+    nodes_[node_index].end = end;
+    return node_index;
+  }
+
+  // Split on the dimension with the widest spread over this range.
+  int best_dim = 0;
+  float best_spread = -1.0f;
+  for (uint32_t d = 0; d < points_.dims; ++d) {
+    float lo = points_.Row(point_ids_[begin])[d];
+    float hi = lo;
+    for (uint32_t i = begin + 1; i < end; ++i) {
+      const float v = points_.Row(point_ids_[i])[d];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_spread) {
+      best_spread = hi - lo;
+      best_dim = static_cast<int>(d);
+    }
+  }
+  if (best_spread <= 0.0f) {
+    // All points identical in every dimension: keep as a (large) leaf.
+    nodes_[node_index].begin = begin;
+    nodes_[node_index].end = end;
+    return node_index;
+  }
+
+  const uint32_t mid = begin + (end - begin) / 2;
+  std::nth_element(point_ids_.begin() + begin, point_ids_.begin() + mid,
+                   point_ids_.begin() + end, [&](uint32_t a, uint32_t b) {
+                     return points_.Row(a)[best_dim] <
+                            points_.Row(b)[best_dim];
+                   });
+  const float split_value = points_.Row(point_ids_[mid])[best_dim];
+
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[node_index].split_dim = best_dim;
+  nodes_[node_index].split_value = split_value;
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<core::ResultEntry> KdTree::Query(const float* target, int k,
+                                             int64_t exclude) const {
+  DE_CHECK_GT(k, 0);
+  Nearest nearest(k, exclude);
+
+  // Recursive best-first descent with hyperplane pruning.
+  struct Frame {
+    int32_t node;
+    double min_d2;  // lower bound on distance to this subtree
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0.0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.min_d2 >= nearest.WorstD2()) continue;
+    const Node& node = nodes_[static_cast<size_t>(frame.node)];
+    if (node.split_dim < 0) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t id = point_ids_[i];
+        nearest.Offer(id, SquaredL2(points_.Row(id), target, points_.dims));
+      }
+      continue;
+    }
+    const double delta = static_cast<double>(target[node.split_dim]) -
+                         static_cast<double>(node.split_value);
+    const int32_t near_child = delta < 0.0 ? node.left : node.right;
+    const int32_t far_child = delta < 0.0 ? node.right : node.left;
+    // Push the far side first (visited later), with its plane bound.
+    stack.push_back(Frame{far_child, frame.min_d2 + delta * delta});
+    stack.push_back(Frame{near_child, frame.min_d2});
+  }
+  return nearest.Sorted();
+}
+
+// ---------------------------------------------------------------------------
+// BallTree
+// ---------------------------------------------------------------------------
+
+BallTree::BallTree(PointMatrix points) : points_(std::move(points)) {
+  DE_CHECK_GT(points_.num_points, 0u);
+  DE_CHECK_GT(points_.dims, 0u);
+  point_ids_.resize(points_.num_points);
+  std::iota(point_ids_.begin(), point_ids_.end(), 0u);
+  BuildNode(0, points_.num_points);
+}
+
+void BallTree::ComputeBounds(Node* node, uint32_t begin, uint32_t end) const {
+  node->center.assign(points_.dims, 0.0f);
+  for (uint32_t i = begin; i < end; ++i) {
+    const float* row = points_.Row(point_ids_[i]);
+    for (uint32_t d = 0; d < points_.dims; ++d) node->center[d] += row[d];
+  }
+  const float inv = 1.0f / static_cast<float>(end - begin);
+  for (float& c : node->center) c *= inv;
+  double max_d2 = 0.0;
+  for (uint32_t i = begin; i < end; ++i) {
+    max_d2 = std::max(max_d2, SquaredL2(points_.Row(point_ids_[i]),
+                                        node->center.data(), points_.dims));
+  }
+  node->radius = static_cast<float>(std::sqrt(max_d2));
+}
+
+int32_t BallTree::BuildNode(uint32_t begin, uint32_t end) {
+  const int32_t node_index = static_cast<int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  ComputeBounds(&nodes_[node_index], begin, end);
+  if (end - begin <= kLeafSize || nodes_[node_index].radius == 0.0f) {
+    nodes_[node_index].leaf = true;
+    nodes_[node_index].begin = begin;
+    nodes_[node_index].end = end;
+    return node_index;
+  }
+
+  // Approximate farthest pair: the point A farthest from the centroid, then
+  // the point B farthest from A. Partition by which of the two is closer.
+  const std::vector<float> center = nodes_[node_index].center;
+  auto farthest_from = [&](const float* p) {
+    uint32_t best = point_ids_[begin];
+    double best_d2 = -1.0;
+    for (uint32_t i = begin; i < end; ++i) {
+      const double d2 = SquaredL2(points_.Row(point_ids_[i]), p, points_.dims);
+      if (d2 > best_d2) {
+        best_d2 = d2;
+        best = point_ids_[i];
+      }
+    }
+    return best;
+  };
+  const uint32_t a = farthest_from(center.data());
+  const uint32_t b = farthest_from(points_.Row(a));
+  const float* pa = points_.Row(a);
+  const float* pb = points_.Row(b);
+
+  auto mid_it = std::partition(
+      point_ids_.begin() + begin, point_ids_.begin() + end, [&](uint32_t id) {
+        return SquaredL2(points_.Row(id), pa, points_.dims) <
+               SquaredL2(points_.Row(id), pb, points_.dims);
+      });
+  uint32_t mid = static_cast<uint32_t>(mid_it - point_ids_.begin());
+  // Degenerate partitions (duplicate-heavy data) fall back to halving.
+  if (mid == begin || mid == end) mid = begin + (end - begin) / 2;
+
+  const int32_t left = BuildNode(begin, mid);
+  const int32_t right = BuildNode(mid, end);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<core::ResultEntry> BallTree::Query(const float* target, int k,
+                                               int64_t exclude) const {
+  DE_CHECK_GT(k, 0);
+  Nearest nearest(k, exclude);
+  std::vector<int32_t> stack;
+  stack.push_back(0);
+  while (!stack.empty()) {
+    const Node& node = nodes_[static_cast<size_t>(stack.back())];
+    stack.pop_back();
+    // Triangle-inequality pruning: nothing in the ball can be closer than
+    // dist(target, center) - radius.
+    const double center_dist =
+        std::sqrt(SquaredL2(node.center.data(), target, points_.dims));
+    const double lower = std::max(0.0, center_dist - node.radius);
+    if (lower * lower >= nearest.WorstD2()) continue;
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        const uint32_t id = point_ids_[i];
+        nearest.Offer(id, SquaredL2(points_.Row(id), target, points_.dims));
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  return nearest.Sorted();
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

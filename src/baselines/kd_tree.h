@@ -1,0 +1,99 @@
+#ifndef DEEPEVEREST_BASELINES_KD_TREE_H_
+#define DEEPEVEREST_BASELINES_KD_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "storage/activation_store.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief A point set in the activation space of one neuron group: row i is
+/// input i's activations restricted to the group's dimensions.
+struct PointMatrix {
+  uint32_t num_points = 0;
+  uint32_t dims = 0;
+  std::vector<float> values;  // row-major
+
+  const float* Row(uint32_t i) const {
+    return values.data() + static_cast<size_t>(i) * dims;
+  }
+};
+
+/// \brief Exact k-d tree for euclidean k-nearest-neighbour search [7].
+///
+/// Used in Table 1: even a classical KNN index cannot beat ReprocessAll in
+/// this problem, because the tree can only be built *after* the group's
+/// activations have been computed for every input. Splits on the
+/// widest-spread dimension at the median.
+class KdTree {
+ public:
+  explicit KdTree(PointMatrix points);
+
+  /// The k points nearest to `target` (l2), ascending distance.
+  /// `exclude` (if >= 0) is an input ID omitted from results.
+  std::vector<core::ResultEntry> Query(const float* target, int k,
+                                       int64_t exclude = -1) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int split_dim = -1;       // -1 for leaves
+    float split_value = 0.0f;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;  // leaf: range into point_ids_
+    uint32_t end = 0;
+  };
+
+  int32_t BuildNode(uint32_t begin, uint32_t end);
+
+  PointMatrix points_;
+  std::vector<uint32_t> point_ids_;
+  std::vector<Node> nodes_;
+  static constexpr uint32_t kLeafSize = 16;
+};
+
+/// \brief Exact ball tree [41] for euclidean KNN; same role as KdTree.
+/// Balls are split along the direction between two approximately farthest
+/// points; search prunes with the triangle inequality.
+class BallTree {
+ public:
+  explicit BallTree(PointMatrix points);
+
+  std::vector<core::ResultEntry> Query(const float* target, int k,
+                                       int64_t exclude = -1) const;
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::vector<float> center;
+    float radius = 0.0f;
+    int32_t left = -1;
+    int32_t right = -1;
+    uint32_t begin = 0;
+    uint32_t end = 0;
+    bool leaf = false;
+  };
+
+  int32_t BuildNode(uint32_t begin, uint32_t end);
+  void ComputeBounds(Node* node, uint32_t begin, uint32_t end) const;
+
+  PointMatrix points_;
+  std::vector<uint32_t> point_ids_;
+  std::vector<Node> nodes_;
+  static constexpr uint32_t kLeafSize = 16;
+};
+
+/// Builds the group-restricted point matrix from a layer activation matrix.
+PointMatrix MakePointMatrix(const storage::LayerActivationMatrix& matrix,
+                            const std::vector<int64_t>& neurons);
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_KD_TREE_H_

@@ -1,0 +1,100 @@
+#include "baselines/lru_cache.h"
+
+#include "common/stopwatch.h"
+#include "core/nta.h"
+
+namespace deepeverest {
+namespace baselines {
+
+Result<storage::LayerActivationMatrix> LruCacheEngine::GetLayer(int layer) {
+  const std::string& model_name = inference_->model().name();
+  auto it = by_layer_.find(layer);
+  if (it != by_layer_.end()) {
+    ++hits_;
+    recency_.erase(it->second);
+    recency_.push_front(layer);
+    it->second = recency_.begin();
+    return activations_.Load(model_name, layer);
+  }
+
+  ++misses_;
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
+                      ComputeLayerMatrix(inference_, layer));
+  // Persist to the disk cache, then evict least-recently-used layers until
+  // the budget holds again.
+  DE_RETURN_NOT_OK(activations_.Save(model_name, layer, matrix));
+  cached_bytes_ += storage::ActivationStore::PersistedBytes(
+      matrix.num_inputs, matrix.num_neurons);
+  recency_.push_front(layer);
+  by_layer_[layer] = recency_.begin();
+  DE_RETURN_NOT_OK(EvictUntilWithinBudget());
+  return matrix;
+}
+
+Status LruCacheEngine::EvictUntilWithinBudget() {
+  const std::string& model_name = inference_->model().name();
+  while (cached_bytes_ > budget_bytes_ && recency_.size() > 1) {
+    const int victim = recency_.back();
+    recency_.pop_back();
+    by_layer_.erase(victim);
+    const uint64_t bytes = storage::ActivationStore::PersistedBytes(
+        inference_->dataset().size(),
+        static_cast<uint64_t>(inference_->model().NeuronCount(victim)));
+    DE_RETURN_NOT_OK(activations_.Remove(model_name, victim));
+    cached_bytes_ -= std::min(cached_bytes_, bytes);
+  }
+  // A single layer larger than the whole budget is still evicted: the
+  // cache cannot hold it.
+  if (cached_bytes_ > budget_bytes_ && recency_.size() == 1) {
+    const int victim = recency_.back();
+    recency_.pop_back();
+    by_layer_.erase(victim);
+    DE_RETURN_NOT_OK(activations_.Remove(model_name, victim));
+    cached_bytes_ = 0;
+  }
+  return Status::OK();
+}
+
+Result<core::TopKResult> LruCacheEngine::TopKHighest(
+    const core::NeuronGroup& group, int k, core::DistancePtr dist) {
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
+                      GetLayer(group.layer));
+  core::TopKResult result = core::ScanHighest(
+      matrix, group.neurons, k,
+      dist != nullptr ? dist : core::L2Distance());
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<core::TopKResult> LruCacheEngine::TopKMostSimilar(
+    uint32_t target_id, const core::NeuronGroup& group, int k,
+    core::DistancePtr dist) {
+  if (target_id >= inference_->dataset().size()) {
+    return Status::OutOfRange("target input out of range");
+  }
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
+                      GetLayer(group.layer));
+  const std::vector<float> target_acts =
+      TargetActsFromMatrix(matrix, group.neurons, target_id);
+  core::TopKResult result = core::ScanMostSimilar(
+      matrix, group.neurons, target_acts, k,
+      dist != nullptr ? dist : core::L2Distance(),
+      /*exclude_target=*/true, target_id);
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

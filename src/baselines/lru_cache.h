@@ -1,0 +1,65 @@
+#ifndef DEEPEVEREST_BASELINES_LRU_CACHE_H_
+#define DEEPEVEREST_BASELINES_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/query_engine.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief LRU Cache baseline (§4.1): a fixed-budget disk cache of layer
+/// activations with least-recently-used layer eviction. Queries hit the
+/// cache like PreprocessAll or miss like ReprocessAll; after a miss the
+/// queried layer's activations are persisted to the cache.
+class LruCacheEngine : public QueryEngine {
+ public:
+  /// Does not take ownership.
+  LruCacheEngine(nn::InferenceEngine* inference, storage::FileStore* store,
+                 uint64_t budget_bytes)
+      : inference_(inference),
+        store_(store),
+        activations_(store),
+        budget_bytes_(budget_bytes) {}
+
+  std::string name() const override { return "LRU Cache"; }
+
+  Result<core::TopKResult> TopKHighest(const core::NeuronGroup& group, int k,
+                                       core::DistancePtr dist) override;
+  Result<core::TopKResult> TopKMostSimilar(uint32_t target_id,
+                                           const core::NeuronGroup& group,
+                                           int k,
+                                           core::DistancePtr dist) override;
+
+  Result<uint64_t> StorageBytes() const override { return cached_bytes_; }
+
+  bool IsCached(int layer) const { return by_layer_.count(layer) != 0; }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  /// Returns the layer's activation matrix, via the cache or recomputation,
+  /// then updates recency/evictions.
+  Result<storage::LayerActivationMatrix> GetLayer(int layer);
+
+  Status EvictUntilWithinBudget();
+
+  nn::InferenceEngine* inference_;
+  storage::FileStore* store_;
+  storage::ActivationStore activations_;
+  uint64_t budget_bytes_;
+  uint64_t cached_bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  std::list<int> recency_;  // front = most recently used layer
+  std::unordered_map<int, std::list<int>::iterator> by_layer_;
+};
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_LRU_CACHE_H_

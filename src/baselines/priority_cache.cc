@@ -1,0 +1,130 @@
+#include "baselines/priority_cache.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "core/nta.h"
+
+namespace deepeverest {
+namespace baselines {
+
+Status PriorityCacheEngine::Preprocess() {
+  if (preprocessed_) return Status::OK();
+  const nn::Model& model = inference_->model();
+  const uint32_t num_inputs = inference_->dataset().size();
+
+  // Cost model: for each layer, the benefit of materialising it is the
+  // query time saved (recomputation time under the GPU cost model minus
+  // load time at the modelled disk throughput) per byte of storage.
+  struct Candidate {
+    int layer;
+    uint64_t bytes;
+    double benefit_per_byte;
+  };
+  std::vector<Candidate> candidates;
+  for (int layer = 0; layer < model.num_layers(); ++layer) {
+    const uint64_t bytes = storage::ActivationStore::PersistedBytes(
+        num_inputs, static_cast<uint64_t>(model.NeuronCount(layer)));
+    const double recompute_seconds = inference_->cost_model().BatchSeconds(
+        num_inputs, inference_->batch_size(), model.CumulativeMacs(layer));
+    const double load_seconds =
+        static_cast<double>(bytes) / disk_read_bytes_per_second_;
+    const double benefit = recompute_seconds - load_seconds;
+    candidates.push_back(
+        Candidate{layer, bytes, benefit / static_cast<double>(bytes)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.benefit_per_byte != b.benefit_per_byte) {
+                return a.benefit_per_byte > b.benefit_per_byte;
+              }
+              return a.layer < b.layer;
+            });
+  uint64_t used = 0;
+  for (const Candidate& c : candidates) {
+    if (c.benefit_per_byte <= 0.0) continue;
+    if (used + c.bytes > budget_bytes_) continue;
+    used += c.bytes;
+    chosen_layers_.push_back(c.layer);
+  }
+  std::sort(chosen_layers_.begin(), chosen_layers_.end());
+
+  // One inference pass over the dataset materialising the chosen layers.
+  if (!chosen_layers_.empty()) {
+    std::vector<storage::LayerActivationMatrix> matrices;
+    for (int layer : chosen_layers_) {
+      matrices.push_back(storage::LayerActivationMatrix::Make(
+          num_inputs, static_cast<uint64_t>(model.NeuronCount(layer))));
+    }
+    std::vector<Tensor> outputs;
+    for (uint32_t id = 0; id < num_inputs; ++id) {
+      DE_RETURN_NOT_OK(inference_->ComputeAllLayers(id, &outputs));
+      for (size_t i = 0; i < chosen_layers_.size(); ++i) {
+        const Tensor& out = outputs[static_cast<size_t>(chosen_layers_[i])];
+        std::copy(out.vec().begin(), out.vec().end(),
+                  matrices[i].MutableRow(id));
+      }
+    }
+    for (size_t i = 0; i < chosen_layers_.size(); ++i) {
+      DE_RETURN_NOT_OK(activations_.Save(model.name(), chosen_layers_[i],
+                                         matrices[i], /*sync=*/true));
+      stored_.insert(chosen_layers_[i]);
+      stored_bytes_ += storage::ActivationStore::PersistedBytes(
+          matrices[i].num_inputs, matrices[i].num_neurons);
+    }
+  }
+  preprocessed_ = true;
+  return Status::OK();
+}
+
+Result<storage::LayerActivationMatrix> PriorityCacheEngine::GetLayer(
+    int layer) {
+  if (stored_.count(layer) != 0) {
+    return activations_.Load(inference_->model().name(), layer);
+  }
+  return ComputeLayerMatrix(inference_, layer);
+}
+
+Result<core::TopKResult> PriorityCacheEngine::TopKHighest(
+    const core::NeuronGroup& group, int k, core::DistancePtr dist) {
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
+                      GetLayer(group.layer));
+  core::TopKResult result = core::ScanHighest(
+      matrix, group.neurons, k,
+      dist != nullptr ? dist : core::L2Distance());
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<core::TopKResult> PriorityCacheEngine::TopKMostSimilar(
+    uint32_t target_id, const core::NeuronGroup& group, int k,
+    core::DistancePtr dist) {
+  if (target_id >= inference_->dataset().size()) {
+    return Status::OutOfRange("target input out of range");
+  }
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
+                      GetLayer(group.layer));
+  const std::vector<float> target_acts =
+      TargetActsFromMatrix(matrix, group.neurons, target_id);
+  core::TopKResult result = core::ScanMostSimilar(
+      matrix, group.neurons, target_acts, k,
+      dist != nullptr ? dist : core::L2Distance(),
+      /*exclude_target=*/true, target_id);
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

@@ -1,0 +1,36 @@
+#include "baselines/query_engine.h"
+
+#include <numeric>
+
+namespace deepeverest {
+namespace baselines {
+
+Result<storage::LayerActivationMatrix> ComputeLayerMatrix(
+    nn::InferenceEngine* inference, int layer) {
+  const uint32_t num_inputs = inference->dataset().size();
+  const uint64_t num_neurons =
+      static_cast<uint64_t>(inference->model().NeuronCount(layer));
+  std::vector<uint32_t> ids(num_inputs);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, layer, &rows));
+  storage::LayerActivationMatrix matrix =
+      storage::LayerActivationMatrix::Make(num_inputs, num_neurons);
+  for (uint32_t id = 0; id < num_inputs; ++id) {
+    std::copy(rows[id].begin(), rows[id].end(), matrix.MutableRow(id));
+  }
+  return matrix;
+}
+
+std::vector<float> TargetActsFromMatrix(
+    const storage::LayerActivationMatrix& matrix,
+    const std::vector<int64_t>& neurons, uint32_t target_id) {
+  std::vector<float> acts(neurons.size());
+  for (size_t i = 0; i < neurons.size(); ++i) {
+    acts[i] = matrix.At(target_id, static_cast<uint64_t>(neurons[i]));
+  }
+  return acts;
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

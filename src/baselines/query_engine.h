@@ -1,0 +1,55 @@
+#ifndef DEEPEVEREST_BASELINES_QUERY_ENGINE_H_
+#define DEEPEVEREST_BASELINES_QUERY_ENGINE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/distance.h"
+#include "core/query.h"
+#include "nn/inference.h"
+#include "storage/activation_store.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief Common interface for the baseline strategies of paper §4.1 (and
+/// for DeepEverest itself via an adapter), so multi-query workload
+/// experiments can drive every method identically.
+class QueryEngine {
+ public:
+  virtual ~QueryEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// One-time preprocessing (PreprocessAll materialises everything;
+  /// PriorityCache picks and materialises layers; others are no-ops).
+  virtual Status Preprocess() { return Status::OK(); }
+
+  /// Top-k highest query. `dist` nullptr selects l2.
+  virtual Result<core::TopKResult> TopKHighest(const core::NeuronGroup& group,
+                                               int k,
+                                               core::DistancePtr dist) = 0;
+
+  /// Top-k most-similar query; `target_id` is excluded from the result.
+  virtual Result<core::TopKResult> TopKMostSimilar(
+      uint32_t target_id, const core::NeuronGroup& group, int k,
+      core::DistancePtr dist) = 0;
+
+  /// Bytes of disk storage this strategy currently uses.
+  virtual Result<uint64_t> StorageBytes() const { return uint64_t{0}; }
+};
+
+/// Computes the full activation matrix of one layer by running inference on
+/// every input (the ReprocessAll inner step, shared by several baselines).
+Result<storage::LayerActivationMatrix> ComputeLayerMatrix(
+    nn::InferenceEngine* inference, int layer);
+
+/// Reads the target input's group activations out of a matrix.
+std::vector<float> TargetActsFromMatrix(
+    const storage::LayerActivationMatrix& matrix,
+    const std::vector<int64_t>& neurons, uint32_t target_id);
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_QUERY_ENGINE_H_

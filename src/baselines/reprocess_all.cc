@@ -1,0 +1,53 @@
+#include "baselines/reprocess_all.h"
+
+#include "common/stopwatch.h"
+#include "core/nta.h"
+
+namespace deepeverest {
+namespace baselines {
+
+Result<core::TopKResult> ReprocessAll::TopKHighest(
+    const core::NeuronGroup& group, int k, core::DistancePtr dist) {
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  DE_ASSIGN_OR_RETURN(core::TopKResult result,
+                      core::BruteForceHighest(inference_, group, k, dist));
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<core::TopKResult> ReprocessAll::TopKMostSimilar(
+    uint32_t target_id, const core::NeuronGroup& group, int k,
+    core::DistancePtr dist) {
+  if (target_id >= inference_->dataset().size()) {
+    return Status::OutOfRange("target input out of range");
+  }
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_->stats();
+  // Compute the target's group activations first (one pass), then scan all.
+  std::vector<std::vector<float>> target_rows;
+  DE_RETURN_NOT_OK(
+      inference_->ComputeLayer({target_id}, group.layer, &target_rows));
+  std::vector<float> target_acts(group.neurons.size());
+  for (size_t i = 0; i < group.neurons.size(); ++i) {
+    target_acts[i] =
+        target_rows[0][static_cast<size_t>(group.neurons[i])];
+  }
+  DE_ASSIGN_OR_RETURN(
+      core::TopKResult result,
+      core::BruteForceMostSimilar(inference_, group, target_acts, k, dist,
+                                  /*exclude_target=*/true, target_id));
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace deepeverest

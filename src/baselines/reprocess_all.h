@@ -1,0 +1,36 @@
+#ifndef DEEPEVEREST_BASELINES_REPROCESS_ALL_H_
+#define DEEPEVEREST_BASELINES_REPROCESS_ALL_H_
+
+#include <string>
+
+#include "baselines/query_engine.h"
+
+namespace deepeverest {
+namespace baselines {
+
+/// \brief ReprocessAll baseline (§4.1): no storage, no preprocessing; every
+/// query runs DNN inference on the entire dataset. Its query time stands in
+/// for *any* method that does not reduce the number of inputs fed to the
+/// DNN (Table 1's point).
+class ReprocessAll : public QueryEngine {
+ public:
+  explicit ReprocessAll(nn::InferenceEngine* inference)
+      : inference_(inference) {}
+
+  std::string name() const override { return "ReprocessAll"; }
+
+  Result<core::TopKResult> TopKHighest(const core::NeuronGroup& group, int k,
+                                       core::DistancePtr dist) override;
+  Result<core::TopKResult> TopKMostSimilar(uint32_t target_id,
+                                           const core::NeuronGroup& group,
+                                           int k,
+                                           core::DistancePtr dist) override;
+
+ private:
+  nn::InferenceEngine* inference_;
+};
+
+}  // namespace baselines
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BASELINES_REPROCESS_ALL_H_

@@ -1,0 +1,243 @@
+#include "bench_util/query_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+namespace deepeverest {
+namespace bench_util {
+
+const char* LayerDepthToString(LayerDepth depth) {
+  switch (depth) {
+    case LayerDepth::kEarly:
+      return "early";
+    case LayerDepth::kMid:
+      return "mid";
+    case LayerDepth::kLate:
+      return "late";
+  }
+  return "?";
+}
+
+const char* QueryTypeToString(QueryType type) {
+  switch (type) {
+    case QueryType::kFireMax:
+      return "FireMax";
+    case QueryType::kSimTop:
+      return "SimTop";
+    case QueryType::kSimHigh:
+      return "SimHigh";
+  }
+  return "?";
+}
+
+int PickLayer(const nn::Model& model, LayerDepth depth) {
+  const std::vector<int>& layers = model.activation_layers();
+  DE_CHECK(!layers.empty()) << "model has no activation layers";
+  switch (depth) {
+    case LayerDepth::kEarly:
+      return layers.front();
+    case LayerDepth::kMid:
+      return layers[layers.size() / 2];
+    case LayerDepth::kLate:
+      return layers.back();
+  }
+  return layers.back();
+}
+
+namespace {
+
+/// Computes the target's activation row for one layer via the generator
+/// engine (setup cost, not measured).
+Status TargetRow(nn::InferenceEngine* generator, uint32_t target_id,
+                 int layer, std::vector<float>* row) {
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(generator->ComputeLayer({target_id}, layer, &rows));
+  *row = std::move(rows[0]);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<core::NeuronGroup> MakeNeuronGroup(nn::InferenceEngine* generator,
+                                          uint32_t target_id, int layer,
+                                          GroupKind kind, int size, Rng* rng) {
+  if (size < 1) return Status::InvalidArgument("group size must be >= 1");
+  std::vector<float> row;
+  DE_RETURN_NOT_OK(TargetRow(generator, target_id, layer, &row));
+  const int64_t n = static_cast<int64_t>(row.size());
+  if (size > n) {
+    return Status::InvalidArgument("group size exceeds layer width");
+  }
+
+  core::NeuronGroup group;
+  group.layer = layer;
+
+  // Neurons ordered by the target's activation, descending.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const float va = row[static_cast<size_t>(a)];
+    const float vb = row[static_cast<size_t>(b)];
+    if (va != vb) return va > vb;
+    return a < b;
+  });
+
+  if (kind == GroupKind::kTop) {
+    group.neurons.assign(order.begin(), order.begin() + size);
+    return group;
+  }
+
+  // RandHigh: random picks from the top half of the non-zero neurons.
+  int64_t nonzero = 0;
+  for (int64_t idx : order) {
+    if (row[static_cast<size_t>(idx)] > 0.0f) ++nonzero;
+  }
+  int64_t pool = nonzero / 2;
+  if (pool < size) pool = std::min<int64_t>(n, std::max<int64_t>(size, 1));
+  const std::vector<size_t> picks = rng->SampleWithoutReplacement(
+      static_cast<size_t>(pool), static_cast<size_t>(size));
+  for (size_t pick : picks) group.neurons.push_back(order[pick]);
+  std::sort(group.neurons.begin(), group.neurons.end());
+  return group;
+}
+
+Result<GeneratedQuery> GenerateQuery(nn::InferenceEngine* generator,
+                                     QueryType type, LayerDepth depth,
+                                     int group_size, Rng* rng) {
+  GeneratedQuery query;
+  query.type = type;
+  query.target_id = static_cast<uint32_t>(
+      rng->NextUint64(generator->dataset().size()));
+  const int layer = PickLayer(generator->model(), depth);
+  const GroupKind kind =
+      type == QueryType::kSimTop ? GroupKind::kTop : GroupKind::kRandHigh;
+  DE_ASSIGN_OR_RETURN(query.group,
+                      MakeNeuronGroup(generator, query.target_id, layer, kind,
+                                      group_size, rng));
+  query.label = std::string(QueryTypeToString(type)) + "/" +
+                LayerDepthToString(depth) + "/g" +
+                std::to_string(group_size);
+  return query;
+}
+
+std::vector<int> GenerateLayerSequence(const std::vector<int>& layers,
+                                       const WorkloadSpec& spec) {
+  DE_CHECK(!layers.empty());
+  Rng rng(spec.seed);
+  std::vector<int> unseen = layers;
+  rng.Shuffle(&unseen);
+  std::set<int> seen;
+  std::vector<int> sequence;
+  sequence.reserve(static_cast<size_t>(spec.num_queries));
+
+  // First query: a random layer.
+  int current = unseen.back();
+  unseen.pop_back();
+  seen.insert(current);
+  sequence.push_back(current);
+
+  for (int q = 1; q < spec.num_queries; ++q) {
+    const double draw = rng.NextDouble();
+    int next = current;
+    if (draw < spec.p_same) {
+      next = current;
+    } else if (draw < spec.p_same + spec.p_prev) {
+      // A previously queried layer other than the current one; falls back
+      // to `current` when it is the only one seen.
+      std::vector<int> candidates;
+      for (int layer : seen) {
+        if (layer != current) candidates.push_back(layer);
+      }
+      if (!candidates.empty()) {
+        next = candidates[rng.NextUint64(candidates.size())];
+      } else if (!unseen.empty()) {
+        next = unseen.back();
+        unseen.pop_back();
+      }
+    } else {
+      // A new layer; falls back to "previous" then "same" when exhausted.
+      if (!unseen.empty()) {
+        next = unseen.back();
+        unseen.pop_back();
+      } else {
+        std::vector<int> candidates;
+        for (int layer : seen) {
+          if (layer != current) candidates.push_back(layer);
+        }
+        if (!candidates.empty()) {
+          next = candidates[rng.NextUint64(candidates.size())];
+        }
+      }
+    }
+    seen.insert(next);
+    sequence.push_back(next);
+    current = next;
+  }
+  return sequence;
+}
+
+Result<std::vector<core::NeuronGroup>> GenerateIqaSequence(
+    nn::InferenceEngine* generator, uint32_t target_id, int layer,
+    int group_size, int num_replace, int length, Rng* rng) {
+  if (num_replace > group_size) {
+    return Status::InvalidArgument("num_replace exceeds group size");
+  }
+  if (static_cast<int64_t>(group_size) + num_replace >
+      generator->model().NeuronCount(layer)) {
+    return Status::InvalidArgument(
+        "layer too narrow to replace neurons without repeats");
+  }
+  std::vector<core::NeuronGroup> sequence;
+  sequence.reserve(static_cast<size_t>(length));
+  DE_ASSIGN_OR_RETURN(core::NeuronGroup group,
+                      MakeNeuronGroup(generator, target_id, layer,
+                                      GroupKind::kRandHigh, group_size, rng));
+  sequence.push_back(group);
+  for (int q = 1; q < length; ++q) {
+    // Replace num_replace random members with fresh RandHigh neurons not
+    // already in the group.
+    std::set<int64_t> members(group.neurons.begin(), group.neurons.end());
+    const std::vector<size_t> victims = rng->SampleWithoutReplacement(
+        group.neurons.size(), static_cast<size_t>(num_replace));
+    std::set<size_t> victim_set(victims.begin(), victims.end());
+    std::vector<int64_t> kept;
+    for (size_t i = 0; i < group.neurons.size(); ++i) {
+      if (victim_set.count(i) == 0) kept.push_back(group.neurons[i]);
+    }
+    int added = 0;
+    int attempts = 0;
+    while (added < num_replace && attempts < 64) {
+      ++attempts;
+      DE_ASSIGN_OR_RETURN(
+          core::NeuronGroup fresh,
+          MakeNeuronGroup(generator, target_id, layer, GroupKind::kRandHigh,
+                          num_replace, rng));
+      for (int64_t neuron : fresh.neurons) {
+        if (added < num_replace && members.insert(neuron).second) {
+          kept.push_back(neuron);
+          ++added;
+        }
+      }
+    }
+    // Small layers can exhaust the RandHigh pool; fall back to any unused
+    // neuron so the group size (and replacement count) stays exact.
+    const int64_t layer_width = generator->model().NeuronCount(layer);
+    while (added < num_replace) {
+      const int64_t neuron =
+          static_cast<int64_t>(rng->NextUint64(
+              static_cast<uint64_t>(layer_width)));
+      if (members.insert(neuron).second) {
+        kept.push_back(neuron);
+        ++added;
+      }
+    }
+    group.neurons = kept;
+    std::sort(group.neurons.begin(), group.neurons.end());
+    sequence.push_back(group);
+  }
+  return sequence;
+}
+
+}  // namespace bench_util
+}  // namespace deepeverest

@@ -1,0 +1,86 @@
+#ifndef DEEPEVEREST_BENCH_UTIL_QUERY_GEN_H_
+#define DEEPEVEREST_BENCH_UTIL_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/query.h"
+#include "nn/inference.h"
+
+namespace deepeverest {
+namespace bench_util {
+
+/// \brief Layer position within the model, as in the paper's evaluation
+/// ("early", "mid", "late" activation layers).
+enum class LayerDepth { kEarly, kMid, kLate };
+
+/// \brief Neuron-group selection policy (paper §5.1).
+enum class GroupKind {
+  kTop,       // the maximally activated neurons for the target input
+  kRandHigh,  // random picks from the top half of the input's non-zero
+              // neurons
+};
+
+/// \brief The three benchmark query types (paper §5.1).
+enum class QueryType {
+  kFireMax,  // top-k highest
+  kSimTop,   // top-k most-similar on a Top group
+  kSimHigh,  // top-k most-similar on a RandHigh group
+};
+
+const char* LayerDepthToString(LayerDepth depth);
+const char* QueryTypeToString(QueryType type);
+
+/// Maps early/mid/late onto the model's queryable activation layers
+/// (first / middle / last-but-head).
+int PickLayer(const nn::Model& model, LayerDepth depth);
+
+/// Builds a neuron group of `size` neurons for `target_id` at `layer`.
+/// `generator` is an inference engine whose cost is *not* part of the
+/// experiment being measured (query generation is experiment setup).
+Result<core::NeuronGroup> MakeNeuronGroup(nn::InferenceEngine* generator,
+                                          uint32_t target_id, int layer,
+                                          GroupKind kind, int size, Rng* rng);
+
+/// \brief A fully instantiated benchmark query.
+struct GeneratedQuery {
+  QueryType type = QueryType::kSimHigh;
+  core::NeuronGroup group;
+  uint32_t target_id = 0;  // used by SimTop / SimHigh
+  std::string label;
+};
+
+/// Draws a random target input and builds the query: FireMax and SimHigh
+/// use RandHigh groups, SimTop uses Top groups (paper §5.1).
+Result<GeneratedQuery> GenerateQuery(nn::InferenceEngine* generator,
+                                     QueryType type, LayerDepth depth,
+                                     int group_size, Rng* rng);
+
+/// \brief Multi-query workload layer-transition parameters (paper §5.3).
+struct WorkloadSpec {
+  double p_same = 0.5;  // probability of re-querying the previous layer
+  double p_prev = 0.3;  // one of the earlier-queried layers
+  double p_new = 0.2;   // a layer never queried before
+  int num_queries = 1000;
+  uint64_t seed = 1;
+};
+
+/// Generates the per-query layer choices over `layers` following the spec.
+/// When a category has no eligible layer (nothing new left, or no distinct
+/// previous layer), the draw falls back to the next category.
+std::vector<int> GenerateLayerSequence(const std::vector<int>& layers,
+                                       const WorkloadSpec& spec);
+
+/// \brief Builds the related-query sequences of the IQA experiment (§5.6):
+/// the first group has `group_size` RandHigh neurons; each later group
+/// replaces `num_replace` random members with fresh RandHigh neurons.
+Result<std::vector<core::NeuronGroup>> GenerateIqaSequence(
+    nn::InferenceEngine* generator, uint32_t target_id, int layer,
+    int group_size, int num_replace, int length, Rng* rng);
+
+}  // namespace bench_util
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BENCH_UTIL_QUERY_GEN_H_

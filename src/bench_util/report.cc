@@ -1,0 +1,98 @@
+#include "bench_util/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace deepeverest {
+namespace bench_util {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::AddRow(std::vector<std::string> cells) {
+  DE_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  std::ostringstream out;
+  out << std::fixed;
+  if (seconds >= 1.0) {
+    out << std::setprecision(3) << seconds << " s";
+  } else if (seconds >= 1e-3) {
+    out << std::setprecision(2) << seconds * 1e3 << " ms";
+  } else {
+    out << std::setprecision(0) << seconds * 1e6 << " us";
+  }
+  return out.str();
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2);
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e12) {
+    out << b / 1e12 << " TB";
+  } else if (b >= 1e9) {
+    out << b / 1e9 << " GB";
+  } else if (b >= 1e6) {
+    out << b / 1e6 << " MB";
+  } else if (b >= 1e3) {
+    out << b / 1e3 << " KB";
+  } else {
+    out << bytes << " B";
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string FormatSpeedup(double ratio) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << ratio << "x";
+  return out.str();
+}
+
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& subtitle) {
+  os << "\n=== " << title << " ===\n";
+  if (!subtitle.empty()) os << subtitle << "\n";
+  os << "\n";
+}
+
+}  // namespace bench_util
+}  // namespace deepeverest

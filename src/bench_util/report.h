@@ -1,0 +1,46 @@
+#ifndef DEEPEVEREST_BENCH_UTIL_REPORT_H_
+#define DEEPEVEREST_BENCH_UTIL_REPORT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deepeverest {
+namespace bench_util {
+
+/// \brief Column-aligned plain-text table printer. Every bench binary uses
+/// it to print the rows/series of the paper table or figure it regenerates.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& AddRow(std::vector<std::string> cells);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "1.234 s" / "12.3 ms" / "45 us" as appropriate.
+std::string FormatSeconds(double seconds);
+
+/// "1.35 TB" / "37.8 GB" / "120.0 MB" / "4.2 KB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Fixed-precision double.
+std::string FormatDouble(double value, int precision);
+
+/// "12.3x" speedup notation.
+std::string FormatSpeedup(double ratio);
+
+/// Prints a section banner for a bench binary.
+void PrintBanner(std::ostream& os, const std::string& title,
+                 const std::string& subtitle);
+
+}  // namespace bench_util
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_BENCH_UTIL_REPORT_H_

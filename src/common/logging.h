@@ -1,0 +1,107 @@
+#ifndef DEEPEVEREST_COMMON_LOGGING_H_
+#define DEEPEVEREST_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace deepeverest {
+namespace internal_logging {
+
+enum class LogLevel { kInfo, kWarning, kError, kFatal };
+
+/// \brief Stream-style log sink; writes one line to stderr on destruction and
+/// aborts the process for kFatal messages.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] ";
+  }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  ~LogMessage() {
+    stream_ << "\n";
+    std::cerr << stream_.str();
+    if (level_ == LogLevel::kFatal) {
+      std::cerr.flush();
+      std::abort();
+    }
+  }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  static const char* LevelName(LogLevel level) {
+    switch (level) {
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarning:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      case LogLevel::kFatal:
+        return "FATAL";
+    }
+    return "?";
+  }
+
+  static const char* Basename(const char* path) {
+    const char* base = path;
+    for (const char* p = path; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    return base;
+  }
+
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement that was compiled out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace deepeverest
+
+#define DE_LOG_INFO                                    \
+  ::deepeverest::internal_logging::LogMessage(         \
+      ::deepeverest::internal_logging::LogLevel::kInfo, __FILE__, __LINE__)
+#define DE_LOG_WARNING                                 \
+  ::deepeverest::internal_logging::LogMessage(         \
+      ::deepeverest::internal_logging::LogLevel::kWarning, __FILE__, __LINE__)
+#define DE_LOG_ERROR                                   \
+  ::deepeverest::internal_logging::LogMessage(         \
+      ::deepeverest::internal_logging::LogLevel::kError, __FILE__, __LINE__)
+#define DE_LOG_FATAL                                   \
+  ::deepeverest::internal_logging::LogMessage(         \
+      ::deepeverest::internal_logging::LogLevel::kFatal, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. Enabled in all build types:
+/// these guard internal invariants whose violation would corrupt results.
+#define DE_CHECK(cond) \
+  if (cond)            \
+    ;                  \
+  else                 \
+    DE_LOG_FATAL << "Check failed: " #cond " "
+
+#define DE_CHECK_EQ(a, b) DE_CHECK((a) == (b))
+#define DE_CHECK_NE(a, b) DE_CHECK((a) != (b))
+#define DE_CHECK_LT(a, b) DE_CHECK((a) < (b))
+#define DE_CHECK_LE(a, b) DE_CHECK((a) <= (b))
+#define DE_CHECK_GT(a, b) DE_CHECK((a) > (b))
+#define DE_CHECK_GE(a, b) DE_CHECK((a) >= (b))
+
+#endif  // DEEPEVEREST_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+#ifndef DEEPEVEREST_COMMON_RESULT_H_
+#define DEEPEVEREST_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace deepeverest {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Accessing the value of an errored Result aborts, so
+/// callers must check ok() (or use DE_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` or `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    DE_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    DE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const& {
+    DE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    DE_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace deepeverest
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define DE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define DE_ASSIGN_OR_RETURN_NAME(x, y) DE_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define DE_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DE_ASSIGN_OR_RETURN_IMPL(             \
+      DE_ASSIGN_OR_RETURN_NAME(_de_result_, __LINE__), lhs, rexpr)
+
+#endif  // DEEPEVEREST_COMMON_RESULT_H_

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace deepeverest {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t population,
+                                                  size_t count) {
+  DE_CHECK_LE(count, population);
+  if (count * 3 >= population) {
+    // Dense case: shuffle a full index vector and truncate.
+    std::vector<size_t> all(population);
+    for (size_t i = 0; i < population; ++i) all[i] = i;
+    Shuffle(&all);
+    all.resize(count);
+    return all;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<size_t> seen;
+  std::vector<size_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    const size_t v = NextUint64(population);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace deepeverest

@@ -1,0 +1,43 @@
+#include "common/serde.h"
+
+namespace deepeverest {
+
+Status BinaryReader::ReadLength(uint64_t* len, size_t element_size) {
+  DE_RETURN_NOT_OK(ReadU64(len));
+  if (element_size > 0 && *len > remaining() / element_size) {
+    return Status::IOError("corrupt length prefix: " + std::to_string(*len) +
+                           " elements exceed remaining buffer");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t len = 0;
+  DE_RETURN_NOT_OK(ReadLength(&len, 1));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadF32Vector(std::vector<float>* out) {
+  uint64_t len = 0;
+  DE_RETURN_NOT_OK(ReadLength(&len, sizeof(float)));
+  out->resize(len);
+  return Fixed(out->data(), len * sizeof(float));
+}
+
+Status BinaryReader::ReadU32Vector(std::vector<uint32_t>* out) {
+  uint64_t len = 0;
+  DE_RETURN_NOT_OK(ReadLength(&len, sizeof(uint32_t)));
+  out->resize(len);
+  return Fixed(out->data(), len * sizeof(uint32_t));
+}
+
+Status BinaryReader::ReadU64Vector(std::vector<uint64_t>* out) {
+  uint64_t len = 0;
+  DE_RETURN_NOT_OK(ReadLength(&len, sizeof(uint64_t)));
+  out->resize(len);
+  return Fixed(out->data(), len * sizeof(uint64_t));
+}
+
+}  // namespace deepeverest

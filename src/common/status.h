@@ -1,0 +1,99 @@
+#ifndef DEEPEVEREST_COMMON_STATUS_H_
+#define DEEPEVEREST_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace deepeverest {
+
+/// \brief Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIOError = 4,
+  kFailedPrecondition = 5,
+  kOutOfRange = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Arrow/RocksDB-style operation outcome.
+///
+/// Library code returns Status (or Result<T>) instead of throwing. A Status is
+/// cheap to copy when OK (no allocation) and carries a code plus message
+/// otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace deepeverest
+
+/// Propagates a non-OK Status to the caller.
+#define DE_RETURN_NOT_OK(expr)                    \
+  do {                                            \
+    ::deepeverest::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#endif  // DEEPEVEREST_COMMON_STATUS_H_

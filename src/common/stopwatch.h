@@ -1,0 +1,30 @@
+#ifndef DEEPEVEREST_COMMON_STOPWATCH_H_
+#define DEEPEVEREST_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deepeverest {
+
+/// \brief Monotonic wall-clock stopwatch used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_COMMON_STOPWATCH_H_

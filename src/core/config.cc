@@ -1,0 +1,66 @@
+#include "core/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepeverest {
+namespace core {
+
+uint64_t NpiCostBytes(int64_t total_neurons, uint32_t num_inputs,
+                      int num_partitions) {
+  const uint64_t bits =
+      static_cast<uint64_t>(total_neurons) * num_inputs *
+      static_cast<uint64_t>(
+          PackedIntArray::BitsFor(static_cast<uint64_t>(num_partitions)));
+  return (bits + 7) / 8;
+}
+
+uint64_t MaiCostBytes(int64_t total_neurons, uint32_t num_inputs,
+                      double ratio) {
+  const uint32_t count =
+      static_cast<uint32_t>(ratio * static_cast<double>(num_inputs));
+  return static_cast<uint64_t>(total_neurons) * count * 8;
+}
+
+SystemConfig SelectConfig(uint64_t budget_bytes, int batch_size,
+                          uint32_t num_inputs, int64_t total_neurons) {
+  DE_CHECK_GT(batch_size, 0);
+  DE_CHECK_GT(num_inputs, 0u);
+  DE_CHECK_GT(total_neurons, 0);
+
+  // Partition sizes should not drop below the optimal batch size, or GPU
+  // parallelism goes unused (§4.7.2).
+  const uint32_t max_by_batch = std::max<uint32_t>(
+      2, num_inputs / static_cast<uint32_t>(batch_size));
+
+  int num_partitions = 2;
+  for (uint64_t candidate = 2;
+       candidate * 2 <= max_by_batch &&
+       NpiCostBytes(total_neurons, num_inputs,
+                    static_cast<int>(candidate * 2)) < budget_bytes;
+       candidate *= 2) {
+    num_partitions = static_cast<int>(candidate * 2);
+  }
+
+  SystemConfig config;
+  config.num_partitions = num_partitions;
+  const uint64_t npi_cost =
+      NpiCostBytes(total_neurons, num_inputs, num_partitions);
+  if (budget_bytes > npi_cost) {
+    const uint64_t remaining = budget_bytes - npi_cost;
+    const double per_unit_cost =
+        static_cast<double>(total_neurons) * num_inputs * 8.0;
+    config.mai_ratio =
+        std::min(1.0, static_cast<double>(remaining) / per_unit_cost);
+    // Round down to a whole number of MAI entries so the accounted cost is
+    // what actually gets stored.
+    const uint32_t count = static_cast<uint32_t>(
+        config.mai_ratio * static_cast<double>(num_inputs));
+    config.mai_ratio =
+        static_cast<double>(count) / static_cast<double>(num_inputs);
+  }
+  return config;
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,46 @@
+#ifndef DEEPEVEREST_CORE_CONFIG_H_
+#define DEEPEVEREST_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "core/npi.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief The two knobs the configuration selector sets (paper §4.7.2).
+struct SystemConfig {
+  int num_partitions = 16;
+  double mai_ratio = 0.0;
+
+  LayerIndexConfig ToLayerConfig() const {
+    return LayerIndexConfig{num_partitions, mai_ratio};
+  }
+};
+
+/// Bytes consumed by NPI PIDs for the whole model under `num_partitions`
+/// (paper formula: nNeurons * nInputs * log2(nPartitions) / 8).
+uint64_t NpiCostBytes(int64_t total_neurons, uint32_t num_inputs,
+                      int num_partitions);
+
+/// Bytes consumed by MAI under `ratio` (paper formula:
+/// ratio * nInputs * nNeurons * 4 * 2 — a float activation plus a uint32
+/// inputID per pair).
+uint64_t MaiCostBytes(int64_t total_neurons, uint32_t num_inputs,
+                      double ratio);
+
+/// \brief The heuristic configuration selector of §4.7.2.
+///
+/// Picks `nPartitions` as the largest power of two that (a) keeps partition
+/// size at or above the throughput-optimal batch size
+/// (nPartitions <= nInputs / batchSize) and (b) fits the storage budget;
+/// then spends whatever budget remains on the MAI ratio. When even
+/// nPartitions = 2 exceeds the budget, 2 is returned anyway (one bit per
+/// PID is the floor of the design) and ratio is 0.
+SystemConfig SelectConfig(uint64_t budget_bytes, int batch_size,
+                          uint32_t num_inputs, int64_t total_neurons);
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_CONFIG_H_

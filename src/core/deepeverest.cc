@@ -1,0 +1,249 @@
+#include "core/deepeverest.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace deepeverest {
+namespace core {
+
+DeepEverest::DeepEverest(const nn::Model* model, const data::Dataset* dataset,
+                         storage::FileStore* store,
+                         const DeepEverestOptions& options,
+                         const SystemConfig& config)
+    : model_(model),
+      options_(options),
+      config_(config),
+      inference_(model, dataset, options.batch_size),
+      index_manager_(&inference_, store,
+                     IndexManagerOptions{config.ToLayerConfig(),
+                                         options.persist_indexes,
+                                         options.force_sync}) {
+  if (options_.enable_iqa) {
+    iqa_cache_ = std::make_unique<IqaCache>(options_.iqa_capacity_bytes);
+  }
+}
+
+Result<std::unique_ptr<DeepEverest>> DeepEverest::Create(
+    const nn::Model* model, const data::Dataset* dataset,
+    storage::FileStore* store, const DeepEverestOptions& options) {
+  if (model == nullptr || dataset == nullptr || store == nullptr) {
+    return Status::InvalidArgument("model, dataset, and store are required");
+  }
+  if (!model->finalized()) {
+    return Status::FailedPrecondition("model must be finalized");
+  }
+  if (dataset->size() == 0) {
+    return Status::InvalidArgument("dataset is empty");
+  }
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+
+  int64_t total_neurons = 0;
+  for (int layer = 0; layer < model->num_layers(); ++layer) {
+    total_neurons += model->NeuronCount(layer);
+  }
+  const uint64_t full_bytes =
+      static_cast<uint64_t>(total_neurons) * dataset->size() * 4;
+  uint64_t budget = options.storage_budget_bytes;
+  if (budget == 0) {
+    if (options.storage_budget_fraction <= 0.0 ||
+        options.storage_budget_fraction > 1.0) {
+      return Status::InvalidArgument(
+          "storage_budget_fraction must be in (0, 1]");
+    }
+    budget = static_cast<uint64_t>(options.storage_budget_fraction *
+                                   static_cast<double>(full_bytes));
+  }
+
+  SystemConfig config = SelectConfig(budget, options.batch_size,
+                                     dataset->size(), total_neurons);
+  if (options.num_partitions_override > 0) {
+    config.num_partitions = options.num_partitions_override;
+  }
+  if (options.mai_ratio_override >= 0.0) {
+    if (options.mai_ratio_override > 1.0) {
+      return Status::InvalidArgument("mai_ratio_override must be <= 1");
+    }
+    config.mai_ratio = options.mai_ratio_override;
+  }
+
+  return std::unique_ptr<DeepEverest>(
+      new DeepEverest(model, dataset, store, options, config));
+}
+
+uint64_t DeepEverest::AnalyticIndexBytes() const {
+  int64_t total_neurons = 0;
+  for (int layer = 0; layer < model_->num_layers(); ++layer) {
+    total_neurons += model_->NeuronCount(layer);
+  }
+  const uint32_t num_inputs = inference_.dataset().size();
+  return NpiCostBytes(total_neurons, num_inputs, config_.num_partitions) +
+         MaiCostBytes(total_neurons, num_inputs, config_.mai_ratio);
+}
+
+uint64_t DeepEverest::FullMaterializationBytes() const {
+  int64_t total_neurons = 0;
+  for (int layer = 0; layer < model_->num_layers(); ++layer) {
+    total_neurons += model_->NeuronCount(layer);
+  }
+  return static_cast<uint64_t>(total_neurons) * inference_.dataset().size() *
+         4;
+}
+
+template <typename NtaFn, typename ScanFn>
+Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
+                                        ScanFn&& scan_fn) {
+  Stopwatch watch;
+  const nn::InferenceStats before = inference_.stats();
+
+  storage::LayerActivationMatrix fresh;
+  DE_ASSIGN_OR_RETURN(const LayerIndex* index,
+                      index_manager_.EnsureIndex(layer, &fresh, nullptr));
+
+  Result<TopKResult> result = [&]() -> Result<TopKResult> {
+    if (fresh.num_inputs > 0) {
+      // Incremental indexing (§4.6): the index was just built, which
+      // computed every input's activations anyway — answer the triggering
+      // query from them directly.
+      return scan_fn(fresh);
+    }
+    NtaEngine nta(&inference_, index);
+    return nta_fn(&nta);
+  }();
+  if (!result.ok()) return result;
+
+  // Report end-to-end stats including any index-build inference.
+  const nn::InferenceStats delta = inference_.stats() - before;
+  result.value().stats.inputs_run = delta.inputs_run;
+  result.value().stats.batches_run = delta.batches_run;
+  result.value().stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.value().stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+Result<TopKResult> DeepEverest::TopKHighest(const NeuronGroup& group, int k,
+                                            DistancePtr dist) {
+  NtaOptions options;
+  options.k = k;
+  options.dist = std::move(dist);
+  return TopKHighestWithOptions(group, std::move(options));
+}
+
+Result<TopKResult> DeepEverest::TopKHighestWithOptions(
+    const NeuronGroup& group, NtaOptions options) {
+  options.use_mai = options.use_mai && options_.enable_mai;
+  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
+  const DistancePtr dist =
+      options.dist != nullptr ? options.dist : L2Distance();
+  return Execute(
+      group.layer,
+      [&](NtaEngine* nta) { return nta->Highest(group, options); },
+      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
+        return ScanHighest(acts, group.neurons, options.k, dist);
+      });
+}
+
+Result<TopKResult> DeepEverest::TopKMostSimilar(uint32_t target_id,
+                                                const NeuronGroup& group,
+                                                int k, DistancePtr dist) {
+  NtaOptions options;
+  options.k = k;
+  options.dist = std::move(dist);
+  return TopKMostSimilarWithOptions(target_id, group, std::move(options));
+}
+
+Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
+    uint32_t target_id, const NeuronGroup& group, NtaOptions options) {
+  if (target_id >= inference_.dataset().size()) {
+    return Status::OutOfRange("target input out of range");
+  }
+  options.use_mai = options.use_mai && options_.enable_mai;
+  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
+  const DistancePtr dist =
+      options.dist != nullptr ? options.dist : L2Distance();
+  return Execute(
+      group.layer,
+      [&](NtaEngine* nta) {
+        return nta->MostSimilarTo(group, target_id, options);
+      },
+      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
+        std::vector<float> target_acts(group.neurons.size());
+        for (size_t i = 0; i < group.neurons.size(); ++i) {
+          target_acts[i] =
+              acts.At(target_id, static_cast<uint64_t>(group.neurons[i]));
+        }
+        return ScanMostSimilar(acts, group.neurons, target_acts, options.k,
+                               dist, /*exclude_target=*/true, target_id);
+      });
+}
+
+Result<TopKResult> DeepEverest::TopKMostSimilarToActivations(
+    const std::vector<float>& target_acts, const NeuronGroup& group,
+    NtaOptions options) {
+  if (target_acts.size() != group.neurons.size()) {
+    return Status::InvalidArgument("target activation count mismatch");
+  }
+  options.use_mai = options.use_mai && options_.enable_mai;
+  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
+  const DistancePtr dist =
+      options.dist != nullptr ? options.dist : L2Distance();
+  return Execute(
+      group.layer,
+      [&](NtaEngine* nta) {
+        return nta->MostSimilar(group, target_acts, options);
+      },
+      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
+        return ScanMostSimilar(acts, group.neurons, target_acts, options.k,
+                               dist, /*exclude_target=*/false, 0);
+      });
+}
+
+Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
+    uint32_t target_id, int layer, int m) {
+  if (target_id >= inference_.dataset().size()) {
+    return Status::OutOfRange("target input out of range");
+  }
+  if (layer < 0 || layer >= model_->num_layers()) {
+    return Status::OutOfRange("layer out of range");
+  }
+  if (m < 1) return Status::InvalidArgument("m must be >= 1");
+  const int64_t neurons = model_->NeuronCount(layer);
+  if (m > neurons) m = static_cast<int>(neurons);
+
+  // Serve from the IQA cache when a prior query already computed this row.
+  std::vector<float> row;
+  const std::vector<float>* cached =
+      iqa_cache_ != nullptr ? iqa_cache_->Lookup(layer, target_id) : nullptr;
+  if (cached != nullptr) {
+    row = *cached;
+  } else {
+    std::vector<std::vector<float>> rows;
+    DE_RETURN_NOT_OK(inference_.ComputeLayer({target_id}, layer, &rows));
+    row = std::move(rows[0]);
+    if (iqa_cache_ != nullptr) {
+      iqa_cache_->Insert(layer, target_id, row);
+    }
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(neurons));
+  std::iota(order.begin(), order.end(), int64_t{0});
+  std::partial_sort(order.begin(), order.begin() + m, order.end(),
+                    [&](int64_t a, int64_t b) {
+                      const float va = row[static_cast<size_t>(a)];
+                      const float vb = row[static_cast<size_t>(b)];
+                      if (va != vb) return va > vb;
+                      return a < b;
+                    });
+  order.resize(static_cast<size_t>(m));
+  return order;
+}
+
+Status DeepEverest::PreprocessAllLayers(PreprocessTimings* timings) {
+  return index_manager_.PreprocessAllLayers(timings);
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,143 @@
+#ifndef DEEPEVEREST_CORE_DEEPEVEREST_H_
+#define DEEPEVEREST_CORE_DEEPEVEREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "core/config.h"
+#include "core/index_manager.h"
+#include "core/iqa_cache.h"
+#include "core/nta.h"
+#include "core/query.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief Top-level DeepEverest options.
+struct DeepEverestOptions {
+  /// Storage budget for all indexes. When 0, the budget is
+  /// `storage_budget_fraction` of full materialisation (the paper's default
+  /// experiments use 20%).
+  uint64_t storage_budget_bytes = 0;
+  double storage_budget_fraction = 0.2;
+
+  /// Throughput-optimal inference batch size for this model/hardware.
+  int batch_size = 64;
+
+  /// Manual overrides for the automatic configuration selection (§4.7.2);
+  /// used by the ablation experiments. Leave at the sentinels to let the
+  /// selector decide.
+  int num_partitions_override = 0;   // 0 = automatic
+  double mai_ratio_override = -1.0;  // < 0 = automatic
+
+  /// Use the MAI fast path during query execution (§4.7.1).
+  bool enable_mai = true;
+
+  /// Inter-Query Acceleration (§4.7.3): in-memory activation cache shared
+  /// across queries.
+  bool enable_iqa = false;
+  uint64_t iqa_capacity_bytes = 1ull << 30;  // paper uses a 1 GB budget
+
+  /// Persist indexes to the FileStore (incremental indexing, §4.6).
+  bool persist_indexes = true;
+  bool force_sync = false;
+};
+
+/// \brief The DeepEverest system: declarative top-k queries over DNN
+/// activations, accelerated by NPI + MAI + NTA with incremental indexing.
+///
+/// Typical use:
+/// \code
+///   auto store = storage::FileStore::Open(dir).value();
+///   auto de = DeepEverest::Create(model.get(), &dataset, &store, {});
+///   NeuronGroup g{.layer = 7, .neurons = {12, 55, 203}};
+///   auto top = (*de)->TopKMostSimilar(/*target_id=*/42, g, /*k=*/20);
+/// \endcode
+class DeepEverest {
+ public:
+  /// `model`, `dataset`, and `store` must outlive the returned object.
+  static Result<std::unique_ptr<DeepEverest>> Create(
+      const nn::Model* model, const data::Dataset* dataset,
+      storage::FileStore* store, const DeepEverestOptions& options);
+
+  /// Top-k highest query ("FireMax"): the k inputs with the largest
+  /// dist-aggregated activations for the group. `dist` nullptr = l2.
+  Result<TopKResult> TopKHighest(const NeuronGroup& group, int k,
+                                 DistancePtr dist = nullptr);
+
+  /// Top-k most-similar query ("SimTop"/"SimHigh"): the k inputs closest to
+  /// dataset input `target_id` in the group's activation space. The target
+  /// itself is excluded from the result.
+  Result<TopKResult> TopKMostSimilar(uint32_t target_id,
+                                     const NeuronGroup& group, int k,
+                                     DistancePtr dist = nullptr);
+
+  /// Full-control variants (θ-approximation, early stopping, custom dist).
+  Result<TopKResult> TopKHighestWithOptions(const NeuronGroup& group,
+                                            NtaOptions options);
+  Result<TopKResult> TopKMostSimilarWithOptions(uint32_t target_id,
+                                                const NeuronGroup& group,
+                                                NtaOptions options);
+  /// Most-similar against an arbitrary activation vector (out-of-dataset
+  /// probe), one value per neuron in `group`.
+  Result<TopKResult> TopKMostSimilarToActivations(
+      const std::vector<float>& target_acts, const NeuronGroup& group,
+      NtaOptions options);
+
+  /// The `m` maximally activated neurons of `layer` for `target_id`
+  /// (descending activation) — the standard way interpretation sessions
+  /// choose their neuron groups (§4.7.1). Costs one inference pass.
+  Result<std::vector<int64_t>> MaximallyActivatedNeurons(uint32_t target_id,
+                                                         int layer, int m);
+
+  /// Eagerly indexes every layer (paper Figure 10's extreme case). Without
+  /// this call, indexes build incrementally as layers are queried.
+  Status PreprocessAllLayers(PreprocessTimings* timings = nullptr);
+
+  const SystemConfig& config() const { return config_; }
+  const DeepEverestOptions& options() const { return options_; }
+  nn::InferenceEngine* inference() { return &inference_; }
+  IndexManager* index_manager() { return &index_manager_; }
+  IqaCache* iqa_cache() { return iqa_cache_.get(); }
+
+  /// Bytes of full float32 materialisation of every layer (the storage
+  /// baseline all budgets are fractions of).
+  uint64_t FullMaterializationBytes() const;
+
+  /// Bytes of index data currently persisted.
+  Result<uint64_t> PersistedIndexBytes() const {
+    return index_manager_.PersistedBytes();
+  }
+
+  /// Index cost for all layers under the paper's §4.7.2 accounting formulas
+  /// (PID bits + MAI pairs; per-partition bounds excluded as negligible at
+  /// the paper's scale). This is what the configuration selector budgets.
+  uint64_t AnalyticIndexBytes() const;
+
+ private:
+  DeepEverest(const nn::Model* model, const data::Dataset* dataset,
+              storage::FileStore* store, const DeepEverestOptions& options,
+              const SystemConfig& config);
+
+  /// Runs `query` with incremental indexing: if the layer is not indexed
+  /// yet, answers from the freshly computed activations and builds the
+  /// index as a side effect (§4.6).
+  template <typename NtaFn, typename ScanFn>
+  Result<TopKResult> Execute(int layer, NtaFn&& nta_fn, ScanFn&& scan_fn);
+
+  const nn::Model* model_;
+  DeepEverestOptions options_;
+  SystemConfig config_;
+  nn::InferenceEngine inference_;
+  IndexManager index_manager_;
+  std::unique_ptr<IqaCache> iqa_cache_;
+};
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_DEEPEVEREST_H_

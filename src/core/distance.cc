@@ -1,0 +1,122 @@
+#include "core/distance.h"
+
+#include "core/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace deepeverest {
+namespace core {
+
+namespace {
+
+class L1 : public DistanceFunction {
+ public:
+  double Aggregate(const double* values, size_t n) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += values[i];
+    return sum;
+  }
+  std::string name() const override { return "l1"; }
+};
+
+class L2 : public DistanceFunction {
+ public:
+  double Aggregate(const double* values, size_t n) const override {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) sum += values[i] * values[i];
+    return std::sqrt(sum);
+  }
+  std::string name() const override { return "l2"; }
+};
+
+class LInf : public DistanceFunction {
+ public:
+  double Aggregate(const double* values, size_t n) const override {
+    double best = 0.0;
+    for (size_t i = 0; i < n; ++i) best = std::max(best, values[i]);
+    return best;
+  }
+  std::string name() const override { return "linf"; }
+};
+
+class WeightedL2 : public DistanceFunction {
+ public:
+  explicit WeightedL2(std::vector<double> weights)
+      : weights_(std::move(weights)) {}
+
+  double Aggregate(const double* values, size_t n) const override {
+    DE_CHECK_EQ(n, weights_.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += weights_[i] * values[i] * values[i];
+    }
+    return std::sqrt(sum);
+  }
+  std::string name() const override { return "weighted-l2"; }
+
+ private:
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+Result<DistancePtr> MakeDistance(DistanceKind kind,
+                                 std::vector<double> weights) {
+  switch (kind) {
+    case DistanceKind::kL1:
+      return DistancePtr(std::make_shared<L1>());
+    case DistanceKind::kL2:
+      return DistancePtr(std::make_shared<L2>());
+    case DistanceKind::kLInf:
+      return DistancePtr(std::make_shared<LInf>());
+    case DistanceKind::kWeightedL2: {
+      if (weights.empty()) {
+        return Status::InvalidArgument("weighted-l2 requires weights");
+      }
+      for (double w : weights) {
+        if (w < 0.0) {
+          return Status::InvalidArgument(
+              "weighted-l2 weights must be non-negative (monotonicity)");
+        }
+      }
+      return DistancePtr(std::make_shared<WeightedL2>(std::move(weights)));
+    }
+  }
+  return Status::InvalidArgument("unknown distance kind");
+}
+
+DistancePtr L2Distance() {
+  static const std::shared_ptr<const L2>& instance =
+      *new std::shared_ptr<const L2>(std::make_shared<L2>());
+  return instance;
+}
+
+const char* DistanceKindToString(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kL1:
+      return "l1";
+    case DistanceKind::kL2:
+      return "l2";
+    case DistanceKind::kLInf:
+      return "linf";
+    case DistanceKind::kWeightedL2:
+      return "weighted-l2";
+  }
+  return "?";
+}
+
+std::string NeuronGroup::ToString() const {
+  std::ostringstream out;
+  out << "layer " << layer << " {";
+  for (size_t i = 0; i < neurons.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << neurons[i];
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace deepeverest

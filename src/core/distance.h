@@ -1,0 +1,58 @@
+#ifndef DEEPEVEREST_CORE_DISTANCE_H_
+#define DEEPEVEREST_CORE_DISTANCE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief Built-in monotonic distance aggregators.
+enum class DistanceKind {
+  kL1,
+  kL2,        // default in DeepEverest
+  kLInf,
+  kWeightedL2,
+};
+
+/// \brief Monotonic aggregation function `dist` from the paper (section 2).
+///
+/// For most-similar queries, Aggregate() is applied to the per-neuron
+/// absolute differences |act(i,x) - act(i,s)|; for highest queries it is
+/// applied to the activations themselves ("measures their magnitude"). NTA's
+/// correctness requires monotonicity: increasing any coordinate must not
+/// decrease the result. All built-ins satisfy it; custom subclasses must too.
+class DistanceFunction {
+ public:
+  virtual ~DistanceFunction() = default;
+
+  /// Aggregates `values[0..n)`; all values must be non-negative.
+  virtual double Aggregate(const double* values, size_t n) const = 0;
+
+  double Aggregate(const std::vector<double>& values) const {
+    return Aggregate(values.data(), values.size());
+  }
+
+  virtual std::string name() const = 0;
+};
+
+using DistancePtr = std::shared_ptr<const DistanceFunction>;
+
+/// Creates one of the built-in distances. For kWeightedL2, `weights` must
+/// have one non-negative entry per neuron in the query's group; other kinds
+/// ignore it.
+Result<DistancePtr> MakeDistance(DistanceKind kind,
+                                 std::vector<double> weights = {});
+
+/// The paper's default: l2.
+DistancePtr L2Distance();
+
+const char* DistanceKindToString(DistanceKind kind);
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_DISTANCE_H_

@@ -1,0 +1,118 @@
+#include "core/index_manager.h"
+
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace deepeverest {
+namespace core {
+
+std::string IndexManager::KeyFor(const std::string& model_name, int layer) {
+  return "index/" + model_name + "/layer_" + std::to_string(layer) + ".npi";
+}
+
+bool IndexManager::IsIndexed(int layer) const {
+  if (loaded_.count(layer) != 0) return true;
+  return options_.persist &&
+         store_->Exists(KeyFor(inference_->model().name(), layer));
+}
+
+Result<const LayerIndex*> IndexManager::EnsureIndex(
+    int layer, storage::LayerActivationMatrix* fresh_acts,
+    PreprocessTimings* timings) {
+  if (layer < 0 || layer >= inference_->model().num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(layer) +
+                              " out of range");
+  }
+  auto it = loaded_.find(layer);
+  if (it != loaded_.end()) return &it->second;
+
+  // Try disk.
+  const std::string key = KeyFor(inference_->model().name(), layer);
+  if (options_.persist && store_->Exists(key)) {
+    DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Read(key));
+    BinaryReader reader(bytes);
+    DE_ASSIGN_OR_RETURN(LayerIndex index, LayerIndex::Deserialize(&reader));
+    auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
+    DE_CHECK(inserted);
+    return &pos->second;
+  }
+
+  return BuildIndex(layer, fresh_acts, timings);
+}
+
+Result<const LayerIndex*> IndexManager::BuildIndex(
+    int layer, storage::LayerActivationMatrix* fresh_acts,
+    PreprocessTimings* timings) {
+  const uint32_t num_inputs = inference_->dataset().size();
+  const uint64_t num_neurons =
+      static_cast<uint64_t>(inference_->model().NeuronCount(layer));
+
+  // 1. DNN inference over the entire dataset for this layer (§4.6 notes
+  // inference restarts from the first layer every time, because only queried
+  // layers are persisted — ComputeLayer does exactly that).
+  Stopwatch watch;
+  std::vector<uint32_t> ids(num_inputs);
+  std::iota(ids.begin(), ids.end(), 0u);
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(inference_->ComputeLayer(ids, layer, &rows));
+  storage::LayerActivationMatrix acts =
+      storage::LayerActivationMatrix::Make(num_inputs, num_neurons);
+  for (uint32_t id = 0; id < num_inputs; ++id) {
+    std::copy(rows[id].begin(), rows[id].end(), acts.MutableRow(id));
+  }
+  const double inference_seconds = watch.ElapsedSeconds();
+
+  // 2. Sort & partition: build NPI + MAI.
+  watch.Reset();
+  DE_ASSIGN_OR_RETURN(LayerIndex index,
+                      LayerIndex::Build(acts, options_.layer_config));
+  const double index_seconds = watch.ElapsedSeconds();
+
+  // 3. Persist.
+  watch.Reset();
+  if (options_.persist) {
+    BinaryWriter writer;
+    index.Serialize(&writer);
+    DE_RETURN_NOT_OK(
+        store_->Write(KeyFor(inference_->model().name(), layer),
+                      writer.buffer(), options_.force_sync));
+  }
+  const double persist_seconds = watch.ElapsedSeconds();
+
+  if (timings != nullptr) {
+    timings->inference_seconds += inference_seconds;
+    timings->index_seconds += index_seconds;
+    timings->persist_seconds += persist_seconds;
+  }
+  if (fresh_acts != nullptr) *fresh_acts = std::move(acts);
+
+  auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
+  DE_CHECK(inserted);
+  return &pos->second;
+}
+
+Status IndexManager::PreprocessAllLayers(PreprocessTimings* timings) {
+  for (int layer = 0; layer < inference_->model().num_layers(); ++layer) {
+    if (loaded_.count(layer) != 0) continue;
+    auto result = EnsureIndex(layer, nullptr, timings);
+    DE_RETURN_NOT_OK(result.status());
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> IndexManager::PersistedBytes() const {
+  if (!options_.persist) return uint64_t{0};
+  uint64_t total = 0;
+  DE_ASSIGN_OR_RETURN(std::vector<std::string> keys, store_->ListKeys());
+  for (const std::string& key : keys) {
+    if (key.rfind("index/", 0) == 0) {
+      DE_ASSIGN_OR_RETURN(uint64_t size, store_->SizeOf(key));
+      total += size;
+    }
+  }
+  return total;
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,98 @@
+#ifndef DEEPEVEREST_CORE_INDEX_MANAGER_H_
+#define DEEPEVEREST_CORE_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "core/npi.h"
+#include "nn/inference.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief Wall-clock breakdown of building one layer's index, matching the
+/// paper's Figure 10 components.
+struct PreprocessTimings {
+  double inference_seconds = 0.0;  // DNN inference over the dataset
+  double index_seconds = 0.0;      // sort & partition, MAI extraction
+  double persist_seconds = 0.0;    // serialisation + write (+fsync)
+
+  PreprocessTimings& operator+=(const PreprocessTimings& other) {
+    inference_seconds += other.inference_seconds;
+    index_seconds += other.index_seconds;
+    persist_seconds += other.persist_seconds;
+    return *this;
+  }
+};
+
+struct IndexManagerOptions {
+  LayerIndexConfig layer_config;
+  /// Persist freshly built indexes to the FileStore (incremental indexing
+  /// keeps them across sessions). Off keeps everything in memory.
+  bool persist = true;
+  /// fsync on persist (the paper force-writes when timing preprocessing).
+  bool force_sync = false;
+};
+
+/// \brief Builds, persists, loads, and caches per-layer indexes — the
+/// incremental indexing strategy of paper §4.6.
+///
+/// No preprocessing happens up front: the first query against a layer pays
+/// for one full-dataset inference pass over that layer, builds NPI+MAI from
+/// the computed activations, and persists them. Later queries (and later
+/// sessions pointing at the same FileStore) reuse the index.
+class IndexManager {
+ public:
+  /// Does not take ownership; all pointers must outlive the manager.
+  IndexManager(nn::InferenceEngine* inference, storage::FileStore* store,
+               IndexManagerOptions options)
+      : inference_(inference), store_(store), options_(std::move(options)) {}
+
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  /// Returns the index for `layer`, building it incrementally if missing.
+  /// When the index had to be built, the full activation matrix computed in
+  /// the process is moved into `*fresh_acts` (if non-null) so the caller
+  /// can answer the triggering query from it directly — exactly the §4.6
+  /// flow. `timings`, if non-null, receives the build-cost breakdown (zeros
+  /// when the index was already available).
+  Result<const LayerIndex*> EnsureIndex(
+      int layer, storage::LayerActivationMatrix* fresh_acts = nullptr,
+      PreprocessTimings* timings = nullptr);
+
+  /// Whether the layer's index exists in memory or on disk.
+  bool IsIndexed(int layer) const;
+
+  /// True only if the index is already loaded in memory.
+  bool IsLoaded(int layer) const { return loaded_.count(layer) != 0; }
+
+  /// Builds indexes for every model layer front to back (the paper's
+  /// extreme preprocessing experiment, Figure 10). Accumulates timings.
+  Status PreprocessAllLayers(PreprocessTimings* timings = nullptr);
+
+  /// Bytes of index data persisted so far (0 if persistence is off).
+  Result<uint64_t> PersistedBytes() const;
+
+  static std::string KeyFor(const std::string& model_name, int layer);
+
+  const IndexManagerOptions& options() const { return options_; }
+
+ private:
+  Result<const LayerIndex*> BuildIndex(
+      int layer, storage::LayerActivationMatrix* fresh_acts,
+      PreprocessTimings* timings);
+
+  nn::InferenceEngine* inference_;
+  storage::FileStore* store_;
+  IndexManagerOptions options_;
+  std::map<int, LayerIndex> loaded_;
+};
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_INDEX_MANAGER_H_

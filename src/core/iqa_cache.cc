@@ -1,0 +1,66 @@
+#include "core/iqa_cache.h"
+
+namespace deepeverest {
+namespace core {
+
+const std::vector<float>* IqaCache::Lookup(int layer, uint32_t input_id) {
+  const uint64_t key = KeyOf(layer, input_id);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Touch(key, &it->second);
+  return &it->second.row;
+}
+
+void IqaCache::Touch(uint64_t key, Entry* entry) {
+  by_recency_.erase(entry->last_use);
+  entry->last_use = ++clock_;
+  by_recency_[entry->last_use] = key;
+}
+
+void IqaCache::Insert(int layer, uint32_t input_id, std::vector<float> row) {
+  const uint64_t bytes = BytesOf(row);
+  if (bytes > capacity_bytes_) return;  // can never fit
+  const uint64_t key = KeyOf(layer, input_id);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Refresh in place.
+    size_bytes_ -= BytesOf(it->second.row);
+    it->second.row = std::move(row);
+    size_bytes_ += BytesOf(it->second.row);
+    Touch(key, &it->second);
+    return;
+  }
+
+  // Evict most-recently-used entries until the new row fits.
+  while (size_bytes_ + bytes > capacity_bytes_ && !by_recency_.empty()) {
+    auto mru = std::prev(by_recency_.end());
+    const uint64_t victim_key = mru->second;
+    auto victim = entries_.find(victim_key);
+    DE_CHECK(victim != entries_.end());
+    size_bytes_ -= BytesOf(victim->second.row);
+    entries_.erase(victim);
+    by_recency_.erase(mru);
+    ++stats_.evictions;
+  }
+
+  Entry entry;
+  entry.row = std::move(row);
+  entry.last_use = ++clock_;
+  by_recency_[entry.last_use] = key;
+  size_bytes_ += BytesOf(entry.row);
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+}
+
+void IqaCache::Clear() {
+  entries_.clear();
+  by_recency_.clear();
+  size_bytes_ = 0;
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,83 @@
+#ifndef DEEPEVEREST_CORE_IQA_CACHE_H_
+#define DEEPEVEREST_CORE_IQA_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief In-memory activation cache for Inter-Query Acceleration (§4.7.3).
+///
+/// Caches *whole-layer* activation rows — the activations of every neuron in
+/// a layer for one input — so a later query against a different neuron group
+/// in the same layer can be served without re-running inference.
+///
+/// Eviction is **most recently used** (MRU): NTA processes partitions from
+/// most- to least-similar, so rows inserted early in a query belong to the
+/// most informative inputs; under pressure the cache sheds the latest rows
+/// and keeps the early ones.
+class IqaCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+  };
+
+  explicit IqaCache(uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  IqaCache(const IqaCache&) = delete;
+  IqaCache& operator=(const IqaCache&) = delete;
+
+  /// Looks up (layer, input). On hit, returns a pointer valid until the next
+  /// Insert(), marks the entry used, and counts a hit; nullptr on miss.
+  const std::vector<float>* Lookup(int layer, uint32_t input_id);
+
+  /// Inserts a full-layer row, evicting MRU entries if needed. Rows larger
+  /// than the whole capacity are not cached.
+  void Insert(int layer, uint32_t input_id, std::vector<float> row);
+
+  /// Drops every entry (e.g. when the dataset or model changes).
+  void Clear();
+
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t size_bytes() const { return size_bytes_; }
+  size_t entry_count() const { return entries_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::vector<float> row;
+    uint64_t last_use = 0;
+  };
+
+  static uint64_t KeyOf(int layer, uint32_t input_id) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(layer)) << 32) |
+           input_id;
+  }
+  static uint64_t BytesOf(const std::vector<float>& row) {
+    return row.size() * sizeof(float) + 64;  // payload + bookkeeping estimate
+  }
+
+  void Touch(uint64_t key, Entry* entry);
+
+  uint64_t capacity_bytes_;
+  uint64_t size_bytes_ = 0;
+  uint64_t clock_ = 0;
+  std::unordered_map<uint64_t, Entry> entries_;
+  // last_use -> key, for O(log n) MRU eviction (largest last_use first).
+  std::map<uint64_t, uint64_t> by_recency_;
+  Stats stats_;
+};
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_IQA_CACHE_H_

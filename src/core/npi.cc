@@ -1,0 +1,304 @@
+#include "core/npi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace deepeverest {
+namespace core {
+
+namespace {
+constexpr uint32_t kMagic = 0xDEE71DE8;
+constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+Result<LayerIndex> LayerIndex::Build(
+    const storage::LayerActivationMatrix& acts,
+    const LayerIndexConfig& config) {
+  if (acts.num_inputs == 0 || acts.num_neurons == 0) {
+    return Status::InvalidArgument("empty activation matrix");
+  }
+  if (config.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  if (config.mai_ratio < 0.0 || config.mai_ratio > 1.0) {
+    return Status::InvalidArgument("mai_ratio must be in [0, 1]");
+  }
+  if (config.scheme == PartitionScheme::kEquiWidth &&
+      config.mai_ratio > 0.0) {
+    return Status::InvalidArgument(
+        "MAI (a fixed input fraction) requires equi-depth partitioning");
+  }
+  if (config.scheme == PartitionScheme::kEquiWidth) {
+    return BuildEquiWidth(acts, config);
+  }
+
+  LayerIndex index;
+  index.num_inputs_ = acts.num_inputs;
+  index.num_neurons_ = static_cast<int64_t>(acts.num_neurons);
+  index.mai_count_ = static_cast<uint32_t>(
+      config.mai_ratio * static_cast<double>(acts.num_inputs));
+  if (index.mai_count_ > acts.num_inputs) index.mai_count_ = acts.num_inputs;
+
+  // Clamp num_partitions so no equi-depth partition is empty: with MAI,
+  // partition 0 is the MAI fraction and the rest split the remaining
+  // inputs; without MAI all partitions split all inputs.
+  const uint32_t rest =
+      acts.num_inputs - index.mai_count_;  // inputs outside MAI
+  int num_partitions = config.num_partitions;
+  if (index.mai_count_ > 0) {
+    const int max_parts = 1 + static_cast<int>(rest);  // MAI + one per input
+    num_partitions = std::min(num_partitions, max_parts);
+  } else {
+    num_partitions = std::min(
+        num_partitions, static_cast<int>(acts.num_inputs));
+  }
+  index.num_partitions_ = num_partitions;
+
+  // Per-partition sizes (identical for every neuron because partitioning is
+  // by rank): partition 0 takes the MAI entries when MAI is enabled; the
+  // remaining inputs are split as evenly as possible over the rest.
+  std::vector<uint32_t> sizes(static_cast<size_t>(num_partitions), 0);
+  {
+    uint32_t first = 0;
+    int equi_parts = num_partitions;
+    if (index.mai_count_ > 0) {
+      sizes[0] = index.mai_count_;
+      first = 1;
+      equi_parts = num_partitions - 1;
+    }
+    if (equi_parts > 0) {
+      const uint32_t base = rest / static_cast<uint32_t>(equi_parts);
+      const uint32_t extra = rest % static_cast<uint32_t>(equi_parts);
+      for (int p = 0; p < equi_parts; ++p) {
+        sizes[first + static_cast<size_t>(p)] =
+            base + (static_cast<uint32_t>(p) < extra ? 1 : 0);
+      }
+    } else if (index.mai_count_ > 0 && rest > 0) {
+      return Status::Internal("partition sizing overflow");
+    }
+  }
+
+  const size_t total_slots =
+      static_cast<size_t>(index.num_neurons_) * index.num_inputs_;
+  index.pids_ = PackedIntArray(
+      total_slots, PackedIntArray::BitsFor(
+                       static_cast<uint64_t>(num_partitions)));
+  index.lower_.assign(
+      static_cast<size_t>(index.num_neurons_) * num_partitions, kInf);
+  index.upper_.assign(
+      static_cast<size_t>(index.num_neurons_) * num_partitions, -kInf);
+  index.mai_.resize(static_cast<size_t>(index.num_neurons_) *
+                    index.mai_count_);
+
+  // Reused scratch: inputIDs sorted by activation descending (ties by id so
+  // builds are deterministic).
+  std::vector<uint32_t> order(acts.num_inputs);
+  for (int64_t neuron = 0; neuron < index.num_neurons_; ++neuron) {
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const float va = acts.At(a, static_cast<uint64_t>(neuron));
+      const float vb = acts.At(b, static_cast<uint64_t>(neuron));
+      if (va != vb) return va > vb;
+      return a < b;
+    });
+
+    size_t rank = 0;
+    for (int pid = 0; pid < num_partitions; ++pid) {
+      const size_t bound_idx = index.BoundIndex(neuron, static_cast<uint32_t>(pid));
+      for (uint32_t j = 0; j < sizes[static_cast<size_t>(pid)]; ++j, ++rank) {
+        const uint32_t input_id = order[rank];
+        const float act = acts.At(input_id, static_cast<uint64_t>(neuron));
+        index.pids_.Set(
+            static_cast<size_t>(neuron) * index.num_inputs_ + input_id,
+            static_cast<uint64_t>(pid));
+        // Descending order: first member is the upper bound, last the lower.
+        if (j == 0) index.upper_[bound_idx] = act;
+        index.lower_[bound_idx] = act;
+        if (pid == 0 && index.mai_count_ > 0) {
+          index.mai_[static_cast<size_t>(neuron) * index.mai_count_ + j] =
+              MaiEntry{act, input_id};
+        }
+      }
+    }
+    DE_CHECK_EQ(rank, static_cast<size_t>(acts.num_inputs));
+  }
+  return index;
+}
+
+Result<LayerIndex> LayerIndex::BuildEquiWidth(
+    const storage::LayerActivationMatrix& acts,
+    const LayerIndexConfig& config) {
+  LayerIndex index;
+  index.num_inputs_ = acts.num_inputs;
+  index.num_neurons_ = static_cast<int64_t>(acts.num_neurons);
+  index.mai_count_ = 0;
+  const int num_partitions =
+      std::min(config.num_partitions, static_cast<int>(acts.num_inputs));
+  index.num_partitions_ = num_partitions;
+
+  const size_t total_slots =
+      static_cast<size_t>(index.num_neurons_) * index.num_inputs_;
+  index.pids_ = PackedIntArray(
+      total_slots,
+      PackedIntArray::BitsFor(static_cast<uint64_t>(num_partitions)));
+  index.lower_.assign(
+      static_cast<size_t>(index.num_neurons_) * num_partitions, kInf);
+  index.upper_.assign(
+      static_cast<size_t>(index.num_neurons_) * num_partitions, -kInf);
+
+  for (int64_t neuron = 0; neuron < index.num_neurons_; ++neuron) {
+    // Value range for this neuron; partition 0 covers the highest slice.
+    float lo = acts.At(0, static_cast<uint64_t>(neuron));
+    float hi = lo;
+    for (uint32_t id = 1; id < acts.num_inputs; ++id) {
+      const float v = acts.At(id, static_cast<uint64_t>(neuron));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    const float width = hi - lo;
+    for (uint32_t id = 0; id < acts.num_inputs; ++id) {
+      const float v = acts.At(id, static_cast<uint64_t>(neuron));
+      int pid = 0;
+      if (width > 0.0f) {
+        // Highest values -> partition 0.
+        pid = static_cast<int>((hi - v) / width *
+                               static_cast<float>(num_partitions));
+        pid = std::min(pid, num_partitions - 1);
+      }
+      index.pids_.Set(static_cast<size_t>(neuron) * index.num_inputs_ + id,
+                      static_cast<uint64_t>(pid));
+      const size_t bound_idx =
+          index.BoundIndex(neuron, static_cast<uint32_t>(pid));
+      index.lower_[bound_idx] = std::min(index.lower_[bound_idx], v);
+      index.upper_[bound_idx] = std::max(index.upper_[bound_idx], v);
+    }
+  }
+  return index;
+}
+
+void LayerIndex::GetInputIds(int64_t neuron, uint32_t pid,
+                             std::vector<uint32_t>* out) const {
+  const size_t base = static_cast<size_t>(neuron) * num_inputs_;
+  for (uint32_t id = 0; id < num_inputs_; ++id) {
+    if (pids_.Get(base + id) == pid) out->push_back(id);
+  }
+}
+
+uint32_t LayerIndex::PidForActivation(int64_t neuron, float activation) const {
+  // Partitions are ordered by activation descending: partition 0 covers the
+  // largest values. Find the partition whose range contains `activation`;
+  // if it falls in a gap between partitions, return the nearer side.
+  uint32_t best = 0;
+  float best_gap = kInf;
+  for (int pid = 0; pid < num_partitions_; ++pid) {
+    const float lo = LowerBound(neuron, static_cast<uint32_t>(pid));
+    const float hi = UpperBound(neuron, static_cast<uint32_t>(pid));
+    if (lo > hi) continue;  // empty partition
+    if (activation >= lo && activation <= hi) {
+      return static_cast<uint32_t>(pid);
+    }
+    const float gap =
+        activation > hi ? activation - hi : lo - activation;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = static_cast<uint32_t>(pid);
+    }
+  }
+  return best;
+}
+
+uint64_t LayerIndex::AnalyticStorageBytes(int64_t num_neurons,
+                                          uint32_t num_inputs,
+                                          int num_partitions,
+                                          uint32_t mai_count) {
+  const uint64_t pid_bits =
+      static_cast<uint64_t>(num_neurons) * num_inputs *
+      static_cast<uint64_t>(
+          PackedIntArray::BitsFor(static_cast<uint64_t>(num_partitions)));
+  const uint64_t bounds_bytes = static_cast<uint64_t>(num_neurons) *
+                                static_cast<uint64_t>(num_partitions) * 2 * 4;
+  // MAI: activation (4 bytes) + inputID (4 bytes) per pair (§4.7.2).
+  const uint64_t mai_bytes =
+      static_cast<uint64_t>(num_neurons) * mai_count * 8;
+  return (pid_bits + 7) / 8 + bounds_bytes + mai_bytes;
+}
+
+uint64_t LayerIndex::AnalyticStorageBytes() const {
+  return AnalyticStorageBytes(num_neurons_, num_inputs_, num_partitions_,
+                              mai_count_);
+}
+
+void LayerIndex::Serialize(BinaryWriter* writer) const {
+  writer->WriteU32(kMagic);
+  writer->WriteU32(num_inputs_);
+  writer->WriteI64(num_neurons_);
+  writer->WriteI32(num_partitions_);
+  writer->WriteU32(mai_count_);
+  writer->WriteF32Vector(lower_);
+  writer->WriteF32Vector(upper_);
+  writer->WriteU64Vector(pids_.words());
+  std::vector<float> mai_acts(mai_.size());
+  std::vector<uint32_t> mai_ids(mai_.size());
+  for (size_t i = 0; i < mai_.size(); ++i) {
+    mai_acts[i] = mai_[i].activation;
+    mai_ids[i] = mai_[i].input_id;
+  }
+  writer->WriteF32Vector(mai_acts);
+  writer->WriteU32Vector(mai_ids);
+}
+
+Result<LayerIndex> LayerIndex::Deserialize(BinaryReader* reader) {
+  uint32_t magic = 0;
+  DE_RETURN_NOT_OK(reader->ReadU32(&magic));
+  if (magic != kMagic) return Status::IOError("bad layer index magic");
+  LayerIndex index;
+  DE_RETURN_NOT_OK(reader->ReadU32(&index.num_inputs_));
+  DE_RETURN_NOT_OK(reader->ReadI64(&index.num_neurons_));
+  DE_RETURN_NOT_OK(reader->ReadI32(&index.num_partitions_));
+  DE_RETURN_NOT_OK(reader->ReadU32(&index.mai_count_));
+  if (index.num_inputs_ == 0 || index.num_neurons_ <= 0 ||
+      index.num_partitions_ <= 0) {
+    return Status::IOError("corrupt layer index geometry");
+  }
+  DE_RETURN_NOT_OK(reader->ReadF32Vector(&index.lower_));
+  DE_RETURN_NOT_OK(reader->ReadF32Vector(&index.upper_));
+  const size_t bound_slots = static_cast<size_t>(index.num_neurons_) *
+                             static_cast<size_t>(index.num_partitions_);
+  if (index.lower_.size() != bound_slots ||
+      index.upper_.size() != bound_slots) {
+    return Status::IOError("corrupt layer index bounds");
+  }
+  std::vector<uint64_t> words;
+  DE_RETURN_NOT_OK(reader->ReadU64Vector(&words));
+  const size_t total_slots =
+      static_cast<size_t>(index.num_neurons_) * index.num_inputs_;
+  const int bits = PackedIntArray::BitsFor(
+      static_cast<uint64_t>(index.num_partitions_));
+  const size_t expected_words =
+      (total_slots * static_cast<size_t>(bits) + 63) / 64;
+  if (words.size() != expected_words) {
+    return Status::IOError("corrupt layer index PID payload");
+  }
+  *index.pids_.mutable_words() = std::move(words);
+  index.pids_.RestoreGeometry(total_slots, bits);
+
+  std::vector<float> mai_acts;
+  std::vector<uint32_t> mai_ids;
+  DE_RETURN_NOT_OK(reader->ReadF32Vector(&mai_acts));
+  DE_RETURN_NOT_OK(reader->ReadU32Vector(&mai_ids));
+  const size_t mai_slots =
+      static_cast<size_t>(index.num_neurons_) * index.mai_count_;
+  if (mai_acts.size() != mai_slots || mai_ids.size() != mai_slots) {
+    return Status::IOError("corrupt layer index MAI payload");
+  }
+  index.mai_.resize(mai_slots);
+  for (size_t i = 0; i < mai_slots; ++i) {
+    index.mai_[i] = MaiEntry{mai_acts[i], mai_ids[i]};
+  }
+  return index;
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,696 @@
+#include "core/nta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stopwatch.h"
+
+namespace deepeverest {
+namespace core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Keeps the k best (input, value) pairs seen so far. For most-similar
+/// queries smaller values are better; for highest queries larger are better.
+class TopKSet {
+ public:
+  TopKSet(int k, bool smaller_is_better)
+      : k_(static_cast<size_t>(k)), smaller_is_better_(smaller_is_better) {}
+
+  void Offer(uint32_t id, double value) {
+    if (entries_.size() == k_ && !Better(value, entries_.back().value)) return;
+    // Insert keeping best-first order; ties keep earlier arrivals
+    // ("ties are broken arbitrarily" in the paper, but determinism helps
+    // tests).
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), value,
+        [this](double v, const ResultEntry& e) { return Better(v, e.value); });
+    entries_.insert(it, ResultEntry{id, value});
+    if (entries_.size() > k_) entries_.pop_back();
+  }
+
+  bool full() const { return entries_.size() == k_; }
+  size_t size() const { return entries_.size(); }
+
+  /// The k-th best value; worst-possible sentinel when not yet full.
+  double WorstValue() const {
+    if (!full()) return smaller_is_better_ ? kInf : -kInf;
+    return entries_.back().value;
+  }
+
+  const std::vector<ResultEntry>& entries() const { return entries_; }
+
+ private:
+  bool Better(double a, double b) const {
+    return smaller_is_better_ ? a < b : a > b;
+  }
+
+  size_t k_;
+  bool smaller_is_better_;
+  std::vector<ResultEntry> entries_;  // sorted best-first
+};
+
+Status ValidateOptions(const NtaOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (!(options.theta > 0.0) || options.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+struct NtaEngine::RunState {
+  /// Group activations for every input evaluated so far.
+  std::unordered_map<uint32_t, std::vector<float>> acts;
+  int64_t iqa_hits = 0;
+};
+
+Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
+  if (group.neurons.empty()) {
+    return Status::InvalidArgument("neuron group is empty");
+  }
+  if (group.layer < 0 || group.layer >= inference_->model().num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(group.layer) +
+                              " out of range");
+  }
+  const int64_t layer_neurons = inference_->model().NeuronCount(group.layer);
+  if (layer_neurons != index_->num_neurons()) {
+    return Status::FailedPrecondition(
+        "index neuron count " + std::to_string(index_->num_neurons()) +
+        " does not match layer " + std::to_string(group.layer) + " (" +
+        std::to_string(layer_neurons) + " neurons)");
+  }
+  if (index_->num_inputs() != inference_->dataset().size()) {
+    return Status::FailedPrecondition("index built for a different dataset");
+  }
+  for (int64_t n : group.neurons) {
+    if (n < 0 || n >= layer_neurons) {
+      return Status::OutOfRange("neuron " + std::to_string(n) +
+                                " out of range for layer " +
+                                std::to_string(group.layer));
+    }
+  }
+  return Status::OK();
+}
+
+Status NtaEngine::Evaluate(const NeuronGroup& group,
+                           const std::vector<uint32_t>& ids,
+                           const NtaOptions& options, RunState* state,
+                           std::vector<uint32_t>* newly) {
+  std::vector<uint32_t> to_infer;
+  for (uint32_t id : ids) {
+    if (state->acts.count(id) != 0) continue;
+    if (options.iqa != nullptr) {
+      const std::vector<float>* row = options.iqa->Lookup(group.layer, id);
+      if (row != nullptr) {
+        std::vector<float> acts(group.neurons.size());
+        for (size_t i = 0; i < group.neurons.size(); ++i) {
+          acts[i] = (*row)[static_cast<size_t>(group.neurons[i])];
+        }
+        state->acts.emplace(id, std::move(acts));
+        ++state->iqa_hits;
+        newly->push_back(id);
+        continue;
+      }
+    }
+    to_infer.push_back(id);
+  }
+  if (to_infer.empty()) return Status::OK();
+
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows));
+  for (size_t r = 0; r < to_infer.size(); ++r) {
+    const uint32_t id = to_infer[r];
+    std::vector<float> acts(group.neurons.size());
+    for (size_t i = 0; i < group.neurons.size(); ++i) {
+      acts[i] = rows[r][static_cast<size_t>(group.neurons[i])];
+    }
+    state->acts.emplace(id, std::move(acts));
+    newly->push_back(id);
+    if (options.iqa != nullptr) {
+      // Cache the full layer row so related queries over *other* neuron
+      // groups in this layer also benefit (section 4.7.3).
+      options.iqa->Insert(group.layer, id, std::move(rows[r]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<TopKResult> NtaEngine::MostSimilarTo(const NeuronGroup& group,
+                                            uint32_t target_id,
+                                            const NtaOptions& options) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  if (target_id >= inference_->dataset().size()) {
+    return Status::OutOfRange("target input " + std::to_string(target_id) +
+                              " out of range");
+  }
+  return MostSimilarImpl(group, {}, options, /*has_target_id=*/true,
+                         target_id);
+}
+
+Result<TopKResult> NtaEngine::MostSimilar(const NeuronGroup& group,
+                                          const std::vector<float>& target_acts,
+                                          const NtaOptions& options) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  if (target_acts.size() != group.neurons.size()) {
+    return Status::InvalidArgument("target activation count mismatch");
+  }
+  return MostSimilarImpl(group, target_acts, options, /*has_target_id=*/false,
+                         0);
+}
+
+Result<TopKResult> NtaEngine::MostSimilarImpl(
+    const NeuronGroup& group, const std::vector<float>& target_acts_in,
+    const NtaOptions& options, bool has_target_id, uint32_t target_id) {
+  DE_RETURN_NOT_OK(ValidateOptions(options));
+  const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
+  const size_t g = group.neurons.size();
+  const nn::InferenceStats before = inference_->stats();
+  Stopwatch watch;
+
+  RunState state;
+  std::vector<uint32_t> newly;
+
+  // Step 2: compute the target's activations (one inference pass when the
+  // target is a dataset input).
+  std::vector<float> target_acts = target_acts_in;
+  if (has_target_id) {
+    DE_RETURN_NOT_OK(
+        Evaluate(group, {target_id}, options, &state, &newly));
+    target_acts = state.acts.at(target_id);
+    newly.clear();
+  }
+
+  TopKSet top(options.k, /*smaller_is_better=*/true);
+  std::vector<double> diffs(g);
+  auto dist_of = [&](const std::vector<float>& acts) {
+    for (size_t i = 0; i < g; ++i) {
+      diffs[i] = std::abs(static_cast<double>(acts[i]) -
+                          static_cast<double>(target_acts[i]));
+    }
+    return dist->Aggregate(diffs.data(), g);
+  };
+  auto offer_newly = [&]() {
+    for (uint32_t id : newly) {
+      if (has_target_id && id == target_id) continue;
+      top.Offer(id, dist_of(state.acts.at(id)));
+    }
+    newly.clear();
+  };
+
+  int64_t rounds = 0;
+  bool finished = false;
+  bool terminated_early = false;
+  double last_threshold = 0.0;
+
+  auto emit_progress = [&](double threshold) {
+    last_threshold = threshold;
+    if (finished || !options.on_progress) return;
+    NtaProgress progress;
+    progress.round = rounds;
+    progress.threshold = threshold;
+    progress.kth_value = top.WorstValue();
+    if (top.full()) {
+      progress.theta_guarantee =
+          top.WorstValue() <= threshold
+              ? 1.0
+              : std::min(1.0, threshold / top.WorstValue());
+    }
+    for (const ResultEntry& e : top.entries()) {
+      if (e.value <= threshold) progress.confirmed.push_back(e);
+    }
+    if (!options.on_progress(progress)) finished = true;  // user early stop
+  };
+
+  auto check_termination = [&](double threshold) {
+    // Eq. 4 (exact) generalised by eq. 6 (θ-approximation).
+    if (top.full() && top.WorstValue() <= threshold / options.theta) {
+      finished = true;
+      terminated_early = true;
+    }
+  };
+
+  const int num_partitions = index_->num_partitions();
+
+  // ------------------------- MAI fast path (§4.7.1) -----------------------
+  if (!finished && options.use_mai && index_->has_mai()) {
+    const uint32_t mai_count = index_->mai_count();
+    struct MaiCursor {
+      size_t gi = 0;                // position within the group
+      std::vector<uint32_t> order;  // MAI ranks sorted by |act - s| asc
+      size_t next = 0;
+      bool seen_highest = false;  // H_i: consumed the rank-0 (max act) entry
+      double min_seen = kInf;
+      double max_seen = -kInf;
+    };
+    std::vector<MaiCursor> cursors;
+    for (size_t gi = 0; gi < g; ++gi) {
+      const int64_t neuron = group.neurons[gi];
+      const float lo = index_->LowerBound(neuron, 0);
+      const float hi = index_->UpperBound(neuron, 0);
+      if (lo > hi) continue;            // empty partition 0
+      if (target_acts[gi] < lo) continue;  // s not in MAI(i)
+      MaiCursor cursor;
+      cursor.gi = gi;
+      cursor.order.resize(mai_count);
+      std::iota(cursor.order.begin(), cursor.order.end(), 0u);
+      const MaiEntry* entries = index_->MaiEntries(neuron);
+      const double s = target_acts[gi];
+      std::sort(cursor.order.begin(), cursor.order.end(),
+                [&](uint32_t a, uint32_t b) {
+                  const double da = std::abs(entries[a].activation - s);
+                  const double db = std::abs(entries[b].activation - s);
+                  if (da != db) return da < db;
+                  return a < b;
+                });
+      cursors.push_back(std::move(cursor));
+    }
+
+    if (!cursors.empty()) {
+      std::vector<double> min_dists(g, 0.0);
+      while (!finished) {
+        // Build a global toRun set by advancing every participating
+        // neuron's similarity-ordered cursor in lockstep sweeps: each sweep
+        // consumes the next most similar MAI entry per neuron (extending
+        // that neuron's own seen range), and sweeps continue until the
+        // batch of not-yet-computed inputs reaches the batch size. Checking
+        // fullness only between sweeps keeps every neuron's boundary
+        // current — this reproduces the paper's Figure 4 trace exactly.
+        std::vector<uint32_t> batch;
+        std::unordered_set<uint32_t> in_batch;
+        bool any_left = true;
+        while (static_cast<int>(batch.size()) < inference_->batch_size() &&
+               any_left) {
+          any_left = false;
+          for (MaiCursor& cursor : cursors) {
+            if (cursor.next >= cursor.order.size()) continue;
+            const MaiEntry* entries =
+                index_->MaiEntries(group.neurons[cursor.gi]);
+            const uint32_t rank = cursor.order[cursor.next];
+            const MaiEntry& entry = entries[rank];
+            ++cursor.next;
+            if (cursor.next < cursor.order.size()) any_left = true;
+            cursor.min_seen = std::min(cursor.min_seen,
+                                       static_cast<double>(entry.activation));
+            cursor.max_seen = std::max(cursor.max_seen,
+                                       static_cast<double>(entry.activation));
+            if (rank == 0) cursor.seen_highest = true;
+            if (state.acts.count(entry.input_id) == 0 &&
+                in_batch.insert(entry.input_id).second) {
+              batch.push_back(entry.input_id);
+            }
+          }
+        }
+
+        const bool exhausted = [&] {
+          for (const MaiCursor& cursor : cursors) {
+            if (cursor.next < cursor.order.size()) return false;
+          }
+          return true;
+        }();
+
+        DE_RETURN_NOT_OK(Evaluate(group, batch, options, &state, &newly));
+        offer_newly();
+        ++rounds;
+
+        // Threshold: neurons whose MAI does not contain s contribute 0;
+        // participating neurons use min(|minB - s|, H_i * |maxB - s|).
+        std::fill(min_dists.begin(), min_dists.end(), 0.0);
+        for (const MaiCursor& cursor : cursors) {
+          const double s = target_acts[cursor.gi];
+          double md = 0.0;
+          if (cursor.min_seen != kInf) {
+            const double low = std::abs(cursor.min_seen - s);
+            md = cursor.seen_highest
+                     ? low
+                     : std::min(low, std::abs(cursor.max_seen - s));
+          }
+          min_dists[cursor.gi] = md;
+        }
+        const double t = dist->Aggregate(min_dists.data(), g);
+        check_termination(t);
+        emit_progress(t);
+        if (exhausted) break;  // fall back to the partition loop
+      }
+    }
+  }
+
+  // ---------------------- Regular partition loop (§4.4) -------------------
+  if (!finished) {
+    // Step 3: order each neuron's partitions by dPar (eq. 2).
+    std::vector<std::vector<uint32_t>> ord(g);
+    for (size_t gi = 0; gi < g; ++gi) {
+      const int64_t neuron = group.neurons[gi];
+      const double s = target_acts[gi];
+      std::vector<std::pair<double, uint32_t>> keyed;
+      keyed.reserve(static_cast<size_t>(num_partitions));
+      for (int pid = 0; pid < num_partitions; ++pid) {
+        const double lo = index_->LowerBound(neuron, static_cast<uint32_t>(pid));
+        const double hi = index_->UpperBound(neuron, static_cast<uint32_t>(pid));
+        if (lo > hi) continue;  // empty partition
+        double d_par = 0.0;
+        if (s > hi) {
+          d_par = s - hi;
+        } else if (s < lo) {
+          d_par = lo - s;
+        }
+        keyed.emplace_back(d_par, static_cast<uint32_t>(pid));
+      }
+      std::sort(keyed.begin(), keyed.end());
+      ord[gi].reserve(keyed.size());
+      for (const auto& [d_par, pid] : keyed) ord[gi].push_back(pid);
+    }
+
+    std::vector<double> min_bound(g, kInf), max_bound(g, -kInf);
+    std::vector<bool> seen_first(g, false), seen_last(g, false);
+    std::vector<double> min_dists(g, 0.0);
+    std::vector<std::vector<uint32_t>> round_members(g);
+    // Neurons may have different numbers of non-empty partitions (equi-width
+    // partitioning of skewed values leaves gaps); a neuron whose list is
+    // exhausted simply sits out later rounds.
+    size_t max_rounds = 0;
+    for (const auto& list : ord) max_rounds = std::max(max_rounds, list.size());
+
+    for (size_t c = 0; c < max_rounds && !finished; ++c) {
+      // Step 4(a): gather this round's partitions.
+      std::vector<uint32_t> to_eval;
+      std::unordered_set<uint32_t> queued;
+      for (size_t gi = 0; gi < g; ++gi) {
+        round_members[gi].clear();
+        if (c >= ord[gi].size()) continue;  // neuron exhausted
+        index_->GetInputIds(group.neurons[gi], ord[gi][c],
+                            &round_members[gi]);
+        for (uint32_t id : round_members[gi]) {
+          if (state.acts.count(id) == 0 && queued.insert(id).second) {
+            to_eval.push_back(id);
+          }
+        }
+      }
+      // Step 4(b): batched inference for the union, update top.
+      DE_RETURN_NOT_OK(Evaluate(group, to_eval, options, &state, &newly));
+      offer_newly();
+      ++rounds;
+
+      // Step 4(c): extend each neuron's contiguous seen range and compute
+      // the threshold from the indicator-weighted boundary distances.
+      for (size_t gi = 0; gi < g; ++gi) {
+        if (c >= ord[gi].size()) continue;  // neuron exhausted
+        for (uint32_t id : round_members[gi]) {
+          const double act = state.acts.at(id)[gi];
+          min_bound[gi] = std::min(min_bound[gi], act);
+          max_bound[gi] = std::max(max_bound[gi], act);
+        }
+        if (ord[gi][c] == 0) seen_first[gi] = true;
+        if (ord[gi][c] == static_cast<uint32_t>(num_partitions - 1)) {
+          seen_last[gi] = true;
+        }
+      }
+      for (size_t gi = 0; gi < g; ++gi) {
+        const double s = target_acts[gi];
+        const double low =
+            seen_last[gi] ? kInf : std::abs(min_bound[gi] - s);
+        const double high =
+            seen_first[gi] ? kInf : std::abs(max_bound[gi] - s);
+        min_dists[gi] = std::min(low, high);
+      }
+      const double t = dist->Aggregate(min_dists.data(), g);
+      check_termination(t);
+      emit_progress(t);
+    }
+  }
+
+  TopKResult result;
+  result.entries = top.entries();
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.rounds = rounds;
+  result.stats.iqa_hits = state.iqa_hits;
+  result.stats.terminated_early = terminated_early;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  (void)last_threshold;
+  return result;
+}
+
+Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
+                                      const NtaOptions& options) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  DE_RETURN_NOT_OK(ValidateOptions(options));
+  const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
+  const size_t g = group.neurons.size();
+  const nn::InferenceStats before = inference_->stats();
+  Stopwatch watch;
+
+  RunState state;
+  std::vector<uint32_t> newly;
+  TopKSet top(options.k, /*smaller_is_better=*/false);
+  std::vector<double> values(g);
+  auto score_of = [&](const std::vector<float>& acts) {
+    for (size_t i = 0; i < g; ++i) values[i] = acts[i];
+    return dist->Aggregate(values.data(), g);
+  };
+  auto offer_newly = [&]() {
+    for (uint32_t id : newly) top.Offer(id, score_of(state.acts.at(id)));
+    newly.clear();
+  };
+
+  const int num_partitions = index_->num_partitions();
+  const bool use_mai = options.use_mai && index_->has_mai();
+  const uint32_t mai_count = index_->mai_count();
+
+  // Per-neuron sorted access position: MAI entries consumed first (exact
+  // values, descending), then whole partitions.
+  std::vector<size_t> mai_next(g, 0);
+  std::vector<int> next_partition(g, use_mai ? 1 : 0);
+
+  // The upper bound on any unseen input's activation for neuron gi: the
+  // next unconsumed MAI entry, else the next unprocessed partition's upper
+  // bound, else 0 (all inputs seen; activations assumed non-negative).
+  auto upper_of = [&](size_t gi) -> double {
+    if (use_mai && mai_next[gi] < mai_count) {
+      return index_->MaiEntries(group.neurons[gi])[mai_next[gi]].activation;
+    }
+    for (int pid = next_partition[gi]; pid < num_partitions; ++pid) {
+      const double lo =
+          index_->LowerBound(group.neurons[gi], static_cast<uint32_t>(pid));
+      const double hi =
+          index_->UpperBound(group.neurons[gi], static_cast<uint32_t>(pid));
+      if (lo > hi) continue;  // empty
+      return hi;
+    }
+    return 0.0;
+  };
+
+  int64_t rounds = 0;
+  bool finished = false;
+  bool terminated_early = false;
+
+  auto check_and_progress = [&]() {
+    std::vector<double> uppers(g);
+    for (size_t gi = 0; gi < g; ++gi) uppers[gi] = std::max(upper_of(gi), 0.0);
+    const double threshold = dist->Aggregate(uppers.data(), g);
+    if (top.full() && top.WorstValue() >= options.theta * threshold) {
+      finished = true;
+      terminated_early = true;
+      return;
+    }
+    if (options.on_progress) {
+      NtaProgress progress;
+      progress.round = rounds;
+      progress.threshold = threshold;
+      progress.kth_value = top.WorstValue();
+      if (top.full() && threshold > 0.0) {
+        progress.theta_guarantee =
+            std::min(1.0, top.WorstValue() / threshold);
+      } else if (top.full()) {
+        progress.theta_guarantee = 1.0;
+      }
+      for (const ResultEntry& e : top.entries()) {
+        if (e.value >= progress.threshold) progress.confirmed.push_back(e);
+      }
+      if (!options.on_progress(progress)) finished = true;
+    }
+  };
+
+  // Phase A: consume MAI entries globally in descending activation order.
+  if (use_mai && !finished) {
+    while (!finished) {
+      // Lockstep sorted access: each sweep consumes the next highest MAI
+      // entry of every neuron (classic TA parallel sorted access); sweeps
+      // continue until the batch of uncomputed inputs is full.
+      std::vector<uint32_t> batch;
+      std::unordered_set<uint32_t> in_batch;
+      bool any_left = true;
+      while (static_cast<int>(batch.size()) < inference_->batch_size() &&
+             any_left) {
+        any_left = false;
+        for (size_t gi = 0; gi < g; ++gi) {
+          if (mai_next[gi] >= mai_count) continue;
+          const MaiEntry& entry =
+              index_->MaiEntries(group.neurons[gi])[mai_next[gi]];
+          ++mai_next[gi];
+          if (mai_next[gi] < mai_count) any_left = true;
+          if (state.acts.count(entry.input_id) == 0 &&
+              in_batch.insert(entry.input_id).second) {
+            batch.push_back(entry.input_id);
+          }
+        }
+      }
+      bool exhausted = true;
+      for (size_t gi = 0; gi < g; ++gi) {
+        if (mai_next[gi] < mai_count) exhausted = false;
+      }
+      DE_RETURN_NOT_OK(Evaluate(group, batch, options, &state, &newly));
+      offer_newly();
+      ++rounds;
+      check_and_progress();
+      if (exhausted) break;
+    }
+  }
+
+  // Phase B: whole partitions, highest first.
+  if (!finished) {
+    std::vector<uint32_t> members;
+    for (int pid = use_mai ? 1 : 0; pid < num_partitions && !finished;
+         ++pid) {
+      std::vector<uint32_t> to_eval;
+      std::unordered_set<uint32_t> queued;
+      for (size_t gi = 0; gi < g; ++gi) {
+        members.clear();
+        index_->GetInputIds(group.neurons[gi], static_cast<uint32_t>(pid),
+                            &members);
+        for (uint32_t id : members) {
+          if (state.acts.count(id) == 0 && queued.insert(id).second) {
+            to_eval.push_back(id);
+          }
+        }
+        next_partition[gi] = pid + 1;
+      }
+      DE_RETURN_NOT_OK(Evaluate(group, to_eval, options, &state, &newly));
+      offer_newly();
+      ++rounds;
+      check_and_progress();
+    }
+  }
+
+  TopKResult result;
+  result.entries = top.entries();
+  const nn::InferenceStats delta = inference_->stats() - before;
+  result.stats.inputs_run = delta.inputs_run;
+  result.stats.batches_run = delta.batches_run;
+  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.rounds = rounds;
+  result.stats.iqa_hits = state.iqa_hits;
+  result.stats.terminated_early = terminated_early;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reference executors
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<uint32_t> AllIds(uint32_t n) {
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0u);
+  return ids;
+}
+
+}  // namespace
+
+TopKResult ScanMostSimilar(const storage::LayerActivationMatrix& matrix,
+                           const std::vector<int64_t>& neurons,
+                           const std::vector<float>& target_acts, int k,
+                           const DistancePtr& dist, bool exclude_target,
+                           uint32_t target_id) {
+  TopKSet top(k, /*smaller_is_better=*/true);
+  std::vector<double> diffs(neurons.size());
+  for (uint32_t id = 0; id < matrix.num_inputs; ++id) {
+    if (exclude_target && id == target_id) continue;
+    const float* row = matrix.Row(id);
+    for (size_t i = 0; i < neurons.size(); ++i) {
+      diffs[i] = std::abs(static_cast<double>(row[neurons[i]]) -
+                          static_cast<double>(target_acts[i]));
+    }
+    top.Offer(id, dist->Aggregate(diffs.data(), diffs.size()));
+  }
+  TopKResult result;
+  result.entries = top.entries();
+  return result;
+}
+
+TopKResult ScanHighest(const storage::LayerActivationMatrix& matrix,
+                       const std::vector<int64_t>& neurons, int k,
+                       const DistancePtr& dist) {
+  TopKSet top(k, /*smaller_is_better=*/false);
+  std::vector<double> values(neurons.size());
+  for (uint32_t id = 0; id < matrix.num_inputs; ++id) {
+    const float* row = matrix.Row(id);
+    for (size_t i = 0; i < neurons.size(); ++i) {
+      values[i] = row[neurons[i]];
+    }
+    top.Offer(id, dist->Aggregate(values.data(), values.size()));
+  }
+  TopKResult result;
+  result.entries = top.entries();
+  return result;
+}
+
+Result<TopKResult> BruteForceMostSimilar(nn::InferenceEngine* inference,
+                                         const NeuronGroup& group,
+                                         const std::vector<float>& target_acts,
+                                         int k, const DistancePtr& dist,
+                                         bool exclude_target,
+                                         uint32_t target_id) {
+  const DistancePtr d = dist != nullptr ? dist : L2Distance();
+  std::vector<std::vector<float>> rows;
+  const std::vector<uint32_t> ids = AllIds(inference->dataset().size());
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows));
+  TopKSet top(k, /*smaller_is_better=*/true);
+  std::vector<double> diffs(group.neurons.size());
+  for (uint32_t id : ids) {
+    if (exclude_target && id == target_id) continue;
+    for (size_t i = 0; i < group.neurons.size(); ++i) {
+      diffs[i] = std::abs(
+          static_cast<double>(rows[id][static_cast<size_t>(group.neurons[i])]) -
+          static_cast<double>(target_acts[i]));
+    }
+    top.Offer(id, d->Aggregate(diffs.data(), diffs.size()));
+  }
+  TopKResult result;
+  result.entries = top.entries();
+  return result;
+}
+
+Result<TopKResult> BruteForceHighest(nn::InferenceEngine* inference,
+                                     const NeuronGroup& group, int k,
+                                     const DistancePtr& dist) {
+  const DistancePtr d = dist != nullptr ? dist : L2Distance();
+  std::vector<std::vector<float>> rows;
+  const std::vector<uint32_t> ids = AllIds(inference->dataset().size());
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows));
+  TopKSet top(k, /*smaller_is_better=*/false);
+  std::vector<double> values(group.neurons.size());
+  for (uint32_t id : ids) {
+    for (size_t i = 0; i < group.neurons.size(); ++i) {
+      values[i] = rows[id][static_cast<size_t>(group.neurons[i])];
+    }
+    top.Offer(id, d->Aggregate(values.data(), values.size()));
+  }
+  TopKResult result;
+  result.entries = top.entries();
+  return result;
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,136 @@
+#ifndef DEEPEVEREST_CORE_NTA_H_
+#define DEEPEVEREST_CORE_NTA_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/distance.h"
+#include "core/iqa_cache.h"
+#include "core/npi.h"
+#include "core/query.h"
+#include "nn/inference.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief Per-round progress snapshot for incremental result return and
+/// user-driven early stopping (paper section 6).
+struct NtaProgress {
+  int64_t round = 0;
+  /// Current threshold t: no unseen input can beat it.
+  double threshold = 0.0;
+  /// Worst value currently in the top-k set (+inf / -inf if not yet full).
+  double kth_value = 0.0;
+  /// For most-similar queries: the θ such that the current top-k is a
+  /// θ-approximation of the true answer (t / kth_dist, clamped to [0, 1]).
+  double theta_guarantee = 0.0;
+  /// Entries already *proven* to belong to the final top-k (dist <= t).
+  std::vector<ResultEntry> confirmed;
+};
+
+/// \brief Options controlling one NTA execution.
+struct NtaOptions {
+  int k = 20;
+  /// Monotonic aggregation function; nullptr selects l2 (paper default).
+  DistancePtr dist;
+  /// θ-approximation factor in (0, 1]; 1.0 returns the exact answer. For
+  /// most-similar queries termination relaxes to max(top) <= t/θ (eq. 6);
+  /// for highest queries, kth >= θ*T.
+  double theta = 1.0;
+  /// Use the Maximum Activation Index fast path when the index has one.
+  bool use_mai = true;
+  /// Optional Inter-Query Acceleration cache consulted before inference.
+  IqaCache* iqa = nullptr;
+  /// Invoked after each round; return false to stop early with the current
+  /// (θ-guaranteed) top-k.
+  std::function<bool(const NtaProgress&)> on_progress;
+};
+
+/// \brief The Neural Threshold Algorithm (paper section 4.4, Algorithm 1).
+///
+/// Executes top-k queries against one layer using that layer's LayerIndex,
+/// running DNN inference only on the partitions of inputs that can still
+/// affect the answer. Instance optimal in the number of inputs accessed
+/// (Theorem 4.1).
+class NtaEngine {
+ public:
+  /// Does not take ownership; both must outlive the engine.
+  NtaEngine(nn::InferenceEngine* inference, const LayerIndex* index)
+      : inference_(inference), index_(index) {}
+
+  NtaEngine(const NtaEngine&) = delete;
+  NtaEngine& operator=(const NtaEngine&) = delete;
+
+  /// Top-k most-similar to dataset input `target_id` (excluded from the
+  /// result set, as in the paper's worked example). Computes the target's
+  /// activations with one inference pass (step 2).
+  Result<TopKResult> MostSimilarTo(const NeuronGroup& group,
+                                   uint32_t target_id,
+                                   const NtaOptions& options);
+
+  /// Top-k most-similar to an arbitrary target activation vector (one value
+  /// per neuron in `group`), e.g. for out-of-dataset probes.
+  Result<TopKResult> MostSimilar(const NeuronGroup& group,
+                                 const std::vector<float>& target_acts,
+                                 const NtaOptions& options);
+
+  /// Top-k highest: the k inputs with the largest dist-aggregated
+  /// activations for `group`. Requires non-negative activations (true for
+  /// the ReLU layers DeepEverest queries).
+  Result<TopKResult> Highest(const NeuronGroup& group,
+                             const NtaOptions& options);
+
+ private:
+  struct RunState;
+
+  Result<TopKResult> MostSimilarImpl(const NeuronGroup& group,
+                                     const std::vector<float>& target_acts,
+                                     const NtaOptions& options,
+                                     bool has_target_id, uint32_t target_id);
+
+  Status ValidateGroup(const NeuronGroup& group) const;
+
+  /// Computes group activations for `ids` (deduplicated against rows already
+  /// known), consulting the IQA cache first and batching the rest through
+  /// the inference engine. IDs that became known by this call are appended
+  /// to `newly` (each input becomes known exactly once per query).
+  Status Evaluate(const NeuronGroup& group, const std::vector<uint32_t>& ids,
+                  const NtaOptions& options, RunState* state,
+                  std::vector<uint32_t>* newly);
+
+  nn::InferenceEngine* inference_;
+  const LayerIndex* index_;
+};
+
+/// \brief Reference brute-force executors used by tests and baselines: they
+/// compute activations for every input and scan. These define the ground
+/// truth NTA must match.
+Result<TopKResult> BruteForceMostSimilar(nn::InferenceEngine* inference,
+                                         const NeuronGroup& group,
+                                         const std::vector<float>& target_acts,
+                                         int k, const DistancePtr& dist,
+                                         bool exclude_target,
+                                         uint32_t target_id);
+
+Result<TopKResult> BruteForceHighest(nn::InferenceEngine* inference,
+                                     const NeuronGroup& group, int k,
+                                     const DistancePtr& dist);
+
+/// \brief Scans a fully materialised activation matrix (shared by the
+/// PreprocessAll/caching baselines, which differ only in where the matrix
+/// comes from). Results are sorted best-first.
+TopKResult ScanMostSimilar(const storage::LayerActivationMatrix& matrix,
+                           const std::vector<int64_t>& neurons,
+                           const std::vector<float>& target_acts, int k,
+                           const DistancePtr& dist, bool exclude_target,
+                           uint32_t target_id);
+
+TopKResult ScanHighest(const storage::LayerActivationMatrix& matrix,
+                       const std::vector<int64_t>& neurons, int k,
+                       const DistancePtr& dist);
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_NTA_H_

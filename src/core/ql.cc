@@ -1,0 +1,320 @@
+#include "core/ql.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace deepeverest {
+namespace core {
+
+namespace {
+
+/// Lexer: uppercased words, integers/floats, and the punctuation ( ) ,
+struct Token {
+  enum class Type { kWord, kNumber, kLParen, kRParen, kComma, kEnd };
+  Type type = Type::kEnd;
+  std::string text;   // uppercased for words
+  double number = 0;  // for kNumber
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t pos = 0;
+    while (pos < text_.size()) {
+      const char c = text_[pos];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({Token::Type::kLParen, "(", 0});
+        ++pos;
+      } else if (c == ')') {
+        tokens.push_back({Token::Type::kRParen, ")", 0});
+        ++pos;
+      } else if (c == ',') {
+        tokens.push_back({Token::Type::kComma, ",", 0});
+        ++pos;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+                 c == '-') {
+        size_t end = pos;
+        while (end < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '.' || text_[end] == '-' ||
+                text_[end] == 'e' || text_[end] == 'E')) {
+          ++end;
+        }
+        const std::string number = text_.substr(pos, end - pos);
+        try {
+          tokens.push_back({Token::Type::kNumber, number,
+                            std::stod(number)});
+        } catch (...) {
+          return Status::InvalidArgument("bad number '" + number + "'");
+        }
+        pos = end;
+      } else if (std::isalpha(static_cast<unsigned char>(c))) {
+        size_t end = pos;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_')) {
+          ++end;
+        }
+        std::string word = text_.substr(pos, end - pos);
+        for (char& ch : word) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        tokens.push_back({Token::Type::kWord, word, 0});
+        pos = end;
+      } else {
+        return Status::InvalidArgument(std::string("unexpected character '") +
+                                       c + "'");
+      }
+    }
+    tokens.push_back({Token::Type::kEnd, "<end>", 0});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    ParsedQuery query;
+    DE_RETURN_NOT_OK(ExpectWord("SELECT"));
+    DE_RETURN_NOT_OK(ExpectWord("TOPK"));
+    DE_RETURN_NOT_OK(ExpectInt(&query.k, "k"));
+
+    // kind
+    if (PeekWord("HIGHEST")) {
+      Advance();
+      query.kind = ParsedQuery::Kind::kHighest;
+    } else {
+      if (PeekWord("MOST")) Advance();
+      DE_RETURN_NOT_OK(ExpectWord("SIMILAR"));
+      DE_RETURN_NOT_OK(ExpectWord("TO"));
+      query.kind = ParsedQuery::Kind::kMostSimilar;
+      int64_t target = 0;
+      DE_RETURN_NOT_OK(ExpectInt64(&target, "target input"));
+      query.target = target;
+    }
+
+    DE_RETURN_NOT_OK(ExpectWord("FOR"));
+    DE_RETURN_NOT_OK(ExpectWord("LAYER"));
+    DE_RETURN_NOT_OK(ExpectInt(&query.layer, "layer"));
+
+    // group
+    if (PeekWord("NEURONS")) {
+      Advance();
+      DE_RETURN_NOT_OK(Expect(Token::Type::kLParen, "("));
+      while (true) {
+        int64_t neuron = 0;
+        DE_RETURN_NOT_OK(ExpectInt64(&neuron, "neuron"));
+        query.neurons.push_back(neuron);
+        if (Peek().type == Token::Type::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      DE_RETURN_NOT_OK(Expect(Token::Type::kRParen, ")"));
+    } else if (PeekWord("TOP")) {
+      Advance();
+      DE_RETURN_NOT_OK(ExpectInt(&query.top_neurons, "top-neuron count"));
+      DE_RETURN_NOT_OK(ExpectWord("NEURONS"));
+      if (PeekWord("OF")) {
+        Advance();
+        if (PeekWord("INPUT")) Advance();
+        int64_t of = 0;
+        DE_RETURN_NOT_OK(ExpectInt64(&of, "reference input"));
+        query.top_of = of;
+      }
+    } else {
+      return Status::InvalidArgument("expected NEURONS (...) or TOP m "
+                                     "NEURONS, got '" +
+                                     Peek().text + "'");
+    }
+
+    // optional clauses, any order
+    while (Peek().type != Token::Type::kEnd) {
+      if (PeekWord("USING")) {
+        Advance();
+        const Token token = Peek();
+        if (token.type != Token::Type::kWord) {
+          return Status::InvalidArgument("expected distance after USING");
+        }
+        Advance();
+        if (token.text == "L1") {
+          query.distance = DistanceKind::kL1;
+        } else if (token.text == "L2") {
+          query.distance = DistanceKind::kL2;
+        } else if (token.text == "LINF") {
+          query.distance = DistanceKind::kLInf;
+        } else {
+          return Status::InvalidArgument("unknown distance '" + token.text +
+                                         "' (expected L1, L2, or LINF)");
+        }
+      } else if (PeekWord("THETA")) {
+        Advance();
+        const Token token = Peek();
+        if (token.type != Token::Type::kNumber) {
+          return Status::InvalidArgument("expected number after THETA");
+        }
+        Advance();
+        query.theta = token.number;
+      } else {
+        return Status::InvalidArgument("unexpected trailing token '" +
+                                       Peek().text + "'");
+      }
+    }
+
+    // semantic checks
+    if (query.k < 1) return Status::InvalidArgument("TOPK k must be >= 1");
+    if (query.theta <= 0.0 || query.theta > 1.0) {
+      return Status::InvalidArgument("THETA must be in (0, 1]");
+    }
+    if (query.top_neurons == 0 && query.neurons.empty()) {
+      return Status::InvalidArgument("empty neuron group");
+    }
+    if (query.kind == ParsedQuery::Kind::kHighest && query.top_neurons > 0 &&
+        query.top_of < 0) {
+      return Status::InvalidArgument(
+          "HIGHEST with TOP m NEURONS requires OF <input> (no SIMILAR "
+          "target to default to)");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  bool PeekWord(const char* word) const {
+    return Peek().type == Token::Type::kWord && Peek().text == word;
+  }
+
+  Status ExpectWord(const char* word) {
+    if (!PeekWord(word)) {
+      return Status::InvalidArgument("expected '" + std::string(word) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(Token::Type type, const char* what) {
+    if (Peek().type != type) {
+      return Status::InvalidArgument("expected '" + std::string(what) +
+                                     "', got '" + Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectInt64(int64_t* out, const char* what) {
+    const Token& token = Peek();
+    if (token.type != Token::Type::kNumber ||
+        token.number != static_cast<double>(
+                            static_cast<int64_t>(token.number))) {
+      return Status::InvalidArgument("expected integer " + std::string(what) +
+                                     ", got '" + token.text + "'");
+    }
+    *out = static_cast<int64_t>(token.number);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectInt(int* out, const char* what) {
+    int64_t value = 0;
+    DE_RETURN_NOT_OK(ExpectInt64(&value, what));
+    *out = static_cast<int>(value);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string ParsedQuery::ToString() const {
+  std::ostringstream out;
+  out << "SELECT TOPK " << k << " ";
+  if (kind == Kind::kHighest) {
+    out << "HIGHEST";
+  } else {
+    out << "SIMILAR TO " << target;
+  }
+  out << " FOR LAYER " << layer << " ";
+  if (top_neurons > 0) {
+    out << "TOP " << top_neurons << " NEURONS";
+    if (top_of >= 0) out << " OF " << top_of;
+  } else {
+    out << "NEURONS (";
+    for (size_t i = 0; i < neurons.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << neurons[i];
+    }
+    out << ")";
+  }
+  if (distance != DistanceKind::kL2) {
+    out << " USING "
+        << (distance == DistanceKind::kL1 ? "L1" : "LINF");
+  }
+  if (theta != 1.0) out << " THETA " << theta;
+  return out.str();
+}
+
+Result<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  DE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+Result<TopKResult> ExecuteQuery(DeepEverest* system,
+                                const ParsedQuery& query) {
+  if (system == nullptr) {
+    return Status::InvalidArgument("null DeepEverest instance");
+  }
+  NeuronGroup group;
+  group.layer = query.layer;
+  if (query.top_neurons > 0) {
+    int64_t reference = query.top_of;
+    if (reference < 0) reference = query.target;
+    DE_ASSIGN_OR_RETURN(
+        group.neurons,
+        system->MaximallyActivatedNeurons(
+            static_cast<uint32_t>(reference), query.layer,
+            query.top_neurons));
+  } else {
+    group.neurons = query.neurons;
+  }
+
+  NtaOptions options;
+  options.k = query.k;
+  options.theta = query.theta;
+  DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(query.distance));
+
+  if (query.kind == ParsedQuery::Kind::kHighest) {
+    return system->TopKHighestWithOptions(group, std::move(options));
+  }
+  return system->TopKMostSimilarWithOptions(
+      static_cast<uint32_t>(query.target), group, std::move(options));
+}
+
+Result<TopKResult> ExecuteQuery(DeepEverest* system,
+                                const std::string& text) {
+  DE_ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(text));
+  return ExecuteQuery(system, query);
+}
+
+}  // namespace core
+}  // namespace deepeverest

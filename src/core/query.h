@@ -1,0 +1,56 @@
+#ifndef DEEPEVEREST_CORE_QUERY_H_
+#define DEEPEVEREST_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace deepeverest {
+namespace core {
+
+/// \brief A group of neurons within one layer of the model.
+///
+/// `layer` is a model layer index; `neurons` are flat element indices into
+/// that layer's output tensor. The group is what the user selects at query
+/// time — indexes never depend on it (that is the point of the paper).
+struct NeuronGroup {
+  int layer = 0;
+  std::vector<int64_t> neurons;
+
+  std::string ToString() const;
+};
+
+/// \brief One result entry: an input and its distance (top-k most-similar,
+/// ascending) or score (top-k highest, descending).
+struct ResultEntry {
+  uint32_t input_id = 0;
+  double value = 0.0;
+};
+
+/// \brief Per-query execution statistics.
+///
+/// `inputs_run` counts inputs actually pushed through the DNN during the
+/// query — the paper's Table 3 metric and the quantity NTA is instance
+/// optimal in.
+struct QueryStats {
+  int64_t inputs_run = 0;
+  int64_t batches_run = 0;
+  int64_t rounds = 0;            // NTA iterations of step 4 (c counter)
+  int64_t iqa_hits = 0;          // candidate rows served from the IQA cache
+  double wall_seconds = 0.0;
+  double simulated_gpu_seconds = 0.0;
+  bool terminated_early = false;  // stopped via threshold, not exhaustion
+};
+
+/// \brief Result of a top-k query.
+struct TopKResult {
+  /// Sorted best-first: ascending distance for most-similar queries,
+  /// descending score for highest queries.
+  std::vector<ResultEntry> entries;
+  QueryStats stats;
+};
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_QUERY_H_

@@ -1,0 +1,96 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace deepeverest {
+namespace data {
+
+namespace {
+
+/// Smooth per-class base pattern: a sum of three low-frequency sinusoids
+/// whose frequencies and phases are drawn per (class, channel).
+struct ClassPattern {
+  struct Wave {
+    float fx, fy, phase, amplitude;
+  };
+  std::vector<Wave> waves;  // 3 waves per channel, [channel*3 + i]
+
+  float Eval(int channel, float x, float y) const {
+    float v = 0.0f;
+    for (int i = 0; i < 3; ++i) {
+      const Wave& w = waves[static_cast<size_t>(channel * 3 + i)];
+      v += w.amplitude * std::sin(w.fx * x + w.fy * y + w.phase);
+    }
+    return v;
+  }
+};
+
+ClassPattern MakePattern(int channels, Rng* rng) {
+  ClassPattern p;
+  p.waves.resize(static_cast<size_t>(channels) * 3);
+  for (auto& w : p.waves) {
+    w.fx = rng->NextFloat(0.5f, 4.0f);
+    w.fy = rng->NextFloat(0.5f, 4.0f);
+    w.phase = rng->NextFloat(0.0f, 6.2831853f);
+    w.amplitude = rng->NextFloat(0.2f, 0.6f);
+  }
+  return p;
+}
+
+}  // namespace
+
+Dataset MakeSyntheticImages(const SyntheticImageConfig& config) {
+  DE_CHECK_GT(config.num_inputs, 0u);
+  DE_CHECK_GT(config.num_classes, 0);
+  Rng rng(config.seed);
+  const Shape shape({config.height, config.width, config.channels});
+  Dataset dataset("synthetic-" + std::to_string(config.num_inputs), shape);
+
+  std::vector<ClassPattern> patterns;
+  patterns.reserve(static_cast<size_t>(config.num_classes));
+  for (int c = 0; c < config.num_classes; ++c) {
+    patterns.push_back(MakePattern(config.channels, &rng));
+  }
+
+  const float inv_h = 1.0f / static_cast<float>(config.height);
+  const float inv_w = 1.0f / static_cast<float>(config.width);
+  for (uint32_t i = 0; i < config.num_inputs; ++i) {
+    const int label = static_cast<int>(rng.NextUint64(
+        static_cast<uint64_t>(config.num_classes)));
+    const ClassPattern& pattern = patterns[static_cast<size_t>(label)];
+    // A per-input bright blob makes individual inputs distinguishable even
+    // within a class (this is what "maximally activates" localised neurons).
+    const float blob_x = rng.NextFloat(0.1f, 0.9f);
+    const float blob_y = rng.NextFloat(0.1f, 0.9f);
+    const float blob_r = rng.NextFloat(0.05f, 0.25f);
+    const float blob_gain = rng.NextFloat(0.5f, 1.5f);
+    const float contrast = std::exp(
+        config.contrast_log_stddev * static_cast<float>(rng.NextGaussian()));
+
+    Tensor img(shape);
+    for (int h = 0; h < config.height; ++h) {
+      for (int w = 0; w < config.width; ++w) {
+        const float y = static_cast<float>(h) * inv_h;
+        const float x = static_cast<float>(w) * inv_w;
+        const float dx = x - blob_x;
+        const float dy = y - blob_y;
+        const float blob =
+            blob_gain * std::exp(-(dx * dx + dy * dy) / (blob_r * blob_r));
+        for (int c = 0; c < config.channels; ++c) {
+          const float noise = config.noise_stddev *
+                              static_cast<float>(rng.NextGaussian());
+          img.At(h, w, c) =
+              contrast * (pattern.Eval(c, x * 6.2831853f, y * 6.2831853f) +
+                          blob + noise);
+        }
+      }
+    }
+    dataset.Add(std::move(img), label);
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace deepeverest

@@ -1,0 +1,112 @@
+#ifndef DEEPEVEREST_NN_INFERENCE_H_
+#define DEEPEVEREST_NN_INFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace deepeverest {
+namespace nn {
+
+/// \brief Counters accumulated across InferenceEngine calls.
+///
+/// `inputs_run` is the hardware-independent cost metric the paper reports in
+/// Table 3 ("number of inputs run by the DNN at query time").
+/// `simulated_gpu_seconds` applies the batch cost model below so experiments
+/// can also report GPU-shaped timings on this CPU-only machine.
+struct InferenceStats {
+  int64_t inputs_run = 0;
+  int64_t batches_run = 0;
+  int64_t macs = 0;
+  double wall_seconds = 0.0;
+  double simulated_gpu_seconds = 0.0;
+
+  InferenceStats operator-(const InferenceStats& other) const {
+    InferenceStats d;
+    d.inputs_run = inputs_run - other.inputs_run;
+    d.batches_run = batches_run - other.batches_run;
+    d.macs = macs - other.macs;
+    d.wall_seconds = wall_seconds - other.wall_seconds;
+    d.simulated_gpu_seconds =
+        simulated_gpu_seconds - other.simulated_gpu_seconds;
+    return d;
+  }
+};
+
+/// \brief Cost model mimicking GPU batch execution (see DESIGN.md §1).
+///
+/// A launched batch of n <= batch_size inputs takes (approximately) the same
+/// time as a full batch because idle lanes do not speed it up:
+///   time(n, layer) = ceil(n / batch_size) *
+///                    (launch_overhead + batch_size * macs(layer) * sec/mac)
+/// This reproduces the paper's Figure 7 plateau: once partitions shrink
+/// below the optimal batch size, more partitions stop helping.
+struct GpuCostModel {
+  double seconds_per_mac = 2.0e-12;       // ~500 GMAC/s effective
+  double launch_overhead_seconds = 2e-4;  // per-batch fixed cost
+
+  double BatchSeconds(int64_t n, int64_t batch_size,
+                      int64_t macs_per_input) const {
+    const int64_t launches = (n + batch_size - 1) / batch_size;
+    return static_cast<double>(launches) *
+           (launch_overhead_seconds + static_cast<double>(batch_size) *
+                                          static_cast<double>(macs_per_input) *
+                                          seconds_per_mac);
+  }
+};
+
+/// \brief Runs batched DNN inference over a dataset and meters every call.
+///
+/// This is the single chokepoint through which DeepEverest, NTA, and all
+/// baselines compute activations, so their inference costs are directly
+/// comparable.
+class InferenceEngine {
+ public:
+  /// Does not take ownership; `model` and `dataset` must outlive the engine.
+  /// `batch_size` is the throughput-optimal batch (paper: 128 for VGG16, 64
+  /// for ResNet50).
+  InferenceEngine(const Model* model, const data::Dataset* dataset,
+                  int batch_size)
+      : model_(model), dataset_(dataset), batch_size_(batch_size) {
+    DE_CHECK_GT(batch_size, 0);
+  }
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  const Model& model() const { return *model_; }
+  const data::Dataset& dataset() const { return *dataset_; }
+  int batch_size() const { return batch_size_; }
+
+  /// Computes layer `layer`'s activations for each input in `input_ids`.
+  /// `rows->at(i)` is the flat activation vector of input_ids[i].
+  /// Processes in batches of batch_size; each batch is metered.
+  Status ComputeLayer(const std::vector<uint32_t>& input_ids, int layer,
+                      std::vector<std::vector<float>>* rows);
+
+  /// Computes ALL layers' activations for one input in a single pass
+  /// (used by preprocessing / index construction). Metered as one input at
+  /// full-model cost.
+  Status ComputeAllLayers(uint32_t input_id, std::vector<Tensor>* outputs);
+
+  const InferenceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = InferenceStats(); }
+
+  GpuCostModel* mutable_cost_model() { return &cost_model_; }
+  const GpuCostModel& cost_model() const { return cost_model_; }
+
+ private:
+  const Model* model_;
+  const data::Dataset* dataset_;
+  int batch_size_;
+  GpuCostModel cost_model_;
+  InferenceStats stats_;
+};
+
+}  // namespace nn
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NN_INFERENCE_H_

@@ -1,0 +1,69 @@
+#ifndef DEEPEVEREST_NN_LAYER_H_
+#define DEEPEVEREST_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace deepeverest {
+namespace nn {
+
+/// \brief Broad layer category. DeepEverest's evaluation distinguishes
+/// activation layers (the queryable ones) from conv/bn/pool plumbing.
+enum class LayerKind {
+  kConv2D,
+  kDense,
+  kRelu,
+  kMaxPool,
+  kGlobalAvgPool,
+  kBatchNorm,
+  kFlatten,
+  kResidualBlock,
+  kSoftmax,
+};
+
+const char* LayerKindToString(LayerKind kind);
+
+/// \brief One layer of a sequential model.
+///
+/// Layers are immutable after construction (weights are fixed at build time —
+/// DeepEverest only ever queries trained, frozen models). Forward operates on
+/// a single input; batching is the engine's job.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the output shape for `input` or errors if incompatible.
+  virtual Result<Shape> OutputShape(const Shape& input) const = 0;
+
+  /// Runs the layer. `out` is resized/overwritten.
+  virtual Status Forward(const Tensor& input, Tensor* out) const = 0;
+
+  /// Multiply-accumulate count for one input of shape `input`; drives the
+  /// simulated-GPU cost model.
+  virtual int64_t MacsFor(const Shape& input) const = 0;
+
+  LayerKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+ protected:
+  Layer(LayerKind kind, std::string name)
+      : kind_(kind), name_(std::move(name)) {}
+
+ private:
+  LayerKind kind_;
+  std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace nn
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NN_LAYER_H_

@@ -1,0 +1,95 @@
+#include "nn/model.h"
+
+namespace deepeverest {
+namespace nn {
+
+void Model::AddLayer(LayerPtr layer) {
+  DE_CHECK(!finalized_) << "AddLayer after Finalize";
+  layers_.push_back(std::move(layer));
+}
+
+Status Model::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("model already finalized");
+  if (layers_.empty()) return Status::InvalidArgument("model has no layers");
+  Shape current = input_shape_;
+  int64_t macs = 0;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& layer = *layers_[i];
+    auto shape = layer.OutputShape(current);
+    if (!shape.ok()) {
+      return Status::InvalidArgument("layer " + std::to_string(i) + " (" +
+                                     layer.name() +
+                                     "): " + shape.status().message());
+    }
+    macs += layer.MacsFor(current);
+    current = std::move(shape).value();
+    output_shapes_.push_back(current);
+    cumulative_macs_.push_back(macs);
+    if (layer.kind() == LayerKind::kRelu ||
+        layer.kind() == LayerKind::kResidualBlock) {
+      activation_layers_.push_back(static_cast<int>(i));
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+const Shape& Model::layer_output_shape(int i) const {
+  DE_CHECK(finalized_);
+  DE_CHECK_GE(i, 0);
+  DE_CHECK_LT(i, num_layers());
+  return output_shapes_[static_cast<size_t>(i)];
+}
+
+int64_t Model::CumulativeMacs(int layer) const {
+  DE_CHECK(finalized_);
+  DE_CHECK_GE(layer, 0);
+  DE_CHECK_LT(layer, num_layers());
+  return cumulative_macs_[static_cast<size_t>(layer)];
+}
+
+Status Model::ForwardTo(const Tensor& input, int upto_layer,
+                        Tensor* out) const {
+  if (!finalized_) return Status::FailedPrecondition("model not finalized");
+  if (upto_layer < 0 || upto_layer >= num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(upto_layer) +
+                              " out of range [0, " +
+                              std::to_string(num_layers()) + ")");
+  }
+  if (input.shape() != input_shape_) {
+    return Status::InvalidArgument("input shape " + input.shape().ToString() +
+                                   " does not match model input " +
+                                   input_shape_.ToString());
+  }
+  Tensor current = input;
+  Tensor next;
+  for (int i = 0; i <= upto_layer; ++i) {
+    DE_RETURN_NOT_OK(layers_[static_cast<size_t>(i)]->Forward(current, &next));
+    current = std::move(next);
+  }
+  *out = std::move(current);
+  return Status::OK();
+}
+
+Status Model::ForwardAll(const Tensor& input,
+                         std::vector<Tensor>* outputs) const {
+  if (!finalized_) return Status::FailedPrecondition("model not finalized");
+  if (input.shape() != input_shape_) {
+    return Status::InvalidArgument("input shape " + input.shape().ToString() +
+                                   " does not match model input " +
+                                   input_shape_.ToString());
+  }
+  outputs->clear();
+  outputs->reserve(layers_.size());
+  const Tensor* current = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    Tensor out;
+    DE_RETURN_NOT_OK(layers_[i]->Forward(*current, &out));
+    outputs->push_back(std::move(out));
+    current = &outputs->back();
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace deepeverest

@@ -1,0 +1,83 @@
+#ifndef DEEPEVEREST_NN_MODEL_H_
+#define DEEPEVEREST_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "nn/layer.h"
+
+namespace deepeverest {
+namespace nn {
+
+/// \brief A frozen sequential DNN.
+///
+/// A Model owns an ordered list of layers and, after Finalize(), knows every
+/// layer's output shape and cumulative inference cost. DeepEverest addresses
+/// neurons as (layer index, flat element index within that layer's output).
+class Model {
+ public:
+  Model(std::string name, Shape input_shape)
+      : name_(std::move(name)), input_shape_(std::move(input_shape)) {}
+
+  Model(const Model&) = delete;
+  Model& operator=(const Model&) = delete;
+
+  /// Appends a layer. Must be called before Finalize().
+  void AddLayer(LayerPtr layer);
+
+  /// Validates shapes layer-by-layer and precomputes per-layer geometry and
+  /// cost. Must be called exactly once after the last AddLayer().
+  Status Finalize();
+
+  const std::string& name() const { return name_; }
+  const Shape& input_shape() const { return input_shape_; }
+  bool finalized() const { return finalized_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const Layer& layer(int i) const { return *layers_[static_cast<size_t>(i)]; }
+
+  /// Output shape of layer `i` (Finalize() required).
+  const Shape& layer_output_shape(int i) const;
+
+  /// Number of neurons (scalar outputs) of layer `i`.
+  int64_t NeuronCount(int layer) const {
+    return layer_output_shape(layer).NumElements();
+  }
+
+  /// Multiply-accumulates required to compute layers [0, layer] for one
+  /// input. Inference always starts at layer 0 (paper section 4.6: only
+  /// queried layers are stored, so there is no partial starting point).
+  int64_t CumulativeMacs(int layer) const;
+
+  /// Indices of the queryable (ReLU / residual-output) layers, in order.
+  /// The evaluation's "early/mid/late" layers are picked from this list.
+  const std::vector<int>& activation_layers() const {
+    return activation_layers_;
+  }
+
+  /// Runs the model through layer `upto_layer` (inclusive) and returns that
+  /// layer's output.
+  Status ForwardTo(const Tensor& input, int upto_layer, Tensor* out) const;
+
+  /// Runs the full model once and captures every layer's output (used by
+  /// preprocessing, which materialises all layers in a single pass).
+  Status ForwardAll(const Tensor& input, std::vector<Tensor>* outputs) const;
+
+ private:
+  std::string name_;
+  Shape input_shape_;
+  bool finalized_ = false;
+  std::vector<LayerPtr> layers_;
+  std::vector<Shape> output_shapes_;
+  std::vector<int64_t> cumulative_macs_;
+  std::vector<int> activation_layers_;
+};
+
+using ModelPtr = std::unique_ptr<Model>;
+
+}  // namespace nn
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NN_MODEL_H_

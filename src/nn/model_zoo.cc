@@ -1,0 +1,80 @@
+#include "nn/model_zoo.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace deepeverest {
+namespace nn {
+
+ModelPtr MakeTinyMlp(int input_units, uint64_t seed) {
+  Rng rng(seed);
+  auto model = std::make_unique<Model>("TinyMlp", Shape({input_units}));
+  model->AddLayer(std::make_unique<Dense>("fc1", input_units, 16, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu1"));
+  model->AddLayer(std::make_unique<Dense>("fc2", 16, 12, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu2"));
+  model->AddLayer(std::make_unique<Dense>("fc3", 12, 8, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu3"));
+  model->AddLayer(std::make_unique<Dense>("fc4", 8, 4, &rng));
+  model->AddLayer(std::make_unique<Softmax>("softmax"));
+  DE_CHECK(model->Finalize().ok());
+  return model;
+}
+
+ModelPtr MakeMiniVgg(uint64_t seed) {
+  Rng rng(seed);
+  auto model = std::make_unique<Model>("MiniVgg", Shape({32, 32, 3}));
+  // Block 1: 32x32x8 (early activation layer, 8192 neurons).
+  model->AddLayer(std::make_unique<Conv2D>("conv1", 3, 8, 3, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu1"));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool1"));
+  // Block 2: 16x16x12 (3072 neurons).
+  model->AddLayer(std::make_unique<Conv2D>("conv2", 8, 12, 3, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu2"));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool2"));
+  // Block 3: 8x8x16 (mid activation layer, 1024 neurons).
+  model->AddLayer(std::make_unique<Conv2D>("conv3", 12, 16, 3, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu3"));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool3"));
+  // Block 4: 4x4x24 (384 neurons).
+  model->AddLayer(std::make_unique<Conv2D>("conv4", 16, 24, 3, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu4"));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool4"));
+  // Head: dense 64 (late activation layer).
+  model->AddLayer(std::make_unique<Flatten>("flatten"));
+  model->AddLayer(std::make_unique<Dense>("fc1", 2 * 2 * 24, 64, &rng));
+  model->AddLayer(std::make_unique<Relu>("relu5"));
+  model->AddLayer(std::make_unique<Dense>("fc2", 64, 10, &rng));
+  model->AddLayer(std::make_unique<Softmax>("softmax"));
+  DE_CHECK(model->Finalize().ok());
+  return model;
+}
+
+ModelPtr MakeMiniResNet(uint64_t seed) {
+  Rng rng(seed);
+  auto model = std::make_unique<Model>("MiniResNet", Shape({32, 32, 3}));
+  // Stem: 32x32x8 (early activation layer).
+  model->AddLayer(std::make_unique<Conv2D>("stem_conv", 3, 8, 3, &rng));
+  model->AddLayer(std::make_unique<BatchNorm>("stem_bn", 8, &rng));
+  model->AddLayer(std::make_unique<Relu>("stem_relu"));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool1"));
+  // Stage 1: 16x16x8.
+  model->AddLayer(std::make_unique<ResidualBlock>("block1", 8, 8, &rng));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool2"));
+  // Stage 2: 8x8x16 (mid activation layer).
+  model->AddLayer(std::make_unique<ResidualBlock>("block2", 8, 16, &rng));
+  model->AddLayer(std::make_unique<MaxPool2D>("pool3"));
+  // Stage 3: 4x4x32.
+  model->AddLayer(std::make_unique<ResidualBlock>("block3", 16, 32, &rng));
+  // Head.
+  model->AddLayer(std::make_unique<GlobalAvgPool>("gap"));
+  model->AddLayer(std::make_unique<Dense>("fc", 32, 10, &rng));
+  model->AddLayer(std::make_unique<Softmax>("softmax"));
+  DE_CHECK(model->Finalize().ok());
+  return model;
+}
+
+}  // namespace nn
+}  // namespace deepeverest

@@ -1,0 +1,35 @@
+#ifndef DEEPEVEREST_NN_MODEL_ZOO_H_
+#define DEEPEVEREST_NN_MODEL_ZOO_H_
+
+#include <cstdint>
+
+#include "nn/model.h"
+
+namespace deepeverest {
+namespace nn {
+
+/// \brief Builders for the frozen models used across tests, examples, and
+/// benchmarks. All weights derive deterministically from `seed`.
+///
+/// These are scaled-down stand-ins for the paper's VGG16 and ResNet50 (see
+/// DESIGN.md §1): same layer kinds, same early/mid/late structure, sized so
+/// full-dataset inference takes seconds, not minutes, on one CPU core.
+
+/// Tiny MLP over rank-1 inputs of `input_units`; three ReLU layers. Meant
+/// for fast unit tests where inference cost is irrelevant.
+ModelPtr MakeTinyMlp(int input_units, uint64_t seed);
+
+/// VGG-style sequential conv net over 32x32x3 images: four conv/ReLU blocks
+/// with max pooling plus a dense head — five queryable activation layers
+/// from 8192 neurons (early) down to 64 (late).
+ModelPtr MakeMiniVgg(uint64_t seed);
+
+/// ResNet-style net over 32x32x3 images: conv stem plus three residual
+/// blocks with channel growth; roughly 2x MiniVgg's per-input inference
+/// cost, mirroring the paper's VGG16-vs-ResNet50 cost contrast.
+ModelPtr MakeMiniResNet(uint64_t seed);
+
+}  // namespace nn
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NN_MODEL_ZOO_H_

@@ -1,0 +1,70 @@
+#include "storage/activation_store.h"
+
+#include "common/serde.h"
+
+namespace deepeverest {
+namespace storage {
+
+namespace {
+constexpr uint32_t kMagic = 0xDEE7AC75;  // "DeepEverest activations"
+}  // namespace
+
+std::string ActivationStore::KeyFor(const std::string& model_name, int layer) {
+  return "activations/" + model_name + "/layer_" + std::to_string(layer) +
+         ".bin";
+}
+
+Status ActivationStore::Save(const std::string& model_name, int layer,
+                             const LayerActivationMatrix& matrix, bool sync) {
+  if (matrix.values.size() !=
+      static_cast<size_t>(matrix.num_inputs) * matrix.num_neurons) {
+    return Status::InvalidArgument("activation matrix geometry mismatch");
+  }
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(matrix.num_inputs);
+  writer.WriteU64(matrix.num_neurons);
+  writer.WriteF32Vector(matrix.values);
+  return store_->Write(KeyFor(model_name, layer), writer.buffer(), sync);
+}
+
+Result<LayerActivationMatrix> ActivationStore::Load(
+    const std::string& model_name, int layer) const {
+  DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                      store_->Read(KeyFor(model_name, layer)));
+  BinaryReader reader(bytes);
+  uint32_t magic = 0;
+  DE_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::IOError("bad magic in activation file for layer " +
+                           std::to_string(layer));
+  }
+  LayerActivationMatrix matrix;
+  DE_RETURN_NOT_OK(reader.ReadU32(&matrix.num_inputs));
+  DE_RETURN_NOT_OK(reader.ReadU64(&matrix.num_neurons));
+  DE_RETURN_NOT_OK(reader.ReadF32Vector(&matrix.values));
+  if (matrix.values.size() !=
+      static_cast<size_t>(matrix.num_inputs) * matrix.num_neurons) {
+    return Status::IOError("corrupt activation file for layer " +
+                           std::to_string(layer));
+  }
+  return matrix;
+}
+
+bool ActivationStore::Contains(const std::string& model_name,
+                               int layer) const {
+  return store_->Exists(KeyFor(model_name, layer));
+}
+
+Status ActivationStore::Remove(const std::string& model_name, int layer) {
+  return store_->Remove(KeyFor(model_name, layer));
+}
+
+uint64_t ActivationStore::PersistedBytes(uint32_t num_inputs,
+                                         uint64_t num_neurons) {
+  // magic + num_inputs + num_neurons + vector length prefix + payload.
+  return 4 + 4 + 8 + 8 + static_cast<uint64_t>(num_inputs) * num_neurons * 4;
+}
+
+}  // namespace storage
+}  // namespace deepeverest

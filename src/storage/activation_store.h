@@ -1,0 +1,74 @@
+#ifndef DEEPEVEREST_STORAGE_ACTIVATION_STORE_H_
+#define DEEPEVEREST_STORAGE_ACTIVATION_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace storage {
+
+/// \brief Dense activation matrix of one layer: nInputs rows x nNeurons cols.
+///
+/// Row i is the flat activation vector of inputID i. This is the unit of
+/// materialisation used by PreprocessAll and the disk caches: one file per
+/// layer, float32, uncompressed (exactly the paper's "full materialization"
+/// storage cost of 4 bytes per activation).
+struct LayerActivationMatrix {
+  uint32_t num_inputs = 0;
+  uint64_t num_neurons = 0;
+  std::vector<float> values;  // row-major, num_inputs * num_neurons
+
+  float At(uint32_t input_id, uint64_t neuron) const {
+    return values[static_cast<size_t>(input_id) * num_neurons + neuron];
+  }
+  const float* Row(uint32_t input_id) const {
+    return values.data() + static_cast<size_t>(input_id) * num_neurons;
+  }
+  float* MutableRow(uint32_t input_id) {
+    return values.data() + static_cast<size_t>(input_id) * num_neurons;
+  }
+
+  /// Allocates a zeroed matrix.
+  static LayerActivationMatrix Make(uint32_t num_inputs, uint64_t num_neurons) {
+    LayerActivationMatrix m;
+    m.num_inputs = num_inputs;
+    m.num_neurons = num_neurons;
+    m.values.assign(static_cast<size_t>(num_inputs) * num_neurons, 0.0f);
+    return m;
+  }
+};
+
+/// \brief Persists/loads per-layer activation matrices in a FileStore.
+class ActivationStore {
+ public:
+  /// Does not take ownership; `store` must outlive this object.
+  explicit ActivationStore(FileStore* store) : store_(store) {}
+
+  /// Key under which a layer's activations are stored.
+  static std::string KeyFor(const std::string& model_name, int layer);
+
+  Status Save(const std::string& model_name, int layer,
+              const LayerActivationMatrix& matrix, bool sync = false);
+
+  Result<LayerActivationMatrix> Load(const std::string& model_name,
+                                     int layer) const;
+
+  bool Contains(const std::string& model_name, int layer) const;
+
+  Status Remove(const std::string& model_name, int layer);
+
+  /// On-disk payload size for a matrix of this geometry (header + floats).
+  static uint64_t PersistedBytes(uint32_t num_inputs, uint64_t num_neurons);
+
+ private:
+  FileStore* store_;
+};
+
+}  // namespace storage
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_STORAGE_ACTIVATION_STORE_H_

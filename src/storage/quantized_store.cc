@@ -1,0 +1,124 @@
+#include "storage/quantized_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/serde.h"
+
+namespace deepeverest {
+namespace storage {
+
+namespace {
+constexpr uint32_t kMagic = 0xDEE7C0DE;
+}  // namespace
+
+QuantizedActivationMatrix QuantizedActivationMatrix::Quantize(
+    const LayerActivationMatrix& matrix) {
+  QuantizedActivationMatrix q;
+  q.num_inputs = matrix.num_inputs;
+  q.num_neurons = matrix.num_neurons;
+  q.min_value.resize(matrix.num_neurons);
+  q.scale.resize(matrix.num_neurons);
+  q.codes.resize(static_cast<size_t>(matrix.num_inputs) *
+                 matrix.num_neurons);
+
+  for (uint64_t neuron = 0; neuron < matrix.num_neurons; ++neuron) {
+    float lo = matrix.At(0, neuron);
+    float hi = lo;
+    for (uint32_t id = 1; id < matrix.num_inputs; ++id) {
+      const float v = matrix.At(id, neuron);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    q.min_value[neuron] = lo;
+    q.scale[neuron] = hi > lo ? (hi - lo) / 255.0f : 0.0f;
+    const float inv_scale =
+        q.scale[neuron] > 0.0f ? 1.0f / q.scale[neuron] : 0.0f;
+    for (uint32_t id = 0; id < matrix.num_inputs; ++id) {
+      const float v = matrix.At(id, neuron);
+      const float code = std::round((v - lo) * inv_scale);
+      q.codes[static_cast<size_t>(id) * matrix.num_neurons + neuron] =
+          static_cast<uint8_t>(
+              std::clamp(code, 0.0f, 255.0f));
+    }
+  }
+  return q;
+}
+
+LayerActivationMatrix QuantizedActivationMatrix::Dequantize() const {
+  LayerActivationMatrix matrix =
+      LayerActivationMatrix::Make(num_inputs, num_neurons);
+  for (uint32_t id = 0; id < num_inputs; ++id) {
+    float* row = matrix.MutableRow(id);
+    for (uint64_t neuron = 0; neuron < num_neurons; ++neuron) {
+      row[neuron] = At(id, neuron);
+    }
+  }
+  return matrix;
+}
+
+std::string QuantizedActivationStore::KeyFor(const std::string& model_name,
+                                             int layer) {
+  return "quantized/" + model_name + "/layer_" + std::to_string(layer) +
+         ".q8";
+}
+
+Status QuantizedActivationStore::Save(const std::string& model_name,
+                                      int layer,
+                                      const QuantizedActivationMatrix& matrix,
+                                      bool sync) {
+  if (matrix.codes.size() !=
+          static_cast<size_t>(matrix.num_inputs) * matrix.num_neurons ||
+      matrix.min_value.size() != matrix.num_neurons ||
+      matrix.scale.size() != matrix.num_neurons) {
+    return Status::InvalidArgument("quantized matrix geometry mismatch");
+  }
+  BinaryWriter writer;
+  writer.WriteU32(kMagic);
+  writer.WriteU32(matrix.num_inputs);
+  writer.WriteU64(matrix.num_neurons);
+  writer.WriteF32Vector(matrix.min_value);
+  writer.WriteF32Vector(matrix.scale);
+  writer.WriteU64(matrix.codes.size());
+  std::vector<uint8_t> buffer = writer.TakeBuffer();
+  buffer.insert(buffer.end(), matrix.codes.begin(), matrix.codes.end());
+  return store_->Write(KeyFor(model_name, layer), buffer, sync);
+}
+
+Result<QuantizedActivationMatrix> QuantizedActivationStore::Load(
+    const std::string& model_name, int layer) const {
+  DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                      store_->Read(KeyFor(model_name, layer)));
+  BinaryReader reader(bytes);
+  uint32_t magic = 0;
+  DE_RETURN_NOT_OK(reader.ReadU32(&magic));
+  if (magic != kMagic) {
+    return Status::IOError("bad magic in quantized activation file");
+  }
+  QuantizedActivationMatrix matrix;
+  DE_RETURN_NOT_OK(reader.ReadU32(&matrix.num_inputs));
+  DE_RETURN_NOT_OK(reader.ReadU64(&matrix.num_neurons));
+  DE_RETURN_NOT_OK(reader.ReadF32Vector(&matrix.min_value));
+  DE_RETURN_NOT_OK(reader.ReadF32Vector(&matrix.scale));
+  uint64_t code_count = 0;
+  DE_RETURN_NOT_OK(reader.ReadU64(&code_count));
+  if (code_count != static_cast<uint64_t>(matrix.num_inputs) *
+                        matrix.num_neurons ||
+      code_count != reader.remaining() ||
+      matrix.min_value.size() != matrix.num_neurons ||
+      matrix.scale.size() != matrix.num_neurons) {
+    return Status::IOError("corrupt quantized activation file");
+  }
+  matrix.codes.resize(code_count);
+  std::copy(bytes.end() - static_cast<ptrdiff_t>(code_count), bytes.end(),
+            matrix.codes.begin());
+  return matrix;
+}
+
+bool QuantizedActivationStore::Contains(const std::string& model_name,
+                                        int layer) const {
+  return store_->Exists(KeyFor(model_name, layer));
+}
+
+}  // namespace storage
+}  // namespace deepeverest

@@ -1,0 +1,78 @@
+#ifndef DEEPEVEREST_STORAGE_QUANTIZED_STORE_H_
+#define DEEPEVEREST_STORAGE_QUANTIZED_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/activation_store.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace storage {
+
+/// \brief 8-bit linearly quantised activation matrix (MISTIQUE-style).
+///
+/// The paper points to MISTIQUE's quantisation as an orthogonal storage
+/// technique DeepEverest could incorporate (§3). This implements the
+/// standard variant: per-neuron min/max ranges with 8-bit codes, a 4x size
+/// reduction over float32 at bounded per-value error
+/// (<= range/255/2 after round-to-nearest).
+///
+/// Quantised matrices are lossy, so they are suitable for the caching
+/// baselines and for approximate query answering — not for the exact-result
+/// guarantees NTA provides over NPI.
+struct QuantizedActivationMatrix {
+  uint32_t num_inputs = 0;
+  uint64_t num_neurons = 0;
+  std::vector<float> min_value;   // per neuron
+  std::vector<float> scale;       // per neuron: (max - min) / 255
+  std::vector<uint8_t> codes;     // row-major, num_inputs x num_neurons
+
+  /// Quantises a float32 matrix.
+  static QuantizedActivationMatrix Quantize(
+      const LayerActivationMatrix& matrix);
+
+  /// Reconstructs the (lossy) float32 value of one cell.
+  float At(uint32_t input_id, uint64_t neuron) const {
+    const uint8_t code =
+        codes[static_cast<size_t>(input_id) * num_neurons + neuron];
+    return min_value[neuron] + scale[neuron] * static_cast<float>(code);
+  }
+
+  /// Reconstructs the full float32 matrix.
+  LayerActivationMatrix Dequantize() const;
+
+  /// Worst-case absolute reconstruction error for `neuron`.
+  float MaxErrorOf(uint64_t neuron) const { return scale[neuron] * 0.5f; }
+
+  /// In-memory payload size (codes + ranges), ~1/4 of float32.
+  uint64_t PayloadBytes() const {
+    return codes.size() + (min_value.size() + scale.size()) * sizeof(float);
+  }
+};
+
+/// \brief Persists/loads quantised matrices in a FileStore, mirroring
+/// ActivationStore's layout under a separate key prefix.
+class QuantizedActivationStore {
+ public:
+  explicit QuantizedActivationStore(FileStore* store) : store_(store) {}
+
+  static std::string KeyFor(const std::string& model_name, int layer);
+
+  Status Save(const std::string& model_name, int layer,
+              const QuantizedActivationMatrix& matrix, bool sync = false);
+
+  Result<QuantizedActivationMatrix> Load(const std::string& model_name,
+                                         int layer) const;
+
+  bool Contains(const std::string& model_name, int layer) const;
+
+ private:
+  FileStore* store_;
+};
+
+}  // namespace storage
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_STORAGE_QUANTIZED_STORE_H_

@@ -1,0 +1,58 @@
+#ifndef DEEPEVEREST_TENSOR_SHAPE_H_
+#define DEEPEVEREST_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace deepeverest {
+
+/// \brief Dimensions of a dense row-major tensor.
+///
+/// Convention throughout the nn/ module: activations are HWC —
+/// {height, width, channels} for image-like tensors and {units} for
+/// flattened/dense tensors. Batch dimensions are handled by the inference
+/// engine, not by Shape.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims) : dims_(dims) { Validate(); }
+  explicit Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const {
+    DE_CHECK_GE(i, 0);
+    DE_CHECK_LT(i, rank());
+    return dims_[i];
+  }
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Total number of elements (product of dims; 1 for rank 0).
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Renders e.g. "[32, 32, 3]".
+  std::string ToString() const;
+
+ private:
+  void Validate() {
+    for (int64_t d : dims_) DE_CHECK_GE(d, 0);
+  }
+
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_TENSOR_SHAPE_H_

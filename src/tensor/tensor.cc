@@ -1,0 +1,32 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+
+namespace deepeverest {
+
+std::string Shape::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < rank(); ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << shape_.ToString() << " {";
+  const int64_t n = NumElements();
+  const int64_t show = n > 8 ? 8 : n;
+  for (int64_t i = 0; i < show; ++i) {
+    if (i > 0) out << ", ";
+    out << data_[static_cast<size_t>(i)];
+  }
+  if (show < n) out << ", ... (" << n << " elements)";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace deepeverest

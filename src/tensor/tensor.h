@@ -1,0 +1,85 @@
+#ifndef DEEPEVEREST_TENSOR_TENSOR_H_
+#define DEEPEVEREST_TENSOR_TENSOR_H_
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/shape.h"
+
+namespace deepeverest {
+
+/// \brief Dense row-major float32 tensor.
+///
+/// Owns its buffer. The inference engine treats a layer's output for one
+/// input as a single Tensor; a "neuron" in DeepEverest terms is one scalar
+/// element of that tensor, addressed by its flat index.
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Zero-initialised tensor of the given shape.
+  explicit Tensor(Shape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_.NumElements()), 0.0f) {}
+  /// Takes ownership of `data`; size must match the shape.
+  Tensor(Shape shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    DE_CHECK_EQ(static_cast<int64_t>(data_.size()), shape_.NumElements());
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  const Shape& shape() const { return shape_; }
+  int64_t NumElements() const { return static_cast<int64_t>(data_.size()); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float operator[](int64_t i) const {
+    DE_CHECK_GE(i, 0);
+    DE_CHECK_LT(i, NumElements());
+    return data_[static_cast<size_t>(i)];
+  }
+  float& operator[](int64_t i) {
+    DE_CHECK_GE(i, 0);
+    DE_CHECK_LT(i, NumElements());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// HWC element access for rank-3 tensors.
+  float At(int64_t h, int64_t w, int64_t c) const {
+    return data_[static_cast<size_t>(Offset(h, w, c))];
+  }
+  float& At(int64_t h, int64_t w, int64_t c) {
+    return data_[static_cast<size_t>(Offset(h, w, c))];
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  std::string ToString() const;
+
+ private:
+  int64_t Offset(int64_t h, int64_t w, int64_t c) const {
+    DE_CHECK_EQ(shape_.rank(), 3);
+    DE_CHECK_GE(h, 0);
+    DE_CHECK_LT(h, shape_.dim(0));
+    DE_CHECK_GE(w, 0);
+    DE_CHECK_LT(w, shape_.dim(1));
+    DE_CHECK_GE(c, 0);
+    DE_CHECK_LT(c, shape_.dim(2));
+    return (h * shape_.dim(1) + w) * shape_.dim(2) + c;
+  }
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_TENSOR_TENSOR_H_

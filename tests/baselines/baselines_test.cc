@@ -1,0 +1,190 @@
+// Cross-checks every baseline engine against ReprocessAll (the reference)
+// and verifies their storage / caching behaviours.
+#include <gtest/gtest.h>
+
+#include "baselines/lru_cache.h"
+#include "baselines/preprocess_all.h"
+#include "baselines/priority_cache.h"
+#include "baselines/reprocess_all.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace baselines {
+namespace {
+
+using core::NeuronGroup;
+using testing_util::ExpectValidTopK;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+TEST(PreprocessAllTest, QueriesRequireNoInferenceAfterPreprocess) {
+  TinySystem sys(30, 71, 8);
+  TempDir dir("pa");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  PreprocessAll engine(sys.engine.get(), &store.value());
+  DE_ASSERT_OK(engine.Preprocess());
+  EXPECT_GT(engine.preprocess_inference_seconds(), 0.0);
+
+  const int64_t after_preprocess = sys.engine->stats().inputs_run;
+  EXPECT_EQ(after_preprocess, 30);  // one pass over the dataset
+
+  const int layer = sys.model->activation_layers()[1];
+  auto result = engine.TopKMostSimilar(2, NeuronGroup{layer, {0, 3}}, 5,
+                                       nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(sys.engine->stats().inputs_run, after_preprocess);  // no new
+  EXPECT_EQ(result->entries.size(), 5u);
+}
+
+TEST(PreprocessAllTest, QueryBeforePreprocessFails) {
+  TinySystem sys(10, 72, 8);
+  TempDir dir("pa");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  PreprocessAll engine(sys.engine.get(), &store.value());
+  const int layer = sys.model->activation_layers()[0];
+  EXPECT_TRUE(engine.TopKHighest(NeuronGroup{layer, {0}}, 3, nullptr)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(PreprocessAllTest, StorageIsFullMaterialization) {
+  TinySystem sys(20, 73, 8);
+  TempDir dir("pa");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  PreprocessAll engine(sys.engine.get(), &store.value());
+  DE_ASSERT_OK(engine.Preprocess());
+  int64_t total_neurons = 0;
+  for (int layer = 0; layer < sys.model->num_layers(); ++layer) {
+    total_neurons += sys.model->NeuronCount(layer);
+  }
+  auto bytes = engine.StorageBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GE(*bytes, static_cast<uint64_t>(total_neurons) * 20 * 4);
+}
+
+TEST(AllEnginesTest, AgreeOnBothQueryTypes) {
+  TinySystem sys(40, 74, 8);
+  TempDir dir("all");
+  auto store_pa = storage::FileStore::Open(dir.path() + "/pa");
+  auto store_lru = storage::FileStore::Open(dir.path() + "/lru");
+  auto store_pri = storage::FileStore::Open(dir.path() + "/pri");
+  ASSERT_TRUE(store_pa.ok());
+  ASSERT_TRUE(store_lru.ok());
+  ASSERT_TRUE(store_pri.ok());
+
+  ReprocessAll reference(sys.engine.get());
+  PreprocessAll preprocess(sys.engine.get(), &store_pa.value());
+  LruCacheEngine lru(sys.engine.get(), &store_lru.value(), 1 << 24);
+  PriorityCacheEngine priority(sys.engine.get(), &store_pri.value(), 1 << 20);
+  DE_ASSERT_OK(preprocess.Preprocess());
+  DE_ASSERT_OK(priority.Preprocess());
+
+  std::vector<QueryEngine*> engines = {&preprocess, &lru, &priority};
+  const int layer = sys.model->activation_layers()[1];
+  const NeuronGroup group{layer, {2, 5, 8}};
+
+  auto expected_high = reference.TopKHighest(group, 7, nullptr);
+  ASSERT_TRUE(expected_high.ok());
+  auto expected_sim = reference.TopKMostSimilar(6, group, 7, nullptr);
+  ASSERT_TRUE(expected_sim.ok());
+  for (QueryEngine* engine : engines) {
+    auto high = engine->TopKHighest(group, 7, nullptr);
+    ASSERT_TRUE(high.ok()) << engine->name();
+    ExpectValidTopK(*expected_high, *high, /*smaller_is_better=*/false);
+    auto sim = engine->TopKMostSimilar(6, group, 7, nullptr);
+    ASSERT_TRUE(sim.ok()) << engine->name();
+    ExpectValidTopK(*expected_sim, *sim, /*smaller_is_better=*/true);
+  }
+}
+
+TEST(LruCacheTest, HitAvoidsInferenceMissPaysFullPass) {
+  TinySystem sys(25, 75, 8);
+  TempDir dir("lru");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  LruCacheEngine lru(sys.engine.get(), &store.value(), 1 << 24);
+
+  const int layer = sys.model->activation_layers()[0];
+  const NeuronGroup group{layer, {0, 1}};
+  auto first = lru.TopKHighest(group, 3, nullptr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.inputs_run, 25);  // miss: full pass
+  EXPECT_EQ(lru.misses(), 1);
+
+  auto second = lru.TopKHighest(group, 3, nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.inputs_run, 0);  // hit: disk only
+  EXPECT_EQ(lru.hits(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedLayer) {
+  TinySystem sys(25, 76, 8);
+  TempDir dir("lru");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  // Budget for roughly one layer (first activation layer: 16 neurons
+  // * 25 inputs * 4 bytes = 1600 payload + header).
+  LruCacheEngine lru(sys.engine.get(), &store.value(), 2000);
+
+  const int layer_a = sys.model->activation_layers()[0];  // 16 neurons
+  const int layer_b = sys.model->activation_layers()[1];  // 12 neurons
+  ASSERT_TRUE(lru.TopKHighest(NeuronGroup{layer_a, {0}}, 3, nullptr).ok());
+  EXPECT_TRUE(lru.IsCached(layer_a));
+  ASSERT_TRUE(lru.TopKHighest(NeuronGroup{layer_b, {0}}, 3, nullptr).ok());
+  // layer_b displaced layer_a under the small budget.
+  EXPECT_TRUE(lru.IsCached(layer_b));
+  EXPECT_FALSE(lru.IsCached(layer_a));
+  // A budget violation never persists.
+  auto bytes = lru.StorageBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LE(*bytes, 2000u);
+}
+
+TEST(PriorityCacheTest, ChoosesLayersUnderBudgetByBenefit) {
+  TinySystem sys(30, 77, 8);
+  TempDir dir("pri");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  PriorityCacheEngine priority(sys.engine.get(), &store.value(), 3000);
+  DE_ASSERT_OK(priority.Preprocess());
+  // Something was chosen, and the chosen layers respect the budget.
+  EXPECT_FALSE(priority.chosen_layers().empty());
+  auto bytes = priority.StorageBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LE(*bytes, 3000u);
+
+  // Stored layers answer without inference; others recompute.
+  const int stored = priority.chosen_layers().front();
+  const int64_t before = sys.engine->stats().inputs_run;
+  ASSERT_TRUE(
+      priority.TopKHighest(NeuronGroup{stored, {0}}, 3, nullptr).ok());
+  EXPECT_EQ(sys.engine->stats().inputs_run, before);
+
+  int missing = -1;
+  for (int layer = 0; layer < sys.model->num_layers(); ++layer) {
+    if (!priority.IsStored(layer)) missing = layer;
+  }
+  ASSERT_GE(missing, 0);
+  ASSERT_TRUE(
+      priority.TopKHighest(NeuronGroup{missing, {0}}, 3, nullptr).ok());
+  EXPECT_EQ(sys.engine->stats().inputs_run, before + 30);
+}
+
+TEST(ReprocessAllTest, EveryQueryPaysFullInference) {
+  TinySystem sys(20, 78, 8);
+  ReprocessAll engine(sys.engine.get());
+  const int layer = sys.model->activation_layers()[0];
+  auto r1 = engine.TopKHighest(NeuronGroup{layer, {0, 1}}, 3, nullptr);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->stats.inputs_run, 20);
+  auto r2 = engine.TopKMostSimilar(1, NeuronGroup{layer, {0, 1}}, 3, nullptr);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->stats.inputs_run, 21);  // target pass + full scan
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepeverest

@@ -1,0 +1,100 @@
+#include "baselines/cta.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nta.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace baselines {
+namespace {
+
+using core::DistanceKind;
+using core::MakeDistance;
+
+storage::LayerActivationMatrix RandomMatrix(uint32_t inputs, uint64_t neurons,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  auto m = storage::LayerActivationMatrix::Make(inputs, neurons);
+  for (uint32_t i = 0; i < inputs; ++i) {
+    for (uint64_t n = 0; n < neurons; ++n) {
+      m.MutableRow(i)[n] =
+          std::max(0.0f, static_cast<float>(rng.NextGaussian()));
+    }
+  }
+  return m;
+}
+
+TEST(CtaTest, MostSimilarMatchesScan) {
+  const auto matrix = RandomMatrix(200, 10, 51);
+  const std::vector<int64_t> neurons = {1, 4, 7};
+  const std::vector<float> target = {0.5f, 1.0f, 0.0f};
+  for (DistanceKind kind :
+       {DistanceKind::kL1, DistanceKind::kL2, DistanceKind::kLInf}) {
+    auto dist = MakeDistance(kind);
+    ASSERT_TRUE(dist.ok());
+    const CtaResult cta =
+        CtaMostSimilar(matrix, neurons, target, 15, *dist, false, 0);
+    const core::TopKResult scan =
+        core::ScanMostSimilar(matrix, neurons, target, 15, *dist, false, 0);
+    ASSERT_EQ(cta.top.entries.size(), scan.entries.size());
+    for (size_t i = 0; i < scan.entries.size(); ++i) {
+      EXPECT_NEAR(cta.top.entries[i].value, scan.entries[i].value, 1e-9)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(CtaTest, HighestMatchesScan) {
+  const auto matrix = RandomMatrix(150, 8, 52);
+  const std::vector<int64_t> neurons = {0, 3};
+  auto dist = MakeDistance(DistanceKind::kL2);
+  ASSERT_TRUE(dist.ok());
+  const CtaResult cta = CtaHighest(matrix, neurons, 10, *dist);
+  const core::TopKResult scan = core::ScanHighest(matrix, neurons, 10, *dist);
+  ASSERT_EQ(cta.top.entries.size(), scan.entries.size());
+  for (size_t i = 0; i < scan.entries.size(); ++i) {
+    EXPECT_NEAR(cta.top.entries[i].value, scan.entries[i].value, 1e-9);
+  }
+}
+
+TEST(CtaTest, HaltsBeforeExhaustionOnEasyInstances) {
+  // One input is far closer than the rest on every list: CTA should stop
+  // long before depth n.
+  auto matrix = storage::LayerActivationMatrix::Make(100, 2);
+  for (uint32_t i = 0; i < 100; ++i) {
+    matrix.MutableRow(i)[0] = 10.0f + static_cast<float>(i);
+    matrix.MutableRow(i)[1] = 10.0f + static_cast<float>(i);
+  }
+  auto dist = MakeDistance(DistanceKind::kL1);
+  const CtaResult cta = CtaMostSimilar(matrix, {0, 1}, {10.0f, 10.0f}, 1,
+                                       *dist, false, 0);
+  EXPECT_EQ(cta.top.entries[0].input_id, 0u);
+  EXPECT_LT(cta.sorted_depth, 100);
+}
+
+TEST(CtaTest, ExcludeTargetOmitsIt) {
+  const auto matrix = RandomMatrix(50, 4, 53);
+  const std::vector<int64_t> neurons = {0, 1, 2, 3};
+  std::vector<float> target(4);
+  for (int i = 0; i < 4; ++i) target[i] = matrix.At(7, i);
+  auto dist = MakeDistance(DistanceKind::kL2);
+  const CtaResult cta =
+      CtaMostSimilar(matrix, neurons, target, 5, *dist, true, 7);
+  for (const auto& e : cta.top.entries) {
+    EXPECT_NE(e.input_id, 7u);
+  }
+}
+
+TEST(CtaTest, DepthIsAtMostN) {
+  const auto matrix = RandomMatrix(60, 3, 54);
+  auto dist = MakeDistance(DistanceKind::kLInf);
+  const CtaResult cta = CtaMostSimilar(matrix, {0, 1, 2}, {0.0f, 0.0f, 0.0f},
+                                       60, *dist, false, 0);
+  EXPECT_LE(cta.sorted_depth, 60);
+  EXPECT_EQ(cta.top.entries.size(), 60u);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepeverest

@@ -1,0 +1,55 @@
+#include "baselines/deepeverest_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/reprocess_all.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace baselines {
+namespace {
+
+using testing_util::ExpectValidTopK;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+TEST(DeepEverestEngineTest, BehavesLikeAnyOtherEngine) {
+  TinySystem sys(40, 79, 8);
+  TempDir dir("dee");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  core::DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 4;
+  auto de = core::DeepEverest::Create(sys.model.get(), &sys.dataset,
+                                      &store.value(), options);
+  ASSERT_TRUE(de.ok());
+
+  DeepEverestEngine engine(de->get());
+  ReprocessAll reference(sys.engine.get());
+  EXPECT_EQ(engine.name(), "DeepEverest");
+  DE_ASSERT_OK(engine.Preprocess());
+
+  const int layer = sys.model->activation_layers()[1];
+  const core::NeuronGroup group{layer, {0, 5, 11}};
+
+  auto high = engine.TopKHighest(group, 6, nullptr);
+  ASSERT_TRUE(high.ok());
+  auto expected_high = reference.TopKHighest(group, 6, nullptr);
+  ASSERT_TRUE(expected_high.ok());
+  ExpectValidTopK(*expected_high, *high, /*smaller_is_better=*/false);
+
+  auto sim = engine.TopKMostSimilar(2, group, 6, nullptr);
+  ASSERT_TRUE(sim.ok());
+  auto expected_sim = reference.TopKMostSimilar(2, group, 6, nullptr);
+  ASSERT_TRUE(expected_sim.ok());
+  ExpectValidTopK(*expected_sim, *sim, /*smaller_is_better=*/true);
+
+  auto bytes = engine.StorageBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(*bytes, 0u);  // preprocessed: indexes persisted
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepeverest

@@ -1,0 +1,142 @@
+#include "baselines/kd_tree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nta.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace baselines {
+namespace {
+
+PointMatrix RandomPoints(uint32_t n, uint32_t dims, uint64_t seed) {
+  Rng rng(seed);
+  PointMatrix points;
+  points.num_points = n;
+  points.dims = dims;
+  points.values.resize(static_cast<size_t>(n) * dims);
+  for (float& v : points.values) {
+    v = static_cast<float>(rng.NextGaussian());
+  }
+  return points;
+}
+
+std::vector<core::ResultEntry> BruteKnn(const PointMatrix& points,
+                                        const float* target, int k,
+                                        int64_t exclude) {
+  std::vector<core::ResultEntry> all;
+  for (uint32_t i = 0; i < points.num_points; ++i) {
+    if (exclude >= 0 && static_cast<int64_t>(i) == exclude) continue;
+    double d2 = 0.0;
+    for (uint32_t d = 0; d < points.dims; ++d) {
+      const double diff = points.Row(i)[d] - target[d];
+      d2 += diff * diff;
+    }
+    all.push_back(core::ResultEntry{i, std::sqrt(d2)});
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.input_id < b.input_id;
+  });
+  all.resize(std::min<size_t>(all.size(), static_cast<size_t>(k)));
+  return all;
+}
+
+class TreeParamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, int>> {};
+
+TEST_P(TreeParamTest, KdTreeMatchesBruteForce) {
+  const auto [n, dims, k] = GetParam();
+  const PointMatrix points = RandomPoints(n, dims, 61 + n + dims);
+  KdTree tree{PointMatrix(points)};
+  Rng rng(n * 7 + dims);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> target(dims);
+    for (auto& v : target) v = static_cast<float>(rng.NextGaussian());
+    const auto actual = tree.Query(target.data(), k);
+    const auto expected = BruteKnn(points, target.data(), k, -1);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(actual[i].value, expected[i].value, 1e-5)
+          << "n=" << n << " dims=" << dims << " k=" << k << " rank=" << i;
+    }
+  }
+}
+
+TEST_P(TreeParamTest, BallTreeMatchesBruteForce) {
+  const auto [n, dims, k] = GetParam();
+  const PointMatrix points = RandomPoints(n, dims, 62 + n + dims);
+  BallTree tree{PointMatrix(points)};
+  Rng rng(n * 11 + dims);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> target(dims);
+    for (auto& v : target) v = static_cast<float>(rng.NextGaussian());
+    const auto actual = tree.Query(target.data(), k);
+    const auto expected = BruteKnn(points, target.data(), k, -1);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_NEAR(actual[i].value, expected[i].value, 1e-5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeParamTest,
+    ::testing::Combine(::testing::Values(10u, 100u, 500u),  // points
+                       ::testing::Values(1u, 3u, 10u),      // dimensions
+                       ::testing::Values(1, 5, 20)));       // k
+
+TEST(KdTreeTest, ExcludeSkipsPoint) {
+  const PointMatrix points = RandomPoints(50, 3, 63);
+  KdTree tree{PointMatrix(points)};
+  const float* self = points.Row(20);
+  const auto with = tree.Query(self, 1);
+  EXPECT_EQ(with[0].input_id, 20u);  // nearest to itself
+  const auto without = tree.Query(self, 1, /*exclude=*/20);
+  EXPECT_NE(without[0].input_id, 20u);
+}
+
+TEST(KdTreeTest, DuplicatePointsHandled) {
+  PointMatrix points;
+  points.num_points = 40;
+  points.dims = 2;
+  points.values.assign(80, 1.0f);  // all identical
+  KdTree tree{PointMatrix(points)};
+  const float target[2] = {1.0f, 1.0f};
+  const auto result = tree.Query(target, 5);
+  ASSERT_EQ(result.size(), 5u);
+  for (const auto& e : result) EXPECT_NEAR(e.value, 0.0, 1e-9);
+}
+
+TEST(BallTreeTest, DuplicatePointsHandled) {
+  PointMatrix points;
+  points.num_points = 40;
+  points.dims = 2;
+  points.values.assign(80, 2.0f);
+  BallTree tree{PointMatrix(points)};
+  const float target[2] = {0.0f, 0.0f};
+  const auto result = tree.Query(target, 3);
+  ASSERT_EQ(result.size(), 3u);
+  for (const auto& e : result) EXPECT_NEAR(e.value, std::sqrt(8.0), 1e-5);
+}
+
+TEST(MakePointMatrixTest, RestrictsToGroupDims) {
+  auto matrix = storage::LayerActivationMatrix::Make(3, 5);
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint64_t n = 0; n < 5; ++n) {
+      matrix.MutableRow(i)[n] = static_cast<float>(i * 10 + n);
+    }
+  }
+  const PointMatrix points = MakePointMatrix(matrix, {4, 1});
+  EXPECT_EQ(points.num_points, 3u);
+  EXPECT_EQ(points.dims, 2u);
+  EXPECT_EQ(points.Row(2)[0], 24.0f);  // input 2, neuron 4
+  EXPECT_EQ(points.Row(2)[1], 21.0f);  // input 2, neuron 1
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepeverest

@@ -1,0 +1,173 @@
+#include "bench_util/query_gen.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace bench_util {
+namespace {
+
+using testing_util::TinySystem;
+
+TEST(PickLayerTest, EarlyMidLateAreDistinctActivationLayers) {
+  TinySystem sys(10, 81, 8);
+  const int early = PickLayer(*sys.model, LayerDepth::kEarly);
+  const int mid = PickLayer(*sys.model, LayerDepth::kMid);
+  const int late = PickLayer(*sys.model, LayerDepth::kLate);
+  EXPECT_LT(early, mid);
+  EXPECT_LT(mid, late);
+  const auto& layers = sys.model->activation_layers();
+  for (int layer : {early, mid, late}) {
+    EXPECT_NE(std::find(layers.begin(), layers.end(), layer), layers.end());
+  }
+}
+
+TEST(MakeNeuronGroupTest, TopPicksMaximallyActivated) {
+  TinySystem sys(20, 82, 8);
+  const int layer = sys.model->activation_layers()[0];
+  Rng rng(1);
+  auto group = MakeNeuronGroup(sys.engine.get(), 3, layer, GroupKind::kTop, 4,
+                               &rng);
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(group->neurons.size(), 4u);
+
+  std::vector<std::vector<float>> rows;
+  DE_ASSERT_OK(sys.engine->ComputeLayer({3}, layer, &rows));
+  // Each group member's activation must be >= every non-member's.
+  std::set<int64_t> members(group->neurons.begin(), group->neurons.end());
+  float min_member = 1e30f;
+  for (int64_t m : group->neurons) {
+    min_member = std::min(min_member, rows[0][static_cast<size_t>(m)]);
+  }
+  for (size_t n = 0; n < rows[0].size(); ++n) {
+    if (members.count(static_cast<int64_t>(n)) == 0) {
+      EXPECT_LE(rows[0][n], min_member);
+    }
+  }
+}
+
+TEST(MakeNeuronGroupTest, RandHighPicksFromUpperHalf) {
+  TinySystem sys(20, 83, 8);
+  const int layer = sys.model->activation_layers()[0];
+  Rng rng(2);
+  auto group = MakeNeuronGroup(sys.engine.get(), 5, layer,
+                               GroupKind::kRandHigh, 3, &rng);
+  ASSERT_TRUE(group.ok());
+  ASSERT_EQ(group->neurons.size(), 3u);
+  // Distinct neurons, all within the layer.
+  std::set<int64_t> unique(group->neurons.begin(), group->neurons.end());
+  EXPECT_EQ(unique.size(), 3u);
+  for (int64_t n : group->neurons) {
+    EXPECT_GE(n, 0);
+    EXPECT_LT(n, sys.model->NeuronCount(layer));
+  }
+}
+
+TEST(MakeNeuronGroupTest, RejectsOversizedGroups) {
+  TinySystem sys(10, 84, 8);
+  const int layer = sys.model->activation_layers()[2];  // 8 neurons
+  Rng rng(3);
+  EXPECT_FALSE(MakeNeuronGroup(sys.engine.get(), 0, layer, GroupKind::kTop,
+                               99, &rng)
+                   .ok());
+  EXPECT_FALSE(MakeNeuronGroup(sys.engine.get(), 0, layer, GroupKind::kTop, 0,
+                               &rng)
+                   .ok());
+}
+
+TEST(GenerateQueryTest, TypesMapToGroupKinds) {
+  TinySystem sys(30, 85, 8);
+  Rng rng(4);
+  for (QueryType type :
+       {QueryType::kFireMax, QueryType::kSimTop, QueryType::kSimHigh}) {
+    auto query = GenerateQuery(sys.engine.get(), type, LayerDepth::kMid, 3,
+                               &rng);
+    ASSERT_TRUE(query.ok());
+    EXPECT_EQ(query->type, type);
+    EXPECT_EQ(query->group.neurons.size(), 3u);
+    EXPECT_EQ(query->group.layer, PickLayer(*sys.model, LayerDepth::kMid));
+    EXPECT_LT(query->target_id, sys.dataset.size());
+    EXPECT_FALSE(query->label.empty());
+  }
+}
+
+TEST(WorkloadTest, TransitionProbabilitiesRoughlyHold) {
+  const std::vector<int> layers = {1, 3, 5, 7, 9};
+  WorkloadSpec spec;
+  spec.p_same = 0.5;
+  spec.p_prev = 0.3;
+  spec.p_new = 0.2;
+  spec.num_queries = 4000;
+  spec.seed = 5;
+  const std::vector<int> sequence = GenerateLayerSequence(layers, spec);
+  ASSERT_EQ(sequence.size(), 4000u);
+  int same = 0;
+  for (size_t i = 1; i < sequence.size(); ++i) {
+    if (sequence[i] == sequence[i - 1]) ++same;
+  }
+  // p_same = 0.5 within sampling noise.
+  EXPECT_NEAR(static_cast<double>(same) / 3999.0, 0.5, 0.05);
+  // All layers eventually visited (p_new > 0).
+  std::set<int> seen(sequence.begin(), sequence.end());
+  EXPECT_EQ(seen.size(), layers.size());
+}
+
+TEST(WorkloadTest, UniformWorkloadVisitsAllLayers) {
+  const std::vector<int> layers = {0, 2, 4};
+  WorkloadSpec spec;
+  spec.p_same = 0.0;
+  spec.p_prev = 0.0;
+  spec.p_new = 1.0;
+  spec.num_queries = 50;
+  spec.seed = 6;
+  const std::vector<int> sequence = GenerateLayerSequence(layers, spec);
+  std::set<int> seen(sequence.begin(), sequence.end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  const std::vector<int> layers = {1, 2, 3};
+  WorkloadSpec spec;
+  spec.num_queries = 100;
+  spec.seed = 7;
+  EXPECT_EQ(GenerateLayerSequence(layers, spec),
+            GenerateLayerSequence(layers, spec));
+}
+
+TEST(IqaSequenceTest, ReplacesExactlyNReplaceNeurons) {
+  TinySystem sys(30, 86, 8);
+  const int layer = sys.model->activation_layers()[0];  // 16 neurons
+  Rng rng(8);
+  auto sequence = GenerateIqaSequence(sys.engine.get(), 2, layer,
+                                      /*group_size=*/5, /*num_replace=*/1,
+                                      /*length=*/10, &rng);
+  ASSERT_TRUE(sequence.ok());
+  ASSERT_EQ(sequence->size(), 10u);
+  for (size_t q = 1; q < sequence->size(); ++q) {
+    const auto& prev = (*sequence)[q - 1].neurons;
+    const auto& cur = (*sequence)[q].neurons;
+    EXPECT_EQ(cur.size(), 5u);
+    std::set<int64_t> prev_set(prev.begin(), prev.end());
+    int kept = 0;
+    for (int64_t n : cur) {
+      if (prev_set.count(n) != 0) ++kept;
+    }
+    EXPECT_GE(kept, 4) << "query " << q;  // at most 1 replaced
+  }
+}
+
+TEST(IqaSequenceTest, RejectsBadParams) {
+  TinySystem sys(10, 87, 8);
+  Rng rng(9);
+  EXPECT_FALSE(GenerateIqaSequence(sys.engine.get(), 0,
+                                   sys.model->activation_layers()[0], 3, 5, 4,
+                                   &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace bench_util
+}  // namespace deepeverest

@@ -1,0 +1,57 @@
+#include "bench_util/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace deepeverest {
+namespace bench_util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  // Every line has equal width.
+  std::istringstream lines(text);
+  std::string line, first;
+  std::getline(lines, first);
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.size(), first.size());
+  }
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+}
+
+TEST(FormatSecondsTest, UnitSelection) {
+  EXPECT_EQ(FormatSeconds(2.5), "2.500 s");
+  EXPECT_EQ(FormatSeconds(0.0235), "23.50 ms");
+  EXPECT_EQ(FormatSeconds(12e-6), "12 us");
+}
+
+TEST(FormatBytesTest, UnitSelection) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.05 KB");
+  EXPECT_EQ(FormatBytes(37800000000ull), "37.80 GB");
+  EXPECT_EQ(FormatBytes(1350000000000ull), "1.35 TB");
+}
+
+TEST(FormatMiscTest, DoubleAndSpeedup) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatSpeedup(63.5), "63.50x");
+}
+
+TEST(BannerTest, PrintsTitleAndSubtitle) {
+  std::ostringstream out;
+  PrintBanner(out, "Title", "Sub");
+  EXPECT_NE(out.str().find("=== Title ==="), std::string::npos);
+  EXPECT_NE(out.str().find("Sub"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bench_util
+}  // namespace deepeverest

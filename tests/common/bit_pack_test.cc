@@ -1,0 +1,106 @@
+#include "common/bit_pack.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace deepeverest {
+namespace {
+
+TEST(BitsForTest, MinimalWidths) {
+  EXPECT_EQ(PackedIntArray::BitsFor(1), 1);
+  EXPECT_EQ(PackedIntArray::BitsFor(2), 1);
+  EXPECT_EQ(PackedIntArray::BitsFor(3), 2);
+  EXPECT_EQ(PackedIntArray::BitsFor(4), 2);
+  EXPECT_EQ(PackedIntArray::BitsFor(5), 3);
+  EXPECT_EQ(PackedIntArray::BitsFor(8), 3);
+  EXPECT_EQ(PackedIntArray::BitsFor(9), 4);
+  EXPECT_EQ(PackedIntArray::BitsFor(256), 8);
+  EXPECT_EQ(PackedIntArray::BitsFor(257), 9);
+}
+
+TEST(PackedIntArrayTest, ZeroInitialized) {
+  PackedIntArray arr(100, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(arr.Get(i), 0u);
+  }
+}
+
+TEST(PackedIntArrayTest, SetGetRoundTrip) {
+  PackedIntArray arr(64, 3);
+  for (size_t i = 0; i < 64; ++i) {
+    arr.Set(i, i % 8);
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(arr.Get(i), i % 8) << "index " << i;
+  }
+}
+
+TEST(PackedIntArrayTest, ValuesSpanningWordBoundaries) {
+  // 7-bit values: indices 9 (bits 63..69) and 18 (bits 126..132) straddle
+  // word boundaries.
+  PackedIntArray arr(30, 7);
+  for (size_t i = 0; i < 30; ++i) {
+    arr.Set(i, (i * 31) % 128);
+  }
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(arr.Get(i), (i * 31) % 128) << "index " << i;
+  }
+}
+
+TEST(PackedIntArrayTest, OverwriteDoesNotCorruptNeighbours) {
+  PackedIntArray arr(10, 6);
+  for (size_t i = 0; i < 10; ++i) arr.Set(i, 63);
+  arr.Set(5, 0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(arr.Get(i), i == 5 ? 0u : 63u);
+  }
+}
+
+TEST(PackedIntArrayTest, FullWidth64) {
+  PackedIntArray arr(5, 64);
+  arr.Set(0, ~0ull);
+  arr.Set(4, 0x0123456789ABCDEFull);
+  EXPECT_EQ(arr.Get(0), ~0ull);
+  EXPECT_EQ(arr.Get(4), 0x0123456789ABCDEFull);
+}
+
+TEST(PackedIntArrayTest, SizeBytesMatchesFormula) {
+  // 1000 values * 6 bits = 6000 bits = 94 words of 64 bits.
+  PackedIntArray arr(1000, 6);
+  EXPECT_EQ(arr.SizeBytes(), ((1000 * 6 + 63) / 64) * 8u);
+}
+
+TEST(PackedIntArrayTest, RandomizedRoundTripAllWidths) {
+  Rng rng(42);
+  for (int bits = 1; bits <= 17; ++bits) {
+    const size_t n = 257;
+    PackedIntArray arr(n, bits);
+    std::vector<uint64_t> expected(n);
+    const uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      expected[i] = rng.NextUint64() & mask;
+      arr.Set(i, expected[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(arr.Get(i), expected[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(PackedIntArrayTest, SerializationViaWords) {
+  PackedIntArray arr(50, 9);
+  for (size_t i = 0; i < 50; ++i) arr.Set(i, (i * 7) % 512);
+
+  PackedIntArray restored;
+  *restored.mutable_words() = arr.words();
+  restored.RestoreGeometry(50, 9);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(restored.Get(i), (i * 7) % 512);
+  }
+}
+
+}  // namespace
+}  // namespace deepeverest

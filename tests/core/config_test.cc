@@ -1,0 +1,81 @@
+#include "core/config.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+TEST(ConfigCostTest, NpiCostMatchesPaperFormula) {
+  // nNeurons * nInputs * log2(nPartitions) / 8 bytes.
+  EXPECT_EQ(NpiCostBytes(1000, 10000, 64), 1000ull * 10000 * 6 / 8);
+  EXPECT_EQ(NpiCostBytes(1000, 10000, 2), 1000ull * 10000 * 1 / 8);
+}
+
+TEST(ConfigCostTest, MaiCostMatchesPaperFormula) {
+  // ratio * nInputs * nNeurons * 8 bytes (activation + inputID).
+  EXPECT_EQ(MaiCostBytes(1000, 10000, 0.05), 1000ull * 500 * 8);
+  EXPECT_EQ(MaiCostBytes(1000, 10000, 0.0), 0u);
+}
+
+TEST(ConfigSelectTest, PicksLargestPowerOfTwoUnderBudget) {
+  // 100 neurons, 10000 inputs, batch 64 -> partition-size cap allows up to
+  // 10000/64 = 156 -> at most 128 partitions. Give a budget that only
+  // affords 5 bits (32 partitions): cost(64) = 100*10000*6/8 = 750000.
+  const uint64_t budget = 700000;
+  const SystemConfig config = SelectConfig(budget, 64, 10000, 100);
+  EXPECT_EQ(config.num_partitions, 32);
+  // Remaining budget buys MAI: cost(32) = 625000, remaining 75000,
+  // per-ratio-unit cost = 100*10000*8 = 8e6 -> ratio ~ 0.009.
+  EXPECT_GT(config.mai_ratio, 0.0);
+  EXPECT_LT(config.mai_ratio, 0.02);
+  // The selected configuration respects the budget overall.
+  EXPECT_LE(NpiCostBytes(100, 10000, config.num_partitions) +
+                MaiCostBytes(100, 10000, config.mai_ratio),
+            budget);
+}
+
+TEST(ConfigSelectTest, BatchSizeCapsPartitions) {
+  // Huge budget, but nInputs/batchSize = 1000/128 = 7 -> at most 4
+  // partitions (largest power of two <= 7).
+  const SystemConfig config = SelectConfig(1ull << 40, 128, 1000, 100);
+  EXPECT_EQ(config.num_partitions, 4);
+}
+
+TEST(ConfigSelectTest, TinyBudgetFloorsAtTwoPartitionsNoMai) {
+  const SystemConfig config = SelectConfig(10, 8, 1000, 1000);
+  EXPECT_EQ(config.num_partitions, 2);
+  EXPECT_EQ(config.mai_ratio, 0.0);
+}
+
+TEST(ConfigSelectTest, RatioIsWholeNumberOfEntries) {
+  const SystemConfig config = SelectConfig(1 << 20, 8, 333, 50);
+  const double entries = config.mai_ratio * 333.0;
+  EXPECT_NEAR(entries, std::round(entries), 1e-9);
+}
+
+TEST(ConfigSelectTest, RatioCappedAtOne) {
+  // Budget far exceeding everything: ratio must not exceed 1.
+  const SystemConfig config = SelectConfig(1ull << 50, 2, 64, 4);
+  EXPECT_LE(config.mai_ratio, 1.0);
+}
+
+TEST(ConfigSelectTest, PaperScaleTwentyPercentBudget) {
+  // Roughly the paper's CIFAR10-VGG16 setting: ~300k neurons, 10k inputs,
+  // batch 128, budget 20% of full materialisation. The paper reports
+  // nPartitions = 64 with a small non-zero ratio.
+  const int64_t neurons = 300000;
+  const uint32_t inputs = 10000;
+  const uint64_t full = static_cast<uint64_t>(neurons) * inputs * 4;
+  const SystemConfig config =
+      SelectConfig(full / 5, 128, inputs, neurons);
+  EXPECT_EQ(config.num_partitions, 64);
+  EXPECT_GT(config.mai_ratio, 0.0);
+  EXPECT_LT(config.mai_ratio, 0.05);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,89 @@
+#include "core/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/query.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+TEST(DistanceTest, L1SumsAbsolutes) {
+  auto d = MakeDistance(DistanceKind::kL1);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({1.0, 2.0, 3.0}), 6.0);
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({}), 0.0);
+}
+
+TEST(DistanceTest, L2Euclidean) {
+  auto d = MakeDistance(DistanceKind::kL2);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({3.0, 4.0}), 5.0);
+  EXPECT_EQ((*d)->name(), "l2");
+}
+
+TEST(DistanceTest, LInfMax) {
+  auto d = MakeDistance(DistanceKind::kLInf);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({1.0, 7.0, 2.0}), 7.0);
+}
+
+TEST(DistanceTest, WeightedL2) {
+  auto d = MakeDistance(DistanceKind::kWeightedL2, {4.0, 1.0});
+  ASSERT_TRUE(d.ok());
+  // sqrt(4*1 + 1*9) = sqrt(13)
+  EXPECT_NEAR((*d)->Aggregate({1.0, 3.0}), std::sqrt(13.0), 1e-12);
+}
+
+TEST(DistanceTest, WeightedL2RequiresWeights) {
+  EXPECT_FALSE(MakeDistance(DistanceKind::kWeightedL2).ok());
+  EXPECT_FALSE(MakeDistance(DistanceKind::kWeightedL2, {-1.0}).ok());
+}
+
+TEST(DistanceTest, L2DistanceSingletonIsDefault) {
+  DistancePtr a = L2Distance();
+  DistancePtr b = L2Distance();
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_DOUBLE_EQ(a->Aggregate({6.0, 8.0}), 10.0);
+}
+
+// Monotonicity is the correctness prerequisite for NTA (section 2): raising
+// any coordinate must not lower the aggregate.
+TEST(DistanceTest, MonotonicityPropertyAllKinds) {
+  Rng rng(99);
+  for (DistanceKind kind :
+       {DistanceKind::kL1, DistanceKind::kL2, DistanceKind::kLInf,
+        DistanceKind::kWeightedL2}) {
+    auto d = MakeDistance(kind, {0.5, 2.0, 1.0, 0.1});
+    ASSERT_TRUE(d.ok());
+    for (int trial = 0; trial < 200; ++trial) {
+      std::vector<double> x(4), y(4);
+      for (int i = 0; i < 4; ++i) {
+        x[i] = rng.NextDouble() * 10.0;
+        y[i] = x[i] + rng.NextDouble();  // y >= x coordinate-wise
+      }
+      EXPECT_LE((*d)->Aggregate(x), (*d)->Aggregate(y) + 1e-12)
+          << DistanceKindToString(kind);
+    }
+  }
+}
+
+TEST(DistanceTest, KindNames) {
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kL1), "l1");
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kL2), "l2");
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kLInf), "linf");
+  EXPECT_STREQ(DistanceKindToString(DistanceKind::kWeightedL2),
+               "weighted-l2");
+}
+
+TEST(NeuronGroupTest, ToString) {
+  NeuronGroup g{3, {5, 9}};
+  EXPECT_EQ(g.ToString(), "layer 3 {5, 9}");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,134 @@
+#include "core/index_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+IndexManagerOptions Opts(int partitions = 4, double ratio = 0.1,
+                         bool persist = true) {
+  IndexManagerOptions options;
+  options.layer_config = LayerIndexConfig{partitions, ratio};
+  options.persist = persist;
+  return options;
+}
+
+TEST(IndexManagerTest, BuildsOnFirstUseAndReturnsFreshActs) {
+  TinySystem sys(30, 31, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+
+  const int layer = sys.model->activation_layers()[0];
+  EXPECT_FALSE(manager.IsIndexed(layer));
+
+  storage::LayerActivationMatrix fresh;
+  PreprocessTimings timings;
+  auto index = manager.EnsureIndex(layer, &fresh, &timings);
+  ASSERT_TRUE(index.ok());
+  // Fresh activations returned so the triggering query can be answered
+  // without a second pass (section 4.6).
+  EXPECT_EQ(fresh.num_inputs, 30u);
+  EXPECT_EQ(fresh.num_neurons,
+            static_cast<uint64_t>(sys.model->NeuronCount(layer)));
+  EXPECT_GT(timings.inference_seconds + timings.index_seconds +
+                timings.persist_seconds,
+            0.0);
+  EXPECT_TRUE(manager.IsIndexed(layer));
+  EXPECT_TRUE(manager.IsLoaded(layer));
+  EXPECT_TRUE(
+      store->Exists(IndexManager::KeyFor(sys.model->name(), layer)));
+}
+
+TEST(IndexManagerTest, SecondCallDoesNotRebuild) {
+  TinySystem sys(30, 32, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  const int layer = sys.model->activation_layers()[1];
+
+  ASSERT_TRUE(manager.EnsureIndex(layer).ok());
+  const int64_t after_build = sys.engine->stats().inputs_run;
+  storage::LayerActivationMatrix fresh;
+  auto again = manager.EnsureIndex(layer, &fresh);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(sys.engine->stats().inputs_run, after_build);  // no inference
+  EXPECT_EQ(fresh.num_inputs, 0u);  // nothing recomputed
+}
+
+TEST(IndexManagerTest, LoadsPersistedIndexAcrossManagers) {
+  TinySystem sys(25, 33, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  const int layer = sys.model->activation_layers()[0];
+  {
+    IndexManager manager(sys.engine.get(), &store.value(), Opts());
+    ASSERT_TRUE(manager.EnsureIndex(layer).ok());
+  }
+  // A new manager (new session) finds the index on disk: no inference.
+  IndexManager manager2(sys.engine.get(), &store.value(), Opts());
+  EXPECT_TRUE(manager2.IsIndexed(layer));
+  EXPECT_FALSE(manager2.IsLoaded(layer));
+  const int64_t before = sys.engine->stats().inputs_run;
+  auto index = manager2.EnsureIndex(layer);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(sys.engine->stats().inputs_run, before);
+  EXPECT_EQ((*index)->num_inputs(), 25u);
+}
+
+TEST(IndexManagerTest, NonPersistentStaysInMemory) {
+  TinySystem sys(20, 34, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(),
+                       Opts(4, 0.0, /*persist=*/false));
+  const int layer = sys.model->activation_layers()[0];
+  ASSERT_TRUE(manager.EnsureIndex(layer).ok());
+  auto keys = store->ListKeys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->empty());
+  auto bytes = manager.PersistedBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, 0u);
+}
+
+TEST(IndexManagerTest, PreprocessAllLayersIndexesEverything) {
+  TinySystem sys(15, 35, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  PreprocessTimings timings;
+  DE_ASSERT_OK(manager.PreprocessAllLayers(&timings));
+  for (int layer = 0; layer < sys.model->num_layers(); ++layer) {
+    EXPECT_TRUE(manager.IsIndexed(layer)) << "layer " << layer;
+  }
+  auto bytes = manager.PersistedBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_GT(*bytes, 0u);
+  EXPECT_GT(timings.inference_seconds, 0.0);
+}
+
+TEST(IndexManagerTest, RejectsBadLayer) {
+  TinySystem sys(10, 36, 8);
+  TempDir dir("im");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  EXPECT_TRUE(manager.EnsureIndex(-1).status().IsOutOfRange());
+  EXPECT_TRUE(manager.EnsureIndex(99).status().IsOutOfRange());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

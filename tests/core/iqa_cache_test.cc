@@ -1,0 +1,98 @@
+#include "core/iqa_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+std::vector<float> Row(float v, size_t n = 8) {
+  return std::vector<float>(n, v);
+}
+
+TEST(IqaCacheTest, MissThenHit) {
+  IqaCache cache(1 << 20);
+  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+  cache.Insert(0, 1, Row(1.5f));
+  const std::vector<float>* row = cache.Lookup(0, 1);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[0], 1.5f);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(IqaCacheTest, KeysAreLayerScoped) {
+  IqaCache cache(1 << 20);
+  cache.Insert(0, 7, Row(1.0f));
+  cache.Insert(1, 7, Row(2.0f));
+  EXPECT_EQ((*cache.Lookup(0, 7))[0], 1.0f);
+  EXPECT_EQ((*cache.Lookup(1, 7))[0], 2.0f);
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(IqaCacheTest, MruEvictionKeepsOldest) {
+  // Rows of 8 floats cost 32 + 64 bookkeeping = 96 bytes; capacity for ~3.
+  IqaCache cache(300);
+  cache.Insert(0, 1, Row(1.0f));
+  cache.Insert(0, 2, Row(2.0f));
+  cache.Insert(0, 3, Row(3.0f));
+  EXPECT_EQ(cache.entry_count(), 3u);
+  // Inserting a 4th must evict the most recently used entry (id 3), keeping
+  // the earliest rows — NTA inserts most-similar partitions first, and MRU
+  // protects them (section 4.7.3).
+  cache.Insert(0, 4, Row(4.0f));
+  EXPECT_EQ(cache.entry_count(), 3u);
+  EXPECT_NE(cache.Lookup(0, 1), nullptr);
+  EXPECT_NE(cache.Lookup(0, 2), nullptr);
+  EXPECT_EQ(cache.Lookup(0, 3), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(0, 4), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(IqaCacheTest, LookupRefreshesRecency) {
+  IqaCache cache(300);
+  cache.Insert(0, 1, Row(1.0f));
+  cache.Insert(0, 2, Row(2.0f));
+  cache.Insert(0, 3, Row(3.0f));
+  // Touch id 1: it becomes the MRU entry and is the eviction victim.
+  cache.Lookup(0, 1);
+  cache.Insert(0, 4, Row(4.0f));
+  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+  EXPECT_NE(cache.Lookup(0, 2), nullptr);
+  EXPECT_NE(cache.Lookup(0, 3), nullptr);
+}
+
+TEST(IqaCacheTest, ReinsertRefreshesPayload) {
+  IqaCache cache(1 << 20);
+  cache.Insert(0, 1, Row(1.0f));
+  cache.Insert(0, 1, Row(9.0f));
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ((*cache.Lookup(0, 1))[0], 9.0f);
+}
+
+TEST(IqaCacheTest, OversizedRowNotCached) {
+  IqaCache cache(100);
+  cache.Insert(0, 1, Row(1.0f, 1000));  // 4 KB > capacity
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+}
+
+TEST(IqaCacheTest, SizeAccounting) {
+  IqaCache cache(1 << 20);
+  cache.Insert(0, 1, Row(1.0f, 10));
+  cache.Insert(0, 2, Row(2.0f, 20));
+  EXPECT_EQ(cache.size_bytes(), (10 * 4 + 64) + (20 * 4 + 64));
+}
+
+TEST(IqaCacheTest, ClearEmpties) {
+  IqaCache cache(1 << 20);
+  cache.Insert(0, 1, Row(1.0f));
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,178 @@
+#include "core/ql.h"
+
+#include <gtest/gtest.h>
+
+#include "core/nta.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+TEST(QlParseTest, HighestWithExplicitGroup) {
+  auto query =
+      ParseQuery("SELECT TOPK 20 HIGHEST FOR LAYER 7 NEURONS (10, 42, 100)");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->kind, ParsedQuery::Kind::kHighest);
+  EXPECT_EQ(query->k, 20);
+  EXPECT_EQ(query->layer, 7);
+  EXPECT_EQ(query->neurons, (std::vector<int64_t>{10, 42, 100}));
+  EXPECT_EQ(query->distance, DistanceKind::kL2);
+  EXPECT_EQ(query->theta, 1.0);
+}
+
+TEST(QlParseTest, SimilarWithTopNeurons) {
+  auto query = ParseQuery(
+      "select topk 10 most similar to 42 for layer 3 top 3 neurons using l1 "
+      "theta 0.9");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->kind, ParsedQuery::Kind::kMostSimilar);
+  EXPECT_EQ(query->target, 42);
+  EXPECT_EQ(query->top_neurons, 3);
+  EXPECT_EQ(query->top_of, -1);  // defaults to the target
+  EXPECT_EQ(query->distance, DistanceKind::kL1);
+  EXPECT_DOUBLE_EQ(query->theta, 0.9);
+}
+
+TEST(QlParseTest, TopNeuronsOfOtherInput) {
+  auto query = ParseQuery(
+      "SELECT TOPK 5 HIGHEST FOR LAYER 2 TOP 4 NEURONS OF INPUT 17");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->top_neurons, 4);
+  EXPECT_EQ(query->top_of, 17);
+}
+
+TEST(QlParseTest, SingleNeuronGroupAndLinf) {
+  auto query =
+      ParseQuery("SELECT TOPK 1 SIMILAR TO 0 FOR LAYER 1 NEURONS (5) "
+                 "USING LINF");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->neurons, (std::vector<int64_t>{5}));
+  EXPECT_EQ(query->distance, DistanceKind::kLInf);
+}
+
+TEST(QlParseTest, ToStringRoundTrips) {
+  const char* texts[] = {
+      "SELECT TOPK 20 HIGHEST FOR LAYER 7 NEURONS (10, 42, 100)",
+      "SELECT TOPK 10 SIMILAR TO 42 FOR LAYER 3 TOP 3 NEURONS",
+      "SELECT TOPK 5 HIGHEST FOR LAYER 2 TOP 4 NEURONS OF 17 USING L1",
+  };
+  for (const char* text : texts) {
+    auto first = ParseQuery(text);
+    ASSERT_TRUE(first.ok()) << text;
+    auto second = ParseQuery(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    EXPECT_EQ(first->ToString(), second->ToString());
+  }
+}
+
+TEST(QlParseTest, ErrorsAreDescriptive) {
+  struct Case {
+    const char* text;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1)", "SELECT"},
+      {"SELECT TOPK 0 HIGHEST FOR LAYER 1 NEURONS (1)", "k must be >= 1"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS ()", "neuron"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1", "NEURONS"},
+      {"SELECT TOPK 5 SIMILAR TO x FOR LAYER 1 NEURONS (1)", "integer"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1) USING L3", "L3"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1) THETA 2", "THETA"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1) GARBAGE", "GARBAGE"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 TOP 3 NEURONS", "OF"},
+      {"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1) @", "character"},
+  };
+  for (const Case& c : cases) {
+    auto query = ParseQuery(c.text);
+    ASSERT_FALSE(query.ok()) << c.text;
+    EXPECT_NE(query.status().message().find(c.needle), std::string::npos)
+        << c.text << " -> " << query.status().ToString();
+  }
+}
+
+TEST(QlExecuteTest, MatchesDirectApiCalls) {
+  TinySystem sys(50, 61, 8);
+  TempDir dir("ql");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 4;
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                options);
+  ASSERT_TRUE(de.ok());
+
+  const int layer = sys.model->activation_layers()[1];
+  const std::string text = "SELECT TOPK 7 SIMILAR TO 13 FOR LAYER " +
+                           std::to_string(layer) + " NEURONS (1, 4, 9)";
+  auto via_ql = ExecuteQuery(de->get(), text);
+  ASSERT_TRUE(via_ql.ok()) << via_ql.status().ToString();
+  auto via_api =
+      (*de)->TopKMostSimilar(13, NeuronGroup{layer, {1, 4, 9}}, 7);
+  ASSERT_TRUE(via_api.ok());
+  ASSERT_EQ(via_ql->entries.size(), via_api->entries.size());
+  for (size_t i = 0; i < via_ql->entries.size(); ++i) {
+    EXPECT_EQ(via_ql->entries[i].input_id, via_api->entries[i].input_id);
+    EXPECT_DOUBLE_EQ(via_ql->entries[i].value, via_api->entries[i].value);
+  }
+}
+
+TEST(QlExecuteTest, TopNeuronsResolveToMaximallyActivated) {
+  TinySystem sys(40, 62, 8);
+  TempDir dir("ql2");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 4;
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                options);
+  ASSERT_TRUE(de.ok());
+  const int layer = sys.model->activation_layers()[0];
+
+  const std::string text = "SELECT TOPK 5 SIMILAR TO 8 FOR LAYER " +
+                           std::to_string(layer) + " TOP 3 NEURONS";
+  auto via_ql = ExecuteQuery(de->get(), text);
+  ASSERT_TRUE(via_ql.ok()) << via_ql.status().ToString();
+
+  auto top = (*de)->MaximallyActivatedNeurons(8, layer, 3);
+  ASSERT_TRUE(top.ok());
+  auto via_api = (*de)->TopKMostSimilar(8, NeuronGroup{layer, *top}, 5);
+  ASSERT_TRUE(via_api.ok());
+  for (size_t i = 0; i < via_ql->entries.size(); ++i) {
+    EXPECT_EQ(via_ql->entries[i].input_id, via_api->entries[i].input_id);
+  }
+}
+
+TEST(QlExecuteTest, RuntimeErrorsPropagate) {
+  TinySystem sys(10, 63, 8);
+  TempDir dir("ql3");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                options);
+  ASSERT_TRUE(de.ok());
+  // Layer out of range.
+  EXPECT_FALSE(
+      ExecuteQuery(de->get(),
+                   "SELECT TOPK 5 HIGHEST FOR LAYER 99 NEURONS (1)")
+          .ok());
+  // Target out of range.
+  EXPECT_FALSE(
+      ExecuteQuery(de->get(),
+                   "SELECT TOPK 5 SIMILAR TO 9999 FOR LAYER 1 NEURONS (1)")
+          .ok());
+  EXPECT_FALSE(ExecuteQuery(nullptr, "SELECT TOPK 1 HIGHEST FOR LAYER 1 "
+                                     "NEURONS (1)")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

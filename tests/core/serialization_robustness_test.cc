@@ -1,0 +1,78 @@
+// Robustness: deserialising a LayerIndex from a buffer truncated at *every*
+// possible offset — and from bit-flipped buffers — must fail cleanly with a
+// Status (never crash, never allocate absurd amounts).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/npi.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+storage::LayerActivationMatrix SmallMatrix() {
+  Rng rng(71);
+  auto m = storage::LayerActivationMatrix::Make(12, 3);
+  for (uint32_t i = 0; i < 12; ++i) {
+    for (uint64_t n = 0; n < 3; ++n) {
+      m.MutableRow(i)[n] = static_cast<float>(rng.NextGaussian());
+    }
+  }
+  return m;
+}
+
+std::vector<uint8_t> SerializedIndex() {
+  auto index = LayerIndex::Build(SmallMatrix(), LayerIndexConfig{4, 0.25});
+  DE_CHECK(index.ok());
+  BinaryWriter writer;
+  index->Serialize(&writer);
+  return writer.TakeBuffer();
+}
+
+TEST(SerializationRobustnessTest, EveryTruncationFailsCleanly) {
+  const std::vector<uint8_t> bytes = SerializedIndex();
+  ASSERT_GT(bytes.size(), 16u);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    BinaryReader reader(bytes.data(), cut);
+    auto result = LayerIndex::Deserialize(&reader);
+    EXPECT_FALSE(result.ok()) << "truncation at " << cut << " parsed";
+  }
+  // The untruncated buffer still parses.
+  BinaryReader reader(bytes);
+  EXPECT_TRUE(LayerIndex::Deserialize(&reader).ok());
+}
+
+TEST(SerializationRobustnessTest, LengthFieldCorruptionFailsCleanly) {
+  // Flip bytes in the header region (magic, geometry, and the first vector
+  // length) — all must be rejected or at least parsed without crashing.
+  const std::vector<uint8_t> original = SerializedIndex();
+  for (size_t pos = 0; pos < std::min<size_t>(original.size(), 40); ++pos) {
+    std::vector<uint8_t> corrupted = original;
+    corrupted[pos] ^= 0xFF;
+    BinaryReader reader(corrupted);
+    auto result = LayerIndex::Deserialize(&reader);
+    // Either rejected, or the flip hit a benign float payload byte; both
+    // are fine — we only require no crash and no misbehaviour.
+    if (result.ok()) {
+      EXPECT_EQ(result->num_inputs(), 12u);
+    }
+  }
+}
+
+TEST(SerializationRobustnessTest, HugeLengthPrefixRejectedWithoutAllocation) {
+  // A crafted buffer claiming 2^40 bounds entries must be rejected by the
+  // bounds check in BinaryReader, not die in std::vector::resize.
+  BinaryWriter writer;
+  writer.WriteU32(0xDEE71DE8);  // magic
+  writer.WriteU32(12);          // num_inputs
+  writer.WriteI64(3);           // num_neurons
+  writer.WriteI32(4);           // num_partitions
+  writer.WriteU32(0);           // mai_count
+  writer.WriteU64(1ull << 40);  // bogus lower-bounds length
+  BinaryReader reader(writer.buffer());
+  EXPECT_TRUE(LayerIndex::Deserialize(&reader).status().IsIOError());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

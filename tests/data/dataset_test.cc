@@ -1,0 +1,117 @@
+#include "data/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace deepeverest {
+namespace data {
+namespace {
+
+SyntheticImageConfig SmallConfig() {
+  SyntheticImageConfig config;
+  config.num_inputs = 40;
+  config.height = 8;
+  config.width = 8;
+  config.channels = 3;
+  config.num_classes = 4;
+  config.seed = 11;
+  return config;
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d("test", Shape({4}));
+  const uint32_t id = d.Add(Tensor(Shape({4}), {1, 2, 3, 4}), 2);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.label(0), 2);
+  EXPECT_EQ(d.input(0)[3], 4.0f);
+}
+
+TEST(SyntheticImagesTest, GeometryAndDeterminism) {
+  const Dataset a = MakeSyntheticImages(SmallConfig());
+  const Dataset b = MakeSyntheticImages(SmallConfig());
+  ASSERT_EQ(a.size(), 40u);
+  EXPECT_EQ(a.input_shape(), Shape({8, 8, 3}));
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    for (int64_t j = 0; j < a.input(i).NumElements(); ++j) {
+      ASSERT_EQ(a.input(i)[j], b.input(i)[j]) << "input " << i;
+    }
+  }
+}
+
+TEST(SyntheticImagesTest, DifferentSeedsDiffer) {
+  SyntheticImageConfig c1 = SmallConfig();
+  SyntheticImageConfig c2 = SmallConfig();
+  c2.seed = 12;
+  const Dataset a = MakeSyntheticImages(c1);
+  const Dataset b = MakeSyntheticImages(c2);
+  bool any_diff = false;
+  for (int64_t j = 0; j < a.input(0).NumElements(); ++j) {
+    if (a.input(0)[j] != b.input(0)[j]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticImagesTest, LabelsCoverClasses) {
+  SyntheticImageConfig config = SmallConfig();
+  config.num_inputs = 200;
+  const Dataset d = MakeSyntheticImages(config);
+  std::vector<int> counts(static_cast<size_t>(config.num_classes), 0);
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    ASSERT_GE(d.label(i), 0);
+    ASSERT_LT(d.label(i), config.num_classes);
+    ++counts[static_cast<size_t>(d.label(i))];
+  }
+  for (int c = 0; c < config.num_classes; ++c) {
+    EXPECT_GT(counts[static_cast<size_t>(c)], 0) << "class " << c;
+  }
+}
+
+TEST(SyntheticImagesTest, IntraClassCloserThanInterClassOnAverage) {
+  // The class-pattern structure must survive the noise: mean pixel distance
+  // within a class should be smaller than across classes.
+  SyntheticImageConfig config = SmallConfig();
+  config.num_inputs = 120;
+  config.noise_stddev = 0.2f;
+  const Dataset d = MakeSyntheticImages(config);
+
+  auto pixel_dist = [&](uint32_t a, uint32_t b) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < d.input(a).NumElements(); ++j) {
+      const double diff = d.input(a)[j] - d.input(b)[j];
+      sum += diff * diff;
+    }
+    return std::sqrt(sum);
+  };
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (uint32_t a = 0; a < d.size(); ++a) {
+    for (uint32_t b = a + 1; b < d.size(); ++b) {
+      if (d.label(a) == d.label(b)) {
+        intra += pixel_dist(a, b);
+        ++intra_n;
+      } else {
+        inter += pixel_dist(a, b);
+        ++inter_n;
+      }
+    }
+  }
+  ASSERT_GT(intra_n, 0);
+  ASSERT_GT(inter_n, 0);
+  EXPECT_LT(intra / intra_n, inter / inter_n);
+}
+
+TEST(SyntheticImagesTest, ValuesAreFinite) {
+  const Dataset d = MakeSyntheticImages(SmallConfig());
+  for (uint32_t i = 0; i < d.size(); ++i) {
+    for (int64_t j = 0; j < d.input(i).NumElements(); ++j) {
+      ASSERT_TRUE(std::isfinite(d.input(i)[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace deepeverest

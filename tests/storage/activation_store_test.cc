@@ -1,0 +1,102 @@
+#include "storage/activation_store.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace storage {
+namespace {
+
+using testing_util::TempDir;
+
+LayerActivationMatrix SampleMatrix() {
+  LayerActivationMatrix m = LayerActivationMatrix::Make(3, 4);
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint64_t n = 0; n < 4; ++n) {
+      m.MutableRow(i)[n] = static_cast<float>(i * 10 + n);
+    }
+  }
+  return m;
+}
+
+TEST(ActivationStoreTest, SaveLoadRoundTrip) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  DE_ASSERT_OK(acts.Save("m", 2, SampleMatrix()));
+  ASSERT_TRUE(acts.Contains("m", 2));
+  auto loaded = acts.Load("m", 2);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_inputs, 3u);
+  EXPECT_EQ(loaded->num_neurons, 4u);
+  EXPECT_EQ(loaded->At(2, 3), 23.0f);
+}
+
+TEST(ActivationStoreTest, MissingLayerIsNotFound) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  EXPECT_FALSE(acts.Contains("m", 0));
+  EXPECT_TRUE(acts.Load("m", 0).status().IsNotFound());
+}
+
+TEST(ActivationStoreTest, RemoveDeletesFile) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  DE_ASSERT_OK(acts.Save("m", 1, SampleMatrix()));
+  DE_ASSERT_OK(acts.Remove("m", 1));
+  EXPECT_FALSE(acts.Contains("m", 1));
+}
+
+TEST(ActivationStoreTest, PersistedBytesMatchesFileSize) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  const LayerActivationMatrix m = SampleMatrix();
+  DE_ASSERT_OK(acts.Save("m", 5, m));
+  auto size = store->SizeOf(ActivationStore::KeyFor("m", 5));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, ActivationStore::PersistedBytes(3, 4));
+}
+
+TEST(ActivationStoreTest, CorruptFileRejected) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  DE_ASSERT_OK(store->Write(ActivationStore::KeyFor("m", 9),
+                            {0xde, 0xad, 0xbe, 0xef, 0x01}));
+  EXPECT_TRUE(acts.Load("m", 9).status().IsIOError());
+}
+
+TEST(ActivationStoreTest, GeometryMismatchRejectedOnSave) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  LayerActivationMatrix bad;
+  bad.num_inputs = 5;
+  bad.num_neurons = 5;
+  bad.values.resize(3);  // inconsistent
+  EXPECT_TRUE(acts.Save("m", 0, bad).IsInvalidArgument());
+}
+
+TEST(ActivationStoreTest, PerModelNamespacing) {
+  TempDir dir("acts");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  ActivationStore acts(&store.value());
+  DE_ASSERT_OK(acts.Save("model_a", 0, SampleMatrix()));
+  EXPECT_TRUE(acts.Contains("model_a", 0));
+  EXPECT_FALSE(acts.Contains("model_b", 0));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace deepeverest

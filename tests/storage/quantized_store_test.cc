@@ -1,0 +1,139 @@
+#include "storage/quantized_store.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace storage {
+namespace {
+
+using testing_util::TempDir;
+
+LayerActivationMatrix RandomMatrix(uint32_t inputs, uint64_t neurons,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  auto m = LayerActivationMatrix::Make(inputs, neurons);
+  for (uint32_t i = 0; i < inputs; ++i) {
+    for (uint64_t n = 0; n < neurons; ++n) {
+      // Skewed, ReLU-like values.
+      m.MutableRow(i)[n] = std::max(
+          0.0f, static_cast<float>(rng.NextGaussian() * (n + 1)));
+    }
+  }
+  return m;
+}
+
+TEST(QuantizeTest, ErrorWithinHalfStep) {
+  const auto matrix = RandomMatrix(100, 8, 91);
+  const auto q = QuantizedActivationMatrix::Quantize(matrix);
+  for (uint64_t n = 0; n < 8; ++n) {
+    const float max_error = q.MaxErrorOf(n) + 1e-5f;
+    for (uint32_t i = 0; i < 100; ++i) {
+      EXPECT_LE(std::abs(q.At(i, n) - matrix.At(i, n)), max_error)
+          << "input " << i << " neuron " << n;
+    }
+  }
+}
+
+TEST(QuantizeTest, ConstantNeuronIsLossless) {
+  auto matrix = LayerActivationMatrix::Make(10, 2);
+  for (uint32_t i = 0; i < 10; ++i) {
+    matrix.MutableRow(i)[0] = 3.25f;
+    matrix.MutableRow(i)[1] = static_cast<float>(i);
+  }
+  const auto q = QuantizedActivationMatrix::Quantize(matrix);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.At(i, 0), 3.25f);
+  }
+  // Range endpoints are exactly representable.
+  EXPECT_EQ(q.At(0, 1), 0.0f);
+  EXPECT_EQ(q.At(9, 1), 9.0f);
+}
+
+TEST(QuantizeTest, PayloadIsRoughlyQuarterOfFloat32) {
+  const auto matrix = RandomMatrix(200, 16, 92);
+  const auto q = QuantizedActivationMatrix::Quantize(matrix);
+  const uint64_t full = 200ull * 16 * 4;
+  EXPECT_LT(q.PayloadBytes(), full / 3);  // 1/4 + per-neuron ranges
+}
+
+TEST(QuantizeTest, DequantizeRoundTripsWithinError) {
+  const auto matrix = RandomMatrix(50, 4, 93);
+  const auto q = QuantizedActivationMatrix::Quantize(matrix);
+  const LayerActivationMatrix back = q.Dequantize();
+  ASSERT_EQ(back.num_inputs, 50u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    for (uint64_t n = 0; n < 4; ++n) {
+      EXPECT_LE(std::abs(back.At(i, n) - matrix.At(i, n)),
+                q.MaxErrorOf(n) + 1e-5f);
+    }
+  }
+}
+
+TEST(QuantizedStoreTest, SaveLoadRoundTrip) {
+  TempDir dir("q8");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  QuantizedActivationStore qstore(&store.value());
+  const auto matrix = RandomMatrix(30, 5, 94);
+  const auto q = QuantizedActivationMatrix::Quantize(matrix);
+  DE_ASSERT_OK(qstore.Save("m", 3, q));
+  ASSERT_TRUE(qstore.Contains("m", 3));
+  auto loaded = qstore.Load("m", 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_inputs, 30u);
+  EXPECT_EQ(loaded->num_neurons, 5u);
+  for (uint32_t i = 0; i < 30; ++i) {
+    for (uint64_t n = 0; n < 5; ++n) {
+      EXPECT_EQ(loaded->At(i, n), q.At(i, n));
+    }
+  }
+}
+
+TEST(QuantizedStoreTest, FileIsSmallerThanFloat32File) {
+  TempDir dir("q8");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  const auto matrix = RandomMatrix(200, 32, 95);
+  ActivationStore full(&store.value());
+  QuantizedActivationStore quantized(&store.value());
+  DE_ASSERT_OK(full.Save("m", 0, matrix));
+  DE_ASSERT_OK(
+      quantized.Save("m", 0, QuantizedActivationMatrix::Quantize(matrix)));
+  auto full_size = store->SizeOf(ActivationStore::KeyFor("m", 0));
+  auto q_size = store->SizeOf(QuantizedActivationStore::KeyFor("m", 0));
+  ASSERT_TRUE(full_size.ok());
+  ASSERT_TRUE(q_size.ok());
+  EXPECT_LT(*q_size * 3, *full_size);
+}
+
+TEST(QuantizedStoreTest, CorruptFileRejected) {
+  TempDir dir("q8");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  QuantizedActivationStore qstore(&store.value());
+  DE_ASSERT_OK(store->Write(QuantizedActivationStore::KeyFor("m", 1),
+                            {1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_FALSE(qstore.Load("m", 1).ok());
+  EXPECT_TRUE(qstore.Load("m", 7).status().IsNotFound());
+}
+
+TEST(QuantizedStoreTest, GeometryMismatchRejectedOnSave) {
+  TempDir dir("q8");
+  auto store = FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  QuantizedActivationStore qstore(&store.value());
+  QuantizedActivationMatrix bad;
+  bad.num_inputs = 4;
+  bad.num_neurons = 4;
+  bad.codes.resize(3);
+  EXPECT_TRUE(qstore.Save("m", 0, bad).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace deepeverest

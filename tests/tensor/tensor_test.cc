@@ -1,0 +1,72 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepeverest {
+namespace {
+
+TEST(ShapeTest, BasicProperties) {
+  const Shape s({32, 32, 3});
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 32);
+  EXPECT_EQ(s.dim(2), 3);
+  EXPECT_EQ(s.NumElements(), 32 * 32 * 3);
+  EXPECT_EQ(s.ToString(), "[32, 32, 3]");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({4, 5}), Shape({4, 5}));
+  EXPECT_NE(Shape({4, 5}), Shape({5, 4}));
+  EXPECT_NE(Shape({4}), Shape({4, 1}));
+}
+
+TEST(ShapeTest, EmptyShapeIsScalar) {
+  const Shape s{};
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(Shape({2, 3, 4}));
+  EXPECT_EQ(t.NumElements(), 24);
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    EXPECT_EQ(t[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, HwcIndexingIsRowMajor) {
+  Tensor t(Shape({2, 3, 4}));
+  t.At(1, 2, 3) = 9.0f;
+  // Flat offset: (1*3 + 2)*4 + 3 = 23.
+  EXPECT_EQ(t[23], 9.0f);
+  t[0] = 1.5f;
+  EXPECT_EQ(t.At(0, 0, 0), 1.5f);
+}
+
+TEST(TensorTest, ConstructFromData) {
+  Tensor t(Shape({4}), {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t(Shape({5}));
+  t.Fill(2.5f);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a(Shape({3}), {1.0f, 2.0f, 3.0f});
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_EQ(b[0], 99.0f);
+}
+
+TEST(TensorTest, ToStringTruncatesLongTensors) {
+  Tensor t(Shape({100}));
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("(100 elements)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepeverest

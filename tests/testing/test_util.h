@@ -1,0 +1,121 @@
+#ifndef DEEPEVEREST_TESTS_TESTING_TEST_UTIL_H_
+#define DEEPEVEREST_TESTS_TESTING_TEST_UTIL_H_
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/nta.h"
+#include "core/query.h"
+#include "data/dataset.h"
+#include "nn/inference.h"
+#include "nn/model_zoo.h"
+#include "storage/file_store.h"
+
+namespace deepeverest {
+namespace testing_util {
+
+/// gtest helpers for Status/Result.
+#define DE_ASSERT_OK(expr)                                       \
+  do {                                                           \
+    const ::deepeverest::Status _st = (expr);                    \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (false)
+
+#define DE_EXPECT_OK(expr)                                       \
+  do {                                                           \
+    const ::deepeverest::Status _st = (expr);                    \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (false)
+
+/// A dataset of random rank-1 vectors, for fast MLP-based tests.
+inline data::Dataset MakeVectorDataset(uint32_t num_inputs, int dims,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset dataset("vec" + std::to_string(num_inputs), Shape({dims}));
+  for (uint32_t i = 0; i < num_inputs; ++i) {
+    Tensor input(Shape({dims}));
+    for (int d = 0; d < dims; ++d) {
+      input[d] = static_cast<float>(rng.NextGaussian());
+    }
+    dataset.Add(std::move(input), static_cast<int>(i % 4));
+  }
+  return dataset;
+}
+
+/// A small, fast system-under-test: TinyMlp over a random vector dataset.
+struct TinySystem {
+  nn::ModelPtr model;
+  data::Dataset dataset;
+  std::unique_ptr<nn::InferenceEngine> engine;
+
+  TinySystem(uint32_t num_inputs, uint64_t seed, int batch_size = 16)
+      : model(nn::MakeTinyMlp(8, seed)),
+        dataset(MakeVectorDataset(num_inputs, 8, seed + 1)),
+        engine(std::make_unique<nn::InferenceEngine>(model.get(), &dataset,
+                                                     batch_size)) {}
+};
+
+/// A scoped temp directory removed on destruction.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    auto dir = storage::MakeTempDir(tag);
+    EXPECT_TRUE(dir.ok()) << dir.status().ToString();
+    path_ = dir.ok() ? dir.value() : std::string("/tmp/de-test-fallback");
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Asserts `actual` is a *valid* top-k answer relative to `expected`
+/// (brute-force oracle): values must match position-wise, and every input
+/// whose value is strictly better than the k-th value must be present (ties
+/// at the boundary may legitimately differ).
+inline void ExpectValidTopK(const core::TopKResult& expected,
+                            const core::TopKResult& actual,
+                            bool smaller_is_better,
+                            double tolerance = 1e-6) {
+  ASSERT_EQ(expected.entries.size(), actual.entries.size());
+  const size_t k = expected.entries.size();
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_NEAR(expected.entries[i].value, actual.entries[i].value, tolerance)
+        << "rank " << i;
+  }
+  if (k == 0) return;
+  const double kth = expected.entries.back().value;
+  // Every strictly-better oracle entry must appear in `actual`.
+  for (const core::ResultEntry& e : expected.entries) {
+    const bool strictly_better = smaller_is_better
+                                     ? e.value < kth - tolerance
+                                     : e.value > kth + tolerance;
+    if (!strictly_better) continue;
+    bool found = false;
+    for (const core::ResultEntry& a : actual.entries) {
+      if (a.input_id == e.input_id) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "input " << e.input_id << " (value " << e.value
+                       << ") missing from result";
+  }
+}
+
+}  // namespace testing_util
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_TESTS_TESTING_TEST_UTIL_H_
