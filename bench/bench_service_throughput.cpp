@@ -1,0 +1,259 @@
+// Concurrent query service throughput: queries/sec at 1-16 worker threads
+// against the sequential baseline, on the synthetic MiniVgg system.
+//
+// The engine simulates accelerator dispatch latency (the repo's GPU cost
+// model, applied as real blocking time), so worker threads overlap device
+// waits exactly as a serving tier overlaps GPU dispatches — which is where
+// concurrent serving throughput comes from, and why this bench scales past
+// the host's CPU-core count. Indexes are pre-built (warm serving start);
+// every thread count runs the identical workload and results are verified
+// bit-identical to the sequential baseline.
+//
+// Expected shape: near-linear queries/sec scaling while workers overlap
+// device waits (>= 3x at 8 workers), flattening once admission or the
+// host CPU saturates. A second table shows the same service with the
+// sharded IQA cache enabled: hits skip inference entirely, raising
+// absolute throughput; per-shard counters stay balanced.
+//
+// Scale knobs: DE_BENCH_INPUTS (default 400 here), DE_BENCH_SERVICE_QUERIES
+// (workload length, default 32), DE_BENCH_SERVICE_DEVICE_SCALE (device
+// latency multiplier, default 8 — see RunSuite).
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_util/query_gen.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/deepeverest.h"
+#include "service/query_service.h"
+
+namespace deepeverest {
+namespace {
+
+struct WorkloadResult {
+  double seconds = 0.0;
+  std::vector<core::TopKResult> results;
+};
+
+std::vector<service::TopKQuery> MakeWorkload(const bench::System& system,
+                                             int count) {
+  auto generator = system.NewEngine();
+  Rng rng(7021);
+  std::vector<service::TopKQuery> workload;
+  workload.reserve(static_cast<size_t>(count));
+  const bench_util::QueryType types[] = {bench_util::QueryType::kFireMax,
+                                         bench_util::QueryType::kSimTop,
+                                         bench_util::QueryType::kSimHigh};
+  const bench_util::LayerDepth depths[] = {bench_util::LayerDepth::kEarly,
+                                           bench_util::LayerDepth::kMid,
+                                           bench_util::LayerDepth::kLate};
+  for (int i = 0; i < count; ++i) {
+    auto generated = bench_util::GenerateQuery(
+        generator.get(), types[i % 3], depths[(i / 3) % 3],
+        /*group_size=*/8, &rng);
+    DE_CHECK(generated.ok()) << generated.status().ToString();
+    service::TopKQuery query;
+    query.kind = generated->type == bench_util::QueryType::kFireMax
+                     ? service::TopKQuery::Kind::kHighest
+                     : service::TopKQuery::Kind::kMostSimilar;
+    query.group = std::move(generated->group);
+    query.target_id = generated->target_id;
+    query.k = 20;
+    query.session_id = static_cast<uint64_t>(i % 4);  // 4 client sessions
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+WorkloadResult RunSequential(core::DeepEverest* engine,
+                             const std::vector<service::TopKQuery>& workload) {
+  WorkloadResult out;
+  out.results.reserve(workload.size());
+  Stopwatch watch;
+  for (const service::TopKQuery& query : workload) {
+    auto result =
+        query.kind == service::TopKQuery::Kind::kHighest
+            ? engine->TopKHighest(query.group, query.k)
+            : engine->TopKMostSimilar(query.target_id, query.group, query.k);
+    DE_CHECK(result.ok()) << result.status().ToString();
+    out.results.push_back(std::move(result.value()));
+  }
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+WorkloadResult RunService(core::DeepEverest* engine,
+                          const std::vector<service::TopKQuery>& workload,
+                          int num_workers, service::ServiceStats* stats) {
+  service::QueryServiceOptions options;
+  options.num_workers = num_workers;
+  options.max_queue_depth = workload.size();
+  auto svc = service::QueryService::Create(engine, options);
+  DE_CHECK(svc.ok()) << svc.status().ToString();
+
+  WorkloadResult out;
+  Stopwatch watch;
+  std::vector<std::future<Result<core::TopKResult>>> futures;
+  futures.reserve(workload.size());
+  for (const service::TopKQuery& query : workload) {
+    auto submitted = (*svc)->Submit(query);
+    DE_CHECK(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted.value()));
+  }
+  out.results.reserve(futures.size());
+  for (auto& future : futures) {
+    auto result = future.get();
+    DE_CHECK(result.ok()) << result.status().ToString();
+    out.results.push_back(std::move(result.value()));
+  }
+  out.seconds = watch.ElapsedSeconds();
+  if (stats != nullptr) *stats = (*svc)->Snapshot();
+  return out;
+}
+
+int CountMismatches(const std::vector<core::TopKResult>& expected,
+                    const std::vector<core::TopKResult>& actual) {
+  int mismatches = 0;
+  for (size_t q = 0; q < expected.size(); ++q) {
+    const auto& e = expected[q].entries;
+    const auto& a = actual[q].entries;
+    if (e.size() != a.size()) {
+      ++mismatches;
+      continue;
+    }
+    for (size_t i = 0; i < e.size(); ++i) {
+      if (e[i].input_id != a[i].input_id || e[i].value != a[i].value) {
+        ++mismatches;
+        break;
+      }
+    }
+  }
+  return mismatches;
+}
+
+core::DeepEverestOptions EngineOptions(const bench::System& system,
+                                       bool enable_iqa) {
+  core::DeepEverestOptions options;
+  options.batch_size = system.batch_size;
+  options.enable_iqa = enable_iqa;
+  options.iqa_capacity_bytes = 64ull << 20;
+  options.iqa_shards = 8;
+  return options;
+}
+
+void RunSuite(const bench::System& system, bool enable_iqa,
+              const std::vector<service::TopKQuery>& workload) {
+  bench::ScratchDir scratch("svc_bench");
+  auto store = storage::FileStore::Open(scratch.path());
+  DE_CHECK(store.ok());
+  auto engine = core::DeepEverest::Create(system.model.get(),
+                                          system.dataset.get(), &store.value(),
+                                          EngineOptions(system, enable_iqa));
+  DE_CHECK(engine.ok()) << engine.status().ToString();
+  system.ApplyCostModel((*engine)->inference());
+  // The system's per-MAC time is calibrated so *simulated* timings match the
+  // paper's K80 on the mini stand-in model. For wall-clock serving, the
+  // device wait has to be judged against the stand-in's real CPU cost, and
+  // the full-size VGG16 this system models is ~500x the stand-in's MACs —
+  // so the unscaled dispatch would be far too cheap relative to the host
+  // CPU work. Scale it up (default 8x) to restore a serving-realistic
+  // device:CPU ratio.
+  const double device_scale = static_cast<double>(
+      bench::EnvInt("DE_BENCH_SERVICE_DEVICE_SCALE", 8));
+  (*engine)->inference()->mutable_cost_model()->seconds_per_mac *=
+      device_scale;
+
+  // Warm serving start: build every index up front, without device-latency
+  // simulation (preprocessing throughput is Figure 10's experiment, not
+  // this one).
+  DE_CHECK((*engine)->PreprocessAllLayers().ok());
+  (*engine)->inference()->set_simulate_device_latency(true);
+
+  auto reset_cache = [&] {
+    if ((*engine)->iqa_cache() != nullptr) (*engine)->iqa_cache()->Clear();
+  };
+
+  reset_cache();
+  const WorkloadResult sequential = RunSequential(engine->get(), workload);
+  const double seq_qps =
+      static_cast<double>(workload.size()) / sequential.seconds;
+
+  bench_util::TablePrinter table({"workers", "wall", "queries/sec", "speedup",
+                                  "p50", "p99", "util", "identical"});
+  table.AddRow({"seq", bench_util::FormatSeconds(sequential.seconds),
+                bench_util::FormatDouble(seq_qps, 1), "1.0x", "-", "-", "-",
+                "ref"});
+
+  for (int workers : {1, 2, 4, 8, 16}) {
+    reset_cache();
+    service::ServiceStats stats;
+    const WorkloadResult run =
+        RunService(engine->get(), workload, workers, &stats);
+    const double qps = static_cast<double>(workload.size()) / run.seconds;
+    const int mismatches = CountMismatches(sequential.results, run.results);
+    table.AddRow(
+        {std::to_string(workers), bench_util::FormatSeconds(run.seconds),
+         bench_util::FormatDouble(qps, 1),
+         bench_util::FormatSpeedup(qps / seq_qps),
+         bench_util::FormatSeconds(stats.p50_latency_seconds),
+         bench_util::FormatSeconds(stats.p99_latency_seconds),
+         bench_util::FormatDouble(stats.worker_utilization, 2),
+         mismatches == 0 ? "yes" : ("NO (" + std::to_string(mismatches) +
+                                    ")")});
+    if (enable_iqa && workers == 8) {
+      int64_t hits = 0, misses = 0;
+      for (const auto& shard : stats.iqa_shards) {
+        hits += shard.hits;
+        misses += shard.misses;
+      }
+      std::printf("    [8 workers] IQA shards: %zu, hits %lld, misses %lld, "
+                  "hit rate %.2f\n",
+                  stats.iqa_shards.size(), static_cast<long long>(hits),
+                  static_cast<long long>(misses),
+                  hits + misses > 0
+                      ? static_cast<double>(hits) /
+                            static_cast<double>(hits + misses)
+                      : 0.0);
+    }
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  bench::Scale scale = bench::GetScale();
+  if (bench::EnvInt("DE_BENCH_INPUTS", 0) <= 0) {
+    // Smaller default than the figure benches: six workload passes (one per
+    // thread-count row) over the same queries make 1000 inputs needlessly
+    // slow, and throughput ratios do not depend on the dataset size.
+    scale.vgg_inputs = 400;
+  }
+  const int num_queries = std::max<int>(
+      1, static_cast<int>(bench::EnvInt("DE_BENCH_SERVICE_QUERIES", 32)));
+  const bench::System system = bench::MakeVggSystem(scale);
+
+  bench_util::PrintBanner(
+      std::cout, "Service throughput: worker threads vs. sequential",
+      system.name + ", " + std::to_string(num_queries) +
+          " queries, 4 sessions, simulated accelerator dispatch");
+
+  const std::vector<service::TopKQuery> workload =
+      MakeWorkload(system, num_queries);
+
+  std::cout << "\n-- IQA disabled (every query pays inference) --\n";
+  RunSuite(system, /*enable_iqa=*/false, workload);
+  std::cout << "\n-- IQA enabled, 8 shards, cache cleared per run --\n";
+  RunSuite(system, /*enable_iqa=*/true, workload);
+}
+
+}  // namespace
+}  // namespace deepeverest
+
+int main() {
+  deepeverest::Run();
+  return 0;
+}

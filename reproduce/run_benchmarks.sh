@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary and collects per-bench logs plus a JSON report
+# (pmembench-style): one JSON object per bench with status, wall time, and
+# the log location, assembled into reproduce/reports/summary.json.
+#
+# Usage:
+#   reproduce/run_benchmarks.sh [build_dir] [report_dir]
+#
+# Scale knobs are inherited from the environment (DE_BENCH_INPUTS,
+# DE_BENCH_TRIALS, DE_BENCH_SERVICE_QUERIES, ...). For a quick smoke pass:
+#   DE_BENCH_INPUTS=120 DE_BENCH_TRIALS=1 DE_BENCH_SERVICE_QUERIES=12 \
+#   DE_BENCH_SERVICE_DEVICE_SCALE=2 reproduce/run_benchmarks.sh
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+REPORT_DIR="${2:-$REPO_ROOT/reproduce/reports}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build directory '$BUILD_DIR' not found." >&2
+  echo "Configure and build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$REPORT_DIR"
+SUMMARY="$REPORT_DIR/summary.json"
+
+benches=$(find "$BUILD_DIR" -maxdepth 1 -name 'bench_*' ! -name '*_test' \
+  -type f -perm -u+x | sort)
+if [ -z "$benches" ]; then
+  echo "error: no bench_* binaries under '$BUILD_DIR' (benches need" \
+    "Google Benchmark at configure time)." >&2
+  exit 1
+fi
+
+echo "{" > "$SUMMARY"
+echo "  \"generated_by\": \"reproduce/run_benchmarks.sh\"," >> "$SUMMARY"
+echo "  \"benches\": [" >> "$SUMMARY"
+
+total=0
+failed=0
+first=1
+for bench in $benches; do
+  name=$(basename "$bench")
+  log="$REPORT_DIR/$name.log"
+  total=$((total + 1))
+  echo "== $name (log: $log)"
+  start=$(date +%s.%N)
+  if "$bench" > "$log" 2>&1; then
+    status="ok"
+  else
+    status="failed"
+    failed=$((failed + 1))
+    echo "   FAILED - tail of log:"
+    tail -5 "$log" | sed 's/^/   | /'
+  fi
+  end=$(date +%s.%N)
+  seconds=$(echo "$end $start" | awk '{printf "%.2f", $1 - $2}')
+  echo "   $status in ${seconds}s"
+
+  [ "$first" -eq 1 ] || echo "    ," >> "$SUMMARY"
+  first=0
+  {
+    echo "    {"
+    echo "      \"bench\": \"$name\","
+    echo "      \"status\": \"$status\","
+    echo "      \"wall_seconds\": $seconds,"
+    echo "      \"log\": \"$log\""
+    echo "    }"
+  } >> "$SUMMARY"
+done
+
+echo "  ]," >> "$SUMMARY"
+echo "  \"total\": $total," >> "$SUMMARY"
+echo "  \"failed\": $failed" >> "$SUMMARY"
+echo "}" >> "$SUMMARY"
+
+echo
+echo "Report: $SUMMARY ($total benches, $failed failed)"
+[ "$failed" -eq 0 ]

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -16,6 +17,17 @@ namespace baselines {
 /// activations with least-recently-used layer eviction. Queries hit the
 /// cache like PreprocessAll or miss like ReprocessAll; after a miss the
 /// queried layer's activations are persisted to the cache.
+///
+/// Byte accounting mirrors IqaCache: the bytes recorded when a layer enters
+/// the cache are exactly the bytes subtracted when it leaves (kept in
+/// `bytes_by_layer_`), so `cached_bytes_` can never drift from the sum of
+/// resident layers — regardless of model/dataset geometry changes between
+/// insert and evict, or of a layer being re-admitted after eviction.
+///
+/// Thread-safety: all public methods are safe to call concurrently (one
+/// mutex serialises cache bookkeeping), so the engine can serve as a
+/// fallback cache under the concurrent query service. Concurrent misses of
+/// *different* layers serialise on the mutex — acceptable for a baseline.
 class LruCacheEngine : public QueryEngine {
  public:
   /// Does not take ownership.
@@ -35,28 +47,47 @@ class LruCacheEngine : public QueryEngine {
                                            int k,
                                            core::DistancePtr dist) override;
 
-  Result<uint64_t> StorageBytes() const override { return cached_bytes_; }
+  Result<uint64_t> StorageBytes() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_bytes_;
+  }
 
-  bool IsCached(int layer) const { return by_layer_.count(layer) != 0; }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  bool IsCached(int layer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return by_layer_.count(layer) != 0;
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
 
  private:
   /// Returns the layer's activation matrix, via the cache or recomputation,
   /// then updates recency/evictions.
   Result<storage::LayerActivationMatrix> GetLayer(int layer);
 
-  Status EvictUntilWithinBudget();
+  /// Drops `layer` from cache state and disk. Caller holds mu_.
+  Status EvictLocked(int layer);
+
+  Status EvictUntilWithinBudgetLocked();
 
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;
   storage::ActivationStore activations_;
   uint64_t budget_bytes_;
-  uint64_t cached_bytes_ = 0;
+
+  mutable std::mutex mu_;
+  // All fields below are guarded by mu_.
+  uint64_t cached_bytes_ = 0;  // == sum of bytes_by_layer_ values
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   std::list<int> recency_;  // front = most recently used layer
   std::unordered_map<int, std::list<int>::iterator> by_layer_;
+  std::unordered_map<int, uint64_t> bytes_by_layer_;
 };
 
 }  // namespace baselines

@@ -17,6 +17,7 @@ enum class StatusCode {
   kOutOfRange = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  kCancelled = 9,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
@@ -64,6 +65,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +82,7 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

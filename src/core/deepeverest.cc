@@ -21,7 +21,8 @@ DeepEverest::DeepEverest(const nn::Model* model, const data::Dataset* dataset,
                                          options.persist_indexes,
                                          options.force_sync}) {
   if (options_.enable_iqa) {
-    iqa_cache_ = std::make_unique<IqaCache>(options_.iqa_capacity_bytes);
+    iqa_cache_ = std::make_unique<IqaCache>(options_.iqa_capacity_bytes,
+                                            options_.iqa_shards);
   }
 }
 
@@ -39,6 +40,9 @@ Result<std::unique_ptr<DeepEverest>> DeepEverest::Create(
   }
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.iqa_shards < 1) {
+    return Status::InvalidArgument("iqa_shards must be >= 1");
   }
 
   int64_t total_neurons = 0;
@@ -93,6 +97,32 @@ uint64_t DeepEverest::FullMaterializationBytes() const {
          4;
 }
 
+namespace {
+
+// Validated before Execute: the §4.6 fresh-scan path reads activation rows
+// with unchecked indexing (NtaEngine re-validates on its own path, but by
+// then an out-of-range neuron would already have been scanned).
+Status ValidateGroup(const nn::Model& model, const NeuronGroup& group) {
+  if (group.neurons.empty()) {
+    return Status::InvalidArgument("neuron group is empty");
+  }
+  if (group.layer < 0 || group.layer >= model.num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(group.layer) +
+                              " out of range");
+  }
+  const int64_t layer_neurons = model.NeuronCount(group.layer);
+  for (int64_t n : group.neurons) {
+    if (n < 0 || n >= layer_neurons) {
+      return Status::OutOfRange("neuron " + std::to_string(n) +
+                                " out of range for layer " +
+                                std::to_string(group.layer));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 template <typename NtaFn, typename ScanFn>
 Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
                                         ScanFn&& scan_fn) {
@@ -134,6 +164,7 @@ Result<TopKResult> DeepEverest::TopKHighest(const NeuronGroup& group, int k,
 
 Result<TopKResult> DeepEverest::TopKHighestWithOptions(
     const NeuronGroup& group, NtaOptions options) {
+  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
   options.use_mai = options.use_mai && options_.enable_mai;
   if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
   const DistancePtr dist =
@@ -157,6 +188,7 @@ Result<TopKResult> DeepEverest::TopKMostSimilar(uint32_t target_id,
 
 Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
     uint32_t target_id, const NeuronGroup& group, NtaOptions options) {
+  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
   if (target_id >= inference_.dataset().size()) {
     return Status::OutOfRange("target input out of range");
   }
@@ -183,6 +215,7 @@ Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
 Result<TopKResult> DeepEverest::TopKMostSimilarToActivations(
     const std::vector<float>& target_acts, const NeuronGroup& group,
     NtaOptions options) {
+  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
   if (target_acts.size() != group.neurons.size()) {
     return Status::InvalidArgument("target activation count mismatch");
   }
@@ -215,11 +248,9 @@ Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
 
   // Serve from the IQA cache when a prior query already computed this row.
   std::vector<float> row;
-  const std::vector<float>* cached =
-      iqa_cache_ != nullptr ? iqa_cache_->Lookup(layer, target_id) : nullptr;
-  if (cached != nullptr) {
-    row = *cached;
-  } else {
+  const bool cached =
+      iqa_cache_ != nullptr && iqa_cache_->Lookup(layer, target_id, &row);
+  if (!cached) {
     std::vector<std::vector<float>> rows;
     DE_RETURN_NOT_OK(inference_.ComputeLayer({target_id}, layer, &rows));
     row = std::move(rows[0]);

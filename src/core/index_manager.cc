@@ -12,9 +12,22 @@ std::string IndexManager::KeyFor(const std::string& model_name, int layer) {
 }
 
 bool IndexManager::IsIndexed(int layer) const {
-  if (loaded_.count(layer) != 0) return true;
+  if (FindLoaded(layer) != nullptr) return true;
   return options_.persist &&
          store_->Exists(KeyFor(inference_->model().name(), layer));
+}
+
+const LayerIndex* IndexManager::FindLoaded(int layer) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = loaded_.find(layer);
+  return it != loaded_.end() ? &it->second : nullptr;
+}
+
+std::mutex* IndexManager::BuildMutexFor(int layer) {
+  std::lock_guard<std::mutex> lock(build_map_mu_);
+  auto& slot = build_mu_[layer];
+  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  return slot.get();
 }
 
 Result<const LayerIndex*> IndexManager::EnsureIndex(
@@ -24,8 +37,14 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
     return Status::OutOfRange("layer " + std::to_string(layer) +
                               " out of range");
   }
-  auto it = loaded_.find(layer);
-  if (it != loaded_.end()) return &it->second;
+  // Fast path: already in memory (shared lock only).
+  if (const LayerIndex* index = FindLoaded(layer)) return index;
+
+  // Build-once/read-many: serialise loaders/builders of this layer while
+  // other layers proceed in parallel. Whoever wins the race does the work;
+  // later arrivals find the loaded entry on re-check.
+  std::lock_guard<std::mutex> build_lock(*BuildMutexFor(layer));
+  if (const LayerIndex* index = FindLoaded(layer)) return index;
 
   // Try disk.
   const std::string key = KeyFor(inference_->model().name(), layer);
@@ -33,6 +52,7 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
     DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Read(key));
     BinaryReader reader(bytes);
     DE_ASSIGN_OR_RETURN(LayerIndex index, LayerIndex::Deserialize(&reader));
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
     DE_CHECK(inserted);
     return &pos->second;
@@ -87,6 +107,7 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
   }
   if (fresh_acts != nullptr) *fresh_acts = std::move(acts);
 
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
   DE_CHECK(inserted);
   return &pos->second;
@@ -94,7 +115,7 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
 
 Status IndexManager::PreprocessAllLayers(PreprocessTimings* timings) {
   for (int layer = 0; layer < inference_->model().num_layers(); ++layer) {
-    if (loaded_.count(layer) != 0) continue;
+    if (IsLoaded(layer)) continue;
     auto result = EnsureIndex(layer, nullptr, timings);
     DE_RETURN_NOT_OK(result.status());
   }

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/result.h"
@@ -44,6 +46,15 @@ struct IndexManagerOptions {
 /// for one full-dataset inference pass over that layer, builds NPI+MAI from
 /// the computed activations, and persists them. Later queries (and later
 /// sessions pointing at the same FileStore) reuse the index.
+///
+/// Thread-safety: EnsureIndex/IsIndexed/IsLoaded are safe to call
+/// concurrently. Index construction is build-once/read-many: a per-layer
+/// build mutex serialises builders of the *same* layer (the losers wait and
+/// then reuse the winner's index, so the expensive full-dataset inference
+/// pass runs exactly once per layer), while different layers build in
+/// parallel. Returned LayerIndex pointers stay valid for the manager's
+/// lifetime — `loaded_` is a node-based map, so inserts never move existing
+/// entries.
 class IndexManager {
  public:
   /// Does not take ownership; all pointers must outlive the manager.
@@ -68,7 +79,10 @@ class IndexManager {
   bool IsIndexed(int layer) const;
 
   /// True only if the index is already loaded in memory.
-  bool IsLoaded(int layer) const { return loaded_.count(layer) != 0; }
+  bool IsLoaded(int layer) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return loaded_.count(layer) != 0;
+  }
 
   /// Builds indexes for every model layer front to back (the paper's
   /// extreme preprocessing experiment, Figure 10). Accumulates timings.
@@ -86,10 +100,23 @@ class IndexManager {
       int layer, storage::LayerActivationMatrix* fresh_acts,
       PreprocessTimings* timings);
 
+  /// Returns the loaded index for `layer`, or nullptr. Takes mu_ shared.
+  const LayerIndex* FindLoaded(int layer) const;
+
+  /// The per-layer mutex serialising builders of `layer`. Takes build_map_mu_.
+  std::mutex* BuildMutexFor(int layer);
+
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;
   IndexManagerOptions options_;
+
+  /// Guards loaded_. Readers (queries on indexed layers) take it shared.
+  mutable std::shared_mutex mu_;
   std::map<int, LayerIndex> loaded_;
+
+  /// Guards build_mu_; never held while building.
+  std::mutex build_map_mu_;
+  std::map<int, std::unique_ptr<std::mutex>> build_mu_;
 };
 
 }  // namespace core

@@ -24,13 +24,21 @@ class TopKSet {
       : k_(static_cast<size_t>(k)), smaller_is_better_(smaller_is_better) {}
 
   void Offer(uint32_t id, double value) {
-    if (entries_.size() == k_ && !Better(value, entries_.back().value)) return;
-    // Insert keeping best-first order; ties keep earlier arrivals
-    // ("ties are broken arbitrarily" in the paper, but determinism helps
-    // tests).
+    // Total order on (value, id): ties go to the smaller input id. "Ties are
+    // broken arbitrarily" in the paper, but a total order makes the kept set
+    // independent of arrival order — required for the concurrent query
+    // service, where IQA cache state (and hence evaluation order inside a
+    // round) varies with scheduling.
+    if (entries_.size() == k_ &&
+        !BetterEntry(id, value, entries_.back().input_id,
+                     entries_.back().value)) {
+      return;
+    }
     auto it = std::upper_bound(
-        entries_.begin(), entries_.end(), value,
-        [this](double v, const ResultEntry& e) { return Better(v, e.value); });
+        entries_.begin(), entries_.end(), ResultEntry{id, value},
+        [this](const ResultEntry& a, const ResultEntry& b) {
+          return BetterEntry(a.input_id, a.value, b.input_id, b.value);
+        });
     entries_.insert(it, ResultEntry{id, value});
     if (entries_.size() > k_) entries_.pop_back();
   }
@@ -49,6 +57,10 @@ class TopKSet {
  private:
   bool Better(double a, double b) const {
     return smaller_is_better_ ? a < b : a > b;
+  }
+  bool BetterEntry(uint32_t id_a, double a, uint32_t id_b, double b) const {
+    if (a != b) return Better(a, b);
+    return id_a < id_b;
   }
 
   size_t k_;
@@ -108,12 +120,8 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
   for (uint32_t id : ids) {
     if (state->acts.count(id) != 0) continue;
     if (options.iqa != nullptr) {
-      const std::vector<float>* row = options.iqa->Lookup(group.layer, id);
-      if (row != nullptr) {
-        std::vector<float> acts(group.neurons.size());
-        for (size_t i = 0; i < group.neurons.size(); ++i) {
-          acts[i] = (*row)[static_cast<size_t>(group.neurons[i])];
-        }
+      std::vector<float> acts;
+      if (options.iqa->Gather(group.layer, id, group.neurons, &acts)) {
         state->acts.emplace(id, std::move(acts));
         ++state->iqa_hits;
         newly->push_back(id);

@@ -39,6 +39,9 @@ struct QueryStats {
   int64_t iqa_hits = 0;          // candidate rows served from the IQA cache
   double wall_seconds = 0.0;
   double simulated_gpu_seconds = 0.0;
+  /// Time spent in the QueryService admission queue before a worker picked
+  /// the query up (0 outside the service).
+  double queue_seconds = 0.0;
   bool terminated_early = false;  // stopped via threshold, not exhaustion
 };
 

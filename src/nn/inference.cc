@@ -1,5 +1,8 @@
 #include "nn/inference.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/stopwatch.h"
 
 namespace deepeverest {
@@ -30,13 +33,23 @@ Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
       DE_RETURN_NOT_OK(model_->ForwardTo(dataset_->input(id), layer, &out));
       rows->push_back(std::move(out.vec()));
     }
-    stats_.inputs_run += batch_n;
-    stats_.batches_run += 1;
-    stats_.macs += batch_n * macs;
-    stats_.simulated_gpu_seconds +=
+    const double batch_seconds =
         cost_model_.BatchSeconds(batch_n, batch_size_, macs);
+    if (simulate_device_latency_) {
+      // Block for the modeled dispatch, without holding any lock: concurrent
+      // callers overlap their device waits, as on a real accelerator.
+      std::this_thread::sleep_for(std::chrono::duration<double>(batch_seconds));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.inputs_run += batch_n;
+      stats_.batches_run += 1;
+      stats_.macs += batch_n * macs;
+      stats_.simulated_gpu_seconds += batch_seconds;
+    }
     pos = batch_end;
   }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.wall_seconds += watch.ElapsedSeconds();
   return Status::OK();
 }
@@ -51,11 +64,15 @@ Status InferenceEngine::ComputeAllLayers(uint32_t input_id,
   const int64_t macs = model_->CumulativeMacs(model_->num_layers() - 1);
   Stopwatch watch;
   DE_RETURN_NOT_OK(model_->ForwardAll(dataset_->input(input_id), outputs));
+  const double batch_seconds = cost_model_.BatchSeconds(1, batch_size_, macs);
+  if (simulate_device_latency_) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(batch_seconds));
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.inputs_run += 1;
   stats_.batches_run += 1;
   stats_.macs += macs;
-  stats_.simulated_gpu_seconds +=
-      cost_model_.BatchSeconds(1, batch_size_, macs);
+  stats_.simulated_gpu_seconds += batch_seconds;
   stats_.wall_seconds += watch.ElapsedSeconds();
   return Status::OK();
 }

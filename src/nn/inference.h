@@ -2,6 +2,7 @@
 #define DEEPEVEREST_NN_INFERENCE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +64,14 @@ struct GpuCostModel {
 /// This is the single chokepoint through which DeepEverest, NTA, and all
 /// baselines compute activations, so their inference costs are directly
 /// comparable.
+///
+/// Thread-safety: ComputeLayer/ComputeAllLayers are safe to call
+/// concurrently — the forward pass itself is pure (const model + dataset)
+/// and the shared counters are mutex-guarded. `stats()` returns a coherent
+/// snapshot; under concurrent queries a before/after delta attributes *all*
+/// inference in the window, including other threads'. Configure the cost
+/// model and `set_simulate_device_latency` before sharing the engine across
+/// threads.
 class InferenceEngine {
  public:
   /// Does not take ownership; `model` and `dataset` must outlive the engine.
@@ -92,18 +101,34 @@ class InferenceEngine {
   /// full-model cost.
   Status ComputeAllLayers(uint32_t input_id, std::vector<Tensor>* outputs);
 
-  const InferenceStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = InferenceStats(); }
+  InferenceStats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = InferenceStats();
+  }
 
   GpuCostModel* mutable_cost_model() { return &cost_model_; }
   const GpuCostModel& cost_model() const { return cost_model_; }
+
+  /// When on, each batch *blocks* for its cost-model time, turning the
+  /// simulated accelerator into a real latency source. This is how the
+  /// concurrent query service is benchmarked on CPU-only machines: worker
+  /// threads overlap device waits exactly as they would overlap GPU
+  /// dispatches, while the pure-CPU reference computation still runs.
+  void set_simulate_device_latency(bool on) { simulate_device_latency_ = on; }
+  bool simulate_device_latency() const { return simulate_device_latency_; }
 
  private:
   const Model* model_;
   const data::Dataset* dataset_;
   int batch_size_;
   GpuCostModel cost_model_;
-  InferenceStats stats_;
+  bool simulate_device_latency_ = false;
+  mutable std::mutex stats_mu_;
+  InferenceStats stats_;  // guarded by stats_mu_
 };
 
 }  // namespace nn

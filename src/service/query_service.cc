@@ -1,0 +1,216 @@
+#include "service/query_service.h"
+
+#include <utility>
+
+namespace deepeverest {
+namespace service {
+
+Result<std::unique_ptr<QueryService>> QueryService::Create(
+    core::DeepEverest* engine, const QueryServiceOptions& options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine is required");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options.max_queue_depth < 1) {
+    return Status::InvalidArgument("max_queue_depth must be >= 1");
+  }
+  return std::unique_ptr<QueryService>(new QueryService(engine, options));
+}
+
+QueryService::QueryService(core::DeepEverest* engine,
+                           const QueryServiceOptions& options)
+    : engine_(engine), options_(options) {
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
+    TopKQuery query) {
+  if (query.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query.group.neurons.empty()) {
+    return Status::InvalidArgument("neuron group is empty");
+  }
+  if (query.theta <= 0.0 || query.theta > 1.0) {
+    return Status::InvalidArgument("theta must be in (0, 1]");
+  }
+
+  Pending pending;
+  pending.query = std::move(query);
+  std::future<Result<core::TopKResult>> future =
+      pending.promise.get_future();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("query service is shutting down");
+    }
+    if (queued_ >= options_.max_queue_depth) {
+      rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted("admission queue full (" +
+                                       std::to_string(queued_) + " queued)");
+    }
+    auto it = queues_.find(pending.query.session_id);
+    if (options_.max_queued_per_session > 0 && it != queues_.end() &&
+        it->second.size() >= options_.max_queued_per_session) {
+      rejected_session_limit_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "session " + std::to_string(pending.query.session_id) +
+          " is at its queued-query limit");
+    }
+    auto& session_queue = queues_[pending.query.session_id];
+    if (session_queue.empty()) {
+      round_robin_.push_back(pending.query.session_id);
+    }
+    pending.wait.Reset();
+    session_queue.push_back(std::move(pending));
+    ++queued_;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  work_cv_.notify_one();
+  return future;
+}
+
+Result<core::TopKResult> QueryService::Execute(TopKQuery query) {
+  DE_ASSIGN_OR_RETURN(std::future<Result<core::TopKResult>> future,
+                      Submit(std::move(query)));
+  return future.get();
+}
+
+Result<core::TopKResult> QueryService::Run(const TopKQuery& query) {
+  core::NtaOptions options;
+  options.k = query.k;
+  options.theta = query.theta;
+  switch (query.kind) {
+    case TopKQuery::Kind::kHighest:
+      return engine_->TopKHighestWithOptions(query.group, std::move(options));
+    case TopKQuery::Kind::kMostSimilar:
+      return engine_->TopKMostSimilarWithOptions(query.target_id, query.group,
+                                                 std::move(options));
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+void QueryService::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stopping, queue drained/cancelled
+
+      // Round-robin across sessions, FIFO within a session.
+      const uint64_t session = round_robin_.front();
+      round_robin_.pop_front();
+      auto it = queues_.find(session);
+      DE_CHECK(it != queues_.end() && !it->second.empty());
+      pending = std::move(it->second.front());
+      it->second.pop_front();
+      if (it->second.empty()) {
+        queues_.erase(it);
+      } else {
+        round_robin_.push_back(session);
+      }
+      --queued_;
+      ++inflight_;
+    }
+
+    const double queue_seconds = pending.wait.ElapsedSeconds();
+    Stopwatch exec_watch;
+    Result<core::TopKResult> result = Run(pending.query);
+    const double exec_seconds = exec_watch.ElapsedSeconds();
+
+    if (result.ok()) {
+      result.value().stats.queue_seconds = queue_seconds;
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    latency_.Record(queue_seconds + exec_seconds);
+    busy_nanos_.fetch_add(static_cast<int64_t>(exec_seconds * 1e9),
+                          std::memory_order_relaxed);
+    pending.promise.set_value(std::move(result));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --inflight_;
+      if (queued_ == 0 && inflight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queued_ == 0 && inflight_ == 0; });
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already shut down (or shutting down from the destructor after an
+      // explicit Shutdown()).
+    } else {
+      stopping_ = true;
+      // Fail queries that never started; their futures resolve immediately.
+      for (auto& [session, session_queue] : queues_) {
+        for (Pending& pending : session_queue) {
+          pending.promise.set_value(
+              Status::Cancelled("query service shut down"));
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      queues_.clear();
+      round_robin_.clear();
+      queued_ = 0;
+      idle_cv_.notify_all();
+    }
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+ServiceStats QueryService::Snapshot() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected_queue_full =
+      rejected_queue_full_.load(std::memory_order_relaxed);
+  stats.rejected_session_limit =
+      rejected_session_limit_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queue_depth = queued_;
+    stats.inflight = inflight_;
+    stats.active_sessions = queues_.size();
+  }
+  stats.p50_latency_seconds = latency_.PercentileSeconds(0.50);
+  stats.p90_latency_seconds = latency_.PercentileSeconds(0.90);
+  stats.p99_latency_seconds = latency_.PercentileSeconds(0.99);
+  stats.num_workers = options_.num_workers;
+  stats.uptime_seconds = uptime_.ElapsedSeconds();
+  stats.worker_busy_seconds =
+      static_cast<double>(busy_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  if (stats.uptime_seconds > 0.0 && stats.num_workers > 0) {
+    stats.worker_utilization =
+        stats.worker_busy_seconds /
+        (stats.uptime_seconds * static_cast<double>(stats.num_workers));
+    if (stats.worker_utilization > 1.0) stats.worker_utilization = 1.0;
+  }
+  if (engine_->iqa_cache() != nullptr) {
+    stats.iqa_shards = engine_->iqa_cache()->ShardSnapshots();
+  }
+  return stats;
+}
+
+}  // namespace service
+}  // namespace deepeverest

@@ -1,0 +1,144 @@
+#ifndef DEEPEVEREST_SERVICE_QUERY_SERVICE_H_
+#define DEEPEVEREST_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "core/deepeverest.h"
+#include "core/query.h"
+#include "service/service_stats.h"
+
+namespace deepeverest {
+namespace service {
+
+/// \brief One client query submitted to the service.
+struct TopKQuery {
+  enum class Kind {
+    kHighest,      // TopKHighest: largest aggregated activations
+    kMostSimilar,  // TopKMostSimilar: closest to dataset input `target_id`
+  };
+
+  Kind kind = Kind::kHighest;
+  core::NeuronGroup group;
+  int k = 20;
+  uint32_t target_id = 0;  // kMostSimilar only
+  /// θ-approximation factor in (0, 1]; 1.0 = exact (paper section 6).
+  double theta = 1.0;
+  /// Client session for admission fairness. Queries from the same session
+  /// run FIFO relative to each other; distinct sessions are served
+  /// round-robin so one chatty client cannot starve the rest.
+  uint64_t session_id = 0;
+};
+
+struct QueryServiceOptions {
+  /// Fixed-size worker pool executing queries against the shared engine.
+  int num_workers = 4;
+  /// Bound on queries waiting for a worker, across all sessions. Submissions
+  /// beyond it are rejected with ResourceExhausted — backpressure the client
+  /// can retry on.
+  size_t max_queue_depth = 256;
+  /// Per-session bound on *queued* queries (0 = no per-session bound). A
+  /// session at its limit is rejected even while the global queue has room,
+  /// keeping one bulk client from monopolising the admission queue.
+  size_t max_queued_per_session = 0;
+};
+
+/// \brief Concurrent query service over a DeepEverest engine: a fixed
+/// thread pool consuming a bounded, session-aware admission queue.
+///
+/// Clients Submit() queries and receive futures. Admission applies
+/// backpressure (global + per-session queue bounds); dispatch is round-robin
+/// across sessions with queued work, FIFO within a session. Results are
+/// identical to sequential execution on the same engine — the core it
+/// drives (IndexManager, IqaCache, InferenceEngine, FileStore) is
+/// concurrency-safe, and inference is deterministic, so only scheduling
+/// order (and therefore per-query cache-hit counts) varies between runs.
+///
+/// The engine outlives the service; the service owns only its workers and
+/// queue. All public methods are thread-safe.
+class QueryService {
+ public:
+  /// Validates options and starts `num_workers` threads.
+  static Result<std::unique_ptr<QueryService>> Create(
+      core::DeepEverest* engine, const QueryServiceOptions& options);
+
+  /// Blocks until in-flight queries finish; queued-but-unstarted queries
+  /// fail with Cancelled.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues `query`. Fails fast — without consuming a queue slot — with
+  /// InvalidArgument (malformed query), ResourceExhausted (queue full or
+  /// session at its limit; retry later), or FailedPrecondition (shutting
+  /// down). The future resolves to the query's result or execution error.
+  Result<std::future<Result<core::TopKResult>>> Submit(TopKQuery query);
+
+  /// Submit + wait: the blocking convenience used by tests and examples.
+  Result<core::TopKResult> Execute(TopKQuery query);
+
+  /// Blocks until the queue is empty and no query is in flight.
+  void Drain();
+
+  /// Stops admission, cancels queued queries, finishes in-flight work, and
+  /// joins the workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// Current counters, latency percentiles, utilization, and IQA shard
+  /// hit rates.
+  ServiceStats Snapshot() const;
+
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    TopKQuery query;
+    std::promise<Result<core::TopKResult>> promise;
+    Stopwatch wait;  // started at admission
+  };
+
+  QueryService(core::DeepEverest* engine, const QueryServiceOptions& options);
+
+  void WorkerLoop();
+  Result<core::TopKResult> Run(const TopKQuery& query);
+
+  core::DeepEverest* engine_;
+  QueryServiceOptions options_;
+  Stopwatch uptime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers
+  std::condition_variable idle_cv_;  // signals Drain()
+  bool stopping_ = false;                            // guarded by mu_
+  std::map<uint64_t, std::deque<Pending>> queues_;   // guarded by mu_
+  std::deque<uint64_t> round_robin_;                 // guarded by mu_
+  size_t queued_ = 0;                                // guarded by mu_
+  size_t inflight_ = 0;                              // guarded by mu_
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_queue_full_{0};
+  std::atomic<int64_t> rejected_session_limit_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> busy_nanos_{0};
+  LatencyHistogram latency_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,98 @@
+#ifndef DEEPEVEREST_SERVICE_SERVICE_STATS_H_
+#define DEEPEVEREST_SERVICE_SERVICE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/iqa_cache.h"
+
+namespace deepeverest {
+namespace service {
+
+/// \brief Lock-free latency histogram with geometric buckets.
+///
+/// 128 buckets spanning 1 µs .. ~10^4 s with ratio ~1.2 give percentile
+/// estimates within ±10% — plenty for a p50/p99 dashboard — while Record()
+/// is a single relaxed fetch_add, cheap enough for every query.
+class LatencyHistogram {
+ public:
+  void Record(double seconds) {
+    buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Approximate latency at quantile `q` in [0, 1]; 0 when empty.
+  double PercentileSeconds(double q) const {
+    const int64_t total = count();
+    if (total <= 0) return 0.0;
+    int64_t rank = static_cast<int64_t>(q * static_cast<double>(total - 1));
+    for (int i = 0; i < kBuckets; ++i) {
+      rank -= buckets_[i].load(std::memory_order_relaxed);
+      if (rank < 0) return BucketMidSeconds(i);
+    }
+    return BucketMidSeconds(kBuckets - 1);
+  }
+
+ private:
+  static constexpr int kBuckets = 128;
+  static constexpr double kMinSeconds = 1e-6;
+  // kBuckets geometric steps cover 10 decades: ratio = 10^(10/127).
+  static constexpr double kLogRatio = 10.0 / 127.0 * 2.302585092994046;
+
+  static int BucketFor(double seconds) {
+    if (!(seconds > kMinSeconds)) return 0;
+    const int idx = static_cast<int>(std::log(seconds / kMinSeconds) /
+                                     kLogRatio);
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+  static double BucketMidSeconds(int idx) {
+    return kMinSeconds * std::exp((static_cast<double>(idx) + 0.5) *
+                                  kLogRatio);
+  }
+
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> count_{0};
+};
+
+/// \brief Point-in-time snapshot of a QueryService, cheap enough to poll.
+struct ServiceStats {
+  // Admission.
+  int64_t submitted = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_session_limit = 0;
+
+  // Completion.
+  int64_t completed = 0;
+  int64_t failed = 0;     // executed but returned a non-OK status
+  int64_t cancelled = 0;  // still queued at Shutdown()
+
+  // Live state.
+  size_t queue_depth = 0;
+  size_t inflight = 0;
+  size_t active_sessions = 0;  // sessions with queued work
+
+  // Latency (admission-to-completion), approximate percentiles.
+  double p50_latency_seconds = 0.0;
+  double p90_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+
+  // Worker pool.
+  int num_workers = 0;
+  double uptime_seconds = 0.0;
+  double worker_busy_seconds = 0.0;  // summed across workers
+  /// busy / (uptime * workers), in [0, 1].
+  double worker_utilization = 0.0;
+
+  /// Per-shard IQA cache counters; empty when the engine runs without IQA.
+  std::vector<core::IqaCache::ShardSnapshot> iqa_shards;
+};
+
+}  // namespace service
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_SERVICE_SERVICE_STATS_H_

@@ -1,6 +1,7 @@
 #ifndef DEEPEVEREST_STORAGE_FILE_STORE_H_
 #define DEEPEVEREST_STORAGE_FILE_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -17,13 +18,26 @@ namespace storage {
 /// layers) live in a FileStore so storage consumption can be measured
 /// exactly; TotalBytes() is what the experiments report as "storage".
 /// Keys may contain '/' to create subdirectories.
+///
+/// Thread-safety: concurrent Read/Write/Exists/SizeOf calls are safe as
+/// long as no two writers target the same key at once (IndexManager's
+/// per-layer build mutex guarantees that for index keys). Traffic counters
+/// are atomic. Moving a store concurrently with use is not supported.
 class FileStore {
  public:
   /// Creates (if needed) and opens the store rooted at `root`.
   static Result<FileStore> Open(const std::string& root);
 
-  FileStore(FileStore&&) = default;
-  FileStore& operator=(FileStore&&) = default;
+  FileStore(FileStore&& other) noexcept
+      : root_(std::move(other.root_)),
+        bytes_written_(other.bytes_written_.load()),
+        bytes_read_(other.bytes_read_.load()) {}
+  FileStore& operator=(FileStore&& other) noexcept {
+    root_ = std::move(other.root_);
+    bytes_written_.store(other.bytes_written_.load());
+    bytes_read_.store(other.bytes_read_.load());
+    return *this;
+  }
   FileStore(const FileStore&) = delete;
   FileStore& operator=(const FileStore&) = delete;
 
@@ -70,8 +84,8 @@ class FileStore {
   std::string PathFor(const std::string& key) const;
 
   std::string root_;
-  uint64_t bytes_written_ = 0;
-  mutable uint64_t bytes_read_ = 0;
+  std::atomic<uint64_t> bytes_written_{0};
+  mutable std::atomic<uint64_t> bytes_read_{0};
 };
 
 /// \brief Creates a unique empty temporary directory for a store/workspace,

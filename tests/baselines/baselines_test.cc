@@ -2,6 +2,9 @@
 // and verifies their storage / caching behaviours.
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "baselines/lru_cache.h"
 #include "baselines/preprocess_all.h"
 #include "baselines/priority_cache.h"
@@ -141,6 +144,74 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsedLayer) {
   auto bytes = lru.StorageBytes();
   ASSERT_TRUE(bytes.ok());
   EXPECT_LE(*bytes, 2000u);
+}
+
+TEST(LruCacheTest, ReadmissionAfterEvictionKeepsAccountingExact) {
+  TinySystem sys(25, 78, 8);
+  TempDir dir("lru");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  LruCacheEngine lru(sys.engine.get(), &store.value(), 2000);
+
+  const int layer_a = sys.model->activation_layers()[0];
+  const int layer_b = sys.model->activation_layers()[1];
+  // Thrash a <-> b under a one-layer budget; recorded bytes must enter and
+  // leave symmetrically, so the total never drifts and never exceeds the
+  // budget at rest.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(lru.TopKHighest(NeuronGroup{layer_a, {0}}, 3, nullptr).ok());
+    ASSERT_TRUE(lru.TopKHighest(NeuronGroup{layer_b, {0}}, 3, nullptr).ok());
+  }
+  EXPECT_TRUE(lru.IsCached(layer_b));
+  EXPECT_FALSE(lru.IsCached(layer_a));
+  auto bytes = lru.StorageBytes();
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_LE(*bytes, 2000u);
+  // Exactly one resident layer: its recorded size, not an accumulation.
+  EXPECT_EQ(*bytes, storage::ActivationStore::PersistedBytes(
+                        sys.dataset.size(),
+                        static_cast<uint64_t>(
+                            sys.model->NeuronCount(layer_b))));
+  // Evicting everything returns the accounting to zero.
+  ASSERT_TRUE(lru.TopKHighest(NeuronGroup{layer_a, {0}}, 3, nullptr).ok());
+  EXPECT_FALSE(lru.IsCached(layer_b));
+}
+
+TEST(LruCacheTest, ConcurrentQueriesAreSafeAndCorrect) {
+  TinySystem sys(30, 79, 8);
+  TempDir dir("lru");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  LruCacheEngine lru(sys.engine.get(), &store.value(), 1 << 24);
+
+  const std::vector<int>& layers = sys.model->activation_layers();
+  auto expected_a = lru.TopKHighest(NeuronGroup{layers[0], {0, 1}}, 5,
+                                    nullptr);
+  auto expected_b = lru.TopKHighest(NeuronGroup{layers[1], {0, 1}}, 5,
+                                    nullptr);
+  ASSERT_TRUE(expected_a.ok());
+  ASSERT_TRUE(expected_b.ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 8; ++i) {
+        const bool use_a = (t + i) % 2 == 0;
+        auto result = lru.TopKHighest(
+            NeuronGroup{use_a ? layers[0] : layers[1], {0, 1}}, 5, nullptr);
+        ASSERT_TRUE(result.ok());
+        const auto& expected = use_a ? *expected_a : *expected_b;
+        ASSERT_EQ(result->entries.size(), expected.entries.size());
+        for (size_t r = 0; r < expected.entries.size(); ++r) {
+          EXPECT_EQ(result->entries[r].input_id,
+                    expected.entries[r].input_id);
+          EXPECT_EQ(result->entries[r].value, expected.entries[r].value);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(lru.hits() + lru.misses(), 2 + 4 * 8);
 }
 
 TEST(PriorityCacheTest, ChoosesLayersUnderBudgetByBenefit) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 namespace deepeverest {
 namespace core {
 namespace {
@@ -10,13 +13,21 @@ std::vector<float> Row(float v, size_t n = 8) {
   return std::vector<float>(n, v);
 }
 
+// Copy-out lookup helper: returns the row's first value or NaN on miss.
+bool Contains(IqaCache* cache, int layer, uint32_t id, float* first = nullptr) {
+  std::vector<float> row;
+  if (!cache->Lookup(layer, id, &row)) return false;
+  if (first != nullptr) *first = row[0];
+  return true;
+}
+
 TEST(IqaCacheTest, MissThenHit) {
   IqaCache cache(1 << 20);
-  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+  EXPECT_FALSE(Contains(&cache, 0, 1));
   cache.Insert(0, 1, Row(1.5f));
-  const std::vector<float>* row = cache.Lookup(0, 1);
-  ASSERT_NE(row, nullptr);
-  EXPECT_EQ((*row)[0], 1.5f);
+  float first = 0.0f;
+  ASSERT_TRUE(Contains(&cache, 0, 1, &first));
+  EXPECT_EQ(first, 1.5f);
   EXPECT_EQ(cache.stats().hits, 1);
   EXPECT_EQ(cache.stats().misses, 1);
 }
@@ -25,9 +36,24 @@ TEST(IqaCacheTest, KeysAreLayerScoped) {
   IqaCache cache(1 << 20);
   cache.Insert(0, 7, Row(1.0f));
   cache.Insert(1, 7, Row(2.0f));
-  EXPECT_EQ((*cache.Lookup(0, 7))[0], 1.0f);
-  EXPECT_EQ((*cache.Lookup(1, 7))[0], 2.0f);
+  float a = 0.0f, b = 0.0f;
+  ASSERT_TRUE(Contains(&cache, 0, 7, &a));
+  ASSERT_TRUE(Contains(&cache, 1, 7, &b));
+  EXPECT_EQ(a, 1.0f);
+  EXPECT_EQ(b, 2.0f);
   EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(IqaCacheTest, GatherExtractsSelectedNeurons) {
+  IqaCache cache(1 << 20);
+  std::vector<float> row = {10.0f, 11.0f, 12.0f, 13.0f};
+  cache.Insert(3, 9, row);
+  std::vector<float> out;
+  ASSERT_TRUE(cache.Gather(3, 9, {2, 0}, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 12.0f);
+  EXPECT_EQ(out[1], 10.0f);
+  EXPECT_FALSE(cache.Gather(3, 10, {0}, &out));
 }
 
 TEST(IqaCacheTest, MruEvictionKeepsOldest) {
@@ -42,11 +68,23 @@ TEST(IqaCacheTest, MruEvictionKeepsOldest) {
   // protects them (section 4.7.3).
   cache.Insert(0, 4, Row(4.0f));
   EXPECT_EQ(cache.entry_count(), 3u);
-  EXPECT_NE(cache.Lookup(0, 1), nullptr);
-  EXPECT_NE(cache.Lookup(0, 2), nullptr);
-  EXPECT_EQ(cache.Lookup(0, 3), nullptr);  // evicted
-  EXPECT_NE(cache.Lookup(0, 4), nullptr);
+  EXPECT_TRUE(Contains(&cache, 0, 1));
+  EXPECT_TRUE(Contains(&cache, 0, 2));
+  EXPECT_FALSE(Contains(&cache, 0, 3));  // evicted
+  EXPECT_TRUE(Contains(&cache, 0, 4));
   EXPECT_GE(cache.stats().evictions, 1);
+}
+
+TEST(IqaCacheTest, LruEvictionKeepsNewest) {
+  IqaCache cache(300, /*num_shards=*/1, IqaCache::EvictionPolicy::kLru);
+  cache.Insert(0, 1, Row(1.0f));
+  cache.Insert(0, 2, Row(2.0f));
+  cache.Insert(0, 3, Row(3.0f));
+  cache.Insert(0, 4, Row(4.0f));
+  EXPECT_FALSE(Contains(&cache, 0, 1));  // least recently used, evicted
+  EXPECT_TRUE(Contains(&cache, 0, 2));
+  EXPECT_TRUE(Contains(&cache, 0, 3));
+  EXPECT_TRUE(Contains(&cache, 0, 4));
 }
 
 TEST(IqaCacheTest, LookupRefreshesRecency) {
@@ -55,11 +93,11 @@ TEST(IqaCacheTest, LookupRefreshesRecency) {
   cache.Insert(0, 2, Row(2.0f));
   cache.Insert(0, 3, Row(3.0f));
   // Touch id 1: it becomes the MRU entry and is the eviction victim.
-  cache.Lookup(0, 1);
+  Contains(&cache, 0, 1);
   cache.Insert(0, 4, Row(4.0f));
-  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
-  EXPECT_NE(cache.Lookup(0, 2), nullptr);
-  EXPECT_NE(cache.Lookup(0, 3), nullptr);
+  EXPECT_FALSE(Contains(&cache, 0, 1));
+  EXPECT_TRUE(Contains(&cache, 0, 2));
+  EXPECT_TRUE(Contains(&cache, 0, 3));
 }
 
 TEST(IqaCacheTest, ReinsertRefreshesPayload) {
@@ -67,14 +105,16 @@ TEST(IqaCacheTest, ReinsertRefreshesPayload) {
   cache.Insert(0, 1, Row(1.0f));
   cache.Insert(0, 1, Row(9.0f));
   EXPECT_EQ(cache.entry_count(), 1u);
-  EXPECT_EQ((*cache.Lookup(0, 1))[0], 9.0f);
+  float first = 0.0f;
+  ASSERT_TRUE(Contains(&cache, 0, 1, &first));
+  EXPECT_EQ(first, 9.0f);
 }
 
 TEST(IqaCacheTest, OversizedRowNotCached) {
   IqaCache cache(100);
   cache.Insert(0, 1, Row(1.0f, 1000));  // 4 KB > capacity
   EXPECT_EQ(cache.entry_count(), 0u);
-  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+  EXPECT_FALSE(Contains(&cache, 0, 1));
 }
 
 TEST(IqaCacheTest, SizeAccounting) {
@@ -90,7 +130,71 @@ TEST(IqaCacheTest, ClearEmpties) {
   cache.Clear();
   EXPECT_EQ(cache.entry_count(), 0u);
   EXPECT_EQ(cache.size_bytes(), 0u);
-  EXPECT_EQ(cache.Lookup(0, 1), nullptr);
+  EXPECT_FALSE(Contains(&cache, 0, 1));
+}
+
+TEST(IqaCacheTest, ShardCountersSumToTotals) {
+  IqaCache cache(1 << 20, /*num_shards=*/4);
+  EXPECT_EQ(cache.num_shards(), 4);
+  for (uint32_t id = 0; id < 64; ++id) cache.Insert(0, id, Row(1.0f));
+  for (uint32_t id = 0; id < 64; ++id) EXPECT_TRUE(Contains(&cache, 0, id));
+  for (uint32_t id = 64; id < 80; ++id) EXPECT_FALSE(Contains(&cache, 0, id));
+
+  const IqaCache::Stats total = cache.stats();
+  EXPECT_EQ(total.hits, 64);
+  EXPECT_EQ(total.misses, 16);
+  EXPECT_EQ(total.insertions, 64);
+
+  int64_t shard_hits = 0, shard_misses = 0, shard_inserts = 0;
+  size_t shard_entries = 0;
+  for (const auto& snap : cache.ShardSnapshots()) {
+    shard_hits += snap.hits;
+    shard_misses += snap.misses;
+    shard_inserts += snap.insertions;
+    shard_entries += snap.entry_count;
+  }
+  EXPECT_EQ(shard_hits, total.hits);
+  EXPECT_EQ(shard_misses, total.misses);
+  EXPECT_EQ(shard_inserts, total.insertions);
+  EXPECT_EQ(shard_entries, cache.entry_count());
+}
+
+TEST(IqaCacheTest, ShardingSpreadsEntries) {
+  IqaCache cache(1 << 20, /*num_shards=*/8);
+  for (uint32_t id = 0; id < 256; ++id) cache.Insert(0, id, Row(1.0f));
+  int populated = 0;
+  for (const auto& snap : cache.ShardSnapshots()) {
+    if (snap.entry_count > 0) ++populated;
+  }
+  // splitmix64 over 256 sequential ids must touch most of 8 shards.
+  EXPECT_GE(populated, 6);
+}
+
+TEST(IqaCacheTest, ConcurrentMixedTrafficIsSafeAndCounted) {
+  IqaCache cache(1 << 22, /*num_shards=*/8);
+  constexpr int kThreads = 8;
+  constexpr uint32_t kOpsPerThread = 400;
+  std::atomic<int64_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &observed_hits, t] {
+      std::vector<float> row;
+      for (uint32_t i = 0; i < kOpsPerThread; ++i) {
+        const uint32_t id = (static_cast<uint32_t>(t) * 131 + i) % 128;
+        cache.Insert(0, id, Row(static_cast<float>(id)));
+        if (cache.Lookup(0, id, &row)) {
+          observed_hits.fetch_add(1);
+          // The row read under the shard lock is always internally
+          // consistent: whole-row writes can never be observed torn.
+          EXPECT_EQ(row[0], static_cast<float>(id));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const IqaCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_EQ(stats.hits + stats.misses, int64_t{kThreads} * kOpsPerThread);
 }
 
 }  // namespace

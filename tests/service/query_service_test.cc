@@ -1,0 +1,394 @@
+// Tests for the concurrent query service: result equivalence with
+// sequential execution, admission backpressure, session fairness, and
+// IQA shard accounting.
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/deepeverest.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace service {
+namespace {
+
+using core::DeepEverest;
+using core::DeepEverestOptions;
+using core::NeuronGroup;
+using core::TopKResult;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+DeepEverestOptions EngineOptions(int iqa_shards = 0) {
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 4;
+  options.mai_ratio_override = 0.1;
+  if (iqa_shards > 0) {
+    options.enable_iqa = true;
+    options.iqa_capacity_bytes = 1 << 24;
+    options.iqa_shards = iqa_shards;
+  }
+  return options;
+}
+
+/// Engine + store + workload fixture shared by the tests.
+struct ServiceFixture {
+  ServiceFixture(uint32_t num_inputs, uint64_t seed,
+                 const DeepEverestOptions& options)
+      : sys(num_inputs, seed, options.batch_size), dir("svc") {
+    auto opened = storage::FileStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::make_unique<storage::FileStore>(std::move(opened.value()));
+    auto created =
+        DeepEverest::Create(sys.model.get(), &sys.dataset, store.get(),
+                            options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    engine = std::move(created.value());
+  }
+
+  TinySystem sys;
+  TempDir dir;
+  std::unique_ptr<storage::FileStore> store;
+  std::unique_ptr<DeepEverest> engine;
+};
+
+/// A deterministic mixed workload across three layers and several sessions.
+std::vector<TopKQuery> MakeWorkload(const nn::Model& model, int count) {
+  const std::vector<int>& layers = model.activation_layers();
+  std::vector<TopKQuery> workload;
+  workload.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    TopKQuery query;
+    const int layer = layers[static_cast<size_t>(i) % layers.size()];
+    query.group.layer = layer;
+    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
+    query.k = 5 + i % 3;
+    query.session_id = static_cast<uint64_t>(i % 5);
+    if (i % 2 == 0) {
+      query.kind = TopKQuery::Kind::kHighest;
+    } else {
+      query.kind = TopKQuery::Kind::kMostSimilar;
+      query.target_id = static_cast<uint32_t>(i % 20);
+    }
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+void ExpectSameEntries(const TopKResult& expected, const TopKResult& actual,
+                       int query_index) {
+  ASSERT_EQ(expected.entries.size(), actual.entries.size())
+      << "query " << query_index;
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_EQ(expected.entries[i].input_id, actual.entries[i].input_id)
+        << "query " << query_index << " rank " << i;
+    EXPECT_EQ(expected.entries[i].value, actual.entries[i].value)
+        << "query " << query_index << " rank " << i;
+  }
+}
+
+TEST(QueryServiceTest, CreateValidatesOptions) {
+  ServiceFixture fix(30, 71, EngineOptions());
+  QueryServiceOptions bad;
+  bad.num_workers = 0;
+  EXPECT_FALSE(QueryService::Create(fix.engine.get(), bad).ok());
+  bad = QueryServiceOptions();
+  bad.max_queue_depth = 0;
+  EXPECT_FALSE(QueryService::Create(fix.engine.get(), bad).ok());
+  EXPECT_FALSE(QueryService::Create(nullptr, QueryServiceOptions()).ok());
+}
+
+TEST(QueryServiceTest, SubmitValidatesQueries) {
+  ServiceFixture fix(30, 72, EngineOptions());
+  auto service =
+      QueryService::Create(fix.engine.get(), QueryServiceOptions());
+  ASSERT_TRUE(service.ok());
+  TopKQuery query;  // empty neuron group
+  query.k = 5;
+  EXPECT_FALSE((*service)->Submit(query).ok());
+  query.group.neurons = {0};
+  query.k = 0;
+  EXPECT_FALSE((*service)->Submit(query).ok());
+  query.k = 5;
+  query.theta = 1.5;
+  EXPECT_FALSE((*service)->Submit(query).ok());
+}
+
+TEST(QueryServiceTest, OutOfRangeNeuronOnColdLayerFailsCleanly) {
+  ServiceFixture fix(30, 70, EngineOptions());
+  auto service =
+      QueryService::Create(fix.engine.get(), QueryServiceOptions());
+  ASSERT_TRUE(service.ok());
+  // The layer is unindexed, so without up-front validation this query would
+  // reach the §4.6 fresh-scan path and read the activation matrix out of
+  // bounds; it must instead resolve to OutOfRange.
+  TopKQuery query;
+  query.group.layer = fix.sys.model->activation_layers()[0];
+  query.group.neurons = {999999};
+  query.k = 5;
+  auto result = (*service)->Execute(query);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+}
+
+// The tentpole contract: N threads x M queries produce exactly the results
+// sequential execution produces. Both engines are warm-started
+// (PreprocessAllLayers), the serving deployment configuration: with indexes
+// in place every query runs the NTA path, whose result is deterministic
+// regardless of scheduling and cache state (ties break on input id).
+TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
+  // Sequential reference on its own engine (fresh store, fresh caches).
+  ServiceFixture seq_fix(60, 73, EngineOptions(/*iqa_shards=*/1));
+  ASSERT_TRUE(seq_fix.engine->PreprocessAllLayers().ok());
+  const std::vector<TopKQuery> workload =
+      MakeWorkload(*seq_fix.sys.model, 40);
+  std::vector<TopKResult> expected;
+  for (const TopKQuery& query : workload) {
+    auto result =
+        query.kind == TopKQuery::Kind::kHighest
+            ? seq_fix.engine->TopKHighest(query.group, query.k)
+            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
+                                              query.k);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(std::move(result.value()));
+  }
+
+  // Concurrent run on an identical engine behind the service.
+  ServiceFixture fix(60, 73, EngineOptions(/*iqa_shards=*/8));
+  ASSERT_TRUE(fix.engine->PreprocessAllLayers().ok());
+  QueryServiceOptions service_options;
+  service_options.num_workers = 8;
+  service_options.max_queue_depth = workload.size();
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (const TopKQuery& query : workload) {
+    auto submitted = (*service)->Submit(query);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    futures.push_back(std::move(submitted.value()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<TopKResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameEntries(expected[i], result.value(), static_cast<int>(i));
+  }
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.submitted, static_cast<int64_t>(workload.size()));
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(workload.size()));
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.iqa_shards.size(), 8u);
+}
+
+// Cold start: concurrent queries race on incremental index builds. The
+// winner of a layer's build race answers from the fresh activation scan
+// (§4.6) while the losers run NTA, so under exact value ties at the top-k
+// boundary the chosen ids may legitimately differ — results are compared
+// with the repo's standard validity oracle instead of bit equality.
+TEST(QueryServiceTest, ColdStartConcurrentResultsAreValid) {
+  ServiceFixture seq_fix(60, 79, EngineOptions(/*iqa_shards=*/1));
+  const std::vector<TopKQuery> workload =
+      MakeWorkload(*seq_fix.sys.model, 24);
+  std::vector<TopKResult> expected;
+  for (const TopKQuery& query : workload) {
+    auto result =
+        query.kind == TopKQuery::Kind::kHighest
+            ? seq_fix.engine->TopKHighest(query.group, query.k)
+            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
+                                              query.k);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(std::move(result.value()));
+  }
+
+  ServiceFixture fix(60, 79, EngineOptions(/*iqa_shards=*/8));
+  QueryServiceOptions service_options;
+  service_options.num_workers = 8;
+  service_options.max_queue_depth = workload.size();
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (const TopKQuery& query : workload) {
+    auto submitted = (*service)->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<TopKResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    testing_util::ExpectValidTopK(
+        expected[i], result.value(),
+        workload[i].kind == TopKQuery::Kind::kMostSimilar);
+  }
+}
+
+TEST(QueryServiceTest, BoundedQueueRejectsWithBackpressure) {
+  ServiceFixture fix(40, 74, EngineOptions());
+  QueryServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.max_queue_depth = 4;
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+
+  const int layer = fix.sys.model->activation_layers()[0];
+  TopKQuery query;
+  query.group = NeuronGroup{layer, {0, 1}};
+  query.k = 5;
+
+  // Flood far beyond worker + queue capacity; some must be rejected with
+  // ResourceExhausted and the rest must all complete.
+  std::vector<std::future<Result<TopKResult>>> futures;
+  int rejected = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto submitted = (*service)->Submit(query);
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted.value()));
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted)
+          << submitted.status().ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  for (auto& future : futures) {
+    auto result = future.get();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  }
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.rejected_queue_full, rejected);
+  EXPECT_EQ(stats.completed, static_cast<int64_t>(futures.size()));
+}
+
+TEST(QueryServiceTest, PerSessionLimitKeepsOtherSessionsAdmitted) {
+  ServiceFixture fix(40, 75, EngineOptions());
+  QueryServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.max_queue_depth = 64;
+  service_options.max_queued_per_session = 2;
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+
+  const int layer = fix.sys.model->activation_layers()[0];
+  TopKQuery query;
+  query.group = NeuronGroup{layer, {0, 1}};
+  query.k = 5;
+
+  // One bulk session hammers; a second session must still get in.
+  std::vector<std::future<Result<TopKResult>>> futures;
+  int session_rejected = 0;
+  for (int i = 0; i < 32; ++i) {
+    query.session_id = 1;
+    auto submitted = (*service)->Submit(query);
+    if (submitted.ok()) {
+      futures.push_back(std::move(submitted.value()));
+    } else {
+      EXPECT_EQ(submitted.status().code(), StatusCode::kResourceExhausted);
+      ++session_rejected;
+    }
+  }
+  EXPECT_GT(session_rejected, 0);  // the bulk session hit its bound
+
+  query.session_id = 2;
+  auto other = (*service)->Submit(query);
+  EXPECT_TRUE(other.ok()) << other.status().ToString();
+
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+  EXPECT_TRUE(other->get().ok());
+  EXPECT_EQ((*service)->Snapshot().rejected_session_limit, session_rejected);
+}
+
+// Satellite contract: with ample capacity the shard hit counters sum to the
+// sequential single-cache hit count — sharding must not change what the IQA
+// cache can serve.
+TEST(QueryServiceTest, ShardHitCountersSumToSequentialHitCount) {
+  const int kQueries = 36;
+
+  // Sequential run, single-shard cache.
+  ServiceFixture seq_fix(50, 76, EngineOptions(/*iqa_shards=*/1));
+  const std::vector<TopKQuery> workload =
+      MakeWorkload(*seq_fix.sys.model, kQueries);
+  for (const TopKQuery& query : workload) {
+    auto result =
+        query.kind == TopKQuery::Kind::kHighest
+            ? seq_fix.engine->TopKHighest(query.group, query.k)
+            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
+                                              query.k);
+    ASSERT_TRUE(result.ok());
+  }
+  const auto seq_stats = seq_fix.engine->iqa_cache()->stats();
+  ASSERT_GT(seq_stats.hits, 0);
+
+  // Same workload, same engine config, 8-shard cache, submitted through the
+  // service one at a time (sequential schedule, sharded data structure).
+  ServiceFixture fix(50, 76, EngineOptions(/*iqa_shards=*/8));
+  QueryServiceOptions service_options;
+  service_options.num_workers = 1;
+  service_options.max_queue_depth = 64;
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+  for (const TopKQuery& query : workload) {
+    ASSERT_TRUE((*service)->Execute(query).ok());
+  }
+
+  int64_t shard_hits = 0;
+  const ServiceStats stats = (*service)->Snapshot();
+  ASSERT_EQ(stats.iqa_shards.size(), 8u);
+  for (const auto& shard : stats.iqa_shards) shard_hits += shard.hits;
+  EXPECT_EQ(shard_hits, seq_stats.hits);
+  EXPECT_EQ(shard_hits, fix.engine->iqa_cache()->stats().hits);
+}
+
+TEST(QueryServiceTest, DrainWaitsAndShutdownCancelsQueued) {
+  ServiceFixture fix(40, 77, EngineOptions());
+  QueryServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.max_queue_depth = 64;
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+
+  const int layer = fix.sys.model->activation_layers()[0];
+  TopKQuery query;
+  query.group = NeuronGroup{layer, {0, 1}};
+  query.k = 5;
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (int i = 0; i < 12; ++i) {
+    auto submitted = (*service)->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  (*service)->Drain();
+  const ServiceStats drained = (*service)->Snapshot();
+  EXPECT_EQ(drained.queue_depth, 0u);
+  EXPECT_EQ(drained.inflight, 0u);
+  EXPECT_EQ(drained.completed, 12);
+  for (auto& future : futures) EXPECT_TRUE(future.get().ok());
+
+  (*service)->Shutdown();
+  EXPECT_FALSE((*service)->Submit(query).ok());  // admission closed
+}
+
+TEST(QueryServiceTest, LatencyPercentilesAreRecorded) {
+  ServiceFixture fix(40, 78, EngineOptions());
+  auto service =
+      QueryService::Create(fix.engine.get(), QueryServiceOptions());
+  ASSERT_TRUE(service.ok());
+  const int layer = fix.sys.model->activation_layers()[0];
+  TopKQuery query;
+  query.group = NeuronGroup{layer, {0, 1, 2}};
+  query.k = 5;
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE((*service)->Execute(query).ok());
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_GT(stats.p50_latency_seconds, 0.0);
+  EXPECT_GE(stats.p99_latency_seconds, stats.p50_latency_seconds);
+  EXPECT_GT(stats.worker_busy_seconds, 0.0);
+  EXPECT_GT(stats.worker_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace deepeverest
