@@ -11,9 +11,14 @@
 //
 // Expected shape: near-linear queries/sec scaling while workers overlap
 // device waits (>= 3x at 8 workers), flattening once admission or the
-// host CPU saturates. A second table shows the same service with the
-// sharded IQA cache enabled: hits skip inference entirely, raising
-// absolute throughput; per-shard counters stay balanced.
+// host CPU saturates. A cross-query batching table then compares the
+// 8-worker service with and without the BatchingInferenceScheduler:
+// batching must strictly reduce total batches_run and simulated GPU
+// seconds at bit-identical results, with every query's inputs_run equal to
+// its sequential-run value (receipt-exact attribution). A final table
+// shows the same service with the sharded IQA cache enabled: hits skip
+// inference entirely, raising absolute throughput; per-shard counters stay
+// balanced.
 //
 // Scale knobs: DE_BENCH_INPUTS (default 400 here), DE_BENCH_SERVICE_QUERIES
 // (workload length, default 32), DE_BENCH_SERVICE_DEVICE_SCALE (device
@@ -70,16 +75,24 @@ std::vector<service::TopKQuery> MakeWorkload(const bench::System& system,
   return workload;
 }
 
+// Sequential reference in the service's own execution mode (tie-complete
+// NTA termination), so per-query `inputs_run` is directly comparable: the
+// service must reproduce these values *exactly*, thread count and batching
+// notwithstanding — that is what receipt-based attribution guarantees.
 WorkloadResult RunSequential(core::DeepEverest* engine,
                              const std::vector<service::TopKQuery>& workload) {
   WorkloadResult out;
   out.results.reserve(workload.size());
   Stopwatch watch;
   for (const service::TopKQuery& query : workload) {
+    core::NtaOptions options;
+    options.k = query.k;
+    options.tie_complete = true;
     auto result =
         query.kind == service::TopKQuery::Kind::kHighest
-            ? engine->TopKHighest(query.group, query.k)
-            : engine->TopKMostSimilar(query.target_id, query.group, query.k);
+            ? engine->TopKHighestWithOptions(query.group, std::move(options))
+            : engine->TopKMostSimilarWithOptions(query.target_id, query.group,
+                                                 std::move(options));
     DE_CHECK(result.ok()) << result.status().ToString();
     out.results.push_back(std::move(result.value()));
   }
@@ -89,10 +102,12 @@ WorkloadResult RunSequential(core::DeepEverest* engine,
 
 WorkloadResult RunService(core::DeepEverest* engine,
                           const std::vector<service::TopKQuery>& workload,
-                          int num_workers, service::ServiceStats* stats) {
+                          int num_workers, service::ServiceStats* stats,
+                          bool cross_query_batching = false) {
   service::QueryServiceOptions options;
   options.num_workers = num_workers;
   options.max_queue_depth = workload.size();
+  options.enable_cross_query_batching = cross_query_batching;
   auto svc = service::QueryService::Create(engine, options);
   DE_CHECK(svc.ok()) << svc.status().ToString();
 
@@ -114,6 +129,73 @@ WorkloadResult RunService(core::DeepEverest* engine,
   out.seconds = watch.ElapsedSeconds();
   if (stats != nullptr) *stats = (*svc)->Snapshot();
   return out;
+}
+
+int CountMismatches(const std::vector<core::TopKResult>& expected,
+                    const std::vector<core::TopKResult>& actual);
+
+// Cross-query batching at 8 workers vs. the same service without it: with
+// co-scheduled queries filling each other's device batches, total launches
+// (batches_run, fractional shares summed over queries) and simulated GPU
+// seconds must drop at bit-identical results — and receipt attribution must
+// keep every query's inputs_run equal to its sequential-run value.
+void RunBatchingComparison(core::DeepEverest* engine,
+                           const std::vector<service::TopKQuery>& workload,
+                           const WorkloadResult& sequential) {
+  double seq_batches = 0.0, seq_gpu = 0.0;
+  for (const core::TopKResult& r : sequential.results) {
+    seq_batches += r.stats.batches_run;
+    seq_gpu += r.stats.simulated_gpu_seconds;
+  }
+
+  bench_util::TablePrinter table({"mode", "wall", "queries/sec", "batches",
+                                  "gpu_s", "fill", "shared", "identical",
+                                  "inputs_exact"});
+  table.AddRow({"sequential", bench_util::FormatSeconds(sequential.seconds),
+                bench_util::FormatDouble(
+                    static_cast<double>(workload.size()) / sequential.seconds,
+                    1),
+                bench_util::FormatDouble(seq_batches, 1),
+                bench_util::FormatDouble(seq_gpu, 3), "-", "-", "ref", "ref"});
+
+  struct Mode {
+    const char* name;
+    bool batching;
+  };
+  for (const Mode& mode : {Mode{"8w unbatched", false}, Mode{"8w batched", true}}) {
+    service::ServiceStats stats;
+    const WorkloadResult run =
+        RunService(engine, workload, /*num_workers=*/8, &stats, mode.batching);
+    double batches = 0.0, gpu = 0.0;
+    int inputs_mismatch = 0;
+    for (size_t q = 0; q < run.results.size(); ++q) {
+      batches += run.results[q].stats.batches_run;
+      gpu += run.results[q].stats.simulated_gpu_seconds;
+      if (run.results[q].stats.inputs_run !=
+          sequential.results[q].stats.inputs_run) {
+        ++inputs_mismatch;
+      }
+    }
+    const int mismatches = CountMismatches(sequential.results, run.results);
+    table.AddRow(
+        {mode.name, bench_util::FormatSeconds(run.seconds),
+         bench_util::FormatDouble(
+             static_cast<double>(workload.size()) / run.seconds, 1),
+         bench_util::FormatDouble(batches, 1),
+         bench_util::FormatDouble(gpu, 3),
+         stats.batching_enabled
+             ? bench_util::FormatDouble(
+                   stats.batching.AverageFill(stats.batch_size), 2)
+             : "-",
+         stats.batching_enabled
+             ? std::to_string(stats.batching.shared_batches)
+             : "-",
+         mismatches == 0 ? "yes" : ("NO (" + std::to_string(mismatches) + ")"),
+         inputs_mismatch == 0
+             ? "yes"
+             : ("NO (" + std::to_string(inputs_mismatch) + ")")});
+  }
+  table.Print(std::cout);
 }
 
 int CountMismatches(const std::vector<core::TopKResult>& expected,
@@ -147,7 +229,8 @@ core::DeepEverestOptions EngineOptions(const bench::System& system,
 }
 
 void RunSuite(const bench::System& system, bool enable_iqa,
-              const std::vector<service::TopKQuery>& workload) {
+              const std::vector<service::TopKQuery>& workload,
+              bool batching_comparison = false) {
   bench::ScratchDir scratch("svc_bench");
   auto store = storage::FileStore::Open(scratch.path());
   DE_CHECK(store.ok());
@@ -192,6 +275,8 @@ void RunSuite(const bench::System& system, bool enable_iqa,
   for (int workers : {1, 2, 4, 8, 16}) {
     reset_cache();
     service::ServiceStats stats;
+    // Batching off here: this table isolates worker scaling (PR 1's
+    // methodology); the batching comparison below isolates coalescing.
     const WorkloadResult run =
         RunService(engine->get(), workload, workers, &stats);
     const double qps = static_cast<double>(workload.size()) / run.seconds;
@@ -222,6 +307,12 @@ void RunSuite(const bench::System& system, bool enable_iqa,
     }
   }
   table.Print(std::cout);
+
+  if (batching_comparison) {
+    std::cout << "\n-- cross-query batching, 8 workers (shared device "
+                 "batches, exact per-query attribution) --\n";
+    RunBatchingComparison(engine->get(), workload, sequential);
+  }
 }
 
 void Run() {
@@ -245,7 +336,11 @@ void Run() {
       MakeWorkload(system, num_queries);
 
   std::cout << "\n-- IQA disabled (every query pays inference) --\n";
-  RunSuite(system, /*enable_iqa=*/false, workload);
+  // The batching comparison runs here: without IQA, NTA is deterministic,
+  // so each query's sequential inputs_run is the exact value the service
+  // must reproduce.
+  RunSuite(system, /*enable_iqa=*/false, workload,
+           /*batching_comparison=*/true);
   std::cout << "\n-- IQA enabled, 8 shards, cache cleared per run --\n";
   RunSuite(system, /*enable_iqa=*/true, workload);
 }

@@ -6,7 +6,8 @@
 namespace deepeverest {
 namespace baselines {
 
-Result<storage::LayerActivationMatrix> LruCacheEngine::GetLayer(int layer) {
+Result<storage::LayerActivationMatrix> LruCacheEngine::GetLayer(
+    int layer, nn::InferenceReceipt* receipt) {
   const std::string& model_name = inference_->model().name();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = by_layer_.find(layer);
@@ -20,7 +21,7 @@ Result<storage::LayerActivationMatrix> LruCacheEngine::GetLayer(int layer) {
 
   ++misses_;
   DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
-                      ComputeLayerMatrix(inference_, layer));
+                      ComputeLayerMatrix(inference_, layer, receipt));
   // Persist to the disk cache, then evict least-recently-used layers until
   // the budget holds again. The byte count recorded here is the one
   // subtracted at eviction.
@@ -63,16 +64,15 @@ Status LruCacheEngine::EvictUntilWithinBudgetLocked() {
 Result<core::TopKResult> LruCacheEngine::TopKHighest(
     const core::NeuronGroup& group, int k, core::DistancePtr dist) {
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
+  nn::InferenceReceipt receipt;
   DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
-                      GetLayer(group.layer));
+                      GetLayer(group.layer, &receipt));
   core::TopKResult result = core::ScanHighest(
       matrix, group.neurons, k,
       dist != nullptr ? dist : core::L2Distance());
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -84,19 +84,18 @@ Result<core::TopKResult> LruCacheEngine::TopKMostSimilar(
     return Status::OutOfRange("target input out of range");
   }
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
+  nn::InferenceReceipt receipt;
   DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
-                      GetLayer(group.layer));
+                      GetLayer(group.layer, &receipt));
   const std::vector<float> target_acts =
       TargetActsFromMatrix(matrix, group.neurons, target_id);
   core::TopKResult result = core::ScanMostSimilar(
       matrix, group.neurons, target_acts, k,
       dist != nullptr ? dist : core::L2Distance(),
       /*exclude_target=*/true, target_id);
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -67,8 +67,10 @@ class LruCacheEngine : public QueryEngine {
 
  private:
   /// Returns the layer's activation matrix, via the cache or recomputation,
-  /// then updates recency/evictions.
-  Result<storage::LayerActivationMatrix> GetLayer(int layer);
+  /// then updates recency/evictions. A miss's inference cost is charged to
+  /// `receipt` (exact per-caller attribution; hits add nothing).
+  Result<storage::LayerActivationMatrix> GetLayer(int layer,
+                                                  nn::InferenceReceipt* receipt);
 
   /// Drops `layer` from cache state and disk. Caller holds mu_.
   Status EvictLocked(int layer);

@@ -78,26 +78,25 @@ Status PriorityCacheEngine::Preprocess() {
 }
 
 Result<storage::LayerActivationMatrix> PriorityCacheEngine::GetLayer(
-    int layer) {
+    int layer, nn::InferenceReceipt* receipt) {
   if (stored_.count(layer) != 0) {
     return activations_.Load(inference_->model().name(), layer);
   }
-  return ComputeLayerMatrix(inference_, layer);
+  return ComputeLayerMatrix(inference_, layer, receipt);
 }
 
 Result<core::TopKResult> PriorityCacheEngine::TopKHighest(
     const core::NeuronGroup& group, int k, core::DistancePtr dist) {
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
+  nn::InferenceReceipt receipt;
   DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
-                      GetLayer(group.layer));
+                      GetLayer(group.layer, &receipt));
   core::TopKResult result = core::ScanHighest(
       matrix, group.neurons, k,
       dist != nullptr ? dist : core::L2Distance());
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -109,19 +108,18 @@ Result<core::TopKResult> PriorityCacheEngine::TopKMostSimilar(
     return Status::OutOfRange("target input out of range");
   }
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
+  nn::InferenceReceipt receipt;
   DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix matrix,
-                      GetLayer(group.layer));
+                      GetLayer(group.layer, &receipt));
   const std::vector<float> target_acts =
       TargetActsFromMatrix(matrix, group.neurons, target_id);
   core::TopKResult result = core::ScanMostSimilar(
       matrix, group.neurons, target_acts, k,
       dist != nullptr ? dist : core::L2Distance(),
       /*exclude_target=*/true, target_id);
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -48,7 +48,9 @@ class PriorityCacheEngine : public QueryEngine {
   bool IsStored(int layer) const { return stored_.count(layer) != 0; }
 
  private:
-  Result<storage::LayerActivationMatrix> GetLayer(int layer);
+  /// Loads a stored layer (free) or recomputes it, charging `receipt`.
+  Result<storage::LayerActivationMatrix> GetLayer(int layer,
+                                                  nn::InferenceReceipt* receipt);
 
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;

@@ -6,14 +6,14 @@ namespace deepeverest {
 namespace baselines {
 
 Result<storage::LayerActivationMatrix> ComputeLayerMatrix(
-    nn::InferenceEngine* inference, int layer) {
+    nn::InferenceEngine* inference, int layer, nn::InferenceReceipt* receipt) {
   const uint32_t num_inputs = inference->dataset().size();
   const uint64_t num_neurons =
       static_cast<uint64_t>(inference->model().NeuronCount(layer));
   std::vector<uint32_t> ids(num_inputs);
   std::iota(ids.begin(), ids.end(), 0u);
   std::vector<std::vector<float>> rows;
-  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, layer, &rows));
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, layer, &rows, receipt));
   storage::LayerActivationMatrix matrix =
       storage::LayerActivationMatrix::Make(num_inputs, num_neurons);
   for (uint32_t id = 0; id < num_inputs; ++id) {

@@ -41,8 +41,10 @@ class QueryEngine {
 
 /// Computes the full activation matrix of one layer by running inference on
 /// every input (the ReprocessAll inner step, shared by several baselines).
+/// `receipt`, when non-null, is charged this call's exact inference cost.
 Result<storage::LayerActivationMatrix> ComputeLayerMatrix(
-    nn::InferenceEngine* inference, int layer);
+    nn::InferenceEngine* inference, int layer,
+    nn::InferenceReceipt* receipt = nullptr);
 
 /// Reads the target input's group activations out of a matrix.
 std::vector<float> TargetActsFromMatrix(

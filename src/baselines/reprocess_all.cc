@@ -9,13 +9,10 @@ namespace baselines {
 Result<core::TopKResult> ReprocessAll::TopKHighest(
     const core::NeuronGroup& group, int k, core::DistancePtr dist) {
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
+  // BruteForceHighest meters its own inference via receipts, so its stats
+  // are exact for this call even under concurrency.
   DE_ASSIGN_OR_RETURN(core::TopKResult result,
                       core::BruteForceHighest(inference_, group, k, dist));
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -27,11 +24,11 @@ Result<core::TopKResult> ReprocessAll::TopKMostSimilar(
     return Status::OutOfRange("target input out of range");
   }
   Stopwatch watch;
-  const nn::InferenceStats before = inference_->stats();
   // Compute the target's group activations first (one pass), then scan all.
   std::vector<std::vector<float>> target_rows;
-  DE_RETURN_NOT_OK(
-      inference_->ComputeLayer({target_id}, group.layer, &target_rows));
+  nn::InferenceReceipt target_receipt;
+  DE_RETURN_NOT_OK(inference_->ComputeLayer({target_id}, group.layer,
+                                            &target_rows, &target_receipt));
   std::vector<float> target_acts(group.neurons.size());
   for (size_t i = 0; i < group.neurons.size(); ++i) {
     target_acts[i] =
@@ -41,10 +38,9 @@ Result<core::TopKResult> ReprocessAll::TopKMostSimilar(
       core::TopKResult result,
       core::BruteForceMostSimilar(inference_, group, target_acts, k, dist,
                                   /*exclude_target=*/true, target_id));
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run += target_receipt.inputs_run;
+  result.stats.batches_run += target_receipt.batches_run;
+  result.stats.simulated_gpu_seconds += target_receipt.simulated_gpu_seconds;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }

@@ -127,11 +127,15 @@ template <typename NtaFn, typename ScanFn>
 Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
                                         ScanFn&& scan_fn) {
   Stopwatch watch;
-  const nn::InferenceStats before = inference_.stats();
-
+  // Per-call receipt metering: any index-build inference is charged to the
+  // query that actually performed the build (§4.6 trigger); NTA meters its
+  // own calls. Unlike the old before/after stats() delta, concurrent
+  // queries on the shared engine can never leak into these numbers.
+  nn::InferenceReceipt build_receipt;
   storage::LayerActivationMatrix fresh;
-  DE_ASSIGN_OR_RETURN(const LayerIndex* index,
-                      index_manager_.EnsureIndex(layer, &fresh, nullptr));
+  DE_ASSIGN_OR_RETURN(
+      const LayerIndex* index,
+      index_manager_.EnsureIndex(layer, &fresh, nullptr, &build_receipt));
 
   Result<TopKResult> result = [&]() -> Result<TopKResult> {
     if (fresh.num_inputs > 0) {
@@ -145,12 +149,11 @@ Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
   }();
   if (!result.ok()) return result;
 
-  // Report end-to-end stats including any index-build inference.
-  const nn::InferenceStats delta = inference_.stats() - before;
-  result.value().stats.inputs_run = delta.inputs_run;
-  result.value().stats.batches_run = delta.batches_run;
-  result.value().stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
-  result.value().stats.wall_seconds = watch.ElapsedSeconds();
+  QueryStats& stats = result.value().stats;
+  stats.inputs_run += build_receipt.inputs_run;
+  stats.batches_run += build_receipt.batches_run;
+  stats.simulated_gpu_seconds += build_receipt.simulated_gpu_seconds;
+  stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
 

@@ -32,7 +32,7 @@ std::mutex* IndexManager::BuildMutexFor(int layer) {
 
 Result<const LayerIndex*> IndexManager::EnsureIndex(
     int layer, storage::LayerActivationMatrix* fresh_acts,
-    PreprocessTimings* timings) {
+    PreprocessTimings* timings, nn::InferenceReceipt* receipt) {
   if (layer < 0 || layer >= inference_->model().num_layers()) {
     return Status::OutOfRange("layer " + std::to_string(layer) +
                               " out of range");
@@ -58,12 +58,12 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
     return &pos->second;
   }
 
-  return BuildIndex(layer, fresh_acts, timings);
+  return BuildIndex(layer, fresh_acts, timings, receipt);
 }
 
 Result<const LayerIndex*> IndexManager::BuildIndex(
     int layer, storage::LayerActivationMatrix* fresh_acts,
-    PreprocessTimings* timings) {
+    PreprocessTimings* timings, nn::InferenceReceipt* receipt) {
   const uint32_t num_inputs = inference_->dataset().size();
   const uint64_t num_neurons =
       static_cast<uint64_t>(inference_->model().NeuronCount(layer));
@@ -75,7 +75,7 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
   std::vector<uint32_t> ids(num_inputs);
   std::iota(ids.begin(), ids.end(), 0u);
   std::vector<std::vector<float>> rows;
-  DE_RETURN_NOT_OK(inference_->ComputeLayer(ids, layer, &rows));
+  DE_RETURN_NOT_OK(inference_->ComputeLayer(ids, layer, &rows, receipt));
   storage::LayerActivationMatrix acts =
       storage::LayerActivationMatrix::Make(num_inputs, num_neurons);
   for (uint32_t id = 0; id < num_inputs; ++id) {

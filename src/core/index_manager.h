@@ -70,10 +70,13 @@ class IndexManager {
   /// the process is moved into `*fresh_acts` (if non-null) so the caller
   /// can answer the triggering query from it directly — exactly the §4.6
   /// flow. `timings`, if non-null, receives the build-cost breakdown (zeros
-  /// when the index was already available).
+  /// when the index was already available). `receipt`, if non-null, is
+  /// charged the build's inference — only callers that actually performed
+  /// the build pay; losers of a build race (and disk loads) add nothing.
   Result<const LayerIndex*> EnsureIndex(
       int layer, storage::LayerActivationMatrix* fresh_acts = nullptr,
-      PreprocessTimings* timings = nullptr);
+      PreprocessTimings* timings = nullptr,
+      nn::InferenceReceipt* receipt = nullptr);
 
   /// Whether the layer's index exists in memory or on disk.
   bool IsIndexed(int layer) const;
@@ -98,7 +101,7 @@ class IndexManager {
  private:
   Result<const LayerIndex*> BuildIndex(
       int layer, storage::LayerActivationMatrix* fresh_acts,
-      PreprocessTimings* timings);
+      PreprocessTimings* timings, nn::InferenceReceipt* receipt);
 
   /// Returns the loaded index for `layer`, or nullptr. Takes mu_ shared.
   const LayerIndex* FindLoaded(int layer) const;

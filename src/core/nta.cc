@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "nn/batch_scheduler.h"
 
 namespace deepeverest {
 namespace core {
@@ -82,6 +83,9 @@ struct NtaEngine::RunState {
   /// Group activations for every input evaluated so far.
   std::unordered_map<uint32_t, std::vector<float>> acts;
   int64_t iqa_hits = 0;
+  /// Exact cost of the inference this query triggered (call-site metering;
+  /// other threads' work on the shared engine never leaks in).
+  nn::InferenceReceipt receipt;
 };
 
 Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
@@ -133,7 +137,13 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
   if (to_infer.empty()) return Status::OK();
 
   std::vector<std::vector<float>> rows;
-  DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows));
+  if (options.scheduler != nullptr) {
+    DE_RETURN_NOT_OK(options.scheduler->ComputeLayer(to_infer, group.layer,
+                                                     &rows, &state->receipt));
+  } else {
+    DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows,
+                                              &state->receipt));
+  }
   for (size_t r = 0; r < to_infer.size(); ++r) {
     const uint32_t id = to_infer[r];
     std::vector<float> acts(group.neurons.size());
@@ -180,7 +190,6 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
   DE_RETURN_NOT_OK(ValidateOptions(options));
   const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
   const size_t g = group.neurons.size();
-  const nn::InferenceStats before = inference_->stats();
   Stopwatch watch;
 
   RunState state;
@@ -238,8 +247,14 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
   };
 
   auto check_termination = [&](double threshold) {
-    // Eq. 4 (exact) generalised by eq. 6 (θ-approximation).
-    if (top.full() && top.WorstValue() <= threshold / options.theta) {
+    // Eq. 4 (exact) generalised by eq. 6 (θ-approximation). Tie-complete
+    // mode requires a *strict* beat, so inputs tied with the k-th value are
+    // all evaluated (canonical-result guarantee).
+    if (!top.full()) return;
+    const double bound = threshold / options.theta;
+    const bool met = options.tie_complete ? top.WorstValue() < bound
+                                          : top.WorstValue() <= bound;
+    if (met) {
       finished = true;
       terminated_early = true;
     }
@@ -436,10 +451,9 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
 
   TopKResult result;
   result.entries = top.entries();
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = state.receipt.inputs_run;
+  result.stats.batches_run = state.receipt.batches_run;
+  result.stats.simulated_gpu_seconds = state.receipt.simulated_gpu_seconds;
   result.stats.rounds = rounds;
   result.stats.iqa_hits = state.iqa_hits;
   result.stats.terminated_early = terminated_early;
@@ -454,7 +468,6 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
   DE_RETURN_NOT_OK(ValidateOptions(options));
   const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
   const size_t g = group.neurons.size();
-  const nn::InferenceStats before = inference_->stats();
   Stopwatch watch;
 
   RunState state;
@@ -505,7 +518,11 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
     std::vector<double> uppers(g);
     for (size_t gi = 0; gi < g; ++gi) uppers[gi] = std::max(upper_of(gi), 0.0);
     const double threshold = dist->Aggregate(uppers.data(), g);
-    if (top.full() && top.WorstValue() >= options.theta * threshold) {
+    // Tie-complete mode requires a strict beat (see MostSimilarImpl).
+    const double bound = options.theta * threshold;
+    const bool met = options.tie_complete ? top.WorstValue() > bound
+                                          : top.WorstValue() >= bound;
+    if (top.full() && met) {
       finished = true;
       terminated_early = true;
       return;
@@ -591,10 +608,9 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
 
   TopKResult result;
   result.entries = top.entries();
-  const nn::InferenceStats delta = inference_->stats() - before;
-  result.stats.inputs_run = delta.inputs_run;
-  result.stats.batches_run = delta.batches_run;
-  result.stats.simulated_gpu_seconds = delta.simulated_gpu_seconds;
+  result.stats.inputs_run = state.receipt.inputs_run;
+  result.stats.batches_run = state.receipt.batches_run;
+  result.stats.simulated_gpu_seconds = state.receipt.simulated_gpu_seconds;
   result.stats.rounds = rounds;
   result.stats.iqa_hits = state.iqa_hits;
   result.stats.terminated_early = terminated_early;
@@ -663,7 +679,8 @@ Result<TopKResult> BruteForceMostSimilar(nn::InferenceEngine* inference,
   const DistancePtr d = dist != nullptr ? dist : L2Distance();
   std::vector<std::vector<float>> rows;
   const std::vector<uint32_t> ids = AllIds(inference->dataset().size());
-  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows));
+  nn::InferenceReceipt receipt;
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows, &receipt));
   TopKSet top(k, /*smaller_is_better=*/true);
   std::vector<double> diffs(group.neurons.size());
   for (uint32_t id : ids) {
@@ -677,6 +694,9 @@ Result<TopKResult> BruteForceMostSimilar(nn::InferenceEngine* inference,
   }
   TopKResult result;
   result.entries = top.entries();
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   return result;
 }
 
@@ -686,7 +706,8 @@ Result<TopKResult> BruteForceHighest(nn::InferenceEngine* inference,
   const DistancePtr d = dist != nullptr ? dist : L2Distance();
   std::vector<std::vector<float>> rows;
   const std::vector<uint32_t> ids = AllIds(inference->dataset().size());
-  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows));
+  nn::InferenceReceipt receipt;
+  DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows, &receipt));
   TopKSet top(k, /*smaller_is_better=*/false);
   std::vector<double> values(group.neurons.size());
   for (uint32_t id : ids) {
@@ -697,6 +718,9 @@ Result<TopKResult> BruteForceHighest(nn::InferenceEngine* inference,
   }
   TopKResult result;
   result.entries = top.entries();
+  result.stats.inputs_run = receipt.inputs_run;
+  result.stats.batches_run = receipt.batches_run;
+  result.stats.simulated_gpu_seconds = receipt.simulated_gpu_seconds;
   return result;
 }
 

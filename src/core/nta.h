@@ -12,6 +12,10 @@
 #include "nn/inference.h"
 
 namespace deepeverest {
+namespace nn {
+class BatchingInferenceScheduler;
+}  // namespace nn
+
 namespace core {
 
 /// \brief Per-round progress snapshot for incremental result return and
@@ -42,6 +46,22 @@ struct NtaOptions {
   bool use_mai = true;
   /// Optional Inter-Query Acceleration cache consulted before inference.
   IqaCache* iqa = nullptr;
+  /// When set, inference routes through this shared cross-query batching
+  /// scheduler instead of calling the engine directly, so co-scheduled
+  /// queries fill each other's device batches. Per-query stats stay exact
+  /// either way (receipt metering).
+  nn::BatchingInferenceScheduler* scheduler = nullptr;
+  /// Tie-complete termination: stop only once the k-th value beats the
+  /// threshold *strictly*, so every input tied with the k-th value gets
+  /// evaluated and the result matches a full activation scan bit-for-bit
+  /// (canonical (value, input id) order). Fixes the §4.6 cold-start
+  /// nondeterminism where NTA and the fresh-scan path could legitimately
+  /// pick different ids on exact value ties at the k-th boundary. May
+  /// evaluate more inputs than strictly necessary for *a* valid top-k.
+  /// The canonical-result guarantee applies to exact queries (theta == 1);
+  /// with theta < 1 the strict comparison still applies but the result is
+  /// only a θ-approximation and remains dependent on how far the run got.
+  bool tie_complete = false;
   /// Invoked after each round; return false to stop early with the current
   /// (θ-guaranteed) top-k.
   std::function<bool(const NtaProgress&)> on_progress;

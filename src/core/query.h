@@ -31,10 +31,13 @@ struct ResultEntry {
 ///
 /// `inputs_run` counts inputs actually pushed through the DNN during the
 /// query — the paper's Table 3 metric and the quantity NTA is instance
-/// optimal in.
+/// optimal in. All inference stats are metered per call (InferenceReceipt),
+/// so they are exact for this query even when other queries run
+/// concurrently on the same engine. `batches_run` is fractional when the
+/// cross-query batching scheduler shared device launches between queries.
 struct QueryStats {
   int64_t inputs_run = 0;
-  int64_t batches_run = 0;
+  double batches_run = 0.0;
   int64_t rounds = 0;            // NTA iterations of step 4 (c counter)
   int64_t iqa_hits = 0;          // candidate rows served from the IQA cache
   double wall_seconds = 0.0;

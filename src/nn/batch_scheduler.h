@@ -1,0 +1,153 @@
+#ifndef DEEPEVEREST_NN_BATCH_SCHEDULER_H_
+#define DEEPEVEREST_NN_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/inference.h"
+
+namespace deepeverest {
+namespace nn {
+
+struct BatchSchedulerOptions {
+  /// Device batch capacity. 0 uses the engine's batch_size (the
+  /// throughput-optimal batch the whole system is configured around).
+  int max_batch_size = 0;
+  /// How long a partial batch waits for other queries' inputs before being
+  /// flushed anyway. The window trades a little latency for batch fill; it
+  /// should stay well below one batch's device time.
+  double linger_seconds = 5e-4;
+  /// Threads running coalesced batches against the engine. Each dispatcher
+  /// models one device stream: with n dispatchers, n batches overlap their
+  /// (simulated) device time, as n CUDA streams would.
+  int num_dispatchers = 1;
+};
+
+/// \brief Aggregate scheduler counters (monotonic since construction).
+struct BatchSchedulerStats {
+  int64_t requests = 0;          // ComputeLayer calls accepted
+  int64_t inputs_enqueued = 0;   // sum of request sizes
+  int64_t batches_dispatched = 0;
+  int64_t inputs_dispatched = 0;
+  int64_t shared_batches = 0;  // batches serving >1 request (cross-query fill)
+  int64_t linger_flushes = 0;  // partial batches flushed by the linger window
+
+  /// Mean batch occupancy in [0, 1]: how full the device lanes ran.
+  double AverageFill(int batch_size) const {
+    if (batches_dispatched <= 0 || batch_size <= 0) return 0.0;
+    return static_cast<double>(inputs_dispatched) /
+           (static_cast<double>(batches_dispatched) *
+            static_cast<double>(batch_size));
+  }
+};
+
+/// \brief Coalesces concurrent same-layer ComputeLayer calls into shared
+/// device batches.
+///
+/// Callers block in ComputeLayer while dispatcher threads drain per-layer
+/// queues: a batch is launched as soon as a layer has max_batch_size inputs
+/// pending, or when its oldest request has lingered past the linger window
+/// (partial flush). Each caller receives exactly the rows it asked for and
+/// an InferenceReceipt charging it its own inputs plus its occupancy share
+/// of every shared launch — so per-query `inputs_run` is exact under any
+/// interleaving, while shared batches drive `batches_run` and simulated GPU
+/// seconds below what the queries would pay dispatching alone (the GPU cost
+/// model bills a launch the same whether its lanes are full or idle).
+///
+/// Results are bit-identical to direct engine calls: the forward pass is
+/// per-input pure, so batch composition cannot change any activation.
+///
+/// Thread-safety: ComputeLayer and stats() are safe to call concurrently.
+/// The engine must outlive the scheduler; the destructor drains pending
+/// work and joins the dispatchers.
+class BatchingInferenceScheduler {
+ public:
+  /// Does not take ownership of `engine`.
+  BatchingInferenceScheduler(InferenceEngine* engine,
+                             BatchSchedulerOptions options = {});
+  ~BatchingInferenceScheduler();
+
+  BatchingInferenceScheduler(const BatchingInferenceScheduler&) = delete;
+  BatchingInferenceScheduler& operator=(const BatchingInferenceScheduler&) =
+      delete;
+
+  /// Drop-in for InferenceEngine::ComputeLayer: computes layer `layer` for
+  /// each input in `input_ids` (rows->at(i) corresponds to input_ids[i]),
+  /// possibly sharing device batches with concurrent callers. Blocks until
+  /// every requested row is available. This call's exact cost — fractional
+  /// for shared launches — is *added* to `receipt` when non-null.
+  Status ComputeLayer(const std::vector<uint32_t>& input_ids, int layer,
+                      std::vector<std::vector<float>>* rows,
+                      InferenceReceipt* receipt = nullptr);
+
+  BatchSchedulerStats stats() const;
+
+  int batch_size() const { return batch_size_; }
+  const InferenceEngine& engine() const { return *engine_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One blocked ComputeLayer call. Lives on the caller's stack; the queue
+  /// holds pointers only while ids remain undispatched, so a request may be
+  /// out of the queue (fully dispatched) but not yet done (rows pending).
+  struct Request {
+    const std::vector<uint32_t>* ids = nullptr;
+    std::vector<std::vector<float>>* rows = nullptr;
+    InferenceReceipt receipt;
+    size_t dispatched = 0;  // ids handed to some batch so far
+    size_t completed = 0;   // ids whose rows (or failure) have resolved
+    Status status;          // first error, if any
+    bool done = false;
+    Clock::time_point arrival;
+  };
+
+  struct LayerQueue {
+    std::deque<Request*> requests;  // FIFO; front may be partially consumed
+    size_t pending_inputs = 0;      // sum of undispatched ids
+  };
+
+  /// A request's contribution to one batch.
+  struct Slice {
+    Request* request;
+    size_t src_begin;  // index into request->ids
+    size_t count;
+  };
+
+  void DispatcherLoop();
+  /// Pops up to batch_size_ pending ids of `layer` into a batch. Requires
+  /// mu_ held.
+  void GatherBatchLocked(int layer, std::vector<uint32_t>* batch_ids,
+                         std::vector<Slice>* slices);
+  /// Runs one gathered batch (mu_ released around the engine call) and
+  /// scatters rows + receipt shares back to the contributing requests.
+  void RunBatch(std::unique_lock<std::mutex>* lock, int layer,
+                std::vector<uint32_t> batch_ids, std::vector<Slice> slices);
+
+  InferenceEngine* engine_;
+  // Derived from BatchSchedulerOptions at construction; the options struct
+  // itself is not kept (nothing may change after the dispatchers start).
+  int batch_size_;
+  std::chrono::nanoseconds linger_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // wakes dispatchers
+  std::condition_variable done_cv_;  // wakes blocked callers
+  bool stopping_ = false;                // guarded by mu_
+  std::map<int, LayerQueue> pending_;    // guarded by mu_
+  BatchSchedulerStats stats_;            // guarded by mu_
+
+  std::vector<std::thread> dispatchers_;
+};
+
+}  // namespace nn
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NN_BATCH_SCHEDULER_H_

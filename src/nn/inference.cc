@@ -10,7 +10,8 @@ namespace nn {
 
 Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
                                      int layer,
-                                     std::vector<std::vector<float>>* rows) {
+                                     std::vector<std::vector<float>>* rows,
+                                     InferenceReceipt* receipt) {
   rows->clear();
   rows->reserve(input_ids.size());
   if (input_ids.empty()) return Status::OK();
@@ -40,6 +41,12 @@ Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
       // callers overlap their device waits, as on a real accelerator.
       std::this_thread::sleep_for(std::chrono::duration<double>(batch_seconds));
     }
+    if (receipt != nullptr) {
+      receipt->inputs_run += batch_n;
+      receipt->batches_run += 1.0;
+      receipt->macs += batch_n * macs;
+      receipt->simulated_gpu_seconds += batch_seconds;
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       stats_.inputs_run += batch_n;
@@ -55,7 +62,8 @@ Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
 }
 
 Status InferenceEngine::ComputeAllLayers(uint32_t input_id,
-                                         std::vector<Tensor>* outputs) {
+                                         std::vector<Tensor>* outputs,
+                                         InferenceReceipt* receipt) {
   if (input_id >= dataset_->size()) {
     return Status::OutOfRange("inputID " + std::to_string(input_id) +
                               " out of range [0, " +
@@ -67,6 +75,12 @@ Status InferenceEngine::ComputeAllLayers(uint32_t input_id,
   const double batch_seconds = cost_model_.BatchSeconds(1, batch_size_, macs);
   if (simulate_device_latency_) {
     std::this_thread::sleep_for(std::chrono::duration<double>(batch_seconds));
+  }
+  if (receipt != nullptr) {
+    receipt->inputs_run += 1;
+    receipt->batches_run += 1.0;
+    receipt->macs += macs;
+    receipt->simulated_gpu_seconds += batch_seconds;
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.inputs_run += 1;

@@ -37,6 +37,31 @@ struct InferenceStats {
   }
 };
 
+/// \brief Per-call inference metering: exactly the work the engine (or the
+/// cross-query batching scheduler) performed on behalf of ONE caller.
+///
+/// Unlike a before/after `InferenceEngine::stats()` delta — which under
+/// concurrency silently absorbs other threads' inference — a receipt is
+/// accumulated at the call site and therefore attributes work exactly,
+/// regardless of what other queries run in the same window. `batches_run`
+/// is fractional: when the BatchingInferenceScheduler merges several
+/// queries' inputs into one shared device batch, each caller is charged its
+/// occupancy share of that launch (and of its simulated GPU time).
+struct InferenceReceipt {
+  int64_t inputs_run = 0;
+  double batches_run = 0.0;
+  int64_t macs = 0;
+  double simulated_gpu_seconds = 0.0;
+
+  InferenceReceipt& operator+=(const InferenceReceipt& other) {
+    inputs_run += other.inputs_run;
+    batches_run += other.batches_run;
+    macs += other.macs;
+    simulated_gpu_seconds += other.simulated_gpu_seconds;
+    return *this;
+  }
+};
+
 /// \brief Cost model mimicking GPU batch execution (see DESIGN.md §1).
 ///
 /// A launched batch of n <= batch_size inputs takes (approximately) the same
@@ -68,10 +93,11 @@ struct GpuCostModel {
 /// Thread-safety: ComputeLayer/ComputeAllLayers are safe to call
 /// concurrently — the forward pass itself is pure (const model + dataset)
 /// and the shared counters are mutex-guarded. `stats()` returns a coherent
-/// snapshot; under concurrent queries a before/after delta attributes *all*
-/// inference in the window, including other threads'. Configure the cost
-/// model and `set_simulate_device_latency` before sharing the engine across
-/// threads.
+/// snapshot of the *global* counters; under concurrent queries a
+/// before/after delta attributes *all* inference in the window, including
+/// other threads' — pass an InferenceReceipt to the compute calls for exact
+/// per-caller attribution instead. Configure the cost model and
+/// `set_simulate_device_latency` before sharing the engine across threads.
 class InferenceEngine {
  public:
   /// Does not take ownership; `model` and `dataset` must outlive the engine.
@@ -92,14 +118,19 @@ class InferenceEngine {
 
   /// Computes layer `layer`'s activations for each input in `input_ids`.
   /// `rows->at(i)` is the flat activation vector of input_ids[i].
-  /// Processes in batches of batch_size; each batch is metered.
+  /// Processes in batches of batch_size; each batch is metered. When
+  /// `receipt` is non-null, this call's exact cost is *added* to it — the
+  /// attribution-safe alternative to a before/after stats() delta.
   Status ComputeLayer(const std::vector<uint32_t>& input_ids, int layer,
-                      std::vector<std::vector<float>>* rows);
+                      std::vector<std::vector<float>>* rows,
+                      InferenceReceipt* receipt = nullptr);
 
   /// Computes ALL layers' activations for one input in a single pass
   /// (used by preprocessing / index construction). Metered as one input at
-  /// full-model cost.
-  Status ComputeAllLayers(uint32_t input_id, std::vector<Tensor>* outputs);
+  /// full-model cost; `receipt`, when non-null, is accumulated like in
+  /// ComputeLayer.
+  Status ComputeAllLayers(uint32_t input_id, std::vector<Tensor>* outputs,
+                          InferenceReceipt* receipt = nullptr);
 
   InferenceStats stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);

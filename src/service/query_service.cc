@@ -16,12 +16,30 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
   if (options.max_queue_depth < 1) {
     return Status::InvalidArgument("max_queue_depth must be >= 1");
   }
+  if (options.batch_linger_seconds < 0.0) {
+    return Status::InvalidArgument("batch_linger_seconds must be >= 0");
+  }
+  if (options.batch_dispatchers < 0) {
+    return Status::InvalidArgument("batch_dispatchers must be >= 0");
+  }
   return std::unique_ptr<QueryService>(new QueryService(engine, options));
 }
 
 QueryService::QueryService(core::DeepEverest* engine,
                            const QueryServiceOptions& options)
     : engine_(engine), options_(options) {
+  // With a single worker at most one query is ever in flight, so batches
+  // could never be shared — skip the scheduler rather than pay its linger
+  // window on every partial round.
+  if (options_.enable_cross_query_batching && options_.num_workers > 1) {
+    nn::BatchSchedulerOptions scheduler_options;
+    scheduler_options.linger_seconds = options_.batch_linger_seconds;
+    scheduler_options.num_dispatchers = options_.batch_dispatchers > 0
+                                            ? options_.batch_dispatchers
+                                            : options_.num_workers;
+    scheduler_ = std::make_unique<nn::BatchingInferenceScheduler>(
+        engine_->inference(), scheduler_options);
+  }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -86,6 +104,13 @@ Result<core::TopKResult> QueryService::Run(const TopKQuery& query) {
   core::NtaOptions options;
   options.k = query.k;
   options.theta = query.theta;
+  // Deterministic serving: tie-complete termination makes NTA return the
+  // canonical (value, input id)-ordered top-k, matching the §4.6 fresh-scan
+  // path even on exact value ties at the k-th boundary.
+  options.tie_complete = true;
+  // Cross-query batching: this worker's inference merges into shared device
+  // batches with whatever else is in flight.
+  options.scheduler = scheduler_.get();
   switch (query.kind) {
     case TopKQuery::Kind::kHighest:
       return engine_->TopKHighestWithOptions(query.group, std::move(options));
@@ -208,6 +233,11 @@ ServiceStats QueryService::Snapshot() const {
   }
   if (engine_->iqa_cache() != nullptr) {
     stats.iqa_shards = engine_->iqa_cache()->ShardSnapshots();
+  }
+  if (scheduler_ != nullptr) {
+    stats.batching_enabled = true;
+    stats.batch_size = scheduler_->batch_size();
+    stats.batching = scheduler_->stats();
   }
   return stats;
 }

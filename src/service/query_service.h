@@ -16,6 +16,7 @@
 #include "common/stopwatch.h"
 #include "core/deepeverest.h"
 #include "core/query.h"
+#include "nn/batch_scheduler.h"
 #include "service/service_stats.h"
 
 namespace deepeverest {
@@ -51,6 +52,25 @@ struct QueryServiceOptions {
   /// session at its limit is rejected even while the global queue has room,
   /// keeping one bulk client from monopolising the admission queue.
   size_t max_queued_per_session = 0;
+
+  /// Cross-query inference batching: the service owns a
+  /// BatchingInferenceScheduler, and all workers' ComputeLayer calls flow
+  /// through it, so co-scheduled queries fill each other's device batches
+  /// (idle batch lanes cost the same as full ones under the GPU cost
+  /// model). Per-query `QueryStats.inputs_run` stays exact — receipts
+  /// charge each query its own inputs and its occupancy share of shared
+  /// launches. Ignored for a single-worker service (no co-scheduled query
+  /// could ever share a batch, so lingering would be pure latency).
+  bool enable_cross_query_batching = true;
+  /// How long the scheduler holds a partial batch open for other queries'
+  /// inputs before flushing it. 0 flushes partial batches as soon as a
+  /// dispatcher sees them — the right setting for latency-sensitive,
+  /// lightly loaded services where co-arrivals are rare anyway.
+  double batch_linger_seconds = 5e-4;
+  /// Dispatcher threads running coalesced batches (each models one device
+  /// stream). 0 = one per worker, preserving the device-wait overlap the
+  /// unbatched service gets from its workers.
+  int batch_dispatchers = 0;
 };
 
 /// \brief Concurrent query service over a DeepEverest engine: a fixed
@@ -63,6 +83,17 @@ struct QueryServiceOptions {
 /// drives (IndexManager, IqaCache, InferenceEngine, FileStore) is
 /// concurrency-safe, and inference is deterministic, so only scheduling
 /// order (and therefore per-query cache-hit counts) varies between runs.
+/// Exact queries (theta == 1) run with tie-complete NTA termination, so
+/// even cold-start races (where the build winner answers from the §4.6
+/// activation scan) resolve value ties at the k-th boundary identically.
+/// θ-approximate queries are guaranteed a valid θ-approximation, but on a
+/// cold layer its exact members may vary with the build-race schedule (the
+/// scan winner returns the exact answer; NTA losers may stop earlier).
+///
+/// With cross-query batching enabled (default), worker threads' inference
+/// calls flow through a shared BatchingInferenceScheduler that merges
+/// co-scheduled queries' inputs into shared device batches. Per-query stats
+/// are receipt-metered and therefore exact under any interleaving.
 ///
 /// The engine outlives the service; the service owns only its workers and
 /// queue. All public methods are thread-safe.
@@ -115,6 +146,10 @@ class QueryService {
 
   core::DeepEverest* engine_;
   QueryServiceOptions options_;
+  /// Shared cross-query batch scheduler; null when batching is disabled.
+  /// Destroyed after Shutdown() has joined the workers, so no query can
+  /// still be blocked inside it.
+  std::unique_ptr<nn::BatchingInferenceScheduler> scheduler_;
   Stopwatch uptime_;
 
   mutable std::mutex mu_;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/iqa_cache.h"
+#include "nn/batch_scheduler.h"
 
 namespace deepeverest {
 namespace service {
@@ -90,6 +91,15 @@ struct ServiceStats {
 
   /// Per-shard IQA cache counters; empty when the engine runs without IQA.
   std::vector<core::IqaCache::ShardSnapshot> iqa_shards;
+
+  /// Cross-query inference batching. When enabled, concurrent queries'
+  /// ComputeLayer calls coalesce into shared device batches; `batching`
+  /// reports how full those batches ran (see
+  /// BatchSchedulerStats::AverageFill) and how often batches were shared
+  /// across queries. All zeros when batching is off.
+  bool batching_enabled = false;
+  int batch_size = 0;  // device batch capacity the scheduler fills to
+  nn::BatchSchedulerStats batching;
 };
 
 }  // namespace service

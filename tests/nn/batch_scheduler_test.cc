@@ -1,0 +1,275 @@
+// Tests for the cross-query batching scheduler: row correctness vs. direct
+// engine calls, exact per-caller receipts, cross-caller coalescing, linger
+// flushes of partial batches, and error handling.
+#include "nn/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace nn {
+namespace {
+
+using testing_util::TinySystem;
+
+std::vector<uint32_t> Ids(uint32_t begin, uint32_t count) {
+  std::vector<uint32_t> ids(count);
+  std::iota(ids.begin(), ids.end(), begin);
+  return ids;
+}
+
+TEST(BatchSchedulerTest, SingleCallerMatchesEngineBitExactly) {
+  TinySystem sys(50, 901, /*batch_size=*/16);
+  const int layer = sys.model->activation_layers()[0];
+  const std::vector<uint32_t> ids = Ids(0, 50);
+
+  std::vector<std::vector<float>> direct_rows;
+  InferenceReceipt direct_receipt;
+  ASSERT_TRUE(
+      sys.engine->ComputeLayer(ids, layer, &direct_rows, &direct_receipt)
+          .ok());
+
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.001;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+  std::vector<std::vector<float>> scheduled_rows;
+  InferenceReceipt receipt;
+  ASSERT_TRUE(
+      scheduler.ComputeLayer(ids, layer, &scheduled_rows, &receipt).ok());
+
+  ASSERT_EQ(direct_rows.size(), scheduled_rows.size());
+  for (size_t i = 0; i < direct_rows.size(); ++i) {
+    EXPECT_EQ(direct_rows[i], scheduled_rows[i]) << "row " << i;
+  }
+  // A lone caller shares nothing: its receipt equals the direct one —
+  // 50 inputs in ceil(50/16) = 4 launches (3 full + 1 lingered flush).
+  EXPECT_EQ(receipt.inputs_run, direct_receipt.inputs_run);
+  EXPECT_DOUBLE_EQ(receipt.batches_run, direct_receipt.batches_run);
+  EXPECT_EQ(receipt.macs, direct_receipt.macs);
+  EXPECT_DOUBLE_EQ(receipt.simulated_gpu_seconds,
+                   direct_receipt.simulated_gpu_seconds);
+
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.inputs_dispatched, 50);
+  EXPECT_EQ(stats.batches_dispatched, 4);
+  EXPECT_EQ(stats.shared_batches, 0);
+}
+
+TEST(BatchSchedulerTest, ConcurrentCallersCoalesceWithExactReceipts) {
+  TinySystem sys(64, 902, /*batch_size=*/64);
+  const int layer = sys.model->activation_layers()[1];
+
+  // Reference rows for every input, computed directly.
+  std::vector<std::vector<float>> reference;
+  ASSERT_TRUE(
+      sys.engine->ComputeLayer(Ids(0, 64), layer, &reference, nullptr).ok());
+
+  // 8 callers x 8 inputs with a generous linger: the dispatcher should pack
+  // them into far fewer launches than the 8 a solo run would pay.
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.05;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  constexpr int kCallers = 8;
+  std::vector<InferenceReceipt> receipts(kCallers);
+  std::vector<std::vector<std::vector<float>>> rows(kCallers);
+  std::vector<Status> statuses(kCallers);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kCallers; ++c) {
+    threads.emplace_back([&, c] {
+      const std::vector<uint32_t> ids = Ids(static_cast<uint32_t>(c) * 8, 8);
+      statuses[static_cast<size_t>(c)] = scheduler.ComputeLayer(
+          ids, layer, &rows[static_cast<size_t>(c)],
+          &receipts[static_cast<size_t>(c)]);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  double total_batches = 0.0;
+  for (int c = 0; c < kCallers; ++c) {
+    ASSERT_TRUE(statuses[static_cast<size_t>(c)].ok());
+    ASSERT_EQ(rows[static_cast<size_t>(c)].size(), 8u);
+    for (size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(rows[static_cast<size_t>(c)][i],
+                reference[static_cast<size_t>(c) * 8 + i])
+          << "caller " << c << " row " << i;
+    }
+    // Exact attribution: each caller ran exactly its own 8 inputs.
+    EXPECT_EQ(receipts[static_cast<size_t>(c)].inputs_run, 8);
+    total_batches += receipts[static_cast<size_t>(c)].batches_run;
+  }
+
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, kCallers);
+  EXPECT_EQ(stats.inputs_dispatched, 64);
+  // Solo, the 8 callers would launch 8 batches; coalesced they need far
+  // fewer (1 when all 8 arrive within the linger window; allow scheduler
+  // timing slop).
+  EXPECT_LT(stats.batches_dispatched, kCallers);
+  EXPECT_GT(stats.shared_batches, 0);
+  // Fractional shares are conserved across callers.
+  EXPECT_NEAR(total_batches, static_cast<double>(stats.batches_dispatched),
+              1e-9);
+}
+
+TEST(BatchSchedulerTest, LingerWindowFlushesPartialBatch) {
+  TinySystem sys(30, 903, /*batch_size=*/16);
+  const int layer = sys.model->activation_layers()[0];
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.01;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  // 3 inputs can never fill a 16-lane batch; only the linger timeout can
+  // dispatch them. The call returning at all proves the flush fires.
+  std::vector<std::vector<float>> rows;
+  InferenceReceipt receipt;
+  ASSERT_TRUE(scheduler.ComputeLayer(Ids(5, 3), layer, &rows, &receipt).ok());
+  EXPECT_EQ(rows.size(), 3u);
+  EXPECT_EQ(receipt.inputs_run, 3);
+  EXPECT_DOUBLE_EQ(receipt.batches_run, 1.0);
+
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.batches_dispatched, 1);
+  EXPECT_EQ(stats.linger_flushes, 1);
+}
+
+TEST(BatchSchedulerTest, OversizedRequestSpansMultipleBatches) {
+  TinySystem sys(60, 904, /*batch_size=*/16);
+  const int layer = sys.model->activation_layers()[0];
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.002;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  std::vector<std::vector<float>> direct_rows;
+  ASSERT_TRUE(
+      sys.engine->ComputeLayer(Ids(0, 60), layer, &direct_rows, nullptr).ok());
+
+  std::vector<std::vector<float>> rows;
+  InferenceReceipt receipt;
+  ASSERT_TRUE(scheduler.ComputeLayer(Ids(0, 60), layer, &rows, &receipt).ok());
+  ASSERT_EQ(rows.size(), 60u);
+  for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(rows[i], direct_rows[i]);
+  EXPECT_EQ(receipt.inputs_run, 60);
+  EXPECT_DOUBLE_EQ(receipt.batches_run, 4.0);  // ceil(60/16)
+}
+
+TEST(BatchSchedulerTest, RejectsInvalidInputsSynchronously) {
+  TinySystem sys(20, 905, /*batch_size=*/8);
+  BatchingInferenceScheduler scheduler(sys.engine.get());
+  std::vector<std::vector<float>> rows;
+
+  Status bad_id = scheduler.ComputeLayer(
+      {5, 99}, sys.model->activation_layers()[0], &rows, nullptr);
+  EXPECT_FALSE(bad_id.ok());
+  EXPECT_TRUE(bad_id.IsOutOfRange());
+
+  Status bad_layer = scheduler.ComputeLayer({0}, 12345, &rows, nullptr);
+  EXPECT_FALSE(bad_layer.ok());
+  EXPECT_TRUE(bad_layer.IsOutOfRange());
+
+  // Empty request: trivially OK, no batch launched.
+  EXPECT_TRUE(scheduler
+                  .ComputeLayer({}, sys.model->activation_layers()[0], &rows,
+                                nullptr)
+                  .ok());
+  EXPECT_EQ(scheduler.stats().batches_dispatched, 0);
+}
+
+// Starvation regression: sustained full-batch traffic on one layer must
+// not postpone an expired partial request on another layer — ready queues
+// are served oldest-head-first across layers. The hot threads stop as soon
+// as the small request completes; if it were starved until the hot traffic
+// drained, they would run to their iteration cap instead.
+TEST(BatchSchedulerTest, ExpiredPartialIsNotStarvedByFullBatches) {
+  TinySystem sys(48, 907, /*batch_size=*/16);
+  const std::vector<int>& layers = sys.model->activation_layers();
+  ASSERT_GE(layers.size(), 2u);
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.001;
+  options.num_dispatchers = 1;  // a single dispatcher must still be fair
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  constexpr int kMaxIters = 500;
+  std::atomic<bool> small_done{false};
+  std::vector<int> iters(3, 0);
+  std::vector<std::thread> hot;
+  for (int t = 0; t < 3; ++t) {
+    hot.emplace_back([&, t] {
+      // Each request is exactly one full batch, keeping the hot layer's
+      // queue dispatchable without ever waiting on the linger window.
+      std::vector<std::vector<float>> rows;
+      for (int& i = iters[static_cast<size_t>(t)];
+           i < kMaxIters && !small_done.load(); ++i) {
+        ASSERT_TRUE(scheduler
+                        .ComputeLayer(Ids(static_cast<uint32_t>(t) * 16, 16),
+                                      layers[0], &rows, nullptr)
+                        .ok());
+      }
+    });
+  }
+
+  // Let the hot traffic establish, then file a 3-input request on a quiet
+  // layer: it can only be dispatched via the linger flush. (The sleep is
+  // kept well below the hot threads' total running time so they cannot
+  // drain their iteration budget before the small request even arrives.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::vector<std::vector<float>> rows;
+  InferenceReceipt receipt;
+  ASSERT_TRUE(
+      scheduler.ComputeLayer(Ids(0, 3), layers[1], &rows, &receipt).ok());
+  small_done.store(true);
+  for (std::thread& thread : hot) thread.join();
+
+  EXPECT_EQ(receipt.inputs_run, 3);
+  // The hot threads must have exited because the small request finished,
+  // not because they exhausted their iteration budget (which is what
+  // happens when full batches always preempt expired partials).
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_LT(iters[static_cast<size_t>(t)], kMaxIters)
+        << "hot thread " << t << " drained completely: starvation";
+  }
+}
+
+TEST(BatchSchedulerTest, ManyThreadsManyLayersStress) {
+  TinySystem sys(48, 906, /*batch_size=*/16);
+  const std::vector<int>& layers = sys.model->activation_layers();
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.0005;
+  options.num_dispatchers = 2;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 6; ++round) {
+        const int layer = layers[static_cast<size_t>((t + round) %
+                                                     layers.size())];
+        const std::vector<uint32_t> ids =
+            Ids(static_cast<uint32_t>((t * 5 + round) % 24), 17);
+        std::vector<std::vector<float>> rows;
+        InferenceReceipt receipt;
+        if (!scheduler.ComputeLayer(ids, layer, &rows, &receipt).ok() ||
+            rows.size() != ids.size() || receipt.inputs_run != 17) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.requests, 48);
+  EXPECT_EQ(stats.inputs_enqueued, stats.inputs_dispatched);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepeverest

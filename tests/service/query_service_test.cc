@@ -56,6 +56,22 @@ struct ServiceFixture {
   std::unique_ptr<DeepEverest> engine;
 };
 
+/// Runs one query directly on the engine in the service's execution mode
+/// (tie-complete NTA termination), giving the canonical sequential
+/// reference: identical entries AND identical per-query inference stats are
+/// expected from the service, regardless of worker count or batching.
+Result<TopKResult> RunCanonical(DeepEverest* engine, const TopKQuery& query) {
+  core::NtaOptions options;
+  options.k = query.k;
+  options.theta = query.theta;
+  options.tie_complete = true;
+  if (query.kind == TopKQuery::Kind::kHighest) {
+    return engine->TopKHighestWithOptions(query.group, std::move(options));
+  }
+  return engine->TopKMostSimilarWithOptions(query.target_id, query.group,
+                                            std::move(options));
+}
+
 /// A deterministic mixed workload across three layers and several sessions.
 std::vector<TopKQuery> MakeWorkload(const nn::Model& model, int count) {
   const std::vector<int>& layers = model.activation_layers();
@@ -148,11 +164,7 @@ TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
       MakeWorkload(*seq_fix.sys.model, 40);
   std::vector<TopKResult> expected;
   for (const TopKQuery& query : workload) {
-    auto result =
-        query.kind == TopKQuery::Kind::kHighest
-            ? seq_fix.engine->TopKHighest(query.group, query.k)
-            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
-                                              query.k);
+    auto result = RunCanonical(seq_fix.engine.get(), query);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     expected.push_back(std::move(result.value()));
   }
@@ -186,22 +198,20 @@ TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
   EXPECT_EQ(stats.iqa_shards.size(), 8u);
 }
 
-// Cold start: concurrent queries race on incremental index builds. The
+// Cold start: concurrent queries race on incremental index builds — the
 // winner of a layer's build race answers from the fresh activation scan
-// (§4.6) while the losers run NTA, so under exact value ties at the top-k
-// boundary the chosen ids may legitimately differ — results are compared
-// with the repo's standard validity oracle instead of bit equality.
-TEST(QueryServiceTest, ColdStartConcurrentResultsAreValid) {
+// (§4.6) while the losers run NTA. With tie-complete termination (the
+// service's execution mode) both paths resolve exact value ties at the
+// top-k boundary identically, so even cold-start results are bit-identical
+// to the canonical sequential run. (Before the tie-complete mode this test
+// could only use a validity oracle.)
+TEST(QueryServiceTest, ColdStartConcurrentResultsMatchCanonical) {
   ServiceFixture seq_fix(60, 79, EngineOptions(/*iqa_shards=*/1));
   const std::vector<TopKQuery> workload =
       MakeWorkload(*seq_fix.sys.model, 24);
   std::vector<TopKResult> expected;
   for (const TopKQuery& query : workload) {
-    auto result =
-        query.kind == TopKQuery::Kind::kHighest
-            ? seq_fix.engine->TopKHighest(query.group, query.k)
-            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
-                                              query.k);
+    auto result = RunCanonical(seq_fix.engine.get(), query);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     expected.push_back(std::move(result.value()));
   }
@@ -221,9 +231,7 @@ TEST(QueryServiceTest, ColdStartConcurrentResultsAreValid) {
   for (size_t i = 0; i < futures.size(); ++i) {
     Result<TopKResult> result = futures[i].get();
     ASSERT_TRUE(result.ok()) << result.status().ToString();
-    testing_util::ExpectValidTopK(
-        expected[i], result.value(),
-        workload[i].kind == TopKQuery::Kind::kMostSimilar);
+    ExpectSameEntries(expected[i], result.value(), static_cast<int>(i));
   }
 }
 
@@ -308,17 +316,13 @@ TEST(QueryServiceTest, PerSessionLimitKeepsOtherSessionsAdmitted) {
 TEST(QueryServiceTest, ShardHitCountersSumToSequentialHitCount) {
   const int kQueries = 36;
 
-  // Sequential run, single-shard cache.
+  // Sequential run, single-shard cache, in the service's execution mode so
+  // the evaluation (and therefore cache hit) pattern is identical.
   ServiceFixture seq_fix(50, 76, EngineOptions(/*iqa_shards=*/1));
   const std::vector<TopKQuery> workload =
       MakeWorkload(*seq_fix.sys.model, kQueries);
   for (const TopKQuery& query : workload) {
-    auto result =
-        query.kind == TopKQuery::Kind::kHighest
-            ? seq_fix.engine->TopKHighest(query.group, query.k)
-            : seq_fix.engine->TopKMostSimilar(query.target_id, query.group,
-                                              query.k);
-    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(RunCanonical(seq_fix.engine.get(), query).ok());
   }
   const auto seq_stats = seq_fix.engine->iqa_cache()->stats();
   ASSERT_GT(seq_stats.hits, 0);
@@ -370,6 +374,125 @@ TEST(QueryServiceTest, DrainWaitsAndShutdownCancelsQueued) {
 
   (*service)->Shutdown();
   EXPECT_FALSE((*service)->Submit(query).ok());  // admission closed
+}
+
+// The attribution contract: under 8 concurrent sessions with cross-query
+// batching enabled, every query's entries AND its `inputs_run` equal the
+// canonical sequential run exactly. The old before/after stats() delta
+// failed this (it absorbed other threads' inference); receipts cannot.
+TEST(QueryServiceTest, BatchingKeepsResultsAndAttributionExact) {
+  // Canonical reference on a warm engine, no IQA (cache state would make
+  // per-query inputs_run schedule-dependent, which is not an attribution
+  // question).
+  ServiceFixture seq_fix(60, 80, EngineOptions());
+  ASSERT_TRUE(seq_fix.engine->PreprocessAllLayers().ok());
+  std::vector<TopKQuery> workload = MakeWorkload(*seq_fix.sys.model, 40);
+  for (size_t i = 0; i < workload.size(); ++i) {
+    workload[i].session_id = static_cast<uint64_t>(i % 8);  // 8 sessions
+  }
+  std::vector<TopKResult> expected;
+  for (const TopKQuery& query : workload) {
+    auto result = RunCanonical(seq_fix.engine.get(), query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(std::move(result.value()));
+  }
+
+  ServiceFixture fix(60, 80, EngineOptions());
+  ASSERT_TRUE(fix.engine->PreprocessAllLayers().ok());
+  QueryServiceOptions service_options;
+  service_options.num_workers = 8;
+  service_options.max_queue_depth = workload.size();
+  service_options.enable_cross_query_batching = true;
+  // A generous linger so concurrent queries reliably co-schedule.
+  service_options.batch_linger_seconds = 0.005;
+  auto service = QueryService::Create(fix.engine.get(), service_options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (const TopKQuery& query : workload) {
+    auto submitted = (*service)->Submit(query);
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    Result<TopKResult> result = futures[i].get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectSameEntries(expected[i], result.value(), static_cast<int>(i));
+    EXPECT_EQ(expected[i].stats.inputs_run, result->stats.inputs_run)
+        << "query " << i << ": per-query attribution must be exact";
+  }
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_TRUE(stats.batching_enabled);
+  EXPECT_GT(stats.batch_size, 0);
+  EXPECT_GT(stats.batching.requests, 0);
+  EXPECT_GT(stats.batching.batches_dispatched, 0);
+  EXPECT_EQ(stats.batching.inputs_enqueued, stats.batching.inputs_dispatched);
+}
+
+// Coalescing must actually happen: with 8 workers co-scheduling queries
+// into shared device batches, the total number of launched batches is
+// strictly below what the same workload pays when every query dispatches
+// alone (the unbatched service), at bit-identical results.
+TEST(QueryServiceTest, BatchingCoalescesAcrossQueries) {
+  std::vector<TopKQuery> workload;
+  auto run_total_batches = [&workload](bool batching, double* total_batches,
+                                       int64_t* dispatched,
+                                       std::vector<TopKResult>* results) {
+    ServiceFixture fix(60, 81, EngineOptions());
+    ASSERT_TRUE(fix.engine->PreprocessAllLayers().ok());
+    if (workload.empty()) workload = MakeWorkload(*fix.sys.model, 32);
+    QueryServiceOptions service_options;
+    service_options.num_workers = 8;
+    service_options.max_queue_depth = workload.size();
+    service_options.enable_cross_query_batching = batching;
+    service_options.batch_linger_seconds = 0.005;
+    auto service = QueryService::Create(fix.engine.get(), service_options);
+    ASSERT_TRUE(service.ok());
+    std::vector<std::future<Result<TopKResult>>> futures;
+    for (const TopKQuery& query : workload) {
+      auto submitted = (*service)->Submit(query);
+      ASSERT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted.value()));
+    }
+    *total_batches = 0.0;
+    for (auto& future : futures) {
+      Result<TopKResult> result = future.get();
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      *total_batches += result->stats.batches_run;
+      results->push_back(std::move(result.value()));
+    }
+    const ServiceStats stats = (*service)->Snapshot();
+    *dispatched = stats.batching_enabled
+                      ? stats.batching.batches_dispatched
+                      : int64_t{0};
+    if (batching) {
+      EXPECT_GT(stats.batching.shared_batches, 0)
+          << "8 workers over shared layers should have merged batches";
+      // Fractional shares are conserved: summed over queries they equal the
+      // number of physical launches.
+      EXPECT_NEAR(*total_batches,
+                  static_cast<double>(stats.batching.batches_dispatched),
+                  1e-6);
+    }
+  };
+
+  double solo_batches = 0.0, shared_batches = 0.0;
+  int64_t solo_dispatched = 0, shared_dispatched = 0;
+  std::vector<TopKResult> solo_results, shared_results;
+  run_total_batches(false, &solo_batches, &solo_dispatched, &solo_results);
+  run_total_batches(true, &shared_batches, &shared_dispatched,
+                    &shared_results);
+
+  EXPECT_LT(shared_batches, solo_batches)
+      << "shared batches_run must be strictly below the sum of solo runs";
+  ASSERT_EQ(solo_results.size(), shared_results.size());
+  for (size_t i = 0; i < solo_results.size(); ++i) {
+    ExpectSameEntries(solo_results[i], shared_results[i],
+                      static_cast<int>(i));
+    EXPECT_EQ(solo_results[i].stats.inputs_run,
+              shared_results[i].stats.inputs_run);
+  }
 }
 
 TEST(QueryServiceTest, LatencyPercentilesAreRecorded) {
