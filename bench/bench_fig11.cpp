@@ -70,12 +70,12 @@ void RunSequence(const bench::System& system, const std::string& label,
         core::NtaOptions options;
         options.k = 20;
 
-        options.iqa = &cache;
+        core::QueryContext with_ctx;
+        with_ctx.iqa = &cache;
         Stopwatch with_watch;
-        DE_CHECK(nta.MostSimilarTo(group, target, options).ok());
+        DE_CHECK(nta.MostSimilarTo(group, target, options, &with_ctx).ok());
         const double with_iqa = with_watch.ElapsedSeconds();
 
-        options.iqa = nullptr;
         Stopwatch without_watch;
         DE_CHECK(nta.MostSimilarTo(group, target, options).ok());
         const double without_iqa = without_watch.ElapsedSeconds();

@@ -1,0 +1,368 @@
+// QoS protection under saturation: an interactive session issues queries
+// while many batch-class sessions keep an 8-worker service saturated with a
+// closed-loop background load. The same workload runs twice — QoS-aware
+// dispatch + per-class batch linger ON (default) vs OFF (the flat
+// session-round-robin, uniform-linger service of PR 1/2) — and the bench
+// reports per-class p50/p99 latency for both.
+//
+// The QoS contract this demonstrates:
+//   - interactive p99 must be at least ~2x lower with QoS on (strict class
+//     priority means an interactive query waits for one in-flight query at
+//     most, instead of a round-robin turn behind every batch session, and
+//     its inference seals partial device batches instead of lingering);
+//   - results stay bit-identical in both modes and per-query `inputs_run`
+//     equals the sequential reference exactly (receipt-metered attribution
+//     is schedule-independent);
+//   - batch-class throughput pays only modestly (it keeps the leftover
+//     capacity and still lingers for full batches).
+//
+// Scale knobs:
+//   DE_BENCH_INPUTS               dataset size (default 300 here)
+//   DE_BENCH_QOS_INTERACTIVE      interactive queries per mode (default 16)
+//   DE_BENCH_QOS_BATCH_SESSIONS   background sessions (default 12)
+//   DE_BENCH_QOS_OUTSTANDING      in-flight queries per session (default 4)
+//   DE_BENCH_QOS_DEVICE_SCALE     device latency multiplier (default 4)
+//   DE_BENCH_QOS_THINK_MS         interactive think time (default 5)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_util/query_gen.h"
+#include "bench_util/report.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/deepeverest.h"
+#include "service/query_service.h"
+
+namespace deepeverest {
+namespace {
+
+struct QosBenchConfig {
+  int interactive_queries = 16;
+  int batch_sessions = 12;
+  int outstanding_per_session = 4;
+  double device_scale = 4.0;
+  double think_seconds = 0.005;
+};
+
+std::vector<service::TopKQuery> MakeTemplates(const bench::System& system,
+                                              int count, int group_size,
+                                              int k, uint64_t seed) {
+  auto generator = system.NewEngine();
+  Rng rng(seed);
+  std::vector<service::TopKQuery> templates;
+  templates.reserve(static_cast<size_t>(count));
+  const bench_util::QueryType types[] = {bench_util::QueryType::kFireMax,
+                                         bench_util::QueryType::kSimTop,
+                                         bench_util::QueryType::kSimHigh};
+  const bench_util::LayerDepth depths[] = {bench_util::LayerDepth::kEarly,
+                                           bench_util::LayerDepth::kMid,
+                                           bench_util::LayerDepth::kLate};
+  for (int i = 0; i < count; ++i) {
+    auto generated = bench_util::GenerateQuery(
+        generator.get(), types[i % 3], depths[(i / 3) % 3], group_size, &rng);
+    DE_CHECK(generated.ok()) << generated.status().ToString();
+    service::TopKQuery query;
+    query.kind = generated->type == bench_util::QueryType::kFireMax
+                     ? service::TopKQuery::Kind::kHighest
+                     : service::TopKQuery::Kind::kMostSimilar;
+    query.group = std::move(generated->group);
+    query.target_id = generated->target_id;
+    query.k = k;
+    templates.push_back(std::move(query));
+  }
+  return templates;
+}
+
+std::unique_ptr<core::DeepEverest> MakeEngine(const bench::System& system,
+                                              storage::FileStore* store) {
+  core::DeepEverestOptions options;
+  options.batch_size = system.batch_size;
+  // IQA off: cache state would make per-query inputs_run depend on the
+  // schedule, which is exactly what the exactness check must exclude.
+  options.enable_iqa = false;
+  auto engine = core::DeepEverest::Create(system.model.get(),
+                                          system.dataset.get(), store,
+                                          options);
+  DE_CHECK(engine.ok()) << engine.status().ToString();
+  system.ApplyCostModel((*engine)->inference());
+  return std::move(engine.value());
+}
+
+/// Sequential canonical run of every template (tie-complete, no device
+/// latency): the entries AND inputs_run every service run must reproduce.
+std::vector<core::TopKResult> RunReference(
+    core::DeepEverest* engine,
+    const std::vector<service::TopKQuery>& templates) {
+  std::vector<core::TopKResult> reference;
+  reference.reserve(templates.size());
+  for (const service::TopKQuery& query : templates) {
+    core::NtaOptions options;
+    options.k = query.k;
+    options.tie_complete = true;
+    auto result =
+        query.kind == service::TopKQuery::Kind::kHighest
+            ? engine->TopKHighestWithOptions(query.group, std::move(options))
+            : engine->TopKMostSimilarWithOptions(query.target_id, query.group,
+                                                 std::move(options));
+    DE_CHECK(result.ok()) << result.status().ToString();
+    reference.push_back(std::move(result.value()));
+  }
+  return reference;
+}
+
+bool SameEntries(const core::TopKResult& a, const core::TopKResult& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    if (a.entries[i].input_id != b.entries[i].input_id ||
+        a.entries[i].value != b.entries[i].value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct ModeResult {
+  std::vector<double> interactive_latencies;
+  std::vector<double> batch_latencies;
+  int mismatches = 0;
+  int inputs_mismatches = 0;
+  int64_t batch_completed = 0;
+  /// Wall seconds of the whole loaded phase; the two modes run for
+  /// different lengths (the interactive session finishes sooner under QoS),
+  /// so batch throughput must be compared as a rate.
+  double wall_seconds = 0.0;
+  service::ServiceStats stats;
+};
+
+ModeResult RunMode(const bench::System& system, const QosBenchConfig& config,
+                   bool qos_enabled,
+                   const std::vector<service::TopKQuery>& batch_templates,
+                   const std::vector<core::TopKResult>& batch_reference,
+                   const std::vector<service::TopKQuery>& inter_templates,
+                   const std::vector<core::TopKResult>& inter_reference) {
+  bench::ScratchDir scratch(qos_enabled ? "qos_on" : "qos_off");
+  auto store = storage::FileStore::Open(scratch.path());
+  DE_CHECK(store.ok());
+  auto engine = MakeEngine(system, &store.value());
+  // Warm serving start, then make the simulated device a real latency
+  // source (same methodology as bench_service_throughput).
+  DE_CHECK(engine->PreprocessAllLayers().ok());
+  engine->inference()->mutable_cost_model()->seconds_per_mac *=
+      config.device_scale;
+  engine->inference()->set_simulate_device_latency(true);
+
+  service::QueryServiceOptions options;
+  options.num_workers = 8;
+  options.max_queue_depth = 4096;
+  options.enable_qos = qos_enabled;
+  options.enable_cross_query_batching = true;
+  auto service = service::QueryService::Create(engine.get(), options);
+  DE_CHECK(service.ok()) << service.status().ToString();
+
+  ModeResult out;
+  Stopwatch wall;
+  std::mutex result_mu;  // guards out.* from the background threads
+
+  // Saturating closed-loop background: each batch session keeps
+  // `outstanding_per_session` queries in the service at all times.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> background;
+  background.reserve(static_cast<size_t>(config.batch_sessions));
+  for (int s = 0; s < config.batch_sessions; ++s) {
+    background.emplace_back([&, s] {
+      struct InFlight {
+        size_t template_index;
+        Stopwatch latency;
+        std::future<Result<core::TopKResult>> future;
+      };
+      std::deque<InFlight> inflight;
+      auto harvest = [&](InFlight in_flight) {
+        auto result = in_flight.future.get();
+        const double latency = in_flight.latency.ElapsedSeconds();
+        DE_CHECK(result.ok()) << result.status().ToString();
+        const core::TopKResult& expected =
+            batch_reference[in_flight.template_index];
+        std::lock_guard<std::mutex> lock(result_mu);
+        ++out.batch_completed;
+        out.batch_latencies.push_back(latency);
+        if (!SameEntries(expected, result.value())) ++out.mismatches;
+        if (expected.stats.inputs_run != result->stats.inputs_run) {
+          ++out.inputs_mismatches;
+        }
+      };
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t index =
+            (static_cast<size_t>(s) * 31 + i) % batch_templates.size();
+        service::TopKQuery query = batch_templates[index];
+        query.session_id = static_cast<uint64_t>(1 + s);
+        query.qos = QosClass::kBatch;
+        InFlight in_flight;
+        in_flight.template_index = index;
+        in_flight.latency.Reset();
+        auto submitted = (*service)->Submit(std::move(query));
+        DE_CHECK(submitted.ok()) << submitted.status().ToString();
+        in_flight.future = std::move(submitted.value());
+        inflight.push_back(std::move(in_flight));
+        ++i;
+        while (inflight.size() >=
+               static_cast<size_t>(config.outstanding_per_session)) {
+          harvest(std::move(inflight.front()));
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        harvest(std::move(inflight.front()));
+        inflight.pop_front();
+      }
+    });
+  }
+
+  // Let the backlog build, then run the interactive session in the
+  // foreground: submit, wait, think, repeat — a human exploring neurons.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (int i = 0; i < config.interactive_queries; ++i) {
+    const size_t index = static_cast<size_t>(i) % inter_templates.size();
+    service::TopKQuery query = inter_templates[index];
+    query.session_id = 1000;
+    query.qos = QosClass::kInteractive;
+    Stopwatch latency;
+    auto result = (*service)->Execute(std::move(query));
+    const double seconds = latency.ElapsedSeconds();
+    DE_CHECK(result.ok()) << result.status().ToString();
+    out.interactive_latencies.push_back(seconds);
+    if (!SameEntries(inter_reference[index], result.value())) {
+      ++out.mismatches;
+    }
+    if (inter_reference[index].stats.inputs_run != result->stats.inputs_run) {
+      ++out.inputs_mismatches;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        config.think_seconds));
+  }
+
+  stop.store(true);
+  for (std::thread& thread : background) thread.join();
+  (*service)->Drain();
+  out.wall_seconds = wall.ElapsedSeconds();
+  out.stats = (*service)->Snapshot();
+  return out;
+}
+
+void Run() {
+  bench::Scale scale = bench::GetScale();
+  if (bench::EnvInt("DE_BENCH_INPUTS", 0) <= 0) {
+    scale.vgg_inputs = 300;  // ratios, not absolute scale, are the point
+  }
+  QosBenchConfig config;
+  config.interactive_queries = static_cast<int>(
+      bench::EnvInt("DE_BENCH_QOS_INTERACTIVE", config.interactive_queries));
+  config.batch_sessions = static_cast<int>(
+      bench::EnvInt("DE_BENCH_QOS_BATCH_SESSIONS", config.batch_sessions));
+  config.outstanding_per_session = static_cast<int>(bench::EnvInt(
+      "DE_BENCH_QOS_OUTSTANDING", config.outstanding_per_session));
+  config.device_scale = static_cast<double>(
+      bench::EnvInt("DE_BENCH_QOS_DEVICE_SCALE", 4));
+  config.think_seconds =
+      static_cast<double>(bench::EnvInt("DE_BENCH_QOS_THINK_MS", 5)) * 1e-3;
+
+  const bench::System system = bench::MakeVggSystem(scale);
+  bench_util::PrintBanner(
+      std::cout, "Service QoS: interactive latency under batch saturation",
+      system.name + ", 8 workers, " +
+          std::to_string(config.batch_sessions) + " batch sessions x " +
+          std::to_string(config.outstanding_per_session) + " outstanding, " +
+          std::to_string(config.interactive_queries) +
+          " interactive queries");
+
+  // Heavy batch work; light interactive probes.
+  const std::vector<service::TopKQuery> batch_templates =
+      MakeTemplates(system, 18, /*group_size=*/8, /*k=*/20, 8101);
+  const std::vector<service::TopKQuery> inter_templates =
+      MakeTemplates(system, 8, /*group_size=*/4, /*k=*/10, 8202);
+
+  // Canonical reference on its own engine (warm, no device latency).
+  std::vector<core::TopKResult> batch_reference, inter_reference;
+  {
+    bench::ScratchDir scratch("qos_ref");
+    auto store = storage::FileStore::Open(scratch.path());
+    DE_CHECK(store.ok());
+    auto engine = MakeEngine(system, &store.value());
+    DE_CHECK(engine->PreprocessAllLayers().ok());
+    batch_reference = RunReference(engine.get(), batch_templates);
+    inter_reference = RunReference(engine.get(), inter_templates);
+  }
+
+  bench_util::TablePrinter table({"mode", "int p50", "int p99", "batch p50",
+                                  "batch p99", "batch qps", "int fill",
+                                  "batch fill", "sealed", "identical",
+                                  "inputs_exact"});
+  double p99_off = 0.0, p99_on = 0.0;
+  for (const bool qos_enabled : {false, true}) {
+    const ModeResult mode =
+        RunMode(system, config, qos_enabled, batch_templates, batch_reference,
+                inter_templates, inter_reference);
+    const double p99 = Percentile(mode.interactive_latencies, 0.99);
+    (qos_enabled ? p99_on : p99_off) = p99;
+    const auto& interactive_stats =
+        mode.stats.per_class[QosIndex(QosClass::kInteractive)];
+    const auto& batch_stats =
+        mode.stats.per_class[QosIndex(QosClass::kBatch)];
+    table.AddRow(
+        {qos_enabled ? "qos on" : "qos off",
+         bench_util::FormatSeconds(Percentile(mode.interactive_latencies,
+                                              0.50)),
+         bench_util::FormatSeconds(p99),
+         bench_util::FormatSeconds(Percentile(mode.batch_latencies, 0.50)),
+         bench_util::FormatSeconds(Percentile(mode.batch_latencies, 0.99)),
+         bench_util::FormatDouble(
+             mode.wall_seconds > 0.0
+                 ? static_cast<double>(mode.batch_completed) /
+                       mode.wall_seconds
+                 : 0.0,
+             1),
+         bench_util::FormatDouble(interactive_stats.batch_fill, 2),
+         bench_util::FormatDouble(batch_stats.batch_fill, 2),
+         std::to_string(mode.stats.batching.sealed_by_interactive),
+         mode.mismatches == 0
+             ? "yes"
+             : ("NO (" + std::to_string(mode.mismatches) + ")"),
+         mode.inputs_mismatches == 0
+             ? "yes"
+             : ("NO (" + std::to_string(mode.inputs_mismatches) + ")")});
+  }
+  table.Print(std::cout);
+
+  if (p99_on > 0.0) {
+    std::printf(
+        "\nQoS protection: interactive p99 %.1fx lower with QoS on "
+        "(%.1f ms -> %.1f ms)%s\n",
+        p99_off / p99_on, p99_off * 1e3, p99_on * 1e3,
+        p99_off / p99_on >= 2.0 ? "" : "  [WARNING: below the 2x target]");
+  }
+}
+
+}  // namespace
+}  // namespace deepeverest
+
+int main() {
+  deepeverest::Run();
+  return 0;
+}

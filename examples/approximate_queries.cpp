@@ -59,17 +59,21 @@ int main() {
   }
 
   // Incremental return: watch answers become *final* before the query
-  // finishes (section 6, "incrementally returning query results").
+  // finishes (section 6, "incrementally returning query results"). The
+  // progress sink rides in a per-query QueryContext.
   std::printf("\nIncremental confirmation of the exact top-10:\n");
   core::NtaOptions options;
   options.k = 10;
-  options.on_progress = [](const core::NtaProgress& p) {
+  core::QueryContext progress_ctx;
+  progress_ctx.on_progress = [](const core::NtaProgress& p) {
     std::printf("  round %2lld: threshold %.4f, %zu/10 results confirmed\n",
                 static_cast<long long>(p.round), p.threshold,
                 p.confirmed.size());
     return true;
   };
-  if (!(*de)->TopKMostSimilarWithOptions(target, group, options).ok()) {
+  if (!(*de)
+           ->TopKMostSimilarWithOptions(target, group, options, &progress_ctx)
+           .ok()) {
     return 1;
   }
 
@@ -77,11 +81,13 @@ int main() {
   // quantified guarantee.
   std::printf("\nEarly stop after 3 rounds:\n");
   double guarantee = 0.0;
-  options.on_progress = [&](const core::NtaProgress& p) {
+  core::QueryContext stop_ctx;
+  stop_ctx.on_progress = [&](const core::NtaProgress& p) {
     guarantee = p.theta_guarantee;
     return p.round < 3;
   };
-  auto stopped = (*de)->TopKMostSimilarWithOptions(target, group, options);
+  auto stopped =
+      (*de)->TopKMostSimilarWithOptions(target, group, options, &stop_ctx);
   if (!stopped.ok()) return 1;
   std::printf(
       "  returned %zu results after %lld inputs; they are a "

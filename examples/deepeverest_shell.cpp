@@ -6,7 +6,7 @@
 //   STATS                  - inference/storage counters so far
 //   HELP / QUIT
 //
-//   echo "SELECT TOPK 5 HIGHEST FOR LAYER 7 NEURONS (1,2,3)" | \
+//   echo "SELECT TOPK 5 HIGHEST FOR LAYER 7 NEURONS (1,2,3)" |
 //       ./examples/deepeverest_shell
 #include <cstdio>
 #include <iostream>

@@ -1,0 +1,46 @@
+#ifndef DEEPEVEREST_COMMON_QOS_H_
+#define DEEPEVEREST_COMMON_QOS_H_
+
+namespace deepeverest {
+
+/// \brief Quality-of-service class of one query (inherited from its
+/// session).
+///
+/// Classes are strict priorities at every layer that makes a scheduling
+/// decision — admission dispatch in the QueryService and device batch
+/// formation in the BatchingInferenceScheduler: interactive beats batch
+/// beats best-effort. The numeric value IS the priority (lower = more
+/// urgent) and doubles as the index into per-class stat arrays.
+enum class QosClass : int {
+  /// A human in the loop: dispatched before everything else, and its
+  /// inference never waits out a batch linger window (partial batches it
+  /// joins are sealed and launched immediately).
+  kInteractive = 0,
+  /// The default: bulk interpretation work that prefers throughput — its
+  /// inference lingers for fuller device batches.
+  kBatch = 1,
+  /// Background sweeps / re-indexing: runs only when nothing else is
+  /// queued, and lingers longest for maximally full batches.
+  kBestEffort = 2,
+};
+
+inline constexpr int kNumQosClasses = 3;
+
+/// Stat-array index of `qos` (identical to its priority value).
+inline constexpr int QosIndex(QosClass qos) { return static_cast<int>(qos); }
+
+inline const char* QosClassName(QosClass qos) {
+  switch (qos) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBatch:
+      return "batch";
+    case QosClass::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_COMMON_QOS_H_

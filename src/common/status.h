@@ -18,6 +18,7 @@ enum class StatusCode {
   kInternal = 7,
   kResourceExhausted = 8,
   kCancelled = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a human-readable name for a StatusCode.
@@ -68,6 +69,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +87,9 @@ class Status {
   }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// Renders "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -124,18 +124,23 @@ Status ValidateGroup(const nn::Model& model, const NeuronGroup& group) {
 }  // namespace
 
 template <typename NtaFn, typename ScanFn>
-Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
-                                        ScanFn&& scan_fn) {
+Result<TopKResult> DeepEverest::Execute(int layer, QueryContext* ctx,
+                                        NtaFn&& nta_fn, ScanFn&& scan_fn) {
   Stopwatch watch;
-  // Per-call receipt metering: any index-build inference is charged to the
-  // query that actually performed the build (§4.6 trigger); NTA meters its
-  // own calls. Unlike the old before/after stats() delta, concurrent
-  // queries on the shared engine can never leak into these numbers.
-  nn::InferenceReceipt build_receipt;
+  DE_RETURN_NOT_OK(ctx->CheckRunnable());
+  // Per-query receipt metering via the context: any index-build inference
+  // is charged to the query that actually performed the build (§4.6
+  // trigger); NTA meters its own calls into the same receipt. Unlike the
+  // old before/after stats() delta, concurrent queries on the shared engine
+  // can never leak into these numbers.
+  const nn::InferenceReceipt start_receipt = ctx->receipt;
   storage::LayerActivationMatrix fresh;
   DE_ASSIGN_OR_RETURN(
       const LayerIndex* index,
-      index_manager_.EnsureIndex(layer, &fresh, nullptr, &build_receipt));
+      index_manager_.EnsureIndex(layer, &fresh, nullptr, &ctx->receipt));
+  // The build (or the wait on another thread's build) may have consumed the
+  // whole deadline budget; abort before scanning or running NTA.
+  DE_RETURN_NOT_OK(ctx->CheckRunnable());
 
   Result<TopKResult> result = [&]() -> Result<TopKResult> {
     if (fresh.num_inputs > 0) {
@@ -149,10 +154,13 @@ Result<TopKResult> DeepEverest::Execute(int layer, NtaFn&& nta_fn,
   }();
   if (!result.ok()) return result;
 
+  // Whole-query inference cost = the context receipt's delta over this
+  // call: index build + NTA (the scan path runs no inference of its own).
   QueryStats& stats = result.value().stats;
-  stats.inputs_run += build_receipt.inputs_run;
-  stats.batches_run += build_receipt.batches_run;
-  stats.simulated_gpu_seconds += build_receipt.simulated_gpu_seconds;
+  stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
+  stats.batches_run = ctx->receipt.batches_run - start_receipt.batches_run;
+  stats.simulated_gpu_seconds =
+      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
   stats.wall_seconds = watch.ElapsedSeconds();
   return result;
 }
@@ -166,15 +174,17 @@ Result<TopKResult> DeepEverest::TopKHighest(const NeuronGroup& group, int k,
 }
 
 Result<TopKResult> DeepEverest::TopKHighestWithOptions(
-    const NeuronGroup& group, NtaOptions options) {
+    const NeuronGroup& group, NtaOptions options, QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
   options.use_mai = options.use_mai && options_.enable_mai;
-  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
   const DistancePtr dist =
       options.dist != nullptr ? options.dist : L2Distance();
   return Execute(
-      group.layer,
-      [&](NtaEngine* nta) { return nta->Highest(group, options); },
+      group.layer, ctx,
+      [&](NtaEngine* nta) { return nta->Highest(group, options, ctx); },
       [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
         return ScanHighest(acts, group.neurons, options.k, dist);
       });
@@ -190,19 +200,22 @@ Result<TopKResult> DeepEverest::TopKMostSimilar(uint32_t target_id,
 }
 
 Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
-    uint32_t target_id, const NeuronGroup& group, NtaOptions options) {
+    uint32_t target_id, const NeuronGroup& group, NtaOptions options,
+    QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
   if (target_id >= inference_.dataset().size()) {
     return Status::OutOfRange("target input out of range");
   }
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
   options.use_mai = options.use_mai && options_.enable_mai;
-  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
   const DistancePtr dist =
       options.dist != nullptr ? options.dist : L2Distance();
   return Execute(
-      group.layer,
+      group.layer, ctx,
       [&](NtaEngine* nta) {
-        return nta->MostSimilarTo(group, target_id, options);
+        return nta->MostSimilarTo(group, target_id, options, ctx);
       },
       [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
         std::vector<float> target_acts(group.neurons.size());
@@ -217,19 +230,21 @@ Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
 
 Result<TopKResult> DeepEverest::TopKMostSimilarToActivations(
     const std::vector<float>& target_acts, const NeuronGroup& group,
-    NtaOptions options) {
+    NtaOptions options, QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
   if (target_acts.size() != group.neurons.size()) {
     return Status::InvalidArgument("target activation count mismatch");
   }
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
   options.use_mai = options.use_mai && options_.enable_mai;
-  if (options.iqa == nullptr) options.iqa = iqa_cache_.get();
   const DistancePtr dist =
       options.dist != nullptr ? options.dist : L2Distance();
   return Execute(
-      group.layer,
+      group.layer, ctx,
       [&](NtaEngine* nta) {
-        return nta->MostSimilar(group, target_acts, options);
+        return nta->MostSimilar(group, target_acts, options, ctx);
       },
       [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
         return ScanMostSimilar(acts, group.neurons, target_acts, options.k,

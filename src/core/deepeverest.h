@@ -79,17 +79,26 @@ class DeepEverest {
                                      const NeuronGroup& group, int k,
                                      DistancePtr dist = nullptr);
 
-  /// Full-control variants (θ-approximation, early stopping, custom dist).
+  /// Full-control variants (θ-approximation, custom dist), optionally with
+  /// a per-query QueryContext carrying QoS class, deadline, cancellation,
+  /// receipt accumulation, progress sink, and the shared IQA cache / batch
+  /// scheduler. `ctx` may be null (a default context is used); when the
+  /// context's `iqa` is null it is filled with the engine's cache. Deadline
+  /// expiry or cancellation aborts with DeadlineExceeded / Cancelled within
+  /// one NTA round; the context's receipt then still reflects the inference
+  /// spent before the abort.
   Result<TopKResult> TopKHighestWithOptions(const NeuronGroup& group,
-                                            NtaOptions options);
+                                            NtaOptions options,
+                                            QueryContext* ctx = nullptr);
   Result<TopKResult> TopKMostSimilarWithOptions(uint32_t target_id,
                                                 const NeuronGroup& group,
-                                                NtaOptions options);
+                                                NtaOptions options,
+                                                QueryContext* ctx = nullptr);
   /// Most-similar against an arbitrary activation vector (out-of-dataset
   /// probe), one value per neuron in `group`.
   Result<TopKResult> TopKMostSimilarToActivations(
       const std::vector<float>& target_acts, const NeuronGroup& group,
-      NtaOptions options);
+      NtaOptions options, QueryContext* ctx = nullptr);
 
   /// The `m` maximally activated neurons of `layer` for `target_id`
   /// (descending activation) — the standard way interpretation sessions
@@ -128,9 +137,12 @@ class DeepEverest {
 
   /// Runs `query` with incremental indexing: if the layer is not indexed
   /// yet, answers from the freshly computed activations and builds the
-  /// index as a side effect (§4.6).
+  /// index as a side effect (§4.6). `ctx` is non-null (callers substitute a
+  /// local default); all inference — index builds included — lands in its
+  /// receipt, from which the result's per-query stats are computed.
   template <typename NtaFn, typename ScanFn>
-  Result<TopKResult> Execute(int layer, NtaFn&& nta_fn, ScanFn&& scan_fn);
+  Result<TopKResult> Execute(int layer, QueryContext* ctx, NtaFn&& nta_fn,
+                             ScanFn&& scan_fn);
 
   const nn::Model* model_;
   DeepEverestOptions options_;

@@ -83,9 +83,6 @@ struct NtaEngine::RunState {
   /// Group activations for every input evaluated so far.
   std::unordered_map<uint32_t, std::vector<float>> acts;
   int64_t iqa_hits = 0;
-  /// Exact cost of the inference this query triggered (call-site metering;
-  /// other threads' work on the shared engine never leaks in).
-  nn::InferenceReceipt receipt;
 };
 
 Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
@@ -118,14 +115,14 @@ Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
 
 Status NtaEngine::Evaluate(const NeuronGroup& group,
                            const std::vector<uint32_t>& ids,
-                           const NtaOptions& options, RunState* state,
+                           QueryContext* ctx, RunState* state,
                            std::vector<uint32_t>* newly) {
   std::vector<uint32_t> to_infer;
   for (uint32_t id : ids) {
     if (state->acts.count(id) != 0) continue;
-    if (options.iqa != nullptr) {
+    if (ctx->iqa != nullptr) {
       std::vector<float> acts;
-      if (options.iqa->Gather(group.layer, id, group.neurons, &acts)) {
+      if (ctx->iqa->Gather(group.layer, id, group.neurons, &acts)) {
         state->acts.emplace(id, std::move(acts));
         ++state->iqa_hits;
         newly->push_back(id);
@@ -137,12 +134,13 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
   if (to_infer.empty()) return Status::OK();
 
   std::vector<std::vector<float>> rows;
-  if (options.scheduler != nullptr) {
-    DE_RETURN_NOT_OK(options.scheduler->ComputeLayer(to_infer, group.layer,
-                                                     &rows, &state->receipt));
+  if (ctx->scheduler != nullptr) {
+    DE_RETURN_NOT_OK(ctx->scheduler->ComputeLayer(to_infer, group.layer,
+                                                  &rows, &ctx->receipt,
+                                                  ctx->qos));
   } else {
     DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows,
-                                              &state->receipt));
+                                              &ctx->receipt));
   }
   for (size_t r = 0; r < to_infer.size(); ++r) {
     const uint32_t id = to_infer[r];
@@ -152,10 +150,10 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
     }
     state->acts.emplace(id, std::move(acts));
     newly->push_back(id);
-    if (options.iqa != nullptr) {
+    if (ctx->iqa != nullptr) {
       // Cache the full layer row so related queries over *other* neuron
       // groups in this layer also benefit (section 4.7.3).
-      options.iqa->Insert(group.layer, id, std::move(rows[r]));
+      ctx->iqa->Insert(group.layer, id, std::move(rows[r]));
     }
   }
   return Status::OK();
@@ -163,31 +161,38 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
 
 Result<TopKResult> NtaEngine::MostSimilarTo(const NeuronGroup& group,
                                             uint32_t target_id,
-                                            const NtaOptions& options) {
+                                            const NtaOptions& options,
+                                            QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(group));
   if (target_id >= inference_->dataset().size()) {
     return Status::OutOfRange("target input " + std::to_string(target_id) +
                               " out of range");
   }
-  return MostSimilarImpl(group, {}, options, /*has_target_id=*/true,
+  return MostSimilarImpl(group, {}, options, ctx, /*has_target_id=*/true,
                          target_id);
 }
 
 Result<TopKResult> NtaEngine::MostSimilar(const NeuronGroup& group,
                                           const std::vector<float>& target_acts,
-                                          const NtaOptions& options) {
+                                          const NtaOptions& options,
+                                          QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(group));
   if (target_acts.size() != group.neurons.size()) {
     return Status::InvalidArgument("target activation count mismatch");
   }
-  return MostSimilarImpl(group, target_acts, options, /*has_target_id=*/false,
-                         0);
+  return MostSimilarImpl(group, target_acts, options, ctx,
+                         /*has_target_id=*/false, 0);
 }
 
 Result<TopKResult> NtaEngine::MostSimilarImpl(
     const NeuronGroup& group, const std::vector<float>& target_acts_in,
-    const NtaOptions& options, bool has_target_id, uint32_t target_id) {
+    const NtaOptions& options, QueryContext* ctx, bool has_target_id,
+    uint32_t target_id) {
   DE_RETURN_NOT_OK(ValidateOptions(options));
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_RETURN_NOT_OK(ctx->CheckRunnable());
+  const nn::InferenceReceipt start_receipt = ctx->receipt;
   const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
   const size_t g = group.neurons.size();
   Stopwatch watch;
@@ -199,8 +204,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
   // target is a dataset input).
   std::vector<float> target_acts = target_acts_in;
   if (has_target_id) {
-    DE_RETURN_NOT_OK(
-        Evaluate(group, {target_id}, options, &state, &newly));
+    DE_RETURN_NOT_OK(Evaluate(group, {target_id}, ctx, &state, &newly));
     target_acts = state.acts.at(target_id);
     newly.clear();
   }
@@ -229,7 +233,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
 
   auto emit_progress = [&](double threshold) {
     last_threshold = threshold;
-    if (finished || !options.on_progress) return;
+    if (finished || !ctx->on_progress) return;
     NtaProgress progress;
     progress.round = rounds;
     progress.threshold = threshold;
@@ -243,7 +247,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
     for (const ResultEntry& e : top.entries()) {
       if (e.value <= threshold) progress.confirmed.push_back(e);
     }
-    if (!options.on_progress(progress)) finished = true;  // user early stop
+    if (!ctx->on_progress(progress)) finished = true;  // user early stop
   };
 
   auto check_termination = [&](double threshold) {
@@ -299,6 +303,9 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
     if (!cursors.empty()) {
       std::vector<double> min_dists(g, 0.0);
       while (!finished) {
+        // Cooperative deadline/cancellation check between rounds: an
+        // expired context aborts here, within one round of the expiry.
+        DE_RETURN_NOT_OK(ctx->CheckRunnable());
         // Build a global toRun set by advancing every participating
         // neuron's similarity-ordered cursor in lockstep sweeps: each sweep
         // consumes the next most similar MAI entry per neuron (extending
@@ -339,7 +346,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
           return true;
         }();
 
-        DE_RETURN_NOT_OK(Evaluate(group, batch, options, &state, &newly));
+        DE_RETURN_NOT_OK(Evaluate(group, batch, ctx, &state, &newly));
         offer_newly();
         ++rounds;
 
@@ -402,6 +409,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
     for (const auto& list : ord) max_rounds = std::max(max_rounds, list.size());
 
     for (size_t c = 0; c < max_rounds && !finished; ++c) {
+      DE_RETURN_NOT_OK(ctx->CheckRunnable());
       // Step 4(a): gather this round's partitions.
       std::vector<uint32_t> to_eval;
       std::unordered_set<uint32_t> queued;
@@ -417,7 +425,7 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
         }
       }
       // Step 4(b): batched inference for the union, update top.
-      DE_RETURN_NOT_OK(Evaluate(group, to_eval, options, &state, &newly));
+      DE_RETURN_NOT_OK(Evaluate(group, to_eval, ctx, &state, &newly));
       offer_newly();
       ++rounds;
 
@@ -451,9 +459,14 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
 
   TopKResult result;
   result.entries = top.entries();
-  result.stats.inputs_run = state.receipt.inputs_run;
-  result.stats.batches_run = state.receipt.batches_run;
-  result.stats.simulated_gpu_seconds = state.receipt.simulated_gpu_seconds;
+  // This query's exact inference cost: the delta of the context receipt
+  // over this call (a per-query context starts at zero, so usually the
+  // receipt itself).
+  result.stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
+  result.stats.batches_run =
+      ctx->receipt.batches_run - start_receipt.batches_run;
+  result.stats.simulated_gpu_seconds =
+      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
   result.stats.rounds = rounds;
   result.stats.iqa_hits = state.iqa_hits;
   result.stats.terminated_early = terminated_early;
@@ -463,9 +476,14 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
 }
 
 Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
-                                      const NtaOptions& options) {
+                                      const NtaOptions& options,
+                                      QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateGroup(group));
   DE_RETURN_NOT_OK(ValidateOptions(options));
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_RETURN_NOT_OK(ctx->CheckRunnable());
+  const nn::InferenceReceipt start_receipt = ctx->receipt;
   const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
   const size_t g = group.neurons.size();
   Stopwatch watch;
@@ -527,7 +545,7 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       terminated_early = true;
       return;
     }
-    if (options.on_progress) {
+    if (ctx->on_progress) {
       NtaProgress progress;
       progress.round = rounds;
       progress.threshold = threshold;
@@ -541,13 +559,15 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       for (const ResultEntry& e : top.entries()) {
         if (e.value >= progress.threshold) progress.confirmed.push_back(e);
       }
-      if (!options.on_progress(progress)) finished = true;
+      if (!ctx->on_progress(progress)) finished = true;
     }
   };
 
   // Phase A: consume MAI entries globally in descending activation order.
   if (use_mai && !finished) {
     while (!finished) {
+      // Between-rounds deadline/cancellation check (see MostSimilarImpl).
+      DE_RETURN_NOT_OK(ctx->CheckRunnable());
       // Lockstep sorted access: each sweep consumes the next highest MAI
       // entry of every neuron (classic TA parallel sorted access); sweeps
       // continue until the batch of uncomputed inputs is full.
@@ -573,7 +593,7 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       for (size_t gi = 0; gi < g; ++gi) {
         if (mai_next[gi] < mai_count) exhausted = false;
       }
-      DE_RETURN_NOT_OK(Evaluate(group, batch, options, &state, &newly));
+      DE_RETURN_NOT_OK(Evaluate(group, batch, ctx, &state, &newly));
       offer_newly();
       ++rounds;
       check_and_progress();
@@ -586,6 +606,7 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
     std::vector<uint32_t> members;
     for (int pid = use_mai ? 1 : 0; pid < num_partitions && !finished;
          ++pid) {
+      DE_RETURN_NOT_OK(ctx->CheckRunnable());
       std::vector<uint32_t> to_eval;
       std::unordered_set<uint32_t> queued;
       for (size_t gi = 0; gi < g; ++gi) {
@@ -599,7 +620,7 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
         }
         next_partition[gi] = pid + 1;
       }
-      DE_RETURN_NOT_OK(Evaluate(group, to_eval, options, &state, &newly));
+      DE_RETURN_NOT_OK(Evaluate(group, to_eval, ctx, &state, &newly));
       offer_newly();
       ++rounds;
       check_and_progress();
@@ -608,9 +629,11 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
 
   TopKResult result;
   result.entries = top.entries();
-  result.stats.inputs_run = state.receipt.inputs_run;
-  result.stats.batches_run = state.receipt.batches_run;
-  result.stats.simulated_gpu_seconds = state.receipt.simulated_gpu_seconds;
+  result.stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
+  result.stats.batches_run =
+      ctx->receipt.batches_run - start_receipt.batches_run;
+  result.stats.simulated_gpu_seconds =
+      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
   result.stats.rounds = rounds;
   result.stats.iqa_hits = state.iqa_hits;
   result.stats.terminated_early = terminated_early;

@@ -1,7 +1,6 @@
 #ifndef DEEPEVEREST_CORE_NTA_H_
 #define DEEPEVEREST_CORE_NTA_H_
 
-#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -9,31 +8,17 @@
 #include "core/iqa_cache.h"
 #include "core/npi.h"
 #include "core/query.h"
+#include "core/query_context.h"
 #include "nn/inference.h"
 
 namespace deepeverest {
-namespace nn {
-class BatchingInferenceScheduler;
-}  // namespace nn
-
 namespace core {
 
-/// \brief Per-round progress snapshot for incremental result return and
-/// user-driven early stopping (paper section 6).
-struct NtaProgress {
-  int64_t round = 0;
-  /// Current threshold t: no unseen input can beat it.
-  double threshold = 0.0;
-  /// Worst value currently in the top-k set (+inf / -inf if not yet full).
-  double kth_value = 0.0;
-  /// For most-similar queries: the θ such that the current top-k is a
-  /// θ-approximation of the true answer (t / kth_dist, clamped to [0, 1]).
-  double theta_guarantee = 0.0;
-  /// Entries already *proven* to belong to the final top-k (dist <= t).
-  std::vector<ResultEntry> confirmed;
-};
-
-/// \brief Options controlling one NTA execution.
+/// \brief Options controlling one NTA execution: the query *parameters*.
+///
+/// Per-query execution plumbing (QoS class, deadline, cancellation, receipt
+/// accumulation, progress sink, IQA cache, batch scheduler) lives in
+/// QueryContext, which is threaded through every layer separately.
 struct NtaOptions {
   int k = 20;
   /// Monotonic aggregation function; nullptr selects l2 (paper default).
@@ -44,13 +29,6 @@ struct NtaOptions {
   double theta = 1.0;
   /// Use the Maximum Activation Index fast path when the index has one.
   bool use_mai = true;
-  /// Optional Inter-Query Acceleration cache consulted before inference.
-  IqaCache* iqa = nullptr;
-  /// When set, inference routes through this shared cross-query batching
-  /// scheduler instead of calling the engine directly, so co-scheduled
-  /// queries fill each other's device batches. Per-query stats stay exact
-  /// either way (receipt metering).
-  nn::BatchingInferenceScheduler* scheduler = nullptr;
   /// Tie-complete termination: stop only once the k-th value beats the
   /// threshold *strictly*, so every input tied with the k-th value gets
   /// evaluated and the result matches a full activation scan bit-for-bit
@@ -62,9 +40,6 @@ struct NtaOptions {
   /// with theta < 1 the strict comparison still applies but the result is
   /// only a θ-approximation and remains dependent on how far the run got.
   bool tie_complete = false;
-  /// Invoked after each round; return false to stop early with the current
-  /// (θ-guaranteed) top-k.
-  std::function<bool(const NtaProgress&)> on_progress;
 };
 
 /// \brief The Neural Threshold Algorithm (paper section 4.4, Algorithm 1).
@@ -73,6 +48,13 @@ struct NtaOptions {
 /// running DNN inference only on the partitions of inputs that can still
 /// affect the answer. Instance optimal in the number of inputs accessed
 /// (Theorem 4.1).
+///
+/// All query entry points take an optional QueryContext carrying the
+/// query's execution plumbing (QoS class, deadline, cancellation, receipt,
+/// progress sink, IQA cache, batch scheduler). The context is checked
+/// between rounds, so an expired deadline or a cancellation aborts within
+/// one round (DeadlineExceeded / Cancelled). Passing nullptr runs with a
+/// default context (no deadline, direct inference, no IQA).
 class NtaEngine {
  public:
   /// Does not take ownership; both must outlive the engine.
@@ -87,19 +69,22 @@ class NtaEngine {
   /// activations with one inference pass (step 2).
   Result<TopKResult> MostSimilarTo(const NeuronGroup& group,
                                    uint32_t target_id,
-                                   const NtaOptions& options);
+                                   const NtaOptions& options,
+                                   QueryContext* ctx = nullptr);
 
   /// Top-k most-similar to an arbitrary target activation vector (one value
   /// per neuron in `group`), e.g. for out-of-dataset probes.
   Result<TopKResult> MostSimilar(const NeuronGroup& group,
                                  const std::vector<float>& target_acts,
-                                 const NtaOptions& options);
+                                 const NtaOptions& options,
+                                 QueryContext* ctx = nullptr);
 
   /// Top-k highest: the k inputs with the largest dist-aggregated
   /// activations for `group`. Requires non-negative activations (true for
   /// the ReLU layers DeepEverest queries).
   Result<TopKResult> Highest(const NeuronGroup& group,
-                             const NtaOptions& options);
+                             const NtaOptions& options,
+                             QueryContext* ctx = nullptr);
 
  private:
   struct RunState;
@@ -107,16 +92,18 @@ class NtaEngine {
   Result<TopKResult> MostSimilarImpl(const NeuronGroup& group,
                                      const std::vector<float>& target_acts,
                                      const NtaOptions& options,
-                                     bool has_target_id, uint32_t target_id);
+                                     QueryContext* ctx, bool has_target_id,
+                                     uint32_t target_id);
 
   Status ValidateGroup(const NeuronGroup& group) const;
 
   /// Computes group activations for `ids` (deduplicated against rows already
-  /// known), consulting the IQA cache first and batching the rest through
-  /// the inference engine. IDs that became known by this call are appended
-  /// to `newly` (each input becomes known exactly once per query).
+  /// known), consulting the context's IQA cache first and batching the rest
+  /// through the context's scheduler (or the engine directly). IDs that
+  /// became known by this call are appended to `newly` (each input becomes
+  /// known exactly once per query). Inference cost lands in ctx->receipt.
   Status Evaluate(const NeuronGroup& group, const std::vector<uint32_t>& ids,
-                  const NtaOptions& options, RunState* state,
+                  QueryContext* ctx, RunState* state,
                   std::vector<uint32_t>* newly);
 
   nn::InferenceEngine* inference_;

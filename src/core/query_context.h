@@ -1,0 +1,132 @@
+#ifndef DEEPEVEREST_CORE_QUERY_CONTEXT_H_
+#define DEEPEVEREST_CORE_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/qos.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "nn/inference.h"
+
+namespace deepeverest {
+namespace nn {
+class BatchingInferenceScheduler;
+}  // namespace nn
+
+namespace core {
+
+class IqaCache;
+
+/// \brief Per-round progress snapshot for incremental result return and
+/// user-driven early stopping (paper section 6).
+struct NtaProgress {
+  int64_t round = 0;
+  /// Current threshold t: no unseen input can beat it.
+  double threshold = 0.0;
+  /// Worst value currently in the top-k set (+inf / -inf if not yet full).
+  double kth_value = 0.0;
+  /// For most-similar queries: the θ such that the current top-k is a
+  /// θ-approximation of the true answer (t / kth_dist, clamped to [0, 1]).
+  double theta_guarantee = 0.0;
+  /// Entries already *proven* to belong to the final top-k (dist <= t).
+  std::vector<ResultEntry> confirmed;
+};
+
+/// \brief Per-query execution context, created once at admission and
+/// threaded through every layer the query touches
+/// (QueryService → DeepEverest::Execute → NtaEngine →
+/// BatchingInferenceScheduler).
+///
+/// The context carries everything that belongs to ONE query execution and
+/// to nothing else: its QoS class, absolute deadline, cooperative
+/// cancellation flag, the receipt accumulating its exact inference cost,
+/// its progress sink, and the shared services it routes through (IQA cache,
+/// cross-query batch scheduler). Query *parameters* (k, θ, distance,
+/// tie-completeness) stay in NtaOptions; the split is what lets a future
+/// RPC front-end or streaming-progress layer attach per-query state without
+/// widening every engine signature again.
+///
+/// Lifetime/threading: a context serves exactly one query execution. The
+/// executing thread owns all fields; `Cancel()` is the one cross-thread
+/// entry point (an atomic flag any thread may set). The deadline must be
+/// set before execution starts. NTA checks `CheckRunnable()` between
+/// rounds, so expiry or cancellation aborts within one round with
+/// DeadlineExceeded / Cancelled.
+class QueryContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryContext() = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  /// Client session this query belongs to (admission fairness + QoS
+  /// weighting happen per session).
+  uint64_t session_id = 0;
+  /// QoS class driving dispatch priority and batch linger behaviour.
+  QosClass qos = QosClass::kBatch;
+  /// Activation cache consulted before inference (§4.7.3); engine default
+  /// is filled in by DeepEverest when left null.
+  IqaCache* iqa = nullptr;
+  /// When set, inference routes through this shared cross-query batching
+  /// scheduler instead of calling the engine directly, so co-scheduled
+  /// queries fill each other's device batches (per-query stats stay exact
+  /// either way — receipt metering).
+  nn::BatchingInferenceScheduler* scheduler = nullptr;
+  /// Invoked after each NTA round; return false to stop early with the
+  /// current (θ-guaranteed) top-k.
+  std::function<bool(const NtaProgress&)> on_progress;
+  /// Exact inference cost accumulated on behalf of this query across every
+  /// engine/scheduler call it makes (index builds included).
+  nn::InferenceReceipt receipt;
+
+  /// Absolute deadline. Unset (the default) means no deadline.
+  void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
+  /// Convenience: deadline `seconds` from now.
+  void SetDeadlineAfter(double seconds) {
+    deadline_ = Clock::now() + std::chrono::nanoseconds(static_cast<int64_t>(
+                                   seconds * 1e9));
+  }
+  void ClearDeadline() { deadline_ = Clock::time_point::max(); }
+  bool has_deadline() const { return deadline_ != Clock::time_point::max(); }
+  Clock::time_point deadline() const { return deadline_; }
+  bool DeadlineExpired() const {
+    return has_deadline() && Clock::now() >= deadline_;
+  }
+  /// Seconds until the deadline (negative once expired); +inf without one.
+  double RemainingSeconds() const {
+    if (!has_deadline()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+  /// Cooperative cancellation: any thread may request it; the executing
+  /// query aborts with Cancelled at its next between-rounds check.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// OK while the query may keep running; Cancelled / DeadlineExceeded
+  /// otherwise. This is the check NTA runs between rounds.
+  Status CheckRunnable() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (DeadlineExpired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Clock::time_point deadline_ = Clock::time_point::max();
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_QUERY_CONTEXT_H_

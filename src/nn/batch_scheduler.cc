@@ -5,13 +5,24 @@
 namespace deepeverest {
 namespace nn {
 
+namespace {
+
+std::chrono::nanoseconds LingerNanos(double seconds) {
+  return std::chrono::nanoseconds(
+      static_cast<int64_t>(std::max(0.0, seconds) * 1e9));
+}
+
+}  // namespace
+
 BatchingInferenceScheduler::BatchingInferenceScheduler(
     InferenceEngine* engine, BatchSchedulerOptions options)
     : engine_(engine),
       batch_size_(options.max_batch_size > 0 ? options.max_batch_size
                                              : engine->batch_size()),
-      linger_(std::chrono::nanoseconds(static_cast<int64_t>(
-          std::max(0.0, options.linger_seconds) * 1e9))) {
+      linger_{LingerNanos(options.interactive_linger_seconds),
+              LingerNanos(options.linger_seconds),
+              LingerNanos(options.best_effort_linger_seconds)},
+      qos_aware_(options.qos_aware) {
   DE_CHECK_GT(batch_size_, 0);
   const int n = options.num_dispatchers > 0 ? options.num_dispatchers : 1;
   dispatchers_.reserve(static_cast<size_t>(n));
@@ -35,11 +46,16 @@ BatchingInferenceScheduler::~BatchingInferenceScheduler() {
 
 Status BatchingInferenceScheduler::ComputeLayer(
     const std::vector<uint32_t>& input_ids, int layer,
-    std::vector<std::vector<float>>* rows, InferenceReceipt* receipt) {
+    std::vector<std::vector<float>>* rows, InferenceReceipt* receipt,
+    QosClass qos) {
   rows->clear();
+  // Validate up front (the class indexes fixed-size linger/stat arrays, and
+  // once inputs are merged into a shared batch, one bad id would fail every
+  // co-scheduled query's launch).
+  if (QosIndex(qos) < 0 || QosIndex(qos) >= kNumQosClasses) {
+    return Status::InvalidArgument("unknown QoS class");
+  }
   if (input_ids.empty()) return Status::OK();
-  // Validate up front: once inputs are merged into a shared batch, one bad
-  // id would fail every co-scheduled query's launch.
   if (layer < 0 || layer >= engine_->model().num_layers()) {
     return Status::OutOfRange("layer " + std::to_string(layer) +
                               " out of range");
@@ -57,6 +73,7 @@ Status BatchingInferenceScheduler::ComputeLayer(
   Request request;
   request.ids = &input_ids;
   request.rows = rows;
+  request.qos = qos;
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (stopping_) {
@@ -64,11 +81,15 @@ Status BatchingInferenceScheduler::ComputeLayer(
       return Status::FailedPrecondition("batch scheduler is shutting down");
     }
     request.arrival = Clock::now();
+    request.flush_at = request.arrival + LingerFor(qos);
     LayerQueue& queue = pending_[layer];
     queue.requests.push_back(&request);
     queue.pending_inputs += input_ids.size();
     ++stats_.requests;
     stats_.inputs_enqueued += static_cast<int64_t>(input_ids.size());
+    BatchSchedulerClassStats& class_stats = stats_.per_class[QosIndex(qos)];
+    ++class_stats.requests;
+    class_stats.inputs_enqueued += static_cast<int64_t>(input_ids.size());
     work_cv_.notify_all();
     done_cv_.wait(lock, [&] { return request.done; });
   }
@@ -90,30 +111,50 @@ void BatchingInferenceScheduler::DispatcherLoop() {
     }
 
     // Pick the layer to serve. A layer is *ready* when it has a full batch
-    // pending or its head request's linger deadline has expired (always,
-    // when stopping). Among ready layers the oldest head wins — FIFO across
-    // layers, so sustained full-batch traffic on one layer cannot starve an
-    // expired partial request on another (hot layers keep presenting newer
-    // heads while a waiting head's arrival stays fixed).
+    // pending or any pending request's class linger window has expired
+    // (always, when stopping) — interactive requests carry a zero window by
+    // default, so a layer they join becomes ready (sealed) immediately.
+    // Among ready layers the most urgent pending class wins, then the
+    // oldest head — FIFO across equal-class layers, so sustained full-batch
+    // traffic on one layer cannot starve an expired partial request on
+    // another (hot layers keep presenting newer heads while a waiting
+    // head's arrival stays fixed). With qos_aware off, class is ignored and
+    // selection is pure oldest-head, the pre-QoS behaviour.
     const Clock::time_point now = Clock::now();
     bool has_ready = false;
     int ready_layer = 0;
     bool ready_is_partial = false;
+    int ready_class = 0;
     Clock::time_point ready_arrival{};
     bool has_waiting = false;
     Clock::time_point next_deadline{};
     for (const auto& [layer, queue] : pending_) {
       if (queue.requests.empty()) continue;
       const Clock::time_point arrival = queue.requests.front()->arrival;
+      // The layer's flush deadline and priority come from its most urgent
+      // pending request (queues are at most a few requests deep — one per
+      // blocked worker — so the scan is cheap).
+      Clock::time_point deadline = Clock::time_point::max();
+      int best_class = QosIndex(QosClass::kBestEffort);
+      for (const Request* request : queue.requests) {
+        if (request->flush_at < deadline) deadline = request->flush_at;
+        if (QosIndex(request->qos) < best_class) {
+          best_class = QosIndex(request->qos);
+        }
+      }
+      if (!qos_aware_) best_class = QosIndex(QosClass::kBatch);
       const bool full =
           queue.pending_inputs >= static_cast<size_t>(batch_size_);
-      const Clock::time_point deadline = arrival + linger_;
       if (full || stopping_ || now >= deadline) {
-        if (!has_ready || arrival < ready_arrival) {
+        const bool better =
+            !has_ready || best_class < ready_class ||
+            (best_class == ready_class && arrival < ready_arrival);
+        if (better) {
           has_ready = true;
           ready_layer = layer;
           ready_arrival = arrival;
           ready_is_partial = !full;
+          ready_class = best_class;
         }
       } else if (!has_waiting || deadline < next_deadline) {
         has_waiting = true;
@@ -131,7 +172,12 @@ void BatchingInferenceScheduler::DispatcherLoop() {
       continue;
     }
     const int layer = ready_layer;
-    if (ready_is_partial && !stopping_) ++stats_.linger_flushes;
+    if (ready_is_partial && !stopping_) {
+      ++stats_.linger_flushes;
+      if (qos_aware_ && ready_class == QosIndex(QosClass::kInteractive)) {
+        ++stats_.sealed_by_interactive;
+      }
+    }
 
     std::vector<uint32_t> batch_ids;
     std::vector<Slice> slices;
@@ -183,9 +229,17 @@ void BatchingInferenceScheduler::RunBatch(std::unique_lock<std::mutex>* lock,
   // recovers the per-input cost exactly.
   const int64_t macs_per_input =
       status.ok() && n > 0 ? batch_receipt.macs / n : 0;
+  bool class_aboard[kNumQosClasses] = {};
   size_t offset = 0;
   for (const Slice& slice : slices) {
     Request* request = slice.request;
+    BatchSchedulerClassStats& class_stats =
+        stats_.per_class[QosIndex(request->qos)];
+    class_stats.inputs_dispatched += static_cast<int64_t>(slice.count);
+    if (!class_aboard[QosIndex(request->qos)]) {
+      class_aboard[QosIndex(request->qos)] = true;
+      ++class_stats.batches_joined;
+    }
     if (status.ok()) {
       for (size_t i = 0; i < slice.count; ++i) {
         (*request->rows)[slice.src_begin + i] =

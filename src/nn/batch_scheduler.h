@@ -1,6 +1,7 @@
 #ifndef DEEPEVEREST_NN_BATCH_SCHEDULER_H_
 #define DEEPEVEREST_NN_BATCH_SCHEDULER_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/qos.h"
 #include "common/status.h"
 #include "nn/inference.h"
 
@@ -21,13 +23,47 @@ struct BatchSchedulerOptions {
   /// throughput-optimal batch the whole system is configured around).
   int max_batch_size = 0;
   /// How long a partial batch waits for other queries' inputs before being
-  /// flushed anyway. The window trades a little latency for batch fill; it
-  /// should stay well below one batch's device time.
+  /// flushed anyway, for kBatch-class requests (and for every request when
+  /// `qos_aware` is off). The window trades a little latency for batch
+  /// fill; it should stay well below one batch's device time.
   double linger_seconds = 5e-4;
+  /// Linger for kInteractive requests. The default 0 means an interactive
+  /// request never waits out a window: it is dispatched as soon as a
+  /// dispatcher sees it, *sealing* any partial batch it joined (the batch
+  /// launches immediately with whatever else is pending on that layer).
+  double interactive_linger_seconds = 0.0;
+  /// Linger for kBestEffort requests: background work waits longest, for
+  /// maximally full batches.
+  double best_effort_linger_seconds = 2e-3;
   /// Threads running coalesced batches against the engine. Each dispatcher
   /// models one device stream: with n dispatchers, n batches overlap their
   /// (simulated) device time, as n CUDA streams would.
   int num_dispatchers = 1;
+  /// When false, the request QoS class is ignored for scheduling: every
+  /// request lingers `linger_seconds` and ready layers dispatch purely
+  /// oldest-head — the pre-QoS behaviour, kept as the control arm of the
+  /// QoS benchmarks. Per-class stats are still recorded.
+  bool qos_aware = true;
+};
+
+/// \brief Per-QoS-class scheduler counters (monotonic since construction).
+struct BatchSchedulerClassStats {
+  int64_t requests = 0;         // ComputeLayer calls of this class
+  int64_t inputs_enqueued = 0;  // sum of those calls' request sizes
+  int64_t inputs_dispatched = 0;
+  /// Batches that carried at least one of this class's rows. A shared batch
+  /// counts once for every class aboard.
+  int64_t batches_joined = 0;
+
+  /// Mean occupancy (in [0, 1]) of the device batches this class rode in.
+  /// Interactive traffic is expected to run emptier (it seals batches);
+  /// batch/best-effort traffic fuller (it lingers).
+  double AverageFill(int batch_size) const {
+    if (batches_joined <= 0 || batch_size <= 0) return 0.0;
+    return static_cast<double>(inputs_dispatched) /
+           (static_cast<double>(batches_joined) *
+            static_cast<double>(batch_size));
+  }
 };
 
 /// \brief Aggregate scheduler counters (monotonic since construction).
@@ -38,6 +74,12 @@ struct BatchSchedulerStats {
   int64_t inputs_dispatched = 0;
   int64_t shared_batches = 0;  // batches serving >1 request (cross-query fill)
   int64_t linger_flushes = 0;  // partial batches flushed by the linger window
+  /// Partial batches launched early because an interactive request was
+  /// aboard (the "seal" path; a subset of linger_flushes).
+  int64_t sealed_by_interactive = 0;
+
+  /// Counters split by the requests' QoS class, indexed by QosIndex().
+  std::array<BatchSchedulerClassStats, kNumQosClasses> per_class{};
 
   /// Mean batch occupancy in [0, 1]: how full the device lanes ran.
   double AverageFill(int batch_size) const {
@@ -49,12 +91,18 @@ struct BatchSchedulerStats {
 };
 
 /// \brief Coalesces concurrent same-layer ComputeLayer calls into shared
-/// device batches.
+/// device batches, QoS-aware.
 ///
 /// Callers block in ComputeLayer while dispatcher threads drain per-layer
 /// queues: a batch is launched as soon as a layer has max_batch_size inputs
-/// pending, or when its oldest request has lingered past the linger window
-/// (partial flush). Each caller receives exactly the rows it asked for and
+/// pending, or when any pending request has lingered past its class's
+/// linger window (partial flush). Interactive requests have a zero window
+/// by default, so they flush immediately and seal whatever partial batch
+/// they joined; batch/best-effort requests wait longer for fuller batches.
+/// Among ready layers, dispatch prefers the layer carrying the most urgent
+/// class, then the oldest head — so interactive inference never queues
+/// behind a backlog of ready bulk layers.
+/// Each caller receives exactly the rows it asked for and
 /// an InferenceReceipt charging it its own inputs plus its occupancy share
 /// of every shared launch — so per-query `inputs_run` is exact under any
 /// interleaving, while shared batches drive `batches_run` and simulated GPU
@@ -82,10 +130,14 @@ class BatchingInferenceScheduler {
   /// each input in `input_ids` (rows->at(i) corresponds to input_ids[i]),
   /// possibly sharing device batches with concurrent callers. Blocks until
   /// every requested row is available. This call's exact cost — fractional
-  /// for shared launches — is *added* to `receipt` when non-null.
+  /// for shared launches — is *added* to `receipt` when non-null. `qos` is
+  /// the calling query's class; it selects the linger window and the
+  /// dispatch priority of the batches this call rides in (results are
+  /// identical across classes — only latency and batch fill differ).
   Status ComputeLayer(const std::vector<uint32_t>& input_ids, int layer,
                       std::vector<std::vector<float>>* rows,
-                      InferenceReceipt* receipt = nullptr);
+                      InferenceReceipt* receipt = nullptr,
+                      QosClass qos = QosClass::kBatch);
 
   BatchSchedulerStats stats() const;
 
@@ -106,7 +158,11 @@ class BatchingInferenceScheduler {
     size_t completed = 0;   // ids whose rows (or failure) have resolved
     Status status;          // first error, if any
     bool done = false;
+    QosClass qos = QosClass::kBatch;
     Clock::time_point arrival;
+    /// arrival + the class linger window: when this request forces a
+    /// partial flush of its layer.
+    Clock::time_point flush_at;
   };
 
   struct LayerQueue {
@@ -131,11 +187,17 @@ class BatchingInferenceScheduler {
   void RunBatch(std::unique_lock<std::mutex>* lock, int layer,
                 std::vector<uint32_t> batch_ids, std::vector<Slice> slices);
 
+  std::chrono::nanoseconds LingerFor(QosClass qos) const {
+    return qos_aware_ ? linger_[QosIndex(qos)]
+                      : linger_[QosIndex(QosClass::kBatch)];
+  }
+
   InferenceEngine* engine_;
   // Derived from BatchSchedulerOptions at construction; the options struct
   // itself is not kept (nothing may change after the dispatchers start).
   int batch_size_;
-  std::chrono::nanoseconds linger_;
+  std::array<std::chrono::nanoseconds, kNumQosClasses> linger_;
+  bool qos_aware_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // wakes dispatchers

@@ -1,9 +1,182 @@
 #include "service/query_service.h"
 
+#include <algorithm>
+#include <map>
 #include <utility>
 
 namespace deepeverest {
 namespace service {
+
+namespace {
+
+/// Flat session round-robin, FIFO within a session — the pre-QoS dispatch
+/// (PR 1): every class is equal, deadlines do not reorder anything.
+class SessionRoundRobinPolicy : public DispatchPolicy {
+ public:
+  void Enqueue(PendingQuery pending) override {
+    const uint64_t session = pending.query.session_id;
+    auto& queue = queues_[session];
+    if (queue.empty()) rotor_.push_back(session);
+    queue.push_back(std::move(pending));
+    ++size_;
+  }
+
+  PendingQuery PopNext() override {
+    const uint64_t session = rotor_.front();
+    rotor_.pop_front();
+    auto it = queues_.find(session);
+    DE_CHECK(it != queues_.end() && !it->second.empty());
+    PendingQuery pending = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      rotor_.push_back(session);
+    }
+    --size_;
+    return pending;
+  }
+
+  size_t size() const override { return size_; }
+
+  size_t QueuedForSession(uint64_t session) const override {
+    auto it = queues_.find(session);
+    return it == queues_.end() ? 0 : it->second.size();
+  }
+
+  size_t ActiveSessions() const override { return queues_.size(); }
+
+  std::vector<PendingQuery> DrainAll() override {
+    std::vector<PendingQuery> all;
+    all.reserve(size_);
+    for (auto& [session, queue] : queues_) {
+      for (PendingQuery& pending : queue) all.push_back(std::move(pending));
+    }
+    queues_.clear();
+    rotor_.clear();
+    size_ = 0;
+    return all;
+  }
+
+ private:
+  std::map<uint64_t, std::deque<PendingQuery>> queues_;
+  std::deque<uint64_t> rotor_;
+  size_t size_ = 0;
+};
+
+/// QoS dispatch: strict class priority (interactive > batch > best_effort).
+/// Within a class, deadline-carrying queries run first in
+/// earliest-deadline-first order (a deadline is a stronger statement of
+/// urgency than queue position); deadline-free queries are served weighted
+/// round-robin across the class's sessions, FIFO within a session.
+class QosDispatchPolicy : public DispatchPolicy {
+ public:
+  void Enqueue(PendingQuery pending) override {
+    Lane& lane = lanes_[QosIndex(pending.query.qos)];
+    const uint64_t session = pending.query.session_id;
+    ++session_depth_[session];
+    ++size_;
+    if (pending.ctx->has_deadline()) {
+      lane.edf.emplace(pending.ctx->deadline(), std::move(pending));
+      return;
+    }
+    lane.weights[session] = std::max(1, pending.query.weight);
+    auto& queue = lane.sessions[session];
+    if (queue.empty()) lane.rotor.push_back(session);
+    queue.push_back(std::move(pending));
+  }
+
+  PendingQuery PopNext() override {
+    for (Lane& lane : lanes_) {
+      if (lane.empty()) continue;
+      PendingQuery pending = PopFromLane(&lane);
+      auto depth = session_depth_.find(pending.query.session_id);
+      DE_CHECK(depth != session_depth_.end());
+      if (--depth->second == 0) session_depth_.erase(depth);
+      --size_;
+      return pending;
+    }
+    DE_CHECK(false) << "PopNext on an empty dispatch policy";
+    return PendingQuery{};
+  }
+
+  size_t size() const override { return size_; }
+
+  size_t QueuedForSession(uint64_t session) const override {
+    auto it = session_depth_.find(session);
+    return it == session_depth_.end() ? 0 : it->second;
+  }
+
+  size_t ActiveSessions() const override { return session_depth_.size(); }
+
+  std::vector<PendingQuery> DrainAll() override {
+    std::vector<PendingQuery> all;
+    all.reserve(size_);
+    for (Lane& lane : lanes_) {
+      for (auto& [deadline, pending] : lane.edf) {
+        all.push_back(std::move(pending));
+      }
+      lane.edf.clear();
+      for (auto& [session, queue] : lane.sessions) {
+        for (PendingQuery& pending : queue) all.push_back(std::move(pending));
+      }
+      lane.sessions.clear();
+      lane.rotor.clear();
+      lane.weights.clear();
+      lane.credits = 0;
+    }
+    session_depth_.clear();
+    size_ = 0;
+    return all;
+  }
+
+ private:
+  struct Lane {
+    /// Deadline-carrying queries, ordered by absolute deadline (EDF).
+    std::multimap<core::QueryContext::Clock::time_point, PendingQuery> edf;
+    /// Deadline-free queries: per-session FIFO + weighted round-robin.
+    std::map<uint64_t, std::deque<PendingQuery>> sessions;
+    std::deque<uint64_t> rotor;       // sessions with queued work, in turn
+    std::map<uint64_t, int> weights;  // last submitted weight per session
+    int credits = 0;  // dispatches left in the front session's turn
+
+    bool empty() const { return edf.empty() && rotor.empty(); }
+  };
+
+  PendingQuery PopFromLane(Lane* lane) {
+    if (!lane->edf.empty()) {
+      auto it = lane->edf.begin();
+      PendingQuery pending = std::move(it->second);
+      lane->edf.erase(it);
+      return pending;
+    }
+    const uint64_t session = lane->rotor.front();
+    if (lane->credits == 0) lane->credits = lane->weights[session];
+    auto it = lane->sessions.find(session);
+    DE_CHECK(it != lane->sessions.end() && !it->second.empty());
+    PendingQuery pending = std::move(it->second.front());
+    it->second.pop_front();
+    --lane->credits;
+    if (it->second.empty()) {
+      lane->sessions.erase(it);
+      lane->weights.erase(session);
+      lane->rotor.pop_front();
+      lane->credits = 0;
+    } else if (lane->credits == 0) {
+      lane->rotor.pop_front();
+      lane->rotor.push_back(session);
+    }
+    return pending;
+  }
+
+  std::array<Lane, kNumQosClasses> lanes_;
+  /// Queued queries per session across all lanes (admission bound +
+  /// active-session reporting).
+  std::map<uint64_t, size_t> session_depth_;
+  size_t size_ = 0;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
     core::DeepEverest* engine, const QueryServiceOptions& options) {
@@ -16,8 +189,10 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
   if (options.max_queue_depth < 1) {
     return Status::InvalidArgument("max_queue_depth must be >= 1");
   }
-  if (options.batch_linger_seconds < 0.0) {
-    return Status::InvalidArgument("batch_linger_seconds must be >= 0");
+  if (options.batch_linger_seconds < 0.0 ||
+      options.interactive_batch_linger_seconds < 0.0 ||
+      options.best_effort_batch_linger_seconds < 0.0) {
+    return Status::InvalidArgument("batch linger windows must be >= 0");
   }
   if (options.batch_dispatchers < 0) {
     return Status::InvalidArgument("batch_dispatchers must be >= 0");
@@ -34,11 +209,23 @@ QueryService::QueryService(core::DeepEverest* engine,
   if (options_.enable_cross_query_batching && options_.num_workers > 1) {
     nn::BatchSchedulerOptions scheduler_options;
     scheduler_options.linger_seconds = options_.batch_linger_seconds;
+    scheduler_options.interactive_linger_seconds =
+        options_.interactive_batch_linger_seconds;
+    scheduler_options.best_effort_linger_seconds =
+        options_.best_effort_batch_linger_seconds;
+    scheduler_options.qos_aware = options_.enable_qos;
     scheduler_options.num_dispatchers = options_.batch_dispatchers > 0
                                             ? options_.batch_dispatchers
                                             : options_.num_workers;
     scheduler_ = std::make_unique<nn::BatchingInferenceScheduler>(
         engine_->inference(), scheduler_options);
+  }
+  if (options_.dispatch_policy) {
+    policy_ = options_.dispatch_policy();
+  } else if (options_.enable_qos) {
+    policy_ = std::make_unique<QosDispatchPolicy>();
+  } else {
+    policy_ = std::make_unique<SessionRoundRobinPolicy>();
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -57,9 +244,23 @@ Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
   if (query.theta <= 0.0 || query.theta > 1.0) {
     return Status::InvalidArgument("theta must be in (0, 1]");
   }
+  if (query.deadline_seconds < 0.0) {
+    return Status::InvalidArgument("deadline_seconds must be >= 0");
+  }
+  if (query.weight < 1) {
+    return Status::InvalidArgument("session weight must be >= 1");
+  }
+  const int class_index = QosIndex(query.qos);
+  if (class_index < 0 || class_index >= kNumQosClasses) {
+    return Status::InvalidArgument("unknown QoS class");
+  }
 
-  Pending pending;
+  PendingQuery pending;
   pending.query = std::move(query);
+  pending.ctx = std::make_unique<core::QueryContext>();
+  pending.ctx->session_id = pending.query.session_id;
+  pending.ctx->qos = pending.query.qos;
+  pending.ctx->scheduler = scheduler_.get();
   std::future<Result<core::TopKResult>> future =
       pending.promise.get_future();
 
@@ -68,28 +269,29 @@ Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
     if (stopping_) {
       return Status::FailedPrecondition("query service is shutting down");
     }
-    if (queued_ >= options_.max_queue_depth) {
+    if (policy_->size() >= options_.max_queue_depth) {
       rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
-      return Status::ResourceExhausted("admission queue full (" +
-                                       std::to_string(queued_) + " queued)");
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(policy_->size()) +
+          " queued)");
     }
-    auto it = queues_.find(pending.query.session_id);
-    if (options_.max_queued_per_session > 0 && it != queues_.end() &&
-        it->second.size() >= options_.max_queued_per_session) {
+    if (options_.max_queued_per_session > 0 &&
+        policy_->QueuedForSession(pending.query.session_id) >=
+            options_.max_queued_per_session) {
       rejected_session_limit_.fetch_add(1, std::memory_order_relaxed);
       return Status::ResourceExhausted(
           "session " + std::to_string(pending.query.session_id) +
           " is at its queued-query limit");
     }
-    auto& session_queue = queues_[pending.query.session_id];
-    if (session_queue.empty()) {
-      round_robin_.push_back(pending.query.session_id);
+    // The deadline clock starts at admission: queue wait counts against it.
+    if (pending.query.deadline_seconds > 0.0) {
+      pending.ctx->SetDeadlineAfter(pending.query.deadline_seconds);
     }
     pending.wait.Reset();
-    session_queue.push_back(std::move(pending));
-    ++queued_;
+    policy_->Enqueue(std::move(pending));
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  totals_.submitted.fetch_add(1, std::memory_order_relaxed);
+  per_class_[class_index].submitted.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
   return future;
 }
@@ -100,78 +302,106 @@ Result<core::TopKResult> QueryService::Execute(TopKQuery query) {
   return future.get();
 }
 
-Result<core::TopKResult> QueryService::Run(const TopKQuery& query) {
+Result<core::TopKResult> QueryService::Run(PendingQuery* pending) {
   core::NtaOptions options;
-  options.k = query.k;
-  options.theta = query.theta;
+  options.k = pending->query.k;
+  options.theta = pending->query.theta;
   // Deterministic serving: tie-complete termination makes NTA return the
   // canonical (value, input id)-ordered top-k, matching the §4.6 fresh-scan
   // path even on exact value ties at the k-th boundary.
   options.tie_complete = true;
-  // Cross-query batching: this worker's inference merges into shared device
-  // batches with whatever else is in flight.
-  options.scheduler = scheduler_.get();
-  switch (query.kind) {
+  // The context routes this worker's inference through the shared batching
+  // scheduler (when enabled) and carries the deadline NTA checks between
+  // rounds.
+  core::QueryContext* ctx = pending->ctx.get();
+  switch (pending->query.kind) {
     case TopKQuery::Kind::kHighest:
-      return engine_->TopKHighestWithOptions(query.group, std::move(options));
+      return engine_->TopKHighestWithOptions(pending->query.group,
+                                             std::move(options), ctx);
     case TopKQuery::Kind::kMostSimilar:
-      return engine_->TopKMostSimilarWithOptions(query.target_id, query.group,
-                                                 std::move(options));
+      return engine_->TopKMostSimilarWithOptions(pending->query.target_id,
+                                                 pending->query.group,
+                                                 std::move(options), ctx);
   }
   return Status::InvalidArgument("unknown query kind");
 }
 
+void QueryService::CountOutcome(const Result<core::TopKResult>& result,
+                                QosClass qos, bool executed) {
+  CompletionCounters* const counters[2] = {&totals_,
+                                           &per_class_[QosIndex(qos)]};
+  for (CompletionCounters* c : counters) {
+    if (result.ok()) {
+      c->completed.fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsDeadlineExceeded()) {
+      // Expired while queued (never ran) vs. aborted mid-execution.
+      (executed ? c->deadline_exceeded : c->rejected_past_deadline)
+          .fetch_add(1, std::memory_order_relaxed);
+    } else if (result.status().IsCancelled()) {
+      c->cancelled.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      c->failed.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
 void QueryService::WorkerLoop() {
   for (;;) {
-    Pending pending;
+    PendingQuery pending;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
-      if (queued_ == 0) return;  // stopping, queue drained/cancelled
-
-      // Round-robin across sessions, FIFO within a session.
-      const uint64_t session = round_robin_.front();
-      round_robin_.pop_front();
-      auto it = queues_.find(session);
-      DE_CHECK(it != queues_.end() && !it->second.empty());
-      pending = std::move(it->second.front());
-      it->second.pop_front();
-      if (it->second.empty()) {
-        queues_.erase(it);
-      } else {
-        round_robin_.push_back(session);
-      }
-      --queued_;
+      work_cv_.wait(lock,
+                    [this] { return stopping_ || policy_->size() > 0; });
+      if (policy_->size() == 0) return;  // stopping, queue drained/cancelled
+      pending = policy_->PopNext();
       ++inflight_;
     }
 
     const double queue_seconds = pending.wait.ElapsedSeconds();
-    Stopwatch exec_watch;
-    Result<core::TopKResult> result = Run(pending.query);
-    const double exec_seconds = exec_watch.ElapsedSeconds();
+    const QosClass qos = pending.query.qos;
+    bool executed = false;
+    double exec_seconds = 0.0;
+    Result<core::TopKResult> result = [&]() -> Result<core::TopKResult> {
+      if (pending.ctx->DeadlineExpired()) {
+        // Rejected at dispatch: the deadline passed while the query was
+        // queued, so running it would burn a worker on an answer nobody is
+        // waiting for.
+        return Status::DeadlineExceeded(
+            "deadline expired after " + std::to_string(queue_seconds) +
+            "s in the admission queue");
+      }
+      executed = true;
+      Stopwatch exec_watch;
+      Result<core::TopKResult> run = Run(&pending);
+      exec_seconds = exec_watch.ElapsedSeconds();
+      return run;
+    }();
 
     if (result.ok()) {
       result.value().stats.queue_seconds = queue_seconds;
-      completed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      failed_.fetch_add(1, std::memory_order_relaxed);
     }
-    latency_.Record(queue_seconds + exec_seconds);
-    busy_nanos_.fetch_add(static_cast<int64_t>(exec_seconds * 1e9),
-                          std::memory_order_relaxed);
+    CountOutcome(result, qos, executed);
+    if (executed) {
+      const double latency = queue_seconds + exec_seconds;
+      totals_.latency.Record(latency);
+      per_class_[QosIndex(qos)].latency.Record(latency);
+      busy_nanos_.fetch_add(static_cast<int64_t>(exec_seconds * 1e9),
+                            std::memory_order_relaxed);
+    }
     pending.promise.set_value(std::move(result));
 
     {
       std::lock_guard<std::mutex> lock(mu_);
       --inflight_;
-      if (queued_ == 0 && inflight_ == 0) idle_cv_.notify_all();
+      if (policy_->size() == 0 && inflight_ == 0) idle_cv_.notify_all();
     }
   }
 }
 
 void QueryService::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queued_ == 0 && inflight_ == 0; });
+  idle_cv_.wait(lock,
+                [this] { return policy_->size() == 0 && inflight_ == 0; });
 }
 
 void QueryService::Shutdown() {
@@ -183,16 +413,13 @@ void QueryService::Shutdown() {
     } else {
       stopping_ = true;
       // Fail queries that never started; their futures resolve immediately.
-      for (auto& [session, session_queue] : queues_) {
-        for (Pending& pending : session_queue) {
-          pending.promise.set_value(
-              Status::Cancelled("query service shut down"));
-          cancelled_.fetch_add(1, std::memory_order_relaxed);
-        }
+      const Result<core::TopKResult> cancelled =
+          Result<core::TopKResult>(Status::Cancelled("query service shut "
+                                                     "down"));
+      for (PendingQuery& pending : policy_->DrainAll()) {
+        pending.promise.set_value(cancelled);
+        CountOutcome(cancelled, pending.query.qos, /*executed=*/false);
       }
-      queues_.clear();
-      round_robin_.clear();
-      queued_ = 0;
       idle_cv_.notify_all();
     }
   }
@@ -204,23 +431,28 @@ void QueryService::Shutdown() {
 
 ServiceStats QueryService::Snapshot() const {
   ServiceStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.submitted = totals_.submitted.load(std::memory_order_relaxed);
   stats.rejected_queue_full =
       rejected_queue_full_.load(std::memory_order_relaxed);
   stats.rejected_session_limit =
       rejected_session_limit_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.completed = totals_.completed.load(std::memory_order_relaxed);
+  stats.failed = totals_.failed.load(std::memory_order_relaxed);
+  stats.cancelled = totals_.cancelled.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      totals_.deadline_exceeded.load(std::memory_order_relaxed);
+  stats.rejected_past_deadline =
+      totals_.rejected_past_deadline.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.queue_depth = queued_;
+    stats.queue_depth = policy_->size();
     stats.inflight = inflight_;
-    stats.active_sessions = queues_.size();
+    stats.active_sessions = policy_->ActiveSessions();
   }
-  stats.p50_latency_seconds = latency_.PercentileSeconds(0.50);
-  stats.p90_latency_seconds = latency_.PercentileSeconds(0.90);
-  stats.p99_latency_seconds = latency_.PercentileSeconds(0.99);
+  stats.p50_latency_seconds = totals_.latency.PercentileSeconds(0.50);
+  stats.p90_latency_seconds = totals_.latency.PercentileSeconds(0.90);
+  stats.p99_latency_seconds = totals_.latency.PercentileSeconds(0.99);
+  stats.qos_enabled = options_.enable_qos;
   stats.num_workers = options_.num_workers;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
   stats.worker_busy_seconds =
@@ -238,6 +470,25 @@ ServiceStats QueryService::Snapshot() const {
     stats.batching_enabled = true;
     stats.batch_size = scheduler_->batch_size();
     stats.batching = scheduler_->stats();
+  }
+  for (int c = 0; c < kNumQosClasses; ++c) {
+    QosClassStats& out = stats.per_class[static_cast<size_t>(c)];
+    const CompletionCounters& in = per_class_[static_cast<size_t>(c)];
+    out.submitted = in.submitted.load(std::memory_order_relaxed);
+    out.completed = in.completed.load(std::memory_order_relaxed);
+    out.failed = in.failed.load(std::memory_order_relaxed);
+    out.cancelled = in.cancelled.load(std::memory_order_relaxed);
+    out.deadline_exceeded =
+        in.deadline_exceeded.load(std::memory_order_relaxed);
+    out.rejected_past_deadline =
+        in.rejected_past_deadline.load(std::memory_order_relaxed);
+    out.p50_latency_seconds = in.latency.PercentileSeconds(0.50);
+    out.p90_latency_seconds = in.latency.PercentileSeconds(0.90);
+    out.p99_latency_seconds = in.latency.PercentileSeconds(0.99);
+    if (stats.batching_enabled) {
+      out.batch_fill = stats.batching.per_class[static_cast<size_t>(c)]
+                           .AverageFill(stats.batch_size);
+    }
   }
   return stats;
 }

@@ -1,10 +1,12 @@
 #ifndef DEEPEVEREST_SERVICE_QUERY_SERVICE_H_
 #define DEEPEVEREST_SERVICE_QUERY_SERVICE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -12,15 +14,19 @@
 #include <thread>
 #include <vector>
 
+#include "common/qos.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
 #include "core/deepeverest.h"
 #include "core/query.h"
+#include "core/query_context.h"
 #include "nn/batch_scheduler.h"
 #include "service/service_stats.h"
 
 namespace deepeverest {
 namespace service {
+
+class DispatchPolicy;
 
 /// \brief One client query submitted to the service.
 struct TopKQuery {
@@ -37,8 +43,25 @@ struct TopKQuery {
   double theta = 1.0;
   /// Client session for admission fairness. Queries from the same session
   /// run FIFO relative to each other; distinct sessions are served
-  /// round-robin so one chatty client cannot starve the rest.
+  /// round-robin (within their QoS class) so one chatty client cannot
+  /// starve the rest.
   uint64_t session_id = 0;
+  /// QoS class of this query's session. Classes are strict dispatch
+  /// priorities (interactive > batch > best_effort) and select the device
+  /// batch linger window (interactive inference never lingers). Results are
+  /// identical across classes — only scheduling differs.
+  QosClass qos = QosClass::kBatch;
+  /// Relative deadline, in seconds from admission; 0 = none. A query whose
+  /// deadline passes while it is still queued is rejected at dispatch with
+  /// DeadlineExceeded *without* running (no worker time is spent on an
+  /// answer nobody is waiting for); one that expires mid-execution aborts
+  /// cooperatively within one NTA round. Within a class, deadline-carrying
+  /// queries dispatch earliest-deadline-first, ahead of deadline-free work.
+  double deadline_seconds = 0.0;
+  /// Weight of this query's session in the weighted round-robin among its
+  /// class's sessions (>= 1; the session's most recent submission wins): a
+  /// weight-w session gets up to w consecutive dispatches per rotor turn.
+  int weight = 1;
 };
 
 struct QueryServiceOptions {
@@ -71,14 +94,86 @@ struct QueryServiceOptions {
   /// stream). 0 = one per worker, preserving the device-wait overlap the
   /// unbatched service gets from its workers.
   int batch_dispatchers = 0;
+
+  /// QoS-aware scheduling end to end: strict class priority at dispatch
+  /// (interactive > batch > best_effort), earliest-deadline-first for
+  /// deadline-carrying queries and weighted round-robin across sessions
+  /// within a class, and per-class batch linger in the inference scheduler.
+  /// Off restores the flat session round-robin and uniform linger of the
+  /// pre-QoS service — the control arm of bench_service_qos. Deadline
+  /// *enforcement* (queued-past-deadline rejection, mid-query abort) stays
+  /// on either way; only prioritisation changes.
+  bool enable_qos = true;
+  /// Batch linger for interactive-class inference (see
+  /// BatchSchedulerOptions::interactive_linger_seconds). The default 0
+  /// means interactive requests flush immediately and seal any partial
+  /// batch they join.
+  double interactive_batch_linger_seconds = 0.0;
+  /// Batch linger for best-effort-class inference (background work waits
+  /// longest for full batches).
+  double best_effort_batch_linger_seconds = 2e-3;
+
+  /// Pluggable dispatch ordering: when set, replaces the built-in policy
+  /// that `enable_qos` would otherwise select. Only the admission-queue
+  /// ordering is overridden — `enable_qos` still governs the batch
+  /// scheduler's class-awareness (per-class linger, sealing) and the
+  /// `qos_enabled` flag reported in ServiceStats, so a class-aware custom
+  /// policy should keep `enable_qos = true`. The factory is invoked once
+  /// at service creation; the policy is called only under the service lock
+  /// (it needs no internal synchronisation). See DispatchPolicy.
+  std::function<std::unique_ptr<DispatchPolicy>()> dispatch_policy;
+};
+
+/// \brief One admitted-but-unstarted query: created at admission (Submit),
+/// owned by the dispatch policy until a worker claims it. The context
+/// carries the query's QoS class, absolute deadline, receipt, and scheduler
+/// plumbing through every layer below the service.
+struct PendingQuery {
+  TopKQuery query;
+  std::unique_ptr<core::QueryContext> ctx;
+  std::promise<Result<core::TopKResult>> promise;
+  Stopwatch wait;  // started at admission
+};
+
+/// \brief Ordering of the admission queue: which admitted query a freed
+/// worker runs next.
+///
+/// Implementations are plugged into the QueryService (see
+/// QueryServiceOptions::dispatch_policy); every method is invoked with the
+/// service mutex held, so policies need no locking of their own. The
+/// service ships two: the flat session round-robin (PR 1 behaviour,
+/// `enable_qos = false`) and the QoS policy — strict class priority, EDF
+/// for deadline-carrying queries within a class, weighted round-robin
+/// across the class's sessions otherwise.
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+
+  virtual void Enqueue(PendingQuery pending) = 0;
+  /// Next query to run. Only called when size() > 0.
+  virtual PendingQuery PopNext() = 0;
+  /// Queries currently queued (all classes and sessions).
+  virtual size_t size() const = 0;
+  /// Queued queries of `session` (admission enforces the per-session bound
+  /// against this).
+  virtual size_t QueuedForSession(uint64_t session) const = 0;
+  /// Sessions with at least one queued query.
+  virtual size_t ActiveSessions() const = 0;
+  /// Removes and returns everything still queued (shutdown cancellation).
+  virtual std::vector<PendingQuery> DrainAll() = 0;
 };
 
 /// \brief Concurrent query service over a DeepEverest engine: a fixed
-/// thread pool consuming a bounded, session-aware admission queue.
+/// thread pool consuming a bounded, session- and QoS-aware admission queue.
 ///
 /// Clients Submit() queries and receive futures. Admission applies
-/// backpressure (global + per-session queue bounds); dispatch is round-robin
-/// across sessions with queued work, FIFO within a session. Results are
+/// backpressure (global + per-session queue bounds); dispatch follows the
+/// configured DispatchPolicy — by default strict QoS class priority
+/// (interactive > batch > best_effort) with EDF for deadline-carrying
+/// queries and weighted round-robin across sessions within a class, FIFO
+/// within a session. Every query gets a core::QueryContext at admission
+/// (class, absolute deadline, cancellation, receipt) that is threaded
+/// through the engine down to the batch scheduler. Results are
 /// identical to sequential execution on the same engine — the core it
 /// drives (IndexManager, IqaCache, InferenceEngine, FileStore) is
 /// concurrency-safe, and inference is deterministic, so only scheduling
@@ -133,16 +228,27 @@ class QueryService {
   const QueryServiceOptions& options() const { return options_; }
 
  private:
-  struct Pending {
-    TopKQuery query;
-    std::promise<Result<core::TopKResult>> promise;
-    Stopwatch wait;  // started at admission
+  /// Completion-side counters, kept overall and per QoS class (see the
+  /// ServiceStats field docs for exact meanings).
+  struct CompletionCounters {
+    std::atomic<int64_t> submitted{0};
+    std::atomic<int64_t> completed{0};
+    std::atomic<int64_t> failed{0};
+    std::atomic<int64_t> cancelled{0};
+    std::atomic<int64_t> deadline_exceeded{0};
+    std::atomic<int64_t> rejected_past_deadline{0};
+    LatencyHistogram latency;
   };
 
   QueryService(core::DeepEverest* engine, const QueryServiceOptions& options);
 
   void WorkerLoop();
-  Result<core::TopKResult> Run(const TopKQuery& query);
+  Result<core::TopKResult> Run(PendingQuery* pending);
+  /// Buckets one finished query into the right completion counter
+  /// (overall + per-class). `executed` is false for queries rejected at
+  /// dispatch because their deadline had already passed while queued.
+  void CountOutcome(const Result<core::TopKResult>& result, QosClass qos,
+                    bool executed);
 
   core::DeepEverest* engine_;
   QueryServiceOptions options_;
@@ -155,20 +261,15 @@ class QueryService {
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers
   std::condition_variable idle_cv_;  // signals Drain()
-  bool stopping_ = false;                            // guarded by mu_
-  std::map<uint64_t, std::deque<Pending>> queues_;   // guarded by mu_
-  std::deque<uint64_t> round_robin_;                 // guarded by mu_
-  size_t queued_ = 0;                                // guarded by mu_
-  size_t inflight_ = 0;                              // guarded by mu_
+  bool stopping_ = false;                  // guarded by mu_
+  std::unique_ptr<DispatchPolicy> policy_;  // guarded by mu_
+  size_t inflight_ = 0;                    // guarded by mu_
 
-  std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_queue_full_{0};
   std::atomic<int64_t> rejected_session_limit_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> busy_nanos_{0};
-  LatencyHistogram latency_;
+  CompletionCounters totals_;
+  std::array<CompletionCounters, kNumQosClasses> per_class_;
 
   std::vector<std::thread> workers_;
 };

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/qos.h"
 #include "core/iqa_cache.h"
 #include "nn/batch_scheduler.h"
 
@@ -60,6 +61,27 @@ class LatencyHistogram {
   std::atomic<int64_t> count_{0};
 };
 
+/// \brief Per-QoS-class slice of the service counters; indexed by
+/// QosIndex() in ServiceStats::per_class. Counter meanings match the
+/// top-level fields (which are the sums across classes).
+struct QosClassStats {
+  int64_t submitted = 0;
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t rejected_past_deadline = 0;
+
+  // Admission-to-completion latency of this class's *executed* queries.
+  double p50_latency_seconds = 0.0;
+  double p90_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+
+  /// Mean occupancy of the device batches this class's inference rode in
+  /// (see BatchSchedulerClassStats::AverageFill); 0 when batching is off.
+  double batch_fill = 0.0;
+};
+
 /// \brief Point-in-time snapshot of a QueryService, cheap enough to poll.
 struct ServiceStats {
   // Admission.
@@ -67,10 +89,28 @@ struct ServiceStats {
   int64_t rejected_queue_full = 0;
   int64_t rejected_session_limit = 0;
 
-  // Completion.
+  // Completion. Every submitted (admitted) query ends in exactly one of
+  // these four buckets:
+  //  - `completed`: executed and returned OK.
+  //  - `failed`: executed but returned a non-OK status other than
+  //    DeadlineExceeded/Cancelled — a genuine execution error (bad layer,
+  //    I/O failure, ...).
+  //  - `cancelled`: never produced a result because the service cancelled
+  //    it — today that means queries still queued at Shutdown(). (The
+  //    context-level cooperative Cancel() that would let an in-flight query
+  //    land here too is plumbed through the engine but not yet exposed per
+  //    submission; a future cancel API reuses this bucket.)
+  //  - `deadline_exceeded` + `rejected_past_deadline`: the query's deadline
+  //    expired. `rejected_past_deadline` counts queries whose deadline
+  //    passed while still queued — they are rejected at dispatch without
+  //    running any inference (no worker time is spent on work nobody is
+  //    waiting for). `deadline_exceeded` counts queries that started
+  //    executing and aborted cooperatively between NTA rounds.
   int64_t completed = 0;
-  int64_t failed = 0;     // executed but returned a non-OK status
-  int64_t cancelled = 0;  // still queued at Shutdown()
+  int64_t failed = 0;
+  int64_t cancelled = 0;
+  int64_t deadline_exceeded = 0;
+  int64_t rejected_past_deadline = 0;
 
   // Live state.
   size_t queue_depth = 0;
@@ -81,6 +121,12 @@ struct ServiceStats {
   double p50_latency_seconds = 0.0;
   double p90_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+
+  /// QoS: whether class-aware dispatch/batching is on, and the per-class
+  /// counter slices (always populated; with QoS off every query still
+  /// records under its declared class).
+  bool qos_enabled = false;
+  std::array<QosClassStats, kNumQosClasses> per_class{};
 
   // Worker pool.
   int num_workers = 0;

@@ -237,6 +237,77 @@ TEST(DeepEverestTest, PersistedIndexesStayUnderBudgetAfterFullPreprocess) {
   EXPECT_LT(*persisted, (*de)->FullMaterializationBytes() / 2);
 }
 
+// --------------------------- QueryContext plumbing -------------------------
+
+TEST(DeepEverestQueryContextTest, ExpiredDeadlineReturnsDeadlineExceeded) {
+  TinySystem sys(40, 49, 8);
+  TempDir dir("de");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const NeuronGroup group{sys.model->activation_layers()[0], {0, 1}};
+
+  QueryContext ctx;
+  ctx.SetDeadlineAfter(-1.0);  // already past
+  NtaOptions options;
+  options.k = 5;
+  auto result = (*de)->TopKHighestWithOptions(group, options, &ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // Rejected before any inference: the context receipt stays empty.
+  EXPECT_EQ(ctx.receipt.inputs_run, 0);
+}
+
+TEST(DeepEverestQueryContextTest, CancelledContextReturnsCancelled) {
+  TinySystem sys(40, 50, 8);
+  TempDir dir("de");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const NeuronGroup group{sys.model->activation_layers()[0], {0, 1}};
+
+  QueryContext ctx;
+  ctx.Cancel();
+  NtaOptions options;
+  options.k = 5;
+  auto result = (*de)->TopKHighestWithOptions(group, options, &ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(DeepEverestQueryContextTest, ReceiptAccumulatesQueryCostIncludingBuild) {
+  TinySystem sys(40, 51, 8);
+  TempDir dir("de");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const NeuronGroup group{sys.model->activation_layers()[1], {1, 3}};
+
+  // Cold layer: the query triggers the §4.6 index build, whose inference is
+  // charged to this query's context receipt along with its own.
+  QueryContext cold_ctx;
+  NtaOptions options;
+  options.k = 5;
+  auto cold = (*de)->TopKHighestWithOptions(group, options, &cold_ctx);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->stats.inputs_run, 40);
+  EXPECT_EQ(cold_ctx.receipt.inputs_run, 40);
+
+  // Warm layer: NTA only; result stats equal the receipt delta, and the
+  // per-query stats never leak another query's work.
+  QueryContext warm_ctx;
+  auto warm = (*de)->TopKHighestWithOptions(group, options, &warm_ctx);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->stats.inputs_run, warm_ctx.receipt.inputs_run);
+  EXPECT_LT(warm->stats.inputs_run, 40);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace deepeverest

@@ -123,11 +123,12 @@ TEST(IncrementalReturnTest, ConfirmedEntriesAreFinalAnswers) {
   NtaOptions options;
   options.k = 10;
   std::vector<NtaProgress> snapshots;
-  options.on_progress = [&](const NtaProgress& p) {
+  QueryContext ctx;
+  ctx.on_progress = [&](const NtaProgress& p) {
     snapshots.push_back(p);
     return true;
   };
-  auto result = nta.MostSimilarTo(group, 9, options);
+  auto result = nta.MostSimilarTo(group, 9, options, &ctx);
   ASSERT_TRUE(result.ok());
 
   // Every entry confirmed mid-run (dist <= threshold at that time) must be
@@ -162,14 +163,15 @@ TEST(EarlyStoppingTest, UserStopReturnsCurrentTopWithGuarantee) {
   NtaOptions options;
   options.k = 5;
   double theta_guarantee = 0.0;
-  options.on_progress = [&](const NtaProgress& p) {
+  QueryContext ctx;
+  ctx.on_progress = [&](const NtaProgress& p) {
     if (p.round >= 2 && p.kth_value < 1e18) {
       theta_guarantee = p.theta_guarantee;
       return false;  // user stops
     }
     return true;
   };
-  auto stopped = nta.MostSimilarTo(group, target, options);
+  auto stopped = nta.MostSimilarTo(group, target, options, &ctx);
   ASSERT_TRUE(stopped.ok());
   ASSERT_EQ(stopped->entries.size(), 5u);
   ASSERT_GT(theta_guarantee, 0.0);
@@ -206,15 +208,20 @@ TEST(IqaIntegrationTest, SecondQuerySameLayerUsesCache) {
   NtaEngine nta(sys.engine.get(), &index.value());
   NtaOptions options;
   options.k = 10;
-  options.iqa = &cache;
+  QueryContext first_ctx;
+  first_ctx.iqa = &cache;
 
-  auto first = nta.MostSimilarTo(NeuronGroup{layer, {1, 4, 7}}, 5, options);
+  auto first =
+      nta.MostSimilarTo(NeuronGroup{layer, {1, 4, 7}}, 5, options, &first_ctx);
   ASSERT_TRUE(first.ok());
   EXPECT_GT(first->stats.inputs_run, 0);
 
   // A related query over a *different* group in the same layer: the cache
   // holds full-layer rows, so repeated inputs cost nothing.
-  auto second = nta.MostSimilarTo(NeuronGroup{layer, {2, 4, 9}}, 5, options);
+  QueryContext second_ctx;
+  second_ctx.iqa = &cache;
+  auto second = nta.MostSimilarTo(NeuronGroup{layer, {2, 4, 9}}, 5, options,
+                                  &second_ctx);
   ASSERT_TRUE(second.ok());
   EXPECT_GT(second->stats.iqa_hits, 0);
   EXPECT_LT(second->stats.inputs_run, first->stats.inputs_run);
@@ -244,14 +251,19 @@ TEST(IqaIntegrationTest, CacheDoesNotLeakAcrossLayers) {
 
   NtaOptions options;
   options.k = 5;
-  options.iqa = &cache;
   NtaEngine nta_a(sys.engine.get(), &index_a.value());
-  auto first = nta_a.MostSimilarTo(NeuronGroup{layer_a, {0, 1}}, 2, options);
+  QueryContext ctx_a;
+  ctx_a.iqa = &cache;
+  auto first =
+      nta_a.MostSimilarTo(NeuronGroup{layer_a, {0, 1}}, 2, options, &ctx_a);
   ASSERT_TRUE(first.ok());
 
   // Querying another layer must not hit layer_a's cached rows.
   NtaEngine nta_b(sys.engine.get(), &index_b.value());
-  auto second = nta_b.MostSimilarTo(NeuronGroup{layer_b, {0, 1}}, 2, options);
+  QueryContext ctx_b;
+  ctx_b.iqa = &cache;
+  auto second =
+      nta_b.MostSimilarTo(NeuronGroup{layer_b, {0, 1}}, 2, options, &ctx_b);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->stats.iqa_hits, 0);
 }

@@ -76,12 +76,13 @@ TEST_F(Figure123Test, WorkedExampleQuery) {
   options.dist = *dist;
 
   std::vector<NtaProgress> progress;
-  options.on_progress = [&](const NtaProgress& p) {
+  QueryContext ctx;
+  ctx.on_progress = [&](const NtaProgress& p) {
     progress.push_back(p);
     return true;
   };
 
-  auto result = nta.MostSimilarTo(NeuronGroup{0, {0, 1, 2}}, 5, options);
+  auto result = nta.MostSimilarTo(NeuronGroup{0, {0, 1, 2}}, 5, options, &ctx);
   ASSERT_TRUE(result.ok());
 
   // Final answer: (x4, 0.3), (x2, 1.5).

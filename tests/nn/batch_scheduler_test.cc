@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "testing/test_util.h"
 
 namespace deepeverest {
@@ -174,6 +175,14 @@ TEST(BatchSchedulerTest, RejectsInvalidInputsSynchronously) {
   EXPECT_FALSE(bad_layer.ok());
   EXPECT_TRUE(bad_layer.IsOutOfRange());
 
+  // An out-of-range class would index past the per-class linger/stat
+  // arrays; it must be rejected before touching any of them.
+  Status bad_class =
+      scheduler.ComputeLayer({0}, sys.model->activation_layers()[0], &rows,
+                             nullptr, static_cast<QosClass>(7));
+  EXPECT_FALSE(bad_class.ok());
+  EXPECT_TRUE(bad_class.IsInvalidArgument());
+
   // Empty request: trivially OK, no batch launched.
   EXPECT_TRUE(scheduler
                   .ComputeLayer({}, sys.model->activation_layers()[0], &rows,
@@ -235,6 +244,115 @@ TEST(BatchSchedulerTest, ExpiredPartialIsNotStarvedByFullBatches) {
     EXPECT_LT(iters[static_cast<size_t>(t)], kMaxIters)
         << "hot thread " << t << " drained completely: starvation";
   }
+}
+
+// QoS: an interactive request with a zero linger window does not wait out
+// anyone's window — it flushes (seals) immediately, while a lone batch
+// request on the same scheduler only leaves via the linger timeout.
+TEST(BatchSchedulerTest, InteractiveRequestSealsPartialBatchImmediately) {
+  TinySystem sys(40, 908, /*batch_size=*/16);
+  const int layer = sys.model->activation_layers()[0];
+  BatchSchedulerOptions options;
+  // A linger far above the test's runtime budget: if the interactive
+  // request waited out a window, the call would take >200 ms and the
+  // elapsed check below would fail.
+  options.linger_seconds = 0.2;
+  options.best_effort_linger_seconds = 0.2;
+  options.interactive_linger_seconds = 0.0;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  Stopwatch watch;
+  std::vector<std::vector<float>> rows;
+  InferenceReceipt receipt;
+  ASSERT_TRUE(scheduler
+                  .ComputeLayer(Ids(0, 3), layer, &rows, &receipt,
+                                QosClass::kInteractive)
+                  .ok());
+  EXPECT_LT(watch.ElapsedSeconds(), 0.1)
+      << "interactive request waited out a linger window";
+  EXPECT_EQ(receipt.inputs_run, 3);
+
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.sealed_by_interactive, 1);
+  const BatchSchedulerClassStats& interactive =
+      stats.per_class[QosIndex(QosClass::kInteractive)];
+  EXPECT_EQ(interactive.requests, 1);
+  EXPECT_EQ(interactive.inputs_dispatched, 3);
+  EXPECT_EQ(interactive.batches_joined, 1);
+}
+
+// Per-class stats attribute rows to the class that requested them, and a
+// shared batch counts once per class aboard.
+TEST(BatchSchedulerTest, PerClassStatsSplitSharedBatches) {
+  TinySystem sys(40, 909, /*batch_size=*/32);
+  const int layer = sys.model->activation_layers()[0];
+  BatchSchedulerOptions options;
+  // Both classes linger long enough to meet in one batch; the interactive
+  // arrival then seals it.
+  options.linger_seconds = 0.05;
+  options.interactive_linger_seconds = 0.0;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  Status batch_status, interactive_status;
+  std::vector<std::vector<float>> batch_rows, interactive_rows;
+  std::thread batch_caller([&] {
+    batch_status = scheduler.ComputeLayer(Ids(0, 5), layer, &batch_rows,
+                                          nullptr, QosClass::kBatch);
+  });
+  // Give the batch request time to enqueue (and start lingering) first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  std::thread interactive_caller([&] {
+    interactive_status =
+        scheduler.ComputeLayer(Ids(10, 4), layer, &interactive_rows, nullptr,
+                               QosClass::kInteractive);
+  });
+  batch_caller.join();
+  interactive_caller.join();
+  ASSERT_TRUE(batch_status.ok());
+  ASSERT_TRUE(interactive_status.ok());
+
+  const BatchSchedulerStats stats = scheduler.stats();
+  const BatchSchedulerClassStats& batch =
+      stats.per_class[QosIndex(QosClass::kBatch)];
+  const BatchSchedulerClassStats& interactive =
+      stats.per_class[QosIndex(QosClass::kInteractive)];
+  EXPECT_EQ(batch.requests, 1);
+  EXPECT_EQ(interactive.requests, 1);
+  EXPECT_EQ(batch.inputs_dispatched, 5);
+  EXPECT_EQ(interactive.inputs_dispatched, 4);
+  // Whether the two calls met in one sealed batch or (on a slow machine)
+  // dispatched separately, per-class inputs are exact and every batch each
+  // class joined is counted.
+  EXPECT_GE(batch.batches_joined, 1);
+  EXPECT_GE(interactive.batches_joined, 1);
+  EXPECT_EQ(stats.inputs_dispatched,
+            batch.inputs_dispatched + interactive.inputs_dispatched);
+}
+
+// qos_aware = false restores uniform lingering: an interactive request
+// behaves exactly like a batch one (and in particular cannot seal).
+TEST(BatchSchedulerTest, QosUnawareModeIgnoresClassForScheduling) {
+  TinySystem sys(40, 910, /*batch_size=*/16);
+  const int layer = sys.model->activation_layers()[0];
+  BatchSchedulerOptions options;
+  options.linger_seconds = 0.02;
+  options.interactive_linger_seconds = 0.0;
+  options.qos_aware = false;
+  BatchingInferenceScheduler scheduler(sys.engine.get(), options);
+
+  Stopwatch watch;
+  std::vector<std::vector<float>> rows;
+  ASSERT_TRUE(scheduler
+                  .ComputeLayer(Ids(0, 3), layer, &rows, nullptr,
+                                QosClass::kInteractive)
+                  .ok());
+  // The partial batch had to wait out the uniform window.
+  EXPECT_GE(watch.ElapsedSeconds(), 0.02);
+  const BatchSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.sealed_by_interactive, 0);
+  EXPECT_EQ(stats.linger_flushes, 1);
+  // Per-class accounting still works in unaware mode.
+  EXPECT_EQ(stats.per_class[QosIndex(QosClass::kInteractive)].requests, 1);
 }
 
 TEST(BatchSchedulerTest, ManyThreadsManyLayersStress) {
