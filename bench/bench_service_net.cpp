@@ -1,0 +1,202 @@
+// HTTP front-end overhead: the same mixed workload served (a) in-process
+// via QueryService::Execute and (b) over the loopback HTTP/1.1 API, with
+// concurrent clients each holding one keep-alive connection. Results must
+// be bit-identical across arms; the delta is pure wire + parse overhead,
+// which should stay a small fraction of query latency once the engine
+// simulates realistic device dispatch.
+//
+// Also smoke-checks the streaming path: one NDJSON query must deliver at
+// least one progress event before its final result.
+//
+// Scale knobs: DE_BENCH_INPUTS (default 200), DE_BENCH_NET_QUERIES
+// (default 64), DE_BENCH_NET_CLIENTS (default 4),
+// DE_BENCH_NET_DEVICE_SCALE (default 4).
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "bench_util/demo_system.h"
+#include "common/json.h"
+#include "common/stopwatch.h"
+#include "net/http_client.h"
+#include "net/query_server.h"
+#include "service/query_service.h"
+
+namespace deepeverest {
+namespace {
+
+/// Canonical per-query signature for the bit-equality check.
+std::string Signature(const std::vector<core::ResultEntry>& entries) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const core::ResultEntry& e : entries) {
+    w.BeginObject();
+    w.Key("input_id");
+    w.Uint(e.input_id);
+    w.Key("value");
+    w.Double(e.value);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.TakeString();
+}
+
+struct ArmResult {
+  double seconds = 0.0;
+  std::vector<std::string> signatures;  // per query, canonical JSON
+};
+
+int Run() {
+  const int num_queries =
+      static_cast<int>(bench::EnvInt("DE_BENCH_NET_QUERIES", 64));
+  const int num_clients =
+      static_cast<int>(bench::EnvInt("DE_BENCH_NET_CLIENTS", 4));
+  bench_util::DemoSystemOptions demo_options;
+  demo_options.num_inputs = static_cast<uint32_t>(
+      bench::EnvInt("DE_BENCH_INPUTS", 200));
+  demo_options.device_latency_scale = static_cast<double>(
+      bench::EnvInt("DE_BENCH_NET_DEVICE_SCALE", 4));
+  auto system = bench_util::DemoSystem::Make(demo_options);
+  DE_CHECK(system.ok()) << system.status().ToString();
+
+  service::QueryServiceOptions service_options;
+  service_options.num_workers = num_clients;
+  auto service =
+      service::QueryService::Create((*system)->engine(), service_options);
+  DE_CHECK(service.ok()) << service.status().ToString();
+
+  net::QueryServerOptions server_options;  // port 0: kernel-assigned
+  auto server = net::QueryServer::Start(service->get(), server_options);
+  DE_CHECK(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  const std::vector<service::TopKQuery> workload =
+      bench_util::MakeMixedWorkload(*(*system)->model(), num_queries);
+
+  // Arm A: in-process — concurrent clients calling Execute directly.
+  auto run_in_process = [&]() {
+    ArmResult arm;
+    arm.signatures.resize(workload.size());
+    std::atomic<size_t> next{0};
+    Stopwatch watch;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= workload.size()) return;
+          auto result = (*service)->Execute(workload[i]);
+          DE_CHECK(result.ok()) << result.status().ToString();
+          arm.signatures[i] = Signature(result->entries);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    arm.seconds = watch.ElapsedSeconds();
+    return arm;
+  };
+
+  // Arm B: the same clients over loopback HTTP.
+  auto run_http = [&]() {
+    ArmResult arm;
+    arm.signatures.resize(workload.size());
+    std::atomic<size_t> next{0};
+    Stopwatch watch;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&] {
+        auto client = net::HttpClient::Connect("127.0.0.1", port);
+        DE_CHECK(client.ok()) << client.status().ToString();
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= workload.size()) return;
+          auto response = client->Post(
+              "/v1/query", bench_util::TopKQueryJson(workload[i]));
+          DE_CHECK(response.ok()) << response.status().ToString();
+          DE_CHECK_EQ(response->status, 200);
+          auto body = ParseJson(response->body);
+          DE_CHECK(body.ok()) << body.status().ToString();
+          const JsonValue* entries = body->Find("entries");
+          DE_CHECK(entries != nullptr);
+          std::vector<core::ResultEntry> parsed;
+          for (const JsonValue& entry : entries->array_items()) {
+            core::ResultEntry e;
+            e.input_id =
+                static_cast<uint32_t>(entry.Find("input_id")->int_value());
+            e.value = entry.Find("value")->number_value();
+            parsed.push_back(e);
+          }
+          arm.signatures[i] = Signature(parsed);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    arm.seconds = watch.ElapsedSeconds();
+    return arm;
+  };
+
+  std::printf("bench_service_net: %d queries, %d clients, %u inputs, "
+              "port %u\n\n",
+              num_queries, num_clients, demo_options.num_inputs,
+              static_cast<unsigned>(port));
+
+  // One unmeasured warm-up pass per arm (allocator, connection setup, code
+  // paths) so neither measured arm benefits from running second.
+  run_in_process();
+  run_http();
+  ArmResult in_process = run_in_process();
+  ArmResult http = run_http();
+
+  size_t mismatched = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (in_process.signatures[i] != http.signatures[i]) ++mismatched;
+  }
+  DE_CHECK_EQ(mismatched, 0u) << "HTTP results diverged from in-process";
+
+  const double qps_in_process =
+      static_cast<double>(num_queries) / in_process.seconds;
+  const double qps_http = static_cast<double>(num_queries) / http.seconds;
+  std::printf("%-14s %12s %12s\n", "arm", "seconds", "queries/s");
+  std::printf("%-14s %12.3f %12.1f\n", "in-process", in_process.seconds,
+              qps_in_process);
+  std::printf("%-14s %12.3f %12.1f\n", "http", http.seconds, qps_http);
+  std::printf("\nHTTP overhead: %.1f%% of in-process wall time "
+              "(bit-identical results)\n",
+              (http.seconds / in_process.seconds - 1.0) * 100.0);
+
+  // Streaming smoke: one query must emit progress before its result.
+  auto client = net::HttpClient::Connect("127.0.0.1", port);
+  DE_CHECK(client.ok()) << client.status().ToString();
+  int progress = 0;
+  int results = 0;
+  auto streamed = client->GetStream(
+      "/v1/query?stream=1&kind=highest&layer=" +
+          std::to_string((*system)->model()->activation_layers().front()) +
+          "&neurons=0,1,2,3&k=10",
+      [&](const std::string& line) {
+        auto event = ParseJson(line);
+        if (!event.ok()) return true;
+        const JsonValue* kind = event->Find("event");
+        if (kind == nullptr) return true;
+        if (kind->string_value() == "progress") ++progress;
+        if (kind->string_value() == "result") ++results;
+        return true;
+      });
+  DE_CHECK(streamed.ok()) << streamed.status().ToString();
+  DE_CHECK_EQ(results, 1);
+  DE_CHECK_GE(progress, 1);
+  std::printf("streaming: %d progress events before the final result\n",
+              progress);
+
+  (*server)->Shutdown();
+  (*service)->Shutdown();
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepeverest
+
+int main() { return deepeverest::Run(); }

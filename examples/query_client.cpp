@@ -1,0 +1,331 @@
+// End-to-end driver for the HTTP query API, used interactively and by the
+// `server-e2e` CI job. It rebuilds the server's engine locally (everything
+// derives from the shared --seed), then drives the live server and asserts:
+//
+//  1. Mixed interactive/batch-session queries over POST /v1/query return
+//     results *bit-identical* to the local in-process sequential reference
+//     (entries and exact per-query inputs_run).
+//  2. A streaming GET /v1/query?stream=1 emits at least one NDJSON progress
+//     event before the final result, rounds strictly increase, the
+//     confirmed set only grows, and the final entries match the reference.
+//  3. A deadline_ms=0 request is rejected with 504/DeadlineExceeded
+//     *without running inference* (the service's rejected_past_deadline
+//     counter increments; no execution counter moves).
+//  4. Addressing the wrong model 404s.
+//
+//   ./example_query_client --port 8080 [--host 127.0.0.1] [--seed N]
+//
+// Exits 0 when every check passes. --wait-ready-seconds polls /healthz
+// first, so CI can start the server and the client back to back.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/demo_system.h"
+#include "common/json.h"
+#include "net/http_client.h"
+#include "service/query_service.h"
+
+using namespace deepeverest;  // NOLINT: example brevity
+
+namespace {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 8080;
+  uint64_t seed = 7;
+  uint32_t num_inputs = 200;
+  double wait_ready_seconds = 20.0;
+};
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  if (ok) {
+    std::printf("  PASS  %s\n", what.c_str());
+  } else {
+    std::printf("  FAIL  %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+Result<net::HttpClient> ConnectReady(const ClientOptions& options) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options.wait_ready_seconds));
+  for (;;) {
+    auto client = net::HttpClient::Connect(options.host, options.port);
+    if (client.ok()) {
+      auto health = client->Get("/healthz");
+      if (health.ok() && health->status == 200) return client;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError("server not ready within " +
+                             std::to_string(options.wait_ready_seconds) +
+                             "s");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+/// The canonical sequential reference: the query run directly on the local
+/// twin engine in the service's execution mode.
+Result<core::TopKResult> RunReference(core::DeepEverest* engine,
+                                      const service::TopKQuery& query) {
+  core::NtaOptions options;
+  options.k = query.k;
+  options.theta = query.theta;
+  options.tie_complete = true;
+  if (query.kind == service::TopKQuery::Kind::kHighest) {
+    return engine->TopKHighestWithOptions(query.group, std::move(options));
+  }
+  return engine->TopKMostSimilarWithOptions(query.target_id, query.group,
+                                            std::move(options));
+}
+
+/// True when the HTTP entries match the reference exactly (ids and values
+/// bit-identical — values round-trip through %.17g).
+bool EntriesMatch(const JsonValue& entries, const core::TopKResult& expected) {
+  if (!entries.is_array() ||
+      entries.array_items().size() != expected.entries.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    const JsonValue& entry = entries.array_items()[i];
+    const JsonValue* id = entry.Find("input_id");
+    const JsonValue* value = entry.Find("value");
+    if (id == nullptr || value == nullptr) return false;
+    if (id->int_value() !=
+        static_cast<int64_t>(expected.entries[i].input_id)) {
+      return false;
+    }
+    if (value->number_value() != expected.entries[i].value) return false;
+  }
+  return true;
+}
+
+int64_t StatsField(net::HttpClient* client, const std::string& field) {
+  auto response = client->Get("/v1/stats");
+  if (!response.ok() || response->status != 200) return -1;
+  auto parsed = ParseJson(response->body);
+  if (!parsed.ok()) return -1;
+  const JsonValue* value = parsed->Find(field);
+  return value == nullptr ? -1 : value->int_value();
+}
+
+int Run(const ClientOptions& options) {
+  // The local twin: same seed, same dataset, same weights — reference
+  // results are computed here, never fetched from the server under test.
+  bench_util::DemoSystemOptions demo_options;
+  demo_options.seed = options.seed;
+  demo_options.num_inputs = options.num_inputs;
+  auto system = bench_util::DemoSystem::Make(demo_options);
+  if (!system.ok()) {
+    std::fprintf(stderr, "demo system: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  const std::string model_name = (*system)->model_name();
+
+  auto connected = ConnectReady(options);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.status().ToString().c_str());
+    return 1;
+  }
+  net::HttpClient client = std::move(connected.value());
+  std::printf("connected to %s:%u (model %s)\n", options.host.c_str(),
+              static_cast<unsigned>(options.port), model_name.c_str());
+
+  // --- 1. Mixed workload, bit-identical to the sequential reference. ----
+  const std::vector<service::TopKQuery> workload =
+      bench_util::MakeMixedWorkload(*(*system)->model(), 16);
+  int mismatches = 0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto reference = RunReference((*system)->engine(), workload[i]);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "reference query %zu: %s\n", i,
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    auto response = client.Post(
+        "/v1/query", bench_util::TopKQueryJson(workload[i], model_name));
+    if (!response.ok() || response->status != 200) {
+      ++mismatches;
+      continue;
+    }
+    auto body = ParseJson(response->body);
+    if (!body.ok()) {
+      ++mismatches;
+      continue;
+    }
+    const JsonValue* entries = body->Find("entries");
+    const JsonValue* stats = body->Find("stats");
+    const JsonValue* inputs_run =
+        stats == nullptr ? nullptr : stats->Find("inputs_run");
+    if (entries == nullptr || inputs_run == nullptr ||
+        !EntriesMatch(*entries, reference.value()) ||
+        inputs_run->int_value() != reference->stats.inputs_run) {
+      ++mismatches;
+    }
+  }
+  Check(mismatches == 0,
+        "mixed interactive/batch workload (" +
+            std::to_string(workload.size()) +
+            " queries) bit-identical to sequential reference");
+
+  // --- 2. Streaming query: progress before result, matching final. ------
+  {
+    service::TopKQuery streaming;
+    streaming.kind = service::TopKQuery::Kind::kHighest;
+    streaming.group.layer = (*system)->model()->activation_layers().front();
+    streaming.group.neurons = {0, 1, 2, 3};
+    streaming.k = 10;
+    auto reference = RunReference((*system)->engine(), streaming);
+    if (!reference.ok()) {
+      std::fprintf(stderr, "streaming reference: %s\n",
+                   reference.status().ToString().c_str());
+      return 1;
+    }
+    std::string neurons = "0,1,2,3";
+    const std::string target =
+        "/v1/query?stream=1&kind=highest&layer=" +
+        std::to_string(streaming.group.layer) + "&neurons=" + neurons +
+        "&k=10&session_id=9&qos=interactive";
+    int progress_events = 0;
+    int result_events = 0;
+    int64_t last_round = -1;
+    size_t last_confirmed = 0;
+    bool ordered = true;
+    bool progress_before_result = true;
+    bool final_matches = false;
+    auto streamed = client.GetStream(target, [&](const std::string& line) {
+      auto event = ParseJson(line);
+      if (!event.ok()) return true;
+      const JsonValue* kind = event->Find("event");
+      if (kind == nullptr || !kind->is_string()) return true;
+      if (kind->string_value() == "progress") {
+        if (result_events > 0) progress_before_result = false;
+        ++progress_events;
+        const JsonValue* round = event->Find("round");
+        const JsonValue* confirmed = event->Find("confirmed");
+        if (round == nullptr || round->int_value() <= last_round) {
+          ordered = false;
+        } else {
+          last_round = round->int_value();
+        }
+        const size_t confirmed_count =
+            confirmed != nullptr && confirmed->is_array()
+                ? confirmed->array_items().size()
+                : 0;
+        // For kHighest the confirmed set only grows round over round.
+        if (confirmed_count < last_confirmed) ordered = false;
+        last_confirmed = confirmed_count;
+      } else if (kind->string_value() == "result") {
+        ++result_events;
+        const JsonValue* entries = event->Find("entries");
+        final_matches =
+            entries != nullptr && EntriesMatch(*entries, reference.value());
+      }
+      return true;
+    });
+    Check(streamed.ok() && streamed->status == 200,
+          "streaming query returned 200 with a chunked body");
+    Check(progress_events >= 1 && result_events == 1 &&
+              progress_before_result,
+          "stream emitted >=1 progress event before the final result (" +
+              std::to_string(progress_events) + " progress)");
+    Check(ordered, "progress rounds increase and confirmed set only grows");
+    Check(final_matches, "streamed final result bit-identical to reference");
+  }
+
+  // --- 3. deadline_ms=0 rejected without running inference. -------------
+  {
+    const int64_t rejected_before =
+        StatsField(&client, "rejected_past_deadline");
+    const int64_t executed_before = StatsField(&client, "completed") +
+                                    StatsField(&client, "failed") +
+                                    StatsField(&client, "deadline_exceeded");
+    service::TopKQuery doomed;
+    doomed.group.layer = (*system)->model()->activation_layers().back();
+    doomed.group.neurons = {0, 1};
+    doomed.k = 3;
+    auto response = client.Post(
+        "/v1/query",
+        bench_util::TopKQueryJson(doomed, model_name,
+                                  /*include_deadline_ms=*/true,
+                                  /*deadline_ms=*/0.0));
+    bool rejected_504 = false;
+    if (response.ok() && response->status == 504) {
+      auto body = ParseJson(response->body);
+      if (body.ok()) {
+        const JsonValue* error = body->Find("error");
+        const JsonValue* code = error ? error->Find("code") : nullptr;
+        rejected_504 = code != nullptr && code->is_string() &&
+                       code->string_value() == "DeadlineExceeded";
+      }
+    }
+    Check(rejected_504, "deadline_ms=0 rejected with 504 DeadlineExceeded");
+    const int64_t rejected_after =
+        StatsField(&client, "rejected_past_deadline");
+    const int64_t executed_after = StatsField(&client, "completed") +
+                                   StatsField(&client, "failed") +
+                                   StatsField(&client, "deadline_exceeded");
+    Check(rejected_after == rejected_before + 1 &&
+              executed_after == executed_before,
+          "rejection counted as rejected_past_deadline; no inference ran");
+  }
+
+  // --- 4. Wrong model 404s. ---------------------------------------------
+  {
+    service::TopKQuery query;
+    query.group.layer = (*system)->model()->activation_layers().front();
+    query.group.neurons = {0};
+    auto response = client.Post(
+        "/v1/query",
+        bench_util::TopKQueryJson(query, "NotTheModelYouAreLookingFor"));
+    Check(response.ok() && response->status == 404,
+          "query for an unserved model returns 404");
+  }
+
+  std::printf("%s (%d failure%s)\n", g_failures == 0 ? "ALL PASS" : "FAILED",
+              g_failures, g_failures == 1 ? "" : "s");
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = next_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(next_value("--port")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = static_cast<uint64_t>(std::atoll(next_value("--seed")));
+    } else if (std::strcmp(argv[i], "--inputs") == 0) {
+      options.num_inputs =
+          static_cast<uint32_t>(std::atoi(next_value("--inputs")));
+    } else if (std::strcmp(argv[i], "--wait-ready-seconds") == 0) {
+      options.wait_ready_seconds = std::atof(next_value("--wait-ready-seconds"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host A] [--port N] [--seed N] [--inputs N] "
+                   "[--wait-ready-seconds X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return Run(options);
+}

@@ -1,0 +1,119 @@
+// The network front-end, runnable: builds the deterministic demo system
+// (TinyMlp + synthetic vectors, all derived from --seed), wraps it in a
+// QueryService, and serves the HTTP/1.1 query API on loopback until
+// SIGINT/SIGTERM.
+//
+//   ./example_query_server --port 8080
+//   curl -s localhost:8080/v1/query
+//     -d '{"kind":"highest","layer":1,"neurons":[0,2,4],"k":5,"qos":"interactive"}'
+//   curl -sN 'localhost:8080/v1/query?stream=1&layer=1&neurons=0,2,4&k=5'
+//   curl -s localhost:8080/v1/stats
+//
+// The e2e CI job starts this binary, then runs example_query_client
+// (which rebuilds the identical engine from the same seed) against it and
+// asserts bit-identical results. See README "Network API" for the wire
+// protocol.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "bench_util/demo_system.h"
+#include "net/query_server.h"
+#include "service/query_service.h"
+
+using namespace deepeverest;  // NOLINT: example brevity
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+int Run(int argc, char** argv) {
+  bench_util::DemoSystemOptions demo_options;
+  // Realistic multi-millisecond queries by default, so streamed progress
+  // and mid-query cancellation are observable from a remote client.
+  demo_options.device_latency_scale = 8.0;
+  net::QueryServerOptions server_options;
+  server_options.http.port = 8080;
+  service::QueryServiceOptions service_options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      server_options.http.port =
+          static_cast<uint16_t>(std::atoi(next_value("--port")));
+    } else if (std::strcmp(argv[i], "--inputs") == 0) {
+      demo_options.num_inputs =
+          static_cast<uint32_t>(std::atoi(next_value("--inputs")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      demo_options.seed =
+          static_cast<uint64_t>(std::atoll(next_value("--seed")));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      service_options.num_workers = std::atoi(next_value("--workers"));
+    } else if (std::strcmp(argv[i], "--device-scale") == 0) {
+      demo_options.device_latency_scale =
+          std::atof(next_value("--device-scale"));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--inputs N] [--seed N] "
+                   "[--workers N] [--device-scale X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto system = bench_util::DemoSystem::Make(demo_options);
+  if (!system.ok()) {
+    std::fprintf(stderr, "demo system: %s\n",
+                 system.status().ToString().c_str());
+    return 1;
+  }
+  auto service =
+      service::QueryService::Create((*system)->engine(), service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "query service: %s\n",
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  server_options.model_name = (*system)->model_name();
+  auto server = net::QueryServer::Start(service->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "http server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  // The readiness line the CI job (and any supervisor) waits for; flushed
+  // immediately so a pipe reader sees it before the first request.
+  std::printf("query_server listening on 127.0.0.1:%u model=%s inputs=%u "
+              "seed=%llu workers=%d\n",
+              static_cast<unsigned>((*server)->port()),
+              (*system)->model_name().c_str(), demo_options.num_inputs,
+              static_cast<unsigned long long>(demo_options.seed),
+              service_options.num_workers);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("shutting down\n");
+  (*server)->Shutdown();
+  (*service)->Shutdown();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,138 @@
+#include "bench_util/demo_system.h"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "common/json.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace deepeverest {
+namespace bench_util {
+
+namespace {
+
+data::Dataset MakeVectorDataset(uint32_t num_inputs, int dims,
+                                uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset dataset("demo-vec" + std::to_string(num_inputs),
+                        Shape({dims}));
+  for (uint32_t i = 0; i < num_inputs; ++i) {
+    Tensor input(Shape({dims}));
+    for (int d = 0; d < dims; ++d) {
+      input[d] = static_cast<float>(rng.NextGaussian());
+    }
+    dataset.Add(std::move(input), static_cast<int>(i % 4));
+  }
+  return dataset;
+}
+
+}  // namespace
+
+DemoSystem::DemoSystem(nn::ModelPtr model, data::Dataset dataset)
+    : model_(std::move(model)), dataset_(std::move(dataset)) {}
+
+DemoSystem::~DemoSystem() {
+  engine_.reset();  // the engine writes through the store; drop it first
+  store_.reset();
+  if (!store_dir_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(store_dir_, ec);
+  }
+}
+
+Result<std::unique_ptr<DemoSystem>> DemoSystem::Make(
+    const DemoSystemOptions& options) {
+  if (options.num_inputs == 0) {
+    return Status::InvalidArgument("num_inputs must be > 0");
+  }
+  std::unique_ptr<DemoSystem> system(new DemoSystem(
+      nn::MakeTinyMlp(options.input_units, options.seed),
+      MakeVectorDataset(options.num_inputs, options.input_units,
+                        options.seed + 1)));
+  DE_ASSIGN_OR_RETURN(system->store_dir_,
+                      storage::MakeTempDir("demo_system"));
+  DE_ASSIGN_OR_RETURN(storage::FileStore store,
+                      storage::FileStore::Open(system->store_dir_));
+  system->store_ = std::make_unique<storage::FileStore>(std::move(store));
+
+  core::DeepEverestOptions engine_options;
+  engine_options.batch_size = options.batch_size;
+  DE_ASSIGN_OR_RETURN(
+      system->engine_,
+      core::DeepEverest::Create(system->model_.get(), &system->dataset_,
+                                system->store_.get(), engine_options));
+  if (options.preprocess) {
+    DE_RETURN_NOT_OK(system->engine_->PreprocessAllLayers());
+  }
+  if (options.device_latency_scale > 0.0) {
+    system->engine_->inference()->mutable_cost_model()->seconds_per_mac *=
+        options.device_latency_scale;
+    system->engine_->inference()->set_simulate_device_latency(true);
+  }
+  return system;
+}
+
+std::vector<service::TopKQuery> MakeMixedWorkload(const nn::Model& model,
+                                                  int count) {
+  const std::vector<int>& layers = model.activation_layers();
+  std::vector<service::TopKQuery> workload;
+  workload.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    service::TopKQuery query;
+    query.group.layer = layers[static_cast<size_t>(i) % layers.size()];
+    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
+    query.k = 5 + i % 3;
+    query.session_id = static_cast<uint64_t>(1 + i % 6);
+    query.qos = (i % 2 == 0) ? QosClass::kInteractive : QosClass::kBatch;
+    if (i % 2 == 0) {
+      query.kind = service::TopKQuery::Kind::kHighest;
+    } else {
+      query.kind = service::TopKQuery::Kind::kMostSimilar;
+      query.target_id = static_cast<uint32_t>(i % 20);
+    }
+    workload.push_back(std::move(query));
+  }
+  return workload;
+}
+
+std::string TopKQueryJson(const service::TopKQuery& query,
+                          const std::string& model_name,
+                          bool include_deadline_ms, double deadline_ms) {
+  JsonWriter w;
+  w.BeginObject();
+  if (!model_name.empty()) {
+    w.Key("model");
+    w.String(model_name);
+  }
+  w.Key("kind");
+  w.String(query.kind == service::TopKQuery::Kind::kHighest
+               ? "highest"
+               : "most_similar");
+  w.Key("layer");
+  w.Int(query.group.layer);
+  w.Key("neurons");
+  w.BeginArray();
+  for (const int64_t n : query.group.neurons) w.Int(n);
+  w.EndArray();
+  w.Key("k");
+  w.Int(query.k);
+  if (query.kind == service::TopKQuery::Kind::kMostSimilar) {
+    w.Key("target_id");
+    w.Uint(query.target_id);
+  }
+  w.Key("session_id");
+  w.Uint(query.session_id);
+  w.Key("qos");
+  w.String(QosClassName(query.qos));
+  if (include_deadline_ms) {
+    w.Key("deadline_ms");
+    w.Double(deadline_ms);
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace bench_util
+}  // namespace deepeverest

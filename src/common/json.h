@@ -1,0 +1,144 @@
+#ifndef DEEPEVEREST_COMMON_JSON_H_
+#define DEEPEVEREST_COMMON_JSON_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace deepeverest {
+
+/// \brief Minimal hand-rolled JSON support for the network front-end: a
+/// streaming writer and a recursive-descent reader. Dependency-free by
+/// design (the container bakes in no JSON library) and small on purpose —
+/// it covers exactly RFC 8259 JSON, nothing more (no comments, no NaN/Inf,
+/// no trailing commas).
+///
+/// Doubles are written with 17 significant digits, so every finite value
+/// round-trips bit-identically through write → parse (strtod) — the
+/// property the server-e2e bit-equality check rests on.
+
+/// \brief Appends JSON tokens to an internal buffer, inserting commas and
+/// validating nesting via a small state stack.
+///
+/// \code
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("entries");
+///   w.BeginArray();
+///   w.Int(42);
+///   w.EndArray();
+///   w.EndObject();
+///   send(w.str());
+/// \endcode
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  void BeginObject() { Prefix(); out_.push_back('{'); stack_.push_back(kObjectFirst); }
+  void EndObject();
+  void BeginArray() { Prefix(); out_.push_back('['); stack_.push_back(kArrayFirst); }
+  void EndArray();
+
+  /// Object member key; must be followed by exactly one value.
+  void Key(const std::string& name);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// The document so far. Valid once every Begin* has been matched.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Escapes `value` as a JSON string literal (quotes included).
+  static std::string Escape(const std::string& value);
+
+ private:
+  enum State : char {
+    kObjectFirst,  // inside {, no member yet
+    kObjectNext,   // inside {, needs ',' before the next key
+    kObjectValue,  // after a Key(), exactly one value expected
+    kArrayFirst,   // inside [, no element yet
+    kArrayNext,    // inside [, needs ',' before the next element
+  };
+
+  /// Emits any needed separator for the next value and updates the state.
+  void Prefix();
+
+  std::string out_;
+  std::vector<char> stack_;
+};
+
+/// \brief A parsed JSON document node (tagged union).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  /// The number truncated toward zero, saturated to the int64 range (a
+  /// plain cast of an out-of-range double is undefined behaviour, and
+  /// numbers here can come straight off the wire). NaN maps to 0.
+  int64_t int_value() const {
+    if (std::isnan(number_)) return 0;
+    // 2^63 is exactly representable; the comparison bounds are exact.
+    if (number_ >= 9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    if (number_ < -9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::min();
+    }
+    return static_cast<int64_t>(number_);
+  }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& object_members()
+      const {
+    return members_;
+  }
+
+  /// Member lookup; nullptr when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeNumber(double v);
+  static JsonValue MakeString(std::string v);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (object, array, or scalar). The whole input
+/// must be consumed (trailing whitespace allowed); errors return
+/// InvalidArgument with a byte offset. Nesting is limited to 64 levels.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_COMMON_JSON_H_

@@ -87,10 +87,16 @@ class QueryContext {
 
   /// Absolute deadline. Unset (the default) means no deadline.
   void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }
-  /// Convenience: deadline `seconds` from now.
+  /// Convenience: deadline `seconds` from now. Values are clamped to
+  /// [0, ~3 years]: a float→int64 cast of a huge nanosecond count would be
+  /// undefined behaviour, and callers (the HTTP front-end) feed this from
+  /// untrusted wire input. NaN clamps to 0 (immediately due).
   void SetDeadlineAfter(double seconds) {
+    double clamped = seconds;
+    if (!(clamped > 0.0)) clamped = 0.0;
+    if (clamped > 1e8) clamped = 1e8;
     deadline_ = Clock::now() + std::chrono::nanoseconds(static_cast<int64_t>(
-                                   seconds * 1e9));
+                                   clamped * 1e9));
   }
   void ClearDeadline() { deadline_ = Clock::time_point::max(); }
   bool has_deadline() const { return deadline_ != Clock::time_point::max(); }

@@ -1,0 +1,369 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace deepeverest {
+namespace net {
+
+namespace {
+
+const std::string kEmpty;
+
+/// Trims optional whitespace (OWS: spaces and tabs) from both ends.
+std::string TrimOws(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string AsciiLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+const std::string& HttpRequest::HeaderOrEmpty(
+    const std::string& lower_name) const {
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+const std::string& HttpResponse::HeaderOrEmpty(
+    const std::string& lower_name) const {
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 499: return "Client Closed Request";  // nginx's code; apt here too
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string FormatResponseHead(
+    int status,
+    const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                     HttpStatusText(status) + "\r\n";
+  for (const auto& [name, value] : headers) {
+    head += name;
+    head += ": ";
+    head += value;
+    head += "\r\n";
+  }
+  head += "\r\n";
+  return head;
+}
+
+Result<std::string> PercentDecode(const std::string& text,
+                                  bool plus_is_space) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '+' && plus_is_space) {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= text.size()) {
+        return Status::InvalidArgument("truncated percent escape");
+      }
+      const int hi = HexDigit(text[i + 1]);
+      const int lo = HexDigit(text[i + 2]);
+      if (hi < 0 || lo < 0) {
+        return Status::InvalidArgument("invalid percent escape");
+      }
+      out.push_back(static_cast<char>((hi << 4) | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::map<std::string, std::string>> ParseQueryString(
+    const std::string& query) {
+  std::map<std::string, std::string> params;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    if (!pair.empty()) {
+      const size_t eq = pair.find('=');
+      std::string key_raw =
+          eq == std::string::npos ? pair : pair.substr(0, eq);
+      std::string value_raw =
+          eq == std::string::npos ? std::string() : pair.substr(eq + 1);
+      DE_ASSIGN_OR_RETURN(std::string key,
+                          PercentDecode(key_raw, /*plus_is_space=*/true));
+      DE_ASSIGN_OR_RETURN(std::string value,
+                          PercentDecode(value_raw, /*plus_is_space=*/true));
+      params[std::move(key)] = std::move(value);
+    }
+    pos = amp + 1;
+  }
+  return params;
+}
+
+// ---------------------------------------------------------------------------
+// HttpRequestParser
+// ---------------------------------------------------------------------------
+
+Status HttpRequestParser::Feed(const char* data, size_t size) {
+  if (state_ == State::kError) return error_;
+  buffer_.append(data, size);
+
+  if (state_ == State::kHead) {
+    const size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      if (buffer_.size() > kMaxHeaderBytes) {
+        error_ = Status::ResourceExhausted("request head exceeds limit");
+        state_ = State::kError;
+        return error_;
+      }
+      return Status::OK();  // need more bytes
+    }
+    if (head_end + 4 > kMaxHeaderBytes) {
+      error_ = Status::ResourceExhausted("request head exceeds limit");
+      state_ = State::kError;
+      return error_;
+    }
+    Status parsed = ParseHead();
+    if (!parsed.ok()) {
+      error_ = parsed;
+      state_ = State::kError;
+      return error_;
+    }
+  }
+
+  if (state_ == State::kBody) {
+    if (body_remaining_ > 0) {
+      const size_t take = std::min(body_remaining_, buffer_.size());
+      request_.body.append(buffer_, 0, take);
+      buffer_.erase(0, take);
+      body_remaining_ -= take;
+    }
+    if (body_remaining_ == 0) state_ = State::kComplete;
+  }
+  return Status::OK();
+}
+
+Status HttpRequestParser::ParseHead() {
+  const size_t head_end = buffer_.find("\r\n\r\n");
+  const std::string head = buffer_.substr(0, head_end);
+  buffer_.erase(0, head_end + 4);
+
+  // Request line: METHOD SP request-target SP HTTP-version.
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    return Status::InvalidArgument("malformed request line");
+  }
+  request_.method = request_line.substr(0, sp1);
+  request_.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request_.version = request_line.substr(sp2 + 1);
+  if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+    return Status::InvalidArgument("unsupported HTTP version");
+  }
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    return Status::InvalidArgument("malformed request target");
+  }
+
+  // Split the target into path + query parameters.
+  const size_t question = request_.target.find('?');
+  const std::string raw_path = question == std::string::npos
+                                   ? request_.target
+                                   : request_.target.substr(0, question);
+  DE_ASSIGN_OR_RETURN(request_.path,
+                      PercentDecode(raw_path, /*plus_is_space=*/false));
+  if (question != std::string::npos) {
+    DE_ASSIGN_OR_RETURN(request_.query,
+                        ParseQueryString(request_.target.substr(question + 1)));
+  }
+
+  // Header fields.
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return Status::InvalidArgument("malformed header field");
+    }
+    const std::string name = line.substr(0, colon);
+    // RFC 7230: no whitespace between field name and ':'.
+    if (name.back() == ' ' || name.back() == '\t') {
+      return Status::InvalidArgument("whitespace before header colon");
+    }
+    request_.headers[AsciiLower(name)] = TrimOws(line.substr(colon + 1));
+  }
+
+  if (request_.headers.count("transfer-encoding") > 0) {
+    return Status::InvalidArgument("chunked request bodies unsupported");
+  }
+
+  body_remaining_ = 0;
+  const auto it = request_.headers.find("content-length");
+  if (it != request_.headers.end()) {
+    const std::string& value = it->second;
+    if (value.empty() ||
+        value.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    char* end = nullptr;
+    const unsigned long long length = std::strtoull(value.c_str(), &end, 10);
+    if (end != value.c_str() + value.size() || length > kMaxBodyBytes) {
+      body_too_large_ = true;
+      return Status::ResourceExhausted("request body exceeds limit");
+    }
+    body_remaining_ = static_cast<size_t>(length);
+  }
+  state_ = State::kBody;
+  return Status::OK();
+}
+
+HttpRequest HttpRequestParser::TakeRequest() {
+  HttpRequest out = std::move(request_);
+  request_ = HttpRequest();
+  body_remaining_ = 0;
+  state_ = State::kHead;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ChunkedDecoder
+// ---------------------------------------------------------------------------
+
+Status ChunkedDecoder::Feed(const char* data, size_t size) {
+  if (state_ == State::kError) {
+    return Status::InvalidArgument("chunked decoder poisoned");
+  }
+  pending_.append(data, size);
+  for (;;) {
+    switch (state_) {
+      case State::kSizeLine: {
+        const size_t eol = pending_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (pending_.size() > 1024) {
+            state_ = State::kError;
+            return Status::InvalidArgument("oversized chunk size line");
+          }
+          return Status::OK();
+        }
+        // Chunk extensions (";...") are tolerated and ignored.
+        std::string size_token = pending_.substr(0, eol);
+        const size_t semi = size_token.find(';');
+        if (semi != std::string::npos) size_token.resize(semi);
+        size_token = TrimOws(size_token);
+        if (size_token.empty() ||
+            size_token.find_first_not_of("0123456789abcdefABCDEF") !=
+                std::string::npos) {
+          state_ = State::kError;
+          return Status::InvalidArgument("malformed chunk size");
+        }
+        char* end = nullptr;
+        const unsigned long long chunk =
+            std::strtoull(size_token.c_str(), &end, 16);
+        if (end != size_token.c_str() + size_token.size() ||
+            chunk > kMaxBodyBytes) {
+          state_ = State::kError;
+          return Status::InvalidArgument("malformed chunk size");
+        }
+        pending_.erase(0, eol + 2);
+        chunk_remaining_ = static_cast<size_t>(chunk);
+        state_ = chunk == 0 ? State::kTrailer : State::kData;
+        break;
+      }
+      case State::kData: {
+        const size_t take = std::min(chunk_remaining_, pending_.size());
+        output_.append(pending_, 0, take);
+        pending_.erase(0, take);
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ > 0) return Status::OK();
+        state_ = State::kDataCrlf;
+        break;
+      }
+      case State::kDataCrlf: {
+        if (pending_.size() < 2) return Status::OK();
+        if (pending_.compare(0, 2, "\r\n") != 0) {
+          state_ = State::kError;
+          return Status::InvalidArgument("missing CRLF after chunk data");
+        }
+        pending_.erase(0, 2);
+        state_ = State::kSizeLine;
+        break;
+      }
+      case State::kTrailer: {
+        // No trailer fields are produced by our server; accept an optional
+        // trailer section terminated by CRLF, bounded like the size line so
+        // an endless trailer cannot grow pending_ without limit.
+        const size_t eol = pending_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (pending_.size() > 8 * 1024) {
+            state_ = State::kError;
+            return Status::InvalidArgument("oversized chunk trailer");
+          }
+          return Status::OK();
+        }
+        if (eol == 0) {
+          pending_.erase(0, 2);
+          state_ = State::kComplete;
+          return Status::OK();
+        }
+        pending_.erase(0, eol + 2);  // drop one trailer field, stay here
+        break;
+      }
+      case State::kComplete:
+        return Status::OK();
+      case State::kError:
+        return Status::InvalidArgument("chunked decoder poisoned");
+    }
+  }
+}
+
+std::string ChunkedDecoder::TakeOutput() {
+  std::string out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+}  // namespace net
+}  // namespace deepeverest

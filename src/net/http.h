@@ -1,0 +1,139 @@
+#ifndef DEEPEVEREST_NET_HTTP_H_
+#define DEEPEVEREST_NET_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace deepeverest {
+namespace net {
+
+/// \brief HTTP/1.1 message types and wire-format helpers shared by the
+/// server and the client. Socket-free by design: everything here consumes
+/// and produces byte strings, so the parsing hot spots (the exact code an
+/// attacker reaches first) are unit-testable — and sanitizer-testable —
+/// without a network.
+
+/// Parse-size guards. Requests exceeding them are rejected with 431/413
+/// before any allocation proportional to the claimed size.
+inline constexpr size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+/// \brief One parsed request. Header names are lowercased; the target is
+/// split into `path` (percent-decoded) and `query` parameters.
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ... (verbatim, case-sensitive)
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  std::string target;  // raw request-target, e.g. "/v1/query?stream=1"
+  std::string path;    // percent-decoded path, e.g. "/v1/query"
+  std::map<std::string, std::string> query;    // decoded query parameters
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;
+
+  /// Header lookup by lowercase name; empty string when absent.
+  const std::string& HeaderOrEmpty(const std::string& lower_name) const;
+};
+
+/// \brief One parsed response (client side).
+struct HttpResponse {
+  int status = 0;
+  std::string reason;
+  std::map<std::string, std::string> headers;  // names lowercased
+  std::string body;  // chunked bodies arrive already de-chunked
+
+  const std::string& HeaderOrEmpty(const std::string& lower_name) const;
+};
+
+/// Canonical reason phrase for `status` ("OK", "Not Found", ...).
+const char* HttpStatusText(int status);
+
+/// ASCII-lowercases `s` (header names and connection options are
+/// case-insensitive per RFC 9110).
+std::string AsciiLower(std::string s);
+
+/// Serialises a response head: status line plus `headers` (verbatim order)
+/// and the trailing blank line.
+std::string FormatResponseHead(
+    int status, const std::vector<std::pair<std::string, std::string>>& headers);
+
+/// Percent-decodes `text` ('+' is NOT treated as space in paths; it is in
+/// query strings — pass `plus_is_space`). Invalid %XX sequences fail.
+Result<std::string> PercentDecode(const std::string& text, bool plus_is_space);
+
+/// Splits "a=1&b=x%20y" into decoded key/value pairs. Keys without '=' map
+/// to the empty string.
+Result<std::map<std::string, std::string>> ParseQueryString(
+    const std::string& query);
+
+/// \brief Incremental HTTP/1.1 request-head parser used by the server's
+/// connection loop: feed bytes as they arrive, then check `complete()`.
+///
+/// The head (request line + headers) is parsed once the terminating CRLFCRLF
+/// is seen; the body is then accumulated until Content-Length bytes are
+/// available. Chunked *request* bodies are not accepted (the query API never
+/// needs them) — a request declaring `Transfer-Encoding` fails with
+/// InvalidArgument.
+class HttpRequestParser {
+ public:
+  /// Appends raw bytes. Returns InvalidArgument on malformed input,
+  /// ResourceExhausted when a size guard trips. After an error the parser is
+  /// poisoned (every later Feed fails).
+  Status Feed(const char* data, size_t size);
+
+  /// True once one full request (head + body) is buffered.
+  bool complete() const { return state_ == State::kComplete; }
+
+  /// After a ResourceExhausted error: true when the *body* guard tripped
+  /// (declared Content-Length too large → 413), false when the head guard
+  /// did (→ 431).
+  bool body_too_large() const { return body_too_large_; }
+
+  /// The parsed request; valid only when complete(). Resets the parser so
+  /// the next Feed starts a new request (HTTP/1.1 keep-alive).
+  HttpRequest TakeRequest();
+
+  /// Bytes fed beyond the completed request (pipelined follow-up request).
+  const std::string& leftover() const { return buffer_; }
+
+ private:
+  enum class State { kHead, kBody, kComplete, kError };
+
+  Status ParseHead();
+
+  State state_ = State::kHead;
+  std::string buffer_;
+  HttpRequest request_;
+  size_t body_remaining_ = 0;
+  bool body_too_large_ = false;
+  Status error_ = Status::OK();
+};
+
+/// \brief Incremental `Transfer-Encoding: chunked` decoder (client side).
+/// Feed raw body bytes; decoded payload accumulates in `TakeOutput()`.
+class ChunkedDecoder {
+ public:
+  /// Returns InvalidArgument on a malformed chunk framing.
+  Status Feed(const char* data, size_t size);
+
+  /// True once the terminating 0-size chunk (and final CRLF) was consumed.
+  bool complete() const { return state_ == State::kComplete; }
+
+  /// Decoded bytes accumulated since the last call; clears the buffer.
+  std::string TakeOutput();
+
+ private:
+  enum class State { kSizeLine, kData, kDataCrlf, kTrailer, kComplete, kError };
+
+  State state_ = State::kSizeLine;
+  std::string pending_;     // undecoded carry-over (partial size line / CRLF)
+  std::string output_;      // decoded payload
+  size_t chunk_remaining_ = 0;
+};
+
+}  // namespace net
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NET_HTTP_H_

@@ -1,0 +1,313 @@
+#include "net/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace deepeverest {
+namespace net {
+
+Result<HttpClient> HttpClient::Connect(const std::string& host, uint16_t port,
+                                       double timeout_seconds) {
+  if (timeout_seconds <= 0.0) {
+    return Status::InvalidArgument("timeout_seconds must be > 0");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect " + host + ":" + std::to_string(port) +
+                           ": " + error);
+  }
+  const int enable = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  return HttpClient(fd, timeout_seconds);
+}
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_),
+      timeout_seconds_(other.timeout_seconds_),
+      read_buffer_(std::move(other.read_buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    timeout_seconds_ = other.timeout_seconds_;
+    read_buffer_ = std::move(other.read_buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status HttpClient::SendAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status error =
+          Status::IOError(std::string("send: ") + std::strerror(errno));
+      Close();
+      return error;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<HttpResponse> HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: deepeverest\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: " + content_type + "\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  DE_RETURN_NOT_OK(SendAll(request));
+  return ReadResponse(nullptr);
+}
+
+Result<HttpResponse> HttpClient::GetStream(const std::string& target,
+                                           const LineCallback& on_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
+  if (!on_line) return Status::InvalidArgument("on_line callback is required");
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: deepeverest\r\n\r\n";
+  DE_RETURN_NOT_OK(SendAll(request));
+  return ReadResponse(&on_line);
+}
+
+Result<HttpResponse> HttpClient::ReadResponse(const LineCallback* on_line) {
+  // The timeout is *idle* time — reset whenever bytes arrive — so a long
+  // NDJSON stream that keeps emitting progress is never cut off, while a
+  // stalled server still trips it.
+  auto last_progress = std::chrono::steady_clock::now();
+  char buffer[8192];
+  bool saw_eof = false;  // clean close (recv == 0), vs. timeout/error
+
+  // Pulls more bytes into read_buffer_; IOError on timeout/close.
+  auto read_more = [&]() -> Status {
+    for (;;) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        last_progress)
+              .count();
+      if (elapsed >= timeout_seconds_) {
+        Close();
+        return Status::IOError("response timed out");
+      }
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, 100);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        const Status error =
+            Status::IOError(std::string("poll: ") + std::strerror(errno));
+        Close();
+        return error;
+      }
+      if (ready == 0) continue;
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const Status error =
+            Status::IOError(std::string("recv: ") + std::strerror(errno));
+        Close();
+        return error;
+      }
+      if (n == 0) {
+        saw_eof = true;
+        Close();
+        return Status::IOError("connection closed mid-response");
+      }
+      read_buffer_.append(buffer, static_cast<size_t>(n));
+      last_progress = std::chrono::steady_clock::now();
+      return Status::OK();
+    }
+  };
+
+  // --- Head: status line + headers. ---
+  size_t head_end;
+  while ((head_end = read_buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (read_buffer_.size() > kMaxHeaderBytes) {
+      Close();
+      return Status::ResourceExhausted("response head exceeds limit");
+    }
+    DE_RETURN_NOT_OK(read_more());
+  }
+  const std::string head = read_buffer_.substr(0, head_end);
+  read_buffer_.erase(0, head_end + 4);
+
+  HttpResponse response;
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string::npos) line_end = head.size();
+  const std::string status_line = head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.compare(0, 5, "HTTP/") != 0) {
+    Close();
+    return Status::IOError("malformed status line: " + status_line);
+  }
+  const size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string code_token =
+      status_line.substr(sp1 + 1, sp2 == std::string::npos
+                                      ? std::string::npos
+                                      : sp2 - sp1 - 1);
+  char* end = nullptr;
+  response.status = static_cast<int>(std::strtol(code_token.c_str(), &end, 10));
+  if (end != code_token.c_str() + code_token.size() || response.status < 100) {
+    Close();
+    return Status::IOError("malformed status code: " + status_line);
+  }
+  if (sp2 != std::string::npos) response.reason = status_line.substr(sp2 + 1);
+
+  size_t pos = line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    const size_t value_begin = value.find_first_not_of(" \t");
+    value = value_begin == std::string::npos ? "" : value.substr(value_begin);
+    response.headers[AsciiLower(line.substr(0, colon))] = std::move(value);
+  }
+
+  // --- Body. ---
+  const bool chunked =
+      AsciiLower(response.HeaderOrEmpty("transfer-encoding")) == "chunked";
+  if (chunked) {
+    ChunkedDecoder decoder;
+    std::string line_accumulator;
+    bool abandoned = false;
+    auto deliver = [&](std::string&& decoded) {
+      if (on_line == nullptr) {
+        response.body += decoded;
+        return;
+      }
+      line_accumulator += decoded;
+      size_t newline;
+      while (!abandoned &&
+             (newline = line_accumulator.find('\n')) != std::string::npos) {
+        std::string line = line_accumulator.substr(0, newline);
+        line_accumulator.erase(0, newline + 1);
+        if (!(*on_line)(line)) abandoned = true;
+      }
+    };
+    for (;;) {
+      if (!read_buffer_.empty()) {
+        const std::string bytes = std::move(read_buffer_);
+        read_buffer_.clear();
+        const Status fed = decoder.Feed(bytes.data(), bytes.size());
+        if (!fed.ok()) {
+          Close();
+          return fed;
+        }
+        deliver(decoder.TakeOutput());
+        // Buffered chunked bodies get the same cap as Content-Length ones
+        // (streamed lines are consumed, not accumulated, so no cap there).
+        if (on_line == nullptr && response.body.size() > kMaxBodyBytes) {
+          Close();
+          return Status::ResourceExhausted("response body exceeds limit");
+        }
+        if (abandoned) {
+          // Stream abandoned by the callback: hard-close so the server sees
+          // the disconnect now, not at keep-alive timeout.
+          Close();
+          return response;
+        }
+      }
+      if (decoder.complete()) break;
+      DE_RETURN_NOT_OK(read_more());
+    }
+    if (on_line != nullptr && !line_accumulator.empty()) {
+      (*on_line)(line_accumulator);
+    }
+    return response;
+  }
+
+  const std::string& length_header = response.HeaderOrEmpty("content-length");
+  if (!length_header.empty()) {
+    char* len_end = nullptr;
+    const unsigned long long length =
+        std::strtoull(length_header.c_str(), &len_end, 10);
+    if (len_end != length_header.c_str() + length_header.size() ||
+        length > kMaxBodyBytes) {
+      Close();
+      return Status::IOError("malformed Content-Length");
+    }
+    while (read_buffer_.size() < length) DE_RETURN_NOT_OK(read_more());
+    response.body = read_buffer_.substr(0, static_cast<size_t>(length));
+    read_buffer_.erase(0, static_cast<size_t>(length));
+    if (on_line != nullptr && !response.body.empty()) {
+      // A non-chunked response to a stream request (an error, typically) is
+      // still surfaced through the callback for uniform handling.
+      (*on_line)(response.body);
+    }
+    return response;
+  }
+
+  // No framing: body runs to connection close (HTTP/1.0 style). Only a
+  // clean close terminates it — a timeout or recv error would otherwise
+  // hand back a truncated body as success.
+  for (;;) {
+    response.body += read_buffer_;
+    read_buffer_.clear();
+    if (response.body.size() > kMaxBodyBytes) {
+      Close();
+      return Status::ResourceExhausted("response body exceeds limit");
+    }
+    const Status more = read_more();
+    if (!more.ok()) {
+      if (saw_eof) break;
+      return more;
+    }
+  }
+  return response;
+}
+
+}  // namespace net
+}  // namespace deepeverest

@@ -1,0 +1,340 @@
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+namespace deepeverest {
+namespace net {
+
+namespace {
+
+/// Poll slice: how often blocked reads/accepts re-check the stop flag.
+constexpr int kPollMillis = 100;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HttpResponseWriter
+// ---------------------------------------------------------------------------
+
+bool HttpResponseWriter::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a disconnected peer must surface as EPIPE, not SIGPIPE —
+    // disconnect detection is how streaming queries get cancelled.
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      peer_gone_ = true;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void HttpResponseWriter::WriteResponse(
+    int status, const std::string& content_type, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || peer_gone_) return;
+  started_ = true;
+  std::vector<std::pair<std::string, std::string>> headers;
+  headers.emplace_back("Content-Type", content_type);
+  headers.emplace_back("Content-Length", std::to_string(body.size()));
+  headers.emplace_back("Connection", keep_alive_ ? "keep-alive" : "close");
+  for (const auto& h : extra_headers) headers.push_back(h);
+  const std::string head = FormatResponseHead(status, headers);
+  if (SendAll(head.data(), head.size())) SendAll(body.data(), body.size());
+}
+
+bool HttpResponseWriter::BeginChunked(int status,
+                                      const std::string& content_type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || peer_gone_) return false;
+  started_ = true;
+  chunked_ = true;
+  const std::string head = FormatResponseHead(
+      status, {{"Content-Type", content_type},
+               {"Transfer-Encoding", "chunked"},
+               {"Connection", keep_alive_ ? "keep-alive" : "close"}});
+  return SendAll(head.data(), head.size());
+}
+
+bool HttpResponseWriter::WriteChunk(const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!chunked_ || peer_gone_) return false;
+  if (data.empty()) return true;
+  char size_line[32];
+  std::snprintf(size_line, sizeof(size_line), "%zx\r\n", data.size());
+  std::string frame;
+  frame.reserve(data.size() + 24);
+  frame += size_line;
+  frame += data;
+  frame += "\r\n";
+  return SendAll(frame.data(), frame.size());
+}
+
+bool HttpResponseWriter::EndChunked() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!chunked_) return false;
+  chunked_ = false;
+  if (peer_gone_) return false;
+  static const char kLast[] = "0\r\n\r\n";
+  return SendAll(kLast, sizeof(kLast) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(
+    const HttpServerOptions& options, Handler handler) {
+  if (!handler) return Status::InvalidArgument("handler is required");
+  if (options.read_timeout_seconds <= 0.0) {
+    return Status::InvalidArgument("read_timeout_seconds must be > 0");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("invalid bind address: " +
+                                   options.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind " + options.bind_address + ":" +
+                           std::to_string(options.port) + ": " + error);
+  }
+  if (::listen(fd, options.listen_backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname: " + error);
+  }
+
+  std::unique_ptr<HttpServer> server(
+      new HttpServer(options, std::move(handler)));
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(bound.sin_port);
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->AcceptLoop();
+  });
+  return server;
+}
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Shutdown() {
+  if (stopping_.exchange(true)) {
+    // A second caller must still wait for the joins below, but the first
+    // caller owns them; the destructor is the only second caller in
+    // practice and runs after an explicit Shutdown() returned.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  // Unblock the accept loop.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock connection reads; their poll loops also see stopping_ within
+  // one slice.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::list<std::unique_ptr<Connection>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    to_join.swap(connections_);
+  }
+  for (auto& connection : to_join) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollMillis);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion (fd/buffer limits) is transient under a
+        // connection burst: back off briefly instead of killing the accept
+        // loop for the life of the process.
+        std::this_thread::sleep_for(std::chrono::milliseconds(kPollMillis));
+        continue;
+      }
+      return;  // listener closed (shutdown) or fatal
+    }
+    const int enable = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    // Reclaim finished connection threads before tracking the new one.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    live_fds_.insert(fd);
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* connection = connections_.back().get();
+    connection->thread =
+        std::thread([this, fd, connection] { ServeConnection(fd, connection); });
+  }
+}
+
+void HttpServer::ServeConnection(int fd, Connection* self) {
+  HttpRequestParser parser;
+  char buffer[8192];
+  auto last_activity = std::chrono::steady_clock::now();
+  bool open = true;
+
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    // A pipelined follow-up request may already be fully buffered from a
+    // previous read; a zero-byte feed lets the parser surface it before we
+    // block on the socket for bytes that may never come.
+    if (!parser.complete()) {
+      const Status repumped = parser.Feed("", 0);
+      if (!repumped.ok()) {
+        HttpResponseWriter writer(fd);
+        writer.set_keep_alive(false);
+        const int status =
+            repumped.code() != StatusCode::kResourceExhausted
+                ? 400
+                : (parser.body_too_large() ? 413 : 431);
+        writer.WriteResponse(status, "text/plain", repumped.message() + "\n");
+        break;
+      }
+    }
+    // Read until one full request is buffered (or the peer/timeout closes
+    // the connection).
+    while (!parser.complete()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        open = false;
+        break;
+      }
+      const double idle = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() -
+                              last_activity)
+                              .count();
+      if (idle > options_.read_timeout_seconds) {
+        open = false;
+        break;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, kPollMillis);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        open = false;
+        break;
+      }
+      if (ready == 0) continue;
+      const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        open = false;  // peer closed or error
+        break;
+      }
+      last_activity = std::chrono::steady_clock::now();
+      const Status fed = parser.Feed(buffer, static_cast<size_t>(n));
+      if (!fed.ok()) {
+        // Malformed head/body: answer once, then close (framing is lost).
+        HttpResponseWriter writer(fd);
+        writer.set_keep_alive(false);
+        const int status =
+            fed.code() != StatusCode::kResourceExhausted
+                ? 400
+                : (parser.body_too_large() ? 413 : 431);
+        writer.WriteResponse(status, "text/plain", fed.message() + "\n");
+        open = false;
+        break;
+      }
+    }
+    if (!open || !parser.complete()) break;
+
+    const HttpRequest request = parser.TakeRequest();
+    HttpResponseWriter writer(fd);
+    // HTTP/1.1 defaults to keep-alive; an explicit "Connection: close"
+    // opts out (connection options are case-insensitive, RFC 9110 §7.6.1).
+    // HTTP/1.0 closes unless the request says keep-alive.
+    const std::string connection =
+        AsciiLower(request.HeaderOrEmpty("connection"));
+    if (connection == "close" ||
+        (request.version == "HTTP/1.0" && connection != "keep-alive")) {
+      writer.set_keep_alive(false);
+    }
+    handler_(request, &writer);
+    if (!writer.response_started()) {
+      writer.WriteResponse(500, "text/plain", "handler produced no response\n");
+    }
+    open = writer.keep_alive();
+    last_activity = std::chrono::steady_clock::now();
+  }
+
+  // Untrack before close so Shutdown() can never shutdown() a recycled fd
+  // number; marking done last lets the accept loop's sweep join us.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(fd);
+  }
+  ::close(fd);
+  self->done.store(true, std::memory_order_release);
+}
+
+}  // namespace net
+}  // namespace deepeverest

@@ -1,0 +1,156 @@
+#ifndef DEEPEVEREST_NET_HTTP_SERVER_H_
+#define DEEPEVEREST_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "net/http.h"
+
+namespace deepeverest {
+namespace net {
+
+/// \brief Connection-side response channel handed to the request handler.
+///
+/// Two modes, chosen per request:
+///  - `WriteResponse()`: one buffered response (Content-Length framing).
+///  - `BeginChunked()` + `WriteChunk()`* + `EndChunked()`: a streaming
+///    response (`Transfer-Encoding: chunked`), used by the NDJSON progress
+///    stream. `WriteChunk` returns false once the peer is gone (send
+///    failure), which is the server's disconnect signal — streaming
+///    handlers use it to cancel the query they are narrating.
+///
+/// Writers are single-threaded per connection from the server's point of
+/// view, but a streaming handler may legally call WriteChunk from the
+/// worker thread executing the query while the connection thread waits for
+/// the final result — the two never write concurrently (progress events
+/// all happen-before the future resolves); a mutex still serialises writes
+/// so a misbehaving handler cannot interleave bytes.
+class HttpResponseWriter {
+ public:
+  explicit HttpResponseWriter(int fd) : fd_(fd) {}
+
+  HttpResponseWriter(const HttpResponseWriter&) = delete;
+  HttpResponseWriter& operator=(const HttpResponseWriter&) = delete;
+
+  /// Sends a complete response. `extra_headers` are appended after the
+  /// defaults (Content-Type, Content-Length, Connection).
+  void WriteResponse(
+      int status, const std::string& content_type, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers =
+          {});
+
+  /// Starts a chunked response. Returns false when the head could not be
+  /// sent (peer already gone).
+  bool BeginChunked(int status, const std::string& content_type);
+  /// Sends one chunk (no-op for empty data — an empty chunk would terminate
+  /// the stream). Returns false once the peer is unreachable; later calls
+  /// keep returning false without touching the socket.
+  bool WriteChunk(const std::string& data);
+  /// Terminates the chunked body.
+  bool EndChunked();
+
+  /// True after any response bytes were sent (routing decides 404 vs
+  /// nothing-left-to-do from this).
+  bool response_started() const { return started_; }
+  /// True when this response keeps the connection open afterwards (a
+  /// chunked body the handler never terminated loses framing, so it
+  /// forces a close too).
+  bool keep_alive() const { return keep_alive_ && !peer_gone_ && !chunked_; }
+  void set_keep_alive(bool keep) { keep_alive_ = keep; }
+
+ private:
+  bool SendAll(const char* data, size_t size);
+
+  const int fd_;
+  std::mutex mu_;               // serialises socket writes
+  bool started_ = false;        // any bytes sent
+  bool chunked_ = false;        // between BeginChunked and EndChunked
+  bool peer_gone_ = false;      // a send failed; connection is dead
+  bool keep_alive_ = true;
+};
+
+struct HttpServerOptions {
+  /// Loopback by default: the demo server has no auth story, so it should
+  /// not listen on external interfaces unless the operator says so.
+  std::string bind_address = "127.0.0.1";
+  /// 0 lets the kernel pick a free port (tests); `port()` reports the
+  /// actual one either way.
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Idle-connection read timeout; a keep-alive connection quiet for this
+  /// long is closed. Also bounds how long Shutdown() waits for connection
+  /// threads to notice the stop flag.
+  double read_timeout_seconds = 30.0;
+};
+
+/// \brief A dependency-free HTTP/1.1 server: POSIX sockets, one blocking
+/// accept loop plus one thread per live connection.
+///
+/// Thread-per-connection is the right simplicity/perf point here: the
+/// expensive work (query execution) already runs on the QueryService's
+/// bounded worker pool, so connection threads mostly block on the future —
+/// admission control and backpressure live in the service, not the
+/// listener. Keep-alive is honoured; pipelined requests on one connection
+/// are served in order.
+class HttpServer {
+ public:
+  /// Invoked once per request. Must produce exactly one response via the
+  /// writer; if it returns without writing anything the server sends 500.
+  using Handler = std::function<void(const HttpRequest&, HttpResponseWriter*)>;
+
+  /// Binds, listens, and starts the accept thread.
+  static Result<std::unique_ptr<HttpServer>> Start(
+      const HttpServerOptions& options, Handler handler);
+
+  /// Stops accepting, closes live connections, joins all threads.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolved when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Idempotent orderly stop; also run by the destructor.
+  void Shutdown();
+
+ private:
+  /// One live connection: its serving thread plus a done flag the accept
+  /// loop sweeps on, so finished threads are joined and reclaimed while the
+  /// server runs instead of accumulating until Shutdown().
+  struct Connection {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  HttpServer(HttpServerOptions options, Handler handler);
+
+  void AcceptLoop();
+  void ServeConnection(int fd, Connection* self);
+
+  HttpServerOptions options_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards the two members below
+  std::list<std::unique_ptr<Connection>> connections_;
+  std::set<int> live_fds_;  // open connection sockets
+};
+
+}  // namespace net
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NET_HTTP_SERVER_H_

@@ -1,0 +1,595 @@
+#include "net/query_server.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace deepeverest {
+namespace net {
+
+namespace {
+
+/// An explicit `deadline_ms: 0` means "already due": the service rejects
+/// the query at dispatch without running any inference. One nanosecond (the
+/// smallest positive deadline the service accepts) is guaranteed to have
+/// passed by the time a worker looks at the queue.
+constexpr double kAlreadyDueSeconds = 1e-9;
+
+int HttpStatusForCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kOutOfRange: return 400;  // bad layer/neuron indices
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kAlreadyExists: return 409;
+    case StatusCode::kResourceExhausted: return 429;
+    case StatusCode::kFailedPrecondition: return 503;
+    case StatusCode::kDeadlineExceeded: return 504;
+    case StatusCode::kCancelled: return 499;
+    default: return 500;
+  }
+}
+
+std::string ErrorJson(const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(StatusCodeToString(status.code()));
+  w.Key("message");
+  w.String(status.message());
+  w.EndObject();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void WriteError(HttpResponseWriter* writer, const Status& status) {
+  writer->WriteResponse(HttpStatusForCode(status.code()), "application/json",
+                        ErrorJson(status) + "\n");
+}
+
+void WriteEntries(const std::vector<core::ResultEntry>& entries,
+                  JsonWriter* w) {
+  w->BeginArray();
+  for (const core::ResultEntry& e : entries) {
+    w->BeginObject();
+    w->Key("input_id");
+    w->Uint(e.input_id);
+    w->Key("value");
+    w->Double(e.value);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+void WriteQueryStats(const core::QueryStats& stats, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("inputs_run");
+  w->Int(stats.inputs_run);
+  w->Key("batches_run");
+  w->Double(stats.batches_run);
+  w->Key("rounds");
+  w->Int(stats.rounds);
+  w->Key("iqa_hits");
+  w->Int(stats.iqa_hits);
+  w->Key("wall_seconds");
+  w->Double(stats.wall_seconds);
+  w->Key("simulated_gpu_seconds");
+  w->Double(stats.simulated_gpu_seconds);
+  w->Key("queue_seconds");
+  w->Double(stats.queue_seconds);
+  w->Key("terminated_early");
+  w->Bool(stats.terminated_early);
+  w->EndObject();
+}
+
+std::string ResultJson(const core::TopKResult& result) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("entries");
+  WriteEntries(result.entries, &w);
+  w.Key("stats");
+  WriteQueryStats(result.stats, &w);
+  w.EndObject();
+  return w.TakeString();
+}
+
+/// One NDJSON progress event: the round, the current threshold/bounds, and
+/// the entries already proven final.
+std::string ProgressEventJson(const core::NtaProgress& progress) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event");
+  w.String("progress");
+  w.Key("round");
+  w.Int(progress.round);
+  w.Key("threshold");
+  w.Double(progress.threshold);
+  w.Key("kth_value");
+  w.Double(progress.kth_value);
+  w.Key("theta_guarantee");
+  w.Double(progress.theta_guarantee);
+  w.Key("confirmed");
+  WriteEntries(progress.confirmed, &w);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<QosClass> ParseQosName(const std::string& name) {
+  if (name == "interactive") return QosClass::kInteractive;
+  if (name == "batch") return QosClass::kBatch;
+  if (name == "best_effort") return QosClass::kBestEffort;
+  return Status::InvalidArgument("unknown QoS class: " + name);
+}
+
+/// The two request encodings (JSON body, URL parameters) funnel into one
+/// field-by-field builder via this accessor pair.
+struct FieldSource {
+  /// Returns nullptr when the field is absent.
+  std::function<const JsonValue*(const std::string&)> find;
+};
+
+Result<int64_t> ReadInt(const JsonValue& value, const std::string& name) {
+  if (value.is_number()) {
+    // Reject non-integral and out-of-int64-range numbers instead of
+    // silently truncating/saturating wire input into a different query.
+    const double num = value.number_value();
+    if (!(num >= -9223372036854775808.0 && num < 9223372036854775808.0) ||
+        num != std::floor(num)) {
+      return Status::InvalidArgument("field '" + name +
+                                     "' is not an integer");
+    }
+    return value.int_value();
+  }
+  if (value.is_string()) {
+    // URL parameters arrive as strings; accept digits (with sign) only.
+    // strtoll saturates on overflow with errno=ERANGE while still
+    // consuming the token — that must 400, not become INT64_MAX.
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value.string_value().c_str(), &end,
+                                          10);
+    if (end != value.string_value().c_str() + value.string_value().size() ||
+        value.string_value().empty() || errno == ERANGE) {
+      return Status::InvalidArgument("field '" + name +
+                                     "' is not an integer");
+    }
+    return static_cast<int64_t>(parsed);
+  }
+  return Status::InvalidArgument("field '" + name + "' is not an integer");
+}
+
+/// ReadInt plus a range check, for fields narrower than int64 — a value
+/// that would wrap in the narrowing cast must 400, not silently become a
+/// different query.
+Result<int64_t> ReadIntInRange(const JsonValue& value,
+                               const std::string& name, int64_t lo,
+                               int64_t hi) {
+  DE_ASSIGN_OR_RETURN(const int64_t parsed, ReadInt(value, name));
+  if (parsed < lo || parsed > hi) {
+    return Status::InvalidArgument("field '" + name + "' is out of range");
+  }
+  return parsed;
+}
+
+Result<double> ReadDouble(const JsonValue& value, const std::string& name) {
+  double parsed;
+  if (value.is_number()) {
+    parsed = value.number_value();
+  } else if (value.is_string()) {
+    char* end = nullptr;
+    parsed = std::strtod(value.string_value().c_str(), &end);
+    if (value.string_value().empty() ||
+        end != value.string_value().c_str() + value.string_value().size()) {
+      return Status::InvalidArgument("field '" + name + "' is not a number");
+    }
+  } else {
+    return Status::InvalidArgument("field '" + name + "' is not a number");
+  }
+  // No wire field has a meaningful non-finite value; "nan"/"1e999" via the
+  // URL string path (or 1e999 overflowing strtod) must 400.
+  if (!std::isfinite(parsed)) {
+    return Status::InvalidArgument("field '" + name + "' must be finite");
+  }
+  return parsed;
+}
+
+/// Parses the neuron list: a JSON array of integers, or (URL form) a
+/// comma-separated string like "0,2,4".
+Result<std::vector<int64_t>> ReadNeurons(const JsonValue& value) {
+  std::vector<int64_t> neurons;
+  if (value.is_array()) {
+    for (const JsonValue& item : value.array_items()) {
+      if (!item.is_number()) {
+        return Status::InvalidArgument("'neurons' must be integers");
+      }
+      // Same integrality/range discipline as the scalar fields: 1.9 must
+      // 400, not silently query neuron 1.
+      DE_ASSIGN_OR_RETURN(const int64_t id, ReadInt(item, "neurons"));
+      neurons.push_back(id);
+    }
+    return neurons;
+  }
+  if (value.is_string()) {
+    const std::string& text = value.string_value();
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      std::string token = text.substr(pos, comma - pos);
+      if (token.empty()) {
+        return Status::InvalidArgument("'neurons' has an empty element");
+      }
+      // Route each token through the one strict integer parser, so the
+      // JSON-array and comma-list encodings cannot drift.
+      DE_ASSIGN_OR_RETURN(
+          const int64_t id,
+          ReadInt(JsonValue::MakeString(std::move(token)), "neurons"));
+      neurons.push_back(id);
+      pos = comma + 1;
+    }
+    return neurons;
+  }
+  return Status::InvalidArgument("'neurons' must be an array");
+}
+
+/// Builds a TopKQuery from either encoding. `served_model` non-empty means
+/// a mismatching "model" field is NotFound.
+Result<service::TopKQuery> BuildQuery(const FieldSource& source,
+                                      const std::string& served_model) {
+  service::TopKQuery query;
+
+  if (const JsonValue* model = source.find("model")) {
+    if (!model->is_string()) {
+      return Status::InvalidArgument("'model' must be a string");
+    }
+    if (!served_model.empty() && model->string_value() != served_model) {
+      return Status::NotFound("model '" + model->string_value() +
+                              "' is not served here (serving '" +
+                              served_model + "')");
+    }
+  }
+
+  if (const JsonValue* kind = source.find("kind")) {
+    if (!kind->is_string()) {
+      return Status::InvalidArgument("'kind' must be a string");
+    }
+    if (kind->string_value() == "highest") {
+      query.kind = service::TopKQuery::Kind::kHighest;
+    } else if (kind->string_value() == "most_similar") {
+      query.kind = service::TopKQuery::Kind::kMostSimilar;
+    } else {
+      return Status::InvalidArgument("unknown kind: " + kind->string_value());
+    }
+  }
+
+  const JsonValue* layer = source.find("layer");
+  if (layer == nullptr) return Status::InvalidArgument("'layer' is required");
+  DE_ASSIGN_OR_RETURN(
+      const int64_t layer_id,
+      ReadIntInRange(*layer, "layer", 0,
+                     std::numeric_limits<int>::max()));
+  query.group.layer = static_cast<int>(layer_id);
+
+  const JsonValue* neurons = source.find("neurons");
+  if (neurons == nullptr) {
+    return Status::InvalidArgument("'neurons' is required");
+  }
+  DE_ASSIGN_OR_RETURN(query.group.neurons, ReadNeurons(*neurons));
+
+  if (const JsonValue* k = source.find("k")) {
+    DE_ASSIGN_OR_RETURN(
+        const int64_t value,
+        ReadIntInRange(*k, "k", 1, std::numeric_limits<int>::max()));
+    query.k = static_cast<int>(value);
+  }
+  if (const JsonValue* target = source.find("target_id")) {
+    DE_ASSIGN_OR_RETURN(
+        const int64_t value,
+        ReadIntInRange(*target, "target_id", 0,
+                       std::numeric_limits<uint32_t>::max()));
+    query.target_id = static_cast<uint32_t>(value);
+  } else if (query.kind == service::TopKQuery::Kind::kMostSimilar) {
+    return Status::InvalidArgument(
+        "'target_id' is required for kind=most_similar");
+  }
+  if (const JsonValue* theta = source.find("theta")) {
+    DE_ASSIGN_OR_RETURN(query.theta, ReadDouble(*theta, "theta"));
+  }
+  if (const JsonValue* session = source.find("session_id")) {
+    DE_ASSIGN_OR_RETURN(const int64_t value, ReadInt(*session, "session_id"));
+    if (value < 0) {
+      return Status::InvalidArgument("'session_id' must be >= 0");
+    }
+    query.session_id = static_cast<uint64_t>(value);
+  }
+  if (const JsonValue* qos = source.find("qos")) {
+    if (!qos->is_string()) {
+      return Status::InvalidArgument("'qos' must be a string");
+    }
+    DE_ASSIGN_OR_RETURN(query.qos, ParseQosName(qos->string_value()));
+  }
+  if (const JsonValue* weight = source.find("weight")) {
+    DE_ASSIGN_OR_RETURN(
+        const int64_t value,
+        ReadIntInRange(*weight, "weight", 1,
+                       std::numeric_limits<int>::max()));
+    query.weight = static_cast<int>(value);
+  }
+  if (const JsonValue* deadline = source.find("deadline_ms")) {
+    if (!deadline->is_null()) {
+      DE_ASSIGN_OR_RETURN(const double ms, ReadDouble(*deadline,
+                                                      "deadline_ms"));
+      // The bound (about 3 years) keeps ms*1e-3*1e9 far from the int64
+      // nanosecond range SetDeadlineAfter casts into; NaN fails it too.
+      if (!(ms >= 0.0 && ms <= 1e11)) {
+        return Status::InvalidArgument(
+            "'deadline_ms' must be in [0, 1e11]");
+      }
+      query.deadline_seconds = ms > 0.0 ? ms * 1e-3 : kAlreadyDueSeconds;
+    }
+  }
+  return query;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<QueryServer>> QueryServer::Start(
+    service::QueryService* service, const QueryServerOptions& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("query service is required");
+  }
+  std::unique_ptr<QueryServer> server(new QueryServer(service, options));
+  auto started = HttpServer::Start(
+      options.http, [raw = server.get()](const HttpRequest& request,
+                                         HttpResponseWriter* writer) {
+        raw->Handle(request, writer);
+      });
+  if (!started.ok()) return started.status();
+  server->http_ = std::move(started.value());
+  return server;
+}
+
+void QueryServer::Handle(const HttpRequest& request,
+                         HttpResponseWriter* writer) {
+  if (request.path == "/healthz") {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    writer->WriteResponse(200, "text/plain", "ok\n");
+    return;
+  }
+  if (request.path == "/v1/stats") {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleStats(writer);
+    return;
+  }
+  if (request.path == "/v1/query") {
+    if (request.method != "GET" && request.method != "POST") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleQuery(request, writer);
+    return;
+  }
+  writer->WriteResponse(404, "application/json",
+                        ErrorJson(Status::NotFound("no route for " +
+                                                   request.path)) +
+                            "\n");
+}
+
+void QueryServer::HandleQuery(const HttpRequest& request,
+                              HttpResponseWriter* writer) {
+  // Decode the query from the body (POST) or the URL parameters (GET).
+  Result<service::TopKQuery> parsed = [&]() -> Result<service::TopKQuery> {
+    if (request.method == "POST") {
+      DE_ASSIGN_OR_RETURN(JsonValue body, ParseJson(request.body));
+      if (!body.is_object()) {
+        return Status::InvalidArgument("request body must be a JSON object");
+      }
+      FieldSource source;
+      source.find = [&body](const std::string& name) {
+        return body.Find(name);
+      };
+      return BuildQuery(source, options_.model_name);
+    }
+    // GET: every parameter is a string; BuildQuery's readers convert.
+    std::map<std::string, JsonValue> values;
+    for (const auto& [key, value] : request.query) {
+      values.emplace(key, JsonValue::MakeString(value));
+    }
+    FieldSource source;
+    source.find = [&values](const std::string& name) -> const JsonValue* {
+      auto it = values.find(name);
+      return it == values.end() ? nullptr : &it->second;
+    };
+    return BuildQuery(source, options_.model_name);
+  }();
+  if (!parsed.ok()) {
+    WriteError(writer, parsed.status());
+    return;
+  }
+
+  const auto stream_param = request.query.find("stream");
+  if (stream_param != request.query.end() && stream_param->second == "1") {
+    HandleStreamingQuery(std::move(parsed.value()), writer);
+    return;
+  }
+
+  Result<core::TopKResult> result = service_->Execute(std::move(parsed.value()));
+  if (!result.ok()) {
+    WriteError(writer, result.status());
+    return;
+  }
+  writer->WriteResponse(200, "application/json",
+                        ResultJson(result.value()) + "\n");
+}
+
+void QueryServer::HandleStreamingQuery(service::TopKQuery query,
+                                       HttpResponseWriter* writer) {
+  /// Shared between this connection thread and the worker thread running
+  /// the query: the sink below is invoked on the worker, while the context
+  /// handle arrives from SubmitWithControl on this thread.
+  struct StreamState {
+    std::mutex mu;
+    std::shared_ptr<core::QueryContext> ctx;
+    bool disconnected = false;
+  };
+  auto state = std::make_shared<StreamState>();
+
+  query.on_progress = [writer, state](const core::NtaProgress& progress) {
+    if (!writer->WriteChunk(ProgressEventJson(progress) + "\n")) {
+      // The client is gone: nobody will read the answer, so stop paying
+      // inference for it. Cancel (rather than early-stop) so the abort is
+      // visible as Cancelled in ServiceStats. Returning true keeps NTA in
+      // its loop until the between-rounds CheckRunnable sees the flag.
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->disconnected = true;
+      if (state->ctx != nullptr) state->ctx->Cancel();
+    }
+    return true;
+  };
+
+  if (!writer->BeginChunked(200, "application/x-ndjson")) return;
+
+  auto submitted = service_->SubmitWithControl(std::move(query));
+  if (!submitted.ok()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("event");
+    w.String("error");
+    w.Key("code");
+    w.String(StatusCodeToString(submitted.status().code()));
+    w.Key("message");
+    w.String(submitted.status().message());
+    w.EndObject();
+    writer->WriteChunk(w.TakeString() + "\n");
+    writer->EndChunked();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->ctx = submitted->context;
+    // The disconnect may have been observed before the handle existed.
+    if (state->disconnected) state->ctx->Cancel();
+  }
+
+  Result<core::TopKResult> result = submitted->result.get();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event");
+  if (result.ok()) {
+    w.String("result");
+    w.Key("entries");
+    WriteEntries(result.value().entries, &w);
+    w.Key("stats");
+    WriteQueryStats(result.value().stats, &w);
+  } else {
+    w.String("error");
+    w.Key("code");
+    w.String(StatusCodeToString(result.status().code()));
+    w.Key("message");
+    w.String(result.status().message());
+  }
+  w.EndObject();
+  writer->WriteChunk(w.TakeString() + "\n");
+  writer->EndChunked();
+  // The context owns the sink, the sink captures `state`, and `state`
+  // holds the context back — break the cycle now that the query is over
+  // (the worker finished with the sink before resolving the future).
+  submitted->context->on_progress = nullptr;
+}
+
+void QueryServer::HandleStats(HttpResponseWriter* writer) {
+  const service::ServiceStats stats = service_->Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("submitted");
+  w.Int(stats.submitted);
+  w.Key("rejected_queue_full");
+  w.Int(stats.rejected_queue_full);
+  w.Key("rejected_session_limit");
+  w.Int(stats.rejected_session_limit);
+  w.Key("completed");
+  w.Int(stats.completed);
+  w.Key("failed");
+  w.Int(stats.failed);
+  w.Key("cancelled");
+  w.Int(stats.cancelled);
+  w.Key("deadline_exceeded");
+  w.Int(stats.deadline_exceeded);
+  w.Key("rejected_past_deadline");
+  w.Int(stats.rejected_past_deadline);
+  w.Key("queue_depth");
+  w.Uint(stats.queue_depth);
+  w.Key("inflight");
+  w.Uint(stats.inflight);
+  w.Key("active_sessions");
+  w.Uint(stats.active_sessions);
+  w.Key("p50_latency_seconds");
+  w.Double(stats.p50_latency_seconds);
+  w.Key("p90_latency_seconds");
+  w.Double(stats.p90_latency_seconds);
+  w.Key("p99_latency_seconds");
+  w.Double(stats.p99_latency_seconds);
+  w.Key("qos_enabled");
+  w.Bool(stats.qos_enabled);
+  w.Key("num_workers");
+  w.Int(stats.num_workers);
+  w.Key("uptime_seconds");
+  w.Double(stats.uptime_seconds);
+  w.Key("worker_busy_seconds");
+  w.Double(stats.worker_busy_seconds);
+  w.Key("worker_utilization");
+  w.Double(stats.worker_utilization);
+  w.Key("batching_enabled");
+  w.Bool(stats.batching_enabled);
+  w.Key("batch_size");
+  w.Int(stats.batch_size);
+  w.Key("per_class");
+  w.BeginArray();
+  for (int c = 0; c < kNumQosClasses; ++c) {
+    const service::QosClassStats& cls =
+        stats.per_class[static_cast<size_t>(c)];
+    w.BeginObject();
+    w.Key("class");
+    w.String(QosClassName(static_cast<QosClass>(c)));
+    w.Key("submitted");
+    w.Int(cls.submitted);
+    w.Key("completed");
+    w.Int(cls.completed);
+    w.Key("failed");
+    w.Int(cls.failed);
+    w.Key("cancelled");
+    w.Int(cls.cancelled);
+    w.Key("deadline_exceeded");
+    w.Int(cls.deadline_exceeded);
+    w.Key("rejected_past_deadline");
+    w.Int(cls.rejected_past_deadline);
+    w.Key("p50_latency_seconds");
+    w.Double(cls.p50_latency_seconds);
+    w.Key("p90_latency_seconds");
+    w.Double(cls.p90_latency_seconds);
+    w.Key("p99_latency_seconds");
+    w.Double(cls.p99_latency_seconds);
+    w.Key("batch_fill");
+    w.Double(cls.batch_fill);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
+}  // namespace net
+}  // namespace deepeverest

@@ -1,0 +1,79 @@
+#ifndef DEEPEVEREST_NET_QUERY_SERVER_H_
+#define DEEPEVEREST_NET_QUERY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/http_server.h"
+#include "service/query_service.h"
+
+namespace deepeverest {
+namespace net {
+
+struct QueryServerOptions {
+  HttpServerOptions http;
+  /// When non-empty, requests naming a different "model" are rejected with
+  /// 404 — one QueryServer serves exactly one engine/model.
+  std::string model_name;
+};
+
+/// \brief The HTTP front-end over a QueryService: the wire protocol that
+/// makes the serving tier drivable by anything that speaks HTTP/1.1.
+///
+/// Routes (see README "Network API" for the full request/response schema):
+///  - `POST /v1/query` — body: JSON query (model, kind, layer, neurons, k,
+///    theta, qos, deadline_ms, session_id, weight). Replies 200 with the
+///    top-k entries + per-query stats, or a mapped error status.
+///  - `GET /v1/query?...` — same query encoded as URL parameters
+///    (`neurons` comma-separated). With `stream=1` the reply is a chunked
+///    `application/x-ndjson` stream: one `progress` event per NTA round
+///    (the confirmed-so-far entries), then a final `result` (or `error`)
+///    event. A client that disconnects mid-stream cancels the query — the
+///    service stops spending inference on an answer nobody will read.
+///  - `GET /v1/stats` — ServiceStats snapshot as JSON.
+///  - `GET /healthz` — 200 "ok" once the server accepts connections.
+///
+/// Status mapping: InvalidArgument→400, NotFound→404,
+/// ResourceExhausted→429 (admission backpressure: retry),
+/// FailedPrecondition→503 (shutting down), DeadlineExceeded→504 (expired
+/// while queued — rejected without running — or mid-query),
+/// Cancelled→499, anything else→500. Error bodies are
+/// `{"error":{"code":...,"message":...}}`.
+///
+/// The server holds the service and engine by pointer; both must outlive
+/// it. Responses are computed on the QueryService's worker pool — the
+/// HTTP connection threads only parse, submit, and block on the future, so
+/// concurrency limits and QoS remain wholly the service's.
+class QueryServer {
+ public:
+  static Result<std::unique_ptr<QueryServer>> Start(
+      service::QueryService* service, const QueryServerOptions& options);
+
+  /// The bound port (resolved when options.http.port was 0).
+  uint16_t port() const { return http_->port(); }
+
+  /// Stops the HTTP listener; in-flight requests finish first. The
+  /// underlying QueryService is not shut down (it is not owned).
+  void Shutdown() { http_->Shutdown(); }
+
+ private:
+  QueryServer(service::QueryService* service, QueryServerOptions options)
+      : service_(service), options_(std::move(options)) {}
+
+  void Handle(const HttpRequest& request, HttpResponseWriter* writer);
+  void HandleQuery(const HttpRequest& request, HttpResponseWriter* writer);
+  void HandleStreamingQuery(service::TopKQuery query,
+                            HttpResponseWriter* writer);
+  void HandleStats(HttpResponseWriter* writer);
+
+  service::QueryService* service_;
+  QueryServerOptions options_;
+  std::unique_ptr<HttpServer> http_;
+};
+
+}  // namespace net
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_NET_QUERY_SERVER_H_

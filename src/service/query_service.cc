@@ -237,6 +237,12 @@ QueryService::~QueryService() { Shutdown(); }
 
 Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
     TopKQuery query) {
+  DE_ASSIGN_OR_RETURN(Submission submission,
+                      SubmitWithControl(std::move(query)));
+  return std::move(submission.result);
+}
+
+Result<Submission> QueryService::SubmitWithControl(TopKQuery query) {
   if (query.k < 1) return Status::InvalidArgument("k must be >= 1");
   if (query.group.neurons.empty()) {
     return Status::InvalidArgument("neuron group is empty");
@@ -257,12 +263,17 @@ Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
 
   PendingQuery pending;
   pending.query = std::move(query);
-  pending.ctx = std::make_unique<core::QueryContext>();
+  pending.ctx = std::make_shared<core::QueryContext>();
   pending.ctx->session_id = pending.query.session_id;
   pending.ctx->qos = pending.query.qos;
   pending.ctx->scheduler = scheduler_.get();
-  std::future<Result<core::TopKResult>> future =
-      pending.promise.get_future();
+  // The sink moves into the context (its home for the execution); the
+  // caller keeps control through the Submission's context handle instead.
+  pending.ctx->on_progress = std::move(pending.query.on_progress);
+  pending.query.on_progress = nullptr;
+  Submission submission;
+  submission.context = pending.ctx;
+  submission.result = pending.promise.get_future();
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -293,7 +304,7 @@ Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
   totals_.submitted.fetch_add(1, std::memory_order_relaxed);
   per_class_[class_index].submitted.fetch_add(1, std::memory_order_relaxed);
   work_cv_.notify_one();
-  return future;
+  return submission;
 }
 
 Result<core::TopKResult> QueryService::Execute(TopKQuery query) {
@@ -362,6 +373,11 @@ void QueryService::WorkerLoop() {
     bool executed = false;
     double exec_seconds = 0.0;
     Result<core::TopKResult> result = [&]() -> Result<core::TopKResult> {
+      if (pending.ctx->cancelled()) {
+        // Cancelled while still queued (e.g. the client disconnected):
+        // never run it.
+        return Status::Cancelled("cancelled while queued");
+      }
       if (pending.ctx->DeadlineExpired()) {
         // Rejected at dispatch: the deadline passed while the query was
         // queued, so running it would burn a worker on an answer nobody is

@@ -62,6 +62,15 @@ struct TopKQuery {
   /// class's sessions (>= 1; the session's most recent submission wins): a
   /// weight-w session gets up to w consecutive dispatches per rotor turn.
   int weight = 1;
+  /// Per-submission progress sink, threaded into the query's QueryContext:
+  /// invoked on the executing worker thread after each NTA round with the
+  /// round's threshold and the entries already *proven* final (the
+  /// `confirmed` set grows monotonically). Return false to stop early with
+  /// the current θ-guaranteed top-k (an OK result). All invocations
+  /// happen-before the query's future resolves, so a sink that writes to a
+  /// stream never races the final result. This is the seam the HTTP
+  /// front-end streams NDJSON progress events from.
+  std::function<bool(const core::NtaProgress&)> on_progress;
 };
 
 struct QueryServiceOptions {
@@ -130,9 +139,24 @@ struct QueryServiceOptions {
 /// plumbing through every layer below the service.
 struct PendingQuery {
   TopKQuery query;
-  std::unique_ptr<core::QueryContext> ctx;
+  /// Shared with the Submission handle returned to the caller, so a client
+  /// can Cancel() the query while the service still owns or runs it.
+  std::shared_ptr<core::QueryContext> ctx;
   std::promise<Result<core::TopKResult>> promise;
   Stopwatch wait;  // started at admission
+};
+
+/// \brief A submitted query's handle: the future resolving to its result
+/// plus the control surface the network front-end needs.
+struct Submission {
+  std::future<Result<core::TopKResult>> result;
+  /// The query's execution context. `context->Cancel()` requests
+  /// cooperative cancellation from any thread: a queued query fails at
+  /// dispatch, a running one aborts between NTA rounds, both with
+  /// Cancelled (counted in ServiceStats.cancelled). The HTTP server calls
+  /// this when a streaming client disconnects, so abandoned queries stop
+  /// consuming inference budget.
+  std::shared_ptr<core::QueryContext> context;
 };
 
 /// \brief Ordering of the admission queue: which admitted query a freed
@@ -210,6 +234,12 @@ class QueryService {
   /// session at its limit; retry later), or FailedPrecondition (shutting
   /// down). The future resolves to the query's result or execution error.
   Result<std::future<Result<core::TopKResult>>> Submit(TopKQuery query);
+
+  /// Submit() plus the query's QueryContext, for callers that need
+  /// per-query control after admission — mid-flight cancellation
+  /// (`context->Cancel()`) and deadline inspection. The context stays valid
+  /// for the handle's lifetime regardless of how the query ends.
+  Result<Submission> SubmitWithControl(TopKQuery query);
 
   /// Submit + wait: the blocking convenience used by tests and examples.
   Result<core::TopKResult> Execute(TopKQuery query);

@@ -95,11 +95,11 @@ struct ServiceStats {
   //  - `failed`: executed but returned a non-OK status other than
   //    DeadlineExceeded/Cancelled — a genuine execution error (bad layer,
   //    I/O failure, ...).
-  //  - `cancelled`: never produced a result because the service cancelled
-  //    it — today that means queries still queued at Shutdown(). (The
-  //    context-level cooperative Cancel() that would let an in-flight query
-  //    land here too is plumbed through the engine but not yet exposed per
-  //    submission; a future cancel API reuses this bucket.)
+  //  - `cancelled`: cancelled rather than answered — queries still queued
+  //    at Shutdown(), and queries whose `Submission::context->Cancel()`
+  //    was called (directly, or by the HTTP server when a streaming
+  //    client disconnects): a queued one fails at dispatch without
+  //    running, a running one aborts cooperatively between NTA rounds.
   //  - `deadline_exceeded` + `rejected_past_deadline`: the query's deadline
   //    expired. `rejected_past_deadline` counts queries whose deadline
   //    passed while still queued — they are rejected at dispatch without

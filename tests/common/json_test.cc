@@ -1,0 +1,167 @@
+// Tests for the hand-rolled JSON writer/reader: round-tripping (including
+// bit-exact doubles — the property the network bit-equality checks rest
+// on), escaping, and rejection of malformed documents.
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace deepeverest {
+namespace {
+
+TEST(JsonWriterTest, WritesNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("top-k");
+  w.Key("k");
+  w.Int(20);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("none");
+  w.Null();
+  w.Key("entries");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("id");
+  w.Int(1);
+  w.EndObject();
+  w.Int(-3);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"name":"top-k","k":20,"ok":true,"none":null,)"
+            R"("entries":[{"id":1},-3]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.String("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(w.str(), R"("a\"b\\c\nd\te\u0001")");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("b");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":[],"b":{}})");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_EQ(ParseJson("42")->int_value(), 42);
+  EXPECT_DOUBLE_EQ(ParseJson("-2.5e3")->number_value(), -2500.0);
+  EXPECT_EQ(ParseJson(R"("hi")")->string_value(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedDocument) {
+  auto parsed = ParseJson(
+      R"({"entries":[{"input_id":3,"value":1.25}],"stats":{"rounds":2}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* entries = parsed->Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_EQ(entries->array_items().size(), 1u);
+  EXPECT_EQ(entries->array_items()[0].Find("input_id")->int_value(), 3);
+  EXPECT_DOUBLE_EQ(entries->array_items()[0].Find("value")->number_value(),
+                   1.25);
+  EXPECT_EQ(parsed->Find("stats")->Find("rounds")->int_value(), 2);
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto parsed = ParseJson(R"("a\"b\\c\/d\nAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c/d\nA\xc3\xa9");
+}
+
+TEST(JsonParseTest, SurrogatePairs) {
+  auto parsed = ParseJson(R"("😀")");  // 😀 U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());    // unpaired high
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());    // unpaired low
+  EXPECT_FALSE(ParseJson(R"("\ud83dxx")").ok());  // high w/o \u
+}
+
+TEST(JsonParseTest, RejectsMalformed) {
+  const char* bad[] = {
+      "",        "{",          "}",        "[1,",    "[1,]",
+      "{\"a\"}", "{\"a\":}",   "{a:1}",    "tru",    "nul",
+      "01",      "+1",         ".5",       "1.",     "1e",
+      "\"\x01\"", "\"unterminated", "[1] garbage", "{\"a\":1,}",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonRoundTripTest, DoublesAreBitExact) {
+  const double values[] = {0.0,
+                           1.0,
+                           -1.0 / 3.0,
+                           3.14159265358979323846,
+                           1e-300,
+                           -1.7976931348623157e308,
+                           5.0,
+                           0.1,
+                           123456789.123456789};
+  for (const double value : values) {
+    JsonWriter w;
+    w.Double(value);
+    auto parsed = ParseJson(w.str());
+    ASSERT_TRUE(parsed.ok()) << w.str();
+    // Bit-exact, not approximately equal: %.17g + strtod round-trips.
+    EXPECT_EQ(parsed->number_value(), value) << w.str();
+  }
+}
+
+TEST(JsonValueTest, IntValueSaturatesInsteadOfOverflowing) {
+  // A plain static_cast of these would be UB; int_value() must saturate.
+  EXPECT_EQ(ParseJson("1e300")->int_value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseJson("-1e300")->int_value(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(ParseJson("1e20")->int_value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseJson("2.75")->int_value(), 2);  // truncation toward zero
+  EXPECT_EQ(ParseJson("-2.75")->int_value(), -2);
+}
+
+TEST(JsonRoundTripTest, StringsSurvive) {
+  const std::string ugly = "quote\" back\\slash \n\t\r ctrl\x02 utf8 \xc3\xa9";
+  JsonWriter w;
+  w.String(ugly);
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), ugly);
+}
+
+}  // namespace
+}  // namespace deepeverest

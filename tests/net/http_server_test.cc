@@ -1,0 +1,236 @@
+// Tests for the socket server + blocking client pair: request routing,
+// keep-alive, concurrent connections, chunked streaming, error paths, and
+// clean shutdown. Everything runs over real loopback sockets on
+// kernel-assigned ports.
+#include "net/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_client.h"
+
+namespace deepeverest {
+namespace net {
+namespace {
+
+Result<std::unique_ptr<HttpServer>> StartEcho() {
+  HttpServerOptions options;  // port 0: kernel-assigned
+  return HttpServer::Start(
+      options, [](const HttpRequest& request, HttpResponseWriter* writer) {
+        if (request.path == "/echo") {
+          writer->WriteResponse(200, "text/plain",
+                                request.method + " " + request.body);
+          return;
+        }
+        if (request.path == "/stream") {
+          if (!writer->BeginChunked(200, "application/x-ndjson")) return;
+          for (int i = 0; i < 5; ++i) {
+            writer->WriteChunk("line " + std::to_string(i) + "\n");
+          }
+          writer->EndChunked();
+          return;
+        }
+        if (request.path == "/silent") {
+          return;  // handler writes nothing: the server must answer 500
+        }
+        writer->WriteResponse(404, "text/plain", "nope\n");
+      });
+}
+
+TEST(HttpServerTest, ServesSimpleRequests) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto get = client->Get("/echo");
+  ASSERT_TRUE(get.ok()) << get.status().ToString();
+  EXPECT_EQ(get->status, 200);
+  EXPECT_EQ(get->body, "GET ");
+  EXPECT_EQ(get->HeaderOrEmpty("content-type"), "text/plain");
+
+  auto post = client->Post("/echo", "payload");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 200);
+  EXPECT_EQ(post->body, "POST payload");
+
+  auto missing = client->Get("/nothing");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(HttpServerTest, KeepAliveReusesOneConnection) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  for (int i = 0; i < 10; ++i) {
+    auto response = client->Post("/echo", std::to_string(i));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->body, "POST " + std::to_string(i));
+  }
+  EXPECT_TRUE(client->connected());
+}
+
+TEST(HttpServerTest, StreamsChunkedResponses) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  std::vector<std::string> lines;
+  auto response = client->GetStream("/stream", [&](const std::string& line) {
+    lines.push_back(line);
+    return true;
+  });
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->HeaderOrEmpty("transfer-encoding"), "chunked");
+  ASSERT_EQ(lines.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(lines[static_cast<size_t>(i)], "line " + std::to_string(i));
+  }
+  // The connection survives a completed stream (keep-alive).
+  auto follow_up = client->Get("/echo");
+  ASSERT_TRUE(follow_up.ok());
+  EXPECT_EQ(follow_up->status, 200);
+}
+
+TEST(HttpServerTest, AbandonedStreamClosesConnection) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  int seen = 0;
+  auto response = client->GetStream("/stream", [&](const std::string&) {
+    ++seen;
+    return false;  // abandon after the first line
+  });
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(seen, 1);
+  EXPECT_FALSE(client->connected());
+}
+
+TEST(HttpServerTest, ConcurrentConnections) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  constexpr int kThreads = 8;
+  constexpr int kRequests = 20;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        const std::string payload = std::to_string(t * 1000 + i);
+        auto response = client->Post("/echo", payload);
+        if (!response.ok() || response->status != 200 ||
+            response->body != "POST " + payload) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(HttpServerTest, SilentHandlerYields500) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto response = client->Get("/silent");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 500);
+}
+
+TEST(HttpServerTest, MalformedRequestGets400AndClose) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  auto client = HttpClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  // Raw garbage straight through the client's socket is awkward; instead
+  // use a target with a broken percent escape, which fails head parsing.
+  auto response = client->Get("/bad%zz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 400);
+}
+
+TEST(HttpServerTest, ShutdownUnblocksAndRejects) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  const uint16_t port = (*server)->port();
+  auto client = HttpClient::Connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok());
+  (*server)->Shutdown();
+  // The held connection is closed and new connections are refused.
+  auto after = client->Get("/echo");
+  EXPECT_FALSE(after.ok());
+  auto fresh = HttpClient::Connect("127.0.0.1", port);
+  if (fresh.ok()) {
+    EXPECT_FALSE(fresh->Get("/echo").ok());
+  }
+}
+
+TEST(HttpServerTest, ServesPipelinedRequestsFromOneWrite) {
+  auto server = StartEcho();
+  ASSERT_TRUE(server.ok());
+  // The HttpClient never pipelines, so speak raw sockets: two complete
+  // requests in one send() must yield two responses without further input.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*server)->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string two_requests =
+      "GET /echo HTTP/1.1\r\nHost: x\r\n\r\n"
+      "GET /echo HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, two_requests.data(), two_requests.size(), 0),
+            static_cast<ssize_t>(two_requests.size()));
+  // Connection: close on the second request means the server closes when
+  // both responses are out — read to EOF and count status lines.
+  std::string received;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    received.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t responses = 0;
+  for (size_t pos = received.find("HTTP/1.1 200");
+       pos != std::string::npos;
+       pos = received.find("HTTP/1.1 200", pos + 1)) {
+    ++responses;
+  }
+  EXPECT_EQ(responses, 2u) << received;
+}
+
+TEST(HttpServerTest, StartValidatesOptions) {
+  HttpServerOptions options;
+  EXPECT_FALSE(HttpServer::Start(options, nullptr).ok());
+  options.bind_address = "not-an-ip";
+  EXPECT_FALSE(HttpServer::Start(options, [](const HttpRequest&,
+                                             HttpResponseWriter*) {})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace deepeverest

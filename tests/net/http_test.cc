@@ -1,0 +1,190 @@
+// Tests for the socket-free HTTP wire-format helpers: request parsing
+// (incremental, keep-alive, malformed input), chunked decoding, and URL
+// decoding. This is the raw-byte attack surface, so it also runs under the
+// ASan+UBSan CI job.
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace deepeverest {
+namespace net {
+namespace {
+
+Status FeedAll(HttpRequestParser* parser, const std::string& bytes) {
+  return parser->Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpRequestParserTest, ParsesGetWithQuery) {
+  HttpRequestParser parser;
+  ASSERT_TRUE(FeedAll(&parser,
+                      "GET /v1/query?stream=1&neurons=0%2C2&k=5 HTTP/1.1\r\n"
+                      "Host: x\r\nAccept: */*\r\n\r\n")
+                  .ok());
+  ASSERT_TRUE(parser.complete());
+  const HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/v1/query");
+  EXPECT_EQ(request.version, "HTTP/1.1");
+  EXPECT_EQ(request.query.at("stream"), "1");
+  EXPECT_EQ(request.query.at("neurons"), "0,2");  // %2C decoded
+  EXPECT_EQ(request.query.at("k"), "5");
+  EXPECT_EQ(request.HeaderOrEmpty("host"), "x");      // lowercased name
+  EXPECT_EQ(request.HeaderOrEmpty("absent"), "");
+  EXPECT_EQ(request.body, "");
+}
+
+TEST(HttpRequestParserTest, ParsesPostBodyIncrementally) {
+  HttpRequestParser parser;
+  const std::string request_bytes =
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 11\r\n"
+      "Content-Type: application/json\r\n\r\n{\"layer\":1}";
+  // One byte at a time: no chunk boundary may confuse the parser.
+  for (const char c : request_bytes) {
+    ASSERT_TRUE(parser.Feed(&c, 1).ok());
+  }
+  ASSERT_TRUE(parser.complete());
+  const HttpRequest request = parser.TakeRequest();
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "{\"layer\":1}");
+}
+
+TEST(HttpRequestParserTest, KeepAlivePipelining) {
+  HttpRequestParser parser;
+  ASSERT_TRUE(FeedAll(&parser,
+                      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")
+                  .ok());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.TakeRequest().path, "/a");
+  // The second pipelined request is already buffered.
+  ASSERT_TRUE(FeedAll(&parser, "").ok());
+  ASSERT_TRUE(parser.complete());
+  EXPECT_EQ(parser.TakeRequest().path, "/b");
+}
+
+TEST(HttpRequestParserTest, RejectsMalformed) {
+  const char* bad[] = {
+      "GARBAGE\r\n\r\n",
+      "GET /\r\n\r\n",                         // missing version
+      "GET / HTTP/2.0\r\n\r\n",                // unsupported version
+      "GET noslash HTTP/1.1\r\n\r\n",          // target must start with /
+      "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+      "GET / HTTP/1.1\r\nName : v\r\n\r\n",    // space before colon
+      "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+      "GET / HTTP/1.1\r\nContent-Length: 12x\r\n\r\n",
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+      "GET /%zz HTTP/1.1\r\n\r\n",             // bad percent escape
+  };
+  for (const char* text : bad) {
+    HttpRequestParser parser;
+    EXPECT_FALSE(FeedAll(&parser, text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(HttpRequestParserTest, EnforcesHeadLimit) {
+  HttpRequestParser parser;
+  std::string huge = "GET / HTTP/1.1\r\nX-Pad: ";
+  huge.append(kMaxHeaderBytes, 'a');
+  const Status fed = FeedAll(&parser, huge);
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(fed.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(parser.body_too_large());  // head guard → 431, not 413
+}
+
+TEST(HttpRequestParserTest, EnforcesBodyLimit) {
+  HttpRequestParser parser;
+  const Status fed = FeedAll(
+      &parser, "POST / HTTP/1.1\r\nContent-Length: " +
+                   std::to_string(kMaxBodyBytes + 1) + "\r\n\r\n");
+  EXPECT_FALSE(fed.ok());
+  EXPECT_EQ(fed.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(parser.body_too_large());  // body guard → 413
+}
+
+TEST(HttpRequestParserTest, PoisonedAfterError) {
+  HttpRequestParser parser;
+  ASSERT_FALSE(FeedAll(&parser, "BAD\r\n\r\n").ok());
+  EXPECT_FALSE(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n").ok());
+}
+
+TEST(PercentDecodeTest, DecodesEscapes) {
+  EXPECT_EQ(PercentDecode("a%20b%2Fc", false).value(), "a b/c");
+  EXPECT_EQ(PercentDecode("a+b", true).value(), "a b");
+  EXPECT_EQ(PercentDecode("a+b", false).value(), "a+b");  // '+' literal in paths
+  EXPECT_FALSE(PercentDecode("%", false).ok());
+  EXPECT_FALSE(PercentDecode("%1", false).ok());
+  EXPECT_FALSE(PercentDecode("%gg", false).ok());
+}
+
+TEST(ParseQueryStringTest, SplitsPairs) {
+  auto params = ParseQueryString("a=1&b=x%20y&flag&empty=");
+  ASSERT_TRUE(params.ok());
+  EXPECT_EQ(params->at("a"), "1");
+  EXPECT_EQ(params->at("b"), "x y");
+  EXPECT_EQ(params->at("flag"), "");
+  EXPECT_EQ(params->at("empty"), "");
+}
+
+TEST(ChunkedDecoderTest, DecodesChunks) {
+  ChunkedDecoder decoder;
+  const std::string wire = "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  EXPECT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.TakeOutput(), "hello world");
+}
+
+TEST(ChunkedDecoderTest, DecodesBytewise) {
+  ChunkedDecoder decoder;
+  const std::string wire = "3\r\nabc\r\nA\r\n0123456789\r\n0\r\n\r\n";
+  for (const char c : wire) {
+    ASSERT_TRUE(decoder.Feed(&c, 1).ok());
+  }
+  EXPECT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.TakeOutput(), "abc0123456789");
+}
+
+TEST(ChunkedDecoderTest, IgnoresExtensionsAndTrailers) {
+  ChunkedDecoder decoder;
+  const std::string wire =
+      "4;ext=1\r\ndata\r\n0\r\nX-Trailer: v\r\n\r\n";
+  ASSERT_TRUE(decoder.Feed(wire.data(), wire.size()).ok());
+  EXPECT_TRUE(decoder.complete());
+  EXPECT_EQ(decoder.TakeOutput(), "data");
+}
+
+TEST(ChunkedDecoderTest, BoundsEndlessTrailer) {
+  ChunkedDecoder decoder;
+  const std::string start = "0\r\n";
+  ASSERT_TRUE(decoder.Feed(start.data(), start.size()).ok());
+  // A trailer line that never ends must be rejected, not buffered forever.
+  const std::string filler(4096, 'x');
+  Status fed = Status::OK();
+  for (int i = 0; i < 8 && fed.ok(); ++i) {
+    fed = decoder.Feed(filler.data(), filler.size());
+  }
+  EXPECT_FALSE(fed.ok());
+}
+
+TEST(ChunkedDecoderTest, RejectsMalformed) {
+  {
+    ChunkedDecoder decoder;
+    const std::string wire = "zz\r\nxx\r\n";
+    EXPECT_FALSE(decoder.Feed(wire.data(), wire.size()).ok());
+  }
+  {
+    ChunkedDecoder decoder;
+    const std::string wire = "3\r\nabcXX";  // missing CRLF after data
+    EXPECT_FALSE(decoder.Feed(wire.data(), wire.size()).ok());
+  }
+}
+
+TEST(FormatResponseHeadTest, FormatsStatusLineAndHeaders) {
+  const std::string head =
+      FormatResponseHead(404, {{"Content-Length", "0"}});
+  EXPECT_EQ(head, "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n");
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace deepeverest

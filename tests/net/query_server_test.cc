@@ -1,0 +1,380 @@
+// End-to-end tests for the HTTP query API over real loopback sockets:
+// bit-identical results vs. the in-process sequential reference, URL and
+// JSON encodings, NDJSON streaming with progress-before-result ordering,
+// client-disconnect cancellation (reflected in ServiceStats.cancelled),
+// deadline_ms=0 rejection without inference, and the error-status mapping.
+#include "net/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/demo_system.h"
+#include "common/json.h"
+#include "net/http_client.h"
+
+namespace deepeverest {
+namespace net {
+namespace {
+
+using bench_util::DemoSystem;
+using bench_util::DemoSystemOptions;
+
+/// Demo system + service + server + connected client, on a kernel port.
+struct ServerFixture {
+  explicit ServerFixture(DemoSystemOptions demo_options = {},
+                         service::QueryServiceOptions service_options = {}) {
+    auto made = DemoSystem::Make(demo_options);
+    EXPECT_TRUE(made.ok()) << made.status().ToString();
+    system = std::move(made.value());
+    auto created =
+        service::QueryService::Create(system->engine(), service_options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    service = std::move(created.value());
+    QueryServerOptions server_options;
+    server_options.model_name = system->model_name();
+    auto started = QueryServer::Start(service.get(), server_options);
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(started.value());
+  }
+
+  ~ServerFixture() {
+    if (server != nullptr) server->Shutdown();
+    if (service != nullptr) service->Shutdown();
+  }
+
+  Result<HttpClient> Connect() {
+    return HttpClient::Connect("127.0.0.1", server->port());
+  }
+
+  Result<core::TopKResult> Reference(const service::TopKQuery& query) {
+    core::NtaOptions options;
+    options.k = query.k;
+    options.theta = query.theta;
+    options.tie_complete = true;
+    if (query.kind == service::TopKQuery::Kind::kHighest) {
+      return system->engine()->TopKHighestWithOptions(query.group,
+                                                      std::move(options));
+    }
+    return system->engine()->TopKMostSimilarWithOptions(
+        query.target_id, query.group, std::move(options));
+  }
+
+  std::unique_ptr<DemoSystem> system;
+  std::unique_ptr<service::QueryService> service;
+  std::unique_ptr<QueryServer> server;
+};
+
+void ExpectEntriesMatch(const JsonValue& entries,
+                        const core::TopKResult& expected) {
+  ASSERT_TRUE(entries.is_array());
+  ASSERT_EQ(entries.array_items().size(), expected.entries.size());
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    const JsonValue& entry = entries.array_items()[i];
+    ASSERT_NE(entry.Find("input_id"), nullptr);
+    ASSERT_NE(entry.Find("value"), nullptr);
+    EXPECT_EQ(entry.Find("input_id")->int_value(),
+              static_cast<int64_t>(expected.entries[i].input_id));
+    // Bit-identical: %.17g round-trips doubles exactly.
+    EXPECT_EQ(entry.Find("value")->number_value(),
+              expected.entries[i].value);
+  }
+}
+
+TEST(QueryServerTest, PostQueryMatchesSequentialReference) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  const std::vector<int>& layers = fix.system->model()->activation_layers();
+  for (int i = 0; i < 8; ++i) {
+    service::TopKQuery query;
+    query.group.layer = layers[static_cast<size_t>(i) % layers.size()];
+    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
+    query.k = 5;
+    if (i % 2 == 1) {
+      query.kind = service::TopKQuery::Kind::kMostSimilar;
+      query.target_id = static_cast<uint32_t>(i);
+    }
+    auto reference = fix.Reference(query);
+    ASSERT_TRUE(reference.ok());
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("kind");
+    w.String(i % 2 == 1 ? "most_similar" : "highest");
+    w.Key("layer");
+    w.Int(query.group.layer);
+    w.Key("neurons");
+    w.BeginArray();
+    for (const int64_t n : query.group.neurons) w.Int(n);
+    w.EndArray();
+    w.Key("k");
+    w.Int(query.k);
+    if (i % 2 == 1) {
+      w.Key("target_id");
+      w.Uint(query.target_id);
+    }
+    w.Key("session_id");
+    w.Int(i % 3);
+    w.Key("qos");
+    w.String(i % 2 == 0 ? "interactive" : "batch");
+    w.EndObject();
+
+    auto response = client->Post("/v1/query", w.TakeString());
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto body = ParseJson(response->body);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    ASSERT_NE(body->Find("entries"), nullptr);
+    ExpectEntriesMatch(*body->Find("entries"), reference.value());
+    const JsonValue* stats = body->Find("stats");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->Find("inputs_run")->int_value(),
+              reference->stats.inputs_run);
+  }
+}
+
+TEST(QueryServerTest, GetQueryViaUrlParameters) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  service::TopKQuery query;
+  query.group.layer = fix.system->model()->activation_layers().front();
+  query.group.neurons = {0, 2, 4};
+  query.k = 5;
+  auto reference = fix.Reference(query);
+  ASSERT_TRUE(reference.ok());
+
+  auto response = client->Get(
+      "/v1/query?kind=highest&layer=" + std::to_string(query.group.layer) +
+      "&neurons=0,2,4&k=5&qos=interactive&session_id=7");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto body = ParseJson(response->body);
+  ASSERT_TRUE(body.ok());
+  ExpectEntriesMatch(*body->Find("entries"), reference.value());
+}
+
+TEST(QueryServerTest, StreamingEmitsProgressThenResult) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  service::TopKQuery query;
+  query.kind = service::TopKQuery::Kind::kHighest;
+  query.group.layer = fix.system->model()->activation_layers().front();
+  query.group.neurons = {0, 1, 2, 3};
+  query.k = 10;
+  auto reference = fix.Reference(query);
+  ASSERT_TRUE(reference.ok());
+
+  int progress_events = 0;
+  int result_events = 0;
+  int64_t last_round = -1;
+  size_t last_confirmed = 0;
+  bool progress_after_result = false;
+  auto response = client->GetStream(
+      "/v1/query?stream=1&kind=highest&layer=" +
+          std::to_string(query.group.layer) + "&neurons=0,1,2,3&k=10",
+      [&](const std::string& line) {
+        auto event = ParseJson(line);
+        EXPECT_TRUE(event.ok()) << line;
+        if (!event.ok()) return true;
+        const std::string kind = event->Find("event")->string_value();
+        if (kind == "progress") {
+          if (result_events > 0) progress_after_result = true;
+          ++progress_events;
+          EXPECT_GT(event->Find("round")->int_value(), last_round);
+          last_round = event->Find("round")->int_value();
+          const size_t confirmed =
+              event->Find("confirmed")->array_items().size();
+          EXPECT_GE(confirmed, last_confirmed);
+          last_confirmed = confirmed;
+        } else if (kind == "result") {
+          ++result_events;
+          ExpectEntriesMatch(*event->Find("entries"), reference.value());
+        }
+        return true;
+      });
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->HeaderOrEmpty("content-type"), "application/x-ndjson");
+  EXPECT_GE(progress_events, 1);
+  EXPECT_EQ(result_events, 1);
+  EXPECT_FALSE(progress_after_result);
+}
+
+TEST(QueryServerTest, DisconnectCancelsStreamingQuery) {
+  DemoSystemOptions demo_options;
+  demo_options.device_latency_scale = 8.0;  // slow: the stream outlives us
+  ServerFixture fix(demo_options);
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  int seen = 0;
+  auto response = client->GetStream(
+      "/v1/query?stream=1&kind=highest&layer=" +
+          std::to_string(fix.system->model()->activation_layers().front()) +
+          "&neurons=0,1,2,3&k=10",
+      [&](const std::string&) {
+        ++seen;
+        return false;  // hard-disconnect after the first event
+      });
+  ASSERT_TRUE(response.ok());
+  ASSERT_GE(seen, 1);
+  EXPECT_FALSE(client->connected());
+
+  // The server notices at its next failed chunk write, flips the query's
+  // context to cancelled, and NTA aborts between rounds.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  int64_t cancelled = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    cancelled = fix.service->Snapshot().cancelled;
+    if (cancelled > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(cancelled, 1)
+      << "disconnect did not surface as a cancelled query";
+}
+
+TEST(QueryServerTest, DeadlineZeroRejectedWithoutInference) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  const std::string body =
+      R"({"kind":"highest","layer":)" +
+      std::to_string(fix.system->model()->activation_layers().front()) +
+      R"(,"neurons":[0,1],"k":3,"deadline_ms":0})";
+  auto response = client->Post("/v1/query", body);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504) << response->body;
+  auto parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("error")->Find("code")->string_value(),
+            "DeadlineExceeded");
+
+  const service::ServiceStats stats = fix.service->Snapshot();
+  EXPECT_EQ(stats.rejected_past_deadline, 1);  // never ran
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_EQ(stats.deadline_exceeded, 0);  // not a mid-query abort
+}
+
+TEST(QueryServerTest, ErrorStatusMapping) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  struct Case {
+    const char* name;
+    const char* target;
+    const char* body;  // nullptr = GET
+    int expected_status;
+  };
+  const std::string valid_layer =
+      std::to_string(fix.system->model()->activation_layers().front());
+  const std::string bad_k_body =
+      R"({"kind":"highest","layer":)" + valid_layer +
+      R"(,"neurons":[0],"k":0})";
+  const std::string wrong_model_body =
+      R"({"model":"NotServed","kind":"highest","layer":)" + valid_layer +
+      R"(,"neurons":[0],"k":3})";
+  const std::string bad_layer_body =
+      R"({"kind":"highest","layer":9999,"neurons":[0],"k":3})";
+  const Case cases[] = {
+      {"unknown route", "/v1/nope", nullptr, 404},
+      {"bad JSON", "/v1/query", "{not json", 400},
+      {"non-object body", "/v1/query", "[1,2]", 400},
+      {"missing layer", "/v1/query", R"({"neurons":[0]})", 400},
+      {"missing neurons", "/v1/query", R"({"layer":1})", 400},
+      {"k=0", "/v1/query", bad_k_body.c_str(), 400},
+      {"wrong model", "/v1/query", wrong_model_body.c_str(), 404},
+      {"unknown layer", "/v1/query", bad_layer_body.c_str(), 400},
+      {"most_similar without target", "/v1/query",
+       R"({"kind":"most_similar","layer":1,"neurons":[0]})", 400},
+      {"bad qos", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"qos":"urgent"})", 400},
+      // Out-of-int64-range and fractional integers must 400, not be
+      // truncated into a different (or UB-producing) query.
+      {"huge layer", "/v1/query",
+       R"({"kind":"highest","layer":1e300,"neurons":[0],"k":3})", 400},
+      {"fractional k", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"k":2.5})", 400},
+      // 2^32+2 fits int64 but wraps int: must 400, not become k=2.
+      {"int-wrapping k", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"k":4294967298})", 400},
+      {"fractional neuron", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[1.9],"k":3})", 400},
+  };
+  for (const Case& c : cases) {
+    auto response = c.body == nullptr
+                        ? client->Get(c.target)
+                        : client->Post(c.target, c.body);
+    ASSERT_TRUE(response.ok()) << c.name;
+    EXPECT_EQ(response->status, c.expected_status)
+        << c.name << ": " << response->body;
+  }
+
+  // Wrong method on a fixed route.
+  auto bad_method = client->Post("/v1/stats", "{}");
+  ASSERT_TRUE(bad_method.ok());
+  EXPECT_EQ(bad_method->status, 405);
+}
+
+TEST(QueryServerTest, StatsEndpointReportsService) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  // Run one query so the counters move.
+  const std::string body =
+      R"({"kind":"highest","layer":)" +
+      std::to_string(fix.system->model()->activation_layers().front()) +
+      R"(,"neurons":[0,1],"k":3,"qos":"interactive"})";
+  ASSERT_EQ(client->Post("/v1/query", body)->status, 200);
+
+  auto response = client->Get("/v1/stats");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  auto stats = ParseJson(response->body);
+  ASSERT_TRUE(stats.ok()) << response->body;
+  EXPECT_EQ(stats->Find("submitted")->int_value(), 1);
+  EXPECT_EQ(stats->Find("completed")->int_value(), 1);
+  EXPECT_TRUE(stats->Find("qos_enabled")->bool_value());
+  const JsonValue* per_class = stats->Find("per_class");
+  ASSERT_NE(per_class, nullptr);
+  ASSERT_EQ(per_class->array_items().size(),
+            static_cast<size_t>(kNumQosClasses));
+  EXPECT_EQ(per_class->array_items()[0].Find("class")->string_value(),
+            "interactive");
+  EXPECT_EQ(per_class->array_items()[0].Find("completed")->int_value(), 1);
+}
+
+TEST(QueryServerTest, HealthzAndModelName) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+  auto health = client->Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  // Matching model name is accepted.
+  const std::string body = R"({"model":")" + fix.system->model_name() +
+                           R"(","kind":"highest","layer":)" +
+                           std::to_string(fix.system->model()
+                                              ->activation_layers()
+                                              .front()) +
+                           R"(,"neurons":[0],"k":3})";
+  EXPECT_EQ(client->Post("/v1/query", body)->status, 200);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace deepeverest
