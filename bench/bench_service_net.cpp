@@ -21,8 +21,10 @@
 #include "bench_util/demo_system.h"
 #include "common/json.h"
 #include "common/stopwatch.h"
+#include "core/query_spec_json.h"
 #include "net/http_client.h"
 #include "net/query_server.h"
+#include "service/engine_registry.h"
 #include "service/query_service.h"
 
 namespace deepeverest {
@@ -68,12 +70,14 @@ int Run() {
       service::QueryService::Create((*system)->engine(), service_options);
   DE_CHECK(service.ok()) << service.status().ToString();
 
+  service::EngineRegistry registry;
+  DE_CHECK(registry.Register((*system)->model_name(), service->get()).ok());
   net::QueryServerOptions server_options;  // port 0: kernel-assigned
-  auto server = net::QueryServer::Start(service->get(), server_options);
+  auto server = net::QueryServer::Start(&registry, server_options);
   DE_CHECK(server.ok()) << server.status().ToString();
   const uint16_t port = (*server)->port();
 
-  const std::vector<service::TopKQuery> workload =
+  const std::vector<core::QuerySpec> workload =
       bench_util::MakeMixedWorkload(*(*system)->model(), num_queries);
 
   // Arm A: in-process — concurrent clients calling Execute directly.
@@ -114,7 +118,7 @@ int Run() {
           const size_t i = next.fetch_add(1);
           if (i >= workload.size()) return;
           auto response = client->Post(
-              "/v1/query", bench_util::TopKQueryJson(workload[i]));
+              "/v1/query", core::QuerySpecJson(workload[i]));
           DE_CHECK(response.ok()) << response.status().ToString();
           DE_CHECK_EQ(response->status, 200);
           auto body = ParseJson(response->body);

@@ -53,12 +53,12 @@ struct QosBenchConfig {
   double think_seconds = 0.005;
 };
 
-std::vector<service::TopKQuery> MakeTemplates(const bench::System& system,
-                                              int count, int group_size,
-                                              int k, uint64_t seed) {
+std::vector<core::QuerySpec> MakeTemplates(const bench::System& system,
+                                           int count, int group_size,
+                                           int k, uint64_t seed) {
   auto generator = system.NewEngine();
   Rng rng(seed);
-  std::vector<service::TopKQuery> templates;
+  std::vector<core::QuerySpec> templates;
   templates.reserve(static_cast<size_t>(count));
   const bench_util::QueryType types[] = {bench_util::QueryType::kFireMax,
                                          bench_util::QueryType::kSimTop,
@@ -70,12 +70,15 @@ std::vector<service::TopKQuery> MakeTemplates(const bench::System& system,
     auto generated = bench_util::GenerateQuery(
         generator.get(), types[i % 3], depths[(i / 3) % 3], group_size, &rng);
     DE_CHECK(generated.ok()) << generated.status().ToString();
-    service::TopKQuery query;
-    query.kind = generated->type == bench_util::QueryType::kFireMax
-                     ? service::TopKQuery::Kind::kHighest
-                     : service::TopKQuery::Kind::kMostSimilar;
-    query.group = std::move(generated->group);
-    query.target_id = generated->target_id;
+    core::QuerySpec query;
+    if (generated->type == bench_util::QueryType::kFireMax) {
+      query.kind = core::QuerySpec::Kind::kHighest;
+    } else {
+      query.kind = core::QuerySpec::Kind::kMostSimilar;
+      query.target_id = generated->target_id;
+    }
+    query.layer = generated->group.layer;
+    query.neurons = std::move(generated->group.neurons);
     query.k = k;
     templates.push_back(std::move(query));
   }
@@ -101,18 +104,11 @@ std::unique_ptr<core::DeepEverest> MakeEngine(const bench::System& system,
 /// latency): the entries AND inputs_run every service run must reproduce.
 std::vector<core::TopKResult> RunReference(
     core::DeepEverest* engine,
-    const std::vector<service::TopKQuery>& templates) {
+    const std::vector<core::QuerySpec>& templates) {
   std::vector<core::TopKResult> reference;
   reference.reserve(templates.size());
-  for (const service::TopKQuery& query : templates) {
-    core::NtaOptions options;
-    options.k = query.k;
-    options.tie_complete = true;
-    auto result =
-        query.kind == service::TopKQuery::Kind::kHighest
-            ? engine->TopKHighestWithOptions(query.group, std::move(options))
-            : engine->TopKMostSimilarWithOptions(query.target_id, query.group,
-                                                 std::move(options));
+  for (const core::QuerySpec& query : templates) {
+    auto result = engine->ExecuteSpec(query);
     DE_CHECK(result.ok()) << result.status().ToString();
     reference.push_back(std::move(result.value()));
   }
@@ -153,9 +149,9 @@ struct ModeResult {
 
 ModeResult RunMode(const bench::System& system, const QosBenchConfig& config,
                    bool qos_enabled,
-                   const std::vector<service::TopKQuery>& batch_templates,
+                   const std::vector<core::QuerySpec>& batch_templates,
                    const std::vector<core::TopKResult>& batch_reference,
-                   const std::vector<service::TopKQuery>& inter_templates,
+                   const std::vector<core::QuerySpec>& inter_templates,
                    const std::vector<core::TopKResult>& inter_reference) {
   bench::ScratchDir scratch(qos_enabled ? "qos_on" : "qos_off");
   auto store = storage::FileStore::Open(scratch.path());
@@ -211,7 +207,7 @@ ModeResult RunMode(const bench::System& system, const QosBenchConfig& config,
       while (!stop.load(std::memory_order_relaxed)) {
         const size_t index =
             (static_cast<size_t>(s) * 31 + i) % batch_templates.size();
-        service::TopKQuery query = batch_templates[index];
+        core::QuerySpec query = batch_templates[index];
         query.session_id = static_cast<uint64_t>(1 + s);
         query.qos = QosClass::kBatch;
         InFlight in_flight;
@@ -240,7 +236,7 @@ ModeResult RunMode(const bench::System& system, const QosBenchConfig& config,
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
   for (int i = 0; i < config.interactive_queries; ++i) {
     const size_t index = static_cast<size_t>(i) % inter_templates.size();
-    service::TopKQuery query = inter_templates[index];
+    core::QuerySpec query = inter_templates[index];
     query.session_id = 1000;
     query.qos = QosClass::kInteractive;
     Stopwatch latency;
@@ -293,9 +289,9 @@ void Run() {
           " interactive queries");
 
   // Heavy batch work; light interactive probes.
-  const std::vector<service::TopKQuery> batch_templates =
+  const std::vector<core::QuerySpec> batch_templates =
       MakeTemplates(system, 18, /*group_size=*/8, /*k=*/20, 8101);
-  const std::vector<service::TopKQuery> inter_templates =
+  const std::vector<core::QuerySpec> inter_templates =
       MakeTemplates(system, 8, /*group_size=*/4, /*k=*/10, 8202);
 
   // Canonical reference on its own engine (warm, no device latency).

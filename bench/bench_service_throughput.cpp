@@ -45,11 +45,11 @@ struct WorkloadResult {
   std::vector<core::TopKResult> results;
 };
 
-std::vector<service::TopKQuery> MakeWorkload(const bench::System& system,
-                                             int count) {
+std::vector<core::QuerySpec> MakeWorkload(const bench::System& system,
+                                          int count) {
   auto generator = system.NewEngine();
   Rng rng(7021);
-  std::vector<service::TopKQuery> workload;
+  std::vector<core::QuerySpec> workload;
   workload.reserve(static_cast<size_t>(count));
   const bench_util::QueryType types[] = {bench_util::QueryType::kFireMax,
                                          bench_util::QueryType::kSimTop,
@@ -62,12 +62,15 @@ std::vector<service::TopKQuery> MakeWorkload(const bench::System& system,
         generator.get(), types[i % 3], depths[(i / 3) % 3],
         /*group_size=*/8, &rng);
     DE_CHECK(generated.ok()) << generated.status().ToString();
-    service::TopKQuery query;
-    query.kind = generated->type == bench_util::QueryType::kFireMax
-                     ? service::TopKQuery::Kind::kHighest
-                     : service::TopKQuery::Kind::kMostSimilar;
-    query.group = std::move(generated->group);
-    query.target_id = generated->target_id;
+    core::QuerySpec query;
+    if (generated->type == bench_util::QueryType::kFireMax) {
+      query.kind = core::QuerySpec::Kind::kHighest;
+    } else {
+      query.kind = core::QuerySpec::Kind::kMostSimilar;
+      query.target_id = generated->target_id;
+    }
+    query.layer = generated->group.layer;
+    query.neurons = std::move(generated->group.neurons);
     query.k = 20;
     query.session_id = static_cast<uint64_t>(i % 4);  // 4 client sessions
     workload.push_back(std::move(query));
@@ -75,24 +78,18 @@ std::vector<service::TopKQuery> MakeWorkload(const bench::System& system,
   return workload;
 }
 
-// Sequential reference in the service's own execution mode (tie-complete
-// NTA termination), so per-query `inputs_run` is directly comparable: the
-// service must reproduce these values *exactly*, thread count and batching
-// notwithstanding — that is what receipt-based attribution guarantees.
+// Sequential reference through the same canonical ExecuteSpec path the
+// service runs (tie-complete NTA termination), so per-query `inputs_run`
+// is directly comparable: the service must reproduce these values
+// *exactly*, thread count and batching notwithstanding — that is what
+// receipt-based attribution guarantees.
 WorkloadResult RunSequential(core::DeepEverest* engine,
-                             const std::vector<service::TopKQuery>& workload) {
+                             const std::vector<core::QuerySpec>& workload) {
   WorkloadResult out;
   out.results.reserve(workload.size());
   Stopwatch watch;
-  for (const service::TopKQuery& query : workload) {
-    core::NtaOptions options;
-    options.k = query.k;
-    options.tie_complete = true;
-    auto result =
-        query.kind == service::TopKQuery::Kind::kHighest
-            ? engine->TopKHighestWithOptions(query.group, std::move(options))
-            : engine->TopKMostSimilarWithOptions(query.target_id, query.group,
-                                                 std::move(options));
+  for (const core::QuerySpec& query : workload) {
+    auto result = engine->ExecuteSpec(query);
     DE_CHECK(result.ok()) << result.status().ToString();
     out.results.push_back(std::move(result.value()));
   }
@@ -101,7 +98,7 @@ WorkloadResult RunSequential(core::DeepEverest* engine,
 }
 
 WorkloadResult RunService(core::DeepEverest* engine,
-                          const std::vector<service::TopKQuery>& workload,
+                          const std::vector<core::QuerySpec>& workload,
                           int num_workers, service::ServiceStats* stats,
                           bool cross_query_batching = false) {
   service::QueryServiceOptions options;
@@ -115,7 +112,7 @@ WorkloadResult RunService(core::DeepEverest* engine,
   Stopwatch watch;
   std::vector<std::future<Result<core::TopKResult>>> futures;
   futures.reserve(workload.size());
-  for (const service::TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto submitted = (*svc)->Submit(query);
     DE_CHECK(submitted.ok()) << submitted.status().ToString();
     futures.push_back(std::move(submitted.value()));
@@ -140,7 +137,7 @@ int CountMismatches(const std::vector<core::TopKResult>& expected,
 // seconds must drop at bit-identical results — and receipt attribution must
 // keep every query's inputs_run equal to its sequential-run value.
 void RunBatchingComparison(core::DeepEverest* engine,
-                           const std::vector<service::TopKQuery>& workload,
+                           const std::vector<core::QuerySpec>& workload,
                            const WorkloadResult& sequential) {
   double seq_batches = 0.0, seq_gpu = 0.0;
   for (const core::TopKResult& r : sequential.results) {
@@ -229,7 +226,7 @@ core::DeepEverestOptions EngineOptions(const bench::System& system,
 }
 
 void RunSuite(const bench::System& system, bool enable_iqa,
-              const std::vector<service::TopKQuery>& workload,
+              const std::vector<core::QuerySpec>& workload,
               bool batching_comparison = false) {
   bench::ScratchDir scratch("svc_bench");
   auto store = storage::FileStore::Open(scratch.path());
@@ -332,7 +329,7 @@ void Run() {
       system.name + ", " + std::to_string(num_queries) +
           " queries, 4 sessions, simulated accelerator dispatch");
 
-  const std::vector<service::TopKQuery> workload =
+  const std::vector<core::QuerySpec> workload =
       MakeWorkload(system, num_queries);
 
   std::cout << "\n-- IQA disabled (every query pays inference) --\n";

@@ -1,9 +1,13 @@
-// Runs DeepEverest through its declarative query language — the "SELECT
-// TOPK ..." front end over the same NPI/MAI/NTA machinery.
+// Runs DeepEverest through its declarative query language — "SELECT
+// TOPK ..." text parsed into the canonical core::QuerySpec and executed
+// through the same ExecuteSpec path the serving tier uses (derived
+// TOP-m-NEURONS groups resolve inside the engine, metered into the query's
+// stats).
 //
 //   ./examples/declarative_queries
 #include <cstdio>
 
+#include "core/deepeverest.h"
 #include "core/ql.h"
 #include "data/dataset.h"
 #include "nn/model_zoo.h"
@@ -42,14 +46,14 @@ int main() {
   };
 
   for (const std::string& text : queries) {
-    auto parsed = core::ParseQuery(text);
-    if (!parsed.ok()) {
+    auto spec = core::ParseQuery(text);
+    if (!spec.ok()) {
       std::fprintf(stderr, "parse error: %s\n",
-                   parsed.status().ToString().c_str());
+                   spec.status().ToString().c_str());
       return 1;
     }
-    std::printf("\n> %s\n", parsed->ToString().c_str());
-    auto result = core::ExecuteQuery(de->get(), text);
+    std::printf("\n> %s\n", spec->ToString().c_str());
+    auto result = (*de)->ExecuteSpec(*spec);
     if (!result.ok()) {
       std::fprintf(stderr, "execution error: %s\n",
                    result.status().ToString().c_str());
@@ -57,7 +61,7 @@ int main() {
     }
     for (const auto& entry : result->entries) {
       std::printf("  input %4u  %s %.4f\n", entry.input_id,
-                  parsed->kind == core::ParsedQuery::Kind::kHighest
+                  spec->kind == core::QuerySpec::Kind::kHighest
                       ? "score"
                       : "dist ",
                   entry.value);

@@ -1,22 +1,32 @@
 // An interactive shell over the declarative query language: reads
-// `SELECT TOPK ...` statements from stdin and executes them against a
-// demo model/dataset. Also accepts:
-//   LAYERS                 - list queryable activation layers
+// `SELECT TOPK ...` statements from stdin and executes them through the
+// full service path (QueryService: admission, QoS, cross-query batching,
+// streaming progress) — the same path every other entry point uses, not an
+// engine-direct side door. Two models are served side by side; `\model`
+// switches between them. Also accepts:
+//   \model [name]          - switch the active model (no arg: list models)
+//   LAYERS                 - list the active model's queryable layers
 //   TOPNEURONS <input> <layer> <m>
-//   STATS                  - inference/storage counters so far
+//   STATS                  - service + inference/storage counters so far
 //   HELP / QUIT
 //
 //   echo "SELECT TOPK 5 HIGHEST FOR LAYER 7 NEURONS (1,2,3)" |
 //       ./examples/deepeverest_shell
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "core/ql.h"
 #include "data/dataset.h"
 #include "nn/model_zoo.h"
+#include "service/engine_registry.h"
+#include "service/query_service.h"
 #include "storage/file_store.h"
+#include "tensor/tensor.h"
 
 using namespace deepeverest;  // NOLINT: example brevity
 
@@ -29,49 +39,142 @@ void PrintHelp() {
       "  SELECT TOPK <k> [MOST] SIMILAR TO <input> FOR LAYER <l>\n"
       "         NEURONS (...) | TOP <m> NEURONS [OF <input>]\n"
       "         [USING L1|L2|LINF] [THETA <t>]\n"
-      "  LAYERS | TOPNEURONS <input> <layer> <m> | STATS | HELP | QUIT\n");
+      "  \\model [name] | LAYERS | TOPNEURONS <input> <layer> <m>\n"
+      "  STATS | HELP | QUIT\n");
 }
+
+/// One served model: its engine plus the QueryService wrapping it. The
+/// members build in declaration order (the engine borrows everything
+/// above it) and destroy in reverse.
+struct ServedModel {
+  std::string name;
+  nn::ModelPtr model;
+  data::Dataset dataset;
+  std::string store_dir;
+  std::unique_ptr<storage::FileStore> store;
+  std::unique_ptr<core::DeepEverest> engine;
+  std::unique_ptr<service::QueryService> service;
+
+  ServedModel(std::string model_name, nn::ModelPtr m, data::Dataset d)
+      : name(std::move(model_name)),
+        model(std::move(m)),
+        dataset(std::move(d)) {}
+
+  bool Open(const core::DeepEverestOptions& options) {
+    auto dir = storage::MakeTempDir("shell_" + name);
+    if (!dir.ok()) return false;
+    store_dir = *dir;
+    auto opened = storage::FileStore::Open(store_dir);
+    if (!opened.ok()) return false;
+    store = std::make_unique<storage::FileStore>(std::move(opened.value()));
+    auto created = core::DeepEverest::Create(model.get(), &dataset,
+                                             store.get(), options);
+    if (!created.ok()) return false;
+    engine = std::move(created.value());
+    service::QueryServiceOptions service_options;
+    service_options.num_workers = 2;
+    auto svc = service::QueryService::Create(engine.get(), service_options);
+    if (!svc.ok()) return false;
+    service = std::move(svc.value());
+    return true;
+  }
+};
 
 }  // namespace
 
 int main() {
-  nn::ModelPtr model = nn::MakeMiniVgg(/*seed=*/77);
-  data::SyntheticImageConfig data_config;
-  data_config.num_inputs = 400;
-  data_config.seed = 123;
-  data::Dataset dataset = data::MakeSyntheticImages(data_config);
+  // Model A: the image-model interpretation session the paper describes.
+  data::SyntheticImageConfig image_config;
+  image_config.num_inputs = 400;
+  image_config.seed = 123;
+  ServedModel vgg("mini-vgg", nn::MakeMiniVgg(/*seed=*/77),
+                  data::MakeSyntheticImages(image_config));
+  core::DeepEverestOptions vgg_options;
+  vgg_options.batch_size = 16;
+  vgg_options.enable_iqa = true;
+  if (!vgg.Open(vgg_options)) return 1;
 
-  auto dir = storage::MakeTempDir("shell");
-  if (!dir.ok()) return 1;
-  auto store = storage::FileStore::Open(*dir);
-  if (!store.ok()) return 1;
-  core::DeepEverestOptions options;
-  options.batch_size = 16;
-  options.enable_iqa = true;
-  auto de = core::DeepEverest::Create(model.get(), &dataset, &store.value(),
-                                      options);
-  if (!de.ok()) return 1;
+  // Model B: a small MLP over synthetic vectors — a second model behind
+  // the same shell, reachable via \model.
+  data::Dataset vectors("shell-vec", Shape({8}));
+  {
+    Rng rng(321);
+    for (uint32_t i = 0; i < 200; ++i) {
+      Tensor input(Shape({8}));
+      for (int d = 0; d < 8; ++d) {
+        input[d] = static_cast<float>(rng.NextGaussian());
+      }
+      vectors.Add(std::move(input), static_cast<int>(i % 4));
+    }
+  }
+  ServedModel mlp("tiny-mlp", nn::MakeTinyMlp(/*input_units=*/8, /*seed=*/9),
+                  std::move(vectors));
+  core::DeepEverestOptions mlp_options;
+  mlp_options.batch_size = 8;
+  mlp_options.enable_iqa = true;
+  if (!mlp.Open(mlp_options)) return 1;
 
-  std::printf("DeepEverest shell — model %s, %u inputs. Type HELP.\n",
-              model->name().c_str(), dataset.size());
+  service::EngineRegistry registry;
+  if (!registry.Register(vgg.name, vgg.service.get()).ok() ||
+      !registry.Register(mlp.name, mlp.service.get()).ok()) {
+    return 1;
+  }
+  std::vector<ServedModel*> models = {&vgg, &mlp};
+  ServedModel* active = &vgg;
+
+  std::printf("DeepEverest shell — serving %zu models (active %s, %u "
+              "inputs). Type HELP.\n",
+              registry.size(), active->name.c_str(),
+              active->dataset.size());
   std::string line;
   while (std::printf("deepeverest> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     std::istringstream words(line);
     std::string first;
     words >> first;
-    for (char& c : first) c = static_cast<char>(std::toupper(c));
     if (first.empty()) continue;
+    if (first[0] == '\\') {
+      std::string command = first.substr(1);
+      for (char& c : command) c = static_cast<char>(std::tolower(c));
+      if (command == "model") {
+        std::string name;
+        if (!(words >> name)) {
+          for (const std::string& served : registry.ModelNames()) {
+            std::printf("  %s%s\n", served.c_str(),
+                        served == active->name ? "  (active)" : "");
+          }
+          continue;
+        }
+        ServedModel* found = nullptr;
+        for (ServedModel* candidate : models) {
+          if (candidate->name == name) found = candidate;
+        }
+        if (found == nullptr) {
+          std::printf("error: model '%s' is not served (try \\model)\n",
+                      name.c_str());
+          continue;
+        }
+        active = found;
+        std::printf("  active model: %s (%u inputs)\n", active->name.c_str(),
+                    active->dataset.size());
+        continue;
+      }
+      std::printf("error: unknown command '\\%s' (try HELP)\n",
+                  command.c_str());
+      continue;
+    }
+    for (char& c : first) c = static_cast<char>(std::toupper(c));
     if (first == "QUIT" || first == "EXIT") break;
     if (first == "HELP") {
       PrintHelp();
       continue;
     }
     if (first == "LAYERS") {
-      for (int layer : model->activation_layers()) {
+      for (int layer : active->model->activation_layers()) {
         std::printf("  layer %2d  (%s, %lld neurons)\n", layer,
-                    model->layer(layer).name().c_str(),
-                    static_cast<long long>(model->NeuronCount(layer)));
+                    active->model->layer(layer).name().c_str(),
+                    static_cast<long long>(
+                        active->model->NeuronCount(layer)));
       }
       continue;
     }
@@ -82,7 +185,7 @@ int main() {
         std::printf("usage: TOPNEURONS <input> <layer> <m>\n");
         continue;
       }
-      auto top = (*de)->MaximallyActivatedNeurons(input, layer, m);
+      auto top = active->engine->MaximallyActivatedNeurons(input, layer, m);
       if (!top.ok()) {
         std::printf("error: %s\n", top.status().ToString().c_str());
         continue;
@@ -93,25 +196,51 @@ int main() {
       continue;
     }
     if (first == "STATS") {
-      const auto& stats = (*de)->inference()->stats();
+      const auto& stats = active->engine->inference()->stats();
+      const service::ServiceStats service_stats =
+          active->service->Snapshot();
       std::printf("  inputs through DNN: %lld (in %lld batches)\n",
                   static_cast<long long>(stats.inputs_run),
                   static_cast<long long>(stats.batches_run));
+      std::printf("  service: %lld submitted, %lld completed, %lld failed\n",
+                  static_cast<long long>(service_stats.submitted),
+                  static_cast<long long>(service_stats.completed),
+                  static_cast<long long>(service_stats.failed));
       std::printf("  index storage: %s of %s full materialisation\n",
-                  std::to_string((*de)->PersistedIndexBytes().ValueOr(0))
+                  std::to_string(
+                      active->engine->PersistedIndexBytes().ValueOr(0))
                       .c_str(),
-                  std::to_string((*de)->FullMaterializationBytes()).c_str());
+                  std::to_string(active->engine->FullMaterializationBytes())
+                      .c_str());
       continue;
     }
 
-    auto result = core::ExecuteQuery(de->get(), line);
+    // A query statement: parse to the canonical QuerySpec, attach the
+    // shell's serving envelope, run it through the service (admission,
+    // QoS, batching, per-round progress — everything a remote client
+    // gets).
+    auto parsed = core::ParseQuery(line);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      continue;
+    }
+    core::QuerySpec spec = std::move(parsed.value());
+    spec.session_id = 1;
+    spec.qos = QosClass::kInteractive;
+    spec.on_progress = [](const core::NtaProgress& progress) {
+      std::printf("  [round %lld] threshold %.5f, %zu confirmed\n",
+                  static_cast<long long>(progress.round), progress.threshold,
+                  progress.confirmed.size());
+      return true;
+    };
+    auto result = active->service->Execute(std::move(spec));
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
     for (const auto& entry : result->entries) {
       std::printf("  input %4u   %.5f   (label %d)\n", entry.input_id,
-                  entry.value, dataset.label(entry.input_id));
+                  entry.value, active->dataset.label(entry.input_id));
     }
     std::printf("  %lld inputs through the DNN, %lld served from IQA cache\n",
                 static_cast<long long>(result->stats.inputs_run),

@@ -57,9 +57,9 @@ int Run() {
   // at once (weight 1, no deadline — it can wait).
   std::vector<std::future<Result<core::TopKResult>>> bulk;
   for (int i = 0; i < 40; ++i) {
-    service::TopKQuery query;
-    query.group.layer = layers[static_cast<size_t>(i) % layers.size()];
-    query.group.neurons = {i % 8, (i + 3) % 8, (i + 5) % 8};
+    core::QuerySpec query;
+    query.layer = layers[static_cast<size_t>(i) % layers.size()];
+    query.neurons = {i % 8, (i + 3) % 8, (i + 5) % 8};
     query.k = 10;
     query.session_id = 2;
     query.qos = QosClass::kBatch;
@@ -71,15 +71,15 @@ int Run() {
   // dispatch queue lets these jump every queued bulk query.
   int answered = 0, missed = 0;
   for (int i = 0; i < 10; ++i) {
-    service::TopKQuery query;
-    query.kind = service::TopKQuery::Kind::kMostSimilar;
-    query.target_id = static_cast<uint32_t>(17 + i);
-    query.group.layer = layers.back();
-    query.group.neurons = {0, 2, 4};
+    core::QuerySpec query;
+    query.kind = core::QuerySpec::Kind::kMostSimilar;
+    query.target_id = 17 + i;
+    query.layer = layers.back();
+    query.neurons = {0, 2, 4};
     query.k = 5;
     query.session_id = 1;
     query.qos = QosClass::kInteractive;
-    query.deadline_seconds = 0.25;
+    query.deadline_ms = 250.0;
     auto result = (*service)->Execute(std::move(query));
     if (result.ok()) {
       ++answered;

@@ -1,17 +1,28 @@
-// End-to-end driver for the HTTP query API, used interactively and by the
-// `server-e2e` CI job. It rebuilds the server's engine locally (everything
-// derives from the shared --seed), then drives the live server and asserts:
+// End-to-end driver for the multi-model HTTP query API, used interactively
+// and by the `server-e2e` CI job. It rebuilds BOTH of the server's engines
+// locally (everything derives from the shared --seed and the fixed
+// second-model seed derivation in bench_util), then drives the live server
+// and asserts:
 //
-//  1. Mixed interactive/batch-session queries over POST /v1/query return
-//     results *bit-identical* to the local in-process sequential reference
-//     (entries and exact per-query inputs_run).
-//  2. A streaming GET /v1/query?stream=1 emits at least one NDJSON progress
-//     event before the final result, rounds strictly increase, the
-//     confirmed set only grows, and the final entries match the reference.
-//  3. A deadline_ms=0 request is rejected with 504/DeadlineExceeded
-//     *without running inference* (the service's rejected_past_deadline
-//     counter increments; no execution counter moves).
-//  4. Addressing the wrong model 404s.
+//  1. Mixed interactive/batch-session queries over POST /v1/query,
+//     addressed to each model by its `model` field, return results
+//     *bit-identical* to that model's local in-process sequential
+//     reference (entries and exact per-query inputs_run) — i.e. routing
+//     routes, and the two models demonstrably answer differently.
+//  2. A request without a `model` field routes to the default model.
+//  3. GET /v1/models lists both models and the default; addressing an
+//     unregistered model 404s.
+//  4. A derived-group query (`TOP m NEURONS OF x`) submitted via the
+//     structured JSON wire AND via POST /v1/ql executes through the
+//     QueryService with exact inputs_run attribution, bit-identical to the
+//     engine-direct ExecuteSpec reference.
+//  5. A streamed POST /v1/ql?stream=1 emits at least one NDJSON progress
+//     event before the final result, rounds strictly increase, and the
+//     final entries match the reference.
+//  6. A deadline_ms=0 request is rejected with 504/DeadlineExceeded
+//     *without running inference* (the routed model's
+//     rejected_past_deadline counter increments; no execution counter
+//     moves, and the *other* model's counters do not move at all).
 //
 //   ./example_query_client --port 8080 [--host 127.0.0.1] [--seed N]
 //
@@ -26,8 +37,8 @@
 
 #include "bench_util/demo_system.h"
 #include "common/json.h"
+#include "core/query_spec_json.h"
 #include "net/http_client.h"
-#include "service/query_service.h"
 
 using namespace deepeverest;  // NOLINT: example brevity
 
@@ -72,19 +83,11 @@ Result<net::HttpClient> ConnectReady(const ClientOptions& options) {
   }
 }
 
-/// The canonical sequential reference: the query run directly on the local
-/// twin engine in the service's execution mode.
+/// The canonical sequential reference: the spec run engine-direct on the
+/// local twin through the same ExecuteSpec path the service uses.
 Result<core::TopKResult> RunReference(core::DeepEverest* engine,
-                                      const service::TopKQuery& query) {
-  core::NtaOptions options;
-  options.k = query.k;
-  options.theta = query.theta;
-  options.tie_complete = true;
-  if (query.kind == service::TopKQuery::Kind::kHighest) {
-    return engine->TopKHighestWithOptions(query.group, std::move(options));
-  }
-  return engine->TopKMostSimilarWithOptions(query.target_id, query.group,
-                                            std::move(options));
+                                      const core::QuerySpec& spec) {
+  return engine->ExecuteSpec(spec);
 }
 
 /// True when the HTTP entries match the reference exactly (ids and values
@@ -108,28 +111,50 @@ bool EntriesMatch(const JsonValue& entries, const core::TopKResult& expected) {
   return true;
 }
 
-int64_t StatsField(net::HttpClient* client, const std::string& field) {
+/// Reads `field` from the /v1/stats section of `model` (-1 on any miss).
+int64_t StatsField(net::HttpClient* client, const std::string& model,
+                   const std::string& field) {
   auto response = client->Get("/v1/stats");
   if (!response.ok() || response->status != 200) return -1;
   auto parsed = ParseJson(response->body);
   if (!parsed.ok()) return -1;
-  const JsonValue* value = parsed->Find(field);
-  return value == nullptr ? -1 : value->int_value();
+  const JsonValue* models = parsed->Find("models");
+  if (models == nullptr || !models->is_array()) return -1;
+  for (const JsonValue& section : models->array_items()) {
+    const JsonValue* name = section.Find("model");
+    if (name == nullptr || !name->is_string() ||
+        name->string_value() != model) {
+      continue;
+    }
+    const JsonValue* value = section.Find(field);
+    return value == nullptr ? -1 : value->int_value();
+  }
+  return -1;
+}
+
+int64_t ExecutedCount(net::HttpClient* client, const std::string& model) {
+  return StatsField(client, model, "completed") +
+         StatsField(client, model, "failed") +
+         StatsField(client, model, "deadline_exceeded");
 }
 
 int Run(const ClientOptions& options) {
-  // The local twin: same seed, same dataset, same weights — reference
+  // The local twins: same seeds, same datasets, same weights — reference
   // results are computed here, never fetched from the server under test.
   bench_util::DemoSystemOptions demo_options;
   demo_options.seed = options.seed;
   demo_options.num_inputs = options.num_inputs;
-  auto system = bench_util::DemoSystem::Make(demo_options);
-  if (!system.ok()) {
+  auto twin_a = bench_util::DemoSystem::Make(demo_options);
+  bench_util::DemoSystemOptions demo_options_b = demo_options;
+  demo_options_b.seed = bench_util::DemoModelBSeed(options.seed);
+  auto twin_b = bench_util::DemoSystem::Make(demo_options_b);
+  if (!twin_a.ok() || !twin_b.ok()) {
     std::fprintf(stderr, "demo system: %s\n",
-                 system.status().ToString().c_str());
+                 (!twin_a.ok() ? twin_a.status() : twin_b.status())
+                     .ToString()
+                     .c_str());
     return 1;
   }
-  const std::string model_name = (*system)->model_name();
 
   auto connected = ConnectReady(options);
   if (!connected.ok()) {
@@ -137,127 +162,252 @@ int Run(const ClientOptions& options) {
     return 1;
   }
   net::HttpClient client = std::move(connected.value());
-  std::printf("connected to %s:%u (model %s)\n", options.host.c_str(),
-              static_cast<unsigned>(options.port), model_name.c_str());
+  std::printf("connected to %s:%u (models %s, %s)\n", options.host.c_str(),
+              static_cast<unsigned>(options.port), bench_util::kDemoModelA,
+              bench_util::kDemoModelB);
 
-  // --- 1. Mixed workload, bit-identical to the sequential reference. ----
-  const std::vector<service::TopKQuery> workload =
-      bench_util::MakeMixedWorkload(*(*system)->model(), 16);
-  int mismatches = 0;
-  for (size_t i = 0; i < workload.size(); ++i) {
-    auto reference = RunReference((*system)->engine(), workload[i]);
+  // --- 1. Mixed workload, routed per model, bit-identical to each twin. --
+  const std::vector<core::QuerySpec> workload =
+      bench_util::MakeMixedWorkload(*(*twin_a)->model(), 16);
+  struct ModelArm {
+    const char* name;
+    core::DeepEverest* engine;
+  };
+  const ModelArm arms[] = {{bench_util::kDemoModelA, (*twin_a)->engine()},
+                           {bench_util::kDemoModelB, (*twin_b)->engine()}};
+  // Collect model A's reference values to also prove the two models answer
+  // differently (routing is observable, not a no-op).
+  std::vector<core::TopKResult> reference_a;
+  int differing_between_models = 0;
+  for (const ModelArm& arm : arms) {
+    int mismatches = 0;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto reference = RunReference(arm.engine, workload[i]);
+      if (!reference.ok()) {
+        std::fprintf(stderr, "reference query %zu (%s): %s\n", i, arm.name,
+                     reference.status().ToString().c_str());
+        return 1;
+      }
+      if (arm.engine == (*twin_a)->engine()) {
+        reference_a.push_back(reference.value());
+      } else if (i < reference_a.size()) {
+        const auto& a = reference_a[i].entries;
+        const auto& b = reference->entries;
+        bool same = a.size() == b.size();
+        for (size_t r = 0; same && r < a.size(); ++r) {
+          same = a[r].input_id == b[r].input_id && a[r].value == b[r].value;
+        }
+        if (!same) ++differing_between_models;
+      }
+      auto response = client.Post(
+          "/v1/query", core::QuerySpecJson(workload[i], arm.name));
+      if (!response.ok() || response->status != 200) {
+        ++mismatches;
+        continue;
+      }
+      auto body = ParseJson(response->body);
+      if (!body.ok()) {
+        ++mismatches;
+        continue;
+      }
+      const JsonValue* entries = body->Find("entries");
+      const JsonValue* stats = body->Find("stats");
+      const JsonValue* inputs_run =
+          stats == nullptr ? nullptr : stats->Find("inputs_run");
+      if (entries == nullptr || inputs_run == nullptr ||
+          !EntriesMatch(*entries, reference.value()) ||
+          inputs_run->int_value() != reference->stats.inputs_run) {
+        ++mismatches;
+      }
+    }
+    Check(mismatches == 0,
+          std::string("mixed workload (") + std::to_string(workload.size()) +
+              " queries) routed to '" + arm.name +
+              "' bit-identical to its twin reference");
+  }
+  Check(differing_between_models > 0,
+        "the two models answer differently (routing is observable)");
+
+  // --- 2. No model field -> the default model (demo-a). -----------------
+  {
+    auto reference = RunReference((*twin_a)->engine(), workload[0]);
+    auto response =
+        client.Post("/v1/query", core::QuerySpecJson(workload[0]));
+    bool matches = false;
+    if (reference.ok() && response.ok() && response->status == 200) {
+      auto body = ParseJson(response->body);
+      const JsonValue* entries = body.ok() ? body->Find("entries") : nullptr;
+      matches = entries != nullptr && EntriesMatch(*entries,
+                                                   reference.value());
+    }
+    Check(matches, "request without a model field routes to the default");
+  }
+
+  // --- 3. /v1/models + unknown-model 404. --------------------------------
+  {
+    auto response = client.Get("/v1/models");
+    bool listed = false;
+    if (response.ok() && response->status == 200) {
+      auto body = ParseJson(response->body);
+      if (body.ok()) {
+        const JsonValue* models = body->Find("models");
+        const JsonValue* fallback = body->Find("default");
+        bool has_a = false, has_b = false;
+        if (models != nullptr && models->is_array()) {
+          for (const JsonValue& name : models->array_items()) {
+            has_a = has_a || (name.is_string() &&
+                              name.string_value() == bench_util::kDemoModelA);
+            has_b = has_b || (name.is_string() &&
+                              name.string_value() == bench_util::kDemoModelB);
+          }
+        }
+        listed = has_a && has_b && fallback != nullptr &&
+                 fallback->is_string() &&
+                 fallback->string_value() == bench_util::kDemoModelA;
+      }
+    }
+    Check(listed, "GET /v1/models lists both models and the default");
+
+    auto unknown = client.Post(
+        "/v1/query",
+        core::QuerySpecJson(workload[0], "NotTheModelYouAreLookingFor"));
+    Check(unknown.ok() && unknown->status == 404,
+          "query for an unserved model returns 404");
+  }
+
+  // --- 4. Derived-group query via JSON wire and via /v1/ql. --------------
+  {
+    core::QuerySpec derived;
+    derived.kind = core::QuerySpec::Kind::kHighest;
+    derived.layer = (*twin_a)->model()->activation_layers().front();
+    derived.top_neurons = 3;
+    derived.top_of = 5;
+    derived.k = 8;
+    derived.session_id = 11;
+    auto reference = RunReference((*twin_a)->engine(), derived);
     if (!reference.ok()) {
-      std::fprintf(stderr, "reference query %zu: %s\n", i,
+      std::fprintf(stderr, "derived reference: %s\n",
                    reference.status().ToString().c_str());
       return 1;
     }
-    auto response = client.Post(
-        "/v1/query", bench_util::TopKQueryJson(workload[i], model_name));
-    if (!response.ok() || response->status != 200) {
-      ++mismatches;
-      continue;
-    }
-    auto body = ParseJson(response->body);
-    if (!body.ok()) {
-      ++mismatches;
-      continue;
-    }
-    const JsonValue* entries = body->Find("entries");
-    const JsonValue* stats = body->Find("stats");
-    const JsonValue* inputs_run =
-        stats == nullptr ? nullptr : stats->Find("inputs_run");
-    if (entries == nullptr || inputs_run == nullptr ||
-        !EntriesMatch(*entries, reference.value()) ||
-        inputs_run->int_value() != reference->stats.inputs_run) {
-      ++mismatches;
-    }
-  }
-  Check(mismatches == 0,
-        "mixed interactive/batch workload (" +
-            std::to_string(workload.size()) +
-            " queries) bit-identical to sequential reference");
 
-  // --- 2. Streaming query: progress before result, matching final. ------
+    auto check_response = [&](Result<net::HttpResponse> response,
+                              const std::string& what) {
+      bool matches = false;
+      if (response.ok() && response->status == 200) {
+        auto body = ParseJson(response->body);
+        if (body.ok()) {
+          const JsonValue* entries = body->Find("entries");
+          const JsonValue* stats = body->Find("stats");
+          const JsonValue* inputs_run =
+              stats == nullptr ? nullptr : stats->Find("inputs_run");
+          matches = entries != nullptr && inputs_run != nullptr &&
+                    EntriesMatch(*entries, reference.value()) &&
+                    inputs_run->int_value() == reference->stats.inputs_run;
+        }
+      }
+      Check(matches, what);
+    };
+
+    check_response(
+        client.Post("/v1/query",
+                    core::QuerySpecJson(derived, bench_util::kDemoModelA)),
+        "derived-group (TOP m NEURONS OF x) via JSON wire: bit-identical "
+        "entries + exact inputs_run");
+
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("model");
+    w.String(bench_util::kDemoModelA);
+    w.Key("ql");
+    w.String(derived.ToString());
+    w.Key("session_id");
+    w.Uint(derived.session_id);
+    w.EndObject();
+    check_response(client.Post("/v1/ql", w.TakeString()),
+                   "derived-group via POST /v1/ql: bit-identical entries + "
+                   "exact inputs_run");
+  }
+
+  // --- 5. Streamed /v1/ql: progress before result, matching final. -------
   {
-    service::TopKQuery streaming;
-    streaming.kind = service::TopKQuery::Kind::kHighest;
-    streaming.group.layer = (*system)->model()->activation_layers().front();
-    streaming.group.neurons = {0, 1, 2, 3};
+    core::QuerySpec streaming;
+    streaming.kind = core::QuerySpec::Kind::kHighest;
+    streaming.layer = (*twin_a)->model()->activation_layers().front();
+    streaming.neurons = {0, 1, 2, 3};
     streaming.k = 10;
-    auto reference = RunReference((*system)->engine(), streaming);
+    auto reference = RunReference((*twin_a)->engine(), streaming);
     if (!reference.ok()) {
       std::fprintf(stderr, "streaming reference: %s\n",
                    reference.status().ToString().c_str());
       return 1;
     }
-    std::string neurons = "0,1,2,3";
-    const std::string target =
-        "/v1/query?stream=1&kind=highest&layer=" +
-        std::to_string(streaming.group.layer) + "&neurons=" + neurons +
-        "&k=10&session_id=9&qos=interactive";
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("model");
+    w.String(bench_util::kDemoModelA);
+    w.Key("ql");
+    w.String(streaming.ToString());
+    w.Key("qos");
+    w.String("interactive");
+    w.Key("session_id");
+    w.Uint(9);
+    w.EndObject();
     int progress_events = 0;
     int result_events = 0;
     int64_t last_round = -1;
-    size_t last_confirmed = 0;
     bool ordered = true;
     bool progress_before_result = true;
     bool final_matches = false;
-    auto streamed = client.GetStream(target, [&](const std::string& line) {
-      auto event = ParseJson(line);
-      if (!event.ok()) return true;
-      const JsonValue* kind = event->Find("event");
-      if (kind == nullptr || !kind->is_string()) return true;
-      if (kind->string_value() == "progress") {
-        if (result_events > 0) progress_before_result = false;
-        ++progress_events;
-        const JsonValue* round = event->Find("round");
-        const JsonValue* confirmed = event->Find("confirmed");
-        if (round == nullptr || round->int_value() <= last_round) {
-          ordered = false;
-        } else {
-          last_round = round->int_value();
-        }
-        const size_t confirmed_count =
-            confirmed != nullptr && confirmed->is_array()
-                ? confirmed->array_items().size()
-                : 0;
-        // For kHighest the confirmed set only grows round over round.
-        if (confirmed_count < last_confirmed) ordered = false;
-        last_confirmed = confirmed_count;
-      } else if (kind->string_value() == "result") {
-        ++result_events;
-        const JsonValue* entries = event->Find("entries");
-        final_matches =
-            entries != nullptr && EntriesMatch(*entries, reference.value());
-      }
-      return true;
-    });
+    auto streamed = client.PostStream(
+        "/v1/ql?stream=1", w.TakeString(), [&](const std::string& line) {
+          auto event = ParseJson(line);
+          if (!event.ok()) return true;
+          const JsonValue* kind = event->Find("event");
+          if (kind == nullptr || !kind->is_string()) return true;
+          if (kind->string_value() == "progress") {
+            if (result_events > 0) progress_before_result = false;
+            ++progress_events;
+            const JsonValue* round = event->Find("round");
+            if (round == nullptr || round->int_value() <= last_round) {
+              ordered = false;
+            } else {
+              last_round = round->int_value();
+            }
+          } else if (kind->string_value() == "result") {
+            ++result_events;
+            const JsonValue* entries = event->Find("entries");
+            final_matches = entries != nullptr &&
+                            EntriesMatch(*entries, reference.value());
+          }
+          return true;
+        });
     Check(streamed.ok() && streamed->status == 200,
-          "streaming query returned 200 with a chunked body");
+          "streamed /v1/ql returned 200 with a chunked body");
     Check(progress_events >= 1 && result_events == 1 &&
-              progress_before_result,
-          "stream emitted >=1 progress event before the final result (" +
+              progress_before_result && ordered,
+          "QL stream emitted >=1 ordered progress event before the final "
+          "result (" +
               std::to_string(progress_events) + " progress)");
-    Check(ordered, "progress rounds increase and confirmed set only grows");
-    Check(final_matches, "streamed final result bit-identical to reference");
+    Check(final_matches, "streamed QL final result bit-identical to "
+                         "reference");
   }
 
-  // --- 3. deadline_ms=0 rejected without running inference. -------------
+  // --- 6. deadline_ms=0 rejected without running inference. --------------
   {
+    const char* model = bench_util::kDemoModelB;  // exercise the non-default
     const int64_t rejected_before =
-        StatsField(&client, "rejected_past_deadline");
-    const int64_t executed_before = StatsField(&client, "completed") +
-                                    StatsField(&client, "failed") +
-                                    StatsField(&client, "deadline_exceeded");
-    service::TopKQuery doomed;
-    doomed.group.layer = (*system)->model()->activation_layers().back();
-    doomed.group.neurons = {0, 1};
+        StatsField(&client, model, "rejected_past_deadline");
+    const int64_t executed_before = ExecutedCount(&client, model);
+    const int64_t other_submitted_before =
+        StatsField(&client, bench_util::kDemoModelA, "submitted");
+    core::QuerySpec doomed;
+    doomed.layer = (*twin_b)->model()->activation_layers().back();
+    doomed.neurons = {0, 1};
     doomed.k = 3;
-    auto response = client.Post(
-        "/v1/query",
-        bench_util::TopKQueryJson(doomed, model_name,
-                                  /*include_deadline_ms=*/true,
-                                  /*deadline_ms=*/0.0));
+    doomed.deadline_ms = 0.0;  // already due
+    auto response =
+        client.Post("/v1/query", core::QuerySpecJson(doomed, model));
     bool rejected_504 = false;
     if (response.ok() && response->status == 504) {
       auto body = ParseJson(response->body);
@@ -269,26 +419,14 @@ int Run(const ClientOptions& options) {
       }
     }
     Check(rejected_504, "deadline_ms=0 rejected with 504 DeadlineExceeded");
-    const int64_t rejected_after =
-        StatsField(&client, "rejected_past_deadline");
-    const int64_t executed_after = StatsField(&client, "completed") +
-                                   StatsField(&client, "failed") +
-                                   StatsField(&client, "deadline_exceeded");
-    Check(rejected_after == rejected_before + 1 &&
-              executed_after == executed_before,
-          "rejection counted as rejected_past_deadline; no inference ran");
-  }
-
-  // --- 4. Wrong model 404s. ---------------------------------------------
-  {
-    service::TopKQuery query;
-    query.group.layer = (*system)->model()->activation_layers().front();
-    query.group.neurons = {0};
-    auto response = client.Post(
-        "/v1/query",
-        bench_util::TopKQueryJson(query, "NotTheModelYouAreLookingFor"));
-    Check(response.ok() && response->status == 404,
-          "query for an unserved model returns 404");
+    Check(StatsField(&client, model, "rejected_past_deadline") ==
+                  rejected_before + 1 &&
+              ExecutedCount(&client, model) == executed_before,
+          "rejection counted in the routed model's rejected_past_deadline; "
+          "no inference ran");
+    Check(StatsField(&client, bench_util::kDemoModelA, "submitted") ==
+              other_submitted_before,
+          "the other model's counters did not move");
   }
 
   std::printf("%s (%d failure%s)\n", g_failures == 0 ? "ALL PASS" : "FAILED",

@@ -1,18 +1,23 @@
-// The network front-end, runnable: builds the deterministic demo system
-// (TinyMlp + synthetic vectors, all derived from --seed), wraps it in a
-// QueryService, and serves the HTTP/1.1 query API on loopback until
-// SIGINT/SIGTERM.
+// The network front-end, runnable: builds TWO deterministic demo systems
+// (TinyMlp + synthetic vectors, derived from --seed and a fixed seed
+// derivation for the second model), wraps each in its own QueryService,
+// registers both in an EngineRegistry, and serves the multi-model HTTP/1.1
+// query API on loopback until SIGINT/SIGTERM. The wire protocol's `model`
+// field routes between them.
 //
 //   ./example_query_server --port 8080
+//   curl -s localhost:8080/v1/models
 //   curl -s localhost:8080/v1/query
-//     -d '{"kind":"highest","layer":1,"neurons":[0,2,4],"k":5,"qos":"interactive"}'
+//     -d '{"model":"demo-a","kind":"highest","layer":1,"neurons":[0,2,4],"k":5}'
+//   curl -s localhost:8080/v1/ql
+//     -d '{"model":"demo-b","ql":"SELECT TOPK 5 HIGHEST FOR LAYER 1 TOP 3 NEURONS OF 7"}'
 //   curl -sN 'localhost:8080/v1/query?stream=1&layer=1&neurons=0,2,4&k=5'
 //   curl -s localhost:8080/v1/stats
 //
 // The e2e CI job starts this binary, then runs example_query_client
-// (which rebuilds the identical engine from the same seed) against it and
-// asserts bit-identical results. See README "Network API" for the wire
-// protocol.
+// (which rebuilds both engines from the same seed) against it and asserts
+// bit-identical results and correct model routing. See README "Network
+// API" for the wire protocol.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +26,7 @@
 
 #include "bench_util/demo_system.h"
 #include "net/query_server.h"
+#include "service/engine_registry.h"
 #include "service/query_service.h"
 
 using namespace deepeverest;  // NOLINT: example brevity
@@ -71,21 +77,44 @@ int Run(int argc, char** argv) {
     }
   }
 
-  auto system = bench_util::DemoSystem::Make(demo_options);
-  if (!system.ok()) {
-    std::fprintf(stderr, "demo system: %s\n",
-                 system.status().ToString().c_str());
+  // Two independent serving stacks: the second model's weights AND dataset
+  // derive from a different seed, so misrouted queries would return
+  // visibly different answers (exactly what the e2e client checks).
+  auto system_a = bench_util::DemoSystem::Make(demo_options);
+  if (!system_a.ok()) {
+    std::fprintf(stderr, "demo system A: %s\n",
+                 system_a.status().ToString().c_str());
     return 1;
   }
-  auto service =
-      service::QueryService::Create((*system)->engine(), service_options);
-  if (!service.ok()) {
+  bench_util::DemoSystemOptions demo_options_b = demo_options;
+  demo_options_b.seed = bench_util::DemoModelBSeed(demo_options.seed);
+  auto system_b = bench_util::DemoSystem::Make(demo_options_b);
+  if (!system_b.ok()) {
+    std::fprintf(stderr, "demo system B: %s\n",
+                 system_b.status().ToString().c_str());
+    return 1;
+  }
+
+  auto service_a =
+      service::QueryService::Create((*system_a)->engine(), service_options);
+  auto service_b =
+      service::QueryService::Create((*system_b)->engine(), service_options);
+  if (!service_a.ok() || !service_b.ok()) {
     std::fprintf(stderr, "query service: %s\n",
-                 service.status().ToString().c_str());
+                 (!service_a.ok() ? service_a.status() : service_b.status())
+                     .ToString()
+                     .c_str());
     return 1;
   }
-  server_options.model_name = (*system)->model_name();
-  auto server = net::QueryServer::Start(service->get(), server_options);
+
+  service::EngineRegistry registry;
+  if (!registry.Register(bench_util::kDemoModelA, service_a->get()).ok() ||
+      !registry.Register(bench_util::kDemoModelB, service_b->get()).ok()) {
+    std::fprintf(stderr, "registry setup failed\n");
+    return 1;
+  }
+
+  auto server = net::QueryServer::Start(&registry, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "http server: %s\n",
                  server.status().ToString().c_str());
@@ -94,10 +123,11 @@ int Run(int argc, char** argv) {
 
   // The readiness line the CI job (and any supervisor) waits for; flushed
   // immediately so a pipe reader sees it before the first request.
-  std::printf("query_server listening on 127.0.0.1:%u model=%s inputs=%u "
+  std::printf("query_server listening on 127.0.0.1:%u models=%s,%s inputs=%u "
               "seed=%llu workers=%d\n",
               static_cast<unsigned>((*server)->port()),
-              (*system)->model_name().c_str(), demo_options.num_inputs,
+              bench_util::kDemoModelA, bench_util::kDemoModelB,
+              demo_options.num_inputs,
               static_cast<unsigned long long>(demo_options.seed),
               service_options.num_workers);
   std::fflush(stdout);
@@ -110,7 +140,8 @@ int Run(int argc, char** argv) {
 
   std::printf("shutting down\n");
   (*server)->Shutdown();
-  (*service)->Shutdown();
+  (*service_a)->Shutdown();
+  (*service_b)->Shutdown();
   return 0;
 }
 

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Scripted smoke test of the deepeverest_shell example: pipes a fixed
+# session (tests/golden/shell_smoke_session.txt) into the binary and diffs
+# the output against the committed golden. Numbers are normalised to '#'
+# before diffing — activation values are deterministic for one build, but
+# the smoke should not fail on last-digit float formatting differences
+# across compilers; bit-exactness is covered by the unit/e2e suites.
+#
+#   scripts/shell_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SHELL_BIN="$BUILD_DIR/example_deepeverest_shell"
+if [[ ! -x "$SHELL_BIN" ]]; then
+  echo "error: $SHELL_BIN not built" >&2
+  exit 2
+fi
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+"$SHELL_BIN" < "$ROOT/tests/golden/shell_smoke_session.txt" \
+  | sed -E 's/[0-9][0-9.]*/#/g' > "$tmp"
+diff -u "$ROOT/tests/golden/shell_smoke.expected" "$tmp"
+echo "shell smoke OK: session output matches the golden"

@@ -4,7 +4,6 @@
 #include <system_error>
 #include <utility>
 
-#include "common/json.h"
 #include "common/rng.h"
 #include "tensor/tensor.h"
 
@@ -74,64 +73,27 @@ Result<std::unique_ptr<DemoSystem>> DemoSystem::Make(
   return system;
 }
 
-std::vector<service::TopKQuery> MakeMixedWorkload(const nn::Model& model,
-                                                  int count) {
+std::vector<core::QuerySpec> MakeMixedWorkload(const nn::Model& model,
+                                               int count) {
   const std::vector<int>& layers = model.activation_layers();
-  std::vector<service::TopKQuery> workload;
+  std::vector<core::QuerySpec> workload;
   workload.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    service::TopKQuery query;
-    query.group.layer = layers[static_cast<size_t>(i) % layers.size()];
-    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
-    query.k = 5 + i % 3;
-    query.session_id = static_cast<uint64_t>(1 + i % 6);
-    query.qos = (i % 2 == 0) ? QosClass::kInteractive : QosClass::kBatch;
+    core::QuerySpec spec;
+    spec.layer = layers[static_cast<size_t>(i) % layers.size()];
+    spec.neurons = {i % 4, (i % 4 + 2) % 8};
+    spec.k = 5 + i % 3;
+    spec.session_id = static_cast<uint64_t>(1 + i % 6);
+    spec.qos = (i % 2 == 0) ? QosClass::kInteractive : QosClass::kBatch;
     if (i % 2 == 0) {
-      query.kind = service::TopKQuery::Kind::kHighest;
+      spec.kind = core::QuerySpec::Kind::kHighest;
     } else {
-      query.kind = service::TopKQuery::Kind::kMostSimilar;
-      query.target_id = static_cast<uint32_t>(i % 20);
+      spec.kind = core::QuerySpec::Kind::kMostSimilar;
+      spec.target_id = i % 20;
     }
-    workload.push_back(std::move(query));
+    workload.push_back(std::move(spec));
   }
   return workload;
-}
-
-std::string TopKQueryJson(const service::TopKQuery& query,
-                          const std::string& model_name,
-                          bool include_deadline_ms, double deadline_ms) {
-  JsonWriter w;
-  w.BeginObject();
-  if (!model_name.empty()) {
-    w.Key("model");
-    w.String(model_name);
-  }
-  w.Key("kind");
-  w.String(query.kind == service::TopKQuery::Kind::kHighest
-               ? "highest"
-               : "most_similar");
-  w.Key("layer");
-  w.Int(query.group.layer);
-  w.Key("neurons");
-  w.BeginArray();
-  for (const int64_t n : query.group.neurons) w.Int(n);
-  w.EndArray();
-  w.Key("k");
-  w.Int(query.k);
-  if (query.kind == service::TopKQuery::Kind::kMostSimilar) {
-    w.Key("target_id");
-    w.Uint(query.target_id);
-  }
-  w.Key("session_id");
-  w.Uint(query.session_id);
-  w.Key("qos");
-  w.String(QosClassName(query.qos));
-  if (include_deadline_ms) {
-    w.Key("deadline_ms");
-    w.Double(deadline_ms);
-  }
-  w.EndObject();
-  return w.TakeString();
 }
 
 }  // namespace bench_util

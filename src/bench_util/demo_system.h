@@ -8,9 +8,9 @@
 
 #include "common/result.h"
 #include "core/deepeverest.h"
+#include "core/query_spec.h"
 #include "data/dataset.h"
 #include "nn/model_zoo.h"
-#include "service/query_service.h"
 #include "storage/file_store.h"
 
 namespace deepeverest {
@@ -70,17 +70,20 @@ class DemoSystem {
 /// the network bench: both query kinds, interactive and batch QoS, several
 /// sessions, cycling across the model's activation layers. One definition,
 /// so the two drivers can never silently test different request shapes.
-std::vector<service::TopKQuery> MakeMixedWorkload(const nn::Model& model,
-                                                  int count);
+/// (Wire encoding is core::QuerySpecJson — the one shared codec.)
+std::vector<core::QuerySpec> MakeMixedWorkload(const nn::Model& model,
+                                               int count);
 
-/// \brief Serialises `query` as a `/v1/query` JSON request body (the wire
-/// schema in README "Network API"). `model_name` non-empty emits the
-/// "model" field; `include_deadline_ms` emits "deadline_ms" (0 = already
-/// due, exercising past-deadline rejection).
-std::string TopKQueryJson(const service::TopKQuery& query,
-                          const std::string& model_name = std::string(),
-                          bool include_deadline_ms = false,
-                          double deadline_ms = 0.0);
+/// \brief The two-model demo deployment shared by example_query_server and
+/// example_query_client: registry names and the second model's seed
+/// derivation live here so the server and the client's local twins can
+/// never drift. Model A serves the base --seed; model B a derived seed
+/// (different weights AND dataset, so routing mistakes change answers).
+inline constexpr const char kDemoModelA[] = "demo-a";
+inline constexpr const char kDemoModelB[] = "demo-b";
+inline constexpr uint64_t DemoModelBSeed(uint64_t seed) {
+  return seed * 2654435761ull + 101;
+}
 
 }  // namespace bench_util
 }  // namespace deepeverest

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "nn/batch_scheduler.h"
 
 namespace deepeverest {
 namespace core {
@@ -252,8 +253,73 @@ Result<TopKResult> DeepEverest::TopKMostSimilarToActivations(
       });
 }
 
+Result<TopKResult> DeepEverest::ExecuteSpec(const QuerySpec& spec,
+                                            QueryContext* ctx) {
+  DE_RETURN_NOT_OK(ValidateSpec(spec));
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
+  // Engine-direct callers get the spec's progress sink too (the service
+  // moves the sink into the context at admission instead, leaving the
+  // spec's empty — a context that already has a sink keeps it).
+  if (spec.on_progress && !ctx->on_progress) {
+    ctx->on_progress = spec.on_progress;
+  }
+  Stopwatch watch;
+  // Snapshot before derived-group resolution: its inference belongs to this
+  // query's stats exactly like index-build inference does.
+  const nn::InferenceReceipt start_receipt = ctx->receipt;
+
+  NeuronGroup group;
+  group.layer = spec.layer;
+  if (spec.has_derived_group()) {
+    // Resolution runs under the query's context: metered into its receipt,
+    // routed through its batch scheduler, aborted by deadline/cancel.
+    const int64_t reference =
+        spec.top_of >= 0 ? spec.top_of : spec.target_id;
+    DE_ASSIGN_OR_RETURN(
+        group.neurons,
+        MaximallyActivatedNeurons(static_cast<uint32_t>(reference),
+                                  spec.layer, spec.top_neurons, ctx));
+  } else {
+    group.neurons = spec.neurons;
+  }
+
+  NtaOptions options;
+  options.k = spec.k;
+  options.theta = spec.theta;
+  // Canonical serving mode: tie-complete termination makes the result
+  // bit-identical to a fresh activation scan even on exact value ties at
+  // the k-th boundary, so every entry point returns the same answer.
+  options.tie_complete = true;
+  DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(spec.distance));
+
+  Result<TopKResult> result =
+      spec.kind == QuerySpec::Kind::kHighest
+          ? TopKHighestWithOptions(group, std::move(options), ctx)
+          : TopKMostSimilarWithOptions(static_cast<uint32_t>(spec.target_id),
+                                       group, std::move(options), ctx);
+  if (!result.ok()) return result;
+
+  // Recompute the receipt delta over the whole spec execution so a derived
+  // group's resolution pass is part of the query's exact attribution.
+  QueryStats& stats = result.value().stats;
+  stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
+  stats.batches_run = ctx->receipt.batches_run - start_receipt.batches_run;
+  stats.simulated_gpu_seconds = ctx->receipt.simulated_gpu_seconds -
+                                start_receipt.simulated_gpu_seconds;
+  stats.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
 Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
     uint32_t target_id, int layer, int m) {
+  QueryContext local_ctx;
+  return MaximallyActivatedNeurons(target_id, layer, m, &local_ctx);
+}
+
+Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
+    uint32_t target_id, int layer, int m, QueryContext* ctx) {
   if (target_id >= inference_.dataset().size()) {
     return Status::OutOfRange("target input out of range");
   }
@@ -261,19 +327,29 @@ Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
     return Status::OutOfRange("layer out of range");
   }
   if (m < 1) return Status::InvalidArgument("m must be >= 1");
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
+  DE_RETURN_NOT_OK(ctx->CheckRunnable());
   const int64_t neurons = model_->NeuronCount(layer);
   if (m > neurons) m = static_cast<int>(neurons);
 
   // Serve from the IQA cache when a prior query already computed this row.
   std::vector<float> row;
   const bool cached =
-      iqa_cache_ != nullptr && iqa_cache_->Lookup(layer, target_id, &row);
+      ctx->iqa != nullptr && ctx->iqa->Lookup(layer, target_id, &row);
   if (!cached) {
     std::vector<std::vector<float>> rows;
-    DE_RETURN_NOT_OK(inference_.ComputeLayer({target_id}, layer, &rows));
+    if (ctx->scheduler != nullptr) {
+      DE_RETURN_NOT_OK(ctx->scheduler->ComputeLayer(
+          {target_id}, layer, &rows, &ctx->receipt, ctx->qos));
+    } else {
+      DE_RETURN_NOT_OK(
+          inference_.ComputeLayer({target_id}, layer, &rows, &ctx->receipt));
+    }
     row = std::move(rows[0]);
-    if (iqa_cache_ != nullptr) {
-      iqa_cache_->Insert(layer, target_id, row);
+    if (ctx->iqa != nullptr) {
+      ctx->iqa->Insert(layer, target_id, row);
     }
   }
 

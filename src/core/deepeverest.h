@@ -10,6 +10,7 @@
 #include "core/iqa_cache.h"
 #include "core/nta.h"
 #include "core/query.h"
+#include "core/query_spec.h"
 #include "data/dataset.h"
 #include "nn/model.h"
 #include "storage/file_store.h"
@@ -100,11 +101,37 @@ class DeepEverest {
       const std::vector<float>& target_acts, const NeuronGroup& group,
       NtaOptions options, QueryContext* ctx = nullptr);
 
+  /// \brief The canonical execution path for a core::QuerySpec — the one
+  /// function every entry point's query ultimately runs through (the
+  /// QueryService's workers call it; engine-direct callers get the
+  /// identical semantics by calling it themselves).
+  ///
+  /// Validates the spec (the shared ValidateSpec choke point), resolves a
+  /// derived `TOP m NEURONS [OF input]` group under `ctx` — so the
+  /// resolution inference is receipt-metered, deadline-checked, and
+  /// cancellable like the rest of the query, and is included in the
+  /// result's QueryStats — then executes with tie-complete NTA
+  /// termination (the canonical serving mode: results are bit-identical
+  /// to a fresh activation scan even on k-th-boundary value ties,
+  /// regardless of schedule or cache state). The spec's serving envelope
+  /// (session, QoS, deadline, weight) is NOT applied here — scheduling is
+  /// the QueryService's job; `ctx` carries whatever of it applies.
+  /// `ctx` may be null (a default context: no deadline, direct inference).
+  Result<TopKResult> ExecuteSpec(const QuerySpec& spec,
+                                 QueryContext* ctx = nullptr);
+
   /// The `m` maximally activated neurons of `layer` for `target_id`
   /// (descending activation) — the standard way interpretation sessions
-  /// choose their neuron groups (§4.7.1). Costs one inference pass.
+  /// choose their neuron groups (§4.7.1). Costs one inference pass. The
+  /// context-taking overload meters that pass into `ctx->receipt`, routes
+  /// it through the context's batch scheduler, and honours
+  /// cancellation/deadline — it is how ExecuteSpec resolves derived
+  /// groups; the convenience overload runs with a default context.
   Result<std::vector<int64_t>> MaximallyActivatedNeurons(uint32_t target_id,
                                                          int layer, int m);
+  Result<std::vector<int64_t>> MaximallyActivatedNeurons(uint32_t target_id,
+                                                         int layer, int m,
+                                                         QueryContext* ctx);
 
   /// Eagerly indexes every layer (paper Figure 10's extreme case). Without
   /// this call, indexes build incrementally as layers are queried.

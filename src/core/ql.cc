@@ -1,6 +1,7 @@
 #include "core/ql.h"
 
 #include <cctype>
+#include <cstdio>
 #include <sstream>
 
 namespace deepeverest {
@@ -41,10 +42,14 @@ class Lexer {
       } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
                  c == '-') {
         size_t end = pos;
+        // '+' only continues a number after an exponent marker ("1e+05"):
+        // %.17g output must lex back, but a stray "+" should not.
         while (end < text_.size() &&
                (std::isdigit(static_cast<unsigned char>(text_[end])) ||
                 text_[end] == '.' || text_[end] == '-' ||
-                text_[end] == 'e' || text_[end] == 'E')) {
+                text_[end] == 'e' || text_[end] == 'E' ||
+                (text_[end] == '+' && end > pos &&
+                 (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
           ++end;
         }
         const std::string number = text_.substr(pos, end - pos);
@@ -86,29 +91,27 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<ParsedQuery> Parse() {
-    ParsedQuery query;
+  Result<QuerySpec> Parse() {
+    QuerySpec spec;
     DE_RETURN_NOT_OK(ExpectWord("SELECT"));
     DE_RETURN_NOT_OK(ExpectWord("TOPK"));
-    DE_RETURN_NOT_OK(ExpectInt(&query.k, "k"));
+    DE_RETURN_NOT_OK(ExpectInt(&spec.k, "k"));
 
     // kind
     if (PeekWord("HIGHEST")) {
       Advance();
-      query.kind = ParsedQuery::Kind::kHighest;
+      spec.kind = QuerySpec::Kind::kHighest;
     } else {
       if (PeekWord("MOST")) Advance();
       DE_RETURN_NOT_OK(ExpectWord("SIMILAR"));
       DE_RETURN_NOT_OK(ExpectWord("TO"));
-      query.kind = ParsedQuery::Kind::kMostSimilar;
-      int64_t target = 0;
-      DE_RETURN_NOT_OK(ExpectInt64(&target, "target input"));
-      query.target = target;
+      spec.kind = QuerySpec::Kind::kMostSimilar;
+      DE_RETURN_NOT_OK(ExpectInt64(&spec.target_id, "target input"));
     }
 
     DE_RETURN_NOT_OK(ExpectWord("FOR"));
     DE_RETURN_NOT_OK(ExpectWord("LAYER"));
-    DE_RETURN_NOT_OK(ExpectInt(&query.layer, "layer"));
+    DE_RETURN_NOT_OK(ExpectInt(&spec.layer, "layer"));
 
     // group
     if (PeekWord("NEURONS")) {
@@ -117,7 +120,7 @@ class Parser {
       while (true) {
         int64_t neuron = 0;
         DE_RETURN_NOT_OK(ExpectInt64(&neuron, "neuron"));
-        query.neurons.push_back(neuron);
+        spec.neurons.push_back(neuron);
         if (Peek().type == Token::Type::kComma) {
           Advance();
           continue;
@@ -127,14 +130,12 @@ class Parser {
       DE_RETURN_NOT_OK(Expect(Token::Type::kRParen, ")"));
     } else if (PeekWord("TOP")) {
       Advance();
-      DE_RETURN_NOT_OK(ExpectInt(&query.top_neurons, "top-neuron count"));
+      DE_RETURN_NOT_OK(ExpectInt(&spec.top_neurons, "top-neuron count"));
       DE_RETURN_NOT_OK(ExpectWord("NEURONS"));
       if (PeekWord("OF")) {
         Advance();
         if (PeekWord("INPUT")) Advance();
-        int64_t of = 0;
-        DE_RETURN_NOT_OK(ExpectInt64(&of, "reference input"));
-        query.top_of = of;
+        DE_RETURN_NOT_OK(ExpectInt64(&spec.top_of, "reference input"));
       }
     } else {
       return Status::InvalidArgument("expected NEURONS (...) or TOP m "
@@ -152,11 +153,11 @@ class Parser {
         }
         Advance();
         if (token.text == "L1") {
-          query.distance = DistanceKind::kL1;
+          spec.distance = DistanceKind::kL1;
         } else if (token.text == "L2") {
-          query.distance = DistanceKind::kL2;
+          spec.distance = DistanceKind::kL2;
         } else if (token.text == "LINF") {
-          query.distance = DistanceKind::kLInf;
+          spec.distance = DistanceKind::kLInf;
         } else {
           return Status::InvalidArgument("unknown distance '" + token.text +
                                          "' (expected L1, L2, or LINF)");
@@ -168,28 +169,18 @@ class Parser {
           return Status::InvalidArgument("expected number after THETA");
         }
         Advance();
-        query.theta = token.number;
+        spec.theta = token.number;
       } else {
         return Status::InvalidArgument("unexpected trailing token '" +
                                        Peek().text + "'");
       }
     }
 
-    // semantic checks
-    if (query.k < 1) return Status::InvalidArgument("TOPK k must be >= 1");
-    if (query.theta <= 0.0 || query.theta > 1.0) {
-      return Status::InvalidArgument("THETA must be in (0, 1]");
-    }
-    if (query.top_neurons == 0 && query.neurons.empty()) {
-      return Status::InvalidArgument("empty neuron group");
-    }
-    if (query.kind == ParsedQuery::Kind::kHighest && query.top_neurons > 0 &&
-        query.top_of < 0) {
-      return Status::InvalidArgument(
-          "HIGHEST with TOP m NEURONS requires OF <input> (no SIMILAR "
-          "target to default to)");
-    }
-    return query;
+    // The shared choke point: QL-level semantic errors are the same
+    // InvalidArgument the wire decoder and Submit produce for the same
+    // malformed query.
+    DE_RETURN_NOT_OK(ValidateSpec(spec));
+    return spec;
   }
 
  private:
@@ -244,13 +235,13 @@ class Parser {
 
 }  // namespace
 
-std::string ParsedQuery::ToString() const {
+std::string QuerySpec::ToString() const {
   std::ostringstream out;
   out << "SELECT TOPK " << k << " ";
   if (kind == Kind::kHighest) {
     out << "HIGHEST";
   } else {
-    out << "SIMILAR TO " << target;
+    out << "SIMILAR TO " << target_id;
   }
   out << " FOR LAYER " << layer << " ";
   if (top_neurons > 0) {
@@ -268,52 +259,21 @@ std::string ParsedQuery::ToString() const {
     out << " USING "
         << (distance == DistanceKind::kL1 ? "L1" : "LINF");
   }
-  if (theta != 1.0) out << " THETA " << theta;
+  if (theta != 1.0) {
+    // 17 significant digits: the text form re-parses to the identical bits
+    // (the same contract the JSON writer keeps for the wire).
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", theta);
+    out << " THETA " << buffer;
+  }
   return out.str();
 }
 
-Result<ParsedQuery> ParseQuery(const std::string& text) {
+Result<QuerySpec> ParseQuery(const std::string& text) {
   Lexer lexer(text);
   DE_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.Parse();
-}
-
-Result<TopKResult> ExecuteQuery(DeepEverest* system,
-                                const ParsedQuery& query) {
-  if (system == nullptr) {
-    return Status::InvalidArgument("null DeepEverest instance");
-  }
-  NeuronGroup group;
-  group.layer = query.layer;
-  if (query.top_neurons > 0) {
-    int64_t reference = query.top_of;
-    if (reference < 0) reference = query.target;
-    DE_ASSIGN_OR_RETURN(
-        group.neurons,
-        system->MaximallyActivatedNeurons(
-            static_cast<uint32_t>(reference), query.layer,
-            query.top_neurons));
-  } else {
-    group.neurons = query.neurons;
-  }
-
-  NtaOptions options;
-  options.k = query.k;
-  options.theta = query.theta;
-  DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(query.distance));
-
-  if (query.kind == ParsedQuery::Kind::kHighest) {
-    return system->TopKHighestWithOptions(group, std::move(options));
-  }
-  return system->TopKMostSimilarWithOptions(
-      static_cast<uint32_t>(query.target), group, std::move(options));
-}
-
-Result<TopKResult> ExecuteQuery(DeepEverest* system,
-                                const std::string& text) {
-  DE_ASSIGN_OR_RETURN(ParsedQuery query, ParseQuery(text));
-  return ExecuteQuery(system, query);
 }
 
 }  // namespace core

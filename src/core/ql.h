@@ -2,21 +2,19 @@
 #define DEEPEVEREST_CORE_QL_H_
 
 #include <string>
-#include <vector>
 
 #include "common/result.h"
-#include "core/deepeverest.h"
-#include "core/distance.h"
-#include "core/query.h"
+#include "core/query_spec.h"
 
 namespace deepeverest {
 namespace core {
 
-/// \brief A parsed declarative top-k query.
+/// \brief The declarative query-language front end.
 ///
 /// DeepEverest's interface is declarative: the user states *what* inputs to
 /// retrieve, the system decides how (index-guided NTA vs scan, MAI fast
-/// path, θ-approximation). This front end parses a small SQL-like language:
+/// path, θ-approximation). This parser turns the small SQL-like language
+/// into the one canonical core::QuerySpec every entry point shares:
 ///
 ///   query  := SELECT TOPK <k> kind FOR LAYER <layer> group
 ///             [USING <dist>] [THETA <theta>]
@@ -28,43 +26,26 @@ namespace core {
 ///
 /// `TOP m NEURONS` selects the m maximally activated neurons of the
 /// reference input (the SIMILAR target by default, or the input named by
-/// OF). Keywords are case-insensitive.
+/// OF); the selection is *not* resolved here — it is recorded in the spec
+/// (`top_neurons` / `top_of`) and resolved at execution time under the
+/// query's QueryContext, so the resolution inference is metered,
+/// deadline-checked, and cancellable like the rest of the query. Keywords
+/// are case-insensitive.
 ///
 /// Examples:
 ///   SELECT TOPK 20 HIGHEST FOR LAYER 7 NEURONS (10, 42, 100)
 ///   SELECT TOPK 10 SIMILAR TO 42 FOR LAYER 7 TOP 3 NEURONS USING L1
 ///   SELECT TOPK 5 MOST SIMILAR TO 9 FOR LAYER 13 NEURONS (5) THETA 0.9
-struct ParsedQuery {
-  enum class Kind { kHighest, kMostSimilar };
-
-  Kind kind = Kind::kHighest;
-  int k = 0;
-  int layer = 0;
-  /// Explicit neuron group; empty when `top_neurons > 0`.
-  std::vector<int64_t> neurons;
-  /// When > 0: use the reference input's maximally activated neurons.
-  int top_neurons = 0;
-  /// Reference input for TOP ... NEURONS (-1 = the SIMILAR target).
-  int64_t top_of = -1;
-  /// Target input for most-similar queries.
-  int64_t target = -1;
-  DistanceKind distance = DistanceKind::kL2;
-  double theta = 1.0;
-
-  /// Canonical text form (round-trips through ParseQuery).
-  std::string ToString() const;
-};
-
+///
+/// QL covers the declarative half of the spec; the serving envelope
+/// (session, QoS, deadline, weight) is left at its defaults for callers to
+/// fill in. `QuerySpec::ToString()` emits the canonical text form, which
+/// round-trips through ParseQuery bit-exactly (θ uses 17 significant
+/// digits).
+///
 /// Parses the query text; errors are InvalidArgument with a description of
-/// the offending token.
-Result<ParsedQuery> ParseQuery(const std::string& text);
-
-/// Parses and executes `text` against a DeepEverest instance.
-Result<TopKResult> ExecuteQuery(DeepEverest* system, const std::string& text);
-
-/// Executes an already-parsed query.
-Result<TopKResult> ExecuteQuery(DeepEverest* system,
-                                const ParsedQuery& query);
+/// the offending token. The parsed spec has passed ValidateSpec.
+Result<QuerySpec> ParseQuery(const std::string& text);
 
 }  // namespace core
 }  // namespace deepeverest

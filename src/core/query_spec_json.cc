@@ -1,0 +1,336 @@
+#include "core/query_spec_json.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "core/ql.h"
+
+namespace deepeverest {
+namespace core {
+
+namespace {
+
+Result<QosClass> ParseQosName(const std::string& name) {
+  if (name == "interactive") return QosClass::kInteractive;
+  if (name == "batch") return QosClass::kBatch;
+  if (name == "best_effort") return QosClass::kBestEffort;
+  return Status::InvalidArgument("unknown QoS class: " + name);
+}
+
+Result<DistanceKind> ParseDistanceName(const std::string& name) {
+  if (name == "l1") return DistanceKind::kL1;
+  if (name == "l2") return DistanceKind::kL2;
+  if (name == "linf") return DistanceKind::kLInf;
+  return Status::InvalidArgument("unknown distance: " + name +
+                                 " (expected l1, l2, or linf)");
+}
+
+const char* DistanceName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kL1: return "l1";
+    case DistanceKind::kLInf: return "linf";
+    default: return "l2";
+  }
+}
+
+Result<int64_t> ReadInt(const JsonValue& value, const std::string& name) {
+  if (value.is_number()) {
+    // Reject non-integral and out-of-int64-range numbers instead of
+    // silently truncating/saturating wire input into a different query.
+    const double num = value.number_value();
+    if (!(num >= -9223372036854775808.0 && num < 9223372036854775808.0) ||
+        num != std::floor(num)) {
+      return Status::InvalidArgument("field '" + name +
+                                     "' is not an integer");
+    }
+    return value.int_value();
+  }
+  if (value.is_string()) {
+    // URL parameters arrive as strings; accept digits (with sign) only.
+    // strtoll saturates on overflow with errno=ERANGE while still
+    // consuming the token — that must 400, not become INT64_MAX.
+    char* end = nullptr;
+    errno = 0;
+    const long long parsed = std::strtoll(value.string_value().c_str(), &end,
+                                          10);
+    if (end != value.string_value().c_str() + value.string_value().size() ||
+        value.string_value().empty() || errno == ERANGE) {
+      return Status::InvalidArgument("field '" + name +
+                                     "' is not an integer");
+    }
+    return static_cast<int64_t>(parsed);
+  }
+  return Status::InvalidArgument("field '" + name + "' is not an integer");
+}
+
+/// ReadInt plus a range check, for fields narrower than int64 — a value
+/// that would wrap in the narrowing cast must 400, not silently become a
+/// different query.
+Result<int64_t> ReadIntInRange(const JsonValue& value,
+                               const std::string& name, int64_t lo,
+                               int64_t hi) {
+  DE_ASSIGN_OR_RETURN(const int64_t parsed, ReadInt(value, name));
+  if (parsed < lo || parsed > hi) {
+    return Status::InvalidArgument("field '" + name + "' is out of range");
+  }
+  return parsed;
+}
+
+Result<double> ReadDouble(const JsonValue& value, const std::string& name) {
+  double parsed;
+  if (value.is_number()) {
+    parsed = value.number_value();
+  } else if (value.is_string()) {
+    char* end = nullptr;
+    parsed = std::strtod(value.string_value().c_str(), &end);
+    if (value.string_value().empty() ||
+        end != value.string_value().c_str() + value.string_value().size()) {
+      return Status::InvalidArgument("field '" + name + "' is not a number");
+    }
+  } else {
+    return Status::InvalidArgument("field '" + name + "' is not a number");
+  }
+  // No wire field has a meaningful non-finite value; "nan"/"1e999" via the
+  // URL string path (or 1e999 overflowing strtod) must 400.
+  if (!std::isfinite(parsed)) {
+    return Status::InvalidArgument("field '" + name + "' must be finite");
+  }
+  return parsed;
+}
+
+/// Parses the neuron list: a JSON array of integers, or (URL form) a
+/// comma-separated string like "0,2,4".
+Result<std::vector<int64_t>> ReadNeurons(const JsonValue& value) {
+  std::vector<int64_t> neurons;
+  if (value.is_array()) {
+    for (const JsonValue& item : value.array_items()) {
+      if (!item.is_number()) {
+        return Status::InvalidArgument("'neurons' must be integers");
+      }
+      // Same integrality/range discipline as the scalar fields: 1.9 must
+      // 400, not silently query neuron 1.
+      DE_ASSIGN_OR_RETURN(const int64_t id, ReadInt(item, "neurons"));
+      neurons.push_back(id);
+    }
+    return neurons;
+  }
+  if (value.is_string()) {
+    const std::string& text = value.string_value();
+    size_t pos = 0;
+    while (pos <= text.size()) {
+      size_t comma = text.find(',', pos);
+      if (comma == std::string::npos) comma = text.size();
+      std::string token = text.substr(pos, comma - pos);
+      if (token.empty()) {
+        return Status::InvalidArgument("'neurons' has an empty element");
+      }
+      // Route each token through the one strict integer parser, so the
+      // JSON-array and comma-list encodings cannot drift.
+      DE_ASSIGN_OR_RETURN(
+          const int64_t id,
+          ReadInt(JsonValue::MakeString(std::move(token)), "neurons"));
+      neurons.push_back(id);
+      pos = comma + 1;
+    }
+    return neurons;
+  }
+  return Status::InvalidArgument("'neurons' must be an array");
+}
+
+/// Overlays the serving-envelope fields onto `spec`; shared by the
+/// structured and the `ql` decode paths (the envelope applies either way).
+Status ReadEnvelope(const JsonFieldFinder& find, QuerySpec* spec) {
+  if (const JsonValue* session = find("session_id")) {
+    DE_ASSIGN_OR_RETURN(const int64_t value, ReadInt(*session, "session_id"));
+    if (value < 0) {
+      return Status::InvalidArgument("'session_id' must be >= 0");
+    }
+    spec->session_id = static_cast<uint64_t>(value);
+  }
+  if (const JsonValue* qos = find("qos")) {
+    if (!qos->is_string()) {
+      return Status::InvalidArgument("'qos' must be a string");
+    }
+    DE_ASSIGN_OR_RETURN(spec->qos, ParseQosName(qos->string_value()));
+  }
+  if (const JsonValue* weight = find("weight")) {
+    DE_ASSIGN_OR_RETURN(
+        const int64_t value,
+        ReadIntInRange(*weight, "weight", std::numeric_limits<int>::min(),
+                       std::numeric_limits<int>::max()));
+    spec->weight = static_cast<int>(value);
+  }
+  if (const JsonValue* deadline = find("deadline_ms")) {
+    if (!deadline->is_null()) {
+      DE_ASSIGN_OR_RETURN(spec->deadline_ms,
+                          ReadDouble(*deadline, "deadline_ms"));
+      if (spec->deadline_ms < 0.0) {
+        return Status::InvalidArgument("'deadline_ms' must be >= 0");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void WriteQuerySpecFields(const QuerySpec& spec, JsonWriter* w) {
+  w->Key("kind");
+  w->String(spec.kind == QuerySpec::Kind::kHighest ? "highest"
+                                                   : "most_similar");
+  w->Key("layer");
+  w->Int(spec.layer);
+  if (spec.has_derived_group()) {
+    w->Key("top_neurons");
+    w->Int(spec.top_neurons);
+    if (spec.top_of >= 0) {
+      w->Key("top_of");
+      w->Int(spec.top_of);
+    }
+  } else {
+    w->Key("neurons");
+    w->BeginArray();
+    for (const int64_t n : spec.neurons) w->Int(n);
+    w->EndArray();
+  }
+  w->Key("k");
+  w->Int(spec.k);
+  if (spec.target_id >= 0) {
+    w->Key("target_id");
+    w->Int(spec.target_id);
+  }
+  w->Key("distance");
+  w->String(DistanceName(spec.distance));
+  w->Key("theta");
+  w->Double(spec.theta);
+  w->Key("session_id");
+  w->Uint(spec.session_id);
+  w->Key("qos");
+  w->String(QosClassName(spec.qos));
+  w->Key("weight");
+  w->Int(spec.weight);
+  if (spec.deadline_ms >= 0.0) {
+    w->Key("deadline_ms");
+    w->Double(spec.deadline_ms);
+  }
+}
+
+std::string QuerySpecJson(const QuerySpec& spec, const std::string& model) {
+  JsonWriter w;
+  w.BeginObject();
+  if (!model.empty()) {
+    w.Key("model");
+    w.String(model);
+  }
+  WriteQuerySpecFields(spec, &w);
+  w.EndObject();
+  return w.TakeString();
+}
+
+Result<QuerySpec> QuerySpecFromFields(const JsonFieldFinder& find) {
+  QuerySpec spec;
+
+  if (const JsonValue* ql = find("ql")) {
+    // Declarative text instead of structured fields: the QL parser builds
+    // the query half; only the envelope may be given alongside.
+    if (!ql->is_string()) {
+      return Status::InvalidArgument("'ql' must be a string");
+    }
+    for (const char* conflicting :
+         {"kind", "layer", "neurons", "top_neurons", "top_of", "k",
+          "target_id", "distance", "theta"}) {
+      if (find(conflicting) != nullptr) {
+        return Status::InvalidArgument(
+            std::string("'") + conflicting +
+            "' cannot be combined with 'ql' (the query text already "
+            "states it)");
+      }
+    }
+    DE_ASSIGN_OR_RETURN(spec, ParseQuery(ql->string_value()));
+    DE_RETURN_NOT_OK(ReadEnvelope(find, &spec));
+    DE_RETURN_NOT_OK(ValidateSpec(spec));
+    return spec;
+  }
+
+  if (const JsonValue* kind = find("kind")) {
+    if (!kind->is_string()) {
+      return Status::InvalidArgument("'kind' must be a string");
+    }
+    if (kind->string_value() == "highest") {
+      spec.kind = QuerySpec::Kind::kHighest;
+    } else if (kind->string_value() == "most_similar") {
+      spec.kind = QuerySpec::Kind::kMostSimilar;
+    } else {
+      return Status::InvalidArgument("unknown kind: " + kind->string_value());
+    }
+  }
+
+  // Field readers only guard the narrowing casts (a value that wraps an
+  // int must 400, not become a different query); all *semantic* bounds —
+  // k >= 1, layer >= 0, θ range, group shape — come from the one shared
+  // ValidateSpec below, so every entry point produces identical errors.
+  constexpr int64_t kIntMin = std::numeric_limits<int>::min();
+  constexpr int64_t kIntMax = std::numeric_limits<int>::max();
+  const JsonValue* layer = find("layer");
+  if (layer == nullptr) return Status::InvalidArgument("'layer' is required");
+  DE_ASSIGN_OR_RETURN(const int64_t layer_id,
+                      ReadIntInRange(*layer, "layer", kIntMin, kIntMax));
+  spec.layer = static_cast<int>(layer_id);
+
+  const JsonValue* neurons = find("neurons");
+  const JsonValue* top_neurons = find("top_neurons");
+  if (neurons == nullptr && top_neurons == nullptr) {
+    return Status::InvalidArgument(
+        "'neurons' or 'top_neurons' is required");
+  }
+  if (neurons != nullptr) {
+    DE_ASSIGN_OR_RETURN(spec.neurons, ReadNeurons(*neurons));
+  }
+  if (top_neurons != nullptr) {
+    DE_ASSIGN_OR_RETURN(
+        const int64_t value,
+        ReadIntInRange(*top_neurons, "top_neurons", kIntMin, kIntMax));
+    spec.top_neurons = static_cast<int>(value);
+  }
+  if (const JsonValue* top_of = find("top_of")) {
+    DE_ASSIGN_OR_RETURN(spec.top_of, ReadInt(*top_of, "top_of"));
+  }
+
+  if (const JsonValue* k = find("k")) {
+    DE_ASSIGN_OR_RETURN(const int64_t value,
+                        ReadIntInRange(*k, "k", kIntMin, kIntMax));
+    spec.k = static_cast<int>(value);
+  }
+  if (const JsonValue* target = find("target_id")) {
+    DE_ASSIGN_OR_RETURN(spec.target_id, ReadInt(*target, "target_id"));
+  }
+  if (const JsonValue* distance = find("distance")) {
+    if (!distance->is_string()) {
+      return Status::InvalidArgument("'distance' must be a string");
+    }
+    DE_ASSIGN_OR_RETURN(spec.distance,
+                        ParseDistanceName(distance->string_value()));
+  }
+  if (const JsonValue* theta = find("theta")) {
+    DE_ASSIGN_OR_RETURN(spec.theta, ReadDouble(*theta, "theta"));
+  }
+  DE_RETURN_NOT_OK(ReadEnvelope(find, &spec));
+  // The shared choke point: wire-level semantic errors are identical to
+  // the QL parser's and Submit's for the same malformed query.
+  DE_RETURN_NOT_OK(ValidateSpec(spec));
+  return spec;
+}
+
+Result<QuerySpec> QuerySpecFromJson(const JsonValue& object) {
+  if (!object.is_object()) {
+    return Status::InvalidArgument("query must be a JSON object");
+  }
+  return QuerySpecFromFields(
+      [&object](const std::string& name) { return object.Find(name); });
+}
+
+}  // namespace core
+}  // namespace deepeverest

@@ -1,0 +1,70 @@
+#ifndef DEEPEVEREST_CORE_QUERY_SPEC_JSON_H_
+#define DEEPEVEREST_CORE_QUERY_SPEC_JSON_H_
+
+#include <functional>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "core/query_spec.h"
+
+namespace deepeverest {
+namespace core {
+
+/// \brief The one JSON wire codec for core::QuerySpec, shared by the HTTP
+/// server (decode), the clients/benches (encode), and the round-trip tests.
+/// There is deliberately no second JSON schema for queries anywhere in the
+/// repo — the server, the e2e client, and the benches cannot drift.
+///
+/// Wire schema (the body of `POST /v1/query`, see README "Network API"):
+///   kind         "highest" (default) | "most_similar"
+///   layer        int, required (unless `ql` is given)
+///   neurons      array of ints, or the string "0,2,4" (URL form)
+///   top_neurons  int > 0: derived group `TOP m NEURONS` instead of
+///                `neurons`
+///   top_of       int: the `OF <input>` reference for a derived group
+///   k            int (default 20)
+///   target_id    int, required for kind=most_similar
+///   distance     "l1" | "l2" (default) | "linf"
+///   theta        double in (0, 1] (default 1 = exact)
+///   session_id   uint (default 0)
+///   qos          "interactive" | "batch" (default) | "best_effort"
+///   deadline_ms  double >= 0; 0 = already due; omit/null = none
+///   weight       int >= 1 (default 1)
+///   ql           declarative QL text ("SELECT TOPK ...") *instead of* the
+///                structured query fields above; the envelope fields
+///                (session_id, qos, deadline_ms, weight) still apply.
+///
+/// `model` and `stream` are routing/transport concerns read by the server,
+/// not part of the spec; the decoder ignores them. Doubles are written with
+/// 17 significant digits, so encode→decode round-trips bit-identically.
+
+/// Serialises `spec` as a request body. `model` non-empty emits the routing
+/// field.
+std::string QuerySpecJson(const QuerySpec& spec,
+                          const std::string& model = std::string());
+
+/// Appends the spec's members to an already-open JSON object (for callers
+/// composing a larger request).
+void WriteQuerySpecFields(const QuerySpec& spec, JsonWriter* w);
+
+/// Field accessor used by the decoder, so the JSON-body and URL-parameter
+/// encodings funnel into one field-by-field builder. Returns nullptr when
+/// the field is absent.
+using JsonFieldFinder =
+    std::function<const JsonValue*(const std::string& name)>;
+
+/// Decodes a spec from a field source. URL parameters arrive as strings;
+/// the readers accept both JSON-typed and string-encoded scalars with the
+/// same strictness (non-integral, out-of-range, or non-finite values are
+/// InvalidArgument, never silently truncated into a different query). The
+/// returned spec has passed ValidateSpec.
+Result<QuerySpec> QuerySpecFromFields(const JsonFieldFinder& find);
+
+/// Convenience: decode from a parsed JSON object (`POST /v1/query` body).
+Result<QuerySpec> QuerySpecFromJson(const JsonValue& object);
+
+}  // namespace core
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_CORE_QUERY_SPEC_JSON_H_

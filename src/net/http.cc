@@ -110,6 +110,23 @@ Result<std::string> PercentDecode(const std::string& text,
   return out;
 }
 
+std::string PercentEncode(const std::string& text) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    }
+  }
+  return out;
+}
+
 Result<std::map<std::string, std::string>> ParseQueryString(
     const std::string& query) {
   std::map<std::string, std::string> params;

@@ -63,6 +63,12 @@ std::string FormatResponseHead(
 /// query strings — pass `plus_is_space`). Invalid %XX sequences fail.
 Result<std::string> PercentDecode(const std::string& text, bool plus_is_space);
 
+/// Percent-encodes `text` as one query-string value: unreserved characters
+/// (RFC 3986: alnum, '-', '_', '.', '~') pass through, everything else —
+/// including '&', '=', and space — becomes %XX. Clients use this to put
+/// declarative QL text into a `GET /v1/ql?ql=...` target.
+std::string PercentEncode(const std::string& text);
+
 /// Splits "a=1&b=x%20y" into decoded key/value pairs. Keys without '=' map
 /// to the empty string.
 Result<std::map<std::string, std::string>> ParseQueryString(

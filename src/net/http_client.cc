@@ -90,10 +90,10 @@ Status HttpClient::SendAll(const std::string& data) {
   return Status::OK();
 }
 
-Result<HttpResponse> HttpClient::Request(const std::string& method,
-                                         const std::string& target,
-                                         const std::string& body,
-                                         const std::string& content_type) {
+Status HttpClient::SendRequest(const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               const std::string& content_type) {
   if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
   std::string request = method + " " + target + " HTTP/1.1\r\n";
   request += "Host: deepeverest\r\n";
@@ -103,17 +103,29 @@ Result<HttpResponse> HttpClient::Request(const std::string& method,
   }
   request += "\r\n";
   request += body;
-  DE_RETURN_NOT_OK(SendAll(request));
+  return SendAll(request);
+}
+
+Result<HttpResponse> HttpClient::Request(const std::string& method,
+                                         const std::string& target,
+                                         const std::string& body,
+                                         const std::string& content_type) {
+  DE_RETURN_NOT_OK(SendRequest(method, target, body, content_type));
   return ReadResponse(nullptr);
 }
 
 Result<HttpResponse> HttpClient::GetStream(const std::string& target,
                                            const LineCallback& on_line) {
-  if (fd_ < 0) return Status::FailedPrecondition("client is disconnected");
   if (!on_line) return Status::InvalidArgument("on_line callback is required");
-  const std::string request =
-      "GET " + target + " HTTP/1.1\r\nHost: deepeverest\r\n\r\n";
-  DE_RETURN_NOT_OK(SendAll(request));
+  DE_RETURN_NOT_OK(SendRequest("GET", target, "", "application/json"));
+  return ReadResponse(&on_line);
+}
+
+Result<HttpResponse> HttpClient::PostStream(const std::string& target,
+                                            const std::string& body,
+                                            const LineCallback& on_line) {
+  if (!on_line) return Status::InvalidArgument("on_line callback is required");
+  DE_RETURN_NOT_OK(SendRequest("POST", target, body, "application/json"));
   return ReadResponse(&on_line);
 }
 

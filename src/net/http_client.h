@@ -64,6 +64,12 @@ class HttpClient {
   Result<HttpResponse> GetStream(const std::string& target,
                                  const LineCallback& on_line);
 
+  /// GetStream with a POST body — how a client drives a streamed
+  /// `POST /v1/ql?stream=1` query.
+  Result<HttpResponse> PostStream(const std::string& target,
+                                  const std::string& body,
+                                  const LineCallback& on_line);
+
   /// True while the connection is usable for another request.
   bool connected() const { return fd_ >= 0; }
 
@@ -75,6 +81,13 @@ class HttpClient {
       : fd_(fd), timeout_seconds_(timeout_seconds) {}
 
   Status SendAll(const std::string& data);
+
+  /// Serialises and sends one request head + body (the single place the
+  /// request framing lives — Request, GetStream, and PostStream all go
+  /// through it).
+  Status SendRequest(const std::string& method, const std::string& target,
+                     const std::string& body,
+                     const std::string& content_type);
   /// Reads the response head + body. When `on_line` is set, chunked payload
   /// is surfaced through it incrementally instead of being buffered.
   Result<HttpResponse> ReadResponse(const LineCallback* on_line);

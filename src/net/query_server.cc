@@ -1,25 +1,17 @@
 #include "net/query_server.h"
 
-#include <cerrno>
-#include <cmath>
-#include <cstdlib>
-#include <limits>
+#include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/json.h"
+#include "core/query_spec_json.h"
 
 namespace deepeverest {
 namespace net {
 
 namespace {
-
-/// An explicit `deadline_ms: 0` means "already due": the service rejects
-/// the query at dispatch without running any inference. One nanosecond (the
-/// smallest positive deadline the service accepts) is guaranteed to have
-/// passed by the time a worker looks at the queue.
-constexpr double kAlreadyDueSeconds = 1e-9;
 
 int HttpStatusForCode(StatusCode code) {
   switch (code) {
@@ -121,231 +113,97 @@ std::string ProgressEventJson(const core::NtaProgress& progress) {
   return w.TakeString();
 }
 
-Result<QosClass> ParseQosName(const std::string& name) {
-  if (name == "interactive") return QosClass::kInteractive;
-  if (name == "batch") return QosClass::kBatch;
-  if (name == "best_effort") return QosClass::kBestEffort;
-  return Status::InvalidArgument("unknown QoS class: " + name);
-}
-
-/// The two request encodings (JSON body, URL parameters) funnel into one
-/// field-by-field builder via this accessor pair.
-struct FieldSource {
-  /// Returns nullptr when the field is absent.
-  std::function<const JsonValue*(const std::string&)> find;
-};
-
-Result<int64_t> ReadInt(const JsonValue& value, const std::string& name) {
-  if (value.is_number()) {
-    // Reject non-integral and out-of-int64-range numbers instead of
-    // silently truncating/saturating wire input into a different query.
-    const double num = value.number_value();
-    if (!(num >= -9223372036854775808.0 && num < 9223372036854775808.0) ||
-        num != std::floor(num)) {
-      return Status::InvalidArgument("field '" + name +
-                                     "' is not an integer");
-    }
-    return value.int_value();
+/// Writes one ServiceStats snapshot as the JSON object members of an
+/// already-open object (shared by the per-model sections of /v1/stats).
+void WriteServiceStatsFields(const service::ServiceStats& stats,
+                             JsonWriter* w) {
+  w->Key("submitted");
+  w->Int(stats.submitted);
+  w->Key("rejected_queue_full");
+  w->Int(stats.rejected_queue_full);
+  w->Key("rejected_session_limit");
+  w->Int(stats.rejected_session_limit);
+  w->Key("completed");
+  w->Int(stats.completed);
+  w->Key("failed");
+  w->Int(stats.failed);
+  w->Key("cancelled");
+  w->Int(stats.cancelled);
+  w->Key("deadline_exceeded");
+  w->Int(stats.deadline_exceeded);
+  w->Key("rejected_past_deadline");
+  w->Int(stats.rejected_past_deadline);
+  w->Key("queue_depth");
+  w->Uint(stats.queue_depth);
+  w->Key("inflight");
+  w->Uint(stats.inflight);
+  w->Key("active_sessions");
+  w->Uint(stats.active_sessions);
+  w->Key("p50_latency_seconds");
+  w->Double(stats.p50_latency_seconds);
+  w->Key("p90_latency_seconds");
+  w->Double(stats.p90_latency_seconds);
+  w->Key("p99_latency_seconds");
+  w->Double(stats.p99_latency_seconds);
+  w->Key("qos_enabled");
+  w->Bool(stats.qos_enabled);
+  w->Key("num_workers");
+  w->Int(stats.num_workers);
+  w->Key("uptime_seconds");
+  w->Double(stats.uptime_seconds);
+  w->Key("worker_busy_seconds");
+  w->Double(stats.worker_busy_seconds);
+  w->Key("worker_utilization");
+  w->Double(stats.worker_utilization);
+  w->Key("batching_enabled");
+  w->Bool(stats.batching_enabled);
+  w->Key("batch_size");
+  w->Int(stats.batch_size);
+  w->Key("per_class");
+  w->BeginArray();
+  for (int c = 0; c < kNumQosClasses; ++c) {
+    const service::QosClassStats& cls =
+        stats.per_class[static_cast<size_t>(c)];
+    w->BeginObject();
+    w->Key("class");
+    w->String(QosClassName(static_cast<QosClass>(c)));
+    w->Key("submitted");
+    w->Int(cls.submitted);
+    w->Key("completed");
+    w->Int(cls.completed);
+    w->Key("failed");
+    w->Int(cls.failed);
+    w->Key("cancelled");
+    w->Int(cls.cancelled);
+    w->Key("deadline_exceeded");
+    w->Int(cls.deadline_exceeded);
+    w->Key("rejected_past_deadline");
+    w->Int(cls.rejected_past_deadline);
+    w->Key("p50_latency_seconds");
+    w->Double(cls.p50_latency_seconds);
+    w->Key("p90_latency_seconds");
+    w->Double(cls.p90_latency_seconds);
+    w->Key("p99_latency_seconds");
+    w->Double(cls.p99_latency_seconds);
+    w->Key("batch_fill");
+    w->Double(cls.batch_fill);
+    w->EndObject();
   }
-  if (value.is_string()) {
-    // URL parameters arrive as strings; accept digits (with sign) only.
-    // strtoll saturates on overflow with errno=ERANGE while still
-    // consuming the token — that must 400, not become INT64_MAX.
-    char* end = nullptr;
-    errno = 0;
-    const long long parsed = std::strtoll(value.string_value().c_str(), &end,
-                                          10);
-    if (end != value.string_value().c_str() + value.string_value().size() ||
-        value.string_value().empty() || errno == ERANGE) {
-      return Status::InvalidArgument("field '" + name +
-                                     "' is not an integer");
-    }
-    return static_cast<int64_t>(parsed);
-  }
-  return Status::InvalidArgument("field '" + name + "' is not an integer");
-}
-
-/// ReadInt plus a range check, for fields narrower than int64 — a value
-/// that would wrap in the narrowing cast must 400, not silently become a
-/// different query.
-Result<int64_t> ReadIntInRange(const JsonValue& value,
-                               const std::string& name, int64_t lo,
-                               int64_t hi) {
-  DE_ASSIGN_OR_RETURN(const int64_t parsed, ReadInt(value, name));
-  if (parsed < lo || parsed > hi) {
-    return Status::InvalidArgument("field '" + name + "' is out of range");
-  }
-  return parsed;
-}
-
-Result<double> ReadDouble(const JsonValue& value, const std::string& name) {
-  double parsed;
-  if (value.is_number()) {
-    parsed = value.number_value();
-  } else if (value.is_string()) {
-    char* end = nullptr;
-    parsed = std::strtod(value.string_value().c_str(), &end);
-    if (value.string_value().empty() ||
-        end != value.string_value().c_str() + value.string_value().size()) {
-      return Status::InvalidArgument("field '" + name + "' is not a number");
-    }
-  } else {
-    return Status::InvalidArgument("field '" + name + "' is not a number");
-  }
-  // No wire field has a meaningful non-finite value; "nan"/"1e999" via the
-  // URL string path (or 1e999 overflowing strtod) must 400.
-  if (!std::isfinite(parsed)) {
-    return Status::InvalidArgument("field '" + name + "' must be finite");
-  }
-  return parsed;
-}
-
-/// Parses the neuron list: a JSON array of integers, or (URL form) a
-/// comma-separated string like "0,2,4".
-Result<std::vector<int64_t>> ReadNeurons(const JsonValue& value) {
-  std::vector<int64_t> neurons;
-  if (value.is_array()) {
-    for (const JsonValue& item : value.array_items()) {
-      if (!item.is_number()) {
-        return Status::InvalidArgument("'neurons' must be integers");
-      }
-      // Same integrality/range discipline as the scalar fields: 1.9 must
-      // 400, not silently query neuron 1.
-      DE_ASSIGN_OR_RETURN(const int64_t id, ReadInt(item, "neurons"));
-      neurons.push_back(id);
-    }
-    return neurons;
-  }
-  if (value.is_string()) {
-    const std::string& text = value.string_value();
-    size_t pos = 0;
-    while (pos <= text.size()) {
-      size_t comma = text.find(',', pos);
-      if (comma == std::string::npos) comma = text.size();
-      std::string token = text.substr(pos, comma - pos);
-      if (token.empty()) {
-        return Status::InvalidArgument("'neurons' has an empty element");
-      }
-      // Route each token through the one strict integer parser, so the
-      // JSON-array and comma-list encodings cannot drift.
-      DE_ASSIGN_OR_RETURN(
-          const int64_t id,
-          ReadInt(JsonValue::MakeString(std::move(token)), "neurons"));
-      neurons.push_back(id);
-      pos = comma + 1;
-    }
-    return neurons;
-  }
-  return Status::InvalidArgument("'neurons' must be an array");
-}
-
-/// Builds a TopKQuery from either encoding. `served_model` non-empty means
-/// a mismatching "model" field is NotFound.
-Result<service::TopKQuery> BuildQuery(const FieldSource& source,
-                                      const std::string& served_model) {
-  service::TopKQuery query;
-
-  if (const JsonValue* model = source.find("model")) {
-    if (!model->is_string()) {
-      return Status::InvalidArgument("'model' must be a string");
-    }
-    if (!served_model.empty() && model->string_value() != served_model) {
-      return Status::NotFound("model '" + model->string_value() +
-                              "' is not served here (serving '" +
-                              served_model + "')");
-    }
-  }
-
-  if (const JsonValue* kind = source.find("kind")) {
-    if (!kind->is_string()) {
-      return Status::InvalidArgument("'kind' must be a string");
-    }
-    if (kind->string_value() == "highest") {
-      query.kind = service::TopKQuery::Kind::kHighest;
-    } else if (kind->string_value() == "most_similar") {
-      query.kind = service::TopKQuery::Kind::kMostSimilar;
-    } else {
-      return Status::InvalidArgument("unknown kind: " + kind->string_value());
-    }
-  }
-
-  const JsonValue* layer = source.find("layer");
-  if (layer == nullptr) return Status::InvalidArgument("'layer' is required");
-  DE_ASSIGN_OR_RETURN(
-      const int64_t layer_id,
-      ReadIntInRange(*layer, "layer", 0,
-                     std::numeric_limits<int>::max()));
-  query.group.layer = static_cast<int>(layer_id);
-
-  const JsonValue* neurons = source.find("neurons");
-  if (neurons == nullptr) {
-    return Status::InvalidArgument("'neurons' is required");
-  }
-  DE_ASSIGN_OR_RETURN(query.group.neurons, ReadNeurons(*neurons));
-
-  if (const JsonValue* k = source.find("k")) {
-    DE_ASSIGN_OR_RETURN(
-        const int64_t value,
-        ReadIntInRange(*k, "k", 1, std::numeric_limits<int>::max()));
-    query.k = static_cast<int>(value);
-  }
-  if (const JsonValue* target = source.find("target_id")) {
-    DE_ASSIGN_OR_RETURN(
-        const int64_t value,
-        ReadIntInRange(*target, "target_id", 0,
-                       std::numeric_limits<uint32_t>::max()));
-    query.target_id = static_cast<uint32_t>(value);
-  } else if (query.kind == service::TopKQuery::Kind::kMostSimilar) {
-    return Status::InvalidArgument(
-        "'target_id' is required for kind=most_similar");
-  }
-  if (const JsonValue* theta = source.find("theta")) {
-    DE_ASSIGN_OR_RETURN(query.theta, ReadDouble(*theta, "theta"));
-  }
-  if (const JsonValue* session = source.find("session_id")) {
-    DE_ASSIGN_OR_RETURN(const int64_t value, ReadInt(*session, "session_id"));
-    if (value < 0) {
-      return Status::InvalidArgument("'session_id' must be >= 0");
-    }
-    query.session_id = static_cast<uint64_t>(value);
-  }
-  if (const JsonValue* qos = source.find("qos")) {
-    if (!qos->is_string()) {
-      return Status::InvalidArgument("'qos' must be a string");
-    }
-    DE_ASSIGN_OR_RETURN(query.qos, ParseQosName(qos->string_value()));
-  }
-  if (const JsonValue* weight = source.find("weight")) {
-    DE_ASSIGN_OR_RETURN(
-        const int64_t value,
-        ReadIntInRange(*weight, "weight", 1,
-                       std::numeric_limits<int>::max()));
-    query.weight = static_cast<int>(value);
-  }
-  if (const JsonValue* deadline = source.find("deadline_ms")) {
-    if (!deadline->is_null()) {
-      DE_ASSIGN_OR_RETURN(const double ms, ReadDouble(*deadline,
-                                                      "deadline_ms"));
-      // The bound (about 3 years) keeps ms*1e-3*1e9 far from the int64
-      // nanosecond range SetDeadlineAfter casts into; NaN fails it too.
-      if (!(ms >= 0.0 && ms <= 1e11)) {
-        return Status::InvalidArgument(
-            "'deadline_ms' must be in [0, 1e11]");
-      }
-      query.deadline_seconds = ms > 0.0 ? ms * 1e-3 : kAlreadyDueSeconds;
-    }
-  }
-  return query;
+  w->EndArray();
 }
 
 }  // namespace
 
 Result<std::unique_ptr<QueryServer>> QueryServer::Start(
-    service::QueryService* service, const QueryServerOptions& options) {
-  if (service == nullptr) {
-    return Status::InvalidArgument("query service is required");
+    service::EngineRegistry* registry, const QueryServerOptions& options) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("engine registry is required");
   }
-  std::unique_ptr<QueryServer> server(new QueryServer(service, options));
+  if (registry->empty()) {
+    return Status::InvalidArgument(
+        "engine registry must have at least one model");
+  }
+  std::unique_ptr<QueryServer> server(new QueryServer(registry));
   auto started = HttpServer::Start(
       options.http, [raw = server.get()](const HttpRequest& request,
                                          HttpResponseWriter* writer) {
@@ -366,6 +224,14 @@ void QueryServer::Handle(const HttpRequest& request,
     writer->WriteResponse(200, "text/plain", "ok\n");
     return;
   }
+  if (request.path == "/v1/models") {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleModels(writer);
+    return;
+  }
   if (request.path == "/v1/stats") {
     if (request.method != "GET") {
       writer->WriteResponse(405, "text/plain", "method not allowed\n");
@@ -374,12 +240,12 @@ void QueryServer::Handle(const HttpRequest& request,
     HandleStats(writer);
     return;
   }
-  if (request.path == "/v1/query") {
+  if (request.path == "/v1/query" || request.path == "/v1/ql") {
     if (request.method != "GET" && request.method != "POST") {
       writer->WriteResponse(405, "text/plain", "method not allowed\n");
       return;
     }
-    HandleQuery(request, writer);
+    HandleQuery(request, writer, /*require_ql=*/request.path == "/v1/ql");
     return;
   }
   writer->WriteResponse(404, "application/json",
@@ -389,44 +255,92 @@ void QueryServer::Handle(const HttpRequest& request,
 }
 
 void QueryServer::HandleQuery(const HttpRequest& request,
-                              HttpResponseWriter* writer) {
-  // Decode the query from the body (POST) or the URL parameters (GET).
-  Result<service::TopKQuery> parsed = [&]() -> Result<service::TopKQuery> {
-    if (request.method == "POST") {
-      DE_ASSIGN_OR_RETURN(JsonValue body, ParseJson(request.body));
-      if (!body.is_object()) {
-        return Status::InvalidArgument("request body must be a JSON object");
-      }
-      FieldSource source;
-      source.find = [&body](const std::string& name) {
-        return body.Find(name);
-      };
-      return BuildQuery(source, options_.model_name);
+                              HttpResponseWriter* writer, bool require_ql) {
+  // Both encodings (POST JSON body, GET URL parameters) expose one field
+  // source; the shared wire codec does the rest.
+  JsonValue body;
+  std::map<std::string, JsonValue> params;
+  core::JsonFieldFinder find;
+  if (request.method == "POST") {
+    auto parsed = ParseJson(request.body);
+    if (!parsed.ok()) {
+      WriteError(writer, parsed.status());
+      return;
     }
-    // GET: every parameter is a string; BuildQuery's readers convert.
-    std::map<std::string, JsonValue> values;
+    if (!parsed->is_object()) {
+      WriteError(writer, Status::InvalidArgument(
+                             "request body must be a JSON object"));
+      return;
+    }
+    body = std::move(parsed.value());
+    find = [&body](const std::string& name) { return body.Find(name); };
+  } else {
+    // GET: every parameter is a string; the codec's readers convert.
     for (const auto& [key, value] : request.query) {
-      values.emplace(key, JsonValue::MakeString(value));
+      params.emplace(key, JsonValue::MakeString(value));
     }
-    FieldSource source;
-    source.find = [&values](const std::string& name) -> const JsonValue* {
-      auto it = values.find(name);
-      return it == values.end() ? nullptr : &it->second;
+    find = [&params](const std::string& name) -> const JsonValue* {
+      auto it = params.find(name);
+      return it == params.end() ? nullptr : &it->second;
     };
-    return BuildQuery(source, options_.model_name);
-  }();
-  if (!parsed.ok()) {
-    WriteError(writer, parsed.status());
+  }
+
+  // Routing: the model field picks the service; absent routes to the
+  // registry default. This is routing, not matching — the same server
+  // answers for every registered model.
+  service::QueryService* service = registry_->DefaultService();
+  if (const JsonValue* model = find("model")) {
+    if (!model->is_string()) {
+      WriteError(writer, Status::InvalidArgument("'model' must be a string"));
+      return;
+    }
+    service = registry_->Find(model->string_value());
+    if (service == nullptr) {
+      std::string served;
+      for (const std::string& name : registry_->ModelNames()) {
+        if (!served.empty()) served += ", ";
+        served += name;
+      }
+      WriteError(writer,
+                 Status::NotFound("model '" + model->string_value() +
+                                  "' is not served here (serving: " + served +
+                                  ")"));
+      return;
+    }
+  }
+
+  if (require_ql && find("ql") == nullptr) {
+    WriteError(writer,
+               Status::InvalidArgument("'ql' is required on /v1/ql"));
     return;
   }
 
+  auto spec = core::QuerySpecFromFields(find);
+  if (!spec.ok()) {
+    WriteError(writer, spec.status());
+    return;
+  }
+
+  // Streaming is requested either way the other transport fields travel:
+  // as the `stream=1` URL parameter or as a `stream` member of a POST
+  // body (true, 1, or "1") — a body flag must not be silently ignored
+  // while its sibling `model` routes.
+  bool streaming = false;
   const auto stream_param = request.query.find("stream");
   if (stream_param != request.query.end() && stream_param->second == "1") {
-    HandleStreamingQuery(std::move(parsed.value()), writer);
+    streaming = true;
+  }
+  if (const JsonValue* stream = find("stream")) {
+    streaming = streaming || (stream->is_bool() && stream->bool_value()) ||
+                (stream->is_number() && stream->number_value() == 1.0) ||
+                (stream->is_string() && stream->string_value() == "1");
+  }
+  if (streaming) {
+    HandleStreamingQuery(service, std::move(spec.value()), writer);
     return;
   }
 
-  Result<core::TopKResult> result = service_->Execute(std::move(parsed.value()));
+  Result<core::TopKResult> result = service->Execute(std::move(spec.value()));
   if (!result.ok()) {
     WriteError(writer, result.status());
     return;
@@ -435,7 +349,8 @@ void QueryServer::HandleQuery(const HttpRequest& request,
                         ResultJson(result.value()) + "\n");
 }
 
-void QueryServer::HandleStreamingQuery(service::TopKQuery query,
+void QueryServer::HandleStreamingQuery(service::QueryService* service,
+                                       core::QuerySpec spec,
                                        HttpResponseWriter* writer) {
   /// Shared between this connection thread and the worker thread running
   /// the query: the sink below is invoked on the worker, while the context
@@ -447,7 +362,7 @@ void QueryServer::HandleStreamingQuery(service::TopKQuery query,
   };
   auto state = std::make_shared<StreamState>();
 
-  query.on_progress = [writer, state](const core::NtaProgress& progress) {
+  spec.on_progress = [writer, state](const core::NtaProgress& progress) {
     if (!writer->WriteChunk(ProgressEventJson(progress) + "\n")) {
       // The client is gone: nobody will read the answer, so stop paying
       // inference for it. Cancel (rather than early-stop) so the abort is
@@ -462,7 +377,7 @@ void QueryServer::HandleStreamingQuery(service::TopKQuery query,
 
   if (!writer->BeginChunked(200, "application/x-ndjson")) return;
 
-  auto submitted = service_->SubmitWithControl(std::move(query));
+  auto submitted = service->SubmitWithControl(std::move(spec));
   if (!submitted.ok()) {
     JsonWriter w;
     w.BeginObject();
@@ -510,80 +425,33 @@ void QueryServer::HandleStreamingQuery(service::TopKQuery query,
   submitted->context->on_progress = nullptr;
 }
 
-void QueryServer::HandleStats(HttpResponseWriter* writer) {
-  const service::ServiceStats stats = service_->Snapshot();
+void QueryServer::HandleModels(HttpResponseWriter* writer) {
   JsonWriter w;
   w.BeginObject();
-  w.Key("submitted");
-  w.Int(stats.submitted);
-  w.Key("rejected_queue_full");
-  w.Int(stats.rejected_queue_full);
-  w.Key("rejected_session_limit");
-  w.Int(stats.rejected_session_limit);
-  w.Key("completed");
-  w.Int(stats.completed);
-  w.Key("failed");
-  w.Int(stats.failed);
-  w.Key("cancelled");
-  w.Int(stats.cancelled);
-  w.Key("deadline_exceeded");
-  w.Int(stats.deadline_exceeded);
-  w.Key("rejected_past_deadline");
-  w.Int(stats.rejected_past_deadline);
-  w.Key("queue_depth");
-  w.Uint(stats.queue_depth);
-  w.Key("inflight");
-  w.Uint(stats.inflight);
-  w.Key("active_sessions");
-  w.Uint(stats.active_sessions);
-  w.Key("p50_latency_seconds");
-  w.Double(stats.p50_latency_seconds);
-  w.Key("p90_latency_seconds");
-  w.Double(stats.p90_latency_seconds);
-  w.Key("p99_latency_seconds");
-  w.Double(stats.p99_latency_seconds);
-  w.Key("qos_enabled");
-  w.Bool(stats.qos_enabled);
-  w.Key("num_workers");
-  w.Int(stats.num_workers);
-  w.Key("uptime_seconds");
-  w.Double(stats.uptime_seconds);
-  w.Key("worker_busy_seconds");
-  w.Double(stats.worker_busy_seconds);
-  w.Key("worker_utilization");
-  w.Double(stats.worker_utilization);
-  w.Key("batching_enabled");
-  w.Bool(stats.batching_enabled);
-  w.Key("batch_size");
-  w.Int(stats.batch_size);
-  w.Key("per_class");
+  w.Key("models");
   w.BeginArray();
-  for (int c = 0; c < kNumQosClasses; ++c) {
-    const service::QosClassStats& cls =
-        stats.per_class[static_cast<size_t>(c)];
+  for (const std::string& name : registry_->ModelNames()) w.String(name);
+  w.EndArray();
+  w.Key("default");
+  w.String(registry_->default_model());
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
+void QueryServer::HandleStats(HttpResponseWriter* writer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("default_model");
+  w.String(registry_->default_model());
+  w.Key("models");
+  w.BeginArray();
+  for (const std::string& name : registry_->ModelNames()) {
+    service::QueryService* service = registry_->Find(name);
+    if (service == nullptr) continue;  // raced registration; never removed
     w.BeginObject();
-    w.Key("class");
-    w.String(QosClassName(static_cast<QosClass>(c)));
-    w.Key("submitted");
-    w.Int(cls.submitted);
-    w.Key("completed");
-    w.Int(cls.completed);
-    w.Key("failed");
-    w.Int(cls.failed);
-    w.Key("cancelled");
-    w.Int(cls.cancelled);
-    w.Key("deadline_exceeded");
-    w.Int(cls.deadline_exceeded);
-    w.Key("rejected_past_deadline");
-    w.Int(cls.rejected_past_deadline);
-    w.Key("p50_latency_seconds");
-    w.Double(cls.p50_latency_seconds);
-    w.Key("p90_latency_seconds");
-    w.Double(cls.p90_latency_seconds);
-    w.Key("p99_latency_seconds");
-    w.Double(cls.p99_latency_seconds);
-    w.Key("batch_fill");
-    w.Double(cls.batch_fill);
+    w.Key("model");
+    w.String(name);
+    WriteServiceStatsFields(service->Snapshot(), &w);
     w.EndObject();
   }
   w.EndArray();

@@ -6,7 +6,9 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/query_spec.h"
 #include "net/http_server.h"
+#include "service/engine_registry.h"
 #include "service/query_service.h"
 
 namespace deepeverest {
@@ -14,25 +16,35 @@ namespace net {
 
 struct QueryServerOptions {
   HttpServerOptions http;
-  /// When non-empty, requests naming a different "model" are rejected with
-  /// 404 — one QueryServer serves exactly one engine/model.
-  std::string model_name;
 };
 
-/// \brief The HTTP front-end over a QueryService: the wire protocol that
-/// makes the serving tier drivable by anything that speaks HTTP/1.1.
+/// \brief The HTTP front-end over an EngineRegistry of QueryServices: one
+/// server fronting several models, drivable by anything that speaks
+/// HTTP/1.1. Requests decode to the one canonical core::QuerySpec (shared
+/// wire codec in core/query_spec_json.h) and route by their `model` field
+/// to the named model's service — or to the registry's default (first
+/// registered) when the field is absent; an unknown model is 404.
 ///
 /// Routes (see README "Network API" for the full request/response schema):
-///  - `POST /v1/query` — body: JSON query (model, kind, layer, neurons, k,
-///    theta, qos, deadline_ms, session_id, weight). Replies 200 with the
-///    top-k entries + per-query stats, or a mapped error status.
+///  - `POST /v1/query` — body: JSON query spec (+ optional "model"
+///    routing field, or a "ql" field carrying declarative QL text instead
+///    of the structured query fields). Replies 200 with the top-k entries
+///    + per-query stats, or a mapped error status.
 ///  - `GET /v1/query?...` — same query encoded as URL parameters
-///    (`neurons` comma-separated). With `stream=1` the reply is a chunked
-///    `application/x-ndjson` stream: one `progress` event per NTA round
-///    (the confirmed-so-far entries), then a final `result` (or `error`)
-///    event. A client that disconnects mid-stream cancels the query — the
-///    service stops spending inference on an answer nobody will read.
-///  - `GET /v1/stats` — ServiceStats snapshot as JSON.
+///    (`neurons` comma-separated). With `stream=1` (URL parameter on GET
+///    or POST, or a `"stream": 1` POST-body member) the reply
+///    is a chunked `application/x-ndjson` stream: one `progress` event per
+///    NTA round (the confirmed-so-far entries), then a final `result` (or
+///    `error`) event. A client that disconnects mid-stream cancels the
+///    query — the service stops spending inference on an answer nobody
+///    will read.
+///  - `POST /v1/ql` (and `GET /v1/ql?ql=...`) — the declarative entry
+///    point: the `ql` field/parameter holds `SELECT TOPK ...` text, the
+///    envelope fields (`model`, `session_id`, `qos`, `deadline_ms`,
+///    `weight`, `stream`) apply as on /v1/query. Full QoS/streaming
+///    semantics — QL over the wire is not a side door.
+///  - `GET /v1/models` — the models served here (and which is default).
+///  - `GET /v1/stats` — one ServiceStats section per model.
 ///  - `GET /healthz` — 200 "ok" once the server accepts connections.
 ///
 /// Status mapping: InvalidArgument→400, NotFound→404,
@@ -42,34 +54,37 @@ struct QueryServerOptions {
 /// Cancelled→499, anything else→500. Error bodies are
 /// `{"error":{"code":...,"message":...}}`.
 ///
-/// The server holds the service and engine by pointer; both must outlive
-/// it. Responses are computed on the QueryService's worker pool — the
-/// HTTP connection threads only parse, submit, and block on the future, so
-/// concurrency limits and QoS remain wholly the service's.
+/// The server holds the registry (and through it the services/engines) by
+/// pointer; all must outlive it. Responses are computed on the routed
+/// QueryService's worker pool — the HTTP connection threads only parse,
+/// submit, and block on the future, so concurrency limits and QoS remain
+/// wholly each service's.
 class QueryServer {
  public:
   static Result<std::unique_ptr<QueryServer>> Start(
-      service::QueryService* service, const QueryServerOptions& options);
+      service::EngineRegistry* registry, const QueryServerOptions& options);
 
   /// The bound port (resolved when options.http.port was 0).
   uint16_t port() const { return http_->port(); }
 
   /// Stops the HTTP listener; in-flight requests finish first. The
-  /// underlying QueryService is not shut down (it is not owned).
+  /// underlying services are not shut down (they are not owned).
   void Shutdown() { http_->Shutdown(); }
 
  private:
-  QueryServer(service::QueryService* service, QueryServerOptions options)
-      : service_(service), options_(std::move(options)) {}
+  explicit QueryServer(service::EngineRegistry* registry)
+      : registry_(registry) {}
 
   void Handle(const HttpRequest& request, HttpResponseWriter* writer);
-  void HandleQuery(const HttpRequest& request, HttpResponseWriter* writer);
-  void HandleStreamingQuery(service::TopKQuery query,
-                            HttpResponseWriter* writer);
+  /// Shared by /v1/query and /v1/ql (`require_ql` demands the ql field).
+  void HandleQuery(const HttpRequest& request, HttpResponseWriter* writer,
+                   bool require_ql);
+  void HandleStreamingQuery(service::QueryService* service,
+                            core::QuerySpec spec, HttpResponseWriter* writer);
+  void HandleModels(HttpResponseWriter* writer);
   void HandleStats(HttpResponseWriter* writer);
 
-  service::QueryService* service_;
-  QueryServerOptions options_;
+  service::EngineRegistry* registry_;
   std::unique_ptr<HttpServer> http_;
 };
 

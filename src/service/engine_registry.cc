@@ -1,0 +1,61 @@
+#include "service/engine_registry.h"
+
+namespace deepeverest {
+namespace service {
+
+Status EngineRegistry::Register(const std::string& name,
+                                QueryService* service) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  if (service == nullptr) {
+    return Status::InvalidArgument("service is required");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [existing, unused] : entries_) {
+    (void)unused;
+    if (existing == name) {
+      return Status::AlreadyExists("model '" + name +
+                                   "' is already registered");
+    }
+  }
+  entries_.emplace_back(name, service);
+  return Status::OK();
+}
+
+QueryService* EngineRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [entry_name, service] : entries_) {
+    if (entry_name == name) return service;
+  }
+  return nullptr;
+}
+
+QueryService* EngineRegistry::DefaultService() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? nullptr : entries_.front().second;
+}
+
+std::string EngineRegistry::default_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.empty() ? std::string() : entries_.front().first;
+}
+
+std::vector<std::string> EngineRegistry::ModelNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, service] : entries_) {
+    (void)service;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t EngineRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace service
+}  // namespace deepeverest

@@ -1,0 +1,65 @@
+#ifndef DEEPEVEREST_SERVICE_ENGINE_REGISTRY_H_
+#define DEEPEVEREST_SERVICE_ENGINE_REGISTRY_H_
+
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "service/query_service.h"
+
+namespace deepeverest {
+namespace service {
+
+/// \brief Maps model names to the QueryService serving each model's
+/// engine, so one network front-end can front several models: the wire
+/// protocol's `model` field *routes* (instead of 404-matching against a
+/// single served name), `GET /v1/models` lists this registry, and
+/// `/v1/stats` reports one section per entry.
+///
+/// Each entry is a fully independent serving stack — its own DeepEverest
+/// engine, worker pool, admission queue, batch scheduler, and stats — so
+/// one model's backlog never blocks another's and per-model stats need no
+/// disaggregation. The registry does not own the services (consistent with
+/// QueryServer not owning its service); everything registered must outlive
+/// it. Registration order is preserved: the first entry is the default a
+/// request without a `model` field routes to.
+///
+/// Thread-safe: registration and lookup may race (lookups are served under
+/// a mutex; the returned service pointer stays valid because entries are
+/// never removed).
+class EngineRegistry {
+ public:
+  EngineRegistry() = default;
+  EngineRegistry(const EngineRegistry&) = delete;
+  EngineRegistry& operator=(const EngineRegistry&) = delete;
+
+  /// Registers `service` under `name`. InvalidArgument on an empty name or
+  /// null service, AlreadyExists on a duplicate name.
+  Status Register(const std::string& name, QueryService* service);
+
+  /// The service for `name`; nullptr when not registered.
+  QueryService* Find(const std::string& name) const;
+
+  /// The default service (first registered); nullptr while empty.
+  QueryService* DefaultService() const;
+
+  /// The default model's name; empty while the registry is.
+  std::string default_model() const;
+
+  /// Registered model names, in registration order.
+  std::vector<std::string> ModelNames() const;
+
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, QueryService*>> entries_;
+};
+
+}  // namespace service
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_SERVICE_ENGINE_REGISTRY_H_

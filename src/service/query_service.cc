@@ -236,33 +236,21 @@ QueryService::QueryService(core::DeepEverest* engine,
 QueryService::~QueryService() { Shutdown(); }
 
 Result<std::future<Result<core::TopKResult>>> QueryService::Submit(
-    TopKQuery query) {
+    core::QuerySpec spec) {
   DE_ASSIGN_OR_RETURN(Submission submission,
-                      SubmitWithControl(std::move(query)));
+                      SubmitWithControl(std::move(spec)));
   return std::move(submission.result);
 }
 
-Result<Submission> QueryService::SubmitWithControl(TopKQuery query) {
-  if (query.k < 1) return Status::InvalidArgument("k must be >= 1");
-  if (query.group.neurons.empty()) {
-    return Status::InvalidArgument("neuron group is empty");
-  }
-  if (query.theta <= 0.0 || query.theta > 1.0) {
-    return Status::InvalidArgument("theta must be in (0, 1]");
-  }
-  if (query.deadline_seconds < 0.0) {
-    return Status::InvalidArgument("deadline_seconds must be >= 0");
-  }
-  if (query.weight < 1) {
-    return Status::InvalidArgument("session weight must be >= 1");
-  }
-  const int class_index = QosIndex(query.qos);
-  if (class_index < 0 || class_index >= kNumQosClasses) {
-    return Status::InvalidArgument("unknown QoS class");
-  }
+Result<Submission> QueryService::SubmitWithControl(core::QuerySpec spec) {
+  // The one validation choke point every entry point shares (QL parsing
+  // and the wire decoder already ran it; programmatic callers get the
+  // identical errors here).
+  DE_RETURN_NOT_OK(core::ValidateSpec(spec));
+  const int class_index = QosIndex(spec.qos);
 
   PendingQuery pending;
-  pending.query = std::move(query);
+  pending.query = std::move(spec);
   pending.ctx = std::make_shared<core::QueryContext>();
   pending.ctx->session_id = pending.query.session_id;
   pending.ctx->qos = pending.query.qos;
@@ -294,9 +282,14 @@ Result<Submission> QueryService::SubmitWithControl(TopKQuery query) {
           "session " + std::to_string(pending.query.session_id) +
           " is at its queued-query limit");
     }
-    // The deadline clock starts at admission: queue wait counts against it.
-    if (pending.query.deadline_seconds > 0.0) {
-      pending.ctx->SetDeadlineAfter(pending.query.deadline_seconds);
+    // The deadline clock starts at admission: queue wait counts against
+    // it. deadline_ms == 0 means "already due": one nanosecond (the
+    // smallest positive deadline) is guaranteed to have passed by the time
+    // a worker looks at the queue, so the query is rejected at dispatch
+    // without running any inference.
+    if (pending.query.deadline_ms >= 0.0) {
+      pending.ctx->SetDeadlineAfter(
+          std::max(pending.query.deadline_ms * 1e-3, 1e-9));
     }
     pending.wait.Reset();
     policy_->Enqueue(std::move(pending));
@@ -307,34 +300,18 @@ Result<Submission> QueryService::SubmitWithControl(TopKQuery query) {
   return submission;
 }
 
-Result<core::TopKResult> QueryService::Execute(TopKQuery query) {
+Result<core::TopKResult> QueryService::Execute(core::QuerySpec spec) {
   DE_ASSIGN_OR_RETURN(std::future<Result<core::TopKResult>> future,
-                      Submit(std::move(query)));
+                      Submit(std::move(spec)));
   return future.get();
 }
 
 Result<core::TopKResult> QueryService::Run(PendingQuery* pending) {
-  core::NtaOptions options;
-  options.k = pending->query.k;
-  options.theta = pending->query.theta;
-  // Deterministic serving: tie-complete termination makes NTA return the
-  // canonical (value, input id)-ordered top-k, matching the §4.6 fresh-scan
-  // path even on exact value ties at the k-th boundary.
-  options.tie_complete = true;
-  // The context routes this worker's inference through the shared batching
-  // scheduler (when enabled) and carries the deadline NTA checks between
-  // rounds.
-  core::QueryContext* ctx = pending->ctx.get();
-  switch (pending->query.kind) {
-    case TopKQuery::Kind::kHighest:
-      return engine_->TopKHighestWithOptions(pending->query.group,
-                                             std::move(options), ctx);
-    case TopKQuery::Kind::kMostSimilar:
-      return engine_->TopKMostSimilarWithOptions(pending->query.target_id,
-                                                 pending->query.group,
-                                                 std::move(options), ctx);
-  }
-  return Status::InvalidArgument("unknown query kind");
+  // The canonical execution path (tie-complete NTA, derived-group
+  // resolution under the query's context). The context routes this
+  // worker's inference through the shared batching scheduler (when
+  // enabled) and carries the deadline NTA checks between rounds.
+  return engine_->ExecuteSpec(pending->query, pending->ctx.get());
 }
 
 void QueryService::CountOutcome(const Result<core::TopKResult>& result,

@@ -20,6 +20,7 @@
 #include "core/deepeverest.h"
 #include "core/query.h"
 #include "core/query_context.h"
+#include "core/query_spec.h"
 #include "nn/batch_scheduler.h"
 #include "service/service_stats.h"
 
@@ -28,50 +29,14 @@ namespace service {
 
 class DispatchPolicy;
 
-/// \brief One client query submitted to the service.
-struct TopKQuery {
-  enum class Kind {
-    kHighest,      // TopKHighest: largest aggregated activations
-    kMostSimilar,  // TopKMostSimilar: closest to dataset input `target_id`
-  };
-
-  Kind kind = Kind::kHighest;
-  core::NeuronGroup group;
-  int k = 20;
-  uint32_t target_id = 0;  // kMostSimilar only
-  /// θ-approximation factor in (0, 1]; 1.0 = exact (paper section 6).
-  double theta = 1.0;
-  /// Client session for admission fairness. Queries from the same session
-  /// run FIFO relative to each other; distinct sessions are served
-  /// round-robin (within their QoS class) so one chatty client cannot
-  /// starve the rest.
-  uint64_t session_id = 0;
-  /// QoS class of this query's session. Classes are strict dispatch
-  /// priorities (interactive > batch > best_effort) and select the device
-  /// batch linger window (interactive inference never lingers). Results are
-  /// identical across classes — only scheduling differs.
-  QosClass qos = QosClass::kBatch;
-  /// Relative deadline, in seconds from admission; 0 = none. A query whose
-  /// deadline passes while it is still queued is rejected at dispatch with
-  /// DeadlineExceeded *without* running (no worker time is spent on an
-  /// answer nobody is waiting for); one that expires mid-execution aborts
-  /// cooperatively within one NTA round. Within a class, deadline-carrying
-  /// queries dispatch earliest-deadline-first, ahead of deadline-free work.
-  double deadline_seconds = 0.0;
-  /// Weight of this query's session in the weighted round-robin among its
-  /// class's sessions (>= 1; the session's most recent submission wins): a
-  /// weight-w session gets up to w consecutive dispatches per rotor turn.
-  int weight = 1;
-  /// Per-submission progress sink, threaded into the query's QueryContext:
-  /// invoked on the executing worker thread after each NTA round with the
-  /// round's threshold and the entries already *proven* final (the
-  /// `confirmed` set grows monotonically). Return false to stop early with
-  /// the current θ-guaranteed top-k (an OK result). All invocations
-  /// happen-before the query's future resolves, so a sink that writes to a
-  /// stream never races the final result. This is the seam the HTTP
-  /// front-end streams NDJSON progress events from.
-  std::function<bool(const core::NtaProgress&)> on_progress;
-};
+// The service consumes the one canonical query type, core::QuerySpec —
+// the same struct QL parsing and the JSON wire decoder produce. Its
+// declarative half says what to retrieve; its serving envelope
+// (session_id, qos, deadline_ms, weight, on_progress) is what this
+// service schedules by. The progress sink is invoked on the executing
+// worker thread after each NTA round, and all invocations happen-before
+// the query's future resolves — the seam the HTTP front-end streams
+// NDJSON progress events from.
 
 struct QueryServiceOptions {
   /// Fixed-size worker pool executing queries against the shared engine.
@@ -138,7 +103,7 @@ struct QueryServiceOptions {
 /// carries the query's QoS class, absolute deadline, receipt, and scheduler
 /// plumbing through every layer below the service.
 struct PendingQuery {
-  TopKQuery query;
+  core::QuerySpec query;
   /// Shared with the Submission handle returned to the caller, so a client
   /// can Cancel() the query while the service still owns or runs it.
   std::shared_ptr<core::QueryContext> ctx;
@@ -229,20 +194,21 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues `query`. Fails fast — without consuming a queue slot — with
-  /// InvalidArgument (malformed query), ResourceExhausted (queue full or
-  /// session at its limit; retry later), or FailedPrecondition (shutting
-  /// down). The future resolves to the query's result or execution error.
-  Result<std::future<Result<core::TopKResult>>> Submit(TopKQuery query);
+  /// Enqueues `spec`. Fails fast — without consuming a queue slot — with
+  /// InvalidArgument (malformed spec, via the shared core::ValidateSpec
+  /// choke point), ResourceExhausted (queue full or session at its limit;
+  /// retry later), or FailedPrecondition (shutting down). The future
+  /// resolves to the query's result or execution error.
+  Result<std::future<Result<core::TopKResult>>> Submit(core::QuerySpec spec);
 
   /// Submit() plus the query's QueryContext, for callers that need
   /// per-query control after admission — mid-flight cancellation
   /// (`context->Cancel()`) and deadline inspection. The context stays valid
   /// for the handle's lifetime regardless of how the query ends.
-  Result<Submission> SubmitWithControl(TopKQuery query);
+  Result<Submission> SubmitWithControl(core::QuerySpec spec);
 
   /// Submit + wait: the blocking convenience used by tests and examples.
-  Result<core::TopKResult> Execute(TopKQuery query);
+  Result<core::TopKResult> Execute(core::QuerySpec spec);
 
   /// Blocks until the queue is empty and no query is in flight.
   void Drain();

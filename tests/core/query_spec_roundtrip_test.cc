@@ -1,0 +1,160 @@
+// Seeded-RNG property tests for the canonical QuerySpec encodings: a
+// random spec must round-trip bit-identically through (a) its QL text form
+// (`ToString()` → `ParseQuery`) and (b) the JSON wire codec
+// (`QuerySpecJson` → `ParseJson` → `QuerySpecFromJson`). "Bit-identically"
+// includes θ and deadline_ms doubles — both encoders emit 17 significant
+// digits precisely so this holds. Also pins the shared validation choke
+// point: the same malformed spec is rejected identically from the
+// programmatic, QL, and JSON entry points.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/rng.h"
+#include "core/ql.h"
+#include "core/query_spec.h"
+#include "core/query_spec_json.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+/// A random but always-valid declarative half. Envelope stays default
+/// (what QL text can express).
+QuerySpec RandomDeclarativeSpec(Rng* rng) {
+  QuerySpec spec;
+  spec.kind = rng->NextBernoulli(0.5) ? QuerySpec::Kind::kHighest
+                                      : QuerySpec::Kind::kMostSimilar;
+  spec.k = static_cast<int>(rng->NextInt(1, 50));
+  spec.layer = static_cast<int>(rng->NextInt(0, 20));
+  if (spec.kind == QuerySpec::Kind::kMostSimilar) {
+    spec.target_id = rng->NextInt(0, 499);
+  }
+  if (rng->NextBernoulli(0.5)) {
+    // Explicit group: 1..6 distinct indices.
+    std::set<int64_t> picked;
+    const int size = static_cast<int>(rng->NextInt(1, 6));
+    while (static_cast<int>(picked.size()) < size) {
+      picked.insert(rng->NextInt(0, 999));
+    }
+    spec.neurons.assign(picked.begin(), picked.end());
+  } else {
+    // Derived group. HIGHEST requires an explicit OF reference.
+    spec.top_neurons = static_cast<int>(rng->NextInt(1, 8));
+    if (spec.kind == QuerySpec::Kind::kHighest || rng->NextBernoulli(0.5)) {
+      spec.top_of = rng->NextInt(0, 499);
+    }
+  }
+  const DistanceKind distances[] = {DistanceKind::kL1, DistanceKind::kL2,
+                                    DistanceKind::kLInf};
+  spec.distance = distances[rng->NextInt(0, 2)];
+  if (rng->NextBernoulli(0.5)) {
+    // A full-precision double in (0.05, 1): the hard case for text
+    // round-tripping.
+    spec.theta = 0.05 + rng->NextDouble() * 0.95;
+  }
+  return spec;
+}
+
+TEST(QuerySpecRoundTripTest, QlTextRoundTripsBitIdentically) {
+  Rng rng(20260730);
+  for (int i = 0; i < 500; ++i) {
+    const QuerySpec spec = RandomDeclarativeSpec(&rng);
+    ASSERT_TRUE(ValidateSpec(spec).ok()) << spec.ToString();
+    auto reparsed = ParseQuery(spec.ToString());
+    ASSERT_TRUE(reparsed.ok())
+        << spec.ToString() << " -> " << reparsed.status().ToString();
+    EXPECT_EQ(spec, *reparsed) << spec.ToString();
+    // And the text form itself is a fixed point.
+    EXPECT_EQ(spec.ToString(), reparsed->ToString());
+  }
+}
+
+TEST(QuerySpecRoundTripTest, JsonWireRoundTripsBitIdentically) {
+  Rng rng(20260731);
+  for (int i = 0; i < 500; ++i) {
+    QuerySpec spec = RandomDeclarativeSpec(&rng);
+    // The wire carries the serving envelope too.
+    spec.session_id = rng.NextUint64() >> 16;
+    const QosClass classes[] = {QosClass::kInteractive, QosClass::kBatch,
+                                QosClass::kBestEffort};
+    spec.qos = classes[rng.NextInt(0, 2)];
+    spec.weight = static_cast<int>(rng.NextInt(1, 9));
+    if (rng.NextBernoulli(0.5)) {
+      spec.deadline_ms = rng.NextDouble() * 1e6;  // full-precision double
+    }
+    const std::string encoded = QuerySpecJson(spec);
+    auto parsed = ParseJson(encoded);
+    ASSERT_TRUE(parsed.ok()) << encoded;
+    auto decoded = QuerySpecFromJson(*parsed);
+    ASSERT_TRUE(decoded.ok())
+        << encoded << " -> " << decoded.status().ToString();
+    EXPECT_EQ(spec, *decoded) << encoded;
+    // Encoding the decoded spec reproduces the exact byte string.
+    EXPECT_EQ(encoded, QuerySpecJson(*decoded));
+  }
+}
+
+TEST(QuerySpecRoundTripTest, QlAndJsonAgreeOnTheSameSpec) {
+  Rng rng(20260801);
+  for (int i = 0; i < 100; ++i) {
+    const QuerySpec spec = RandomDeclarativeSpec(&rng);
+    auto via_ql = ParseQuery(spec.ToString());
+    auto json = ParseJson(QuerySpecJson(spec));
+    ASSERT_TRUE(via_ql.ok());
+    ASSERT_TRUE(json.ok());
+    auto via_json = QuerySpecFromJson(*json);
+    ASSERT_TRUE(via_json.ok());
+    EXPECT_EQ(*via_ql, *via_json) << spec.ToString();
+  }
+}
+
+// The choke point: the same malformed spec is rejected with the same error
+// from every entry point — programmatic ValidateSpec, QL text, JSON wire.
+TEST(QuerySpecRoundTripTest, ValidationIsUnifiedAcrossEntryPoints) {
+  struct Case {
+    const char* what;
+    const char* ql;
+    const char* json;
+    const char* needle;
+  };
+  const Case cases[] = {
+      {"k=0", "SELECT TOPK 0 HIGHEST FOR LAYER 1 NEURONS (1)",
+       R"({"kind":"highest","layer":1,"neurons":[1],"k":0})",
+       "k must be >= 1"},
+      {"duplicate neurons",
+       "SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (4, 4)",
+       R"({"kind":"highest","layer":1,"neurons":[4,4],"k":5})",
+       "duplicate neuron index"},
+      {"negative neuron",
+       "SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (-1)",
+       R"({"kind":"highest","layer":1,"neurons":[-1],"k":5})",
+       "neuron index must be >= 0"},
+      {"theta out of range",
+       "SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1) THETA 1.5",
+       R"({"kind":"highest","layer":1,"neurons":[1],"theta":1.5})",
+       "theta must be in (0, 1]"},
+      {"derived highest without OF",
+       "SELECT TOPK 5 HIGHEST FOR LAYER 1 TOP 3 NEURONS",
+       R"({"kind":"highest","layer":1,"top_neurons":3})",
+       "requires OF"},
+  };
+  for (const Case& c : cases) {
+    auto via_ql = ParseQuery(c.ql);
+    ASSERT_FALSE(via_ql.ok()) << c.what;
+    auto parsed = ParseJson(c.json);
+    ASSERT_TRUE(parsed.ok()) << c.what;
+    auto via_json = QuerySpecFromJson(*parsed);
+    ASSERT_FALSE(via_json.ok()) << c.what;
+    // Same message from both doors (both run ValidateSpec).
+    EXPECT_EQ(via_ql.status().message(), via_json.status().message())
+        << c.what;
+    EXPECT_NE(via_ql.status().message().find(c.needle), std::string::npos)
+        << c.what << " -> " << via_ql.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

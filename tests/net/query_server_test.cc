@@ -1,6 +1,8 @@
 // End-to-end tests for the HTTP query API over real loopback sockets:
 // bit-identical results vs. the in-process sequential reference, URL and
-// JSON encodings, NDJSON streaming with progress-before-result ordering,
+// JSON encodings, model routing through the EngineRegistry (/v1/models,
+// unknown-model 404, per-model /v1/stats), declarative queries over
+// /v1/ql, NDJSON streaming with progress-before-result ordering,
 // client-disconnect cancellation (reflected in ServiceStats.cancelled),
 // deadline_ms=0 rejection without inference, and the error-status mapping.
 #include "net/query_server.h"
@@ -14,6 +16,8 @@
 
 #include "bench_util/demo_system.h"
 #include "common/json.h"
+#include "core/query_spec_json.h"
+#include "net/http.h"
 #include "net/http_client.h"
 
 namespace deepeverest {
@@ -23,10 +27,13 @@ namespace {
 using bench_util::DemoSystem;
 using bench_util::DemoSystemOptions;
 
-/// Demo system + service + server + connected client, on a kernel port.
+/// Demo system + service + registry + server + connected client, on a
+/// kernel port. `second_model` registers an independent second system (its
+/// own engine and service over a different seed) under "twin".
 struct ServerFixture {
   explicit ServerFixture(DemoSystemOptions demo_options = {},
-                         service::QueryServiceOptions service_options = {}) {
+                         service::QueryServiceOptions service_options = {},
+                         bool second_model = false) {
     auto made = DemoSystem::Make(demo_options);
     EXPECT_TRUE(made.ok()) << made.status().ToString();
     system = std::move(made.value());
@@ -34,9 +41,21 @@ struct ServerFixture {
         service::QueryService::Create(system->engine(), service_options);
     EXPECT_TRUE(created.ok()) << created.status().ToString();
     service = std::move(created.value());
+    EXPECT_TRUE(registry.Register(system->model_name(), service.get()).ok());
+    if (second_model) {
+      DemoSystemOptions second_options = demo_options;
+      second_options.seed = demo_options.seed + 555;
+      auto second_made = DemoSystem::Make(second_options);
+      EXPECT_TRUE(second_made.ok());
+      second_system = std::move(second_made.value());
+      auto second_created = service::QueryService::Create(
+          second_system->engine(), service_options);
+      EXPECT_TRUE(second_created.ok());
+      second_service = std::move(second_created.value());
+      EXPECT_TRUE(registry.Register("twin", second_service.get()).ok());
+    }
     QueryServerOptions server_options;
-    server_options.model_name = system->model_name();
-    auto started = QueryServer::Start(service.get(), server_options);
+    auto started = QueryServer::Start(&registry, server_options);
     EXPECT_TRUE(started.ok()) << started.status().ToString();
     server = std::move(started.value());
   }
@@ -44,27 +63,23 @@ struct ServerFixture {
   ~ServerFixture() {
     if (server != nullptr) server->Shutdown();
     if (service != nullptr) service->Shutdown();
+    if (second_service != nullptr) second_service->Shutdown();
   }
 
   Result<HttpClient> Connect() {
     return HttpClient::Connect("127.0.0.1", server->port());
   }
 
-  Result<core::TopKResult> Reference(const service::TopKQuery& query) {
-    core::NtaOptions options;
-    options.k = query.k;
-    options.theta = query.theta;
-    options.tie_complete = true;
-    if (query.kind == service::TopKQuery::Kind::kHighest) {
-      return system->engine()->TopKHighestWithOptions(query.group,
-                                                      std::move(options));
-    }
-    return system->engine()->TopKMostSimilarWithOptions(
-        query.target_id, query.group, std::move(options));
+  /// Engine-direct reference through the same canonical ExecuteSpec path.
+  Result<core::TopKResult> Reference(const core::QuerySpec& spec) {
+    return system->engine()->ExecuteSpec(spec);
   }
 
   std::unique_ptr<DemoSystem> system;
   std::unique_ptr<service::QueryService> service;
+  std::unique_ptr<DemoSystem> second_system;
+  std::unique_ptr<service::QueryService> second_service;
+  service::EngineRegistry registry;
   std::unique_ptr<QueryServer> server;
 };
 
@@ -84,6 +99,21 @@ void ExpectEntriesMatch(const JsonValue& entries,
   }
 }
 
+/// The /v1/stats section of `model`; nullptr when absent.
+const JsonValue* FindModelStats(const JsonValue& stats,
+                                const std::string& model) {
+  const JsonValue* models = stats.Find("models");
+  if (models == nullptr || !models->is_array()) return nullptr;
+  for (const JsonValue& section : models->array_items()) {
+    const JsonValue* name = section.Find("model");
+    if (name != nullptr && name->is_string() &&
+        name->string_value() == model) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
 TEST(QueryServerTest, PostQueryMatchesSequentialReference) {
   ServerFixture fix;
   auto client = fix.Connect();
@@ -91,40 +121,20 @@ TEST(QueryServerTest, PostQueryMatchesSequentialReference) {
 
   const std::vector<int>& layers = fix.system->model()->activation_layers();
   for (int i = 0; i < 8; ++i) {
-    service::TopKQuery query;
-    query.group.layer = layers[static_cast<size_t>(i) % layers.size()];
-    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
-    query.k = 5;
+    core::QuerySpec spec;
+    spec.layer = layers[static_cast<size_t>(i) % layers.size()];
+    spec.neurons = {i % 4, (i % 4 + 2) % 8};
+    spec.k = 5;
+    spec.session_id = static_cast<uint64_t>(i % 3);
+    spec.qos = i % 2 == 0 ? QosClass::kInteractive : QosClass::kBatch;
     if (i % 2 == 1) {
-      query.kind = service::TopKQuery::Kind::kMostSimilar;
-      query.target_id = static_cast<uint32_t>(i);
+      spec.kind = core::QuerySpec::Kind::kMostSimilar;
+      spec.target_id = i;
     }
-    auto reference = fix.Reference(query);
+    auto reference = fix.Reference(spec);
     ASSERT_TRUE(reference.ok());
 
-    JsonWriter w;
-    w.BeginObject();
-    w.Key("kind");
-    w.String(i % 2 == 1 ? "most_similar" : "highest");
-    w.Key("layer");
-    w.Int(query.group.layer);
-    w.Key("neurons");
-    w.BeginArray();
-    for (const int64_t n : query.group.neurons) w.Int(n);
-    w.EndArray();
-    w.Key("k");
-    w.Int(query.k);
-    if (i % 2 == 1) {
-      w.Key("target_id");
-      w.Uint(query.target_id);
-    }
-    w.Key("session_id");
-    w.Int(i % 3);
-    w.Key("qos");
-    w.String(i % 2 == 0 ? "interactive" : "batch");
-    w.EndObject();
-
-    auto response = client->Post("/v1/query", w.TakeString());
+    auto response = client->Post("/v1/query", core::QuerySpecJson(spec));
     ASSERT_TRUE(response.ok()) << response.status().ToString();
     ASSERT_EQ(response->status, 200) << response->body;
     auto body = ParseJson(response->body);
@@ -143,15 +153,15 @@ TEST(QueryServerTest, GetQueryViaUrlParameters) {
   auto client = fix.Connect();
   ASSERT_TRUE(client.ok());
 
-  service::TopKQuery query;
-  query.group.layer = fix.system->model()->activation_layers().front();
-  query.group.neurons = {0, 2, 4};
-  query.k = 5;
-  auto reference = fix.Reference(query);
+  core::QuerySpec spec;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 2, 4};
+  spec.k = 5;
+  auto reference = fix.Reference(spec);
   ASSERT_TRUE(reference.ok());
 
   auto response = client->Get(
-      "/v1/query?kind=highest&layer=" + std::to_string(query.group.layer) +
+      "/v1/query?kind=highest&layer=" + std::to_string(spec.layer) +
       "&neurons=0,2,4&k=5&qos=interactive&session_id=7");
   ASSERT_TRUE(response.ok());
   ASSERT_EQ(response->status, 200) << response->body;
@@ -160,17 +170,160 @@ TEST(QueryServerTest, GetQueryViaUrlParameters) {
   ExpectEntriesMatch(*body->Find("entries"), reference.value());
 }
 
+// The model field routes between registered models: the same query
+// addressed to each model returns that model's own (different) answer,
+// and the answers are bit-identical to each engine's direct reference.
+TEST(QueryServerTest, ModelFieldRoutesBetweenEngines) {
+  ServerFixture fix({}, {}, /*second_model=*/true);
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  core::QuerySpec spec;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 1, 2};
+  spec.k = 5;
+  auto reference_a = fix.Reference(spec);
+  auto reference_b = fix.second_system->engine()->ExecuteSpec(spec);
+  ASSERT_TRUE(reference_a.ok());
+  ASSERT_TRUE(reference_b.ok());
+
+  struct Arm {
+    std::string model;
+    const core::TopKResult* expected;
+  };
+  const Arm arms[] = {{fix.system->model_name(), &reference_a.value()},
+                      {"twin", &reference_b.value()},
+                      // No model field -> the default (first registered).
+                      {"", &reference_a.value()}};
+  for (const Arm& arm : arms) {
+    auto response =
+        client->Post("/v1/query", core::QuerySpecJson(spec, arm.model));
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200) << response->body;
+    auto body = ParseJson(response->body);
+    ASSERT_TRUE(body.ok());
+    ExpectEntriesMatch(*body->Find("entries"), *arm.expected);
+  }
+
+  // The two models must actually disagree somewhere, or routing would be
+  // unobservable.
+  bool differ =
+      reference_a->entries.size() != reference_b->entries.size();
+  for (size_t i = 0; !differ && i < reference_a->entries.size(); ++i) {
+    differ = reference_a->entries[i].input_id !=
+                 reference_b->entries[i].input_id ||
+             reference_a->entries[i].value != reference_b->entries[i].value;
+  }
+  EXPECT_TRUE(differ);
+
+  // Per-model stats: each arm's queries landed on its own service.
+  auto stats = client->Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  auto parsed = ParseJson(stats->body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* a = FindModelStats(*parsed, fix.system->model_name());
+  const JsonValue* b = FindModelStats(*parsed, "twin");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->Find("completed")->int_value(), 2);  // named + default
+  EXPECT_EQ(b->Find("completed")->int_value(), 1);
+}
+
+TEST(QueryServerTest, ModelsEndpointListsRegistry) {
+  ServerFixture fix({}, {}, /*second_model=*/true);
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  auto response = client->Get("/v1/models");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  auto body = ParseJson(response->body);
+  ASSERT_TRUE(body.ok());
+  const JsonValue* models = body->Find("models");
+  ASSERT_NE(models, nullptr);
+  ASSERT_TRUE(models->is_array());
+  ASSERT_EQ(models->array_items().size(), 2u);
+  EXPECT_EQ(models->array_items()[0].string_value(),
+            fix.system->model_name());
+  EXPECT_EQ(models->array_items()[1].string_value(), "twin");
+  EXPECT_EQ(body->Find("default")->string_value(),
+            fix.system->model_name());
+}
+
+// Declarative text over the wire: POST /v1/ql and GET /v1/ql?ql=... run
+// the QL front end through the full service path — same result, same
+// exact attribution as the structured encoding.
+TEST(QueryServerTest, QlEndpointExecutesDeclarativeText) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  // A derived-group query — previously inexpressible over the wire.
+  core::QuerySpec spec;
+  spec.kind = core::QuerySpec::Kind::kHighest;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.top_neurons = 3;
+  spec.top_of = 5;
+  spec.k = 6;
+  auto reference = fix.Reference(spec);
+  ASSERT_TRUE(reference.ok());
+
+  // POST body form.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ql");
+  w.String(spec.ToString());
+  w.Key("qos");
+  w.String("interactive");
+  w.EndObject();
+  auto post = client->Post("/v1/ql", w.TakeString());
+  ASSERT_TRUE(post.ok());
+  ASSERT_EQ(post->status, 200) << post->body;
+  auto post_body = ParseJson(post->body);
+  ASSERT_TRUE(post_body.ok());
+  ExpectEntriesMatch(*post_body->Find("entries"), reference.value());
+  EXPECT_EQ(post_body->Find("stats")->Find("inputs_run")->int_value(),
+            reference->stats.inputs_run);
+
+  // GET parameter form (percent-encoded QL text).
+  auto get = client->Get("/v1/ql?ql=" + PercentEncode(spec.ToString()));
+  ASSERT_TRUE(get.ok());
+  ASSERT_EQ(get->status, 200) << get->body;
+  auto get_body = ParseJson(get->body);
+  ASSERT_TRUE(get_body.ok());
+  ExpectEntriesMatch(*get_body->Find("entries"), reference.value());
+
+  // The structured wire encoding of the same derived-group spec agrees.
+  auto structured = client->Post("/v1/query", core::QuerySpecJson(spec));
+  ASSERT_TRUE(structured.ok());
+  ASSERT_EQ(structured->status, 200) << structured->body;
+  auto structured_body = ParseJson(structured->body);
+  ASSERT_TRUE(structured_body.ok());
+  ExpectEntriesMatch(*structured_body->Find("entries"), reference.value());
+
+  // ql + structured query fields is a contradiction, not a merge.
+  auto conflict = client->Post(
+      "/v1/ql",
+      R"json({"ql":"SELECT TOPK 5 HIGHEST FOR LAYER 1 NEURONS (1)","k":9})json");
+  ASSERT_TRUE(conflict.ok());
+  EXPECT_EQ(conflict->status, 400);
+  // /v1/ql without ql text is an error, not an empty query.
+  auto missing = client->Post("/v1/ql", R"({"qos":"batch"})");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 400);
+}
+
 TEST(QueryServerTest, StreamingEmitsProgressThenResult) {
   ServerFixture fix;
   auto client = fix.Connect();
   ASSERT_TRUE(client.ok());
 
-  service::TopKQuery query;
-  query.kind = service::TopKQuery::Kind::kHighest;
-  query.group.layer = fix.system->model()->activation_layers().front();
-  query.group.neurons = {0, 1, 2, 3};
-  query.k = 10;
-  auto reference = fix.Reference(query);
+  core::QuerySpec spec;
+  spec.kind = core::QuerySpec::Kind::kHighest;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 1, 2, 3};
+  spec.k = 10;
+  auto reference = fix.Reference(spec);
   ASSERT_TRUE(reference.ok());
 
   int progress_events = 0;
@@ -180,7 +333,7 @@ TEST(QueryServerTest, StreamingEmitsProgressThenResult) {
   bool progress_after_result = false;
   auto response = client->GetStream(
       "/v1/query?stream=1&kind=highest&layer=" +
-          std::to_string(query.group.layer) + "&neurons=0,1,2,3&k=10",
+          std::to_string(spec.layer) + "&neurons=0,1,2,3&k=10",
       [&](const std::string& line) {
         auto event = ParseJson(line);
         EXPECT_TRUE(event.ok()) << line;
@@ -207,6 +360,56 @@ TEST(QueryServerTest, StreamingEmitsProgressThenResult) {
   EXPECT_GE(progress_events, 1);
   EXPECT_EQ(result_events, 1);
   EXPECT_FALSE(progress_after_result);
+}
+
+// Streaming composes with the declarative endpoint: a POST /v1/ql body
+// carrying "stream":1 (the body form of the flag, like "model") delivers
+// NDJSON progress for QL text.
+TEST(QueryServerTest, StreamingQlQuery) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  core::QuerySpec spec;
+  spec.kind = core::QuerySpec::Kind::kHighest;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 1, 2, 3};
+  spec.k = 10;
+  auto reference = fix.Reference(spec);
+  ASSERT_TRUE(reference.ok());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ql");
+  w.String(spec.ToString());
+  w.Key("stream");
+  w.Int(1);
+  w.EndObject();
+  int progress_events = 0;
+  int result_events = 0;
+  bool final_matches = false;
+  auto response = client->PostStream(
+      "/v1/ql", w.TakeString(), [&](const std::string& line) {
+        auto event = ParseJson(line);
+        if (!event.ok()) return true;
+        const JsonValue* kind = event->Find("event");
+        if (kind == nullptr) return true;
+        if (kind->string_value() == "progress") ++progress_events;
+        if (kind->string_value() == "result") {
+          ++result_events;
+          const JsonValue* entries = event->Find("entries");
+          final_matches = entries != nullptr;
+          if (final_matches) {
+            ExpectEntriesMatch(*entries, reference.value());
+          }
+        }
+        return true;
+      });
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_GE(progress_events, 1);
+  EXPECT_EQ(result_events, 1);
+  EXPECT_TRUE(final_matches);
 }
 
 TEST(QueryServerTest, DisconnectCancelsStreamingQuery) {
@@ -300,6 +503,27 @@ TEST(QueryServerTest, ErrorStatusMapping) {
        R"({"kind":"most_similar","layer":1,"neurons":[0]})", 400},
       {"bad qos", "/v1/query",
        R"({"kind":"highest","layer":1,"neurons":[0],"qos":"urgent"})", 400},
+      // Unified validation: duplicate and negative neuron indices are the
+      // same InvalidArgument every entry point produces.
+      {"duplicate neuron", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[2,2],"k":3})", 400},
+      {"negative neuron", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[-3],"k":3})", 400},
+      {"explicit + derived group", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"top_neurons":2,)"
+       R"("top_of":1,"k":3})", 400},
+      // top_of on an explicit group would be silently ignored — the
+      // caller almost certainly dropped top_neurons; reject, don't guess.
+      {"top_of without top_neurons", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"top_of":7,"k":3})",
+       400},
+      // target_id on a highest query would be silently ignored — the
+      // caller almost certainly forgot kind=most_similar.
+      {"target_id on highest", "/v1/query",
+       R"({"layer":1,"neurons":[0],"target_id":7,"k":3})", 400},
+      {"bad distance", "/v1/query",
+       R"({"kind":"highest","layer":1,"neurons":[0],"distance":"cosine"})",
+       400},
       // Out-of-int64-range and fractional integers must 400, not be
       // truncated into a different (or UB-producing) query.
       {"huge layer", "/v1/query",
@@ -325,9 +549,12 @@ TEST(QueryServerTest, ErrorStatusMapping) {
   auto bad_method = client->Post("/v1/stats", "{}");
   ASSERT_TRUE(bad_method.ok());
   EXPECT_EQ(bad_method->status, 405);
+  auto bad_models_method = client->Post("/v1/models", "{}");
+  ASSERT_TRUE(bad_models_method.ok());
+  EXPECT_EQ(bad_models_method->status, 405);
 }
 
-TEST(QueryServerTest, StatsEndpointReportsService) {
+TEST(QueryServerTest, StatsEndpointReportsPerModelSections) {
   ServerFixture fix;
   auto client = fix.Connect();
   ASSERT_TRUE(client.ok());
@@ -344,10 +571,15 @@ TEST(QueryServerTest, StatsEndpointReportsService) {
   ASSERT_EQ(response->status, 200);
   auto stats = ParseJson(response->body);
   ASSERT_TRUE(stats.ok()) << response->body;
-  EXPECT_EQ(stats->Find("submitted")->int_value(), 1);
-  EXPECT_EQ(stats->Find("completed")->int_value(), 1);
-  EXPECT_TRUE(stats->Find("qos_enabled")->bool_value());
-  const JsonValue* per_class = stats->Find("per_class");
+  EXPECT_EQ(stats->Find("default_model")->string_value(),
+            fix.system->model_name());
+  const JsonValue* section =
+      FindModelStats(*stats, fix.system->model_name());
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->Find("submitted")->int_value(), 1);
+  EXPECT_EQ(section->Find("completed")->int_value(), 1);
+  EXPECT_TRUE(section->Find("qos_enabled")->bool_value());
+  const JsonValue* per_class = section->Find("per_class");
   ASSERT_NE(per_class, nullptr);
   ASSERT_EQ(per_class->array_items().size(),
             static_cast<size_t>(kNumQosClasses));

@@ -1,0 +1,116 @@
+// Tests for the EngineRegistry: registration rules, routing lookups,
+// default-model semantics, and that two registered models serve queries
+// from their own engines (independent stats, different answers).
+#include "service/engine_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/deepeverest.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace service {
+namespace {
+
+using core::DeepEverest;
+using core::DeepEverestOptions;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+/// One self-contained serving stack over a TinyMlp engine.
+struct Stack {
+  Stack(uint32_t num_inputs, uint64_t seed, const char* dir_tag)
+      : sys(num_inputs, seed, 8), dir(dir_tag) {
+    auto opened = storage::FileStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::make_unique<storage::FileStore>(std::move(opened.value()));
+    DeepEverestOptions options;
+    options.batch_size = 8;
+    auto created = DeepEverest::Create(sys.model.get(), &sys.dataset,
+                                       store.get(), options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    engine = std::move(created.value());
+    auto svc = QueryService::Create(engine.get(), QueryServiceOptions());
+    EXPECT_TRUE(svc.ok()) << svc.status().ToString();
+    service = std::move(svc.value());
+  }
+
+  TinySystem sys;
+  TempDir dir;
+  std::unique_ptr<storage::FileStore> store;
+  std::unique_ptr<DeepEverest> engine;
+  std::unique_ptr<QueryService> service;
+};
+
+TEST(EngineRegistryTest, RegistrationRules) {
+  Stack stack(20, 41, "reg1");
+  EngineRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  EXPECT_EQ(registry.DefaultService(), nullptr);
+  EXPECT_EQ(registry.default_model(), "");
+
+  EXPECT_FALSE(registry.Register("", stack.service.get()).ok());
+  EXPECT_FALSE(registry.Register("m", nullptr).ok());
+  DE_ASSERT_OK(registry.Register("m", stack.service.get()));
+  auto duplicate = registry.Register("m", stack.service.get());
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.Find("m"), stack.service.get());
+  EXPECT_EQ(registry.Find("absent"), nullptr);
+  EXPECT_EQ(registry.DefaultService(), stack.service.get());
+  EXPECT_EQ(registry.default_model(), "m");
+}
+
+TEST(EngineRegistryTest, RoutesToIndependentServingStacks) {
+  // Different seeds: different weights and datasets, so the same spec has
+  // different answers — a routing mistake is observable.
+  Stack a(30, 42, "reg_a");
+  Stack b(30, 43, "reg_b");
+  EngineRegistry registry;
+  DE_ASSERT_OK(registry.Register("model-a", a.service.get()));
+  DE_ASSERT_OK(registry.Register("model-b", b.service.get()));
+  ASSERT_EQ(registry.ModelNames(),
+            (std::vector<std::string>{"model-a", "model-b"}));
+  EXPECT_EQ(registry.default_model(), "model-a");
+
+  core::QuerySpec spec;
+  spec.layer = a.sys.model->activation_layers()[0];
+  spec.neurons = {0, 1};
+  spec.k = 5;
+
+  auto via_a = registry.Find("model-a")->Execute(spec);
+  auto via_b = registry.Find("model-b")->Execute(spec);
+  ASSERT_TRUE(via_a.ok()) << via_a.status().ToString();
+  ASSERT_TRUE(via_b.ok()) << via_b.status().ToString();
+
+  // Each routed query matches its own engine's direct reference...
+  auto ref_a = a.engine->ExecuteSpec(spec);
+  auto ref_b = b.engine->ExecuteSpec(spec);
+  ASSERT_TRUE(ref_a.ok());
+  ASSERT_TRUE(ref_b.ok());
+  ASSERT_EQ(via_a->entries.size(), ref_a->entries.size());
+  for (size_t i = 0; i < via_a->entries.size(); ++i) {
+    EXPECT_EQ(via_a->entries[i].input_id, ref_a->entries[i].input_id);
+    EXPECT_EQ(via_a->entries[i].value, ref_a->entries[i].value);
+  }
+  // ...and the two models disagree somewhere.
+  bool differ = via_a->entries.size() != via_b->entries.size();
+  for (size_t i = 0; !differ && i < via_a->entries.size(); ++i) {
+    differ = via_a->entries[i].input_id != via_b->entries[i].input_id ||
+             via_a->entries[i].value != via_b->entries[i].value;
+  }
+  EXPECT_TRUE(differ);
+
+  // Stats stay per model: only the queried service's counters move.
+  EXPECT_EQ(a.service->Snapshot().completed, 1);
+  EXPECT_EQ(b.service->Snapshot().completed, 1);
+  EXPECT_EQ(a.service->Snapshot().submitted, 1);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace deepeverest

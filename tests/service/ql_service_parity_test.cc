@@ -1,0 +1,106 @@
+// Parity of the declarative entry point with engine-direct execution: QL
+// text parsed to a QuerySpec and submitted through the QueryService must
+// return bit-identical entries AND identical exact per-query inputs_run to
+// the same spec run engine-direct via ExecuteSpec on an identical twin
+// engine — including derived `TOP m NEURONS [OF x]` groups, whose
+// resolution now runs inside the service path (metered, cancellable).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deepeverest.h"
+#include "core/ql.h"
+#include "service/query_service.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace service {
+namespace {
+
+using core::DeepEverest;
+using core::DeepEverestOptions;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+struct Twin {
+  Twin(uint32_t num_inputs, uint64_t seed, const char* dir_tag)
+      : sys(num_inputs, seed, 8), dir(dir_tag) {
+    auto opened = storage::FileStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::make_unique<storage::FileStore>(std::move(opened.value()));
+    DeepEverestOptions options;
+    options.batch_size = 8;
+    options.num_partitions_override = 4;
+    auto created = DeepEverest::Create(sys.model.get(), &sys.dataset,
+                                       store.get(), options);
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    engine = std::move(created.value());
+  }
+
+  TinySystem sys;
+  TempDir dir;
+  std::unique_ptr<storage::FileStore> store;
+  std::unique_ptr<DeepEverest> engine;
+};
+
+TEST(QlServiceParityTest, QlOverServiceMatchesEngineDirectBitForBit) {
+  constexpr uint32_t kInputs = 50;
+  constexpr uint64_t kSeed = 67;
+  // Two identical engines built from the same seed: the reference twin
+  // runs engine-direct, the serving twin runs through the full service
+  // path (admission, workers, batching scheduler).
+  Twin reference(kInputs, kSeed, "parity_ref");
+  Twin serving(kInputs, kSeed, "parity_svc");
+  QueryServiceOptions options;
+  options.num_workers = 4;
+  auto service = QueryService::Create(serving.engine.get(), options);
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+
+  const int early = reference.sys.model->activation_layers()[0];
+  const int late = reference.sys.model->activation_layers().back();
+  const std::vector<std::string> texts = {
+      "SELECT TOPK 7 HIGHEST FOR LAYER " + std::to_string(early) +
+          " NEURONS (0, 3, 5)",
+      "SELECT TOPK 5 SIMILAR TO 13 FOR LAYER " + std::to_string(late) +
+          " NEURONS (1, 4) USING L1",
+      // Derived groups — the queries that could previously only run
+      // engine-direct (the service/wire could not express them).
+      "SELECT TOPK 6 SIMILAR TO 8 FOR LAYER " + std::to_string(early) +
+          " TOP 3 NEURONS",
+      "SELECT TOPK 4 HIGHEST FOR LAYER " + std::to_string(late) +
+          " TOP 2 NEURONS OF 11",
+      "SELECT TOPK 5 SIMILAR TO 9 FOR LAYER " + std::to_string(late) +
+          " TOP 4 NEURONS OF 3 USING LINF",
+  };
+
+  for (const std::string& text : texts) {
+    auto spec = core::ParseQuery(text);
+    ASSERT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+
+    auto direct = reference.engine->ExecuteSpec(*spec);
+    ASSERT_TRUE(direct.ok()) << text << ": " << direct.status().ToString();
+
+    core::QuerySpec submitted = *spec;
+    submitted.session_id = 3;
+    submitted.qos = QosClass::kInteractive;
+    auto served = (*service)->Execute(std::move(submitted));
+    ASSERT_TRUE(served.ok()) << text << ": " << served.status().ToString();
+
+    ASSERT_EQ(direct->entries.size(), served->entries.size()) << text;
+    for (size_t i = 0; i < direct->entries.size(); ++i) {
+      EXPECT_EQ(direct->entries[i].input_id, served->entries[i].input_id)
+          << text << " rank " << i;
+      EXPECT_EQ(direct->entries[i].value, served->entries[i].value)
+          << text << " rank " << i;
+    }
+    // Exact attribution: the served query paid exactly what the
+    // engine-direct run paid, derived-group resolution included.
+    EXPECT_EQ(direct->stats.inputs_run, served->stats.inputs_run) << text;
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace deepeverest

@@ -20,7 +20,6 @@ namespace {
 
 using core::DeepEverest;
 using core::DeepEverestOptions;
-using core::NeuronGroup;
 using core::TopKResult;
 using testing_util::TempDir;
 using testing_util::TinySystem;
@@ -55,14 +54,18 @@ struct QosFixture {
     engine->inference()->set_simulate_device_latency(true);
   }
 
-  TopKQuery MakeQuery(uint64_t session, QosClass qos,
-                      double deadline_seconds = 0.0, int weight = 1) const {
-    TopKQuery query;
-    query.group = NeuronGroup{sys.model->activation_layers()[0], {0, 1}};
+  /// `deadline_seconds` converts to the spec's deadline_ms; 0 keeps the
+  /// spec's no-deadline default.
+  core::QuerySpec MakeQuery(uint64_t session, QosClass qos,
+                            double deadline_seconds = 0.0,
+                            int weight = 1) const {
+    core::QuerySpec query;
+    query.layer = sys.model->activation_layers()[0];
+    query.neurons = {0, 1};
     query.k = 5;
     query.session_id = session;
     query.qos = qos;
-    query.deadline_seconds = deadline_seconds;
+    if (deadline_seconds > 0.0) query.deadline_ms = deadline_seconds * 1e3;
     query.weight = weight;
     return query;
   }
@@ -75,7 +78,7 @@ struct QosFixture {
 
 using Future = std::future<Result<TopKResult>>;
 
-Future MustSubmit(QueryService* service, TopKQuery query) {
+Future MustSubmit(QueryService* service, core::QuerySpec query) {
   auto submitted = service->Submit(std::move(query));
   EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
   return std::move(submitted.value());
@@ -95,8 +98,11 @@ TEST(QosServiceTest, SubmitValidatesQosFields) {
   auto service =
       QueryService::Create(fix.engine.get(), QueryServiceOptions());
   ASSERT_TRUE(service.ok());
-  TopKQuery query = fix.MakeQuery(1, QosClass::kBatch);
-  query.deadline_seconds = -1.0;
+  core::QuerySpec query = fix.MakeQuery(1, QosClass::kBatch);
+  query.deadline_ms = 1e12;  // over the ~3-year bound ValidateSpec enforces
+  EXPECT_FALSE((*service)->Submit(query).ok());
+  query = fix.MakeQuery(1, QosClass::kBatch);
+  query.neurons = {0, 0};  // duplicate neuron: same error as QL/the wire
   EXPECT_FALSE((*service)->Submit(query).ok());
   query = fix.MakeQuery(1, QosClass::kBatch);
   query.weight = 0;
@@ -283,8 +289,8 @@ TEST(QosServiceTest, InFlightDeadlineAbortsBetweenRounds) {
   auto service = QueryService::Create(fix.engine.get(), options);
   ASSERT_TRUE(service.ok());
 
-  TopKQuery query = fix.MakeQuery(1, QosClass::kInteractive, /*dl=*/0.06);
-  query.kind = TopKQuery::Kind::kMostSimilar;
+  core::QuerySpec query = fix.MakeQuery(1, QosClass::kInteractive, /*dl=*/0.06);
+  query.kind = core::QuerySpec::Kind::kMostSimilar;
   query.target_id = 5;
   query.k = 30;
   Future future = MustSubmit(service->get(), query);
@@ -350,7 +356,7 @@ TEST(QosServiceTest, SubmitRacingDrainAndShutdownKeepsCountersConsistent) {
   for (int t = 0; t < kSubmitters; ++t) {
     submitters.emplace_back([&, t] {
       for (int i = 0; i < kPerSubmitter; ++i) {
-        TopKQuery query = fix.MakeQuery(
+        core::QuerySpec query = fix.MakeQuery(
             static_cast<uint64_t>(t * 10 + i % 3),
             static_cast<QosClass>(i % kNumQosClasses),
             // A few absurdly tight deadlines to exercise the rejection

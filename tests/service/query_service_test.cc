@@ -17,7 +17,6 @@ namespace {
 
 using core::DeepEverest;
 using core::DeepEverestOptions;
-using core::NeuronGroup;
 using core::TopKResult;
 using testing_util::TempDir;
 using testing_util::TinySystem;
@@ -56,38 +55,32 @@ struct ServiceFixture {
   std::unique_ptr<DeepEverest> engine;
 };
 
-/// Runs one query directly on the engine in the service's execution mode
-/// (tie-complete NTA termination), giving the canonical sequential
-/// reference: identical entries AND identical per-query inference stats are
-/// expected from the service, regardless of worker count or batching.
-Result<TopKResult> RunCanonical(DeepEverest* engine, const TopKQuery& query) {
-  core::NtaOptions options;
-  options.k = query.k;
-  options.theta = query.theta;
-  options.tie_complete = true;
-  if (query.kind == TopKQuery::Kind::kHighest) {
-    return engine->TopKHighestWithOptions(query.group, std::move(options));
-  }
-  return engine->TopKMostSimilarWithOptions(query.target_id, query.group,
-                                            std::move(options));
+/// Runs one query directly on the engine through the same canonical
+/// ExecuteSpec path the service uses (tie-complete NTA termination),
+/// giving the canonical sequential reference: identical entries AND
+/// identical per-query inference stats are expected from the service,
+/// regardless of worker count or batching.
+Result<TopKResult> RunCanonical(DeepEverest* engine,
+                                const core::QuerySpec& query) {
+  return engine->ExecuteSpec(query);
 }
 
 /// A deterministic mixed workload across three layers and several sessions.
-std::vector<TopKQuery> MakeWorkload(const nn::Model& model, int count) {
+std::vector<core::QuerySpec> MakeWorkload(const nn::Model& model, int count) {
   const std::vector<int>& layers = model.activation_layers();
-  std::vector<TopKQuery> workload;
+  std::vector<core::QuerySpec> workload;
   workload.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    TopKQuery query;
+    core::QuerySpec query;
     const int layer = layers[static_cast<size_t>(i) % layers.size()];
-    query.group.layer = layer;
-    query.group.neurons = {i % 4, (i % 4 + 2) % 8};
+    query.layer = layer;
+    query.neurons = {i % 4, (i % 4 + 2) % 8};
     query.k = 5 + i % 3;
     query.session_id = static_cast<uint64_t>(i % 5);
     if (i % 2 == 0) {
-      query.kind = TopKQuery::Kind::kHighest;
+      query.kind = core::QuerySpec::Kind::kHighest;
     } else {
-      query.kind = TopKQuery::Kind::kMostSimilar;
+      query.kind = core::QuerySpec::Kind::kMostSimilar;
       query.target_id = static_cast<uint32_t>(i % 20);
     }
     workload.push_back(std::move(query));
@@ -123,10 +116,10 @@ TEST(QueryServiceTest, SubmitValidatesQueries) {
   auto service =
       QueryService::Create(fix.engine.get(), QueryServiceOptions());
   ASSERT_TRUE(service.ok());
-  TopKQuery query;  // empty neuron group
+  core::QuerySpec query;  // empty neuron group
   query.k = 5;
   EXPECT_FALSE((*service)->Submit(query).ok());
-  query.group.neurons = {0};
+  query.neurons = {0};
   query.k = 0;
   EXPECT_FALSE((*service)->Submit(query).ok());
   query.k = 5;
@@ -142,9 +135,9 @@ TEST(QueryServiceTest, OutOfRangeNeuronOnColdLayerFailsCleanly) {
   // The layer is unindexed, so without up-front validation this query would
   // reach the §4.6 fresh-scan path and read the activation matrix out of
   // bounds; it must instead resolve to OutOfRange.
-  TopKQuery query;
-  query.group.layer = fix.sys.model->activation_layers()[0];
-  query.group.neurons = {999999};
+  core::QuerySpec query;
+  query.layer = fix.sys.model->activation_layers()[0];
+  query.neurons = {999999};
   query.k = 5;
   auto result = (*service)->Execute(query);
   ASSERT_FALSE(result.ok());
@@ -160,10 +153,10 @@ TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
   // Sequential reference on its own engine (fresh store, fresh caches).
   ServiceFixture seq_fix(60, 73, EngineOptions(/*iqa_shards=*/1));
   ASSERT_TRUE(seq_fix.engine->PreprocessAllLayers().ok());
-  const std::vector<TopKQuery> workload =
+  const std::vector<core::QuerySpec> workload =
       MakeWorkload(*seq_fix.sys.model, 40);
   std::vector<TopKResult> expected;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto result = RunCanonical(seq_fix.engine.get(), query);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     expected.push_back(std::move(result.value()));
@@ -179,7 +172,7 @@ TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
   ASSERT_TRUE(service.ok());
 
   std::vector<std::future<Result<TopKResult>>> futures;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto submitted = (*service)->Submit(query);
     ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
     futures.push_back(std::move(submitted.value()));
@@ -207,10 +200,10 @@ TEST(QueryServiceTest, ConcurrentResultsMatchSequential) {
 // could only use a validity oracle.)
 TEST(QueryServiceTest, ColdStartConcurrentResultsMatchCanonical) {
   ServiceFixture seq_fix(60, 79, EngineOptions(/*iqa_shards=*/1));
-  const std::vector<TopKQuery> workload =
+  const std::vector<core::QuerySpec> workload =
       MakeWorkload(*seq_fix.sys.model, 24);
   std::vector<TopKResult> expected;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto result = RunCanonical(seq_fix.engine.get(), query);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     expected.push_back(std::move(result.value()));
@@ -223,7 +216,7 @@ TEST(QueryServiceTest, ColdStartConcurrentResultsMatchCanonical) {
   auto service = QueryService::Create(fix.engine.get(), service_options);
   ASSERT_TRUE(service.ok());
   std::vector<std::future<Result<TopKResult>>> futures;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto submitted = (*service)->Submit(query);
     ASSERT_TRUE(submitted.ok());
     futures.push_back(std::move(submitted.value()));
@@ -244,8 +237,9 @@ TEST(QueryServiceTest, BoundedQueueRejectsWithBackpressure) {
   ASSERT_TRUE(service.ok());
 
   const int layer = fix.sys.model->activation_layers()[0];
-  TopKQuery query;
-  query.group = NeuronGroup{layer, {0, 1}};
+  core::QuerySpec query;
+  query.layer = layer;
+  query.neurons = {0, 1};
   query.k = 5;
 
   // Flood far beyond worker + queue capacity; some must be rejected with
@@ -282,8 +276,9 @@ TEST(QueryServiceTest, PerSessionLimitKeepsOtherSessionsAdmitted) {
   ASSERT_TRUE(service.ok());
 
   const int layer = fix.sys.model->activation_layers()[0];
-  TopKQuery query;
-  query.group = NeuronGroup{layer, {0, 1}};
+  core::QuerySpec query;
+  query.layer = layer;
+  query.neurons = {0, 1};
   query.k = 5;
 
   // One bulk session hammers; a second session must still get in.
@@ -319,9 +314,9 @@ TEST(QueryServiceTest, ShardHitCountersSumToSequentialHitCount) {
   // Sequential run, single-shard cache, in the service's execution mode so
   // the evaluation (and therefore cache hit) pattern is identical.
   ServiceFixture seq_fix(50, 76, EngineOptions(/*iqa_shards=*/1));
-  const std::vector<TopKQuery> workload =
+  const std::vector<core::QuerySpec> workload =
       MakeWorkload(*seq_fix.sys.model, kQueries);
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     ASSERT_TRUE(RunCanonical(seq_fix.engine.get(), query).ok());
   }
   const auto seq_stats = seq_fix.engine->iqa_cache()->stats();
@@ -335,7 +330,7 @@ TEST(QueryServiceTest, ShardHitCountersSumToSequentialHitCount) {
   service_options.max_queue_depth = 64;
   auto service = QueryService::Create(fix.engine.get(), service_options);
   ASSERT_TRUE(service.ok());
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     ASSERT_TRUE((*service)->Execute(query).ok());
   }
 
@@ -356,8 +351,9 @@ TEST(QueryServiceTest, DrainWaitsAndShutdownCancelsQueued) {
   ASSERT_TRUE(service.ok());
 
   const int layer = fix.sys.model->activation_layers()[0];
-  TopKQuery query;
-  query.group = NeuronGroup{layer, {0, 1}};
+  core::QuerySpec query;
+  query.layer = layer;
+  query.neurons = {0, 1};
   query.k = 5;
   std::vector<std::future<Result<TopKResult>>> futures;
   for (int i = 0; i < 12; ++i) {
@@ -386,12 +382,12 @@ TEST(QueryServiceTest, BatchingKeepsResultsAndAttributionExact) {
   // question).
   ServiceFixture seq_fix(60, 80, EngineOptions());
   ASSERT_TRUE(seq_fix.engine->PreprocessAllLayers().ok());
-  std::vector<TopKQuery> workload = MakeWorkload(*seq_fix.sys.model, 40);
+  std::vector<core::QuerySpec> workload = MakeWorkload(*seq_fix.sys.model, 40);
   for (size_t i = 0; i < workload.size(); ++i) {
     workload[i].session_id = static_cast<uint64_t>(i % 8);  // 8 sessions
   }
   std::vector<TopKResult> expected;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto result = RunCanonical(seq_fix.engine.get(), query);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
     expected.push_back(std::move(result.value()));
@@ -409,7 +405,7 @@ TEST(QueryServiceTest, BatchingKeepsResultsAndAttributionExact) {
   ASSERT_TRUE(service.ok());
 
   std::vector<std::future<Result<TopKResult>>> futures;
-  for (const TopKQuery& query : workload) {
+  for (const core::QuerySpec& query : workload) {
     auto submitted = (*service)->Submit(query);
     ASSERT_TRUE(submitted.ok());
     futures.push_back(std::move(submitted.value()));
@@ -435,7 +431,7 @@ TEST(QueryServiceTest, BatchingKeepsResultsAndAttributionExact) {
 // strictly below what the same workload pays when every query dispatches
 // alone (the unbatched service), at bit-identical results.
 TEST(QueryServiceTest, BatchingCoalescesAcrossQueries) {
-  std::vector<TopKQuery> workload;
+  std::vector<core::QuerySpec> workload;
   auto run_total_batches = [&workload](bool batching, double* total_batches,
                                        int64_t* dispatched,
                                        std::vector<TopKResult>* results) {
@@ -450,7 +446,7 @@ TEST(QueryServiceTest, BatchingCoalescesAcrossQueries) {
     auto service = QueryService::Create(fix.engine.get(), service_options);
     ASSERT_TRUE(service.ok());
     std::vector<std::future<Result<TopKResult>>> futures;
-    for (const TopKQuery& query : workload) {
+    for (const core::QuerySpec& query : workload) {
       auto submitted = (*service)->Submit(query);
       ASSERT_TRUE(submitted.ok());
       futures.push_back(std::move(submitted.value()));
@@ -501,8 +497,9 @@ TEST(QueryServiceTest, LatencyPercentilesAreRecorded) {
       QueryService::Create(fix.engine.get(), QueryServiceOptions());
   ASSERT_TRUE(service.ok());
   const int layer = fix.sys.model->activation_layers()[0];
-  TopKQuery query;
-  query.group = NeuronGroup{layer, {0, 1, 2}};
+  core::QuerySpec query;
+  query.layer = layer;
+  query.neurons = {0, 1, 2};
   query.k = 5;
   for (int i = 0; i < 8; ++i) ASSERT_TRUE((*service)->Execute(query).ok());
   const ServiceStats stats = (*service)->Snapshot();

@@ -1,5 +1,5 @@
 // Tests for per-Submit streaming progress and per-query control: ordered
-// progress events through TopKQuery::on_progress, early stop via the
+// progress events through core::QuerySpec::on_progress, early stop via the
 // callback's return value, and cooperative cancellation through the
 // SubmitWithControl handle (reflected in ServiceStats.cancelled).
 #include <gtest/gtest.h>
@@ -23,11 +23,11 @@ using bench_util::DemoSystemOptions;
 
 /// A query with enough NTA rounds to observe several progress events on
 /// the 200-input demo system (batch size 8).
-TopKQuery MultiRoundQuery(const nn::Model& model) {
-  TopKQuery query;
-  query.kind = TopKQuery::Kind::kHighest;
-  query.group.layer = model.activation_layers().front();
-  query.group.neurons = {0, 1, 2, 3};
+core::QuerySpec MultiRoundQuery(const nn::Model& model) {
+  core::QuerySpec query;
+  query.kind = core::QuerySpec::Kind::kHighest;
+  query.layer = model.activation_layers().front();
+  query.neurons = {0, 1, 2, 3};
   query.k = 10;
   return query;
 }
@@ -40,7 +40,7 @@ TEST(StreamingProgressTest, EventsArriveInConfirmedCountOrder) {
   auto service = QueryService::Create((*system)->engine(), options);
   ASSERT_TRUE(service.ok());
 
-  TopKQuery query = MultiRoundQuery(*(*system)->model());
+  core::QuerySpec query = MultiRoundQuery(*(*system)->model());
   // All sink invocations happen on the worker thread executing the query
   // and happen-before the future resolves, so this vector needs no lock.
   std::vector<core::NtaProgress> events;
@@ -90,7 +90,7 @@ TEST(StreamingProgressTest, CallbackReturningFalseStopsEarly) {
   // Baseline: count the full run's progress events.
   size_t full_run_events = 0;
   {
-    TopKQuery query = MultiRoundQuery(*(*system)->model());
+    core::QuerySpec query = MultiRoundQuery(*(*system)->model());
     query.on_progress = [&full_run_events](const core::NtaProgress&) {
       ++full_run_events;
       return true;
@@ -103,7 +103,7 @@ TEST(StreamingProgressTest, CallbackReturningFalseStopsEarly) {
   // Early stop after the first event: still an OK result (the current
   // θ-guaranteed top-k), with strictly fewer events.
   size_t events = 0;
-  TopKQuery query = MultiRoundQuery(*(*system)->model());
+  core::QuerySpec query = MultiRoundQuery(*(*system)->model());
   query.on_progress = [&events](const core::NtaProgress&) {
     ++events;
     return false;
@@ -131,7 +131,7 @@ TEST(StreamingProgressTest, CancelMidFlightCountsAsCancelled) {
   auto service = QueryService::Create((*system)->engine(), options);
   ASSERT_TRUE(service.ok());
 
-  TopKQuery query = MultiRoundQuery(*(*system)->model());
+  core::QuerySpec query = MultiRoundQuery(*(*system)->model());
   std::mutex mu;
   std::condition_variable cv;
   bool first_event = false;
@@ -202,9 +202,9 @@ TEST(StreamingProgressTest, ProgressSinkComposesWithQosAndDeadlines) {
   auto service = QueryService::Create((*system)->engine(), options);
   ASSERT_TRUE(service.ok());
 
-  TopKQuery query = MultiRoundQuery(*(*system)->model());
+  core::QuerySpec query = MultiRoundQuery(*(*system)->model());
   query.qos = QosClass::kInteractive;
-  query.deadline_seconds = 30.0;  // generous: must not fire
+  query.deadline_ms = 30000.0;  // generous: must not fire
   std::atomic<int> events{0};
   query.on_progress = [&events](const core::NtaProgress&) {
     ++events;
