@@ -23,6 +23,14 @@
 //     *without running inference* (the routed model's
 //     rejected_past_deadline counter increments; no execution counter
 //     moves, and the *other* model's counters do not move at all).
+//  7. A trace=1 query returns its span tree: the root's direct children
+//     cover >=95% of the query's wall time, the per-span inputs_run attrs
+//     sum exactly to the query's reported inputs_run, and the same trace
+//     is retrievable afterwards at GET /v1/trace/<id>.
+//  8. GET /v1/metrics parses as Prometheus text exposition format
+//     (validated, not just non-empty), reports completed queries for both
+//     models, a populated batch-fill histogram, and no 5xx responses
+//     beyond the single deliberate 504 from check 6.
 //
 //   ./example_query_client --port 8080 [--host 127.0.0.1] [--seed N]
 //
@@ -39,6 +47,7 @@
 #include "common/json.h"
 #include "core/query_spec_json.h"
 #include "net/http_client.h"
+#include "service/metrics_registry.h"
 
 using namespace deepeverest;  // NOLINT: example brevity
 
@@ -136,6 +145,37 @@ int64_t ExecutedCount(net::HttpClient* client, const std::string& model) {
   return StatsField(client, model, "completed") +
          StatsField(client, model, "failed") +
          StatsField(client, model, "deadline_exceeded");
+}
+
+/// The value of the sample whose `name{labels}` part equals `series` in a
+/// Prometheus text scrape; -1 when the series is absent.
+double MetricValue(const std::string& text, const std::string& series) {
+  size_t pos = 0;
+  while ((pos = text.find(series, pos)) != std::string::npos) {
+    const bool at_line_start = pos == 0 || text[pos - 1] == '\n';
+    const size_t value_at = pos + series.size();
+    if (at_line_start && value_at < text.size() && text[value_at] == ' ') {
+      return std::atof(text.c_str() + value_at + 1);
+    }
+    pos = value_at;
+  }
+  return -1.0;
+}
+
+/// Sums the `inputs_run` span attrs of a trace JSON object — the spans
+/// that partition the query's inference (compute_layer spans use the key
+/// `inputs` precisely so they are not double-counted here).
+int64_t SumTraceInputsRun(const JsonValue& trace) {
+  int64_t sum = 0;
+  const JsonValue* spans = trace.Find("spans");
+  if (spans == nullptr || !spans->is_array()) return -1;
+  for (const JsonValue& span : spans->array_items()) {
+    const JsonValue* attrs = span.Find("attrs");
+    if (attrs == nullptr) continue;
+    const JsonValue* inputs_run = attrs->Find("inputs_run");
+    if (inputs_run != nullptr) sum += inputs_run->int_value();
+  }
+  return sum;
 }
 
 int Run(const ClientOptions& options) {
@@ -427,6 +467,108 @@ int Run(const ClientOptions& options) {
     Check(StatsField(&client, bench_util::kDemoModelA, "submitted") ==
               other_submitted_before,
           "the other model's counters did not move");
+  }
+
+  // --- 7. trace=1: full-coverage span tree with exact attribution. -------
+  {
+    core::QuerySpec traced;
+    traced.layer = (*twin_a)->model()->activation_layers().front();
+    traced.neurons = {0, 1, 2};
+    traced.k = 8;
+    traced.session_id = 21;
+    auto response = client.Post(
+        "/v1/query?trace=1",
+        core::QuerySpecJson(traced, bench_util::kDemoModelA));
+    bool complete = false;
+    bool covered = false;
+    bool exact_attribution = false;
+    bool ring_fetch = false;
+    double coverage = 0.0;
+    if (response.ok() && response->status == 200) {
+      auto body = ParseJson(response->body);
+      const JsonValue* trace = body.ok() ? body->Find("trace") : nullptr;
+      const JsonValue* spans =
+          trace == nullptr ? nullptr : trace->Find("spans");
+      if (trace != nullptr && spans != nullptr && spans->is_array() &&
+          !spans->array_items().empty()) {
+        complete = trace->Find("complete")->bool_value() &&
+                   trace->Find("dropped_spans")->int_value() == 0;
+        const JsonValue& root = spans->array_items().front();
+        const int64_t root_duration =
+            root.Find("duration_nanos")->int_value();
+        int64_t child_duration = 0;
+        for (const JsonValue& span : spans->array_items()) {
+          if (span.Find("parent")->int_value() == 0) {
+            child_duration += span.Find("duration_nanos")->int_value();
+          }
+        }
+        coverage = root_duration > 0 ? static_cast<double>(child_duration) /
+                                           static_cast<double>(root_duration)
+                                     : 0.0;
+        covered = coverage >= 0.95;
+        const JsonValue* stats = body->Find("stats");
+        exact_attribution =
+            stats != nullptr &&
+            SumTraceInputsRun(*trace) ==
+                stats->Find("inputs_run")->int_value();
+        const int64_t trace_id = trace->Find("trace_id")->int_value();
+        auto by_id = client.Get("/v1/trace/" + std::to_string(trace_id));
+        if (by_id.ok() && by_id->status == 200) {
+          auto ring_copy = ParseJson(by_id->body);
+          ring_fetch = ring_copy.ok() &&
+                       ring_copy->Find("trace_id")->int_value() == trace_id;
+        }
+      }
+    }
+    Check(complete, "trace=1 returns a finished span tree (no drops)");
+    char coverage_text[96];
+    std::snprintf(coverage_text, sizeof(coverage_text),
+                  "root's children cover >=95%% of wall time (got %.1f%%)",
+                  coverage * 100.0);
+    Check(covered, coverage_text);
+    Check(exact_attribution,
+          "per-span inputs_run attrs sum exactly to stats.inputs_run");
+    Check(ring_fetch, "GET /v1/trace/<id> serves the same trace from the "
+                      "ring");
+  }
+
+  // --- 8. /v1/metrics: valid exposition, counters moved, zero 5xx. -------
+  {
+    auto response = client.Get("/v1/metrics");
+    const bool fetched = response.ok() && response->status == 200;
+    Check(fetched, "GET /v1/metrics returns 200");
+    if (fetched) {
+      const Status valid =
+          service::ValidatePrometheusText(response->body);
+      Check(valid.ok(), "scrape parses as Prometheus text format 0.0.4" +
+                            (valid.ok() ? std::string()
+                                        : " (" + valid.ToString() + ")"));
+      const std::string& text = response->body;
+      Check(MetricValue(text,
+                        std::string("deepeverest_queries_completed_total{"
+                                    "model=\"") +
+                            bench_util::kDemoModelA + "\"}") > 0 &&
+                MetricValue(text,
+                            std::string("deepeverest_queries_completed_total{"
+                                        "model=\"") +
+                                bench_util::kDemoModelB + "\"}") > 0,
+            "completed-query counters moved for both models");
+      Check(MetricValue(text,
+                        std::string("deepeverest_batch_fill_fraction_count{"
+                                    "model=\"") +
+                            bench_util::kDemoModelA + "\"}") > 0,
+            "batch-fill histogram is populated (batching scheduler saw "
+            "dispatches)");
+      // Check 6 deliberately provokes exactly one 504; any other 5xx is a
+      // genuine server error.
+      Check(MetricValue(text,
+                        "deepeverest_http_responses_total{code=\"5xx\"}") ==
+                1,
+            "no unexpected 5xx (only the deliberate 504 from check 6)");
+      Check(MetricValue(text, "deepeverest_http_requests_total") > 0 &&
+                text.find("deepeverest_build_info{") != std::string::npos,
+            "HTTP request counters and build info present");
+    }
   }
 
   std::printf("%s (%d failure%s)\n", g_failures == 0 ? "ALL PASS" : "FAILED",

@@ -1,0 +1,41 @@
+#include "common/build_info.h"
+
+// DE_BUILD_* come in as per-source compile definitions from CMakeLists.txt;
+// every macro has an "unknown" fallback so the file also compiles stand-alone.
+#ifndef DE_BUILD_CXX_FLAGS
+#define DE_BUILD_CXX_FLAGS "unknown"
+#endif
+#ifndef DE_BUILD_TYPE
+#define DE_BUILD_TYPE "unknown"
+#endif
+#ifndef DE_BUILD_GIT_DESCRIBE
+#define DE_BUILD_GIT_DESCRIBE "unknown"
+#endif
+
+#define DE_STRINGIFY_INNER(x) #x
+#define DE_STRINGIFY(x) DE_STRINGIFY_INNER(x)
+
+namespace deepeverest {
+namespace {
+
+const char* CompilerString() {
+#if defined(__clang__)
+  return "clang " DE_STRINGIFY(__clang_major__) "." DE_STRINGIFY(
+      __clang_minor__) "." DE_STRINGIFY(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc " DE_STRINGIFY(__GNUC__) "." DE_STRINGIFY(
+      __GNUC_MINOR__) "." DE_STRINGIFY(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo info = {CompilerString(), DE_BUILD_CXX_FLAGS,
+                                 DE_BUILD_TYPE, DE_BUILD_GIT_DESCRIBE};
+  return info;
+}
+
+}  // namespace deepeverest

@@ -1,0 +1,21 @@
+#ifndef DEEPEVEREST_COMMON_BUILD_INFO_H_
+#define DEEPEVEREST_COMMON_BUILD_INFO_H_
+
+namespace deepeverest {
+
+/// \brief How this binary was built — surfaced by /healthz, /v1/stats, and
+/// the deepeverest_build_info metric so a scrape identifies exactly what is
+/// running. All strings are static; "unknown" when the build system did not
+/// provide a value (e.g. building outside CMake or without git).
+struct BuildInfo {
+  const char* compiler;      ///< e.g. "gcc 13.2.0"
+  const char* cxx_flags;     ///< CMAKE_CXX_FLAGS at configure time
+  const char* build_type;    ///< CMAKE_BUILD_TYPE at configure time
+  const char* git_describe;  ///< `git describe --always --dirty` at configure
+};
+
+const BuildInfo& GetBuildInfo();
+
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_COMMON_BUILD_INFO_H_

@@ -1,0 +1,110 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+namespace deepeverest {
+namespace internal_logging {
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("DEEPEVEREST_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return LogLevel::kInfo;
+  std::string value;
+  for (const char* p = env; *p != '\0'; ++p) {
+    value.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (value == "info" || value == "0") return LogLevel::kInfo;
+  if (value == "warning" || value == "warn" || value == "1") {
+    return LogLevel::kWarning;
+  }
+  if (value == "error" || value == "2") return LogLevel::kError;
+  if (value == "fatal" || value == "3") return LogLevel::kFatal;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& MinLevelStorage() {
+  static std::atomic<int> level{static_cast<int>(LevelFromEnv())};
+  return level;
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkStorage() {
+  static LogSink sink;  // empty = default stderr writer
+  return sink;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(
+      MinLevelStorage().load(std::memory_order_relaxed));
+}
+
+void SetMinLogLevel(LogLevel level) {
+  MinLevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkStorage() = std::move(sink);
+}
+
+bool LogEnabled(LogLevel level) {
+  // Fatal always fires: the process is about to abort and must say why.
+  if (level == LogLevel::kFatal) return true;
+  return static_cast<int>(level) >=
+         MinLevelStorage().load(std::memory_order_relaxed);
+}
+
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message) {
+  if (LogEnabled(level)) {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    const LogSink& sink = SinkStorage();
+    if (sink) {
+      sink(level, file, line, message);
+    } else {
+      std::cerr << "[" << LevelName(level) << " " << Basename(file) << ":"
+                << line << "] " << message << "\n";
+    }
+  }
+  if (level == LogLevel::kFatal) {
+    std::cerr.flush();
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace deepeverest

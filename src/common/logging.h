@@ -2,34 +2,53 @@
 #define DEEPEVEREST_COMMON_LOGGING_H_
 
 #include <cstdlib>
-#include <iostream>
+#include <functional>
 #include <sstream>
+#include <string>
 
 namespace deepeverest {
 namespace internal_logging {
 
-enum class LogLevel { kInfo, kWarning, kError, kFatal };
+enum class LogLevel { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
 
-/// \brief Stream-style log sink; writes one line to stderr on destruction and
-/// aborts the process for kFatal messages.
+/// Receives every emitted log line: the level, the source location, and the
+/// formatted message (no prefix, no trailing newline). Installed sinks run
+/// under an internal mutex, so a sink may append to a plain container.
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& message)>;
+
+/// Minimum level actually emitted. Initialised once from the
+/// `DEEPEVEREST_LOG_LEVEL` environment variable (accepts `info`, `warning`
+/// (or `warn`), `error`, `fatal`, or a digit 0–3; default info). kFatal is
+/// never filtered — the process is about to abort and must say why.
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Installs `sink` in place of the default stderr writer (tests use this to
+/// capture lines, e.g. the structured slow-query log). Pass nullptr to
+/// restore the default.
+void SetLogSink(LogSink sink);
+
+/// True when a message at `level` would be emitted; lets the DE_LOG_ macros
+/// skip message formatting entirely for filtered levels.
+bool LogEnabled(LogLevel level);
+
+/// Dispatches one formatted line to the active sink. Aborts after
+/// dispatching a kFatal message.
+void EmitLogMessage(LogLevel level, const char* file, int line,
+                    const std::string& message);
+
+/// \brief Stream-style log builder; dispatches one line to the active sink
+/// on destruction and aborts the process for kFatal messages.
 class LogMessage {
  public:
-  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
-  }
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
 
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
-  ~LogMessage() {
-    stream_ << "\n";
-    std::cerr << stream_.str();
-    if (level_ == LogLevel::kFatal) {
-      std::cerr.flush();
-      std::abort();
-    }
-  }
+  ~LogMessage() { EmitLogMessage(level_, file_, line_, stream_.str()); }
 
   template <typename T>
   LogMessage& operator<<(const T& v) {
@@ -38,29 +57,9 @@ class LogMessage {
   }
 
  private:
-  static const char* LevelName(LogLevel level) {
-    switch (level) {
-      case LogLevel::kInfo:
-        return "INFO";
-      case LogLevel::kWarning:
-        return "WARN";
-      case LogLevel::kError:
-        return "ERROR";
-      case LogLevel::kFatal:
-        return "FATAL";
-    }
-    return "?";
-  }
-
-  static const char* Basename(const char* path) {
-    const char* base = path;
-    for (const char* p = path; *p != '\0'; ++p) {
-      if (*p == '/') base = p + 1;
-    }
-    return base;
-  }
-
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 
@@ -76,15 +75,21 @@ class NullLog {
 }  // namespace internal_logging
 }  // namespace deepeverest
 
-#define DE_LOG_INFO                                    \
-  ::deepeverest::internal_logging::LogMessage(         \
-      ::deepeverest::internal_logging::LogLevel::kInfo, __FILE__, __LINE__)
-#define DE_LOG_WARNING                                 \
-  ::deepeverest::internal_logging::LogMessage(         \
-      ::deepeverest::internal_logging::LogLevel::kWarning, __FILE__, __LINE__)
-#define DE_LOG_ERROR                                   \
-  ::deepeverest::internal_logging::LogMessage(         \
-      ::deepeverest::internal_logging::LogLevel::kError, __FILE__, __LINE__)
+/// The `if (!enabled) ; else` shape skips the LogMessage (and all the <<
+/// formatting on the right-hand side) when the level is filtered, while
+/// staying safe inside an unbraced if/else.
+#define DE_LOG_AT_LEVEL(level)                                      \
+  if (!::deepeverest::internal_logging::LogEnabled(level))          \
+    ;                                                               \
+  else                                                              \
+    ::deepeverest::internal_logging::LogMessage(level, __FILE__, __LINE__)
+
+#define DE_LOG_INFO \
+  DE_LOG_AT_LEVEL(::deepeverest::internal_logging::LogLevel::kInfo)
+#define DE_LOG_WARNING \
+  DE_LOG_AT_LEVEL(::deepeverest::internal_logging::LogLevel::kWarning)
+#define DE_LOG_ERROR \
+  DE_LOG_AT_LEVEL(::deepeverest::internal_logging::LogLevel::kError)
 #define DE_LOG_FATAL                                   \
   ::deepeverest::internal_logging::LogMessage(         \
       ::deepeverest::internal_logging::LogLevel::kFatal, __FILE__, __LINE__)

@@ -1,0 +1,125 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace deepeverest {
+
+uint64_t Trace::NextId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+Trace::Trace(uint64_t id, size_t max_spans)
+    : id_(id), max_spans_(max_spans), t0_(Clock::now()) {}
+
+int64_t Trace::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0_)
+      .count();
+}
+
+int Trace::StartSpan(const char* name) {
+  const int64_t now = ElapsedNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return -1;
+  }
+  TraceSpan span;
+  span.name = name;
+  span.parent = open_.empty() ? -1 : open_.back();
+  span.start_nanos = now;
+  const int index = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_.push_back(index);
+  return index;
+}
+
+void Trace::EndSpan(int span) {
+  if (span < 0) return;
+  const int64_t now = ElapsedNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(span) >= spans_.size()) return;
+  TraceSpan& s = spans_[static_cast<size_t>(span)];
+  if (s.duration_nanos >= 0) return;  // already closed
+  s.duration_nanos = now - s.start_nanos;
+  // Normally the top of the open stack; tolerate out-of-order closes (a
+  // dropped child can leave a gap) by erasing wherever it is.
+  const auto it = std::find(open_.rbegin(), open_.rend(), span);
+  if (it != open_.rend()) open_.erase(std::next(it).base());
+}
+
+void Trace::AddInt(int span, const char* key, int64_t value) {
+  if (span < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(span) >= spans_.size()) return;
+  TraceAttr attr;
+  attr.key = key;
+  attr.is_int = true;
+  attr.int_value = value;
+  spans_[static_cast<size_t>(span)].attrs.push_back(std::move(attr));
+}
+
+void Trace::AddDouble(int span, const char* key, double value) {
+  if (span < 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<size_t>(span) >= spans_.size()) return;
+  TraceAttr attr;
+  attr.key = key;
+  attr.is_int = false;
+  attr.double_value = value;
+  spans_[static_cast<size_t>(span)].attrs.push_back(std::move(attr));
+}
+
+void Trace::Finish() {
+  const int64_t now = ElapsedNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Innermost first, so parents never close before their children.
+  while (!open_.empty()) {
+    const int span = open_.back();
+    open_.pop_back();
+    TraceSpan& s = spans_[static_cast<size_t>(span)];
+    if (s.duration_nanos < 0) s.duration_nanos = now - s.start_nanos;
+  }
+}
+
+Trace::Data Trace::Snapshot() const {
+  const int64_t now = ElapsedNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  Data data;
+  data.id = id_;
+  data.dropped_spans = dropped_;
+  data.has_open_spans = !open_.empty();
+  data.spans = spans_;
+  for (TraceSpan& span : data.spans) {
+    if (span.duration_nanos < 0) span.duration_nanos = now - span.start_nanos;
+  }
+  return data;
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity);
+}
+
+void TraceRing::Push(std::shared_ptr<Trace> trace) {
+  if (capacity_ == 0 || trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+    return;
+  }
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::shared_ptr<Trace> TraceRing::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::shared_ptr<Trace>& trace : ring_) {
+    if (trace != nullptr && trace->id() == id) return trace;
+  }
+  return nullptr;
+}
+
+}  // namespace deepeverest

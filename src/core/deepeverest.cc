@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "nn/batch_scheduler.h"
 
 namespace deepeverest {
@@ -136,9 +137,16 @@ Result<TopKResult> DeepEverest::Execute(int layer, QueryContext* ctx,
   // can never leak into these numbers.
   const nn::InferenceReceipt start_receipt = ctx->receipt;
   storage::LayerActivationMatrix fresh;
-  DE_ASSIGN_OR_RETURN(
-      const LayerIndex* index,
-      index_manager_.EnsureIndex(layer, &fresh, nullptr, &ctx->receipt));
+  const LayerIndex* index = nullptr;
+  {
+    SpanScope span(ctx->trace.get(), "index.ensure");
+    DE_ASSIGN_OR_RETURN(
+        index, index_manager_.EnsureIndex(layer, &fresh, nullptr,
+                                          &ctx->receipt));
+    span.AddInt("inputs_run",
+                ctx->receipt.inputs_run - start_receipt.inputs_run);
+    span.AddInt("built", fresh.num_inputs > 0 ? 1 : 0);
+  }
   // The build (or the wait on another thread's build) may have consumed the
   // whole deadline budget; abort before scanning or running NTA.
   DE_RETURN_NOT_OK(ctx->CheckRunnable());
@@ -148,8 +156,10 @@ Result<TopKResult> DeepEverest::Execute(int layer, QueryContext* ctx,
       // Incremental indexing (§4.6): the index was just built, which
       // computed every input's activations anyway — answer the triggering
       // query from them directly.
+      SpanScope span(ctx->trace.get(), "scan");
       return scan_fn(fresh);
     }
+    SpanScope span(ctx->trace.get(), "nta");
     NtaEngine nta(&inference_, index);
     return nta_fn(&nta);
   }();
@@ -277,10 +287,13 @@ Result<TopKResult> DeepEverest::ExecuteSpec(const QuerySpec& spec,
     // routed through its batch scheduler, aborted by deadline/cancel.
     const int64_t reference =
         spec.top_of >= 0 ? spec.top_of : spec.target_id;
+    SpanScope span(ctx->trace.get(), "resolve_group");
     DE_ASSIGN_OR_RETURN(
         group.neurons,
         MaximallyActivatedNeurons(static_cast<uint32_t>(reference),
                                   spec.layer, spec.top_neurons, ctx));
+    span.AddInt("inputs_run",
+                ctx->receipt.inputs_run - start_receipt.inputs_run);
   } else {
     group.neurons = spec.neurons;
   }
@@ -340,6 +353,8 @@ Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
       ctx->iqa != nullptr && ctx->iqa->Lookup(layer, target_id, &row);
   if (!cached) {
     std::vector<std::vector<float>> rows;
+    SpanScope span(ctx->trace.get(), "compute_layer");
+    const nn::InferenceReceipt before = ctx->receipt;
     if (ctx->scheduler != nullptr) {
       DE_RETURN_NOT_OK(ctx->scheduler->ComputeLayer(
           {target_id}, layer, &rows, &ctx->receipt, ctx->qos));
@@ -347,6 +362,12 @@ Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(
       DE_RETURN_NOT_OK(
           inference_.ComputeLayer({target_id}, layer, &rows, &ctx->receipt));
     }
+    span.AddInt("inputs", 1);
+    span.AddDouble("batches_share",
+                   ctx->receipt.batches_run - before.batches_run);
+    span.AddDouble(
+        "gpu_seconds",
+        ctx->receipt.simulated_gpu_seconds - before.simulated_gpu_seconds);
     row = std::move(rows[0]);
     if (ctx->iqa != nullptr) {
       ctx->iqa->Insert(layer, target_id, row);

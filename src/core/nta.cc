@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "nn/batch_scheduler.h"
 
 namespace deepeverest {
@@ -134,13 +135,28 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
   if (to_infer.empty()) return Status::OK();
 
   std::vector<std::vector<float>> rows;
-  if (ctx->scheduler != nullptr) {
-    DE_RETURN_NOT_OK(ctx->scheduler->ComputeLayer(to_infer, group.layer,
-                                                  &rows, &ctx->receipt,
-                                                  ctx->qos));
-  } else {
-    DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows,
-                                              &ctx->receipt));
+  {
+    // `batches_share` is this call's fractional share of (possibly shared)
+    // device batches straight from the receipt delta, so a span tree shows
+    // exactly how much of a cross-query batch this query paid for. The key
+    // is `inputs` (not `inputs_run`): only round-level spans carry the
+    // `inputs_run` attributes that clients sum against the receipt total.
+    SpanScope span(ctx->trace.get(), "compute_layer");
+    const nn::InferenceReceipt before = ctx->receipt;
+    if (ctx->scheduler != nullptr) {
+      DE_RETURN_NOT_OK(ctx->scheduler->ComputeLayer(to_infer, group.layer,
+                                                    &rows, &ctx->receipt,
+                                                    ctx->qos));
+    } else {
+      DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows,
+                                                &ctx->receipt));
+    }
+    span.AddInt("inputs", static_cast<int64_t>(to_infer.size()));
+    span.AddDouble("batches_share",
+                   ctx->receipt.batches_run - before.batches_run);
+    span.AddDouble(
+        "gpu_seconds",
+        ctx->receipt.simulated_gpu_seconds - before.simulated_gpu_seconds);
   }
   for (size_t r = 0; r < to_infer.size(); ++r) {
     const uint32_t id = to_infer[r];
@@ -204,7 +220,10 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
   // target is a dataset input).
   std::vector<float> target_acts = target_acts_in;
   if (has_target_id) {
+    SpanScope span(ctx->trace.get(), "nta.target");
+    const int64_t inputs_before = ctx->receipt.inputs_run;
     DE_RETURN_NOT_OK(Evaluate(group, {target_id}, ctx, &state, &newly));
+    span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
     target_acts = state.acts.at(target_id);
     newly.clear();
   }
@@ -306,6 +325,9 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
         // Cooperative deadline/cancellation check between rounds: an
         // expired context aborts here, within one round of the expiry.
         DE_RETURN_NOT_OK(ctx->CheckRunnable());
+        SpanScope round_span(ctx->trace.get(), "nta.round");
+        const int64_t inputs_before = ctx->receipt.inputs_run;
+        const int64_t hits_before = state.iqa_hits;
         // Build a global toRun set by advancing every participating
         // neuron's similarity-ordered cursor in lockstep sweeps: each sweep
         // consumes the next most similar MAI entry per neuron (extending
@@ -365,6 +387,12 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
           min_dists[cursor.gi] = md;
         }
         const double t = dist->Aggregate(min_dists.data(), g);
+        round_span.AddInt("round", rounds);
+        round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
+        round_span.AddInt("inputs_run",
+                          ctx->receipt.inputs_run - inputs_before);
+        round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+        round_span.AddDouble("threshold", t);
         check_termination(t);
         emit_progress(t);
         if (exhausted) break;  // fall back to the partition loop
@@ -410,6 +438,9 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
 
     for (size_t c = 0; c < max_rounds && !finished; ++c) {
       DE_RETURN_NOT_OK(ctx->CheckRunnable());
+      SpanScope round_span(ctx->trace.get(), "nta.round");
+      const int64_t inputs_before = ctx->receipt.inputs_run;
+      const int64_t hits_before = state.iqa_hits;
       // Step 4(a): gather this round's partitions.
       std::vector<uint32_t> to_eval;
       std::unordered_set<uint32_t> queued;
@@ -452,6 +483,11 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
         min_dists[gi] = std::min(low, high);
       }
       const double t = dist->Aggregate(min_dists.data(), g);
+      round_span.AddInt("round", rounds);
+      round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
+      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+      round_span.AddDouble("threshold", t);
       check_termination(t);
       emit_progress(t);
     }
@@ -531,11 +567,13 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
   int64_t rounds = 0;
   bool finished = false;
   bool terminated_early = false;
+  double last_threshold = 0.0;
 
   auto check_and_progress = [&]() {
     std::vector<double> uppers(g);
     for (size_t gi = 0; gi < g; ++gi) uppers[gi] = std::max(upper_of(gi), 0.0);
     const double threshold = dist->Aggregate(uppers.data(), g);
+    last_threshold = threshold;
     // Tie-complete mode requires a strict beat (see MostSimilarImpl).
     const double bound = options.theta * threshold;
     const bool met = options.tie_complete ? top.WorstValue() > bound
@@ -568,6 +606,9 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
     while (!finished) {
       // Between-rounds deadline/cancellation check (see MostSimilarImpl).
       DE_RETURN_NOT_OK(ctx->CheckRunnable());
+      SpanScope round_span(ctx->trace.get(), "nta.round");
+      const int64_t inputs_before = ctx->receipt.inputs_run;
+      const int64_t hits_before = state.iqa_hits;
       // Lockstep sorted access: each sweep consumes the next highest MAI
       // entry of every neuron (classic TA parallel sorted access); sweeps
       // continue until the batch of uncomputed inputs is full.
@@ -597,6 +638,11 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       offer_newly();
       ++rounds;
       check_and_progress();
+      round_span.AddInt("round", rounds);
+      round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
+      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+      round_span.AddDouble("threshold", last_threshold);
       if (exhausted) break;
     }
   }
@@ -607,6 +653,9 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
     for (int pid = use_mai ? 1 : 0; pid < num_partitions && !finished;
          ++pid) {
       DE_RETURN_NOT_OK(ctx->CheckRunnable());
+      SpanScope round_span(ctx->trace.get(), "nta.round");
+      const int64_t inputs_before = ctx->receipt.inputs_run;
+      const int64_t hits_before = state.iqa_hits;
       std::vector<uint32_t> to_eval;
       std::unordered_set<uint32_t> queued;
       for (size_t gi = 0; gi < g; ++gi) {
@@ -624,6 +673,11 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       offer_newly();
       ++rounds;
       check_and_progress();
+      round_span.AddInt("round", rounds);
+      round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
+      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+      round_span.AddDouble("threshold", last_threshold);
     }
   }
 

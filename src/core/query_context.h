@@ -6,10 +6,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "common/qos.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/query.h"
 #include "nn/inference.h"
 
@@ -84,6 +86,13 @@ class QueryContext {
   /// Exact inference cost accumulated on behalf of this query across every
   /// engine/scheduler call it makes (index builds included).
   nn::InferenceReceipt receipt;
+  /// Per-query trace the execution layers append spans to (admission/queue
+  /// wait, dispatch, NTA rounds, ComputeLayer calls, serialization). Null —
+  /// the default for engine-direct callers — makes every instrumentation
+  /// site a no-op; the service attaches one per query at admission. Shared
+  /// because the trace outlives the context in the recent-trace ring that
+  /// backs `GET /v1/trace/<id>`.
+  std::shared_ptr<Trace> trace;
 
   /// Absolute deadline. Unset (the default) means no deadline.
   void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }

@@ -50,6 +50,7 @@ void HttpResponseWriter::WriteResponse(
   std::lock_guard<std::mutex> lock(mu_);
   if (started_ || peer_gone_) return;
   started_ = true;
+  status_ = status;
   std::vector<std::pair<std::string, std::string>> headers;
   headers.emplace_back("Content-Type", content_type);
   headers.emplace_back("Content-Length", std::to_string(body.size()));
@@ -64,6 +65,7 @@ bool HttpResponseWriter::BeginChunked(int status,
   std::lock_guard<std::mutex> lock(mu_);
   if (started_ || peer_gone_) return false;
   started_ = true;
+  status_ = status;
   chunked_ = true;
   const std::string head = FormatResponseHead(
       status, {{"Content-Type", content_type},
@@ -228,11 +230,23 @@ void HttpServer::AcceptLoop() {
         ++it;
       }
     }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     live_fds_.insert(fd);
     connections_.push_back(std::make_unique<Connection>());
     Connection* connection = connections_.back().get();
     connection->thread =
         std::thread([this, fd, connection] { ServeConnection(fd, connection); });
+  }
+}
+
+void HttpServer::CountResponse(int status) {
+  requests_handled_.fetch_add(1, std::memory_order_relaxed);
+  if (status >= 200 && status < 300) {
+    responses_2xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 400 && status < 500) {
+    responses_4xx_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status >= 500) {
+    responses_5xx_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -256,6 +270,7 @@ void HttpServer::ServeConnection(int fd, Connection* self) {
                 ? 400
                 : (parser.body_too_large() ? 413 : 431);
         writer.WriteResponse(status, "text/plain", repumped.message() + "\n");
+        CountResponse(writer.status());
         break;
       }
     }
@@ -301,6 +316,7 @@ void HttpServer::ServeConnection(int fd, Connection* self) {
                 ? 400
                 : (parser.body_too_large() ? 413 : 431);
         writer.WriteResponse(status, "text/plain", fed.message() + "\n");
+        CountResponse(writer.status());
         open = false;
         break;
       }
@@ -322,6 +338,7 @@ void HttpServer::ServeConnection(int fd, Connection* self) {
     if (!writer.response_started()) {
       writer.WriteResponse(500, "text/plain", "handler produced no response\n");
     }
+    CountResponse(writer.status());
     open = writer.keep_alive();
     last_activity = std::chrono::steady_clock::now();
   }

@@ -62,6 +62,9 @@ class HttpResponseWriter {
   /// True after any response bytes were sent (routing decides 404 vs
   /// nothing-left-to-do from this).
   bool response_started() const { return started_; }
+  /// The status code of the response that was started; 0 before any. Feeds
+  /// the server's per-class response counters.
+  int status() const { return status_; }
   /// True when this response keeps the connection open afterwards (a
   /// chunked body the handler never terminated loses framing, so it
   /// forces a close too).
@@ -77,6 +80,19 @@ class HttpResponseWriter {
   bool chunked_ = false;        // between BeginChunked and EndChunked
   bool peer_gone_ = false;      // a send failed; connection is dead
   bool keep_alive_ = true;
+  int status_ = 0;              // status of the started response
+};
+
+/// \brief Monotonic counters for the HTTP front-end, exported at
+/// /v1/metrics. `requests_handled` counts every response written, including
+/// the server's own parse-error replies; the per-class counters split it by
+/// status family.
+struct HttpServerStats {
+  int64_t connections_accepted = 0;
+  int64_t requests_handled = 0;
+  int64_t responses_2xx = 0;
+  int64_t responses_4xx = 0;
+  int64_t responses_5xx = 0;
 };
 
 struct HttpServerOptions {
@@ -121,6 +137,18 @@ class HttpServer {
   /// The bound port (resolved when options.port was 0).
   uint16_t port() const { return port_; }
 
+  /// Point-in-time counter snapshot (relaxed reads; cheap to poll).
+  HttpServerStats stats() const {
+    HttpServerStats out;
+    out.connections_accepted =
+        connections_accepted_.load(std::memory_order_relaxed);
+    out.requests_handled = requests_handled_.load(std::memory_order_relaxed);
+    out.responses_2xx = responses_2xx_.load(std::memory_order_relaxed);
+    out.responses_4xx = responses_4xx_.load(std::memory_order_relaxed);
+    out.responses_5xx = responses_5xx_.load(std::memory_order_relaxed);
+    return out;
+  }
+
   /// Idempotent orderly stop; also run by the destructor.
   void Shutdown();
 
@@ -137,12 +165,19 @@ class HttpServer {
 
   void AcceptLoop();
   void ServeConnection(int fd, Connection* self);
+  void CountResponse(int status);
 
   HttpServerOptions options_;
   Handler handler_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> requests_handled_{0};
+  std::atomic<int64_t> responses_2xx_{0};
+  std::atomic<int64_t> responses_4xx_{0};
+  std::atomic<int64_t> responses_5xx_{0};
 
   std::thread accept_thread_;
   std::mutex mu_;  // guards the two members below

@@ -1,11 +1,15 @@
 #include "net/query_server.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/json.h"
+#include "common/trace.h"
 #include "core/query_spec_json.h"
 
 namespace deepeverest {
@@ -79,17 +83,6 @@ void WriteQueryStats(const core::QueryStats& stats, JsonWriter* w) {
   w->Key("terminated_early");
   w->Bool(stats.terminated_early);
   w->EndObject();
-}
-
-std::string ResultJson(const core::TopKResult& result) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("entries");
-  WriteEntries(result.entries, &w);
-  w.Key("stats");
-  WriteQueryStats(result.stats, &w);
-  w.EndObject();
-  return w.TakeString();
 }
 
 /// One NDJSON progress event: the round, the current threshold/bounds, and
@@ -192,6 +185,86 @@ void WriteServiceStatsFields(const service::ServiceStats& stats,
   w->EndArray();
 }
 
+/// Writes the compiled-in build description as an object member sequence
+/// of an already-open object (shared by /healthz and /v1/stats).
+void WriteBuildInfoFields(JsonWriter* w) {
+  const BuildInfo& build = GetBuildInfo();
+  w->Key("build");
+  w->BeginObject();
+  w->Key("compiler");
+  w->String(build.compiler);
+  w->Key("cxx_flags");
+  w->String(build.cxx_flags);
+  w->Key("build_type");
+  w->String(build.build_type);
+  w->Key("git");
+  w->String(build.git_describe);
+  w->EndObject();
+}
+
+/// Writes one trace snapshot as a JSON object: flat span list with parent
+/// indices (the tree is reconstructible), typed attrs inlined per span.
+void WriteTraceJson(const Trace::Data& data, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("trace_id");
+  w->Uint(data.id);
+  w->Key("dropped_spans");
+  w->Int(data.dropped_spans);
+  w->Key("complete");
+  w->Bool(!data.has_open_spans);
+  w->Key("spans");
+  w->BeginArray();
+  for (const TraceSpan& span : data.spans) {
+    w->BeginObject();
+    w->Key("name");
+    w->String(span.name);
+    w->Key("parent");
+    w->Int(span.parent);
+    w->Key("start_nanos");
+    w->Int(span.start_nanos);
+    w->Key("duration_nanos");
+    w->Int(span.duration_nanos);
+    if (!span.attrs.empty()) {
+      w->Key("attrs");
+      w->BeginObject();
+      for (const TraceAttr& attr : span.attrs) {
+        w->Key(attr.key);
+        if (attr.is_int) {
+          w->Int(attr.int_value);
+        } else {
+          w->Double(attr.double_value);
+        }
+      }
+      w->EndObject();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+/// Collects the HTTP front-end's own counters into the scrape. No model
+/// label: the listener serves every model.
+void CollectHttpMetrics(const HttpServer* http,
+                        service::MetricsEmitter* emitter) {
+  const HttpServerStats stats = http->stats();
+  emitter->Counter("deepeverest_http_connections_accepted_total",
+                   "TCP connections accepted by the HTTP front-end.", {},
+                   static_cast<double>(stats.connections_accepted));
+  emitter->Counter("deepeverest_http_requests_total",
+                   "HTTP responses written, including parse-error replies.",
+                   {}, static_cast<double>(stats.requests_handled));
+  emitter->Counter("deepeverest_http_responses_total",
+                   "HTTP responses by status family.", {{"code", "2xx"}},
+                   static_cast<double>(stats.responses_2xx));
+  emitter->Counter("deepeverest_http_responses_total",
+                   "HTTP responses by status family.", {{"code", "4xx"}},
+                   static_cast<double>(stats.responses_4xx));
+  emitter->Counter("deepeverest_http_responses_total",
+                   "HTTP responses by status family.", {{"code", "5xx"}},
+                   static_cast<double>(stats.responses_5xx));
+}
+
 }  // namespace
 
 Result<std::unique_ptr<QueryServer>> QueryServer::Start(
@@ -211,7 +284,43 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Start(
       });
   if (!started.ok()) return started.status();
   server->http_ = std::move(started.value());
+  server->start_unix_seconds_ = std::chrono::duration_cast<std::chrono::seconds>(
+                                    std::chrono::system_clock::now()
+                                        .time_since_epoch())
+                                    .count();
+  server->collector_handles_.push_back(
+      service::RegisterServiceMetrics(&server->metrics_, registry));
+  server->collector_handles_.push_back(server->metrics_.AddCollector(
+      [http = server->http_.get()](service::MetricsEmitter* emitter) {
+        CollectHttpMetrics(http, emitter);
+      }));
+  server->collector_handles_.push_back(server->metrics_.AddCollector(
+      [raw = server.get()](service::MetricsEmitter* emitter) {
+        const BuildInfo& build = GetBuildInfo();
+        emitter->Gauge("deepeverest_build_info",
+                       "Build metadata; the value is always 1.",
+                       {{"compiler", build.compiler},
+                        {"build_type", build.build_type},
+                        {"git", build.git_describe}},
+                       1.0);
+        emitter->Gauge("deepeverest_server_uptime_seconds",
+                       "Seconds since this HTTP server started.", {},
+                       raw->uptime_.ElapsedSeconds());
+        emitter->Gauge("deepeverest_server_start_time_seconds",
+                       "Unix time the HTTP server started.", {},
+                       static_cast<double>(raw->start_unix_seconds_));
+      }));
   return server;
+}
+
+void QueryServer::Shutdown() {
+  // Stop traffic first, then drop the collectors (they capture this server
+  // and the registry; nothing scrapes after the listener is down).
+  http_->Shutdown();
+  for (const int64_t handle : collector_handles_) {
+    metrics_.RemoveCollector(handle);
+  }
+  collector_handles_.clear();
 }
 
 void QueryServer::Handle(const HttpRequest& request,
@@ -221,7 +330,23 @@ void QueryServer::Handle(const HttpRequest& request,
       writer->WriteResponse(405, "text/plain", "method not allowed\n");
       return;
     }
-    writer->WriteResponse(200, "text/plain", "ok\n");
+    HandleHealthz(writer);
+    return;
+  }
+  if (request.path == "/v1/metrics") {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleMetrics(writer);
+    return;
+  }
+  if (request.path.rfind("/v1/trace/", 0) == 0) {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleTrace(request.path, writer);
     return;
   }
   if (request.path == "/v1/models") {
@@ -335,23 +460,61 @@ void QueryServer::HandleQuery(const HttpRequest& request,
                 (stream->is_number() && stream->number_value() == 1.0) ||
                 (stream->is_string() && stream->string_value() == "1");
   }
+  // `trace=1` travels the same two ways `stream` does. The query is traced
+  // regardless; the flag only controls whether the span tree rides along in
+  // the response (it is always retrievable at /v1/trace/<id> afterwards).
+  bool want_trace = false;
+  const auto trace_param = request.query.find("trace");
+  if (trace_param != request.query.end() && trace_param->second == "1") {
+    want_trace = true;
+  }
+  if (const JsonValue* trace = find("trace")) {
+    want_trace = want_trace || (trace->is_bool() && trace->bool_value()) ||
+                 (trace->is_number() && trace->number_value() == 1.0) ||
+                 (trace->is_string() && trace->string_value() == "1");
+  }
   if (streaming) {
-    HandleStreamingQuery(service, std::move(spec.value()), writer);
+    HandleStreamingQuery(service, std::move(spec.value()), writer, want_trace);
     return;
   }
 
-  Result<core::TopKResult> result = service->Execute(std::move(spec.value()));
+  auto submitted = service->SubmitWithControl(std::move(spec.value()));
+  if (!submitted.ok()) {
+    WriteError(writer, submitted.status());
+    return;
+  }
+  Result<core::TopKResult> result = submitted->result.get();
+  Trace* const trace = submitted->context->trace.get();
   if (!result.ok()) {
+    if (trace != nullptr) trace->Finish();
     WriteError(writer, result.status());
     return;
   }
-  writer->WriteResponse(200, "application/json",
-                        ResultJson(result.value()) + "\n");
+  // Serialization runs inside its own span so the trace accounts for the
+  // response-building tail, then the trace is finished (closing the root)
+  // before its snapshot is appended — the span tree in the reply is final.
+  JsonWriter w;
+  w.BeginObject();
+  {
+    SpanScope serialize(trace, "serialize");
+    w.Key("entries");
+    WriteEntries(result.value().entries, &w);
+    w.Key("stats");
+    WriteQueryStats(result.value().stats, &w);
+  }
+  if (trace != nullptr) trace->Finish();
+  if (want_trace && trace != nullptr) {
+    w.Key("trace");
+    WriteTraceJson(trace->Snapshot(), &w);
+  }
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
 }
 
 void QueryServer::HandleStreamingQuery(service::QueryService* service,
                                        core::QuerySpec spec,
-                                       HttpResponseWriter* writer) {
+                                       HttpResponseWriter* writer,
+                                       bool want_trace) {
   /// Shared between this connection thread and the worker thread running
   /// the query: the sink below is invoked on the worker, while the context
   /// handle arrives from SubmitWithControl on this thread.
@@ -400,29 +563,93 @@ void QueryServer::HandleStreamingQuery(service::QueryService* service,
   }
 
   Result<core::TopKResult> result = submitted->result.get();
+  Trace* const trace = submitted->context->trace.get();
   JsonWriter w;
   w.BeginObject();
   w.Key("event");
-  if (result.ok()) {
-    w.String("result");
-    w.Key("entries");
-    WriteEntries(result.value().entries, &w);
-    w.Key("stats");
-    WriteQueryStats(result.value().stats, &w);
-  } else {
-    w.String("error");
-    w.Key("code");
-    w.String(StatusCodeToString(result.status().code()));
-    w.Key("message");
-    w.String(result.status().message());
+  {
+    SpanScope serialize(trace, "serialize");
+    if (result.ok()) {
+      w.String("result");
+      w.Key("entries");
+      WriteEntries(result.value().entries, &w);
+      w.Key("stats");
+      WriteQueryStats(result.value().stats, &w);
+    } else {
+      w.String("error");
+      w.Key("code");
+      w.String(StatusCodeToString(result.status().code()));
+      w.Key("message");
+      w.String(result.status().message());
+    }
   }
   w.EndObject();
+  if (trace != nullptr) trace->Finish();
   writer->WriteChunk(w.TakeString() + "\n");
+  if (want_trace && trace != nullptr) {
+    JsonWriter tw;
+    tw.BeginObject();
+    tw.Key("event");
+    tw.String("trace");
+    tw.Key("trace");
+    WriteTraceJson(trace->Snapshot(), &tw);
+    tw.EndObject();
+    writer->WriteChunk(tw.TakeString() + "\n");
+  }
   writer->EndChunked();
   // The context owns the sink, the sink captures `state`, and `state`
   // holds the context back — break the cycle now that the query is over
   // (the worker finished with the sink before resolving the future).
   submitted->context->on_progress = nullptr;
+}
+
+void QueryServer::HandleHealthz(HttpResponseWriter* writer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("uptime_seconds");
+  w.Double(uptime_.ElapsedSeconds());
+  w.Key("start_unix_seconds");
+  w.Int(start_unix_seconds_);
+  WriteBuildInfoFields(&w);
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
+void QueryServer::HandleMetrics(HttpResponseWriter* writer) {
+  writer->WriteResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                        metrics_.RenderPrometheusText());
+}
+
+void QueryServer::HandleTrace(const std::string& path,
+                              HttpResponseWriter* writer) {
+  const std::string id_text = path.substr(std::string("/v1/trace/").size());
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+  if (id_text.empty() || end == nullptr || *end != '\0') {
+    WriteError(writer,
+               Status::InvalidArgument("trace id must be a decimal integer"));
+    return;
+  }
+  // Traces live in the per-model services' rings; the id is process-wide
+  // unique, so the first hit is the only one.
+  std::shared_ptr<Trace> trace;
+  for (const std::string& name : registry_->ModelNames()) {
+    service::QueryService* service = registry_->Find(name);
+    if (service == nullptr) continue;
+    trace = service->FindTrace(static_cast<uint64_t>(id));
+    if (trace != nullptr) break;
+  }
+  if (trace == nullptr) {
+    WriteError(writer, Status::NotFound("trace " + id_text +
+                                        " is not in the ring (it may have "
+                                        "been evicted by newer queries)"));
+    return;
+  }
+  JsonWriter w;
+  WriteTraceJson(trace->Snapshot(), &w);
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
 }
 
 void QueryServer::HandleModels(HttpResponseWriter* writer) {
@@ -441,6 +668,14 @@ void QueryServer::HandleModels(HttpResponseWriter* writer) {
 void QueryServer::HandleStats(HttpResponseWriter* writer) {
   JsonWriter w;
   w.BeginObject();
+  w.Key("server");
+  w.BeginObject();
+  w.Key("uptime_seconds");
+  w.Double(uptime_.ElapsedSeconds());
+  w.Key("start_unix_seconds");
+  w.Int(start_unix_seconds_);
+  WriteBuildInfoFields(&w);
+  w.EndObject();
   w.Key("default_model");
   w.String(registry_->default_model());
   w.Key("models");

@@ -4,11 +4,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "common/stopwatch.h"
 #include "core/query_spec.h"
 #include "net/http_server.h"
 #include "service/engine_registry.h"
+#include "service/metrics_registry.h"
 #include "service/query_service.h"
 
 namespace deepeverest {
@@ -44,8 +47,19 @@ struct QueryServerOptions {
 ///    `weight`, `stream`) apply as on /v1/query. Full QoS/streaming
 ///    semantics — QL over the wire is not a side door.
 ///  - `GET /v1/models` — the models served here (and which is default).
-///  - `GET /v1/stats` — one ServiceStats section per model.
-///  - `GET /healthz` — 200 "ok" once the server accepts connections.
+///  - `GET /v1/stats` — one ServiceStats section per model, plus server
+///    uptime and build info.
+///  - `GET /v1/metrics` — the Prometheus text exposition (format 0.0.4):
+///    per-model query counters and latency histograms, IQA cache and batch
+///    scheduler stats, HTTP front-end counters, and build info.
+///  - `GET /v1/trace/<id>` — a recently finished query's span tree, while
+///    it is still in the service's trace ring. Every query is traced;
+///    `trace=1` on /v1/query or /v1/ql (URL parameter or body member, like
+///    `stream`) additionally inlines the span tree in the response — as a
+///    `"trace"` member of the result JSON, or as a final
+///    `{"event":"trace",...}` NDJSON event when streaming.
+///  - `GET /healthz` — 200 with a small JSON body (status, uptime, build)
+///    once the server accepts connections.
 ///
 /// Status mapping: InvalidArgument→400, NotFound→404,
 /// ResourceExhausted→429 (admission backpressure: retry),
@@ -69,7 +83,12 @@ class QueryServer {
 
   /// Stops the HTTP listener; in-flight requests finish first. The
   /// underlying services are not shut down (they are not owned).
-  void Shutdown() { http_->Shutdown(); }
+  void Shutdown();
+
+  /// The server's metrics registry — /v1/metrics renders it. Additional
+  /// subsystems may AddCollector; handles registered by the server itself
+  /// are removed in Shutdown().
+  service::MetricsRegistry* metrics() { return &metrics_; }
 
  private:
   explicit QueryServer(service::EngineRegistry* registry)
@@ -80,12 +99,20 @@ class QueryServer {
   void HandleQuery(const HttpRequest& request, HttpResponseWriter* writer,
                    bool require_ql);
   void HandleStreamingQuery(service::QueryService* service,
-                            core::QuerySpec spec, HttpResponseWriter* writer);
+                            core::QuerySpec spec, HttpResponseWriter* writer,
+                            bool want_trace);
   void HandleModels(HttpResponseWriter* writer);
   void HandleStats(HttpResponseWriter* writer);
+  void HandleMetrics(HttpResponseWriter* writer);
+  void HandleTrace(const std::string& path, HttpResponseWriter* writer);
+  void HandleHealthz(HttpResponseWriter* writer);
 
   service::EngineRegistry* registry_;
   std::unique_ptr<HttpServer> http_;
+  service::MetricsRegistry metrics_;
+  std::vector<int64_t> collector_handles_;
+  Stopwatch uptime_;
+  int64_t start_unix_seconds_ = 0;
 };
 
 }  // namespace net

@@ -263,6 +263,16 @@ void BatchingInferenceScheduler::RunBatch(std::unique_lock<std::mutex>* lock,
   stats_.batches_dispatched += 1;
   stats_.inputs_dispatched += n;
   if (slices.size() > 1) stats_.shared_batches += 1;
+  // Occupancy histogram bucket for fill in (i/8, (i+1)/8]: with n >= 1,
+  // ceil(fill * 8) - 1 lands exactly there; clamp defends against a
+  // hypothetical overfull batch.
+  const int fill_bucket = std::min(
+      BatchSchedulerStats::kFillBuckets - 1,
+      static_cast<int>((n * BatchSchedulerStats::kFillBuckets + batch_size_ -
+                        1) /
+                       batch_size_) -
+          1);
+  stats_.fill_histogram[static_cast<size_t>(std::max(0, fill_bucket))] += 1;
   done_cv_.notify_all();
 }
 

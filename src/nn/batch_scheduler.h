@@ -81,6 +81,13 @@ struct BatchSchedulerStats {
   /// Counters split by the requests' QoS class, indexed by QosIndex().
   std::array<BatchSchedulerClassStats, kNumQosClasses> per_class{};
 
+  /// Dispatched batches by occupancy fraction: bucket i counts batches
+  /// whose fill was in (i/8, (i+1)/8]. A healthy batching setup shows mass
+  /// in the top buckets; interactive sealing shows up as mass lower down.
+  /// Exported at /v1/metrics as a Prometheus histogram.
+  static constexpr int kFillBuckets = 8;
+  std::array<int64_t, kFillBuckets> fill_histogram{};
+
   /// Mean batch occupancy in [0, 1]: how full the device lanes ran.
   double AverageFill(int batch_size) const {
     if (batches_dispatched <= 0 || batch_size <= 0) return 0.0;

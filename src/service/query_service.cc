@@ -2,12 +2,55 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace deepeverest {
 namespace service {
 
 namespace {
+
+// The service creates every trace itself, so the first two span indices are
+// invariants: admission opens the root ("query", index 0) and the
+// queue-wait span (index 1); the worker that dispatches the query closes
+// span 1.
+constexpr int kQueueWaitSpan = 1;
+
+/// One structured key=value line for a query that blew the slow-query
+/// threshold: identity, outcome, where the time went (top spans by
+/// duration). Emitted through the logging sink so tests and operators can
+/// capture it.
+void EmitSlowQueryLog(const PendingQuery& pending, const Status& status,
+                      double latency_seconds, double queue_seconds) {
+  const Trace::Data data = pending.ctx->trace->Snapshot();
+  // Top spans by duration, root excluded (its duration IS the latency).
+  std::vector<const TraceSpan*> spans;
+  spans.reserve(data.spans.size());
+  for (size_t i = 1; i < data.spans.size(); ++i) {
+    spans.push_back(&data.spans[i]);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const TraceSpan* a, const TraceSpan* b) {
+              return a->duration_nanos > b->duration_nanos;
+            });
+  std::ostringstream line;
+  line << "slow_query trace_id=" << data.id
+       << " session=" << pending.query.session_id
+       << " qos=" << QosClassName(pending.query.qos)
+       << " status=" << StatusCodeToString(status.code())
+       << " latency_s=" << latency_seconds
+       << " queue_s=" << queue_seconds << " spans=\"";
+  const size_t top = std::min<size_t>(3, spans.size());
+  for (size_t i = 0; i < top; ++i) {
+    if (i > 0) line << ",";
+    line << spans[i]->name << ":"
+         << static_cast<double>(spans[i]->duration_nanos) * 1e-9 << "s";
+  }
+  line << "\"";
+  DE_LOG_WARNING << line.str();
+}
 
 /// Flat session round-robin, FIFO within a session — the pre-QoS dispatch
 /// (PR 1): every class is equal, deadlines do not reorder anything.
@@ -202,7 +245,9 @@ Result<std::unique_ptr<QueryService>> QueryService::Create(
 
 QueryService::QueryService(core::DeepEverest* engine,
                            const QueryServiceOptions& options)
-    : engine_(engine), options_(options) {
+    : engine_(engine),
+      options_(options),
+      trace_ring_(options.trace_ring_capacity) {
   // With a single worker at most one query is ever in flight, so batches
   // could never be shared — skip the scheduler rather than pay its linger
   // window on every partial round.
@@ -259,6 +304,18 @@ Result<Submission> QueryService::SubmitWithControl(core::QuerySpec spec) {
   // caller keeps control through the Submission's context handle instead.
   pending.ctx->on_progress = std::move(pending.query.on_progress);
   pending.query.on_progress = nullptr;
+  // Every query is traced from admission on (see
+  // QueryServiceOptions::trace_ring_capacity). The root span stays open
+  // until the layer that finishes the query's life calls Trace::Finish()
+  // — the HTTP front-end after serialization, or the ring push below for
+  // engine-level callers that never look at the trace.
+  pending.ctx->trace = std::make_shared<Trace>(Trace::NextId());
+  const int root = pending.ctx->trace->StartSpan("query");
+  pending.ctx->trace->AddInt(root, "session", static_cast<int64_t>(
+                                                  pending.query.session_id));
+  pending.ctx->trace->AddInt(root, "qos",
+                             static_cast<int64_t>(QosIndex(pending.query.qos)));
+  pending.ctx->trace->StartSpan("queue_wait");
   Submission submission;
   submission.context = pending.ctx;
   submission.result = pending.promise.get_future();
@@ -347,6 +404,8 @@ void QueryService::WorkerLoop() {
 
     const double queue_seconds = pending.wait.ElapsedSeconds();
     const QosClass qos = pending.query.qos;
+    Trace* const trace = pending.ctx->trace.get();
+    if (trace != nullptr) trace->EndSpan(kQueueWaitSpan);
     bool executed = false;
     double exec_seconds = 0.0;
     Result<core::TopKResult> result = [&]() -> Result<core::TopKResult> {
@@ -364,6 +423,7 @@ void QueryService::WorkerLoop() {
             "s in the admission queue");
       }
       executed = true;
+      SpanScope exec_span(trace, "execute");
       Stopwatch exec_watch;
       Result<core::TopKResult> run = Run(&pending);
       exec_seconds = exec_watch.ElapsedSeconds();
@@ -374,12 +434,24 @@ void QueryService::WorkerLoop() {
       result.value().stats.queue_seconds = queue_seconds;
     }
     CountOutcome(result, qos, executed);
+    const double latency = queue_seconds + exec_seconds;
     if (executed) {
-      const double latency = queue_seconds + exec_seconds;
       totals_.latency.Record(latency);
       per_class_[QosIndex(qos)].latency.Record(latency);
       busy_nanos_.fetch_add(static_cast<int64_t>(exec_seconds * 1e9),
                             std::memory_order_relaxed);
+    }
+    if (trace != nullptr) {
+      if (options_.slow_query_seconds > 0.0 &&
+          latency >= options_.slow_query_seconds) {
+        EmitSlowQueryLog(pending, result.ok() ? Status::OK() : result.status(),
+                         latency, queue_seconds);
+      }
+      // Into the ring before the future resolves, so a client can fetch
+      // /v1/trace/<id> the moment its response arrives. The serialization
+      // span the HTTP layer adds afterwards still lands in this same trace
+      // object (the ring holds shared_ptrs).
+      trace_ring_.Push(pending.ctx->trace);
     }
     pending.promise.set_value(std::move(result));
 
@@ -445,6 +517,13 @@ ServiceStats QueryService::Snapshot() const {
   stats.p50_latency_seconds = totals_.latency.PercentileSeconds(0.50);
   stats.p90_latency_seconds = totals_.latency.PercentileSeconds(0.90);
   stats.p99_latency_seconds = totals_.latency.PercentileSeconds(0.99);
+  stats.latency_buckets.resize(
+      static_cast<size_t>(LatencyHistogram::num_buckets()));
+  for (int i = 0; i < LatencyHistogram::num_buckets(); ++i) {
+    stats.latency_buckets[static_cast<size_t>(i)] =
+        totals_.latency.BucketCount(i);
+  }
+  stats.approx_latency_sum_seconds = totals_.latency.ApproxSumSeconds();
   stats.qos_enabled = options_.enable_qos;
   stats.num_workers = options_.num_workers;
   stats.uptime_seconds = uptime_.ElapsedSeconds();
@@ -478,6 +557,12 @@ ServiceStats QueryService::Snapshot() const {
     out.p50_latency_seconds = in.latency.PercentileSeconds(0.50);
     out.p90_latency_seconds = in.latency.PercentileSeconds(0.90);
     out.p99_latency_seconds = in.latency.PercentileSeconds(0.99);
+    out.latency_buckets.resize(
+        static_cast<size_t>(LatencyHistogram::num_buckets()));
+    for (int i = 0; i < LatencyHistogram::num_buckets(); ++i) {
+      out.latency_buckets[static_cast<size_t>(i)] = in.latency.BucketCount(i);
+    }
+    out.approx_latency_sum_seconds = in.latency.ApproxSumSeconds();
     if (stats.batching_enabled) {
       out.batch_fill = stats.batching.per_class[static_cast<size_t>(c)]
                            .AverageFill(stats.batch_size);

@@ -96,6 +96,17 @@ struct QueryServiceOptions {
   /// at service creation; the policy is called only under the service lock
   /// (it needs no internal synchronisation). See DispatchPolicy.
   std::function<std::unique_ptr<DispatchPolicy>()> dispatch_policy;
+
+  /// How many finished queries' traces are kept for `GET /v1/trace/<id>`
+  /// (a fixed ring: newest wins). 0 keeps none. Every query is traced
+  /// either way — spans are appended during execution regardless of whether
+  /// anyone asks for them, which is what keeps the trace=0 overhead a
+  /// handful of clock reads per query.
+  size_t trace_ring_capacity = 128;
+  /// Queries whose admission-to-completion latency reaches this emit one
+  /// structured key=value log line with their top spans (through
+  /// DE_LOG_WARNING, so a pluggable sink can capture it). <= 0 disables.
+  double slow_query_seconds = 1.0;
 };
 
 /// \brief One admitted-but-unstarted query: created at admission (Submit),
@@ -221,6 +232,12 @@ class QueryService {
   /// hit rates.
   ServiceStats Snapshot() const;
 
+  /// A recently finished query's trace, while it is still in the ring
+  /// (see QueryServiceOptions::trace_ring_capacity); nullptr otherwise.
+  std::shared_ptr<Trace> FindTrace(uint64_t trace_id) const {
+    return trace_ring_.Find(trace_id);
+  }
+
   const QueryServiceOptions& options() const { return options_; }
 
  private:
@@ -253,6 +270,9 @@ class QueryService {
   /// still be blocked inside it.
   std::unique_ptr<nn::BatchingInferenceScheduler> scheduler_;
   Stopwatch uptime_;
+  /// Recently finished queries' traces, newest-wins (backs FindTrace and
+  /// the HTTP front-end's `GET /v1/trace/<id>`).
+  TraceRing trace_ring_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/qos.h"
@@ -38,6 +39,42 @@ class LatencyHistogram {
       if (rank < 0) return BucketMidSeconds(i);
     }
     return BucketMidSeconds(kBuckets - 1);
+  }
+
+  /// Folds `other` into this histogram (relaxed adds, safe against
+  /// concurrent Record on either side). Used to aggregate per-worker or
+  /// per-model histograms into one exposition series.
+  void Merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) {
+      const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
+  static constexpr int num_buckets() { return kBuckets; }
+  int64_t BucketCount(int idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+  /// Exclusive upper edge of bucket `idx` — the `le` bound when the
+  /// histogram is exported in Prometheus text format. The last bucket holds
+  /// everything clamped from above, so its logical bound is +infinity.
+  static double BucketUpperSeconds(int idx) {
+    if (idx >= kBuckets - 1) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return kMinSeconds * std::exp(static_cast<double>(idx + 1) * kLogRatio);
+  }
+  /// Approximate sum of all recorded values (midpoint rule), for the
+  /// Prometheus `_sum` series.
+  double ApproxSumSeconds() const {
+    double sum = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const int64_t n = buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) sum += static_cast<double>(n) * BucketMidSeconds(i);
+    }
+    return sum;
   }
 
  private:
@@ -76,6 +113,13 @@ struct QosClassStats {
   double p50_latency_seconds = 0.0;
   double p90_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  /// Raw histogram bucket counts behind those percentiles
+  /// (LatencyHistogram::num_buckets() entries; bucket i's upper edge is
+  /// LatencyHistogram::BucketUpperSeconds(i)) — what /v1/metrics exports as
+  /// the per-class latency histogram.
+  std::vector<int64_t> latency_buckets;
+  /// Midpoint-rule estimate of the summed latency (Prometheus `_sum`).
+  double approx_latency_sum_seconds = 0.0;
 
   /// Mean occupancy of the device batches this class's inference rode in
   /// (see BatchSchedulerClassStats::AverageFill); 0 when batching is off.
@@ -121,6 +165,9 @@ struct ServiceStats {
   double p50_latency_seconds = 0.0;
   double p90_latency_seconds = 0.0;
   double p99_latency_seconds = 0.0;
+  /// Raw overall histogram buckets (see QosClassStats::latency_buckets).
+  std::vector<int64_t> latency_buckets;
+  double approx_latency_sum_seconds = 0.0;
 
   /// QoS: whether class-aware dispatch/batching is on, and the per-class
   /// counter slices (always populated; with QoS off every query still

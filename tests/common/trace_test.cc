@@ -1,0 +1,178 @@
+// Trace primitives: implicit LIFO parenting, typed attrs, the bounded-span
+// cap with drop counting, Finish/EndSpan idempotence, null-trace SpanScope
+// no-ops, and the TraceRing's newest-wins eviction.
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace deepeverest {
+namespace {
+
+TEST(TraceTest, NextIdIsUniqueAndIncreasing) {
+  const uint64_t a = Trace::NextId();
+  const uint64_t b = Trace::NextId();
+  EXPECT_LT(a, b);
+}
+
+TEST(TraceTest, SpansNestToInnermostOpenSpan) {
+  Trace trace(1);
+  const int root = trace.StartSpan("query");
+  const int child = trace.StartSpan("execute");
+  const int grandchild = trace.StartSpan("nta.round");
+  trace.EndSpan(grandchild);
+  const int sibling = trace.StartSpan("serialize");
+  trace.EndSpan(sibling);
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  const Trace::Data data = trace.Snapshot();
+  ASSERT_EQ(data.spans.size(), 4u);
+  EXPECT_FALSE(data.has_open_spans);
+  EXPECT_EQ(data.spans[0].name, "query");
+  EXPECT_EQ(data.spans[0].parent, -1);
+  EXPECT_EQ(data.spans[1].name, "execute");
+  EXPECT_EQ(data.spans[1].parent, root);
+  EXPECT_EQ(data.spans[2].name, "nta.round");
+  EXPECT_EQ(data.spans[2].parent, child);
+  // The sibling opened after the grandchild closed, so it parents to the
+  // still-open child, not the closed grandchild.
+  EXPECT_EQ(data.spans[3].name, "serialize");
+  EXPECT_EQ(data.spans[3].parent, child);
+  for (const TraceSpan& span : data.spans) {
+    EXPECT_GE(span.duration_nanos, 0);
+    EXPECT_GE(span.start_nanos, 0);
+  }
+}
+
+TEST(TraceTest, ChildDurationsNestWithinParent) {
+  Trace trace(2);
+  const int root = trace.StartSpan("query");
+  const int child = trace.StartSpan("execute");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  trace.EndSpan(child);
+  trace.EndSpan(root);
+
+  const Trace::Data data = trace.Snapshot();
+  ASSERT_EQ(data.spans.size(), 2u);
+  EXPECT_GE(data.spans[1].start_nanos, data.spans[0].start_nanos);
+  EXPECT_LE(data.spans[1].start_nanos + data.spans[1].duration_nanos,
+            data.spans[0].start_nanos + data.spans[0].duration_nanos);
+  EXPECT_GE(data.spans[1].duration_nanos, 1'000'000);  // slept 2ms
+}
+
+TEST(TraceTest, TypedAttrsRoundTrip) {
+  Trace trace(3);
+  const int span = trace.StartSpan("nta.round");
+  trace.AddInt(span, "inputs_run", 42);
+  trace.AddDouble(span, "threshold", 0.625);
+  trace.EndSpan(span);
+
+  const Trace::Data data = trace.Snapshot();
+  ASSERT_EQ(data.spans[0].attrs.size(), 2u);
+  EXPECT_EQ(data.spans[0].attrs[0].key, "inputs_run");
+  EXPECT_TRUE(data.spans[0].attrs[0].is_int);
+  EXPECT_EQ(data.spans[0].attrs[0].int_value, 42);
+  EXPECT_EQ(data.spans[0].attrs[1].key, "threshold");
+  EXPECT_FALSE(data.spans[0].attrs[1].is_int);
+  EXPECT_EQ(data.spans[0].attrs[1].double_value, 0.625);
+}
+
+TEST(TraceTest, SpanCapDropsAndCounts) {
+  Trace trace(4, /*max_spans=*/2);
+  const int a = trace.StartSpan("a");
+  const int b = trace.StartSpan("b");
+  const int dropped = trace.StartSpan("c");
+  EXPECT_EQ(dropped, -1);
+  // Operations on the dropped index are safe no-ops.
+  trace.AddInt(dropped, "x", 1);
+  trace.EndSpan(dropped);
+  trace.EndSpan(b);
+  trace.EndSpan(a);
+
+  const Trace::Data data = trace.Snapshot();
+  EXPECT_EQ(data.spans.size(), 2u);
+  EXPECT_EQ(data.dropped_spans, 1);
+}
+
+TEST(TraceTest, SnapshotReportsProvisionalDurationForOpenSpans) {
+  Trace trace(5);
+  trace.StartSpan("query");
+  const Trace::Data data = trace.Snapshot();
+  EXPECT_TRUE(data.has_open_spans);
+  ASSERT_EQ(data.spans.size(), 1u);
+  EXPECT_GE(data.spans[0].duration_nanos, 0);
+}
+
+TEST(TraceTest, FinishClosesEverythingAndIsIdempotent) {
+  Trace trace(6);
+  trace.StartSpan("query");
+  trace.StartSpan("execute");
+  trace.Finish();
+  trace.Finish();
+  const Trace::Data data = trace.Snapshot();
+  EXPECT_FALSE(data.has_open_spans);
+  for (const TraceSpan& span : data.spans) {
+    EXPECT_GE(span.duration_nanos, 0);
+  }
+  // A later StartSpan parents to the (now empty) root level again.
+  const int late = trace.StartSpan("late");
+  EXPECT_EQ(trace.Snapshot().spans[static_cast<size_t>(late)].parent, -1);
+}
+
+TEST(TraceTest, EndSpanIsIdempotent) {
+  Trace trace(7);
+  const int span = trace.StartSpan("query");
+  trace.EndSpan(span);
+  const int64_t duration = trace.Snapshot().spans[0].duration_nanos;
+  trace.EndSpan(span);  // must not reset or re-close
+  EXPECT_EQ(trace.Snapshot().spans[0].duration_nanos, duration);
+}
+
+TEST(TraceTest, NullTraceSpanScopeIsANoOp) {
+  SpanScope scope(nullptr, "anything");
+  scope.AddInt("k", 1);
+  scope.AddDouble("d", 2.0);
+  EXPECT_EQ(scope.index(), -1);
+}
+
+TEST(TraceTest, SpanScopeClosesOnDestruction) {
+  Trace trace(8);
+  {
+    SpanScope scope(&trace, "query");
+    EXPECT_EQ(scope.index(), 0);
+    scope.AddInt("session", 9);
+  }
+  const Trace::Data data = trace.Snapshot();
+  EXPECT_FALSE(data.has_open_spans);
+  ASSERT_EQ(data.spans.size(), 1u);
+  EXPECT_EQ(data.spans[0].attrs[0].int_value, 9);
+}
+
+TEST(TraceRingTest, FindsRecentAndEvictsOldest) {
+  TraceRing ring(2);
+  auto a = std::make_shared<Trace>(100);
+  auto b = std::make_shared<Trace>(101);
+  auto c = std::make_shared<Trace>(102);
+  ring.Push(a);
+  ring.Push(b);
+  EXPECT_EQ(ring.Find(100), a);
+  EXPECT_EQ(ring.Find(101), b);
+  ring.Push(c);  // wraps: evicts the oldest (a)
+  EXPECT_EQ(ring.Find(100), nullptr);
+  EXPECT_EQ(ring.Find(101), b);
+  EXPECT_EQ(ring.Find(102), c);
+}
+
+TEST(TraceRingTest, ZeroCapacityKeepsNothing) {
+  TraceRing ring(0);
+  ring.Push(std::make_shared<Trace>(200));
+  EXPECT_EQ(ring.Find(200), nullptr);
+}
+
+}  // namespace
+}  // namespace deepeverest

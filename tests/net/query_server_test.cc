@@ -10,15 +10,18 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util/demo_system.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "core/query_spec_json.h"
 #include "net/http.h"
 #include "net/http_client.h"
+#include "service/metrics_registry.h"
 
 namespace deepeverest {
 namespace net {
@@ -588,6 +591,224 @@ TEST(QueryServerTest, StatsEndpointReportsPerModelSections) {
   EXPECT_EQ(per_class->array_items()[0].Find("completed")->int_value(), 1);
 }
 
+/// Sum of the `inputs_run` attrs across the spans that partition a query's
+/// inference (nta.round / nta.target / index.ensure / resolve_group —
+/// compute_layer spans use the key `inputs` precisely so they are not
+/// double-counted here).
+int64_t SumInputsRunAttrs(const JsonValue& trace) {
+  int64_t sum = 0;
+  for (const JsonValue& span : trace.Find("spans")->array_items()) {
+    const JsonValue* attrs = span.Find("attrs");
+    if (attrs == nullptr) continue;
+    const JsonValue* inputs_run = attrs->Find("inputs_run");
+    if (inputs_run != nullptr) sum += inputs_run->int_value();
+  }
+  return sum;
+}
+
+TEST(QueryServerTest, TraceFlagReturnsSpanTreeWithExactAttribution) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  core::QuerySpec spec;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 1, 2};
+  spec.k = 8;
+  auto response =
+      client->Post("/v1/query?trace=1", core::QuerySpecJson(spec));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto body = ParseJson(response->body);
+  ASSERT_TRUE(body.ok());
+
+  const JsonValue* trace = body->Find("trace");
+  ASSERT_NE(trace, nullptr) << response->body;
+  EXPECT_TRUE(trace->Find("complete")->bool_value());
+  EXPECT_EQ(trace->Find("dropped_spans")->int_value(), 0);
+  const uint64_t trace_id =
+      static_cast<uint64_t>(trace->Find("trace_id")->int_value());
+  EXPECT_GT(trace_id, 0u);
+
+  const std::vector<JsonValue>& spans = trace->Find("spans")->array_items();
+  ASSERT_GE(spans.size(), 4u);  // query, queue_wait, execute, serialize
+  EXPECT_EQ(spans[0].Find("name")->string_value(), "query");
+  EXPECT_EQ(spans[0].Find("parent")->int_value(), -1);
+
+  // The root's direct children (queue_wait + execute + serialize) must
+  // cover nearly all of the query's wall time — the point of the trace is
+  // that no phase goes unaccounted. 0.90 here (0.95 in the unsanitized
+  // e2e client) leaves slop for sanitizer scheduling noise.
+  const int64_t root_duration = spans[0].Find("duration_nanos")->int_value();
+  ASSERT_GT(root_duration, 0);
+  int64_t child_duration = 0;
+  bool saw_execute = false;
+  bool saw_serialize = false;
+  for (const JsonValue& span : spans) {
+    if (span.Find("parent")->int_value() == 0) {
+      child_duration += span.Find("duration_nanos")->int_value();
+      const std::string& name = span.Find("name")->string_value();
+      if (name == "execute") saw_execute = true;
+      if (name == "serialize") saw_serialize = true;
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_serialize);
+  EXPECT_GE(static_cast<double>(child_duration),
+            0.90 * static_cast<double>(root_duration))
+      << "children cover " << child_duration << " of " << root_duration;
+
+  // Per-span inputs_run attrs partition the query's receipt total exactly.
+  EXPECT_EQ(SumInputsRunAttrs(*trace),
+            body->Find("stats")->Find("inputs_run")->int_value());
+
+  // The finished trace is also retrievable from the ring by id.
+  auto by_id = client->Get("/v1/trace/" + std::to_string(trace_id));
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->status, 200) << by_id->body;
+  auto ring_copy = ParseJson(by_id->body);
+  ASSERT_TRUE(ring_copy.ok());
+  EXPECT_EQ(static_cast<uint64_t>(
+                ring_copy->Find("trace_id")->int_value()),
+            trace_id);
+
+  // Unknown id → 404; non-numeric id → 400.
+  EXPECT_EQ(client->Get("/v1/trace/999999999999")->status, 404);
+  EXPECT_EQ(client->Get("/v1/trace/abc")->status, 400);
+}
+
+TEST(QueryServerTest, TraceIsNotInlinedWithoutTheFlag) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+  core::QuerySpec spec;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0};
+  spec.k = 3;
+  auto response = client->Post("/v1/query", core::QuerySpecJson(spec));
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  auto body = ParseJson(response->body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("trace"), nullptr);
+}
+
+TEST(QueryServerTest, StreamingTraceEventArrivesAfterResult) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::string> event_order;
+  int64_t traced_spans = 0;
+  auto response = client->GetStream(
+      "/v1/query?stream=1&trace=1&kind=highest&layer=" +
+          std::to_string(fix.system->model()->activation_layers().front()) +
+          "&neurons=0,1,2,3&k=10",
+      [&](const std::string& line) {
+        auto event = ParseJson(line);
+        EXPECT_TRUE(event.ok()) << line;
+        if (!event.ok()) return true;
+        event_order.push_back(event->Find("event")->string_value());
+        if (event_order.back() == "trace") {
+          const JsonValue* trace = event->Find("trace");
+          EXPECT_NE(trace, nullptr);
+          if (trace != nullptr) {
+            traced_spans = static_cast<int64_t>(
+                trace->Find("spans")->array_items().size());
+            EXPECT_TRUE(trace->Find("complete")->bool_value());
+          }
+        }
+        return true;
+      });
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  ASSERT_GE(event_order.size(), 2u);
+  EXPECT_EQ(event_order[event_order.size() - 2], "result");
+  EXPECT_EQ(event_order.back(), "trace");
+  EXPECT_GE(traced_spans, 4);
+}
+
+TEST(QueryServerTest, MetricsEndpointServesValidPrometheusText) {
+  ServerFixture fix({}, {}, /*second_model=*/true);
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  // Complete one query so the counters have something to say.
+  core::QuerySpec spec;
+  spec.layer = fix.system->model()->activation_layers().front();
+  spec.neurons = {0, 1};
+  spec.k = 5;
+  ASSERT_EQ(client->Post("/v1/query", core::QuerySpecJson(spec))->status,
+            200);
+
+  auto response = client->Get("/v1/metrics");
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(response->HeaderOrEmpty("content-type").rfind("text/plain", 0),
+            0u);
+  const Status valid = service::ValidatePrometheusText(response->body);
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+
+  // Per-model counters for both registered models.
+  EXPECT_NE(response->body.find("deepeverest_queries_completed_total{model=\"" +
+                                fix.system->model_name() + "\"} 1"),
+            std::string::npos)
+      << response->body;
+  EXPECT_NE(response->body.find(
+                "deepeverest_queries_completed_total{model=\"twin\"} 0"),
+            std::string::npos);
+  // Latency histogram series per QoS class, HTTP counters, build info.
+  EXPECT_NE(response->body.find("deepeverest_query_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("deepeverest_http_requests_total"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("deepeverest_build_info{"),
+            std::string::npos);
+  // This test made only successful requests: the 5xx family reads 0.
+  EXPECT_NE(
+      response->body.find("deepeverest_http_responses_total{code=\"5xx\"} 0"),
+      std::string::npos);
+}
+
+TEST(QueryServerTest, SlowQueryEmitsStructuredLogLine) {
+  namespace log = internal_logging;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  log::SetLogSink([&mu, &lines](log::LogLevel level, const char*, int,
+                                const std::string& message) {
+    if (level == log::LogLevel::kWarning) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.push_back(message);
+    }
+  });
+
+  {
+    service::QueryServiceOptions service_options;
+    // Every query is "slow" at this threshold, so one query suffices.
+    service_options.slow_query_seconds = 1e-9;
+    ServerFixture fix({}, service_options);
+    auto client = fix.Connect();
+    ASSERT_TRUE(client.ok());
+    core::QuerySpec spec;
+    spec.layer = fix.system->model()->activation_layers().front();
+    spec.neurons = {0, 1};
+    spec.k = 5;
+    spec.session_id = 77;
+    ASSERT_EQ(client->Post("/v1/query", core::QuerySpecJson(spec))->status,
+              200);
+  }
+  log::SetLogSink(nullptr);
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_GE(lines.size(), 1u);
+  const std::string& line = lines.front();
+  EXPECT_EQ(line.rfind("slow_query trace_id=", 0), 0u) << line;
+  EXPECT_NE(line.find("session=77"), std::string::npos) << line;
+  EXPECT_NE(line.find("status=OK"), std::string::npos) << line;
+  EXPECT_NE(line.find("latency_s="), std::string::npos) << line;
+  EXPECT_NE(line.find("spans=\""), std::string::npos) << line;
+}
+
 TEST(QueryServerTest, HealthzAndModelName) {
   ServerFixture fix;
   auto client = fix.Connect();
@@ -595,7 +816,15 @@ TEST(QueryServerTest, HealthzAndModelName) {
   auto health = client->Get("/healthz");
   ASSERT_TRUE(health.ok());
   EXPECT_EQ(health->status, 200);
-  EXPECT_EQ(health->body, "ok\n");
+  auto health_json = ParseJson(health->body);
+  ASSERT_TRUE(health_json.ok());
+  EXPECT_EQ(health_json->Find("status")->string_value(), "ok");
+  EXPECT_GE(health_json->Find("uptime_seconds")->number_value(), 0.0);
+  EXPECT_GT(health_json->Find("start_unix_seconds")->number_value(), 0.0);
+  const JsonValue* build = health_json->Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->Find("compiler")->string_value().empty());
+  EXPECT_FALSE(build->Find("build_type")->string_value().empty());
 
   // Matching model name is accepted.
   const std::string body = R"({"model":")" + fix.system->model_name() +

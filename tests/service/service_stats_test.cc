@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -123,6 +124,92 @@ TEST(LatencyHistogramTest, ConcurrentRecordsAreAllCounted) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+}
+
+TEST(LatencyHistogramTest, BucketUpperBoundsIncreaseAndEndAtInfinity) {
+  double prev = 0.0;
+  for (int i = 0; i < LatencyHistogram::num_buckets() - 1; ++i) {
+    const double upper = LatencyHistogram::BucketUpperSeconds(i);
+    EXPECT_GT(upper, prev) << "bucket " << i;
+    prev = upper;
+  }
+  EXPECT_TRUE(std::isinf(LatencyHistogram::BucketUpperSeconds(
+      LatencyHistogram::num_buckets() - 1)));
+}
+
+TEST(LatencyHistogramTest, BucketCountsMatchRecordedValues) {
+  LatencyHistogram histogram;
+  histogram.Record(1e-3);
+  histogram.Record(1e-3);
+  histogram.Record(1.0);
+  int64_t total = 0;
+  for (int i = 0; i < LatencyHistogram::num_buckets(); ++i) {
+    const int64_t n = histogram.BucketCount(i);
+    EXPECT_GE(n, 0);
+    if (n > 0) {
+      // Each populated bucket's range must contain the value we put there:
+      // upper bound above the value, lower bound (previous upper) below it.
+      const double upper = LatencyHistogram::BucketUpperSeconds(i);
+      const double lower =
+          i == 0 ? 0.0 : LatencyHistogram::BucketUpperSeconds(i - 1);
+      const bool holds_fast = lower <= 1e-3 && 1e-3 <= upper;
+      const bool holds_slow = lower <= 1.0 && 1.0 <= upper;
+      EXPECT_TRUE(holds_fast || holds_slow) << "bucket " << i;
+    }
+    total += n;
+  }
+  EXPECT_EQ(total, 3);
+  EXPECT_EQ(total, histogram.count());
+}
+
+TEST(LatencyHistogramTest, MergeAddsBucketsAndCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 5; ++i) a.Record(1e-3);
+  for (int i = 0; i < 3; ++i) b.Record(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 8);
+  int64_t total = 0;
+  for (int i = 0; i < LatencyHistogram::num_buckets(); ++i) {
+    total += a.BucketCount(i);
+  }
+  EXPECT_EQ(total, 8);
+  // The merged histogram's p99 now reflects b's slow tail.
+  EXPECT_GT(a.PercentileSeconds(0.99), 0.5);
+  // b itself is untouched.
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram a;
+  LatencyHistogram empty;
+  a.Record(2e-3);
+  const double before = a.PercentileSeconds(0.5);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_EQ(a.PercentileSeconds(0.5), before);
+
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.PercentileSeconds(0.5), before);
+}
+
+TEST(LatencyHistogramTest, MaxBucketOverflowStaysInLastBucket) {
+  LatencyHistogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(1e300);
+  EXPECT_EQ(histogram.count(), 100);
+  EXPECT_EQ(histogram.BucketCount(LatencyHistogram::num_buckets() - 1), 100);
+  // ApproxSumSeconds uses the last bucket's midpoint — finite, not inf.
+  EXPECT_TRUE(std::isfinite(histogram.ApproxSumSeconds()));
+}
+
+TEST(LatencyHistogramTest, ApproxSumTracksRecordedMass) {
+  LatencyHistogram histogram;
+  EXPECT_EQ(histogram.ApproxSumSeconds(), 0.0);
+  for (int i = 0; i < 10; ++i) histogram.Record(0.1);
+  // Midpoint-rule estimate: within the bucket's ~±10% of the true 1.0 s.
+  EXPECT_GT(histogram.ApproxSumSeconds(), 0.8);
+  EXPECT_LT(histogram.ApproxSumSeconds(), 1.25);
 }
 
 TEST(QosClassStatsTest, DefaultsAreZeroForAllClasses) {
