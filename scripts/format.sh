@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# clang-format wrapper over the committed .clang-format.
+#
+# Usage:
+#   scripts/format.sh [files...]          format in place (default: all
+#                                         tracked C++ files)
+#   scripts/format.sh --check [base-ref]  check formatting of the C++
+#                                         files changed since base-ref
+#                                         (default: merge-base with
+#                                         origin/main, falling back to
+#                                         HEAD~1) without modifying them
+#
+# The check mode deliberately covers changed files only: the gate landed
+# without a whole-tree reformat, so untouched files may predate the
+# config. Touch a file, own its formatting.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "${CLANG_FORMAT}" >/dev/null 2>&1; then
+  echo "format: ${CLANG_FORMAT} not found — skipping (install clang-format or set CLANG_FORMAT)" >&2
+  exit 0
+fi
+
+cpp_filter() { grep -E '\.(cc|h|cpp|hpp)$' || true; }
+
+if [ "${1:-}" = "--check" ]; then
+  base_ref="${2:-}"
+  if [ -z "${base_ref}" ]; then
+    base_ref="$(git merge-base HEAD origin/main 2>/dev/null ||
+                git rev-parse HEAD~1 2>/dev/null || echo HEAD)"
+  fi
+  mapfile -t changed < <(git diff --name-only --diff-filter=ACMR "${base_ref}" -- \
+                           'src/*' 'tests/*' 'bench/*' 'examples/*' | cpp_filter)
+  if [ "${#changed[@]}" -eq 0 ]; then
+    echo "format: no changed C++ files since ${base_ref}"
+    exit 0
+  fi
+  fail=0
+  for f in "${changed[@]}"; do
+    [ -f "${f}" ] || continue
+    if ! "${CLANG_FORMAT}" --dry-run -Werror "${f}" >/dev/null 2>&1; then
+      echo "format: ${f} needs formatting (run scripts/format.sh ${f})" >&2
+      fail=1
+    fi
+  done
+  if [ "${fail}" -ne 0 ]; then
+    echo "format: FAILED" >&2
+    exit 1
+  fi
+  echo "format: ${#changed[@]} changed file(s) clean"
+  exit 0
+fi
+
+if [ "$#" -gt 0 ]; then
+  files=("$@")
+else
+  mapfile -t files < <(git ls-files 'src/*' 'tests/*' 'bench/*' 'examples/*' |
+                         cpp_filter)
+fi
+for f in "${files[@]}"; do
+  [ -f "${f}" ] || continue
+  "${CLANG_FORMAT}" -i "${f}"
+done
+echo "format: formatted ${#files[@]} file(s)"

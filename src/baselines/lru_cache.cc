@@ -9,7 +9,7 @@ namespace baselines {
 Result<storage::LayerActivationMatrix> LruCacheEngine::GetLayer(
     int layer, nn::InferenceReceipt* receipt) {
   const std::string& model_name = inference_->model().name();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   auto it = by_layer_.find(layer);
   if (it != by_layer_.end()) {
     ++hits_;

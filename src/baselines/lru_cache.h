@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "baselines/query_engine.h"
+#include "common/mutex.h"
 #include "storage/file_store.h"
 
 namespace deepeverest {
@@ -48,20 +48,20 @@ class LruCacheEngine : public QueryEngine {
                                            core::DistancePtr dist) override;
 
   Result<uint64_t> StorageBytes() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return cached_bytes_;
   }
 
   bool IsCached(int layer) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return by_layer_.count(layer) != 0;
   }
   int64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return hits_;
   }
   int64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     return misses_;
   }
 
@@ -72,24 +72,25 @@ class LruCacheEngine : public QueryEngine {
   Result<storage::LayerActivationMatrix> GetLayer(int layer,
                                                   nn::InferenceReceipt* receipt);
 
-  /// Drops `layer` from cache state and disk. Caller holds mu_.
-  Status EvictLocked(int layer);
+  /// Drops `layer` from cache state and disk.
+  Status EvictLocked(int layer) REQUIRES(mu_);
 
-  Status EvictUntilWithinBudgetLocked();
+  Status EvictUntilWithinBudgetLocked() REQUIRES(mu_);
 
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;
   storage::ActivationStore activations_;
   uint64_t budget_bytes_;
 
-  mutable std::mutex mu_;
-  // All fields below are guarded by mu_.
-  uint64_t cached_bytes_ = 0;  // == sum of bytes_by_layer_ values
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  std::list<int> recency_;  // front = most recently used layer
-  std::unordered_map<int, std::list<int>::iterator> by_layer_;
-  std::unordered_map<int, uint64_t> bytes_by_layer_;
+  mutable common::Mutex mu_;
+  uint64_t cached_bytes_ GUARDED_BY(mu_) = 0;  // == sum of bytes_by_layer_
+  int64_t hits_ GUARDED_BY(mu_) = 0;
+  int64_t misses_ GUARDED_BY(mu_) = 0;
+  /// Front = most recently used layer.
+  std::list<int> recency_ GUARDED_BY(mu_);
+  std::unordered_map<int, std::list<int>::iterator> by_layer_
+      GUARDED_BY(mu_);
+  std::unordered_map<int, uint64_t> bytes_by_layer_ GUARDED_BY(mu_);
 };
 
 }  // namespace baselines

@@ -5,7 +5,8 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
 
 namespace deepeverest {
 namespace internal_logging {
@@ -33,12 +34,12 @@ std::atomic<int>& MinLevelStorage() {
   return level;
 }
 
-std::mutex& SinkMutex() {
-  static std::mutex mu;
+common::Mutex& SinkMutex() {
+  static common::Mutex mu;
   return mu;
 }
 
-LogSink& SinkStorage() {
+LogSink& SinkStorage() REQUIRES(SinkMutex()) {
   static LogSink sink;  // empty = default stderr writer
   return sink;
 }
@@ -77,7 +78,7 @@ void SetMinLogLevel(LogLevel level) {
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  common::MutexLock lock(&SinkMutex());
   SinkStorage() = std::move(sink);
 }
 
@@ -91,7 +92,7 @@ bool LogEnabled(LogLevel level) {
 void EmitLogMessage(LogLevel level, const char* file, int line,
                     const std::string& message) {
   if (LogEnabled(level)) {
-    std::lock_guard<std::mutex> lock(SinkMutex());
+    common::MutexLock lock(&SinkMutex());
     const LogSink& sink = SinkStorage();
     if (sink) {
       sink(level, file, line, message);

@@ -1,0 +1,174 @@
+#ifndef DEEPEVEREST_COMMON_MUTEX_H_
+#define DEEPEVEREST_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace deepeverest {
+namespace common {
+
+/// \brief std::mutex with Clang Thread Safety Analysis annotations.
+///
+/// Every mutex in src/ is one of these (or a SharedMutex): the raw std
+/// types carry no annotations, so the analysis cannot check code that uses
+/// them. Fields protected by a Mutex declare it with GUARDED_BY(mu_);
+/// helpers that expect it held declare REQUIRES(mu_). Prefer MutexLock for
+/// scoped acquisition; call Lock/Unlock directly only where a scope cannot
+/// express the protocol (e.g. releasing around a blocking call).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief std::shared_mutex with annotations: exclusive writers, shared
+/// readers (the IndexManager's build-once/read-many pattern).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// \brief Scoped exclusive lock on a Mutex (the std::lock_guard
+/// replacement the analysis understands).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Scoped exclusive (writer) lock on a SharedMutex.
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Scoped shared (reader) lock on a SharedMutex.
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief Condition variable over a common::Mutex.
+///
+/// Wait atomically releases the mutex and reacquires it before returning,
+/// exactly like std::condition_variable — the REQUIRES(mu) annotation
+/// matches how the analysis models a wait (held on entry, held on exit).
+///
+/// Predicate waits that read GUARDED_BY fields should be written as
+/// explicit loops at the call site (`while (!cond) cv.Wait(&mu);`): a
+/// predicate lambda is analyzed as a separate function that does not hold
+/// the mutex, so guarded reads inside it would (falsely) trip the analysis.
+/// The template overloads below are for predicates over unguarded state.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Returns false when the wait timed out without a notification.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Returns false when `deadline` passed without a notification.
+  template <class ClockT, class Duration>
+  bool WaitUntil(Mutex* mu,
+                 const std::chrono::time_point<ClockT, Duration>& deadline)
+      REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Predicate wait (unguarded predicates only — see the class comment).
+  template <class Pred>
+  void Wait(Mutex* mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Predicate wait with a timeout; returns pred()'s value on exit.
+  template <class Rep, class Period, class Pred>
+  bool WaitFor(Mutex* mu, const std::chrono::duration<Rep, Period>& timeout,
+               Pred pred) REQUIRES(mu) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (!WaitUntil(mu, deadline)) return pred();
+    }
+    return true;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace common
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_COMMON_MUTEX_H_

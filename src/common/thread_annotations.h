@@ -1,0 +1,92 @@
+#ifndef DEEPEVEREST_COMMON_THREAD_ANNOTATIONS_H_
+#define DEEPEVEREST_COMMON_THREAD_ANNOTATIONS_H_
+
+/// \file
+/// Clang Thread Safety Analysis annotations, compiled away on every other
+/// compiler.
+///
+/// These macros let the locking discipline of a type live in its
+/// declaration instead of in comments: fields say which mutex guards them
+/// (GUARDED_BY), internal helpers say what they expect held (REQUIRES) or
+/// refuse to be called with (EXCLUDES), and `clang -Wthread-safety` turns
+/// any violation — a stats field read without its mutex, a helper called
+/// with the wrong lock — into a compile error. The CI clang legs build with
+/// `-Wthread-safety -Werror`, so the annotations are enforced, not
+/// advisory; GCC sees empty macros and is unaffected.
+///
+/// Use the `deepeverest::common::Mutex` / `MutexLock` / `CondVar` wrappers
+/// (common/mutex.h) rather than raw std types: the std types carry no
+/// annotations, so the analysis cannot see through them.
+///
+/// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DE_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DE_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off-Clang
+#endif
+
+/// Marks a class as a capability (e.g. CAPABILITY("mutex")). Acquiring it
+/// grants the capability named in the error messages.
+#define CAPABILITY(x) DE_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose lifetime equals holding a capability.
+#define SCOPED_CAPABILITY DE_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that the field it annotates is protected by the given
+/// capability: any read or write outside a region holding it is an error.
+#define GUARDED_BY(x) DE_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Like GUARDED_BY, but guards the data a pointer/smart-pointer field
+/// points to rather than the pointer itself.
+#define PT_GUARDED_BY(x) DE_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function-level precondition: the listed capabilities must be held on
+/// entry (and are still held on exit). The `*Locked` helper convention.
+#define REQUIRES(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// REQUIRES for shared (reader) access.
+#define REQUIRES_SHARED(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define ACQUIRE(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define RELEASE(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value
+/// (e.g. TRY_ACQUIRE(true) on a try_lock that returns bool).
+#define TRY_ACQUIRE(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The listed capabilities must NOT be held on entry — the anti-deadlock
+/// annotation for functions that acquire the mutex themselves.
+#define EXCLUDES(...) DE_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference/pointer to the given capability.
+#define RETURN_CAPABILITY(x) DE_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Assert-style: tells the analysis the capability is held here without
+/// acquiring it (for runtime-checked invariants the analysis cannot see).
+#define ASSERT_CAPABILITY(x) \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a one-line justification comment.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DE_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DEEPEVEREST_COMMON_THREAD_ANNOTATIONS_H_

@@ -22,7 +22,7 @@ int64_t Trace::ElapsedNanos() const {
 
 int Trace::StartSpan(const char* name) {
   const int64_t now = ElapsedNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (spans_.size() >= max_spans_) {
     ++dropped_;
     return -1;
@@ -40,7 +40,7 @@ int Trace::StartSpan(const char* name) {
 void Trace::EndSpan(int span) {
   if (span < 0) return;
   const int64_t now = ElapsedNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (static_cast<size_t>(span) >= spans_.size()) return;
   TraceSpan& s = spans_[static_cast<size_t>(span)];
   if (s.duration_nanos >= 0) return;  // already closed
@@ -53,7 +53,7 @@ void Trace::EndSpan(int span) {
 
 void Trace::AddInt(int span, const char* key, int64_t value) {
   if (span < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (static_cast<size_t>(span) >= spans_.size()) return;
   TraceAttr attr;
   attr.key = key;
@@ -64,7 +64,7 @@ void Trace::AddInt(int span, const char* key, int64_t value) {
 
 void Trace::AddDouble(int span, const char* key, double value) {
   if (span < 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (static_cast<size_t>(span) >= spans_.size()) return;
   TraceAttr attr;
   attr.key = key;
@@ -75,7 +75,7 @@ void Trace::AddDouble(int span, const char* key, double value) {
 
 void Trace::Finish() {
   const int64_t now = ElapsedNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   // Innermost first, so parents never close before their children.
   while (!open_.empty()) {
     const int span = open_.back();
@@ -87,7 +87,7 @@ void Trace::Finish() {
 
 Trace::Data Trace::Snapshot() const {
   const int64_t now = ElapsedNanos();
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   Data data;
   data.id = id_;
   data.dropped_spans = dropped_;
@@ -105,7 +105,7 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity) {
 
 void TraceRing::Push(std::shared_ptr<Trace> trace) {
   if (capacity_ == 0 || trace == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
     return;
@@ -115,7 +115,7 @@ void TraceRing::Push(std::shared_ptr<Trace> trace) {
 }
 
 std::shared_ptr<Trace> TraceRing::Find(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const std::shared_ptr<Trace>& trace : ring_) {
     if (trace != nullptr && trace->id() == id) return trace;
   }

@@ -4,9 +4,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace deepeverest {
 
@@ -106,10 +107,11 @@ class Trace {
   const size_t max_spans_;
   const Clock::time_point t0_;
 
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;  // guarded by mu_
-  std::vector<int> open_;         // stack of open span indices, guarded by mu_
-  int64_t dropped_ = 0;           // guarded by mu_
+  mutable common::Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  /// Stack of open span indices.
+  std::vector<int> open_ GUARDED_BY(mu_);
+  int64_t dropped_ GUARDED_BY(mu_) = 0;
 };
 
 /// \brief RAII span: opens on construction, closes on destruction. Null
@@ -154,9 +156,9 @@ class TraceRing {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Trace>> ring_;  // guarded by mu_
-  size_t next_ = 0;                           // guarded by mu_
+  mutable common::Mutex mu_;
+  std::vector<std::shared_ptr<Trace>> ring_ GUARDED_BY(mu_);
+  size_t next_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace deepeverest

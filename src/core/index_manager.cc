@@ -18,15 +18,15 @@ bool IndexManager::IsIndexed(int layer) const {
 }
 
 const LayerIndex* IndexManager::FindLoaded(int layer) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  common::ReaderMutexLock lock(&mu_);
   auto it = loaded_.find(layer);
   return it != loaded_.end() ? &it->second : nullptr;
 }
 
-std::mutex* IndexManager::BuildMutexFor(int layer) {
-  std::lock_guard<std::mutex> lock(build_map_mu_);
+common::Mutex* IndexManager::BuildMutexFor(int layer) {
+  common::MutexLock lock(&build_map_mu_);
   auto& slot = build_mu_[layer];
-  if (slot == nullptr) slot = std::make_unique<std::mutex>();
+  if (slot == nullptr) slot = std::make_unique<common::Mutex>();
   return slot.get();
 }
 
@@ -43,7 +43,7 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
   // Build-once/read-many: serialise loaders/builders of this layer while
   // other layers proceed in parallel. Whoever wins the race does the work;
   // later arrivals find the loaded entry on re-check.
-  std::lock_guard<std::mutex> build_lock(*BuildMutexFor(layer));
+  common::MutexLock build_lock(BuildMutexFor(layer));
   if (const LayerIndex* index = FindLoaded(layer)) return index;
 
   // Try disk.
@@ -52,7 +52,7 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
     DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Read(key));
     BinaryReader reader(bytes);
     DE_ASSIGN_OR_RETURN(LayerIndex index, LayerIndex::Deserialize(&reader));
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    common::WriterMutexLock lock(&mu_);
     auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
     DE_CHECK(inserted);
     return &pos->second;
@@ -107,7 +107,7 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
   }
   if (fresh_acts != nullptr) *fresh_acts = std::move(acts);
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  common::WriterMutexLock lock(&mu_);
   auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
   DE_CHECK(inserted);
   return &pos->second;

@@ -3,10 +3,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "core/npi.h"
 #include "nn/inference.h"
@@ -83,7 +82,7 @@ class IndexManager {
 
   /// True only if the index is already loaded in memory.
   bool IsLoaded(int layer) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    common::ReaderMutexLock lock(&mu_);
     return loaded_.count(layer) != 0;
   }
 
@@ -107,19 +106,23 @@ class IndexManager {
   const LayerIndex* FindLoaded(int layer) const;
 
   /// The per-layer mutex serialising builders of `layer`. Takes build_map_mu_.
-  std::mutex* BuildMutexFor(int layer);
+  common::Mutex* BuildMutexFor(int layer);
 
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;
   IndexManagerOptions options_;
 
   /// Guards loaded_. Readers (queries on indexed layers) take it shared.
-  mutable std::shared_mutex mu_;
-  std::map<int, LayerIndex> loaded_;
+  /// Returned LayerIndex pointers legitimately outlive the lock (loaded_ is
+  /// a node-based map and entries are never removed — see the class
+  /// comment), so only map access itself is annotated.
+  mutable common::SharedMutex mu_;
+  std::map<int, LayerIndex> loaded_ GUARDED_BY(mu_);
 
   /// Guards build_mu_; never held while building.
-  std::mutex build_map_mu_;
-  std::map<int, std::unique_ptr<std::mutex>> build_mu_;
+  common::Mutex build_map_mu_;
+  std::map<int, std::unique_ptr<common::Mutex>> build_mu_
+      GUARDED_BY(build_map_mu_);
 };
 
 }  // namespace core

@@ -41,7 +41,7 @@ bool IqaCache::LookupInternal(int layer, uint32_t input_id,
                               Consumer&& consume) {
   const uint64_t key = KeyOf(layer, input_id);
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
     shard.misses.fetch_add(1, std::memory_order_relaxed);
@@ -85,7 +85,7 @@ void IqaCache::Insert(int layer, uint32_t input_id, std::vector<float> row) {
   Shard& shard = ShardFor(key);
   if (bytes > shard.capacity_bytes) return;  // can never fit
 
-  std::lock_guard<std::mutex> lock(shard.mu);
+  common::MutexLock lock(&shard.mu);
   auto it = shard.entries.find(key);
   if (it != shard.entries.end()) {
     // Refresh in place.
@@ -122,7 +122,7 @@ void IqaCache::Insert(int layer, uint32_t input_id, std::vector<float> row) {
 
 void IqaCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     shard->entries.clear();
     shard->by_recency.clear();
     shard->size_bytes = 0;
@@ -132,7 +132,7 @@ void IqaCache::Clear() {
 uint64_t IqaCache::size_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     total += shard->size_bytes;
   }
   return total;
@@ -141,7 +141,7 @@ uint64_t IqaCache::size_bytes() const {
 size_t IqaCache::entry_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    common::MutexLock lock(&shard->mu);
     total += shard->entries.size();
   }
   return total;
@@ -169,7 +169,7 @@ std::vector<IqaCache::ShardSnapshot> IqaCache::ShardSnapshots() const {
     snap.evictions = shard->evictions.load(std::memory_order_relaxed);
     snap.capacity_bytes = shard->capacity_bytes;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      common::MutexLock lock(&shard->mu);
       snap.size_bytes = shard->size_bytes;
       snap.entry_count = shard->entries.size();
     }

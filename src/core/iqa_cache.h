@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace deepeverest {
 namespace core {
@@ -108,13 +108,13 @@ class IqaCache {
   /// One lock stripe: its own map, recency index, byte budget, and atomic
   /// counters, padded apart from its neighbours.
   struct Shard {
-    mutable std::mutex mu;
-    uint64_t capacity_bytes = 0;
-    uint64_t size_bytes = 0;     // guarded by mu
-    uint64_t clock = 0;          // guarded by mu
-    std::unordered_map<uint64_t, Entry> entries;  // guarded by mu
+    mutable common::Mutex mu;
+    uint64_t capacity_bytes = 0;  // set once at construction, then read-only
+    uint64_t size_bytes GUARDED_BY(mu) = 0;
+    uint64_t clock GUARDED_BY(mu) = 0;
+    std::unordered_map<uint64_t, Entry> entries GUARDED_BY(mu);
     // last_use -> key, for O(log n) eviction from either end.
-    std::map<uint64_t, uint64_t> by_recency;  // guarded by mu
+    std::map<uint64_t, uint64_t> by_recency GUARDED_BY(mu);
     std::atomic<int64_t> hits{0};
     std::atomic<int64_t> misses{0};
     std::atomic<int64_t> insertions{0};
@@ -136,7 +136,8 @@ class IqaCache {
   template <typename Consumer>
   bool LookupInternal(int layer, uint32_t input_id, Consumer&& consume);
 
-  void TouchLocked(Shard* shard, uint64_t key, Entry* entry);
+  void TouchLocked(Shard* shard, uint64_t key, Entry* entry)
+      REQUIRES(shard->mu);
 
   uint64_t capacity_bytes_;
   EvictionPolicy policy_;

@@ -47,7 +47,7 @@ bool HttpResponseWriter::SendAll(const char* data, size_t size) {
 void HttpResponseWriter::WriteResponse(
     int status, const std::string& content_type, const std::string& body,
     const std::vector<std::pair<std::string, std::string>>& extra_headers) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (started_ || peer_gone_) return;
   started_ = true;
   status_ = status;
@@ -62,7 +62,7 @@ void HttpResponseWriter::WriteResponse(
 
 bool HttpResponseWriter::BeginChunked(int status,
                                       const std::string& content_type) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (started_ || peer_gone_) return false;
   started_ = true;
   status_ = status;
@@ -75,7 +75,7 @@ bool HttpResponseWriter::BeginChunked(int status,
 }
 
 bool HttpResponseWriter::WriteChunk(const std::string& data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!chunked_ || peer_gone_) return false;
   if (data.empty()) return true;
   char size_line[32];
@@ -89,7 +89,7 @@ bool HttpResponseWriter::WriteChunk(const std::string& data) {
 }
 
 bool HttpResponseWriter::EndChunked() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   if (!chunked_) return false;
   chunked_ = false;
   if (peer_gone_) return false;
@@ -177,12 +177,12 @@ void HttpServer::Shutdown() {
   // Unblock connection reads; their poll loops also see stopping_ within
   // one slice.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (const int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::list<std::unique_ptr<Connection>> to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     to_join.swap(connections_);
   }
   for (auto& connection : to_join) {
@@ -216,7 +216,7 @@ void HttpServer::AcceptLoop() {
     }
     const int enable = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       return;
@@ -346,7 +346,7 @@ void HttpServer::ServeConnection(int fd, Connection* self) {
   // Untrack before close so Shutdown() can never shutdown() a recycled fd
   // number; marking done last lets the accept loop's sweep join us.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     live_fds_.erase(fd);
   }
   ::close(fd);

@@ -6,13 +6,13 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "net/http.h"
 
@@ -34,7 +34,10 @@ namespace net {
 /// worker thread executing the query while the connection thread waits for
 /// the final result — the two never write concurrently (progress events
 /// all happen-before the future resolves); a mutex still serialises writes
-/// so a misbehaving handler cannot interleave bytes.
+/// so a misbehaving handler cannot interleave bytes. The accessors take the
+/// same mutex: the connection thread reads status()/keep_alive() after the
+/// handler returns, and relying on the future's happens-before alone would
+/// leave those reads racy the moment a handler misbehaves.
 class HttpResponseWriter {
  public:
   explicit HttpResponseWriter(int fd) : fd_(fd) {}
@@ -61,26 +64,38 @@ class HttpResponseWriter {
 
   /// True after any response bytes were sent (routing decides 404 vs
   /// nothing-left-to-do from this).
-  bool response_started() const { return started_; }
+  bool response_started() const {
+    common::MutexLock lock(&mu_);
+    return started_;
+  }
   /// The status code of the response that was started; 0 before any. Feeds
   /// the server's per-class response counters.
-  int status() const { return status_; }
+  int status() const {
+    common::MutexLock lock(&mu_);
+    return status_;
+  }
   /// True when this response keeps the connection open afterwards (a
   /// chunked body the handler never terminated loses framing, so it
   /// forces a close too).
-  bool keep_alive() const { return keep_alive_ && !peer_gone_ && !chunked_; }
-  void set_keep_alive(bool keep) { keep_alive_ = keep; }
+  bool keep_alive() const {
+    common::MutexLock lock(&mu_);
+    return keep_alive_ && !peer_gone_ && !chunked_;
+  }
+  void set_keep_alive(bool keep) {
+    common::MutexLock lock(&mu_);
+    keep_alive_ = keep;
+  }
 
  private:
-  bool SendAll(const char* data, size_t size);
+  bool SendAll(const char* data, size_t size) REQUIRES(mu_);
 
   const int fd_;
-  std::mutex mu_;               // serialises socket writes
-  bool started_ = false;        // any bytes sent
-  bool chunked_ = false;        // between BeginChunked and EndChunked
-  bool peer_gone_ = false;      // a send failed; connection is dead
-  bool keep_alive_ = true;
-  int status_ = 0;              // status of the started response
+  mutable common::Mutex mu_;  // serialises socket writes + response state
+  bool started_ GUARDED_BY(mu_) = false;  // any bytes sent
+  bool chunked_ GUARDED_BY(mu_) = false;  // between Begin/EndChunked
+  bool peer_gone_ GUARDED_BY(mu_) = false;  // a send failed; peer is dead
+  bool keep_alive_ GUARDED_BY(mu_) = true;
+  int status_ GUARDED_BY(mu_) = 0;  // status of the started response
 };
 
 /// \brief Monotonic counters for the HTTP front-end, exported at
@@ -180,9 +195,9 @@ class HttpServer {
   std::atomic<int64_t> responses_5xx_{0};
 
   std::thread accept_thread_;
-  std::mutex mu_;  // guards the two members below
-  std::list<std::unique_ptr<Connection>> connections_;
-  std::set<int> live_fds_;  // open connection sockets
+  common::Mutex mu_;
+  std::list<std::unique_ptr<Connection>> connections_ GUARDED_BY(mu_);
+  std::set<int> live_fds_ GUARDED_BY(mu_);  // open connection sockets
 };
 
 }  // namespace net

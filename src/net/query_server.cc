@@ -3,12 +3,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "common/build_info.h"
 #include "common/json.h"
+#include "common/mutex.h"
 #include "common/trace.h"
 #include "core/query_spec_json.h"
 
@@ -519,9 +519,9 @@ void QueryServer::HandleStreamingQuery(service::QueryService* service,
   /// the query: the sink below is invoked on the worker, while the context
   /// handle arrives from SubmitWithControl on this thread.
   struct StreamState {
-    std::mutex mu;
-    std::shared_ptr<core::QueryContext> ctx;
-    bool disconnected = false;
+    common::Mutex mu;
+    std::shared_ptr<core::QueryContext> ctx GUARDED_BY(mu);
+    bool disconnected GUARDED_BY(mu) = false;
   };
   auto state = std::make_shared<StreamState>();
 
@@ -531,7 +531,7 @@ void QueryServer::HandleStreamingQuery(service::QueryService* service,
       // inference for it. Cancel (rather than early-stop) so the abort is
       // visible as Cancelled in ServiceStats. Returning true keeps NTA in
       // its loop until the between-rounds CheckRunnable sees the flag.
-      std::lock_guard<std::mutex> lock(state->mu);
+      common::MutexLock lock(&state->mu);
       state->disconnected = true;
       if (state->ctx != nullptr) state->ctx->Cancel();
     }
@@ -556,7 +556,7 @@ void QueryServer::HandleStreamingQuery(service::QueryService* service,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    common::MutexLock lock(&state->mu);
     state->ctx = submitted->context;
     // The disconnect may have been observed before the handle existed.
     if (state->disconnected) state->ctx->Cancel();

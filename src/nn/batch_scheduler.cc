@@ -33,12 +33,12 @@ BatchingInferenceScheduler::BatchingInferenceScheduler(
 
 BatchingInferenceScheduler::~BatchingInferenceScheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stopping_ = true;
   }
   // Dispatchers drain whatever is still queued (without lingering), so any
   // caller blocked in ComputeLayer is served before the threads exit.
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& dispatcher : dispatchers_) {
     if (dispatcher.joinable()) dispatcher.join();
   }
@@ -75,7 +75,7 @@ Status BatchingInferenceScheduler::ComputeLayer(
   request.rows = rows;
   request.qos = qos;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (stopping_) {
       rows->clear();
       return Status::FailedPrecondition("batch scheduler is shutting down");
@@ -90,8 +90,10 @@ Status BatchingInferenceScheduler::ComputeLayer(
     BatchSchedulerClassStats& class_stats = stats_.per_class[QosIndex(qos)];
     ++class_stats.requests;
     class_stats.inputs_enqueued += static_cast<int64_t>(input_ids.size());
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [&] { return request.done; });
+    work_cv_.NotifyAll();
+    // `request.done` lives on this stack frame but is written by the
+    // dispatcher under mu_; the explicit loop keeps every read under mu_.
+    while (!request.done) done_cv_.Wait(&mu_);
   }
   if (receipt != nullptr) *receipt += request.receipt;
   if (!request.status.ok()) {
@@ -102,11 +104,11 @@ Status BatchingInferenceScheduler::ComputeLayer(
 }
 
 void BatchingInferenceScheduler::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (;;) {
     if (pending_.empty()) {
       if (stopping_) return;
-      work_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      while (!stopping_ && pending_.empty()) work_cv_.Wait(&mu_);
       continue;
     }
 
@@ -168,7 +170,7 @@ void BatchingInferenceScheduler::DispatcherLoop() {
       }
       // Wait for more inputs to top a batch up; new arrivals or the
       // deadline re-run the selection above.
-      work_cv_.wait_until(lock, next_deadline);
+      work_cv_.WaitUntil(&mu_, next_deadline);
       continue;
     }
     const int layer = ready_layer;
@@ -183,7 +185,7 @@ void BatchingInferenceScheduler::DispatcherLoop() {
     std::vector<Slice> slices;
     GatherBatchLocked(layer, &batch_ids, &slices);
     if (batch_ids.empty()) continue;
-    RunBatch(&lock, layer, std::move(batch_ids), std::move(slices));
+    RunBatch(layer, std::move(batch_ids), std::move(slices));
   }
 }
 
@@ -213,16 +215,17 @@ void BatchingInferenceScheduler::GatherBatchLocked(
   if (queue.requests.empty()) pending_.erase(it);
 }
 
-void BatchingInferenceScheduler::RunBatch(std::unique_lock<std::mutex>* lock,
-                                          int layer,
+void BatchingInferenceScheduler::RunBatch(int layer,
                                           std::vector<uint32_t> batch_ids,
                                           std::vector<Slice> slices) {
-  lock->unlock();
+  // The engine call must not run under mu_ (other callers keep enqueueing
+  // and other dispatchers keep launching while this batch computes).
+  mu_.Unlock();
   std::vector<std::vector<float>> batch_rows;
   InferenceReceipt batch_receipt;
   const Status status =
       engine_->ComputeLayer(batch_ids, layer, &batch_rows, &batch_receipt);
-  lock->lock();
+  mu_.Lock();
 
   const int64_t n = static_cast<int64_t>(batch_ids.size());
   // ComputeLayer meters macs as n * CumulativeMacs(layer), so this division
@@ -273,11 +276,11 @@ void BatchingInferenceScheduler::RunBatch(std::unique_lock<std::mutex>* lock,
                        batch_size_) -
           1);
   stats_.fill_histogram[static_cast<size_t>(std::max(0, fill_bucket))] += 1;
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 BatchSchedulerStats BatchingInferenceScheduler::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return stats_;
 }
 

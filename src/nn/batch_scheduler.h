@@ -3,14 +3,13 @@
 
 #include <array>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/qos.h"
 #include "common/status.h"
 #include "nn/inference.h"
@@ -185,14 +184,14 @@ class BatchingInferenceScheduler {
   };
 
   void DispatcherLoop();
-  /// Pops up to batch_size_ pending ids of `layer` into a batch. Requires
-  /// mu_ held.
+  /// Pops up to batch_size_ pending ids of `layer` into a batch.
   void GatherBatchLocked(int layer, std::vector<uint32_t>* batch_ids,
-                         std::vector<Slice>* slices);
-  /// Runs one gathered batch (mu_ released around the engine call) and
-  /// scatters rows + receipt shares back to the contributing requests.
-  void RunBatch(std::unique_lock<std::mutex>* lock, int layer,
-                std::vector<uint32_t> batch_ids, std::vector<Slice> slices);
+                         std::vector<Slice>* slices) REQUIRES(mu_);
+  /// Runs one gathered batch (mu_ is released around the engine call and
+  /// reacquired before scattering rows + receipt shares back to the
+  /// contributing requests, so mu_ is held on entry AND exit).
+  void RunBatch(int layer, std::vector<uint32_t> batch_ids,
+                std::vector<Slice> slices) REQUIRES(mu_);
 
   std::chrono::nanoseconds LingerFor(QosClass qos) const {
     return qos_aware_ ? linger_[QosIndex(qos)]
@@ -206,12 +205,12 @@ class BatchingInferenceScheduler {
   std::array<std::chrono::nanoseconds, kNumQosClasses> linger_;
   bool qos_aware_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // wakes dispatchers
-  std::condition_variable done_cv_;  // wakes blocked callers
-  bool stopping_ = false;                // guarded by mu_
-  std::map<int, LayerQueue> pending_;    // guarded by mu_
-  BatchSchedulerStats stats_;            // guarded by mu_
+  mutable common::Mutex mu_;
+  common::CondVar work_cv_;  // wakes dispatchers
+  common::CondVar done_cv_;  // wakes blocked callers
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::map<int, LayerQueue> pending_ GUARDED_BY(mu_);
+  BatchSchedulerStats stats_ GUARDED_BY(mu_);
 
   std::vector<std::thread> dispatchers_;
 };

@@ -48,7 +48,7 @@ Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
       receipt->simulated_gpu_seconds += batch_seconds;
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      common::MutexLock lock(&stats_mu_);
       stats_.inputs_run += batch_n;
       stats_.batches_run += 1;
       stats_.macs += batch_n * macs;
@@ -56,7 +56,7 @@ Status InferenceEngine::ComputeLayer(const std::vector<uint32_t>& input_ids,
     }
     pos = batch_end;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(&stats_mu_);
   stats_.wall_seconds += watch.ElapsedSeconds();
   return Status::OK();
 }
@@ -82,7 +82,7 @@ Status InferenceEngine::ComputeAllLayers(uint32_t input_id,
     receipt->macs += macs;
     receipt->simulated_gpu_seconds += batch_seconds;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  common::MutexLock lock(&stats_mu_);
   stats_.inputs_run += 1;
   stats_.batches_run += 1;
   stats_.macs += macs;

@@ -2,9 +2,9 @@
 #define DEEPEVEREST_NN_INFERENCE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "data/dataset.h"
 #include "nn/model.h"
@@ -133,11 +133,11 @@ class InferenceEngine {
                           InferenceReceipt* receipt = nullptr);
 
   InferenceStats stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     return stats_;
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    common::MutexLock lock(&stats_mu_);
     stats_ = InferenceStats();
   }
 
@@ -158,8 +158,8 @@ class InferenceEngine {
   int batch_size_;
   GpuCostModel cost_model_;
   bool simulate_device_latency_ = false;
-  mutable std::mutex stats_mu_;
-  InferenceStats stats_;  // guarded by stats_mu_
+  mutable common::Mutex stats_mu_;
+  InferenceStats stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace nn

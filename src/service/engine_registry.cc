@@ -11,7 +11,7 @@ Status EngineRegistry::Register(const std::string& name,
   if (service == nullptr) {
     return Status::InvalidArgument("service is required");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [existing, unused] : entries_) {
     (void)unused;
     if (existing == name) {
@@ -24,7 +24,7 @@ Status EngineRegistry::Register(const std::string& name,
 }
 
 QueryService* EngineRegistry::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   for (const auto& [entry_name, service] : entries_) {
     if (entry_name == name) return service;
   }
@@ -32,17 +32,17 @@ QueryService* EngineRegistry::Find(const std::string& name) const {
 }
 
 QueryService* EngineRegistry::DefaultService() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return entries_.empty() ? nullptr : entries_.front().second;
 }
 
 std::string EngineRegistry::default_model() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return entries_.empty() ? std::string() : entries_.front().first;
 }
 
 std::vector<std::string> EngineRegistry::ModelNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, service] : entries_) {
@@ -53,7 +53,7 @@ std::vector<std::string> EngineRegistry::ModelNames() const {
 }
 
 size_t EngineRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   return entries_.size();
 }
 

@@ -1,11 +1,11 @@
 #ifndef DEEPEVEREST_SERVICE_ENGINE_REGISTRY_H_
 #define DEEPEVEREST_SERVICE_ENGINE_REGISTRY_H_
 
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "service/query_service.h"
 
@@ -55,8 +55,8 @@ class EngineRegistry {
   bool empty() const { return size() == 0; }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, QueryService*>> entries_;
+  mutable common::Mutex mu_;
+  std::vector<std::pair<std::string, QueryService*>> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace service

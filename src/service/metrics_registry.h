@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace deepeverest {
@@ -83,9 +83,9 @@ class MetricsRegistry {
   std::string RenderPrometheusText() const;
 
  private:
-  mutable std::mutex mu_;
-  int64_t next_handle_ = 1;                            // guarded by mu_
-  std::vector<std::pair<int64_t, Collector>> collectors_;  // guarded by mu_
+  mutable common::Mutex mu_;
+  int64_t next_handle_ GUARDED_BY(mu_) = 1;
+  std::vector<std::pair<int64_t, Collector>> collectors_ GUARDED_BY(mu_);
 };
 
 /// Registers the standard per-model collector: every model in `models` gets

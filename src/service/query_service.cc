@@ -219,6 +219,14 @@ class QosDispatchPolicy : public DispatchPolicy {
   size_t size_ = 0;
 };
 
+/// The dispatch policy QueryServiceOptions selects (see
+/// QueryServiceOptions::dispatch_policy).
+std::unique_ptr<DispatchPolicy> MakePolicy(const QueryServiceOptions& options) {
+  if (options.dispatch_policy) return options.dispatch_policy();
+  if (options.enable_qos) return std::make_unique<QosDispatchPolicy>();
+  return std::make_unique<SessionRoundRobinPolicy>();
+}
+
 }  // namespace
 
 Result<std::unique_ptr<QueryService>> QueryService::Create(
@@ -247,7 +255,8 @@ QueryService::QueryService(core::DeepEverest* engine,
                            const QueryServiceOptions& options)
     : engine_(engine),
       options_(options),
-      trace_ring_(options.trace_ring_capacity) {
+      trace_ring_(options.trace_ring_capacity),
+      policy_(MakePolicy(options)) {
   // With a single worker at most one query is ever in flight, so batches
   // could never be shared — skip the scheduler rather than pay its linger
   // window on every partial round.
@@ -264,13 +273,6 @@ QueryService::QueryService(core::DeepEverest* engine,
                                             : options_.num_workers;
     scheduler_ = std::make_unique<nn::BatchingInferenceScheduler>(
         engine_->inference(), scheduler_options);
-  }
-  if (options_.dispatch_policy) {
-    policy_ = options_.dispatch_policy();
-  } else if (options_.enable_qos) {
-    policy_ = std::make_unique<QosDispatchPolicy>();
-  } else {
-    policy_ = std::make_unique<SessionRoundRobinPolicy>();
   }
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
@@ -321,7 +323,7 @@ Result<Submission> QueryService::SubmitWithControl(core::QuerySpec spec) {
   submission.result = pending.promise.get_future();
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (stopping_) {
       return Status::FailedPrecondition("query service is shutting down");
     }
@@ -353,7 +355,7 @@ Result<Submission> QueryService::SubmitWithControl(core::QuerySpec spec) {
   }
   totals_.submitted.fetch_add(1, std::memory_order_relaxed);
   per_class_[class_index].submitted.fetch_add(1, std::memory_order_relaxed);
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return submission;
 }
 
@@ -394,9 +396,10 @@ void QueryService::WorkerLoop() {
   for (;;) {
     PendingQuery pending;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [this] { return stopping_ || policy_->size() > 0; });
+      common::MutexLock lock(&mu_);
+      // Explicit wait loop (not a predicate lambda) so the thread-safety
+      // analysis sees the guarded reads happen with mu_ held.
+      while (!stopping_ && policy_->size() == 0) work_cv_.Wait(&mu_);
       if (policy_->size() == 0) return;  // stopping, queue drained/cancelled
       pending = policy_->PopNext();
       ++inflight_;
@@ -456,22 +459,21 @@ void QueryService::WorkerLoop() {
     pending.promise.set_value(std::move(result));
 
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::MutexLock lock(&mu_);
       --inflight_;
-      if (policy_->size() == 0 && inflight_ == 0) idle_cv_.notify_all();
+      if (policy_->size() == 0 && inflight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }
 
 void QueryService::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock,
-                [this] { return policy_->size() == 0 && inflight_ == 0; });
+  common::MutexLock lock(&mu_);
+  while (policy_->size() != 0 || inflight_ != 0) idle_cv_.Wait(&mu_);
 }
 
 void QueryService::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     if (stopping_) {
       // Already shut down (or shutting down from the destructor after an
       // explicit Shutdown()).
@@ -485,10 +487,10 @@ void QueryService::Shutdown() {
         pending.promise.set_value(cancelled);
         CountOutcome(cancelled, pending.query.qos, /*executed=*/false);
       }
-      idle_cv_.notify_all();
+      idle_cv_.NotifyAll();
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -509,7 +511,7 @@ ServiceStats QueryService::Snapshot() const {
   stats.rejected_past_deadline =
       totals_.rejected_past_deadline.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::MutexLock lock(&mu_);
     stats.queue_depth = policy_->size();
     stats.inflight = inflight_;
     stats.active_sessions = policy_->ActiveSessions();

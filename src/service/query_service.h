@@ -3,17 +3,16 @@
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/qos.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
@@ -274,12 +273,12 @@ class QueryService {
   /// the HTTP front-end's `GET /v1/trace/<id>`).
   TraceRing trace_ring_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;  // signals workers
-  std::condition_variable idle_cv_;  // signals Drain()
-  bool stopping_ = false;                  // guarded by mu_
-  std::unique_ptr<DispatchPolicy> policy_;  // guarded by mu_
-  size_t inflight_ = 0;                    // guarded by mu_
+  mutable common::Mutex mu_;
+  common::CondVar work_cv_;  // signals workers
+  common::CondVar idle_cv_;  // signals Drain()
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::unique_ptr<DispatchPolicy> policy_ GUARDED_BY(mu_);
+  size_t inflight_ GUARDED_BY(mu_) = 0;
 
   std::atomic<int64_t> rejected_queue_full_{0};
   std::atomic<int64_t> rejected_session_limit_{0};

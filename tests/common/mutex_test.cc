@@ -1,0 +1,187 @@
+// Tests for the annotated mutex/condvar wrappers (common/mutex.h): mutual
+// exclusion, try-lock semantics, reader/writer sharing, timed waits, and
+// predicate wakes. The threaded cases double as TSan targets — the wrappers
+// are what every lock in src/ goes through, so a bug here is a bug
+// everywhere.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace deepeverest {
+namespace common {
+namespace {
+
+TEST(MutexTest, ProvidesMutualExclusion) {
+  Mutex mu;
+  int counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldElsewhere) {
+  Mutex mu;
+  mu.Lock();
+  std::thread contender([&] {
+    const bool acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+    EXPECT_FALSE(acquired);
+  });
+  contender.join();
+  mu.Unlock();
+
+  // Uncontended, TryLock must succeed.
+  const bool acquired = mu.TryLock();
+  EXPECT_TRUE(acquired);
+  if (acquired) mu.Unlock();
+}
+
+TEST(CondVarTest, TimedWaitTimesOutWithoutNotification) {
+  Mutex mu;
+  CondVar cv;
+  mu.Lock();
+  EXPECT_FALSE(cv.WaitFor(&mu, std::chrono::milliseconds(10)));
+  EXPECT_FALSE(cv.WaitUntil(&mu, std::chrono::steady_clock::now() +
+                                     std::chrono::milliseconds(10)));
+  mu.Unlock();
+}
+
+TEST(CondVarTest, ExplicitLoopWakesOnGuardedFlag) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;  // protected by mu
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    // The explicit-loop idiom src/ uses for guarded predicates.
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(CondVarTest, PredicateOverloadWakesOnUnguardedFlag) {
+  Mutex mu;
+  CondVar cv;
+  std::atomic<bool> go{false};
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    go.store(true, std::memory_order_release);
+    MutexLock lock(&mu);  // pair the notify with the waiter's mutex
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    cv.Wait(&mu, [&] { return go.load(std::memory_order_acquire); });
+  }
+  EXPECT_TRUE(go.load());
+  producer.join();
+}
+
+TEST(CondVarTest, PredicateTimedWaitReportsPredicateValue) {
+  Mutex mu;
+  CondVar cv;
+  std::atomic<bool> never{false};
+  {
+    MutexLock lock(&mu);
+    EXPECT_FALSE(cv.WaitFor(&mu, std::chrono::milliseconds(10),
+                            [&] { return never.load(); }));
+  }
+  std::atomic<bool> already{true};
+  {
+    MutexLock lock(&mu);
+    EXPECT_TRUE(cv.WaitFor(&mu, std::chrono::milliseconds(10),
+                           [&] { return already.load(); }));
+  }
+}
+
+TEST(SharedMutexTest, ReadersOverlapWritersExclude) {
+  SharedMutex mu;
+  int value = 0;  // protected by mu
+  std::atomic<int> readers_inside{0};
+  std::atomic<int> max_readers_inside{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        {
+          ReaderMutexLock lock(&mu);
+          const int inside = readers_inside.fetch_add(1) + 1;
+          int seen = max_readers_inside.load();
+          while (inside > seen &&
+                 !max_readers_inside.compare_exchange_weak(seen, inside)) {
+          }
+          EXPECT_GE(value, 0);
+          readers_inside.fetch_sub(1);
+        }
+        // Pause OFF the lock: continuously-held read locks starve writers
+        // on reader-preferring rwlock implementations (glibc), and this
+        // test must terminate, not demonstrate that.
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    });
+  }
+
+  constexpr int kWriters = 2;
+  constexpr int kWrites = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kWrites; ++i) {
+        WriterMutexLock lock(&mu);
+        // No reader may be inside while a writer holds the lock.
+        EXPECT_EQ(readers_inside.load(), 0);
+        ++value;
+      }
+    });
+  }
+  for (std::thread& thread : writers) thread.join();
+  for (std::thread& thread : readers) thread.join();
+
+  WriterMutexLock lock(&mu);
+  EXPECT_EQ(value, kWriters * kWrites);
+  EXPECT_GE(max_readers_inside.load(), 1);
+}
+
+TEST(SharedMutexTest, TryLockRespectsHolders) {
+  SharedMutex mu;
+  mu.LockShared();
+  std::thread contender([&] {
+    // A reader blocks writers but admits more readers.
+    const bool exclusive = mu.TryLock();
+    if (exclusive) mu.Unlock();
+    EXPECT_FALSE(exclusive);
+    // try_lock_shared may fail spuriously per the standard, so only a
+    // success is asserted on (by releasing what was taken).
+    if (mu.TryLockShared()) mu.UnlockShared();
+  });
+  contender.join();
+  mu.UnlockShared();
+}
+
+}  // namespace
+}  // namespace common
+}  // namespace deepeverest

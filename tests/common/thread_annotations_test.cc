@@ -1,0 +1,74 @@
+// Compile-time smoke for common/thread_annotations.h. The annotations are
+// only meaningful to clang; this test pins the other half of the contract:
+// on every non-clang compiler each macro must expand to *nothing*, so the
+// GCC -Werror matrix leg never sees an unknown attribute. Checked by
+// stringizing after expansion — an empty expansion stringizes to "".
+#include "common/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#if !defined(__clang__)
+#define DE_TEST_STRINGIZE_INNER(...) #__VA_ARGS__
+#define DE_TEST_STRINGIZE(...) DE_TEST_STRINGIZE_INNER(__VA_ARGS__)
+static_assert(sizeof(DE_TEST_STRINGIZE(CAPABILITY("mutex"))) == 1,
+              "CAPABILITY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(SCOPED_CAPABILITY)) == 1,
+              "SCOPED_CAPABILITY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(GUARDED_BY(mu_))) == 1,
+              "GUARDED_BY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(PT_GUARDED_BY(mu_))) == 1,
+              "PT_GUARDED_BY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(REQUIRES(a_, b_))) == 1,
+              "REQUIRES must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(REQUIRES_SHARED(mu_))) == 1,
+              "REQUIRES_SHARED must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(ACQUIRE())) == 1,
+              "ACQUIRE must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(RELEASE())) == 1,
+              "RELEASE must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(TRY_ACQUIRE(true))) == 1,
+              "TRY_ACQUIRE must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(EXCLUDES(mu_))) == 1,
+              "EXCLUDES must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(RETURN_CAPABILITY(mu_))) == 1,
+              "RETURN_CAPABILITY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(ASSERT_CAPABILITY(mu_))) == 1,
+              "ASSERT_CAPABILITY must be a no-op off clang");
+static_assert(sizeof(DE_TEST_STRINGIZE(NO_THREAD_SAFETY_ANALYSIS)) == 1,
+              "NO_THREAD_SAFETY_ANALYSIS must be a no-op off clang");
+#undef DE_TEST_STRINGIZE
+#undef DE_TEST_STRINGIZE_INNER
+#endif  // !defined(__clang__)
+
+// A fully annotated toy type must compile — and behave — identically on
+// every compiler (on clang the annotations are additionally checked).
+class CAPABILITY("mutex") FakeMutex {
+ public:
+  void Lock() ACQUIRE() {}
+  void Unlock() RELEASE() {}
+  bool TryLock() TRY_ACQUIRE(true) { return true; }
+};
+
+class Annotated {
+ public:
+  int Increment() {
+    fake_mu_.Lock();
+    const int value = ++guarded_;
+    fake_mu_.Unlock();
+    return value;
+  }
+
+ private:
+  FakeMutex fake_mu_;
+  int guarded_ GUARDED_BY(fake_mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, AnnotatedTypeCompilesAndRunsEverywhere) {
+  Annotated annotated;
+  EXPECT_EQ(annotated.Increment(), 1);
+  EXPECT_EQ(annotated.Increment(), 2);
+}
+
+}  // namespace

@@ -222,6 +222,46 @@ TEST(HttpServerTest, ServesPipelinedRequestsFromOneWrite) {
   EXPECT_EQ(responses, 2u) << received;
 }
 
+// Regression: the writer's state accessors take the same mutex as the
+// write path. They used to read mu_-guarded fields without the lock —
+// benign only while every caller respected the result-future's
+// happens-before protocol. Polling the accessors while another thread
+// streams chunks makes TSan fail should that lock ever disappear again.
+TEST(HttpServerTest, WriterAccessorsAreSafeDuringConcurrentChunks) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  HttpResponseWriter writer(fds[0]);
+
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {  // keep SendAll from blocking on a full buffer
+    char buf[4096];
+    while (::read(fds[1], buf, sizeof(buf)) > 0) {
+    }
+  });
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)writer.response_started();
+      (void)writer.status();
+      (void)writer.keep_alive();
+      writer.set_keep_alive(true);
+    }
+  });
+
+  ASSERT_TRUE(writer.BeginChunked(200, "application/x-ndjson"));
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(writer.WriteChunk("tick " + std::to_string(i) + "\n"));
+  }
+  EXPECT_TRUE(writer.EndChunked());
+  stop.store(true, std::memory_order_release);
+  poller.join();
+  ::close(fds[0]);
+  drainer.join();
+
+  EXPECT_TRUE(writer.response_started());
+  EXPECT_EQ(writer.status(), 200);
+  EXPECT_TRUE(writer.keep_alive());  // stream terminated cleanly
+}
+
 TEST(HttpServerTest, StartValidatesOptions) {
   HttpServerOptions options;
   EXPECT_FALSE(HttpServer::Start(options, nullptr).ok());
