@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the kernel microbench (bench_kernels) in BOTH dispatch modes and
+# writes the results (pmembench-style, one JSON per mode plus the bench's own
+# cross-mode report) under reproduce/reports/. The auto-mode JSON is what
+# gets committed as BENCH_kernels.json at the repo root.
+#
+# bench_kernels itself asserts bitwise scalar-vs-AVX2 parity on every
+# measured output and exits non-zero on mismatch, so this script doubles as
+# the CI kernel-bench smoke.
+#
+# Usage:
+#   reproduce/run_kernel_bench.sh [build_dir] [report_dir]
+#
+# Scale knobs (environment):
+#   DE_BENCH_KERNEL_ROWS     rows per aggregation block   (default 1024)
+#   DE_BENCH_KERNEL_NEURONS  values per row               (default 256)
+#   DE_BENCH_KERNEL_COUNT    values per bulk-unpack call  (default 1<<22)
+#   DE_BENCH_KERNEL_REPS     timed repetitions, best-of   (default 20)
+# Quick smoke pass:
+#   DE_BENCH_KERNEL_ROWS=512 DE_BENCH_KERNEL_COUNT=65536 \
+#   DE_BENCH_KERNEL_REPS=3 reproduce/run_kernel_bench.sh
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+REPORT_DIR="${2:-$REPO_ROOT/reproduce/reports}"
+BENCH="$BUILD_DIR/bench_kernels"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: '$BENCH' not found or not executable." >&2
+  echo "Configure and build first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+mkdir -p "$REPORT_DIR"
+failed=0
+
+# Auto mode: cpuid picks the table; the report contains both modes' numbers
+# and the per-kernel speedups (measured in one process for comparability).
+echo "== bench_kernels (auto dispatch)"
+if env -u DEEPEVEREST_KERNELS "$BENCH" > "$REPORT_DIR/kernels_auto.json"; then
+  echo "   ok -> $REPORT_DIR/kernels_auto.json"
+else
+  echo "   FAILED (parity mismatch or crash) - tail of output:" >&2
+  tail -5 "$REPORT_DIR/kernels_auto.json" | sed 's/^/   | /' >&2
+  failed=1
+fi
+
+# Scalar-forced mode: exercises the DEEPEVEREST_KERNELS override end to end
+# (the report's avx2 rows are absent when the override pins scalar... the
+# bench still measures both tables; what this leg checks is that the binary
+# honours the env and stays healthy under it).
+echo "== bench_kernels (DEEPEVEREST_KERNELS=scalar)"
+if DEEPEVEREST_KERNELS=scalar "$BENCH" > "$REPORT_DIR/kernels_scalar.json"; then
+  echo "   ok -> $REPORT_DIR/kernels_scalar.json"
+else
+  echo "   FAILED - tail of output:" >&2
+  tail -5 "$REPORT_DIR/kernels_scalar.json" | sed 's/^/   | /' >&2
+  failed=1
+fi
+
+if [ "$failed" -eq 0 ]; then
+  echo
+  echo "Speedups (avx2 vs scalar, measured in-process):"
+  sed -n '/speedup_avx2_vs_scalar/,/}/p' "$REPORT_DIR/kernels_auto.json"
+  echo "To refresh the committed snapshot:"
+  echo "  cp $REPORT_DIR/kernels_auto.json $REPO_ROOT/BENCH_kernels.json"
+fi
+exit "$failed"

@@ -23,6 +23,12 @@
 #                 src/ outside common/mutex.h: the annotated
 #                 common::Mutex wrappers are what clang's thread-safety
 #                 analysis can see; a raw std type is an unchecked lock.
+#   simd-intrinsics
+#                 No <immintrin.h> (or sibling x86 intrinsic headers) and
+#                 no raw _mm*/__m128/__m256/__m512 intrinsics in src/
+#                 outside src/kernels/: every SIMD body lives behind the
+#                 dispatched KernelTable so the scalar-vs-AVX2 parity
+#                 suite covers it and non-x86 builds stay portable.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository
@@ -148,6 +154,25 @@ check_raw_mutex() {
   return 0
 }
 
+# --- rule: simd-intrinsics ---------------------------------------------------
+check_simd_intrinsics() {
+  local root="$1"
+  [ -d "${root}/src" ] || return 0
+  local out
+  out="$(grep -rnE '(#[[:space:]]*include[[:space:]]*<(immintrin|x86intrin|[epstnwax]mmintrin|avx[0-9a-z]*intrin)\.h>|(^|[^A-Za-z0-9_])(_mm(256|512)?_[a-z0-9_]+[[:space:]]*\(|__m(128|256|512)[di]?[^A-Za-z0-9_]))' \
+      "${root}/src" --include='*.h' --include='*.cc' 2>/dev/null |
+    grep -v "^${root}/src/kernels/" |
+    grep -v 'lint:allow(simd-intrinsics)' |
+    grep -vE ':[0-9]+:[[:space:]]*(//|\*)' || true)"
+  if [ -n "${out}" ]; then
+    while IFS= read -r hit; do
+      note "simd-intrinsics: raw SIMD outside src/kernels/ (add a KernelTable entry instead): ${hit}"
+    done <<<"${out}"
+    FAIL=1
+  fi
+  return 0
+}
+
 run_all() {
   local root="$1"
   FAIL=0
@@ -156,6 +181,7 @@ run_all() {
   check_include_guards "${root}"
   check_double_format "${root}"
   check_raw_mutex "${root}"
+  check_simd_intrinsics "${root}"
   return "${FAIL}"
 }
 
@@ -196,6 +222,10 @@ self_test() {
 
   printf '#include <mutex>\nstd::mutex mu;\n' > "${scratch}/src/core/seeded.cc"
   expect_fire raw-mutex
+
+  printf '#include <immintrin.h>\n__m256d f(__m256d v) { return _mm256_add_pd(v, v); }\n' \
+      > "${scratch}/src/core/seeded.cc"
+  expect_fire simd-intrinsics
 
   # And a clean tree must pass.
   if ! run_all "${scratch}"; then

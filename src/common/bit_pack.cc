@@ -1,0 +1,15 @@
+#include "common/bit_pack.h"
+
+#include "kernels/kernels.h"
+
+namespace deepeverest {
+
+void PackedIntArray::GetMany(size_t begin, size_t count, uint64_t* out) const {
+  if (count == 0) return;
+  DE_CHECK_LE(begin, size_);
+  DE_CHECK_LE(count, size_ - begin);
+  kernels::Active().unpack(words_.data(), words_.size(), bits_per_value_,
+                           begin, count, out);
+}
+
+}  // namespace deepeverest

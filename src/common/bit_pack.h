@@ -50,6 +50,14 @@ class PackedIntArray {
     return value & mask;
   }
 
+  /// Bulk read: unpacks values [begin, begin + count) into out[0..count).
+  /// Bounds are checked ONCE for the whole range, then the unpack runs
+  /// word-at-a-time through the active kernel table (SIMD for widths that
+  /// divide a word) — this is the reader API for the NPI/quantized hot
+  /// paths; single-element Get stays for writers and point lookups.
+  /// Defined in bit_pack.cc so this header does not pull in the kernel layer.
+  void GetMany(size_t begin, size_t count, uint64_t* out) const;
+
   /// Stores `value` (must fit in bits_per_value bits) at `index`.
   void Set(size_t index, uint64_t value) {
     DE_CHECK_LT(index, size_);

@@ -6,13 +6,80 @@
 #include <cmath>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace deepeverest {
 namespace core {
 
+// Default batched forms: per-row loops with exactly the legacy
+// per-candidate arithmetic (widen to double, abs-diff, then the virtual
+// Aggregate). Custom DistanceFunction subclasses inherit these and keep
+// bit-identical results; only the per-candidate virtual-call overhead moves.
+void DistanceFunction::AggregateAbsDiffMany(const float* rows,
+                                            size_t row_stride, size_t num_rows,
+                                            const float* target, size_t n,
+                                            double* out) const {
+  std::vector<double> diffs(n);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * row_stride;
+    for (size_t i = 0; i < n; ++i) {
+      diffs[i] = std::abs(static_cast<double>(row[i]) -
+                          static_cast<double>(target[i]));
+    }
+    out[r] = Aggregate(diffs.data(), n);
+  }
+}
+
+void DistanceFunction::AggregateValuesMany(const float* rows,
+                                           size_t row_stride, size_t num_rows,
+                                           size_t n, double* out) const {
+  std::vector<double> values(n);
+  for (size_t r = 0; r < num_rows; ++r) {
+    const float* row = rows + r * row_stride;
+    for (size_t i = 0; i < n; ++i) values[i] = static_cast<double>(row[i]);
+    out[r] = Aggregate(values.data(), n);
+  }
+}
+
 namespace {
 
-class L1 : public DistanceFunction {
+/// Built-ins route the batched forms to the dispatched kernel table: one
+/// indirect call per block, SIMD when the CPU has it. The scalar kernels
+/// follow the exact op order of the Aggregate() bodies below, and the
+/// parity suite pins the AVX2 table against them bitwise, so results are
+/// identical across the virtual, scalar-kernel, and SIMD-kernel paths.
+class BuiltinDistance : public DistanceFunction {
  public:
+  explicit BuiltinDistance(kernels::AggKind kind) : kind_(kind) {}
+
+  void AggregateAbsDiffMany(const float* rows, size_t row_stride,
+                            size_t num_rows, const float* target, size_t n,
+                            double* out) const override {
+    kernels::Active().abs_diff_agg[static_cast<int>(kind_)](
+        rows, row_stride, num_rows, target, weights_data(n), n, out);
+  }
+
+  void AggregateValuesMany(const float* rows, size_t row_stride,
+                           size_t num_rows, size_t n,
+                           double* out) const override {
+    kernels::Active().value_agg[static_cast<int>(kind_)](
+        rows, row_stride, num_rows, weights_data(n), n, out);
+  }
+
+ protected:
+  /// Non-null only for weighted kinds; `n` is validated there.
+  virtual const double* weights_data(size_t n) const {
+    (void)n;
+    return nullptr;
+  }
+
+ private:
+  kernels::AggKind kind_;
+};
+
+class L1 : public BuiltinDistance {
+ public:
+  L1() : BuiltinDistance(kernels::AggKind::kL1) {}
   double Aggregate(const double* values, size_t n) const override {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) sum += values[i];
@@ -21,8 +88,9 @@ class L1 : public DistanceFunction {
   std::string name() const override { return "l1"; }
 };
 
-class L2 : public DistanceFunction {
+class L2 : public BuiltinDistance {
  public:
+  L2() : BuiltinDistance(kernels::AggKind::kL2) {}
   double Aggregate(const double* values, size_t n) const override {
     double sum = 0.0;
     for (size_t i = 0; i < n; ++i) sum += values[i] * values[i];
@@ -31,20 +99,26 @@ class L2 : public DistanceFunction {
   std::string name() const override { return "l2"; }
 };
 
-class LInf : public DistanceFunction {
+class LInf : public BuiltinDistance {
  public:
+  LInf() : BuiltinDistance(kernels::AggKind::kLInf) {}
   double Aggregate(const double* values, size_t n) const override {
-    double best = 0.0;
-    for (size_t i = 0; i < n; ++i) best = std::max(best, values[i]);
+    // Seeded from the first value, not 0.0: highest queries aggregate raw
+    // activations, and an all-negative vector's max must be its largest
+    // element, not a phantom zero.
+    if (n == 0) return 0.0;
+    double best = values[0];
+    for (size_t i = 1; i < n; ++i) best = std::max(best, values[i]);
     return best;
   }
   std::string name() const override { return "linf"; }
 };
 
-class WeightedL2 : public DistanceFunction {
+class WeightedL2 : public BuiltinDistance {
  public:
   explicit WeightedL2(std::vector<double> weights)
-      : weights_(std::move(weights)) {}
+      : BuiltinDistance(kernels::AggKind::kWeightedL2),
+        weights_(std::move(weights)) {}
 
   double Aggregate(const double* values, size_t n) const override {
     DE_CHECK_EQ(n, weights_.size());
@@ -55,6 +129,12 @@ class WeightedL2 : public DistanceFunction {
     return std::sqrt(sum);
   }
   std::string name() const override { return "weighted-l2"; }
+
+ protected:
+  const double* weights_data(size_t n) const override {
+    DE_CHECK_EQ(n, weights_.size());
+    return weights_.data();
+  }
 
  private:
   std::vector<double> weights_;

@@ -29,12 +29,33 @@ class DistanceFunction {
  public:
   virtual ~DistanceFunction() = default;
 
-  /// Aggregates `values[0..n)`; all values must be non-negative.
+  /// Aggregates `values[0..n)`. Most-similar queries pass non-negative
+  /// absolute differences; highest queries pass raw activations, which may
+  /// be negative (linf must therefore seed from the first value, not 0).
   virtual double Aggregate(const double* values, size_t n) const = 0;
 
   double Aggregate(const std::vector<double>& values) const {
     return Aggregate(values.data(), values.size());
   }
+
+  /// Batched most-similar form: out[r] = Aggregate over the absolute
+  /// differences |rows[r*row_stride + i] - target[i]|, i in [0, n), for each
+  /// of `num_rows` float rows laid out `row_stride` apart.
+  ///
+  /// This is THE hot-path entry point: one virtual call per row *block*
+  /// instead of one per candidate. Built-ins override it to a single
+  /// dispatched kernel call (kernels::Active(), SIMD when available); the
+  /// default implementation loops rows and calls Aggregate() with exactly
+  /// the legacy per-candidate arithmetic, so custom subclasses keep
+  /// bit-identical results without opting in.
+  virtual void AggregateAbsDiffMany(const float* rows, size_t row_stride,
+                                    size_t num_rows, const float* target,
+                                    size_t n, double* out) const;
+
+  /// Batched highest form: out[r] = Aggregate over row r's values.
+  virtual void AggregateValuesMany(const float* rows, size_t row_stride,
+                                   size_t num_rows, size_t n,
+                                   double* out) const;
 
   virtual std::string name() const = 0;
 };

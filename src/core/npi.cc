@@ -180,9 +180,18 @@ Result<LayerIndex> LayerIndex::BuildEquiWidth(
 
 void LayerIndex::GetInputIds(int64_t neuron, uint32_t pid,
                              std::vector<uint32_t>* out) const {
+  // Per-round membership scan: bulk-unpack the neuron's PID column in
+  // fixed-size blocks (bounds checked once per block, SIMD unpack when
+  // available) instead of one bounds-checked PackedIntArray::Get per input.
+  constexpr size_t kBlock = 1024;
+  uint64_t buf[kBlock];
   const size_t base = static_cast<size_t>(neuron) * num_inputs_;
-  for (uint32_t id = 0; id < num_inputs_; ++id) {
-    if (pids_.Get(base + id) == pid) out->push_back(id);
+  for (size_t begin = 0; begin < num_inputs_; begin += kBlock) {
+    const size_t count = std::min(kBlock, static_cast<size_t>(num_inputs_) - begin);
+    pids_.GetMany(base + begin, count, buf);
+    for (size_t i = 0; i < count; ++i) {
+      if (buf[i] == pid) out->push_back(static_cast<uint32_t>(begin + i));
+    }
   }
 }
 

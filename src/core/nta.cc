@@ -229,20 +229,32 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
   }
 
   TopKSet top(options.k, /*smaller_is_better=*/true);
-  std::vector<double> diffs(g);
-  auto dist_of = [&](const std::vector<float>& acts) {
-    for (size_t i = 0; i < g; ++i) {
-      diffs[i] = std::abs(static_cast<double>(acts[i]) -
-                          static_cast<double>(target_acts[i]));
-    }
-    return dist->Aggregate(diffs.data(), g);
-  };
+  // Per-round candidate maintenance is a streaming pass: the round's new
+  // activations are gathered into one contiguous row block and aggregated
+  // with a single batched virtual call (built-ins: one dispatched SIMD/scalar
+  // kernel call), instead of one virtual Aggregate per candidate.
+  std::vector<uint32_t> offer_ids;
+  std::vector<float> offer_block;
+  std::vector<double> offer_dists;
   auto offer_newly = [&]() {
+    offer_ids.clear();
     for (uint32_t id : newly) {
       if (has_target_id && id == target_id) continue;
-      top.Offer(id, dist_of(state.acts.at(id)));
+      offer_ids.push_back(id);
     }
     newly.clear();
+    if (offer_ids.empty()) return;
+    offer_block.resize(offer_ids.size() * g);
+    for (size_t r = 0; r < offer_ids.size(); ++r) {
+      const std::vector<float>& acts = state.acts.at(offer_ids[r]);
+      std::copy(acts.begin(), acts.end(), offer_block.begin() + r * g);
+    }
+    offer_dists.resize(offer_ids.size());
+    dist->AggregateAbsDiffMany(offer_block.data(), g, offer_ids.size(),
+                               target_acts.data(), g, offer_dists.data());
+    for (size_t r = 0; r < offer_ids.size(); ++r) {
+      top.Offer(offer_ids[r], offer_dists[r]);
+    }
   };
 
   int64_t rounds = 0;
@@ -527,13 +539,23 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
   RunState state;
   std::vector<uint32_t> newly;
   TopKSet top(options.k, /*smaller_is_better=*/false);
-  std::vector<double> values(g);
-  auto score_of = [&](const std::vector<float>& acts) {
-    for (size_t i = 0; i < g; ++i) values[i] = acts[i];
-    return dist->Aggregate(values.data(), g);
-  };
+  // Same streaming pass as MostSimilarImpl: one batched virtual call per
+  // round over a contiguous block, not one Aggregate per candidate.
+  std::vector<float> offer_block;
+  std::vector<double> offer_scores;
   auto offer_newly = [&]() {
-    for (uint32_t id : newly) top.Offer(id, score_of(state.acts.at(id)));
+    if (newly.empty()) return;
+    offer_block.resize(newly.size() * g);
+    for (size_t r = 0; r < newly.size(); ++r) {
+      const std::vector<float>& acts = state.acts.at(newly[r]);
+      std::copy(acts.begin(), acts.end(), offer_block.begin() + r * g);
+    }
+    offer_scores.resize(newly.size());
+    dist->AggregateValuesMany(offer_block.data(), g, newly.size(), g,
+                              offer_scores.data());
+    for (size_t r = 0; r < newly.size(); ++r) {
+      top.Offer(newly[r], offer_scores[r]);
+    }
     newly.clear();
   };
 
@@ -707,6 +729,43 @@ std::vector<uint32_t> AllIds(uint32_t n) {
   return ids;
 }
 
+/// Rows the reference executors feed the batched distance calls per block:
+/// large enough to amortise the virtual + kernel dispatch, small enough to
+/// stay cache-resident alongside the gather source.
+constexpr size_t kScanBlockRows = 256;
+
+/// Streams `num_inputs` rows through `row_of`/`skip` in blocks: gathers the
+/// group's columns into a contiguous scratch block, runs one batched
+/// `aggregate` call per block, and offers every result. The fresh-scan
+/// references run through the same dispatched kernels as the service path,
+/// which is what keeps the §4.6 bit-equality invariant per dispatch mode.
+template <typename RowOf, typename SkipFn, typename AggregateFn>
+void ScanBlocked(uint32_t num_inputs, const std::vector<int64_t>& neurons,
+                 RowOf row_of, SkipFn skip, AggregateFn aggregate,
+                 TopKSet* top) {
+  const size_t g = neurons.size();
+  std::vector<float> block(kScanBlockRows * g);
+  std::vector<double> results(kScanBlockRows);
+  std::vector<uint32_t> ids;
+  ids.reserve(kScanBlockRows);
+  uint32_t id = 0;
+  while (id < num_inputs) {
+    ids.clear();
+    size_t r = 0;
+    for (; id < num_inputs && r < kScanBlockRows; ++id) {
+      if (skip(id)) continue;
+      const float* row = row_of(id);
+      for (size_t i = 0; i < g; ++i) {
+        block[r * g + i] = row[static_cast<size_t>(neurons[i])];
+      }
+      ids.push_back(id);
+      ++r;
+    }
+    aggregate(block.data(), r, results.data());
+    for (size_t j = 0; j < r; ++j) top->Offer(ids[j], results[j]);
+  }
+}
+
 }  // namespace
 
 TopKResult ScanMostSimilar(const storage::LayerActivationMatrix& matrix,
@@ -715,16 +774,14 @@ TopKResult ScanMostSimilar(const storage::LayerActivationMatrix& matrix,
                            const DistancePtr& dist, bool exclude_target,
                            uint32_t target_id) {
   TopKSet top(k, /*smaller_is_better=*/true);
-  std::vector<double> diffs(neurons.size());
-  for (uint32_t id = 0; id < matrix.num_inputs; ++id) {
-    if (exclude_target && id == target_id) continue;
-    const float* row = matrix.Row(id);
-    for (size_t i = 0; i < neurons.size(); ++i) {
-      diffs[i] = std::abs(static_cast<double>(row[neurons[i]]) -
-                          static_cast<double>(target_acts[i]));
-    }
-    top.Offer(id, dist->Aggregate(diffs.data(), diffs.size()));
-  }
+  const size_t g = neurons.size();
+  ScanBlocked(
+      matrix.num_inputs, neurons, [&](uint32_t id) { return matrix.Row(id); },
+      [&](uint32_t id) { return exclude_target && id == target_id; },
+      [&](const float* block, size_t rows, double* out) {
+        dist->AggregateAbsDiffMany(block, g, rows, target_acts.data(), g, out);
+      },
+      &top);
   TopKResult result;
   result.entries = top.entries();
   return result;
@@ -734,14 +791,14 @@ TopKResult ScanHighest(const storage::LayerActivationMatrix& matrix,
                        const std::vector<int64_t>& neurons, int k,
                        const DistancePtr& dist) {
   TopKSet top(k, /*smaller_is_better=*/false);
-  std::vector<double> values(neurons.size());
-  for (uint32_t id = 0; id < matrix.num_inputs; ++id) {
-    const float* row = matrix.Row(id);
-    for (size_t i = 0; i < neurons.size(); ++i) {
-      values[i] = row[neurons[i]];
-    }
-    top.Offer(id, dist->Aggregate(values.data(), values.size()));
-  }
+  const size_t g = neurons.size();
+  ScanBlocked(
+      matrix.num_inputs, neurons, [&](uint32_t id) { return matrix.Row(id); },
+      [](uint32_t) { return false; },
+      [&](const float* block, size_t rows, double* out) {
+        dist->AggregateValuesMany(block, g, rows, g, out);
+      },
+      &top);
   TopKResult result;
   result.entries = top.entries();
   return result;
@@ -759,16 +816,16 @@ Result<TopKResult> BruteForceMostSimilar(nn::InferenceEngine* inference,
   nn::InferenceReceipt receipt;
   DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows, &receipt));
   TopKSet top(k, /*smaller_is_better=*/true);
-  std::vector<double> diffs(group.neurons.size());
-  for (uint32_t id : ids) {
-    if (exclude_target && id == target_id) continue;
-    for (size_t i = 0; i < group.neurons.size(); ++i) {
-      diffs[i] = std::abs(
-          static_cast<double>(rows[id][static_cast<size_t>(group.neurons[i])]) -
-          static_cast<double>(target_acts[i]));
-    }
-    top.Offer(id, d->Aggregate(diffs.data(), diffs.size()));
-  }
+  const size_t g = group.neurons.size();
+  ScanBlocked(
+      static_cast<uint32_t>(ids.size()), group.neurons,
+      [&](uint32_t id) { return rows[id].data(); },
+      [&](uint32_t id) { return exclude_target && id == target_id; },
+      [&](const float* block, size_t num_rows, double* out) {
+        d->AggregateAbsDiffMany(block, g, num_rows, target_acts.data(), g,
+                                out);
+      },
+      &top);
   TopKResult result;
   result.entries = top.entries();
   result.stats.inputs_run = receipt.inputs_run;
@@ -786,13 +843,15 @@ Result<TopKResult> BruteForceHighest(nn::InferenceEngine* inference,
   nn::InferenceReceipt receipt;
   DE_RETURN_NOT_OK(inference->ComputeLayer(ids, group.layer, &rows, &receipt));
   TopKSet top(k, /*smaller_is_better=*/false);
-  std::vector<double> values(group.neurons.size());
-  for (uint32_t id : ids) {
-    for (size_t i = 0; i < group.neurons.size(); ++i) {
-      values[i] = rows[id][static_cast<size_t>(group.neurons[i])];
-    }
-    top.Offer(id, d->Aggregate(values.data(), values.size()));
-  }
+  const size_t g = group.neurons.size();
+  ScanBlocked(
+      static_cast<uint32_t>(ids.size()), group.neurons,
+      [&](uint32_t id) { return rows[id].data(); },
+      [](uint32_t) { return false; },
+      [&](const float* block, size_t num_rows, double* out) {
+        d->AggregateValuesMany(block, g, num_rows, g, out);
+      },
+      &top);
   TopKResult result;
   result.entries = top.entries();
   result.stats.inputs_run = receipt.inputs_run;

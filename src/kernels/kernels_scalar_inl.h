@@ -1,0 +1,137 @@
+#ifndef DEEPEVEREST_KERNELS_KERNELS_SCALAR_INL_H_
+#define DEEPEVEREST_KERNELS_KERNELS_SCALAR_INL_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+
+/// Shared scalar kernel bodies, included by BOTH kernel translation units:
+/// kernels.cc builds the scalar table from them, kernels_avx2.cc uses them
+/// for row tails and for entries without a profitable SIMD form. Keeping one
+/// definition is what makes the bit-parity contract trivial for tails — the
+/// AVX2 table's leftover rows literally run the scalar code (both TUs are
+/// compiled with -ffp-contract=off, so no FMA contraction can split them).
+///
+/// Floating-point op order here is the canonical one the AVX2 lanes must
+/// reproduce: widen float -> double first, accumulate strictly left to
+/// right, weighted terms as (w * v) * v.
+
+namespace deepeverest {
+namespace kernels {
+namespace internal {
+
+inline double RowAbsDiffL1(const float* row, const float* target, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::abs(static_cast<double>(row[i]) -
+                              static_cast<double>(target[i]));
+    sum += d;
+  }
+  return sum;
+}
+
+inline double RowAbsDiffL2(const float* row, const float* target, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::abs(static_cast<double>(row[i]) -
+                              static_cast<double>(target[i]));
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+inline double RowAbsDiffLInf(const float* row, const float* target, size_t n) {
+  if (n == 0) return 0.0;
+  double best = std::abs(static_cast<double>(row[0]) -
+                         static_cast<double>(target[0]));
+  for (size_t i = 1; i < n; ++i) {
+    const double d = std::abs(static_cast<double>(row[i]) -
+                              static_cast<double>(target[i]));
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+inline double RowAbsDiffWL2(const float* row, const float* target,
+                            const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::abs(static_cast<double>(row[i]) -
+                              static_cast<double>(target[i]));
+    sum += weights[i] * d * d;
+  }
+  return std::sqrt(sum);
+}
+
+inline double RowValuesL1(const float* row, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += static_cast<double>(row[i]);
+  return sum;
+}
+
+inline double RowValuesL2(const float* row, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(row[i]);
+    sum += v * v;
+  }
+  return std::sqrt(sum);
+}
+
+inline double RowValuesLInf(const float* row, size_t n) {
+  if (n == 0) return 0.0;
+  // Seeded from the first element, not 0.0: correct for all-negative rows.
+  double best = static_cast<double>(row[0]);
+  for (size_t i = 1; i < n; ++i) {
+    best = std::max(best, static_cast<double>(row[i]));
+  }
+  return best;
+}
+
+inline double RowValuesWL2(const float* row, const double* weights, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(row[i]);
+    sum += weights[i] * v * v;
+  }
+  return std::sqrt(sum);
+}
+
+/// Word-at-a-time bulk unpack: reads each packed word straight out of the
+/// array (no per-element bounds checks — PackedIntArray::GetMany validated
+/// the range once) and only touches word+1 when a value actually straddles.
+inline void UnpackScalar(const uint64_t* words, size_t num_words, int bits,
+                         size_t begin, size_t count, uint64_t* out) {
+  if (count == 0) return;
+  DE_CHECK_GE(bits, 1);
+  DE_CHECK_LE(bits, 64);
+  const uint64_t mask =
+      bits >= 64 ? ~0ull : ((1ull << bits) - 1);
+  size_t bit = begin * static_cast<size_t>(bits);
+  DE_CHECK_LE(((begin + count) * static_cast<size_t>(bits) + 63) / 64,
+              num_words);
+  for (size_t i = 0; i < count; ++i, bit += static_cast<size_t>(bits)) {
+    const size_t word = bit >> 6;
+    const int offset = static_cast<int>(bit & 63);
+    uint64_t value = words[word] >> offset;
+    if (offset + bits > 64) {
+      value |= words[word + 1] << (64 - offset);
+    }
+    out[i] = value & mask;
+  }
+}
+
+inline void DequantRowScalar(const uint8_t* codes, const float* min_value,
+                             const float* scale, size_t n, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = min_value[i] + scale[i] * static_cast<float>(codes[i]);
+  }
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_KERNELS_KERNELS_SCALAR_INL_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/serde.h"
+#include "kernels/kernels.h"
 
 namespace deepeverest {
 namespace storage {
@@ -45,14 +46,18 @@ QuantizedActivationMatrix QuantizedActivationMatrix::Quantize(
   return q;
 }
 
+void QuantizedActivationMatrix::DequantizeRow(uint32_t input_id,
+                                              float* out) const {
+  kernels::Active().dequant_row(
+      codes.data() + static_cast<size_t>(input_id) * num_neurons,
+      min_value.data(), scale.data(), static_cast<size_t>(num_neurons), out);
+}
+
 LayerActivationMatrix QuantizedActivationMatrix::Dequantize() const {
   LayerActivationMatrix matrix =
       LayerActivationMatrix::Make(num_inputs, num_neurons);
   for (uint32_t id = 0; id < num_inputs; ++id) {
-    float* row = matrix.MutableRow(id);
-    for (uint64_t neuron = 0; neuron < num_neurons; ++neuron) {
-      row[neuron] = At(id, neuron);
-    }
+    DequantizeRow(id, matrix.MutableRow(id));
   }
   return matrix;
 }

@@ -40,7 +40,11 @@ struct QuantizedActivationMatrix {
     return min_value[neuron] + scale[neuron] * static_cast<float>(code);
   }
 
-  /// Reconstructs the full float32 matrix.
+  /// Reconstructs one full row into out[0..num_neurons) through the active
+  /// dispatched decode kernel (bit-identical across dispatch modes).
+  void DequantizeRow(uint32_t input_id, float* out) const;
+
+  /// Reconstructs the full float32 matrix (row-at-a-time via DequantizeRow).
   LayerActivationMatrix Dequantize() const;
 
   /// Worst-case absolute reconstruction error for `neuron`.

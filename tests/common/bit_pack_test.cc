@@ -90,6 +90,42 @@ TEST(PackedIntArrayTest, RandomizedRoundTripAllWidths) {
   }
 }
 
+// GetMany must agree with per-element Get at every width/offset, including
+// values straddling 64-bit word boundaries (7 and 33 bits) and the SIMD
+// widths that divide a word (1 bit, 64 bits uses whole words).
+TEST(PackedIntArrayTest, GetManyMatchesGetAcrossWordBoundaries) {
+  Rng rng(7);
+  for (int bits : {1, 7, 33, 64}) {
+    const size_t n = 301;
+    PackedIntArray arr(n, bits);
+    const uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+    for (size_t i = 0; i < n; ++i) arr.Set(i, rng.NextUint64() & mask);
+
+    // Whole-array unpack.
+    std::vector<uint64_t> out(n, ~0ull);
+    arr.GetMany(0, n, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], arr.Get(i)) << "bits=" << bits << " i=" << i;
+    }
+
+    // Unaligned sub-ranges: every (begin, count) near word boundaries.
+    for (size_t begin : {size_t{0}, size_t{1}, size_t{9}, size_t{63},
+                         size_t{64}, size_t{65}, size_t{200}}) {
+      for (size_t count : {size_t{0}, size_t{1}, size_t{5}, size_t{64},
+                           size_t{101}}) {
+        if (begin + count > n) continue;
+        std::vector<uint64_t> part(count, ~0ull);
+        arr.GetMany(begin, count, part.data());
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(part[i], arr.Get(begin + i))
+              << "bits=" << bits << " begin=" << begin << " count=" << count
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(PackedIntArrayTest, SerializationViaWords) {
   PackedIntArray arr(50, 9);
   for (size_t i = 0; i < 50; ++i) arr.Set(i, (i * 7) % 512);

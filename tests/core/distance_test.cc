@@ -31,6 +31,83 @@ TEST(DistanceTest, LInfMax) {
   EXPECT_DOUBLE_EQ((*d)->Aggregate({1.0, 7.0, 2.0}), 7.0);
 }
 
+// Regression: the max must be seeded from the first element, not 0.0 —
+// highest queries aggregate raw activations, and an all-negative vector's
+// linf is its largest element, never a phantom zero.
+TEST(DistanceTest, LInfAllNegativeValues) {
+  auto d = MakeDistance(DistanceKind::kLInf);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({-5.0, -1.5, -9.0}), -1.5);
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({-3.25}), -3.25);
+  EXPECT_DOUBLE_EQ((*d)->Aggregate({}), 0.0);
+}
+
+// The batched entry points must agree with the per-element Aggregate for
+// every built-in kind — they are the same math, one virtual call per block.
+TEST(DistanceTest, BatchedFormsMatchPerRowAggregate) {
+  Rng rng(1234);
+  const size_t n = 7;       // odd on purpose: exercises SIMD tails
+  const size_t num_rows = 13;
+  std::vector<float> rows(num_rows * n), target(n);
+  for (float& v : rows) v = static_cast<float>(rng.NextDouble() * 8.0 - 4.0);
+  for (float& v : target) v = static_cast<float>(rng.NextDouble() * 8.0 - 4.0);
+  std::vector<double> weights;
+  for (size_t i = 0; i < n; ++i) weights.push_back(rng.NextDouble() * 2.0);
+
+  for (DistanceKind kind :
+       {DistanceKind::kL1, DistanceKind::kL2, DistanceKind::kLInf,
+        DistanceKind::kWeightedL2}) {
+    auto d = MakeDistance(kind, weights);
+    ASSERT_TRUE(d.ok());
+    std::vector<double> batched(num_rows);
+    (*d)->AggregateAbsDiffMany(rows.data(), n, num_rows, target.data(), n,
+                               batched.data());
+    std::vector<double> diffs(n);
+    for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        diffs[i] = std::abs(static_cast<double>(rows[r * n + i]) -
+                            static_cast<double>(target[i]));
+      }
+      EXPECT_EQ((*d)->Aggregate(diffs.data(), n), batched[r])
+          << DistanceKindToString(kind) << " row " << r;
+    }
+
+    (*d)->AggregateValuesMany(rows.data(), n, num_rows, n, batched.data());
+    std::vector<double> values(n);
+    for (size_t r = 0; r < num_rows; ++r) {
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = static_cast<double>(rows[r * n + i]);
+      }
+      EXPECT_EQ((*d)->Aggregate(values.data(), n), batched[r])
+          << DistanceKindToString(kind) << " row " << r;
+    }
+  }
+}
+
+// Custom (non-built-in) subclasses must keep working through the batched
+// entry points via the default per-row fallback.
+TEST(DistanceTest, CustomDistanceUsesDefaultBatchedFallback) {
+  class SumOfCubes : public DistanceFunction {
+   public:
+    double Aggregate(const double* values, size_t n) const override {
+      double sum = 0.0;
+      for (size_t i = 0; i < n; ++i) sum += values[i] * values[i] * values[i];
+      return sum;
+    }
+    std::string name() const override { return "sum-of-cubes"; }
+  };
+  SumOfCubes d;
+  const float rows[] = {1.0f, 2.0f, 3.0f, 4.0f};
+  const float target[] = {0.0f, 0.0f};
+  double out[2] = {0.0, 0.0};
+  d.AggregateAbsDiffMany(rows, 2, 2, target, 2, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 + 8.0);
+  EXPECT_DOUBLE_EQ(out[1], 27.0 + 64.0);
+  d.AggregateValuesMany(rows, 2, 2, 2, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 + 8.0);
+  EXPECT_DOUBLE_EQ(out[1], 27.0 + 64.0);
+}
+
 TEST(DistanceTest, WeightedL2) {
   auto d = MakeDistance(DistanceKind::kWeightedL2, {4.0, 1.0});
   ASSERT_TRUE(d.ok());

@@ -1,0 +1,193 @@
+// Seeded scalar-vs-AVX2 parity suite: every KernelTable entry must return
+// BIT-IDENTICAL results from both tables for identical inputs. This is the
+// contract that lets the §4.6 fresh-scan reference stay bit-equal to the
+// service path under either DEEPEVEREST_KERNELS mode. Both tables are
+// exercised in one process via GetKernelTable(mode) — no env involved.
+
+#include "kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace deepeverest {
+namespace kernels {
+namespace {
+
+/// Bitwise comparison that distinguishes +0.0/-0.0 and NaN payloads.
+::testing::AssertionResult BitsEqual(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size mismatch";
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint64_t ba = 0;
+    uint64_t bb = 0;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    if (ba != bb) {
+      return ::testing::AssertionFailure()
+             << "row " << i << ": " << a[i] << " (0x" << std::hex << ba
+             << ") vs " << b[i] << " (0x" << bb << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class KernelsParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Avx2Supported()) {
+      GTEST_SKIP() << "no AVX2 on this machine; nothing to compare";
+    }
+  }
+};
+
+// Odd lengths and row counts on purpose: every combination of SIMD body,
+// column epilogue (n % 4) and row tail (num_rows % 8 / % 4) gets hit.
+const size_t kLengths[] = {1, 2, 3, 4, 5, 7, 8, 13, 16, 17, 31, 33, 64, 100};
+const size_t kRowCounts[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 40};
+
+TEST_F(KernelsParityTest, AggregationAllKindsOddShapesUnalignedTails) {
+  const KernelTable& scalar = GetKernelTable(DispatchMode::kScalar);
+  const KernelTable& avx2 = GetKernelTable(DispatchMode::kAvx2);
+  Rng rng(2024);
+  for (const size_t n : kLengths) {
+    for (const size_t num_rows : kRowCounts) {
+      // Strided layout (stride > n) in half the cases.
+      const size_t stride = (n + num_rows) % 2 == 0 ? n : n + 3;
+      std::vector<float> rows(num_rows * stride);
+      for (float& v : rows) {
+        v = static_cast<float>(rng.NextDouble() * 8.0 - 4.0);
+      }
+      // Inject signed zeros and exact ties so the max path's tie-breaking
+      // is exercised, not just generic values.
+      if (rows.size() > 4) {
+        rows[1] = -0.0f;
+        rows[2] = 0.0f;
+        rows[3] = rows[0];
+      }
+      std::vector<float> target(n);
+      for (float& v : target) {
+        v = static_cast<float>(rng.NextDouble() * 8.0 - 4.0);
+      }
+      std::vector<double> weights(n);
+      for (double& w : weights) w = rng.NextDouble() * 2.0;
+
+      for (int k = 0; k < kNumAggKinds; ++k) {
+        std::vector<double> out_scalar(num_rows, -1.0);
+        std::vector<double> out_avx2(num_rows, -2.0);
+        scalar.abs_diff_agg[k](rows.data(), stride, num_rows, target.data(),
+                               weights.data(), n, out_scalar.data());
+        avx2.abs_diff_agg[k](rows.data(), stride, num_rows, target.data(),
+                             weights.data(), n, out_avx2.data());
+        EXPECT_TRUE(BitsEqual(out_scalar, out_avx2))
+            << "abs_diff kind=" << k << " n=" << n << " rows=" << num_rows;
+
+        scalar.value_agg[k](rows.data(), stride, num_rows, weights.data(), n,
+                            out_scalar.data());
+        avx2.value_agg[k](rows.data(), stride, num_rows, weights.data(), n,
+                          out_avx2.data());
+        EXPECT_TRUE(BitsEqual(out_scalar, out_avx2))
+            << "value kind=" << k << " n=" << n << " rows=" << num_rows;
+      }
+    }
+  }
+}
+
+TEST_F(KernelsParityTest, AggregationAllNegativeRows) {
+  // The linf value kernel must track the scalar seed-from-first behaviour
+  // for all-negative rows (no phantom zero in either table).
+  const KernelTable& scalar = GetKernelTable(DispatchMode::kScalar);
+  const KernelTable& avx2 = GetKernelTable(DispatchMode::kAvx2);
+  Rng rng(5);
+  const size_t n = 9;
+  const size_t num_rows = 11;
+  std::vector<float> rows(num_rows * n);
+  for (float& v : rows) {
+    v = static_cast<float>(-rng.NextDouble() * 5.0 - 0.25);
+  }
+  std::vector<double> weights(n, 1.0);
+  for (int k = 0; k < kNumAggKinds; ++k) {
+    std::vector<double> out_scalar(num_rows);
+    std::vector<double> out_avx2(num_rows);
+    scalar.value_agg[k](rows.data(), n, num_rows, weights.data(), n,
+                        out_scalar.data());
+    avx2.value_agg[k](rows.data(), n, num_rows, weights.data(), n,
+                      out_avx2.data());
+    EXPECT_TRUE(BitsEqual(out_scalar, out_avx2)) << "kind=" << k;
+    if (k == static_cast<int>(AggKind::kLInf)) {
+      for (const double v : out_scalar) EXPECT_LT(v, 0.0);
+    }
+  }
+}
+
+TEST_F(KernelsParityTest, UnpackAllWidthsAndOffsets) {
+  const KernelTable& scalar = GetKernelTable(DispatchMode::kScalar);
+  const KernelTable& avx2 = GetKernelTable(DispatchMode::kAvx2);
+  Rng rng(77);
+  for (const int bits : {1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 33, 64}) {
+    const size_t n = 513;
+    const size_t num_words =
+        (n * static_cast<size_t>(bits) + 63) / 64;
+    std::vector<uint64_t> words(num_words);
+    for (uint64_t& w : words) w = rng.NextUint64();
+    for (const size_t begin :
+         {size_t{0}, size_t{1}, size_t{3}, size_t{15}, size_t{16},
+          size_t{63}, size_t{64}, size_t{65}, size_t{300}}) {
+      for (const size_t count :
+           {size_t{0}, size_t{1}, size_t{4}, size_t{16}, size_t{63},
+            size_t{64}, size_t{129}, size_t{200}}) {
+        if (begin + count > n) continue;
+        std::vector<uint64_t> out_scalar(count + 1, 0xAAu);
+        std::vector<uint64_t> out_avx2(count + 1, 0xBBu);
+        scalar.unpack(words.data(), num_words, bits, begin, count,
+                      out_scalar.data());
+        avx2.unpack(words.data(), num_words, bits, begin, count,
+                    out_avx2.data());
+        for (size_t i = 0; i < count; ++i) {
+          ASSERT_EQ(out_scalar[i], out_avx2[i])
+              << "bits=" << bits << " begin=" << begin << " count=" << count
+              << " i=" << i;
+        }
+        // Neither kernel may write past `count`.
+        EXPECT_EQ(out_scalar[count], 0xAAu);
+        EXPECT_EQ(out_avx2[count], 0xBBu);
+      }
+    }
+  }
+}
+
+TEST_F(KernelsParityTest, DequantRowAllLengths) {
+  const KernelTable& scalar = GetKernelTable(DispatchMode::kScalar);
+  const KernelTable& avx2 = GetKernelTable(DispatchMode::kAvx2);
+  Rng rng(31);
+  for (const size_t n : kLengths) {
+    std::vector<uint8_t> codes(n);
+    std::vector<float> minv(n);
+    std::vector<float> scale(n);
+    for (size_t i = 0; i < n; ++i) {
+      codes[i] = static_cast<uint8_t>(rng.NextUint64() & 0xff);
+      minv[i] = static_cast<float>(rng.NextDouble() * 4.0 - 2.0);
+      scale[i] = static_cast<float>(rng.NextDouble() / 255.0);
+    }
+    std::vector<float> out_scalar(n);
+    std::vector<float> out_avx2(n);
+    scalar.dequant_row(codes.data(), minv.data(), scale.data(), n,
+                       out_scalar.data());
+    avx2.dequant_row(codes.data(), minv.data(), scale.data(), n,
+                     out_avx2.data());
+    EXPECT_EQ(std::memcmp(out_scalar.data(), out_avx2.data(),
+                          n * sizeof(float)),
+              0)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace deepeverest
