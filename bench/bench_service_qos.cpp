@@ -86,12 +86,16 @@ std::vector<core::QuerySpec> MakeTemplates(const bench::System& system,
 }
 
 std::unique_ptr<core::DeepEverest> MakeEngine(const bench::System& system,
-                                              storage::FileStore* store) {
+                                              storage::FileStore* store,
+                                              int partitions = 0) {
   core::DeepEverestOptions options;
   options.batch_size = system.batch_size;
   // IQA off: cache state would make per-query inputs_run depend on the
   // schedule, which is exactly what the exactness check must exclude.
   options.enable_iqa = false;
+  // The preemption arms sweep partition count as the bulk round-length
+  // knob: fewer partitions = more inputs per NTA round = longer rounds.
+  if (partitions > 0) options.num_partitions_override = partitions;
   auto engine = core::DeepEverest::Create(system.model.get(),
                                           system.dataset.get(), store,
                                           options);
@@ -262,6 +266,204 @@ ModeResult RunMode(const bench::System& system, const QosBenchConfig& config,
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Preemption arm: interactive p99 vs bulk round length.
+//
+// Two workers are kept saturated by best-effort bulk sessions while an
+// interactive session probes in the foreground, across three bulk round
+// lengths (partition counts: fewer partitions = longer NTA rounds). Three
+// modes per round length:
+//   - baseline: no bulk load at all — the floor interactive latency;
+//   - preempt on: bulk parked between rounds the moment interactive work
+//     arrives (the default service behaviour);
+//   - preempt off: interactive waits for a full bulk query run-to-completion.
+// The contract: with preemption on, interactive p99 stays near the bulk-free
+// baseline regardless of round length, while preemption off degrades as
+// rounds lengthen — and every bulk result stays bit-identical to the
+// sequential reference with exact inputs_run, parked or not.
+
+enum class PreemptArm { kBaseline, kPreemptOn, kPreemptOff };
+
+struct PreemptArmOut {
+  std::vector<double> interactive_latencies;
+  int64_t parked_total = 0;
+  int64_t resumed_total = 0;
+  int mismatches = 0;
+  int inputs_mismatches = 0;
+};
+
+PreemptArmOut RunPreemptionArm(
+    const bench::System& system, const QosBenchConfig& config, int partitions,
+    PreemptArm arm, const std::vector<core::QuerySpec>& bulk_templates,
+    const std::vector<core::TopKResult>& bulk_reference,
+    const std::vector<core::QuerySpec>& inter_templates,
+    const std::vector<core::TopKResult>& inter_reference) {
+  bench::ScratchDir scratch("preempt_arm");
+  auto store = storage::FileStore::Open(scratch.path());
+  DE_CHECK(store.ok());
+  auto engine = MakeEngine(system, &store.value(), partitions);
+  DE_CHECK(engine->PreprocessAllLayers().ok());
+  engine->inference()->mutable_cost_model()->seconds_per_mac *=
+      config.device_scale;
+  engine->inference()->set_simulate_device_latency(true);
+
+  service::QueryServiceOptions options;
+  options.num_workers = 2;  // few enough for bulk to monopolise them
+  options.max_queue_depth = 4096;
+  options.enable_qos = true;
+  options.enable_preemption = arm == PreemptArm::kPreemptOn;
+  // Batching off: the arm isolates *scheduling* preemption. With the shared
+  // batch scheduler on, interactive inference also queues behind bulk's
+  // in-flight device batches — real, but a separate axis the main QoS bench
+  // already measures (per-class linger + sealing).
+  options.enable_cross_query_batching = false;
+  auto service = service::QueryService::Create(engine.get(), options);
+  DE_CHECK(service.ok()) << service.status().ToString();
+
+  PreemptArmOut out;
+  std::mutex result_mu;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> background;
+  const int bulk_sessions = arm == PreemptArm::kBaseline ? 0 : 2;
+  for (int s = 0; s < bulk_sessions; ++s) {
+    background.emplace_back([&, s] {
+      struct InFlight {
+        size_t template_index;
+        std::future<Result<core::TopKResult>> future;
+      };
+      std::deque<InFlight> inflight;
+      auto harvest = [&](InFlight in_flight) {
+        auto result = in_flight.future.get();
+        DE_CHECK(result.ok()) << result.status().ToString();
+        const core::TopKResult& expected =
+            bulk_reference[in_flight.template_index];
+        std::lock_guard<std::mutex> lock(result_mu);
+        if (!SameEntries(expected, result.value())) ++out.mismatches;
+        if (expected.stats.inputs_run != result->stats.inputs_run) {
+          ++out.inputs_mismatches;
+        }
+      };
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t index =
+            (static_cast<size_t>(s) * 13 + i) % bulk_templates.size();
+        core::QuerySpec query = bulk_templates[index];
+        query.session_id = static_cast<uint64_t>(1 + s);
+        query.qos = QosClass::kBestEffort;
+        auto submitted = (*service)->Submit(std::move(query));
+        DE_CHECK(submitted.ok()) << submitted.status().ToString();
+        inflight.push_back(InFlight{index, std::move(submitted.value())});
+        ++i;
+        while (inflight.size() >= 2) {
+          harvest(std::move(inflight.front()));
+          inflight.pop_front();
+        }
+      }
+      while (!inflight.empty()) {
+        harvest(std::move(inflight.front()));
+        inflight.pop_front();
+      }
+    });
+  }
+
+  if (bulk_sessions > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  }
+  for (int i = 0; i < config.interactive_queries; ++i) {
+    const size_t index = static_cast<size_t>(i) % inter_templates.size();
+    core::QuerySpec query = inter_templates[index];
+    query.session_id = 1000;
+    query.qos = QosClass::kInteractive;
+    Stopwatch latency;
+    auto result = (*service)->Execute(std::move(query));
+    const double seconds = latency.ElapsedSeconds();
+    DE_CHECK(result.ok()) << result.status().ToString();
+    out.interactive_latencies.push_back(seconds);
+    if (!SameEntries(inter_reference[index], result.value())) {
+      ++out.mismatches;
+    }
+    if (inter_reference[index].stats.inputs_run != result->stats.inputs_run) {
+      ++out.inputs_mismatches;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config.think_seconds));
+  }
+
+  stop.store(true);
+  for (std::thread& thread : background) thread.join();
+  (*service)->Drain();
+  const service::ServiceStats stats = (*service)->Snapshot();
+  out.parked_total = stats.parked_total;
+  out.resumed_total = stats.resumed_total;
+  DE_CHECK(stats.parked == 0) << "queries left parked after drain";
+  return out;
+}
+
+void RunPreemptionBench(const bench::System& system,
+                        const QosBenchConfig& config) {
+  bench_util::PrintBanner(
+      std::cout, "Preemptive execution: interactive p99 vs bulk round length",
+      "2 workers, 2 best-effort sessions x 2 outstanding, " +
+          std::to_string(config.interactive_queries) +
+          " interactive queries per arm");
+
+  // Heavy bulk work; light interactive probes (fresh generators per arm
+  // sweep would re-randomise — one set shared across all partition counts).
+  const std::vector<core::QuerySpec> bulk_templates =
+      MakeTemplates(system, 6, /*group_size=*/8, /*k=*/20, 9301);
+  const std::vector<core::QuerySpec> inter_templates =
+      MakeTemplates(system, 6, /*group_size=*/4, /*k=*/10, 9402);
+
+  bench_util::TablePrinter table(
+      {"partitions", "baseline p99", "preempt-on p99", "preempt-off p99",
+       "on/base", "off/base", "parked", "resumed"});
+  int64_t parked_sum = 0;
+  int mismatches = 0;
+  int inputs_mismatches = 0;
+  for (const int partitions : {2, 8, 32}) {
+    // Fresh reference per round length: entries are partition-invariant but
+    // per-query inputs_run is not, and exactness is asserted on both.
+    std::vector<core::TopKResult> bulk_reference, inter_reference;
+    {
+      bench::ScratchDir scratch("preempt_ref");
+      auto store = storage::FileStore::Open(scratch.path());
+      DE_CHECK(store.ok());
+      auto engine = MakeEngine(system, &store.value(), partitions);
+      DE_CHECK(engine->PreprocessAllLayers().ok());
+      bulk_reference = RunReference(engine.get(), bulk_templates);
+      inter_reference = RunReference(engine.get(), inter_templates);
+    }
+    PreemptArmOut arms[3];
+    const PreemptArm kinds[3] = {PreemptArm::kBaseline, PreemptArm::kPreemptOn,
+                                 PreemptArm::kPreemptOff};
+    for (int a = 0; a < 3; ++a) {
+      arms[a] = RunPreemptionArm(system, config, partitions, kinds[a],
+                                 bulk_templates, bulk_reference,
+                                 inter_templates, inter_reference);
+      mismatches += arms[a].mismatches;
+      inputs_mismatches += arms[a].inputs_mismatches;
+    }
+    parked_sum += arms[1].parked_total;
+    const double base = Percentile(arms[0].interactive_latencies, 0.99);
+    const double on = Percentile(arms[1].interactive_latencies, 0.99);
+    const double off = Percentile(arms[2].interactive_latencies, 0.99);
+    table.AddRow({std::to_string(partitions), bench_util::FormatSeconds(base),
+                  bench_util::FormatSeconds(on), bench_util::FormatSeconds(off),
+                  bench_util::FormatDouble(base > 0.0 ? on / base : 0.0, 2),
+                  bench_util::FormatDouble(base > 0.0 ? off / base : 0.0, 2),
+                  std::to_string(arms[1].parked_total),
+                  std::to_string(arms[1].resumed_total)});
+  }
+  table.Print(std::cout);
+
+  // The greppable line CI's smoke asserts on: at least one park happened and
+  // every result (bulk and interactive, all arms) was bit-identical to the
+  // sequential reference with exact inputs_run.
+  std::printf("\nPREEMPTION_SMOKE: parked=%lld identical=%s\n",
+              static_cast<long long>(parked_sum),
+              (mismatches == 0 && inputs_mismatches == 0) ? "yes" : "no");
+}
+
 void Run() {
   bench::Scale scale = bench::GetScale();
   if (bench::EnvInt("DE_BENCH_INPUTS", 0) <= 0) {
@@ -353,6 +555,8 @@ void Run() {
         p99_off / p99_on, p99_off * 1e3, p99_on * 1e3,
         p99_off / p99_on >= 2.0 ? "" : "  [WARNING: below the 2x target]");
   }
+
+  RunPreemptionBench(system, config);
 }
 
 }  // namespace

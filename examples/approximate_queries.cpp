@@ -44,11 +44,16 @@ int main() {
   // inputs through the DNN) while guaranteeing θ·dist(returned) <=
   // dist(anything else).
   std::printf("theta   inputs_run   worst-dist\n");
+  core::QuerySpec spec;
+  spec.kind = core::QuerySpec::Kind::kMostSimilar;
+  spec.k = 10;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  spec.target_id = static_cast<int64_t>(target);
   for (double theta : {1.0, 0.9, 0.7, 0.5}) {
-    core::NtaOptions options;
-    options.k = 10;
-    options.theta = theta;
-    auto result = (*de)->TopKMostSimilarWithOptions(target, group, options);
+    core::QuerySpec approx = spec;
+    approx.theta = theta;
+    auto result = (*de)->ExecuteSpec(approx);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -62,8 +67,6 @@ int main() {
   // finishes (section 6, "incrementally returning query results"). The
   // progress sink rides in a per-query QueryContext.
   std::printf("\nIncremental confirmation of the exact top-10:\n");
-  core::NtaOptions options;
-  options.k = 10;
   core::QueryContext progress_ctx;
   progress_ctx.on_progress = [](const core::NtaProgress& p) {
     std::printf("  round %2lld: threshold %.4f, %zu/10 results confirmed\n",
@@ -71,9 +74,7 @@ int main() {
                 p.confirmed.size());
     return true;
   };
-  if (!(*de)
-           ->TopKMostSimilarWithOptions(target, group, options, &progress_ctx)
-           .ok()) {
+  if (!(*de)->ExecuteSpec(spec, &progress_ctx).ok()) {
     return 1;
   }
 
@@ -86,8 +87,7 @@ int main() {
     guarantee = p.theta_guarantee;
     return p.round < 3;
   };
-  auto stopped =
-      (*de)->TopKMostSimilarWithOptions(target, group, options, &stop_ctx);
+  auto stopped = (*de)->ExecuteSpec(spec, &stop_ctx);
   if (!stopped.ok()) return 1;
   std::printf(
       "  returned %zu results after %lld inputs; they are a "

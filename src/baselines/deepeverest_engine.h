@@ -25,14 +25,16 @@ class DeepEverestEngine : public QueryEngine {
 
   Result<core::TopKResult> TopKHighest(const core::NeuronGroup& group, int k,
                                        core::DistancePtr dist) override {
-    return system_->TopKHighest(group, k, std::move(dist));
+    DE_ASSIGN_OR_RETURN(const core::DistanceKind kind, KindOf(dist));
+    return system_->TopKHighest(group, k, kind);
   }
 
   Result<core::TopKResult> TopKMostSimilar(uint32_t target_id,
                                            const core::NeuronGroup& group,
                                            int k,
                                            core::DistancePtr dist) override {
-    return system_->TopKMostSimilar(target_id, group, k, std::move(dist));
+    DE_ASSIGN_OR_RETURN(const core::DistanceKind kind, KindOf(dist));
+    return system_->TopKMostSimilar(target_id, group, k, kind);
   }
 
   Result<uint64_t> StorageBytes() const override {
@@ -40,6 +42,19 @@ class DeepEverestEngine : public QueryEngine {
   }
 
  private:
+  /// DeepEverest's query surface is declarative (QuerySpec names a
+  /// DistanceKind); map the baseline interface's object-form distance back
+  /// to its kind. Null means the engine default (l2, per the paper).
+  static Result<core::DistanceKind> KindOf(const core::DistancePtr& dist) {
+    if (dist == nullptr) return core::DistanceKind::kL2;
+    const std::string name = dist->name();
+    if (name == "l1") return core::DistanceKind::kL1;
+    if (name == "l2") return core::DistanceKind::kL2;
+    if (name == "linf") return core::DistanceKind::kLInf;
+    return Status::InvalidArgument(
+        "DeepEverestEngine supports built-in distances only, got: " + name);
+  }
+
   core::DeepEverest* system_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -101,9 +102,9 @@ uint64_t DeepEverest::FullMaterializationBytes() const {
 
 namespace {
 
-// Validated before Execute: the §4.6 fresh-scan path reads activation rows
-// with unchecked indexing (NtaEngine re-validates on its own path, but by
-// then an out-of-range neuron would already have been scanned).
+// Validated before the index ensure: the §4.6 fresh-scan path reads
+// activation rows with unchecked indexing (NtaEngine re-validates on its own
+// path, but by then an out-of-range neuron would already have been scanned).
 Status ValidateGroup(const nn::Model& model, const NeuronGroup& group) {
   if (group.neurons.empty()) {
     return Status::InvalidArgument("neuron group is empty");
@@ -123,151 +124,272 @@ Status ValidateGroup(const nn::Model& model, const NeuronGroup& group) {
   return Status::OK();
 }
 
+/// Charges a Step's wall time to the execution's active-time accumulator on
+/// every exit path (mirrors NtaExecution's accounting: parked time between
+/// Step calls costs the query nothing).
+class ActiveTimeCharge {
+ public:
+  explicit ActiveTimeCharge(double* acc) : acc_(acc) {}
+  ~ActiveTimeCharge() { *acc_ += watch_.ElapsedSeconds(); }
+  ActiveTimeCharge(const ActiveTimeCharge&) = delete;
+  ActiveTimeCharge& operator=(const ActiveTimeCharge&) = delete;
+
+ private:
+  Stopwatch watch_;
+  double* acc_;
+};
+
 }  // namespace
 
-template <typename NtaFn, typename ScanFn>
-Result<TopKResult> DeepEverest::Execute(int layer, QueryContext* ctx,
-                                        NtaFn&& nta_fn, ScanFn&& scan_fn) {
-  Stopwatch watch;
-  DE_RETURN_NOT_OK(ctx->CheckRunnable());
-  // Per-query receipt metering via the context: any index-build inference
-  // is charged to the query that actually performed the build (§4.6
-  // trigger); NTA meters its own calls into the same receipt. Unlike the
-  // old before/after stats() delta, concurrent queries on the shared engine
-  // can never leak into these numbers.
-  const nn::InferenceReceipt start_receipt = ctx->receipt;
-  storage::LayerActivationMatrix fresh;
-  const LayerIndex* index = nullptr;
-  {
-    SpanScope span(ctx->trace.get(), "index.ensure");
-    DE_ASSIGN_OR_RETURN(
-        index, index_manager_.EnsureIndex(layer, &fresh, nullptr,
-                                          &ctx->receipt));
-    span.AddInt("inputs_run",
-                ctx->receipt.inputs_run - start_receipt.inputs_run);
-    span.AddInt("built", fresh.num_inputs > 0 ? 1 : 0);
-  }
-  // The build (or the wait on another thread's build) may have consumed the
-  // whole deadline budget; abort before scanning or running NTA.
-  DE_RETURN_NOT_OK(ctx->CheckRunnable());
+/// Whole-query phase machine. Coarse phases (resolution, index ensure) run
+/// as single steps; the NTA phase delegates one round per Step to the inner
+/// NtaExecution. Everything needed to continue after a park — the resolved
+/// group, the index pointer (owned by the IndexManager, stable), the NTA
+/// engine and its execution, the open "nta" span — lives here.
+struct QueryExecution::Impl {
+  enum class Phase {
+    kResolve,      // derived-group resolution (≤ one inference pass)
+    kEnsureIndex,  // incremental index ensure; may answer via fresh scan
+    kNta,          // one NTA round per Step
+    kDone,
+  };
 
-  Result<TopKResult> result = [&]() -> Result<TopKResult> {
+  Impl(DeepEverest* system_in, const QuerySpec& spec_in, QueryContext* ctx_in)
+      : system(system_in),
+        spec(spec_in),
+        ctx(ctx_in),
+        start_receipt(ctx_in->receipt) {}
+
+  DeepEverest* system;
+  QuerySpec spec;
+  QueryContext* ctx;
+  nn::InferenceReceipt start_receipt;
+
+  Phase phase = Phase::kResolve;
+  Status error = Status::OK();
+  NeuronGroup group;
+  // The NTA engine must outlive its execution across steps (the old code
+  // stack-allocated it inside a run-to-completion frame).
+  std::unique_ptr<NtaEngine> engine;
+  std::unique_ptr<NtaExecution> nta;
+  int nta_span = -1;  // open "nta" span while the NTA phase runs
+  TopKResult result;  // valid once `have_result`
+  bool have_result = false;
+  double active_seconds = 0.0;
+
+  void EndNtaSpan() {
+    if (nta_span >= 0 && ctx->trace != nullptr) ctx->trace->EndSpan(nta_span);
+    nta_span = -1;
+  }
+
+  Status StepResolve() {
+    group.layer = spec.layer;
+    if (spec.has_derived_group()) {
+      // Resolution runs under the query's context: metered into its
+      // receipt, routed through its batch scheduler, aborted by
+      // deadline/cancel.
+      const int64_t reference =
+          spec.top_of >= 0 ? spec.top_of : spec.target_id;
+      SpanScope span(ctx->trace.get(), "resolve_group");
+      DE_ASSIGN_OR_RETURN(
+          group.neurons,
+          system->MaximallyActivatedNeurons(static_cast<uint32_t>(reference),
+                                            spec.layer, spec.top_neurons,
+                                            ctx));
+      span.AddInt("inputs_run",
+                  ctx->receipt.inputs_run - start_receipt.inputs_run);
+    } else {
+      group.neurons = spec.neurons;
+    }
+    phase = Phase::kEnsureIndex;
+    return Status::OK();
+  }
+
+  Status StepEnsureIndex() {
+    DE_RETURN_NOT_OK(ValidateGroup(system->inference()->model(), group));
+    const bool has_target_id =
+        spec.kind == QuerySpec::Kind::kMostSimilar && spec.target_id >= 0;
+    if (has_target_id && static_cast<uint64_t>(spec.target_id) >=
+                             system->inference()->dataset().size()) {
+      return Status::OutOfRange("target input out of range");
+    }
+    if (!spec.target_activations.empty() &&
+        spec.target_activations.size() != group.neurons.size()) {
+      return Status::InvalidArgument("target activation count mismatch");
+    }
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+
+    // Per-query receipt metering via the context: any index-build inference
+    // is charged to the query that actually performed the build (§4.6
+    // trigger); NTA meters its own calls into the same receipt. Unlike a
+    // before/after stats() delta, concurrent queries on the shared engine
+    // can never leak into these numbers.
+    const nn::InferenceReceipt ensure_start = ctx->receipt;
+    storage::LayerActivationMatrix fresh;
+    const LayerIndex* index = nullptr;
+    {
+      SpanScope span(ctx->trace.get(), "index.ensure");
+      DE_ASSIGN_OR_RETURN(index, system->index_manager()->EnsureIndex(
+                                     group.layer, &fresh, nullptr,
+                                     &ctx->receipt));
+      span.AddInt("inputs_run",
+                  ctx->receipt.inputs_run - ensure_start.inputs_run);
+      span.AddInt("built", fresh.num_inputs > 0 ? 1 : 0);
+    }
+    // The build (or the wait on another thread's build) may have consumed
+    // the whole deadline budget; abort before scanning or running NTA.
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+
+    NtaOptions options;
+    options.k = spec.k;
+    options.theta = spec.theta;
+    // Canonical serving mode: tie-complete termination makes the result
+    // bit-identical to a fresh activation scan even on exact value ties at
+    // the k-th boundary, so every entry point — and every park/resume
+    // schedule — returns the same answer.
+    options.tie_complete = true;
+    options.use_mai = system->options().enable_mai;
+    DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(spec.distance));
+
     if (fresh.num_inputs > 0) {
       // Incremental indexing (§4.6): the index was just built, which
       // computed every input's activations anyway — answer the triggering
       // query from them directly.
       SpanScope span(ctx->trace.get(), "scan");
-      return scan_fn(fresh);
-    }
-    SpanScope span(ctx->trace.get(), "nta");
-    NtaEngine nta(&inference_, index);
-    return nta_fn(&nta);
-  }();
-  if (!result.ok()) return result;
-
-  // Whole-query inference cost = the context receipt's delta over this
-  // call: index build + NTA (the scan path runs no inference of its own).
-  QueryStats& stats = result.value().stats;
-  stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
-  stats.batches_run = ctx->receipt.batches_run - start_receipt.batches_run;
-  stats.simulated_gpu_seconds =
-      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
-  stats.wall_seconds = watch.ElapsedSeconds();
-  return result;
-}
-
-Result<TopKResult> DeepEverest::TopKHighest(const NeuronGroup& group, int k,
-                                            DistancePtr dist) {
-  NtaOptions options;
-  options.k = k;
-  options.dist = std::move(dist);
-  return TopKHighestWithOptions(group, std::move(options));
-}
-
-Result<TopKResult> DeepEverest::TopKHighestWithOptions(
-    const NeuronGroup& group, NtaOptions options, QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
-  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
-  options.use_mai = options.use_mai && options_.enable_mai;
-  const DistancePtr dist =
-      options.dist != nullptr ? options.dist : L2Distance();
-  return Execute(
-      group.layer, ctx,
-      [&](NtaEngine* nta) { return nta->Highest(group, options, ctx); },
-      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
-        return ScanHighest(acts, group.neurons, options.k, dist);
-      });
-}
-
-Result<TopKResult> DeepEverest::TopKMostSimilar(uint32_t target_id,
-                                                const NeuronGroup& group,
-                                                int k, DistancePtr dist) {
-  NtaOptions options;
-  options.k = k;
-  options.dist = std::move(dist);
-  return TopKMostSimilarWithOptions(target_id, group, std::move(options));
-}
-
-Result<TopKResult> DeepEverest::TopKMostSimilarWithOptions(
-    uint32_t target_id, const NeuronGroup& group, NtaOptions options,
-    QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
-  if (target_id >= inference_.dataset().size()) {
-    return Status::OutOfRange("target input out of range");
-  }
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
-  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
-  options.use_mai = options.use_mai && options_.enable_mai;
-  const DistancePtr dist =
-      options.dist != nullptr ? options.dist : L2Distance();
-  return Execute(
-      group.layer, ctx,
-      [&](NtaEngine* nta) {
-        return nta->MostSimilarTo(group, target_id, options, ctx);
-      },
-      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
+      if (spec.kind == QuerySpec::Kind::kHighest) {
+        result = ScanHighest(fresh, group.neurons, spec.k, options.dist);
+      } else if (has_target_id) {
+        const uint32_t target_id = static_cast<uint32_t>(spec.target_id);
         std::vector<float> target_acts(group.neurons.size());
         for (size_t i = 0; i < group.neurons.size(); ++i) {
           target_acts[i] =
-              acts.At(target_id, static_cast<uint64_t>(group.neurons[i]));
+              fresh.At(target_id, static_cast<uint64_t>(group.neurons[i]));
         }
-        return ScanMostSimilar(acts, group.neurons, target_acts, options.k,
-                               dist, /*exclude_target=*/true, target_id);
-      });
-}
+        result = ScanMostSimilar(fresh, group.neurons, target_acts, spec.k,
+                                 options.dist, /*exclude_target=*/true,
+                                 target_id);
+      } else {
+        result = ScanMostSimilar(fresh, group.neurons,
+                                 spec.target_activations, spec.k,
+                                 options.dist, /*exclude_target=*/false, 0);
+      }
+      have_result = true;
+      phase = Phase::kDone;
+      return Status::OK();
+    }
 
-Result<TopKResult> DeepEverest::TopKMostSimilarToActivations(
-    const std::vector<float>& target_acts, const NeuronGroup& group,
-    NtaOptions options, QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(*model_, group));
-  if (target_acts.size() != group.neurons.size()) {
-    return Status::InvalidArgument("target activation count mismatch");
+    // The NTA phase spans many Steps; keep its span open across them.
+    if (ctx->trace != nullptr) nta_span = ctx->trace->StartSpan("nta");
+    engine = std::make_unique<NtaEngine>(system->inference(), index);
+    Result<std::unique_ptr<NtaExecution>> begun =
+        spec.kind == QuerySpec::Kind::kHighest
+            ? engine->BeginHighest(group, options, ctx)
+        : has_target_id
+            ? engine->BeginMostSimilarTo(
+                  group, static_cast<uint32_t>(spec.target_id), options, ctx)
+            : engine->BeginMostSimilar(group, spec.target_activations,
+                                       options, ctx);
+    if (!begun.ok()) return begun.status();
+    nta = std::move(begun).value();
+    phase = Phase::kNta;
+    return Status::OK();
   }
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
-  if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
-  options.use_mai = options.use_mai && options_.enable_mai;
-  const DistancePtr dist =
-      options.dist != nullptr ? options.dist : L2Distance();
-  return Execute(
-      group.layer, ctx,
-      [&](NtaEngine* nta) {
-        return nta->MostSimilar(group, target_acts, options, ctx);
-      },
-      [&](const storage::LayerActivationMatrix& acts) -> Result<TopKResult> {
-        return ScanMostSimilar(acts, group.neurons, target_acts, options.k,
-                               dist, /*exclude_target=*/false, 0);
-      });
+
+  Status StepNta() {
+    DE_RETURN_NOT_OK(nta->Step());
+    if (!nta->done()) return Status::OK();
+    Result<TopKResult> taken = nta->TakeResult();
+    EndNtaSpan();
+    if (!taken.ok()) return taken.status();
+    result = std::move(taken).value();
+    have_result = true;
+    phase = Phase::kDone;
+    return Status::OK();
+  }
+};
+
+QueryExecution::QueryExecution(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+QueryExecution::~QueryExecution() {
+  // Abandoned mid-NTA (e.g. service shutdown with a parked query): close
+  // the open span so the trace stays well-formed.
+  if (impl_ != nullptr) impl_->EndNtaSpan();
 }
 
-Result<TopKResult> DeepEverest::ExecuteSpec(const QuerySpec& spec,
-                                            QueryContext* ctx) {
+bool QueryExecution::done() const {
+  return impl_->phase == Impl::Phase::kDone;
+}
+
+Status QueryExecution::Step() {
+  Impl& im = *impl_;
+  if (im.phase == Impl::Phase::kDone) return im.error;
+  ActiveTimeCharge charge(&im.active_seconds);
+  Status s = Status::OK();
+  switch (im.phase) {
+    case Impl::Phase::kResolve:
+      s = im.StepResolve();
+      break;
+    case Impl::Phase::kEnsureIndex:
+      s = im.StepEnsureIndex();
+      break;
+    case Impl::Phase::kNta:
+      s = im.StepNta();
+      break;
+    case Impl::Phase::kDone:
+      break;
+  }
+  if (!s.ok()) {
+    im.EndNtaSpan();
+    im.error = s;
+    im.phase = Impl::Phase::kDone;
+  }
+  return s;
+}
+
+Status QueryExecution::RunUntil(const std::function<bool()>& should_yield) {
+  while (!done()) {
+    DE_RETURN_NOT_OK(Step());
+    if (!done() && should_yield && should_yield()) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<TopKResult> QueryExecution::Run() {
+  while (!done()) {
+    const Status s = Step();
+    if (!s.ok()) return s;
+  }
+  return TakeResult();
+}
+
+Result<TopKResult> QueryExecution::TakeResult() {
+  Impl& im = *impl_;
+  if (im.phase != Impl::Phase::kDone) {
+    return Status::FailedPrecondition("query execution is not finished");
+  }
+  if (!im.error.ok()) return im.error;
+  TopKResult result = std::move(im.result);
+  // Receipt delta over the whole execution: derived-group resolution and
+  // index-build inference are part of the query's exact attribution.
+  QueryStats& stats = result.stats;
+  stats.inputs_run =
+      im.ctx->receipt.inputs_run - im.start_receipt.inputs_run;
+  stats.batches_run =
+      im.ctx->receipt.batches_run - im.start_receipt.batches_run;
+  stats.simulated_gpu_seconds = im.ctx->receipt.simulated_gpu_seconds -
+                                im.start_receipt.simulated_gpu_seconds;
+  stats.wall_seconds = im.active_seconds;
+  return result;
+}
+
+Result<std::unique_ptr<QueryExecution>> DeepEverest::BeginSpec(
+    const QuerySpec& spec, QueryContext* ctx) {
   DE_RETURN_NOT_OK(ValidateSpec(spec));
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
+  if (ctx == nullptr) {
+    return Status::InvalidArgument(
+        "a QueryContext is required to begin an execution");
+  }
   if (ctx->iqa == nullptr) ctx->iqa = iqa_cache_.get();
   // Engine-direct callers get the spec's progress sink too (the service
   // moves the sink into the context at admission instead, leaving the
@@ -275,54 +397,42 @@ Result<TopKResult> DeepEverest::ExecuteSpec(const QuerySpec& spec,
   if (spec.on_progress && !ctx->on_progress) {
     ctx->on_progress = spec.on_progress;
   }
-  Stopwatch watch;
-  // Snapshot before derived-group resolution: its inference belongs to this
-  // query's stats exactly like index-build inference does.
-  const nn::InferenceReceipt start_receipt = ctx->receipt;
+  std::unique_ptr<QueryExecution::Impl> impl(
+      new QueryExecution::Impl(this, spec, ctx));
+  return std::unique_ptr<QueryExecution>(new QueryExecution(std::move(impl)));
+}
 
-  NeuronGroup group;
-  group.layer = spec.layer;
-  if (spec.has_derived_group()) {
-    // Resolution runs under the query's context: metered into its receipt,
-    // routed through its batch scheduler, aborted by deadline/cancel.
-    const int64_t reference =
-        spec.top_of >= 0 ? spec.top_of : spec.target_id;
-    SpanScope span(ctx->trace.get(), "resolve_group");
-    DE_ASSIGN_OR_RETURN(
-        group.neurons,
-        MaximallyActivatedNeurons(static_cast<uint32_t>(reference),
-                                  spec.layer, spec.top_neurons, ctx));
-    span.AddInt("inputs_run",
-                ctx->receipt.inputs_run - start_receipt.inputs_run);
-  } else {
-    group.neurons = spec.neurons;
-  }
+Result<TopKResult> DeepEverest::ExecuteSpec(const QuerySpec& spec,
+                                            QueryContext* ctx) {
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_ASSIGN_OR_RETURN(std::unique_ptr<QueryExecution> execution,
+                      BeginSpec(spec, ctx));
+  return execution->Run();
+}
 
-  NtaOptions options;
-  options.k = spec.k;
-  options.theta = spec.theta;
-  // Canonical serving mode: tie-complete termination makes the result
-  // bit-identical to a fresh activation scan even on exact value ties at
-  // the k-th boundary, so every entry point returns the same answer.
-  options.tie_complete = true;
-  DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(spec.distance));
+Result<TopKResult> DeepEverest::TopKHighest(const NeuronGroup& group, int k,
+                                            DistanceKind distance) {
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = k;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  spec.distance = distance;
+  return ExecuteSpec(spec);
+}
 
-  Result<TopKResult> result =
-      spec.kind == QuerySpec::Kind::kHighest
-          ? TopKHighestWithOptions(group, std::move(options), ctx)
-          : TopKMostSimilarWithOptions(static_cast<uint32_t>(spec.target_id),
-                                       group, std::move(options), ctx);
-  if (!result.ok()) return result;
-
-  // Recompute the receipt delta over the whole spec execution so a derived
-  // group's resolution pass is part of the query's exact attribution.
-  QueryStats& stats = result.value().stats;
-  stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
-  stats.batches_run = ctx->receipt.batches_run - start_receipt.batches_run;
-  stats.simulated_gpu_seconds = ctx->receipt.simulated_gpu_seconds -
-                                start_receipt.simulated_gpu_seconds;
-  stats.wall_seconds = watch.ElapsedSeconds();
-  return result;
+Result<TopKResult> DeepEverest::TopKMostSimilar(uint32_t target_id,
+                                                const NeuronGroup& group,
+                                                int k, DistanceKind distance) {
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kMostSimilar;
+  spec.k = k;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  spec.target_id = static_cast<int64_t>(target_id);
+  spec.distance = distance;
+  return ExecuteSpec(spec);
 }
 
 Result<std::vector<int64_t>> DeepEverest::MaximallyActivatedNeurons(

@@ -51,6 +51,59 @@ struct DeepEverestOptions {
   bool force_sync = false;
 };
 
+class DeepEverest;
+
+/// \brief One in-flight QuerySpec as a first-class, resumable object: the
+/// whole-query phase machine (derived-group resolution → incremental index
+/// ensure → scan or round-sliced NTA) with all state checkpointed between
+/// `Step()` calls.
+///
+/// Created by DeepEverest::BeginSpec(). The first Steps run the coarse
+/// phases (resolution costs at most one inference pass; the index ensure may
+/// build the layer index); once NTA starts, every further Step runs exactly
+/// one NTA round. The final result — and its receipt-metered `inputs_run`
+/// attribution over the *whole* execution, resolution and index build
+/// included — is identical to an uninterrupted ExecuteSpec call.
+///
+/// Ownership/threading: single-owner state, NOT internally synchronised. At
+/// most one thread may touch the object at a time; a cross-thread handoff
+/// must be ordered by an external synchronisation point (the QueryService
+/// parks executions in its mutex-guarded dispatch queue). The QueryContext
+/// passed to BeginSpec must outlive the execution; cancellation and deadline
+/// are re-validated at every Step, so an execution whose deadline expired
+/// while parked aborts on its first resumed Step.
+class QueryExecution {
+ public:
+  ~QueryExecution();
+  QueryExecution(const QueryExecution&) = delete;
+  QueryExecution& operator=(const QueryExecution&) = delete;
+
+  /// Runs one unit of work (one phase transition or one NTA round). A
+  /// non-OK status finishes the execution; TakeResult() returns the same
+  /// status. Calling Step() once done is a no-op.
+  Status Step();
+
+  /// True once the query finished (answer ready or terminal error).
+  bool done() const;
+
+  /// Steps until done() or until `should_yield` returns true between
+  /// steps. Returns OK when yielding; otherwise the terminal status.
+  Status RunUntil(const std::function<bool()>& should_yield);
+
+  /// Steps to completion and returns the final result.
+  Result<TopKResult> Run();
+
+  /// After done(): the final result or the terminal error. `wall_seconds`
+  /// is accumulated *active* stepping time; parked time is not charged.
+  Result<TopKResult> TakeResult();
+
+ private:
+  friend class DeepEverest;
+  struct Impl;
+  explicit QueryExecution(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// \brief The DeepEverest system: declarative top-k queries over DNN
 /// activations, accelerated by NPI + MAI + NTA with incremental indexing.
 ///
@@ -61,6 +114,12 @@ struct DeepEverestOptions {
 ///   NeuronGroup g{.layer = 7, .neurons = {12, 55, 203}};
 ///   auto top = (*de)->TopKMostSimilar(/*target_id=*/42, g, /*k=*/20);
 /// \endcode
+///
+/// The system has ONE execution mechanism: every query is a core::QuerySpec
+/// run through the resumable QueryExecution phase machine (BeginSpec). The
+/// run-to-completion entry points are thin spec-building wrappers over it;
+/// there is no separate non-resumable path and no entry point that bypasses
+/// ValidateSpec or QueryContext.
 class DeepEverest {
  public:
   /// `model`, `dataset`, and `store` must outlive the returned object.
@@ -69,54 +128,38 @@ class DeepEverest {
       storage::FileStore* store, const DeepEverestOptions& options);
 
   /// Top-k highest query ("FireMax"): the k inputs with the largest
-  /// dist-aggregated activations for the group. `dist` nullptr = l2.
+  /// dist-aggregated activations for the group. Builds a QuerySpec and runs
+  /// it through the canonical path (tie-complete termination, default
+  /// context).
   Result<TopKResult> TopKHighest(const NeuronGroup& group, int k,
-                                 DistancePtr dist = nullptr);
+                                 DistanceKind distance = DistanceKind::kL2);
 
   /// Top-k most-similar query ("SimTop"/"SimHigh"): the k inputs closest to
   /// dataset input `target_id` in the group's activation space. The target
   /// itself is excluded from the result.
   Result<TopKResult> TopKMostSimilar(uint32_t target_id,
                                      const NeuronGroup& group, int k,
-                                     DistancePtr dist = nullptr);
+                                     DistanceKind distance = DistanceKind::kL2);
 
-  /// Full-control variants (θ-approximation, custom dist), optionally with
-  /// a per-query QueryContext carrying QoS class, deadline, cancellation,
-  /// receipt accumulation, progress sink, and the shared IQA cache / batch
-  /// scheduler. `ctx` may be null (a default context is used); when the
-  /// context's `iqa` is null it is filled with the engine's cache. Deadline
-  /// expiry or cancellation aborts with DeadlineExceeded / Cancelled within
-  /// one NTA round; the context's receipt then still reflects the inference
-  /// spent before the abort.
-  Result<TopKResult> TopKHighestWithOptions(const NeuronGroup& group,
-                                            NtaOptions options,
-                                            QueryContext* ctx = nullptr);
-  Result<TopKResult> TopKMostSimilarWithOptions(uint32_t target_id,
-                                                const NeuronGroup& group,
-                                                NtaOptions options,
-                                                QueryContext* ctx = nullptr);
-  /// Most-similar against an arbitrary activation vector (out-of-dataset
-  /// probe), one value per neuron in `group`.
-  Result<TopKResult> TopKMostSimilarToActivations(
-      const std::vector<float>& target_acts, const NeuronGroup& group,
-      NtaOptions options, QueryContext* ctx = nullptr);
-
-  /// \brief The canonical execution path for a core::QuerySpec — the one
-  /// function every entry point's query ultimately runs through (the
-  /// QueryService's workers call it; engine-direct callers get the
-  /// identical semantics by calling it themselves).
+  /// \brief Begins a resumable execution of `spec` — the one mechanism every
+  /// query runs through.
   ///
-  /// Validates the spec (the shared ValidateSpec choke point), resolves a
-  /// derived `TOP m NEURONS [OF input]` group under `ctx` — so the
-  /// resolution inference is receipt-metered, deadline-checked, and
-  /// cancellable like the rest of the query, and is included in the
-  /// result's QueryStats — then executes with tie-complete NTA
-  /// termination (the canonical serving mode: results are bit-identical
-  /// to a fresh activation scan even on k-th-boundary value ties,
-  /// regardless of schedule or cache state). The spec's serving envelope
-  /// (session, QoS, deadline, weight) is NOT applied here — scheduling is
-  /// the QueryService's job; `ctx` carries whatever of it applies.
-  /// `ctx` may be null (a default context: no deadline, direct inference).
+  /// Validates the spec (the shared ValidateSpec choke point) immediately;
+  /// all further work — derived `TOP m NEURONS [OF input]` resolution under
+  /// `ctx` (receipt-metered, deadline-checked, cancellable), incremental
+  /// index ensure, then tie-complete NTA one round per Step — happens in
+  /// Step(). The canonical serving mode is tie-complete: results are
+  /// bit-identical to a fresh activation scan even on k-th-boundary value
+  /// ties, regardless of schedule, park/resume timing, or cache state. The
+  /// spec's serving envelope (session, QoS, deadline, weight) is NOT applied
+  /// here — scheduling is the QueryService's job; `ctx` carries whatever of
+  /// it applies. `ctx` must be non-null and outlive the execution; when its
+  /// `iqa` is null it is filled with the engine's cache.
+  Result<std::unique_ptr<QueryExecution>> BeginSpec(const QuerySpec& spec,
+                                                    QueryContext* ctx);
+
+  /// Begin + Run convenience: executes `spec` to completion. `ctx` may be
+  /// null (a default context: no deadline, direct inference).
   Result<TopKResult> ExecuteSpec(const QuerySpec& spec,
                                  QueryContext* ctx = nullptr);
 
@@ -125,7 +168,7 @@ class DeepEverest {
   /// choose their neuron groups (§4.7.1). Costs one inference pass. The
   /// context-taking overload meters that pass into `ctx->receipt`, routes
   /// it through the context's batch scheduler, and honours
-  /// cancellation/deadline — it is how ExecuteSpec resolves derived
+  /// cancellation/deadline — it is how BeginSpec resolves derived
   /// groups; the convenience overload runs with a default context.
   Result<std::vector<int64_t>> MaximallyActivatedNeurons(uint32_t target_id,
                                                          int layer, int m);
@@ -161,15 +204,6 @@ class DeepEverest {
   DeepEverest(const nn::Model* model, const data::Dataset* dataset,
               storage::FileStore* store, const DeepEverestOptions& options,
               const SystemConfig& config);
-
-  /// Runs `query` with incremental indexing: if the layer is not indexed
-  /// yet, answers from the freshly computed activations and builds the
-  /// index as a side effect (§4.6). `ctx` is non-null (callers substitute a
-  /// local default); all inference — index builds included — lands in its
-  /// receipt, from which the result's per-query stats are computed.
-  template <typename NtaFn, typename ScanFn>
-  Result<TopKResult> Execute(int layer, QueryContext* ctx, NtaFn&& nta_fn,
-                             ScanFn&& scan_fn);
 
   const nn::Model* model_;
   DeepEverestOptions options_;

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "common/trace.h"
@@ -78,46 +79,32 @@ Status ValidateOptions(const NtaOptions& options) {
   return Status::OK();
 }
 
-}  // namespace
-
-struct NtaEngine::RunState {
-  /// Group activations for every input evaluated so far.
+/// Group activations learned so far plus the IQA hit count — the dedup set
+/// every Evaluate call consults.
+struct RunState {
   std::unordered_map<uint32_t, std::vector<float>> acts;
   int64_t iqa_hits = 0;
 };
 
-Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
-  if (group.neurons.empty()) {
-    return Status::InvalidArgument("neuron group is empty");
-  }
-  if (group.layer < 0 || group.layer >= inference_->model().num_layers()) {
-    return Status::OutOfRange("layer " + std::to_string(group.layer) +
-                              " out of range");
-  }
-  const int64_t layer_neurons = inference_->model().NeuronCount(group.layer);
-  if (layer_neurons != index_->num_neurons()) {
-    return Status::FailedPrecondition(
-        "index neuron count " + std::to_string(index_->num_neurons()) +
-        " does not match layer " + std::to_string(group.layer) + " (" +
-        std::to_string(layer_neurons) + " neurons)");
-  }
-  if (index_->num_inputs() != inference_->dataset().size()) {
-    return Status::FailedPrecondition("index built for a different dataset");
-  }
-  for (int64_t n : group.neurons) {
-    if (n < 0 || n >= layer_neurons) {
-      return Status::OutOfRange("neuron " + std::to_string(n) +
-                                " out of range for layer " +
-                                std::to_string(group.layer));
-    }
-  }
-  return Status::OK();
-}
+/// Per-neuron cursor over the similarity-ordered MAI entries (§4.7.1),
+/// checkpointed between rounds.
+struct MaiCursor {
+  size_t gi = 0;                // position within the group
+  std::vector<uint32_t> order;  // MAI ranks sorted by |act - s| asc
+  size_t next = 0;
+  bool seen_highest = false;  // H_i: consumed the rank-0 (max act) entry
+  double min_seen = kInf;
+  double max_seen = -kInf;
+};
 
-Status NtaEngine::Evaluate(const NeuronGroup& group,
-                           const std::vector<uint32_t>& ids,
-                           QueryContext* ctx, RunState* state,
-                           std::vector<uint32_t>* newly) {
+/// Computes group activations for `ids` (deduplicated against rows already
+/// known), consulting the context's IQA cache first and batching the rest
+/// through the context's scheduler (or the engine directly). IDs that
+/// became known by this call are appended to `newly` (each input becomes
+/// known exactly once per query). Inference cost lands in ctx->receipt.
+Status EvaluateGroup(nn::InferenceEngine* inference, const NeuronGroup& group,
+                     const std::vector<uint32_t>& ids, QueryContext* ctx,
+                     RunState* state, std::vector<uint32_t>* newly) {
   std::vector<uint32_t> to_infer;
   for (uint32_t id : ids) {
     if (state->acts.count(id) != 0) continue;
@@ -148,8 +135,8 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
                                                     &rows, &ctx->receipt,
                                                     ctx->qos));
     } else {
-      DE_RETURN_NOT_OK(inference_->ComputeLayer(to_infer, group.layer, &rows,
-                                                &ctx->receipt));
+      DE_RETURN_NOT_OK(inference->ComputeLayer(to_infer, group.layer, &rows,
+                                               &ctx->receipt));
     }
     span.AddInt("inputs", static_cast<int64_t>(to_infer.size()));
     span.AddDouble("batches_share",
@@ -175,68 +162,117 @@ Status NtaEngine::Evaluate(const NeuronGroup& group,
   return Status::OK();
 }
 
-Result<TopKResult> NtaEngine::MostSimilarTo(const NeuronGroup& group,
-                                            uint32_t target_id,
-                                            const NtaOptions& options,
-                                            QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(group));
-  if (target_id >= inference_->dataset().size()) {
-    return Status::OutOfRange("target input " + std::to_string(target_id) +
-                              " out of range");
-  }
-  return MostSimilarImpl(group, {}, options, ctx, /*has_target_id=*/true,
-                         target_id);
-}
+/// Charges a Step's wall time to the execution's active-time accumulator on
+/// every exit path, so `wall_seconds` covers exactly the time spent
+/// stepping — parked intervals between Step calls cost the query nothing.
+class ActiveTimeCharge {
+ public:
+  explicit ActiveTimeCharge(double* acc) : acc_(acc) {}
+  ~ActiveTimeCharge() { *acc_ += watch_.ElapsedSeconds(); }
+  ActiveTimeCharge(const ActiveTimeCharge&) = delete;
+  ActiveTimeCharge& operator=(const ActiveTimeCharge&) = delete;
 
-Result<TopKResult> NtaEngine::MostSimilar(const NeuronGroup& group,
-                                          const std::vector<float>& target_acts,
-                                          const NtaOptions& options,
-                                          QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(group));
-  if (target_acts.size() != group.neurons.size()) {
-    return Status::InvalidArgument("target activation count mismatch");
-  }
-  return MostSimilarImpl(group, target_acts, options, ctx,
-                         /*has_target_id=*/false, 0);
-}
+ private:
+  Stopwatch watch_;
+  double* acc_;
+};
 
-Result<TopKResult> NtaEngine::MostSimilarImpl(
-    const NeuronGroup& group, const std::vector<float>& target_acts_in,
-    const NtaOptions& options, QueryContext* ctx, bool has_target_id,
-    uint32_t target_id) {
-  DE_RETURN_NOT_OK(ValidateOptions(options));
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
-  DE_RETURN_NOT_OK(ctx->CheckRunnable());
-  const nn::InferenceReceipt start_receipt = ctx->receipt;
-  const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
-  const size_t g = group.neurons.size();
-  Stopwatch watch;
+}  // namespace
 
+/// All checkpointed state of one NTA query. Every former loop local of the
+/// run-to-completion implementation lives here, so a Step boundary is a
+/// complete checkpoint: the candidate set, the threshold inputs (MAI
+/// cursors / partition bounds), the round counter, and the IQA/receipt
+/// bookkeeping all survive a park and a cross-thread handoff.
+struct NtaExecution::Impl {
+  enum class Phase {
+    kPrologue,          // most-similar: target evaluation + cursor setup
+    kMaiRound,          // most-similar MAI fast-path round (§4.7.1)
+    kPartitionRound,    // most-similar partition round (§4.4)
+    kHighestMaiRound,   // highest phase A round: lockstep MAI descent
+    kHighestPartition,  // highest phase B round: one whole partition
+    kDone,
+  };
+
+  Impl(nn::InferenceEngine* inference_in, const LayerIndex* index_in,
+       QueryContext* ctx_in, const NeuronGroup& group_in,
+       const NtaOptions& options_in, bool is_highest)
+      : inference(inference_in),
+        index(index_in),
+        ctx(ctx_in),
+        group(group_in),
+        options(options_in),
+        dist(options_in.dist != nullptr ? options_in.dist : L2Distance()),
+        g(group_in.neurons.size()),
+        start_receipt(ctx_in->receipt),
+        num_partitions(index_in->num_partitions()),
+        top(options_in.k, /*smaller_is_better=*/!is_highest) {}
+
+  // --- immutable query shape ----------------------------------------------
+  nn::InferenceEngine* inference;
+  const LayerIndex* index;
+  QueryContext* ctx;
+  NeuronGroup group;
+  NtaOptions options;
+  DistancePtr dist;
+  size_t g;
+  nn::InferenceReceipt start_receipt;
+  int num_partitions;
+  bool has_target_id = false;
+  uint32_t target_id = 0;
+  std::vector<float> target_acts;  // set at Begin, or by the prologue
+
+  // --- checkpointed run state ---------------------------------------------
+  Phase phase = Phase::kPrologue;
+  Status error = Status::OK();
   RunState state;
   std::vector<uint32_t> newly;
+  TopKSet top;
+  int64_t rounds = 0;
+  bool finished = false;  // threshold met or user early stop
+  bool terminated_early = false;
+  double last_threshold = 0.0;
+  double active_seconds = 0.0;
 
-  // Step 2: compute the target's activations (one inference pass when the
-  // target is a dataset input).
-  std::vector<float> target_acts = target_acts_in;
-  if (has_target_id) {
-    SpanScope span(ctx->trace.get(), "nta.target");
-    const int64_t inputs_before = ctx->receipt.inputs_run;
-    DE_RETURN_NOT_OK(Evaluate(group, {target_id}, ctx, &state, &newly));
-    span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
-    target_acts = state.acts.at(target_id);
-    newly.clear();
-  }
+  // Most-similar MAI fast path (§4.7.1).
+  std::vector<MaiCursor> cursors;
 
-  TopKSet top(options.k, /*smaller_is_better=*/true);
-  // Per-round candidate maintenance is a streaming pass: the round's new
-  // activations are gathered into one contiguous row block and aggregated
-  // with a single batched virtual call (built-ins: one dispatched SIMD/scalar
-  // kernel call), instead of one virtual Aggregate per candidate.
+  // Most-similar partition loop (§4.4), built lazily on phase entry.
+  bool partitions_ready = false;
+  std::vector<std::vector<uint32_t>> ord;
+  std::vector<double> min_bound;
+  std::vector<double> max_bound;
+  std::vector<bool> seen_first;
+  std::vector<bool> seen_last;
+  std::vector<std::vector<uint32_t>> round_members;
+  size_t partition_round = 0;
+  size_t max_rounds = 0;
+
+  // Highest cursors: phase A sorted-access position per neuron, phase B's
+  // next whole partition.
+  bool use_mai = false;
+  uint32_t mai_count = 0;
+  std::vector<size_t> mai_next;
+  std::vector<int> next_partition;
+  int next_pid = 0;
+
+  // Scratch reused across rounds (capacity persists; contents per-round).
+  std::vector<double> min_dists;
   std::vector<uint32_t> offer_ids;
   std::vector<float> offer_block;
-  std::vector<double> offer_dists;
-  auto offer_newly = [&]() {
+  std::vector<double> offer_values;
+  std::vector<uint32_t> members;
+
+  Status Evaluate(const std::vector<uint32_t>& ids) {
+    return EvaluateGroup(inference, group, ids, ctx, &state, &newly);
+  }
+
+  // Per-round candidate maintenance is a streaming pass: the round's new
+  // activations are gathered into one contiguous row block and aggregated
+  // with a single batched virtual call (built-ins: one dispatched
+  // SIMD/scalar kernel call), instead of one virtual Aggregate per
+  // candidate.
+  void OfferNewlyMostSimilar() {
     offer_ids.clear();
     for (uint32_t id : newly) {
       if (has_target_id && id == target_id) continue;
@@ -249,20 +285,31 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
       const std::vector<float>& acts = state.acts.at(offer_ids[r]);
       std::copy(acts.begin(), acts.end(), offer_block.begin() + r * g);
     }
-    offer_dists.resize(offer_ids.size());
+    offer_values.resize(offer_ids.size());
     dist->AggregateAbsDiffMany(offer_block.data(), g, offer_ids.size(),
-                               target_acts.data(), g, offer_dists.data());
+                               target_acts.data(), g, offer_values.data());
     for (size_t r = 0; r < offer_ids.size(); ++r) {
-      top.Offer(offer_ids[r], offer_dists[r]);
+      top.Offer(offer_ids[r], offer_values[r]);
     }
-  };
+  }
 
-  int64_t rounds = 0;
-  bool finished = false;
-  bool terminated_early = false;
-  double last_threshold = 0.0;
+  void OfferNewlyHighest() {
+    if (newly.empty()) return;
+    offer_block.resize(newly.size() * g);
+    for (size_t r = 0; r < newly.size(); ++r) {
+      const std::vector<float>& acts = state.acts.at(newly[r]);
+      std::copy(acts.begin(), acts.end(), offer_block.begin() + r * g);
+    }
+    offer_values.resize(newly.size());
+    dist->AggregateValuesMany(offer_block.data(), g, newly.size(), g,
+                              offer_values.data());
+    for (size_t r = 0; r < newly.size(); ++r) {
+      top.Offer(newly[r], offer_values[r]);
+    }
+    newly.clear();
+  }
 
-  auto emit_progress = [&](double threshold) {
+  void EmitProgress(double threshold) {
     last_threshold = threshold;
     if (finished || !ctx->on_progress) return;
     NtaProgress progress;
@@ -279,9 +326,9 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
       if (e.value <= threshold) progress.confirmed.push_back(e);
     }
     if (!ctx->on_progress(progress)) finished = true;  // user early stop
-  };
+  }
 
-  auto check_termination = [&](double threshold) {
+  void CheckTermination(double threshold) {
     // Eq. 4 (exact) generalised by eq. 6 (θ-approximation). Tie-complete
     // mode requires a *strict* beat, so inputs tied with the k-th value are
     // all evaluated (canonical-result guarantee).
@@ -293,310 +340,32 @@ Result<TopKResult> NtaEngine::MostSimilarImpl(
       finished = true;
       terminated_early = true;
     }
-  };
-
-  const int num_partitions = index_->num_partitions();
-
-  // ------------------------- MAI fast path (§4.7.1) -----------------------
-  if (!finished && options.use_mai && index_->has_mai()) {
-    const uint32_t mai_count = index_->mai_count();
-    struct MaiCursor {
-      size_t gi = 0;                // position within the group
-      std::vector<uint32_t> order;  // MAI ranks sorted by |act - s| asc
-      size_t next = 0;
-      bool seen_highest = false;  // H_i: consumed the rank-0 (max act) entry
-      double min_seen = kInf;
-      double max_seen = -kInf;
-    };
-    std::vector<MaiCursor> cursors;
-    for (size_t gi = 0; gi < g; ++gi) {
-      const int64_t neuron = group.neurons[gi];
-      const float lo = index_->LowerBound(neuron, 0);
-      const float hi = index_->UpperBound(neuron, 0);
-      if (lo > hi) continue;            // empty partition 0
-      if (target_acts[gi] < lo) continue;  // s not in MAI(i)
-      MaiCursor cursor;
-      cursor.gi = gi;
-      cursor.order.resize(mai_count);
-      std::iota(cursor.order.begin(), cursor.order.end(), 0u);
-      const MaiEntry* entries = index_->MaiEntries(neuron);
-      const double s = target_acts[gi];
-      std::sort(cursor.order.begin(), cursor.order.end(),
-                [&](uint32_t a, uint32_t b) {
-                  const double da = std::abs(entries[a].activation - s);
-                  const double db = std::abs(entries[b].activation - s);
-                  if (da != db) return da < db;
-                  return a < b;
-                });
-      cursors.push_back(std::move(cursor));
-    }
-
-    if (!cursors.empty()) {
-      std::vector<double> min_dists(g, 0.0);
-      while (!finished) {
-        // Cooperative deadline/cancellation check between rounds: an
-        // expired context aborts here, within one round of the expiry.
-        DE_RETURN_NOT_OK(ctx->CheckRunnable());
-        SpanScope round_span(ctx->trace.get(), "nta.round");
-        const int64_t inputs_before = ctx->receipt.inputs_run;
-        const int64_t hits_before = state.iqa_hits;
-        // Build a global toRun set by advancing every participating
-        // neuron's similarity-ordered cursor in lockstep sweeps: each sweep
-        // consumes the next most similar MAI entry per neuron (extending
-        // that neuron's own seen range), and sweeps continue until the
-        // batch of not-yet-computed inputs reaches the batch size. Checking
-        // fullness only between sweeps keeps every neuron's boundary
-        // current — this reproduces the paper's Figure 4 trace exactly.
-        std::vector<uint32_t> batch;
-        std::unordered_set<uint32_t> in_batch;
-        bool any_left = true;
-        while (static_cast<int>(batch.size()) < inference_->batch_size() &&
-               any_left) {
-          any_left = false;
-          for (MaiCursor& cursor : cursors) {
-            if (cursor.next >= cursor.order.size()) continue;
-            const MaiEntry* entries =
-                index_->MaiEntries(group.neurons[cursor.gi]);
-            const uint32_t rank = cursor.order[cursor.next];
-            const MaiEntry& entry = entries[rank];
-            ++cursor.next;
-            if (cursor.next < cursor.order.size()) any_left = true;
-            cursor.min_seen = std::min(cursor.min_seen,
-                                       static_cast<double>(entry.activation));
-            cursor.max_seen = std::max(cursor.max_seen,
-                                       static_cast<double>(entry.activation));
-            if (rank == 0) cursor.seen_highest = true;
-            if (state.acts.count(entry.input_id) == 0 &&
-                in_batch.insert(entry.input_id).second) {
-              batch.push_back(entry.input_id);
-            }
-          }
-        }
-
-        const bool exhausted = [&] {
-          for (const MaiCursor& cursor : cursors) {
-            if (cursor.next < cursor.order.size()) return false;
-          }
-          return true;
-        }();
-
-        DE_RETURN_NOT_OK(Evaluate(group, batch, ctx, &state, &newly));
-        offer_newly();
-        ++rounds;
-
-        // Threshold: neurons whose MAI does not contain s contribute 0;
-        // participating neurons use min(|minB - s|, H_i * |maxB - s|).
-        std::fill(min_dists.begin(), min_dists.end(), 0.0);
-        for (const MaiCursor& cursor : cursors) {
-          const double s = target_acts[cursor.gi];
-          double md = 0.0;
-          if (cursor.min_seen != kInf) {
-            const double low = std::abs(cursor.min_seen - s);
-            md = cursor.seen_highest
-                     ? low
-                     : std::min(low, std::abs(cursor.max_seen - s));
-          }
-          min_dists[cursor.gi] = md;
-        }
-        const double t = dist->Aggregate(min_dists.data(), g);
-        round_span.AddInt("round", rounds);
-        round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
-        round_span.AddInt("inputs_run",
-                          ctx->receipt.inputs_run - inputs_before);
-        round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
-        round_span.AddDouble("threshold", t);
-        check_termination(t);
-        emit_progress(t);
-        if (exhausted) break;  // fall back to the partition loop
-      }
-    }
   }
-
-  // ---------------------- Regular partition loop (§4.4) -------------------
-  if (!finished) {
-    // Step 3: order each neuron's partitions by dPar (eq. 2).
-    std::vector<std::vector<uint32_t>> ord(g);
-    for (size_t gi = 0; gi < g; ++gi) {
-      const int64_t neuron = group.neurons[gi];
-      const double s = target_acts[gi];
-      std::vector<std::pair<double, uint32_t>> keyed;
-      keyed.reserve(static_cast<size_t>(num_partitions));
-      for (int pid = 0; pid < num_partitions; ++pid) {
-        const double lo = index_->LowerBound(neuron, static_cast<uint32_t>(pid));
-        const double hi = index_->UpperBound(neuron, static_cast<uint32_t>(pid));
-        if (lo > hi) continue;  // empty partition
-        double d_par = 0.0;
-        if (s > hi) {
-          d_par = s - hi;
-        } else if (s < lo) {
-          d_par = lo - s;
-        }
-        keyed.emplace_back(d_par, static_cast<uint32_t>(pid));
-      }
-      std::sort(keyed.begin(), keyed.end());
-      ord[gi].reserve(keyed.size());
-      for (const auto& [d_par, pid] : keyed) ord[gi].push_back(pid);
-    }
-
-    std::vector<double> min_bound(g, kInf), max_bound(g, -kInf);
-    std::vector<bool> seen_first(g, false), seen_last(g, false);
-    std::vector<double> min_dists(g, 0.0);
-    std::vector<std::vector<uint32_t>> round_members(g);
-    // Neurons may have different numbers of non-empty partitions (equi-width
-    // partitioning of skewed values leaves gaps); a neuron whose list is
-    // exhausted simply sits out later rounds.
-    size_t max_rounds = 0;
-    for (const auto& list : ord) max_rounds = std::max(max_rounds, list.size());
-
-    for (size_t c = 0; c < max_rounds && !finished; ++c) {
-      DE_RETURN_NOT_OK(ctx->CheckRunnable());
-      SpanScope round_span(ctx->trace.get(), "nta.round");
-      const int64_t inputs_before = ctx->receipt.inputs_run;
-      const int64_t hits_before = state.iqa_hits;
-      // Step 4(a): gather this round's partitions.
-      std::vector<uint32_t> to_eval;
-      std::unordered_set<uint32_t> queued;
-      for (size_t gi = 0; gi < g; ++gi) {
-        round_members[gi].clear();
-        if (c >= ord[gi].size()) continue;  // neuron exhausted
-        index_->GetInputIds(group.neurons[gi], ord[gi][c],
-                            &round_members[gi]);
-        for (uint32_t id : round_members[gi]) {
-          if (state.acts.count(id) == 0 && queued.insert(id).second) {
-            to_eval.push_back(id);
-          }
-        }
-      }
-      // Step 4(b): batched inference for the union, update top.
-      DE_RETURN_NOT_OK(Evaluate(group, to_eval, ctx, &state, &newly));
-      offer_newly();
-      ++rounds;
-
-      // Step 4(c): extend each neuron's contiguous seen range and compute
-      // the threshold from the indicator-weighted boundary distances.
-      for (size_t gi = 0; gi < g; ++gi) {
-        if (c >= ord[gi].size()) continue;  // neuron exhausted
-        for (uint32_t id : round_members[gi]) {
-          const double act = state.acts.at(id)[gi];
-          min_bound[gi] = std::min(min_bound[gi], act);
-          max_bound[gi] = std::max(max_bound[gi], act);
-        }
-        if (ord[gi][c] == 0) seen_first[gi] = true;
-        if (ord[gi][c] == static_cast<uint32_t>(num_partitions - 1)) {
-          seen_last[gi] = true;
-        }
-      }
-      for (size_t gi = 0; gi < g; ++gi) {
-        const double s = target_acts[gi];
-        const double low =
-            seen_last[gi] ? kInf : std::abs(min_bound[gi] - s);
-        const double high =
-            seen_first[gi] ? kInf : std::abs(max_bound[gi] - s);
-        min_dists[gi] = std::min(low, high);
-      }
-      const double t = dist->Aggregate(min_dists.data(), g);
-      round_span.AddInt("round", rounds);
-      round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
-      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
-      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
-      round_span.AddDouble("threshold", t);
-      check_termination(t);
-      emit_progress(t);
-    }
-  }
-
-  TopKResult result;
-  result.entries = top.entries();
-  // This query's exact inference cost: the delta of the context receipt
-  // over this call (a per-query context starts at zero, so usually the
-  // receipt itself).
-  result.stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
-  result.stats.batches_run =
-      ctx->receipt.batches_run - start_receipt.batches_run;
-  result.stats.simulated_gpu_seconds =
-      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
-  result.stats.rounds = rounds;
-  result.stats.iqa_hits = state.iqa_hits;
-  result.stats.terminated_early = terminated_early;
-  result.stats.wall_seconds = watch.ElapsedSeconds();
-  (void)last_threshold;
-  return result;
-}
-
-Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
-                                      const NtaOptions& options,
-                                      QueryContext* ctx) {
-  DE_RETURN_NOT_OK(ValidateGroup(group));
-  DE_RETURN_NOT_OK(ValidateOptions(options));
-  QueryContext local_ctx;
-  if (ctx == nullptr) ctx = &local_ctx;
-  DE_RETURN_NOT_OK(ctx->CheckRunnable());
-  const nn::InferenceReceipt start_receipt = ctx->receipt;
-  const DistancePtr dist = options.dist != nullptr ? options.dist : L2Distance();
-  const size_t g = group.neurons.size();
-  Stopwatch watch;
-
-  RunState state;
-  std::vector<uint32_t> newly;
-  TopKSet top(options.k, /*smaller_is_better=*/false);
-  // Same streaming pass as MostSimilarImpl: one batched virtual call per
-  // round over a contiguous block, not one Aggregate per candidate.
-  std::vector<float> offer_block;
-  std::vector<double> offer_scores;
-  auto offer_newly = [&]() {
-    if (newly.empty()) return;
-    offer_block.resize(newly.size() * g);
-    for (size_t r = 0; r < newly.size(); ++r) {
-      const std::vector<float>& acts = state.acts.at(newly[r]);
-      std::copy(acts.begin(), acts.end(), offer_block.begin() + r * g);
-    }
-    offer_scores.resize(newly.size());
-    dist->AggregateValuesMany(offer_block.data(), g, newly.size(), g,
-                              offer_scores.data());
-    for (size_t r = 0; r < newly.size(); ++r) {
-      top.Offer(newly[r], offer_scores[r]);
-    }
-    newly.clear();
-  };
-
-  const int num_partitions = index_->num_partitions();
-  const bool use_mai = options.use_mai && index_->has_mai();
-  const uint32_t mai_count = index_->mai_count();
-
-  // Per-neuron sorted access position: MAI entries consumed first (exact
-  // values, descending), then whole partitions.
-  std::vector<size_t> mai_next(g, 0);
-  std::vector<int> next_partition(g, use_mai ? 1 : 0);
 
   // The upper bound on any unseen input's activation for neuron gi: the
   // next unconsumed MAI entry, else the next unprocessed partition's upper
   // bound, else 0 (all inputs seen; activations assumed non-negative).
-  auto upper_of = [&](size_t gi) -> double {
+  double UpperOf(size_t gi) const {
     if (use_mai && mai_next[gi] < mai_count) {
-      return index_->MaiEntries(group.neurons[gi])[mai_next[gi]].activation;
+      return index->MaiEntries(group.neurons[gi])[mai_next[gi]].activation;
     }
     for (int pid = next_partition[gi]; pid < num_partitions; ++pid) {
       const double lo =
-          index_->LowerBound(group.neurons[gi], static_cast<uint32_t>(pid));
+          index->LowerBound(group.neurons[gi], static_cast<uint32_t>(pid));
       const double hi =
-          index_->UpperBound(group.neurons[gi], static_cast<uint32_t>(pid));
+          index->UpperBound(group.neurons[gi], static_cast<uint32_t>(pid));
       if (lo > hi) continue;  // empty
       return hi;
     }
     return 0.0;
-  };
+  }
 
-  int64_t rounds = 0;
-  bool finished = false;
-  bool terminated_early = false;
-  double last_threshold = 0.0;
-
-  auto check_and_progress = [&]() {
+  void CheckAndProgressHighest() {
     std::vector<double> uppers(g);
-    for (size_t gi = 0; gi < g; ++gi) uppers[gi] = std::max(upper_of(gi), 0.0);
+    for (size_t gi = 0; gi < g; ++gi) uppers[gi] = std::max(UpperOf(gi), 0.0);
     const double threshold = dist->Aggregate(uppers.data(), g);
     last_threshold = threshold;
-    // Tie-complete mode requires a strict beat (see MostSimilarImpl).
+    // Tie-complete mode requires a strict beat (see CheckTermination).
     const double bound = options.theta * threshold;
     const bool met = options.tie_complete ? top.WorstValue() > bound
                                           : top.WorstValue() >= bound;
@@ -621,100 +390,522 @@ Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
       }
       if (!ctx->on_progress(progress)) finished = true;
     }
-  };
-
-  // Phase A: consume MAI entries globally in descending activation order.
-  if (use_mai && !finished) {
-    while (!finished) {
-      // Between-rounds deadline/cancellation check (see MostSimilarImpl).
-      DE_RETURN_NOT_OK(ctx->CheckRunnable());
-      SpanScope round_span(ctx->trace.get(), "nta.round");
-      const int64_t inputs_before = ctx->receipt.inputs_run;
-      const int64_t hits_before = state.iqa_hits;
-      // Lockstep sorted access: each sweep consumes the next highest MAI
-      // entry of every neuron (classic TA parallel sorted access); sweeps
-      // continue until the batch of uncomputed inputs is full.
-      std::vector<uint32_t> batch;
-      std::unordered_set<uint32_t> in_batch;
-      bool any_left = true;
-      while (static_cast<int>(batch.size()) < inference_->batch_size() &&
-             any_left) {
-        any_left = false;
-        for (size_t gi = 0; gi < g; ++gi) {
-          if (mai_next[gi] >= mai_count) continue;
-          const MaiEntry& entry =
-              index_->MaiEntries(group.neurons[gi])[mai_next[gi]];
-          ++mai_next[gi];
-          if (mai_next[gi] < mai_count) any_left = true;
-          if (state.acts.count(entry.input_id) == 0 &&
-              in_batch.insert(entry.input_id).second) {
-            batch.push_back(entry.input_id);
-          }
-        }
-      }
-      bool exhausted = true;
-      for (size_t gi = 0; gi < g; ++gi) {
-        if (mai_next[gi] < mai_count) exhausted = false;
-      }
-      DE_RETURN_NOT_OK(Evaluate(group, batch, ctx, &state, &newly));
-      offer_newly();
-      ++rounds;
-      check_and_progress();
-      round_span.AddInt("round", rounds);
-      round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
-      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
-      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
-      round_span.AddDouble("threshold", last_threshold);
-      if (exhausted) break;
-    }
   }
 
-  // Phase B: whole partitions, highest first.
-  if (!finished) {
-    std::vector<uint32_t> members;
-    for (int pid = use_mai ? 1 : 0; pid < num_partitions && !finished;
-         ++pid) {
-      DE_RETURN_NOT_OK(ctx->CheckRunnable());
-      SpanScope round_span(ctx->trace.get(), "nta.round");
+  // --- step bodies: each runs one unit of work and sets the next phase ----
+
+  Status StepPrologue() {
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+    // Step 2: compute the target's activations (one inference pass when the
+    // target is a dataset input).
+    if (has_target_id) {
+      SpanScope span(ctx->trace.get(), "nta.target");
       const int64_t inputs_before = ctx->receipt.inputs_run;
-      const int64_t hits_before = state.iqa_hits;
-      std::vector<uint32_t> to_eval;
-      std::unordered_set<uint32_t> queued;
-      for (size_t gi = 0; gi < g; ++gi) {
-        members.clear();
-        index_->GetInputIds(group.neurons[gi], static_cast<uint32_t>(pid),
-                            &members);
-        for (uint32_t id : members) {
-          if (state.acts.count(id) == 0 && queued.insert(id).second) {
-            to_eval.push_back(id);
-          }
-        }
-        next_partition[gi] = pid + 1;
-      }
-      DE_RETURN_NOT_OK(Evaluate(group, to_eval, ctx, &state, &newly));
-      offer_newly();
-      ++rounds;
-      check_and_progress();
-      round_span.AddInt("round", rounds);
-      round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
-      round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
-      round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
-      round_span.AddDouble("threshold", last_threshold);
+      DE_RETURN_NOT_OK(Evaluate({target_id}));
+      span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+      target_acts = state.acts.at(target_id);
+      newly.clear();
     }
+    // MAI fast path (§4.7.1): build the similarity-ordered cursor of every
+    // neuron whose MAI contains the target's activation.
+    if (options.use_mai && index->has_mai()) {
+      const uint32_t count = index->mai_count();
+      for (size_t gi = 0; gi < g; ++gi) {
+        const int64_t neuron = group.neurons[gi];
+        const float lo = index->LowerBound(neuron, 0);
+        const float hi = index->UpperBound(neuron, 0);
+        if (lo > hi) continue;               // empty partition 0
+        if (target_acts[gi] < lo) continue;  // s not in MAI(i)
+        MaiCursor cursor;
+        cursor.gi = gi;
+        cursor.order.resize(count);
+        std::iota(cursor.order.begin(), cursor.order.end(), 0u);
+        const MaiEntry* entries = index->MaiEntries(neuron);
+        const double s = target_acts[gi];
+        std::sort(cursor.order.begin(), cursor.order.end(),
+                  [&](uint32_t a, uint32_t b) {
+                    const double da = std::abs(entries[a].activation - s);
+                    const double db = std::abs(entries[b].activation - s);
+                    if (da != db) return da < db;
+                    return a < b;
+                  });
+        cursors.push_back(std::move(cursor));
+      }
+    }
+    min_dists.assign(g, 0.0);
+    phase = cursors.empty() ? Phase::kPartitionRound : Phase::kMaiRound;
+    return Status::OK();
   }
 
+  Status StepMaiRound() {
+    // Cooperative deadline/cancellation check between rounds: an expired
+    // context aborts here, within one round of the expiry — and a resumed
+    // execution re-validates before doing any work.
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+    SpanScope round_span(ctx->trace.get(), "nta.round");
+    const int64_t inputs_before = ctx->receipt.inputs_run;
+    const int64_t hits_before = state.iqa_hits;
+    // Build a global toRun set by advancing every participating
+    // neuron's similarity-ordered cursor in lockstep sweeps: each sweep
+    // consumes the next most similar MAI entry per neuron (extending
+    // that neuron's own seen range), and sweeps continue until the
+    // batch of not-yet-computed inputs reaches the batch size. Checking
+    // fullness only between sweeps keeps every neuron's boundary
+    // current — this reproduces the paper's Figure 4 trace exactly.
+    std::vector<uint32_t> batch;
+    std::unordered_set<uint32_t> in_batch;
+    bool any_left = true;
+    while (static_cast<int>(batch.size()) < inference->batch_size() &&
+           any_left) {
+      any_left = false;
+      for (MaiCursor& cursor : cursors) {
+        if (cursor.next >= cursor.order.size()) continue;
+        const MaiEntry* entries = index->MaiEntries(group.neurons[cursor.gi]);
+        const uint32_t rank = cursor.order[cursor.next];
+        const MaiEntry& entry = entries[rank];
+        ++cursor.next;
+        if (cursor.next < cursor.order.size()) any_left = true;
+        cursor.min_seen =
+            std::min(cursor.min_seen, static_cast<double>(entry.activation));
+        cursor.max_seen =
+            std::max(cursor.max_seen, static_cast<double>(entry.activation));
+        if (rank == 0) cursor.seen_highest = true;
+        if (state.acts.count(entry.input_id) == 0 &&
+            in_batch.insert(entry.input_id).second) {
+          batch.push_back(entry.input_id);
+        }
+      }
+    }
+
+    const bool exhausted = [&] {
+      for (const MaiCursor& cursor : cursors) {
+        if (cursor.next < cursor.order.size()) return false;
+      }
+      return true;
+    }();
+
+    DE_RETURN_NOT_OK(Evaluate(batch));
+    OfferNewlyMostSimilar();
+    ++rounds;
+
+    // Threshold: neurons whose MAI does not contain s contribute 0;
+    // participating neurons use min(|minB - s|, H_i * |maxB - s|).
+    std::fill(min_dists.begin(), min_dists.end(), 0.0);
+    for (const MaiCursor& cursor : cursors) {
+      const double s = target_acts[cursor.gi];
+      double md = 0.0;
+      if (cursor.min_seen != kInf) {
+        const double low = std::abs(cursor.min_seen - s);
+        md = cursor.seen_highest
+                 ? low
+                 : std::min(low, std::abs(cursor.max_seen - s));
+      }
+      min_dists[cursor.gi] = md;
+    }
+    const double t = dist->Aggregate(min_dists.data(), g);
+    round_span.AddInt("round", rounds);
+    round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
+    round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+    round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+    round_span.AddDouble("threshold", t);
+    CheckTermination(t);
+    EmitProgress(t);
+    if (finished) {
+      phase = Phase::kDone;
+    } else if (exhausted) {
+      phase = Phase::kPartitionRound;  // fall back to the partition loop
+    }
+    return Status::OK();
+  }
+
+  void InitPartitions() {
+    partitions_ready = true;
+    // Step 3: order each neuron's partitions by dPar (eq. 2).
+    ord.assign(g, {});
+    for (size_t gi = 0; gi < g; ++gi) {
+      const int64_t neuron = group.neurons[gi];
+      const double s = target_acts[gi];
+      std::vector<std::pair<double, uint32_t>> keyed;
+      keyed.reserve(static_cast<size_t>(num_partitions));
+      for (int pid = 0; pid < num_partitions; ++pid) {
+        const double lo =
+            index->LowerBound(neuron, static_cast<uint32_t>(pid));
+        const double hi =
+            index->UpperBound(neuron, static_cast<uint32_t>(pid));
+        if (lo > hi) continue;  // empty partition
+        double d_par = 0.0;
+        if (s > hi) {
+          d_par = s - hi;
+        } else if (s < lo) {
+          d_par = lo - s;
+        }
+        keyed.emplace_back(d_par, static_cast<uint32_t>(pid));
+      }
+      std::sort(keyed.begin(), keyed.end());
+      ord[gi].reserve(keyed.size());
+      for (const auto& [d_par, pid] : keyed) ord[gi].push_back(pid);
+    }
+    min_bound.assign(g, kInf);
+    max_bound.assign(g, -kInf);
+    seen_first.assign(g, false);
+    seen_last.assign(g, false);
+    round_members.assign(g, {});
+    // Neurons may have different numbers of non-empty partitions (equi-width
+    // partitioning of skewed values leaves gaps); a neuron whose list is
+    // exhausted simply sits out later rounds.
+    max_rounds = 0;
+    for (const auto& list : ord) max_rounds = std::max(max_rounds, list.size());
+  }
+
+  Status StepPartitionRound() {
+    if (!partitions_ready) InitPartitions();
+    if (finished || partition_round >= max_rounds) {
+      phase = Phase::kDone;
+      return Status::OK();
+    }
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+    SpanScope round_span(ctx->trace.get(), "nta.round");
+    const int64_t inputs_before = ctx->receipt.inputs_run;
+    const int64_t hits_before = state.iqa_hits;
+    const size_t c = partition_round;
+    // Step 4(a): gather this round's partitions.
+    std::vector<uint32_t> to_eval;
+    std::unordered_set<uint32_t> queued;
+    for (size_t gi = 0; gi < g; ++gi) {
+      round_members[gi].clear();
+      if (c >= ord[gi].size()) continue;  // neuron exhausted
+      index->GetInputIds(group.neurons[gi], ord[gi][c], &round_members[gi]);
+      for (uint32_t id : round_members[gi]) {
+        if (state.acts.count(id) == 0 && queued.insert(id).second) {
+          to_eval.push_back(id);
+        }
+      }
+    }
+    // Step 4(b): batched inference for the union, update top.
+    DE_RETURN_NOT_OK(Evaluate(to_eval));
+    OfferNewlyMostSimilar();
+    ++rounds;
+
+    // Step 4(c): extend each neuron's contiguous seen range and compute
+    // the threshold from the indicator-weighted boundary distances.
+    for (size_t gi = 0; gi < g; ++gi) {
+      if (c >= ord[gi].size()) continue;  // neuron exhausted
+      for (uint32_t id : round_members[gi]) {
+        const double act = state.acts.at(id)[gi];
+        min_bound[gi] = std::min(min_bound[gi], act);
+        max_bound[gi] = std::max(max_bound[gi], act);
+      }
+      if (ord[gi][c] == 0) seen_first[gi] = true;
+      if (ord[gi][c] == static_cast<uint32_t>(num_partitions - 1)) {
+        seen_last[gi] = true;
+      }
+    }
+    for (size_t gi = 0; gi < g; ++gi) {
+      const double s = target_acts[gi];
+      const double low = seen_last[gi] ? kInf : std::abs(min_bound[gi] - s);
+      const double high = seen_first[gi] ? kInf : std::abs(max_bound[gi] - s);
+      min_dists[gi] = std::min(low, high);
+    }
+    const double t = dist->Aggregate(min_dists.data(), g);
+    round_span.AddInt("round", rounds);
+    round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
+    round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+    round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+    round_span.AddDouble("threshold", t);
+    CheckTermination(t);
+    EmitProgress(t);
+    ++partition_round;
+    if (finished || partition_round >= max_rounds) phase = Phase::kDone;
+    return Status::OK();
+  }
+
+  // Highest phase A: consume MAI entries globally in descending activation
+  // order (classic TA parallel sorted access).
+  Status StepHighestMaiRound() {
+    // Between-rounds deadline/cancellation check (see StepMaiRound).
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+    SpanScope round_span(ctx->trace.get(), "nta.round");
+    const int64_t inputs_before = ctx->receipt.inputs_run;
+    const int64_t hits_before = state.iqa_hits;
+    // Lockstep sorted access: each sweep consumes the next highest MAI
+    // entry of every neuron; sweeps continue until the batch of uncomputed
+    // inputs is full.
+    std::vector<uint32_t> batch;
+    std::unordered_set<uint32_t> in_batch;
+    bool any_left = true;
+    while (static_cast<int>(batch.size()) < inference->batch_size() &&
+           any_left) {
+      any_left = false;
+      for (size_t gi = 0; gi < g; ++gi) {
+        if (mai_next[gi] >= mai_count) continue;
+        const MaiEntry& entry =
+            index->MaiEntries(group.neurons[gi])[mai_next[gi]];
+        ++mai_next[gi];
+        if (mai_next[gi] < mai_count) any_left = true;
+        if (state.acts.count(entry.input_id) == 0 &&
+            in_batch.insert(entry.input_id).second) {
+          batch.push_back(entry.input_id);
+        }
+      }
+    }
+    bool exhausted = true;
+    for (size_t gi = 0; gi < g; ++gi) {
+      if (mai_next[gi] < mai_count) exhausted = false;
+    }
+    DE_RETURN_NOT_OK(Evaluate(batch));
+    OfferNewlyHighest();
+    ++rounds;
+    CheckAndProgressHighest();
+    round_span.AddInt("round", rounds);
+    round_span.AddInt("candidates", static_cast<int64_t>(batch.size()));
+    round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+    round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+    round_span.AddDouble("threshold", last_threshold);
+    if (finished) {
+      phase = Phase::kDone;
+    } else if (exhausted) {
+      phase = Phase::kHighestPartition;
+    }
+    return Status::OK();
+  }
+
+  // Highest phase B: whole partitions, highest first.
+  Status StepHighestPartitionRound() {
+    if (finished || next_pid >= num_partitions) {
+      phase = Phase::kDone;
+      return Status::OK();
+    }
+    DE_RETURN_NOT_OK(ctx->CheckRunnable());
+    SpanScope round_span(ctx->trace.get(), "nta.round");
+    const int64_t inputs_before = ctx->receipt.inputs_run;
+    const int64_t hits_before = state.iqa_hits;
+    const int pid = next_pid;
+    std::vector<uint32_t> to_eval;
+    std::unordered_set<uint32_t> queued;
+    for (size_t gi = 0; gi < g; ++gi) {
+      members.clear();
+      index->GetInputIds(group.neurons[gi], static_cast<uint32_t>(pid),
+                         &members);
+      for (uint32_t id : members) {
+        if (state.acts.count(id) == 0 && queued.insert(id).second) {
+          to_eval.push_back(id);
+        }
+      }
+      next_partition[gi] = pid + 1;
+    }
+    DE_RETURN_NOT_OK(Evaluate(to_eval));
+    OfferNewlyHighest();
+    ++rounds;
+    CheckAndProgressHighest();
+    round_span.AddInt("round", rounds);
+    round_span.AddInt("candidates", static_cast<int64_t>(to_eval.size()));
+    round_span.AddInt("inputs_run", ctx->receipt.inputs_run - inputs_before);
+    round_span.AddInt("iqa_hits", state.iqa_hits - hits_before);
+    round_span.AddDouble("threshold", last_threshold);
+    ++next_pid;
+    if (finished || next_pid >= num_partitions) phase = Phase::kDone;
+    return Status::OK();
+  }
+};
+
+NtaExecution::NtaExecution(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+NtaExecution::~NtaExecution() = default;
+
+bool NtaExecution::done() const { return impl_->phase == Impl::Phase::kDone; }
+
+Status NtaExecution::Step() {
+  Impl& im = *impl_;
+  if (im.phase == Impl::Phase::kDone) return im.error;
+  ActiveTimeCharge charge(&im.active_seconds);
+  Status s = Status::OK();
+  switch (im.phase) {
+    case Impl::Phase::kPrologue:
+      s = im.StepPrologue();
+      break;
+    case Impl::Phase::kMaiRound:
+      s = im.StepMaiRound();
+      break;
+    case Impl::Phase::kPartitionRound:
+      s = im.StepPartitionRound();
+      break;
+    case Impl::Phase::kHighestMaiRound:
+      s = im.StepHighestMaiRound();
+      break;
+    case Impl::Phase::kHighestPartition:
+      s = im.StepHighestPartitionRound();
+      break;
+    case Impl::Phase::kDone:
+      break;
+  }
+  if (!s.ok()) {
+    // A failed step finishes the execution; TakeResult() reports the error.
+    im.error = s;
+    im.phase = Impl::Phase::kDone;
+  }
+  return s;
+}
+
+Status NtaExecution::RunUntil(const std::function<bool()>& should_yield) {
+  while (!done()) {
+    DE_RETURN_NOT_OK(Step());
+    if (!done() && should_yield && should_yield()) return Status::OK();
+  }
+  return Status::OK();
+}
+
+Result<TopKResult> NtaExecution::Run() {
+  while (!done()) {
+    const Status s = Step();
+    if (!s.ok()) return s;
+  }
+  return TakeResult();
+}
+
+Result<TopKResult> NtaExecution::TakeResult() {
+  Impl& im = *impl_;
+  if (im.phase != Impl::Phase::kDone) {
+    return Status::FailedPrecondition("NTA execution is not finished");
+  }
+  if (!im.error.ok()) return im.error;
   TopKResult result;
-  result.entries = top.entries();
-  result.stats.inputs_run = ctx->receipt.inputs_run - start_receipt.inputs_run;
+  result.entries = im.top.entries();
+  // This query's exact inference cost: the delta of the context receipt
+  // over the whole execution (a per-query context starts at zero, so
+  // usually the receipt itself).
+  result.stats.inputs_run =
+      im.ctx->receipt.inputs_run - im.start_receipt.inputs_run;
   result.stats.batches_run =
-      ctx->receipt.batches_run - start_receipt.batches_run;
+      im.ctx->receipt.batches_run - im.start_receipt.batches_run;
   result.stats.simulated_gpu_seconds =
-      ctx->receipt.simulated_gpu_seconds - start_receipt.simulated_gpu_seconds;
-  result.stats.rounds = rounds;
-  result.stats.iqa_hits = state.iqa_hits;
-  result.stats.terminated_early = terminated_early;
-  result.stats.wall_seconds = watch.ElapsedSeconds();
+      im.ctx->receipt.simulated_gpu_seconds -
+      im.start_receipt.simulated_gpu_seconds;
+  result.stats.rounds = im.rounds;
+  result.stats.iqa_hits = im.state.iqa_hits;
+  result.stats.terminated_early = im.terminated_early;
+  result.stats.wall_seconds = im.active_seconds;
   return result;
+}
+
+Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
+  if (group.neurons.empty()) {
+    return Status::InvalidArgument("neuron group is empty");
+  }
+  if (group.layer < 0 || group.layer >= inference_->model().num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(group.layer) +
+                              " out of range");
+  }
+  const int64_t layer_neurons = inference_->model().NeuronCount(group.layer);
+  if (layer_neurons != index_->num_neurons()) {
+    return Status::FailedPrecondition(
+        "index neuron count " + std::to_string(index_->num_neurons()) +
+        " does not match layer " + std::to_string(group.layer) + " (" +
+        std::to_string(layer_neurons) + " neurons)");
+  }
+  if (index_->num_inputs() != inference_->dataset().size()) {
+    return Status::FailedPrecondition("index built for a different dataset");
+  }
+  for (int64_t n : group.neurons) {
+    if (n < 0 || n >= layer_neurons) {
+      return Status::OutOfRange("neuron " + std::to_string(n) +
+                                " out of range for layer " +
+                                std::to_string(group.layer));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<NtaExecution>> NtaEngine::BeginMostSimilarTo(
+    const NeuronGroup& group, uint32_t target_id, const NtaOptions& options,
+    QueryContext* ctx) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  if (target_id >= inference_->dataset().size()) {
+    return Status::OutOfRange("target input " + std::to_string(target_id) +
+                              " out of range");
+  }
+  DE_RETURN_NOT_OK(ValidateOptions(options));
+  if (ctx == nullptr) {
+    return Status::InvalidArgument(
+        "a QueryContext is required to begin an execution");
+  }
+  std::unique_ptr<NtaExecution::Impl> impl(new NtaExecution::Impl(
+      inference_, index_, ctx, group, options, /*is_highest=*/false));
+  impl->has_target_id = true;
+  impl->target_id = target_id;
+  return std::unique_ptr<NtaExecution>(new NtaExecution(std::move(impl)));
+}
+
+Result<std::unique_ptr<NtaExecution>> NtaEngine::BeginMostSimilar(
+    const NeuronGroup& group, const std::vector<float>& target_acts,
+    const NtaOptions& options, QueryContext* ctx) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  if (target_acts.size() != group.neurons.size()) {
+    return Status::InvalidArgument("target activation count mismatch");
+  }
+  DE_RETURN_NOT_OK(ValidateOptions(options));
+  if (ctx == nullptr) {
+    return Status::InvalidArgument(
+        "a QueryContext is required to begin an execution");
+  }
+  std::unique_ptr<NtaExecution::Impl> impl(new NtaExecution::Impl(
+      inference_, index_, ctx, group, options, /*is_highest=*/false));
+  impl->target_acts = target_acts;
+  return std::unique_ptr<NtaExecution>(new NtaExecution(std::move(impl)));
+}
+
+Result<std::unique_ptr<NtaExecution>> NtaEngine::BeginHighest(
+    const NeuronGroup& group, const NtaOptions& options, QueryContext* ctx) {
+  DE_RETURN_NOT_OK(ValidateGroup(group));
+  DE_RETURN_NOT_OK(ValidateOptions(options));
+  if (ctx == nullptr) {
+    return Status::InvalidArgument(
+        "a QueryContext is required to begin an execution");
+  }
+  std::unique_ptr<NtaExecution::Impl> impl(new NtaExecution::Impl(
+      inference_, index_, ctx, group, options, /*is_highest=*/true));
+  // Per-neuron sorted access position: MAI entries consumed first (exact
+  // values, descending), then whole partitions.
+  impl->use_mai = options.use_mai && index_->has_mai();
+  impl->mai_count = index_->mai_count();
+  impl->mai_next.assign(impl->g, 0);
+  impl->next_partition.assign(impl->g, impl->use_mai ? 1 : 0);
+  impl->next_pid = impl->use_mai ? 1 : 0;
+  impl->phase = impl->use_mai ? NtaExecution::Impl::Phase::kHighestMaiRound
+                              : NtaExecution::Impl::Phase::kHighestPartition;
+  return std::unique_ptr<NtaExecution>(new NtaExecution(std::move(impl)));
+}
+
+Result<TopKResult> NtaEngine::MostSimilarTo(const NeuronGroup& group,
+                                            uint32_t target_id,
+                                            const NtaOptions& options,
+                                            QueryContext* ctx) {
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_ASSIGN_OR_RETURN(std::unique_ptr<NtaExecution> execution,
+                      BeginMostSimilarTo(group, target_id, options, ctx));
+  return execution->Run();
+}
+
+Result<TopKResult> NtaEngine::MostSimilar(const NeuronGroup& group,
+                                          const std::vector<float>& target_acts,
+                                          const NtaOptions& options,
+                                          QueryContext* ctx) {
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_ASSIGN_OR_RETURN(std::unique_ptr<NtaExecution> execution,
+                      BeginMostSimilar(group, target_acts, options, ctx));
+  return execution->Run();
+}
+
+Result<TopKResult> NtaEngine::Highest(const NeuronGroup& group,
+                                      const NtaOptions& options,
+                                      QueryContext* ctx) {
+  QueryContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  DE_ASSIGN_OR_RETURN(std::unique_ptr<NtaExecution> execution,
+                      BeginHighest(group, options, ctx));
+  return execution->Run();
 }
 
 // ---------------------------------------------------------------------------

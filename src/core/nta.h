@@ -1,6 +1,8 @@
 #ifndef DEEPEVEREST_CORE_NTA_H_
 #define DEEPEVEREST_CORE_NTA_H_
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -42,12 +44,76 @@ struct NtaOptions {
   bool tie_complete = false;
 };
 
+class NtaEngine;
+
+/// \brief One in-flight NTA query as a first-class, resumable object: the
+/// candidate top-k set, the threshold state, the per-neuron sorted-access
+/// cursors (MAI and partition), and the IQA/receipt bookkeeping all live
+/// here instead of on a run-to-completion stack frame.
+///
+/// Created by NtaEngine::Begin{MostSimilarTo,MostSimilar,Highest}(). Each
+/// `Step()` runs exactly one unit of work — the target-evaluation prologue
+/// or one NTA round — and returns with all state checkpointed, so a caller
+/// may stop between rounds, hand the object to another thread, and continue
+/// later. Results are bit-identical to an uninterrupted run: the round
+/// structure, threshold arithmetic, and tie-complete termination are
+/// exactly those of the former run-to-completion loop.
+///
+/// Ownership/threading: the execution is NOT internally synchronised. It is
+/// single-owner state — at most one thread may call Step()/Run()/
+/// TakeResult() at a time, and a handoff between threads must be ordered by
+/// an external synchronisation point (the QueryService hands executions off
+/// through its mutex-guarded dispatch queue). The QueryContext passed at
+/// Begin must outlive the execution; cancellation/deadline are re-checked
+/// via that context at the start of every Step, so a resumed execution
+/// whose deadline passed while it was parked aborts before doing any work.
+class NtaExecution {
+ public:
+  ~NtaExecution();
+  NtaExecution(const NtaExecution&) = delete;
+  NtaExecution& operator=(const NtaExecution&) = delete;
+
+  /// Runs one unit of work (at most one NTA round). A non-OK status
+  /// (Cancelled, DeadlineExceeded, inference failure) finishes the
+  /// execution: `done()` becomes true and TakeResult() returns the same
+  /// status. Calling Step() once done is a no-op.
+  Status Step();
+
+  /// True once the query finished — answer complete, early-terminated,
+  /// stopped by the progress sink, or failed.
+  bool done() const;
+
+  /// Steps until done() or until `should_yield` returns true between
+  /// rounds. Returns OK when yielding; otherwise the terminal status.
+  Status RunUntil(const std::function<bool()>& should_yield);
+
+  /// Steps to completion and returns the final result.
+  Result<TopKResult> Run();
+
+  /// After done(): the final result (entries plus receipt-metered stats
+  /// over the whole execution), or the terminal error. `wall_seconds` is
+  /// the accumulated *active* stepping time — time spent parked between
+  /// Step calls is not attributed to the query.
+  Result<TopKResult> TakeResult();
+
+ private:
+  friend class NtaEngine;
+  struct Impl;
+  explicit NtaExecution(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
 /// \brief The Neural Threshold Algorithm (paper section 4.4, Algorithm 1).
 ///
 /// Executes top-k queries against one layer using that layer's LayerIndex,
 /// running DNN inference only on the partitions of inputs that can still
 /// affect the answer. Instance optimal in the number of inputs accessed
 /// (Theorem 4.1).
+///
+/// The engine has ONE execution mechanism: Begin*() returns a resumable
+/// NtaExecution that is stepped one round at a time. The run-to-completion
+/// entry points below are thin Begin+Run wrappers kept for component-level
+/// callers; there is no separate non-resumable path.
 ///
 /// All query entry points take an optional QueryContext carrying the
 /// query's execution plumbing (QoS class, deadline, cancellation, receipt,
@@ -57,54 +123,51 @@ struct NtaOptions {
 /// default context (no deadline, direct inference, no IQA).
 class NtaEngine {
  public:
-  /// Does not take ownership; both must outlive the engine.
+  /// Does not take ownership; both must outlive the engine AND any
+  /// execution it begins.
   NtaEngine(nn::InferenceEngine* inference, const LayerIndex* index)
       : inference_(inference), index_(index) {}
 
   NtaEngine(const NtaEngine&) = delete;
   NtaEngine& operator=(const NtaEngine&) = delete;
 
-  /// Top-k most-similar to dataset input `target_id` (excluded from the
-  /// result set, as in the paper's worked example). Computes the target's
-  /// activations with one inference pass (step 2).
+  /// Begins a resumable top-k most-similar query against dataset input
+  /// `target_id` (excluded from the result set, as in the paper's worked
+  /// example; its activations cost one inference pass in the first Step).
+  /// `ctx` must be non-null and outlive the returned execution.
+  Result<std::unique_ptr<NtaExecution>> BeginMostSimilarTo(
+      const NeuronGroup& group, uint32_t target_id, const NtaOptions& options,
+      QueryContext* ctx);
+
+  /// Begins a resumable most-similar query against an arbitrary target
+  /// activation vector (one value per neuron in `group`), e.g. for
+  /// out-of-dataset probes.
+  Result<std::unique_ptr<NtaExecution>> BeginMostSimilar(
+      const NeuronGroup& group, const std::vector<float>& target_acts,
+      const NtaOptions& options, QueryContext* ctx);
+
+  /// Begins a resumable top-k highest query: the k inputs with the largest
+  /// dist-aggregated activations for `group`. Requires non-negative
+  /// activations (true for the ReLU layers DeepEverest queries).
+  Result<std::unique_ptr<NtaExecution>> BeginHighest(const NeuronGroup& group,
+                                                     const NtaOptions& options,
+                                                     QueryContext* ctx);
+
+  /// Begin + Run conveniences (identical semantics and results).
   Result<TopKResult> MostSimilarTo(const NeuronGroup& group,
                                    uint32_t target_id,
                                    const NtaOptions& options,
                                    QueryContext* ctx = nullptr);
-
-  /// Top-k most-similar to an arbitrary target activation vector (one value
-  /// per neuron in `group`), e.g. for out-of-dataset probes.
   Result<TopKResult> MostSimilar(const NeuronGroup& group,
                                  const std::vector<float>& target_acts,
                                  const NtaOptions& options,
                                  QueryContext* ctx = nullptr);
-
-  /// Top-k highest: the k inputs with the largest dist-aggregated
-  /// activations for `group`. Requires non-negative activations (true for
-  /// the ReLU layers DeepEverest queries).
   Result<TopKResult> Highest(const NeuronGroup& group,
                              const NtaOptions& options,
                              QueryContext* ctx = nullptr);
 
  private:
-  struct RunState;
-
-  Result<TopKResult> MostSimilarImpl(const NeuronGroup& group,
-                                     const std::vector<float>& target_acts,
-                                     const NtaOptions& options,
-                                     QueryContext* ctx, bool has_target_id,
-                                     uint32_t target_id);
-
   Status ValidateGroup(const NeuronGroup& group) const;
-
-  /// Computes group activations for `ids` (deduplicated against rows already
-  /// known), consulting the context's IQA cache first and batching the rest
-  /// through the context's scheduler (or the engine directly). IDs that
-  /// became known by this call are appended to `newly` (each input becomes
-  /// known exactly once per query). Inference cost lands in ctx->receipt.
-  Status Evaluate(const NeuronGroup& group, const std::vector<uint32_t>& ids,
-                  QueryContext* ctx, RunState* state,
-                  std::vector<uint32_t>* newly);
 
   nn::InferenceEngine* inference_;
   const LayerIndex* index_;

@@ -63,6 +63,17 @@ class QueryContext {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// Where the query is in the service's scheduling lifecycle. Purely
+  /// observational (exported via `/v1/stats`); the authoritative scheduling
+  /// state lives under QueryService::mu_. Engine-direct executions stay
+  /// kQueued/kRunning trivially.
+  enum class Lifecycle : int {
+    kQueued = 0,   // admitted, waiting for a worker
+    kRunning = 1,  // a worker is stepping it
+    kParked = 2,   // preempted mid-flight, waiting to be resumed
+    kFinished = 3, // outcome decided (completed, failed, cancelled, expired)
+  };
+
   QueryContext() = default;
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
@@ -126,6 +137,17 @@ class QueryContext {
     return cancelled_.load(std::memory_order_acquire);
   }
 
+  /// Lifecycle transitions are published by whichever worker owns the query
+  /// at the time (ownership handoffs are ordered by the service's mutex);
+  /// readers (stats snapshots) take a lock-free acquire snapshot that may
+  /// trail the authoritative state by one transition.
+  void set_lifecycle(Lifecycle state) {
+    lifecycle_.store(state, std::memory_order_release);
+  }
+  Lifecycle lifecycle() const {
+    return lifecycle_.load(std::memory_order_acquire);
+  }
+
   /// OK while the query may keep running; Cancelled / DeadlineExceeded
   /// otherwise. This is the check NTA runs between rounds.
   Status CheckRunnable() const {
@@ -139,6 +161,7 @@ class QueryContext {
  private:
   Clock::time_point deadline_ = Clock::time_point::max();
   std::atomic<bool> cancelled_{false};
+  std::atomic<Lifecycle> lifecycle_{Lifecycle::kQueued};
 };
 
 }  // namespace core

@@ -29,6 +29,7 @@ bool operator==(const QuerySpec& a, const QuerySpec& b) {
   return a.kind == b.kind && a.k == b.k && a.layer == b.layer &&
          a.neurons == b.neurons && a.top_neurons == b.top_neurons &&
          a.top_of == b.top_of && a.target_id == b.target_id &&
+         a.target_activations == b.target_activations &&
          a.distance == b.distance && BitEqual(a.theta, b.theta) &&
          a.session_id == b.session_id && a.qos == b.qos &&
          BitEqual(a.deadline_ms, b.deadline_ms) && a.weight == b.weight;
@@ -84,18 +85,47 @@ Status ValidateSpec(const QuerySpec& spec) {
   const int64_t max_input =
       static_cast<int64_t>(std::numeric_limits<uint32_t>::max());
   if (spec.kind == QuerySpec::Kind::kMostSimilar) {
-    if (spec.target_id < 0) {
+    // Exactly one target form: a dataset input XOR an explicit activation
+    // vector.
+    if (spec.target_id < 0 && spec.target_activations.empty()) {
       return Status::InvalidArgument(
-          "most-similar query requires target_id >= 0");
+          "most-similar query requires target_id >= 0 or "
+          "target_activations");
+    }
+    if (spec.target_id >= 0 && !spec.target_activations.empty()) {
+      return Status::InvalidArgument(
+          "target_id and target_activations are mutually exclusive");
     }
     if (spec.target_id > max_input) {
       return Status::InvalidArgument("target_id out of range");
     }
-  } else if (spec.target_id >= 0) {
-    // A target on a highest query would be silently ignored — the caller
-    // almost certainly forgot kind=most_similar; reject, don't guess.
-    return Status::InvalidArgument(
-        "target_id requires kind=most_similar");
+    if (!spec.target_activations.empty()) {
+      for (const float v : spec.target_activations) {
+        if (std::isnan(v)) {
+          return Status::InvalidArgument(
+              "target_activations must not contain NaN");
+        }
+      }
+      // The vector is one value per group neuron; with an explicit group
+      // the engine-independent shape is checkable right here.
+      const size_t group_size = spec.has_derived_group()
+                                    ? static_cast<size_t>(spec.top_neurons)
+                                    : spec.neurons.size();
+      if (spec.target_activations.size() != group_size) {
+        return Status::InvalidArgument(
+            "target_activations must have one value per group neuron");
+      }
+    }
+  } else {
+    if (spec.target_id >= 0) {
+      // A target on a highest query would be silently ignored — the caller
+      // almost certainly forgot kind=most_similar; reject, don't guess.
+      return Status::InvalidArgument("target_id requires kind=most_similar");
+    }
+    if (!spec.target_activations.empty()) {
+      return Status::InvalidArgument(
+          "target_activations requires kind=most_similar");
+    }
   }
   if (spec.top_of > max_input) {
     return Status::InvalidArgument("top_of out of range");
@@ -105,6 +135,13 @@ Status ValidateSpec(const QuerySpec& spec) {
     return Status::InvalidArgument(
         "HIGHEST with TOP m NEURONS requires OF <input> (no SIMILAR "
         "target to default to)");
+  }
+  if (spec.has_derived_group() && spec.top_of < 0 &&
+      !spec.target_activations.empty()) {
+    // The derived group is resolved from a dataset input; an activation
+    // vector is not one.
+    return Status::InvalidArgument(
+        "TOP m NEURONS with target_activations requires OF <input>");
   }
 
   switch (spec.distance) {

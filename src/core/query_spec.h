@@ -57,9 +57,15 @@ struct QuerySpec {
   /// Reference input for the derived group (`OF <input>`); -1 defaults to
   /// the most-similar target.
   int64_t top_of = -1;
-  /// Target input for most-similar queries; -1 = unset (invalid for
-  /// kMostSimilar).
+  /// Target input for most-similar queries; -1 = unset. A kMostSimilar
+  /// spec carries exactly one of `target_id` / `target_activations`.
   int64_t target_id = -1;
+  /// Out-of-dataset most-similar target: an arbitrary activation vector,
+  /// one value per neuron in the group (so for a derived group,
+  /// `top_neurons` values). Unlike a `target_id` target, nothing is
+  /// excluded from the result set. Programmatic + JSON wire only — QL text
+  /// has no syntax for it.
+  std::vector<float> target_activations;
   DistanceKind distance = DistanceKind::kL2;
   /// θ-approximation factor in (0, 1]; 1.0 = exact (paper section 6).
   double theta = 1.0;

@@ -202,6 +202,16 @@ void WriteQuerySpecFields(const QuerySpec& spec, JsonWriter* w) {
     w->Key("target_id");
     w->Int(spec.target_id);
   }
+  if (!spec.target_activations.empty()) {
+    w->Key("target_activations");
+    w->BeginArray();
+    // float→double is exact, so the round trip through the 17-digit double
+    // encoding recovers the same float bits.
+    for (const float v : spec.target_activations) {
+      w->Double(static_cast<double>(v));
+    }
+    w->EndArray();
+  }
   w->Key("distance");
   w->String(DistanceName(spec.distance));
   w->Key("theta");
@@ -241,7 +251,7 @@ Result<QuerySpec> QuerySpecFromFields(const JsonFieldFinder& find) {
     }
     for (const char* conflicting :
          {"kind", "layer", "neurons", "top_neurons", "top_of", "k",
-          "target_id", "distance", "theta"}) {
+          "target_id", "target_activations", "distance", "theta"}) {
       if (find(conflicting) != nullptr) {
         return Status::InvalidArgument(
             std::string("'") + conflicting +
@@ -306,6 +316,19 @@ Result<QuerySpec> QuerySpecFromFields(const JsonFieldFinder& find) {
   }
   if (const JsonValue* target = find("target_id")) {
     DE_ASSIGN_OR_RETURN(spec.target_id, ReadInt(*target, "target_id"));
+  }
+  if (const JsonValue* target_acts = find("target_activations")) {
+    // Out-of-dataset probe targets only make sense as structured JSON (an
+    // array of numbers); there is no URL/comma-list form.
+    if (!target_acts->is_array()) {
+      return Status::InvalidArgument(
+          "'target_activations' must be an array of numbers");
+    }
+    for (const JsonValue& item : target_acts->array_items()) {
+      DE_ASSIGN_OR_RETURN(const double v,
+                          ReadDouble(item, "target_activations"));
+      spec.target_activations.push_back(static_cast<float>(v));
+    }
   }
   if (const JsonValue* distance = find("distance")) {
     if (!distance->is_string()) {

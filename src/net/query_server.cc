@@ -130,6 +130,14 @@ void WriteServiceStatsFields(const service::ServiceStats& stats,
   w->Uint(stats.queue_depth);
   w->Key("inflight");
   w->Uint(stats.inflight);
+  w->Key("parked");
+  w->Uint(stats.parked);
+  w->Key("parked_total");
+  w->Int(stats.parked_total);
+  w->Key("resumed_total");
+  w->Int(stats.resumed_total);
+  w->Key("preemptions");
+  w->Int(stats.preemptions);
   w->Key("active_sessions");
   w->Uint(stats.active_sessions);
   w->Key("p50_latency_seconds");
@@ -341,6 +349,14 @@ void QueryServer::Handle(const HttpRequest& request,
     HandleMetrics(writer);
     return;
   }
+  if (request.path.rfind("/v1/query/", 0) == 0) {
+    if (request.method != "DELETE") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleCancel(request.path, writer);
+    return;
+  }
   if (request.path.rfind("/v1/trace/", 0) == 0) {
     if (request.method != "GET") {
       writer->WriteResponse(405, "text/plain", "method not allowed\n");
@@ -483,8 +499,11 @@ void QueryServer::HandleQuery(const HttpRequest& request,
     WriteError(writer, submitted.status());
     return;
   }
-  Result<core::TopKResult> result = submitted->result.get();
   Trace* const trace = submitted->context->trace.get();
+  const uint64_t query_id = trace != nullptr ? trace->id() : 0;
+  RegisterLive(query_id, submitted->context, service);
+  Result<core::TopKResult> result = submitted->result.get();
+  UnregisterLive(query_id);
   if (!result.ok()) {
     if (trace != nullptr) trace->Finish();
     WriteError(writer, result.status());
@@ -495,6 +514,8 @@ void QueryServer::HandleQuery(const HttpRequest& request,
   // before its snapshot is appended — the span tree in the reply is final.
   JsonWriter w;
   w.BeginObject();
+  w.Key("query_id");
+  w.Uint(query_id);
   {
     SpanScope serialize(trace, "serialize");
     w.Key("entries");
@@ -561,8 +582,25 @@ void QueryServer::HandleStreamingQuery(service::QueryService* service,
     // The disconnect may have been observed before the handle existed.
     if (state->disconnected) state->ctx->Cancel();
   }
+  const uint64_t query_id = submitted->context->trace != nullptr
+                                ? submitted->context->trace->id()
+                                : 0;
+  RegisterLive(query_id, submitted->context, service);
+  // First event: the query's id, so the client can DELETE /v1/query/<id>
+  // (or fetch /v1/trace/<id>) while the stream is still running.
+  {
+    JsonWriter aw;
+    aw.BeginObject();
+    aw.Key("event");
+    aw.String("accepted");
+    aw.Key("query_id");
+    aw.Uint(query_id);
+    aw.EndObject();
+    writer->WriteChunk(aw.TakeString() + "\n");
+  }
 
   Result<core::TopKResult> result = submitted->result.get();
+  UnregisterLive(query_id);
   Trace* const trace = submitted->context->trace.get();
   JsonWriter w;
   w.BeginObject();
@@ -652,6 +690,56 @@ void QueryServer::HandleTrace(const std::string& path,
   writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
 }
 
+void QueryServer::RegisterLive(uint64_t query_id,
+                               const std::shared_ptr<core::QueryContext>& ctx,
+                               service::QueryService* service) {
+  common::MutexLock lock(&live_mu_);
+  live_[query_id] = LiveQuery{ctx, service};
+}
+
+void QueryServer::UnregisterLive(uint64_t query_id) {
+  common::MutexLock lock(&live_mu_);
+  live_.erase(query_id);
+}
+
+void QueryServer::HandleCancel(const std::string& path,
+                               HttpResponseWriter* writer) {
+  const std::string id_text = path.substr(std::string("/v1/query/").size());
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(id_text.c_str(), &end, 10);
+  if (id_text.empty() || end == nullptr || *end != '\0') {
+    WriteError(writer,
+               Status::InvalidArgument("query id must be a decimal integer"));
+    return;
+  }
+  std::shared_ptr<core::QueryContext> ctx;
+  {
+    common::MutexLock lock(&live_mu_);
+    auto it = live_.find(static_cast<uint64_t>(id));
+    if (it != live_.end()) ctx = it->second.ctx.lock();
+  }
+  if (ctx == nullptr ||
+      ctx->lifecycle() == core::QueryContext::Lifecycle::kFinished) {
+    WriteError(writer,
+               Status::NotFound("query " + id_text +
+                                " is not live (it may have already "
+                                "finished)"));
+    return;
+  }
+  // Cooperative: a queued query fails at dispatch, a running one aborts
+  // between NTA rounds, a parked one fails at resume — all surface as
+  // Cancelled to the submitting request.
+  ctx->Cancel();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query_id");
+  w.Uint(static_cast<uint64_t>(id));
+  w.Key("cancel_requested");
+  w.Bool(true);
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
 void QueryServer::HandleModels(HttpResponseWriter* writer) {
   JsonWriter w;
   w.BeginObject();
@@ -687,6 +775,40 @@ void QueryServer::HandleStats(HttpResponseWriter* writer) {
     w.Key("model");
     w.String(name);
     WriteServiceStatsFields(service->Snapshot(), &w);
+    // Live scheduling states of this model's in-progress HTTP queries
+    // (lock-free lifecycle snapshots; may trail the authoritative state by
+    // one transition). Expired entries are pruned as we pass.
+    size_t queued = 0;
+    size_t running = 0;
+    size_t parked = 0;
+    {
+      common::MutexLock lock(&live_mu_);
+      for (auto it = live_.begin(); it != live_.end();) {
+        const std::shared_ptr<core::QueryContext> ctx = it->second.ctx.lock();
+        if (ctx == nullptr) {
+          it = live_.erase(it);
+          continue;
+        }
+        if (it->second.service == service) {
+          switch (ctx->lifecycle()) {
+            case core::QueryContext::Lifecycle::kQueued: ++queued; break;
+            case core::QueryContext::Lifecycle::kRunning: ++running; break;
+            case core::QueryContext::Lifecycle::kParked: ++parked; break;
+            case core::QueryContext::Lifecycle::kFinished: break;
+          }
+        }
+        ++it;
+      }
+    }
+    w.Key("states");
+    w.BeginObject();
+    w.Key("queued");
+    w.Uint(queued);
+    w.Key("running");
+    w.Uint(running);
+    w.Key("parked");
+    w.Uint(parked);
+    w.EndObject();
     w.EndObject();
   }
   w.EndArray();

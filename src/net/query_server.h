@@ -2,12 +2,15 @@
 #define DEEPEVEREST_NET_QUERY_SERVER_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/stopwatch.h"
+#include "core/query_context.h"
 #include "core/query_spec.h"
 #include "net/http_server.h"
 #include "service/engine_registry.h"
@@ -46,6 +49,13 @@ struct QueryServerOptions {
 ///    envelope fields (`model`, `session_id`, `qos`, `deadline_ms`,
 ///    `weight`, `stream`) apply as on /v1/query. Full QoS/streaming
 ///    semantics — QL over the wire is not a side door.
+///  - `DELETE /v1/query/<id>` — requests cooperative cancellation of a
+///    live query by its query id (returned as `query_id` in the result
+///    JSON and in the streaming `accepted` event; identical to the trace
+///    id). Replies 200 `{"query_id":...,"cancel_requested":true}` when the
+///    query was still live — queued queries fail at dispatch, running ones
+///    abort between NTA rounds, parked ones fail at resume — or 404 once
+///    it has finished (cancelling a finished query has no meaning).
 ///  - `GET /v1/models` — the models served here (and which is default).
 ///  - `GET /v1/stats` — one ServiceStats section per model, plus server
 ///    uptime and build info.
@@ -105,7 +115,21 @@ class QueryServer {
   void HandleStats(HttpResponseWriter* writer);
   void HandleMetrics(HttpResponseWriter* writer);
   void HandleTrace(const std::string& path, HttpResponseWriter* writer);
+  void HandleCancel(const std::string& path, HttpResponseWriter* writer);
   void HandleHealthz(HttpResponseWriter* writer);
+
+  /// One live (admitted, unfinished) query's control handle, registered for
+  /// the duration of the request that submitted it. Backs
+  /// `DELETE /v1/query/<id>` and the per-model `states` section of
+  /// /v1/stats. Weak: the service and client own the context's lifetime.
+  struct LiveQuery {
+    std::weak_ptr<core::QueryContext> ctx;
+    service::QueryService* service = nullptr;
+  };
+  void RegisterLive(uint64_t query_id,
+                    const std::shared_ptr<core::QueryContext>& ctx,
+                    service::QueryService* service);
+  void UnregisterLive(uint64_t query_id);
 
   service::EngineRegistry* registry_;
   std::unique_ptr<HttpServer> http_;
@@ -113,6 +137,12 @@ class QueryServer {
   std::vector<int64_t> collector_handles_;
   Stopwatch uptime_;
   int64_t start_unix_seconds_ = 0;
+
+  mutable common::Mutex live_mu_;
+  /// Live queries by query id (== trace id, process-wide unique). Entries
+  /// are erased when their request finishes; expired stragglers are pruned
+  /// opportunistically by /v1/stats.
+  std::map<uint64_t, LiveQuery> live_ GUARDED_BY(live_mu_);
 };
 
 }  // namespace net

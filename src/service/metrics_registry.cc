@@ -226,12 +226,29 @@ void CollectModelMetrics(MetricsEmitter* emitter, const std::string& model,
       "Submissions rejected by the per-session queued-query bound.", by_model,
       static_cast<double>(stats.rejected_session_limit));
 
+  emitter->Counter("deepeverest_queries_parked_total",
+                   "Park transitions: non-interactive queries preempted "
+                   "between NTA rounds to free a worker for interactive "
+                   "work.",
+                   by_model, static_cast<double>(stats.parked_total));
+  emitter->Counter("deepeverest_queries_resumed_total",
+                   "Resume transitions: parked queries picked back up by a "
+                   "worker.",
+                   by_model, static_cast<double>(stats.resumed_total));
+  emitter->Counter("deepeverest_preemptions_total",
+                   "Park-and-switch events where a worker handed itself "
+                   "directly to a waiting interactive query.",
+                   by_model, static_cast<double>(stats.preemptions));
+
   emitter->Gauge("deepeverest_queue_depth",
                  "Admitted queries waiting for a worker.", by_model,
                  static_cast<double>(stats.queue_depth));
   emitter->Gauge("deepeverest_queries_inflight",
                  "Queries currently executing.", by_model,
                  static_cast<double>(stats.inflight));
+  emitter->Gauge("deepeverest_queries_parked",
+                 "Queries preempted mid-flight, waiting to be resumed.",
+                 by_model, static_cast<double>(stats.parked));
   emitter->Gauge("deepeverest_active_sessions",
                  "Sessions with queued work.", by_model,
                  static_cast<double>(stats.active_sessions));

@@ -257,6 +257,11 @@ QueryService::QueryService(core::DeepEverest* engine,
       options_(options),
       trace_ring_(options.trace_ring_capacity),
       policy_(MakePolicy(options)) {
+  // Park-and-switch relies on strict class priority (the pop after a park
+  // must yield the waiting interactive query); a custom policy makes no
+  // such promise, so preemption is gated on the built-in QoS policy.
+  preemption_enabled_ = options_.enable_preemption && options_.enable_qos &&
+                        !options_.dispatch_policy;
   // With a single worker at most one query is ever in flight, so batches
   // could never be shared — skip the scheduler rather than pay its linger
   // window on every partial round.
@@ -351,7 +356,15 @@ Result<Submission> QueryService::SubmitWithControl(core::QuerySpec spec) {
           std::max(pending.query.deadline_ms * 1e-3, 1e-9));
     }
     pending.wait.Reset();
+    const bool interactive =
+        pending.query.qos == QosClass::kInteractive;
     policy_->Enqueue(std::move(pending));
+    // The preemption hint: workers poll this between NTA rounds. Written
+    // only with mu_ held (here and in PopLocked), so it can never drift
+    // from the queue's actual interactive backlog.
+    if (interactive) {
+      interactive_waiting_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   totals_.submitted.fetch_add(1, std::memory_order_relaxed);
   per_class_[class_index].submitted.fetch_add(1, std::memory_order_relaxed);
@@ -363,14 +376,6 @@ Result<core::TopKResult> QueryService::Execute(core::QuerySpec spec) {
   DE_ASSIGN_OR_RETURN(std::future<Result<core::TopKResult>> future,
                       Submit(std::move(spec)));
   return future.get();
-}
-
-Result<core::TopKResult> QueryService::Run(PendingQuery* pending) {
-  // The canonical execution path (tie-complete NTA, derived-group
-  // resolution under the query's context). The context routes this
-  // worker's inference through the shared batching scheduler (when
-  // enabled) and carries the deadline NTA checks between rounds.
-  return engine_->ExecuteSpec(pending->query, pending->ctx.get());
 }
 
 void QueryService::CountOutcome(const Result<core::TopKResult>& result,
@@ -392,6 +397,21 @@ void QueryService::CountOutcome(const Result<core::TopKResult>& result,
   }
 }
 
+PendingQuery QueryService::PopLocked() {
+  PendingQuery pending = policy_->PopNext();
+  if (pending.query.qos == QosClass::kInteractive) {
+    interactive_waiting_.fetch_add(-1, std::memory_order_relaxed);
+  }
+  if (pending.execution != nullptr) {
+    // A parked query coming back: the execution object rides along, so
+    // this (possibly different) worker continues exactly where the parking
+    // worker stopped.
+    --parked_;
+    resumed_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return pending;
+}
+
 void QueryService::WorkerLoop() {
   for (;;) {
     PendingQuery pending;
@@ -401,69 +421,176 @@ void QueryService::WorkerLoop() {
       // analysis sees the guarded reads happen with mu_ held.
       while (!stopping_ && policy_->size() == 0) work_cv_.Wait(&mu_);
       if (policy_->size() == 0) return;  // stopping, queue drained/cancelled
-      pending = policy_->PopNext();
+      pending = PopLocked();
       ++inflight_;
     }
 
-    const double queue_seconds = pending.wait.ElapsedSeconds();
-    const QosClass qos = pending.query.qos;
-    Trace* const trace = pending.ctx->trace.get();
-    if (trace != nullptr) trace->EndSpan(kQueueWaitSpan);
-    bool executed = false;
-    double exec_seconds = 0.0;
-    Result<core::TopKResult> result = [&]() -> Result<core::TopKResult> {
-      if (pending.ctx->cancelled()) {
-        // Cancelled while still queued (e.g. the client disconnected):
-        // never run it.
-        return Status::Cancelled("cancelled while queued");
-      }
-      if (pending.ctx->DeadlineExpired()) {
-        // Rejected at dispatch: the deadline passed while the query was
-        // queued, so running it would burn a worker on an answer nobody is
-        // waiting for.
-        return Status::DeadlineExceeded(
-            "deadline expired after " + std::to_string(queue_seconds) +
-            "s in the admission queue");
-      }
-      executed = true;
-      SpanScope exec_span(trace, "execute");
-      Stopwatch exec_watch;
-      Result<core::TopKResult> run = Run(&pending);
-      exec_seconds = exec_watch.ElapsedSeconds();
-      return run;
-    }();
-
-    if (result.ok()) {
-      result.value().stats.queue_seconds = queue_seconds;
+    // ProcessPending returns true when it parked the query and swapped an
+    // interactive one into `pending` — keep going until the worker's query
+    // actually finishes.
+    while (ProcessPending(&pending)) {
     }
-    CountOutcome(result, qos, executed);
-    const double latency = queue_seconds + exec_seconds;
-    if (executed) {
-      totals_.latency.Record(latency);
-      per_class_[QosIndex(qos)].latency.Record(latency);
-      busy_nanos_.fetch_add(static_cast<int64_t>(exec_seconds * 1e9),
-                            std::memory_order_relaxed);
-    }
-    if (trace != nullptr) {
-      if (options_.slow_query_seconds > 0.0 &&
-          latency >= options_.slow_query_seconds) {
-        EmitSlowQueryLog(pending, result.ok() ? Status::OK() : result.status(),
-                         latency, queue_seconds);
-      }
-      // Into the ring before the future resolves, so a client can fetch
-      // /v1/trace/<id> the moment its response arrives. The serialization
-      // span the HTTP layer adds afterwards still lands in this same trace
-      // object (the ring holds shared_ptrs).
-      trace_ring_.Push(pending.ctx->trace);
-    }
-    pending.promise.set_value(std::move(result));
 
     {
       common::MutexLock lock(&mu_);
       --inflight_;
+      // Parked queries keep policy_->size() > 0, so Drain() correctly
+      // keeps waiting until they are resumed and finished.
       if (policy_->size() == 0 && inflight_ == 0) idle_cv_.NotifyAll();
     }
   }
+}
+
+bool QueryService::ProcessPending(PendingQuery* pending) {
+  const bool resumed = pending->execution != nullptr;
+  const QosClass qos = pending->query.qos;
+  Trace* const trace = pending->ctx->trace.get();
+  if (resumed) {
+    if (trace != nullptr && pending->parked_span >= 0) {
+      trace->EndSpan(pending->parked_span);
+    }
+    pending->parked_span = -1;
+  } else {
+    pending->queue_seconds = pending->wait.ElapsedSeconds();
+    if (trace != nullptr) trace->EndSpan(kQueueWaitSpan);
+  }
+
+  // Re-validate after every lock handoff: cancellation or the deadline may
+  // have fired while the query sat queued (never ran) or parked (ran some
+  // rounds already).
+  if (pending->ctx->cancelled()) {
+    CompletePending(pending,
+                    Status::Cancelled(resumed ? "cancelled while parked"
+                                              : "cancelled while queued"),
+                    /*executed=*/resumed);
+    return false;
+  }
+  if (pending->ctx->DeadlineExpired()) {
+    // A fresh query whose deadline passed while queued is rejected at
+    // dispatch (rejected_past_deadline — no inference ran). A parked one
+    // DID execute rounds, so it counts as deadline_exceeded; either way the
+    // worker slot is not burned stepping a query nobody is waiting for.
+    CompletePending(
+        pending,
+        Status::DeadlineExceeded(
+            resumed ? "deadline expired while parked"
+                    : "deadline expired after " +
+                          std::to_string(pending->queue_seconds) +
+                          "s in the admission queue"),
+        /*executed=*/resumed);
+    return false;
+  }
+
+  pending->ctx->set_lifecycle(core::QueryContext::Lifecycle::kRunning);
+  Stopwatch episode;
+  if (!resumed) {
+    if (trace != nullptr) {
+      pending->execute_span = trace->StartSpan("execute");
+    }
+    Result<std::unique_ptr<core::QueryExecution>> begun =
+        engine_->BeginSpec(pending->query, pending->ctx.get());
+    if (!begun.ok()) {
+      const double episode_seconds = episode.ElapsedSeconds();
+      pending->exec_seconds += episode_seconds;
+      busy_nanos_.fetch_add(static_cast<int64_t>(episode_seconds * 1e9),
+                            std::memory_order_relaxed);
+      CompletePending(pending, begun.status(), /*executed=*/true);
+      return false;
+    }
+    pending->execution = std::move(begun).value();
+  }
+
+  core::QueryExecution* const execution = pending->execution.get();
+  const bool preemptible =
+      preemption_enabled_ && qos != QosClass::kInteractive;
+  while (!execution->done()) {
+    // Step errors (including between-rounds deadline/cancellation aborts)
+    // surface through done() + TakeResult(), so the loop needs no separate
+    // error path.
+    const Status step = execution->Step();
+    static_cast<void>(step);
+    if (execution->done()) break;
+    if (preemptible &&
+        interactive_waiting_.load(std::memory_order_relaxed) > 0) {
+      if (TryParkAndSwitch(pending, episode.ElapsedSeconds())) return true;
+      // Stale hint (or stopping): nothing was parked or charged — the
+      // episode stopwatch keeps running and the loop keeps stepping.
+    }
+  }
+  const double episode_seconds = episode.ElapsedSeconds();
+  pending->exec_seconds += episode_seconds;
+  busy_nanos_.fetch_add(static_cast<int64_t>(episode_seconds * 1e9),
+                        std::memory_order_relaxed);
+  CompletePending(pending, execution->TakeResult(), /*executed=*/true);
+  return false;
+}
+
+bool QueryService::TryParkAndSwitch(PendingQuery* pending,
+                                    double episode_seconds) {
+  common::MutexLock lock(&mu_);
+  // The hint was a relaxed read; re-validate against the authoritative
+  // state now that mu_ is held.
+  if (stopping_) return false;
+  if (interactive_waiting_.load(std::memory_order_relaxed) <= 0) return false;
+
+  pending->exec_seconds += episode_seconds;
+  busy_nanos_.fetch_add(static_cast<int64_t>(episode_seconds * 1e9),
+                        std::memory_order_relaxed);
+  Trace* const trace = pending->ctx->trace.get();
+  if (trace != nullptr) pending->parked_span = trace->StartSpan("parked");
+  pending->ctx->set_lifecycle(core::QueryContext::Lifecycle::kParked);
+  ++parked_;
+  parked_total_.fetch_add(1, std::memory_order_relaxed);
+  preemptions_.fetch_add(1, std::memory_order_relaxed);
+  policy_->Enqueue(std::move(*pending));
+  // Enqueue + pop under the same hold: the queue's net size is unchanged
+  // (no wakeup needed, none lost), and because the interactive counter is
+  // positive under this same lock and the QoS policy serves strict class
+  // priority, this pop is guaranteed to yield an interactive query — never
+  // the non-interactive one just parked.
+  *pending = PopLocked();
+  return true;
+}
+
+void QueryService::CompletePending(PendingQuery* pending,
+                                   Result<core::TopKResult> result,
+                                   bool executed) {
+  Trace* const trace = pending->ctx->trace.get();
+  // Destroy the execution first: for queries abandoned mid-flight
+  // (cancelled/expired while parked) its destructor closes the still-open
+  // "nta" span, which must happen before the trace is pushed.
+  pending->execution.reset();
+  if (trace != nullptr && pending->execute_span >= 0) {
+    trace->EndSpan(pending->execute_span);
+    pending->execute_span = -1;
+  }
+  pending->ctx->set_lifecycle(core::QueryContext::Lifecycle::kFinished);
+  if (result.ok()) {
+    result.value().stats.queue_seconds = pending->queue_seconds;
+  }
+  const QosClass qos = pending->query.qos;
+  CountOutcome(result, qos, executed);
+  // Admission-to-completion latency, parked gaps included — what a waiting
+  // client actually experienced. (Worker busy time is charged per episode
+  // in ProcessPending/TryParkAndSwitch, never here.)
+  const double latency = pending->wait.ElapsedSeconds();
+  if (executed) {
+    totals_.latency.Record(latency);
+    per_class_[QosIndex(qos)].latency.Record(latency);
+  }
+  if (trace != nullptr) {
+    if (options_.slow_query_seconds > 0.0 &&
+        latency >= options_.slow_query_seconds) {
+      EmitSlowQueryLog(*pending, result.ok() ? Status::OK() : result.status(),
+                       latency, pending->queue_seconds);
+    }
+    // Into the ring before the future resolves, so a client can fetch
+    // /v1/trace/<id> the moment its response arrives. The serialization
+    // span the HTTP layer adds afterwards still lands in this same trace
+    // object (the ring holds shared_ptrs).
+    trace_ring_.Push(pending->ctx->trace);
+  }
+  pending->promise.set_value(std::move(result));
 }
 
 void QueryService::Drain() {
@@ -479,14 +606,19 @@ void QueryService::Shutdown() {
       // explicit Shutdown()).
     } else {
       stopping_ = true;
-      // Fail queries that never started; their futures resolve immediately.
+      // Fail queries that never started — and parked ones, which started
+      // but will never be resumed; their futures resolve immediately.
       const Result<core::TopKResult> cancelled =
           Result<core::TopKResult>(Status::Cancelled("query service shut "
                                                      "down"));
       for (PendingQuery& pending : policy_->DrainAll()) {
+        pending.execution.reset();  // closes any open NTA trace span
+        pending.ctx->set_lifecycle(core::QueryContext::Lifecycle::kFinished);
         pending.promise.set_value(cancelled);
         CountOutcome(cancelled, pending.query.qos, /*executed=*/false);
       }
+      parked_ = 0;
+      interactive_waiting_.store(0, std::memory_order_relaxed);
       idle_cv_.NotifyAll();
     }
   }
@@ -512,10 +644,17 @@ ServiceStats QueryService::Snapshot() const {
       totals_.rejected_past_deadline.load(std::memory_order_relaxed);
   {
     common::MutexLock lock(&mu_);
-    stats.queue_depth = policy_->size();
+    // Parked queries occupy dispatch-queue slots (max_queue_depth counts
+    // them) but report separately: queue_depth is queries that have not
+    // started yet.
+    stats.queue_depth = policy_->size() - parked_;
     stats.inflight = inflight_;
     stats.active_sessions = policy_->ActiveSessions();
+    stats.parked = parked_;
   }
+  stats.parked_total = parked_total_.load(std::memory_order_relaxed);
+  stats.resumed_total = resumed_total_.load(std::memory_order_relaxed);
+  stats.preemptions = preemptions_.load(std::memory_order_relaxed);
   stats.p50_latency_seconds = totals_.latency.PercentileSeconds(0.50);
   stats.p90_latency_seconds = totals_.latency.PercentileSeconds(0.90);
   stats.p99_latency_seconds = totals_.latency.PercentileSeconds(0.99);

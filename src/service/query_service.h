@@ -86,6 +86,18 @@ struct QueryServiceOptions {
   /// longest for full batches).
   double best_effort_batch_linger_seconds = 2e-3;
 
+  /// Preemptive execution: a worker stepping a non-interactive query parks
+  /// it between NTA rounds as soon as interactive work is waiting, runs the
+  /// interactive query, and the parked query resumes later on any worker.
+  /// Interactive tail latency becomes independent of bulk round length;
+  /// results are unaffected (executions are checkpointed between rounds and
+  /// bit-identical to an uninterrupted run). Effective only with the
+  /// built-in QoS dispatch policy (`enable_qos` on, no custom
+  /// `dispatch_policy`) — a custom policy defines its own ordering, and the
+  /// park-and-switch handoff relies on strict class priority to guarantee
+  /// the freed worker picks up the interactive query.
+  bool enable_preemption = true;
+
   /// Pluggable dispatch ordering: when set, replaces the built-in policy
   /// that `enable_qos` would otherwise select. Only the admission-queue
   /// ordering is overridden — `enable_qos` still governs the batch
@@ -108,10 +120,19 @@ struct QueryServiceOptions {
   double slow_query_seconds = 1.0;
 };
 
-/// \brief One admitted-but-unstarted query: created at admission (Submit),
-/// owned by the dispatch policy until a worker claims it. The context
-/// carries the query's QoS class, absolute deadline, receipt, and scheduler
-/// plumbing through every layer below the service.
+/// \brief One admitted query: created at admission (Submit), owned by the
+/// dispatch policy until a worker claims it. The context carries the
+/// query's QoS class, absolute deadline, receipt, and scheduler plumbing
+/// through every layer below the service.
+///
+/// Ownership protocol (what makes park/resume race-free): a PendingQuery —
+/// and with it the single-owner `execution` state object — is owned by
+/// exactly one party at any instant: the dispatch policy (under
+/// QueryService::mu_) or the one worker that popped it. Handoffs happen
+/// only by moving the struct into/out of the policy with mu_ held, so the
+/// mutex orders every park → resume transition; no field here needs its own
+/// lock, and a resuming worker (any worker) sees all of the previous
+/// owner's writes.
 struct PendingQuery {
   core::QuerySpec query;
   /// Shared with the Submission handle returned to the caller, so a client
@@ -119,6 +140,21 @@ struct PendingQuery {
   std::shared_ptr<core::QueryContext> ctx;
   std::promise<Result<core::TopKResult>> promise;
   Stopwatch wait;  // started at admission
+  /// The resumable execution. Null until a worker first dispatches the
+  /// query; non-null exactly while the query is mid-flight — a parked
+  /// query re-enters the dispatch queue carrying it, which is how a later
+  /// (possibly different) worker distinguishes a resume from a fresh
+  /// dispatch.
+  std::unique_ptr<core::QueryExecution> execution;
+  /// Trace span indices owned across park/resume episodes: the "execute"
+  /// span opened at first dispatch (closed at completion) and the open
+  /// "parked" span while parked (closed at resume); -1 = none.
+  int execute_span = -1;
+  int parked_span = -1;
+  /// Accumulated time: admission-queue wait (set at first dispatch) and
+  /// active execution across all episodes (parked gaps excluded).
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
 };
 
 /// \brief A submitted query's handle: the future resolving to its result
@@ -255,7 +291,28 @@ class QueryService {
   QueryService(core::DeepEverest* engine, const QueryServiceOptions& options);
 
   void WorkerLoop();
-  Result<core::TopKResult> Run(PendingQuery* pending);
+  /// Pops the next query with mu_ held, maintaining the preemption
+  /// bookkeeping: decrements the interactive-waiting hint, and counts a
+  /// resume when the popped query carries a parked execution.
+  PendingQuery PopLocked() REQUIRES(mu_);
+  /// Runs (or resumes) one popped query on the calling worker. Returns true
+  /// when the query was parked and `*pending` now holds the interactive
+  /// query the worker switched to — the caller loops and processes it;
+  /// false when the query in `*pending` reached an outcome (already
+  /// completed, counted, and its future resolved).
+  bool ProcessPending(PendingQuery* pending);
+  /// Parks `*pending` between rounds and switches `*pending` to the
+  /// waiting interactive query, all under one mu_ hold (so the queue's
+  /// size is unchanged and no wakeup is needed or lost). Returns false —
+  /// park abandoned, keep stepping — when the hint was stale or the
+  /// service is stopping. `episode_seconds` is the active stepping time of
+  /// the current episode, charged before the handoff.
+  bool TryParkAndSwitch(PendingQuery* pending, double episode_seconds);
+  /// Outcome side of every executed-or-rejected query: closes the execute
+  /// span, counts, records latency, emits the slow-query log, pushes the
+  /// trace, resolves the future.
+  void CompletePending(PendingQuery* pending, Result<core::TopKResult> result,
+                       bool executed);
   /// Buckets one finished query into the right completion counter
   /// (overall + per-class). `executed` is false for queries rejected at
   /// dispatch because their deadline had already passed while queued.
@@ -273,16 +330,34 @@ class QueryService {
   /// the HTTP front-end's `GET /v1/trace/<id>`).
   TraceRing trace_ring_;
 
+  /// Preemption active: option on AND the built-in QoS policy is in use
+  /// (see QueryServiceOptions::enable_preemption).
+  bool preemption_enabled_ = false;
+
   mutable common::Mutex mu_;
   common::CondVar work_cv_;  // signals workers
   common::CondVar idle_cv_;  // signals Drain()
   bool stopping_ GUARDED_BY(mu_) = false;
   std::unique_ptr<DispatchPolicy> policy_ GUARDED_BY(mu_);
   size_t inflight_ GUARDED_BY(mu_) = 0;
+  /// Parked queries currently sitting in the dispatch queue (subtracted
+  /// from its size() for queue-depth reporting; they already started).
+  size_t parked_ GUARDED_BY(mu_) = 0;
+
+  /// Interactive queries admitted but not yet picked up — the lock-free
+  /// hint workers poll between NTA rounds to decide whether to park.
+  /// Written only under mu_ (admission increments, PopLocked decrements);
+  /// read relaxed outside it. A stale read is harmless: a false positive is
+  /// re-validated under mu_ in TryParkAndSwitch, a false negative parks one
+  /// round later.
+  std::atomic<int> interactive_waiting_{0};
 
   std::atomic<int64_t> rejected_queue_full_{0};
   std::atomic<int64_t> rejected_session_limit_{0};
   std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> parked_total_{0};
+  std::atomic<int64_t> resumed_total_{0};
+  std::atomic<int64_t> preemptions_{0};
   CompletionCounters totals_;
   std::array<CompletionCounters, kNumQosClasses> per_class_;
 

@@ -160,6 +160,20 @@ struct ServiceStats {
   size_t queue_depth = 0;
   size_t inflight = 0;
   size_t active_sessions = 0;  // sessions with queued work
+  /// Queries preempted mid-flight, currently waiting to be resumed. Parked
+  /// queries sit in the dispatch queue but are NOT part of `queue_depth`
+  /// (they already started) nor `inflight` (no worker is stepping them).
+  size_t parked = 0;
+
+  // Preemptive execution. A bulk/best-effort query may be parked between
+  // NTA rounds when interactive work arrives and resumed later on any
+  // worker; results are unaffected (bit-identical to an uninterrupted run).
+  int64_t parked_total = 0;   // park transitions since startup
+  int64_t resumed_total = 0;  // resume transitions since startup
+  /// Park-and-switch events where a worker handed itself directly to an
+  /// interactive query (currently always equal to parked_total; kept
+  /// separate so future park reasons don't overload the meaning).
+  int64_t preemptions = 0;
 
   // Latency (admission-to-completion), approximate percentiles.
   double p50_latency_seconds = 0.0;

@@ -119,18 +119,20 @@ TEST(DeepEverestTest, TopKHighestIsSimilarityToInfiniteTarget) {
   ASSERT_TRUE(de.ok());
   const int layer = sys.model->activation_layers()[0];
   const NeuronGroup group{layer, {0, 3}};
-  auto dist = MakeDistance(DistanceKind::kL1);
-  ASSERT_TRUE(dist.ok());
 
-  auto highest = (*de)->TopKHighest(group, 5, *dist);
+  auto highest = (*de)->TopKHighest(group, 5, DistanceKind::kL1);
   ASSERT_TRUE(highest.ok());
 
-  // Huge-but-finite pseudo-infinite target.
-  NtaOptions options;
-  options.k = 5;
-  options.dist = *dist;
-  auto as_similar = (*de)->TopKMostSimilarToActivations(
-      {1e9f, 1e9f}, group, options);
+  // Huge-but-finite pseudo-infinite target, expressed as an out-of-dataset
+  // target via QuerySpec::target_activations.
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kMostSimilar;
+  spec.k = 5;
+  spec.layer = layer;
+  spec.neurons = group.neurons;
+  spec.target_activations = {1e9f, 1e9f};
+  spec.distance = DistanceKind::kL1;
+  auto as_similar = (*de)->ExecuteSpec(spec);
   ASSERT_TRUE(as_similar.ok());
   ASSERT_EQ(highest->entries.size(), as_similar->entries.size());
   for (size_t i = 0; i < highest->entries.size(); ++i) {
@@ -251,9 +253,12 @@ TEST(DeepEverestQueryContextTest, ExpiredDeadlineReturnsDeadlineExceeded) {
 
   QueryContext ctx;
   ctx.SetDeadlineAfter(-1.0);  // already past
-  NtaOptions options;
-  options.k = 5;
-  auto result = (*de)->TopKHighestWithOptions(group, options, &ctx);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = 5;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  auto result = (*de)->ExecuteSpec(spec, &ctx);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
   // Rejected before any inference: the context receipt stays empty.
@@ -272,9 +277,12 @@ TEST(DeepEverestQueryContextTest, CancelledContextReturnsCancelled) {
 
   QueryContext ctx;
   ctx.Cancel();
-  NtaOptions options;
-  options.k = 5;
-  auto result = (*de)->TopKHighestWithOptions(group, options, &ctx);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = 5;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  auto result = (*de)->ExecuteSpec(spec, &ctx);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
@@ -292,9 +300,12 @@ TEST(DeepEverestQueryContextTest, ReceiptAccumulatesQueryCostIncludingBuild) {
   // Cold layer: the query triggers the §4.6 index build, whose inference is
   // charged to this query's context receipt along with its own.
   QueryContext cold_ctx;
-  NtaOptions options;
-  options.k = 5;
-  auto cold = (*de)->TopKHighestWithOptions(group, options, &cold_ctx);
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = 5;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  auto cold = (*de)->ExecuteSpec(spec, &cold_ctx);
   ASSERT_TRUE(cold.ok());
   EXPECT_EQ(cold->stats.inputs_run, 40);
   EXPECT_EQ(cold_ctx.receipt.inputs_run, 40);
@@ -302,7 +313,7 @@ TEST(DeepEverestQueryContextTest, ReceiptAccumulatesQueryCostIncludingBuild) {
   // Warm layer: NTA only; result stats equal the receipt delta, and the
   // per-query stats never leak another query's work.
   QueryContext warm_ctx;
-  auto warm = (*de)->TopKHighestWithOptions(group, options, &warm_ctx);
+  auto warm = (*de)->ExecuteSpec(spec, &warm_ctx);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->stats.inputs_run, warm_ctx.receipt.inputs_run);
   EXPECT_LT(warm->stats.inputs_run, 40);

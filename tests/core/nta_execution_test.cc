@@ -1,0 +1,298 @@
+// Resumable execution semantics of NtaEngine::Begin* / NtaExecution and
+// DeepEverest::BeginSpec / QueryExecution: a manually stepped execution —
+// including one whose steps are split across threads, the park/resume
+// handoff shape — must be bit-identical to the run-to-completion
+// convenience, and the object must enforce its own protocol (no result
+// before done, idempotent terminal state, no stepping without a context).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/deepeverest.h"
+#include "core/nta.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+Result<LayerIndex> BuildIndexFor(nn::InferenceEngine* engine, int layer,
+                                 const LayerIndexConfig& config) {
+  const uint32_t n = engine->dataset().size();
+  std::vector<uint32_t> ids(n);
+  for (uint32_t i = 0; i < n; ++i) ids[i] = i;
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(engine->ComputeLayer(ids, layer, &rows));
+  auto matrix = storage::LayerActivationMatrix::Make(n, rows[0].size());
+  for (uint32_t i = 0; i < n; ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), matrix.MutableRow(i));
+  }
+  return LayerIndex::Build(matrix, config);
+}
+
+void ExpectIdentical(const TopKResult& expected, const TopKResult& actual) {
+  ASSERT_EQ(expected.entries.size(), actual.entries.size());
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_EQ(expected.entries[i].input_id, actual.entries[i].input_id)
+        << "rank " << i;
+    EXPECT_EQ(expected.entries[i].value, actual.entries[i].value)
+        << "rank " << i;
+  }
+}
+
+NtaOptions ExactOptions(int k) {
+  NtaOptions options;
+  options.k = k;
+  options.tie_complete = true;
+  return options;
+}
+
+TEST(NtaExecutionTest, ManualStepLoopMatchesRun) {
+  TinySystem sys(60, 17, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[1];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{4, 0.2});
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  const NeuronGroup group{layer, {0, 2, 5}};
+
+  NtaEngine nta(sys.engine.get(), &index.value());
+  const auto reference = nta.MostSimilarTo(group, 7, ExactOptions(8));
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto begun = nta.BeginMostSimilarTo(group, 7, ExactOptions(8), &ctx);
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  NtaExecution& exec = **begun;
+  int steps = 0;
+  while (!exec.done()) {
+    DE_ASSERT_OK(exec.Step());
+    ++steps;
+  }
+  EXPECT_GT(steps, 1);  // a round-sliced execution, not one opaque blob
+  auto stepped = exec.TakeResult();
+  ASSERT_TRUE(stepped.ok());
+  ExpectIdentical(reference.value(), stepped.value());
+  EXPECT_EQ(reference->stats.inputs_run, stepped->stats.inputs_run);
+  EXPECT_EQ(reference->stats.rounds, stepped->stats.rounds);
+}
+
+TEST(NtaExecutionTest, HighestStepLoopMatchesRun) {
+  TinySystem sys(60, 23, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[0];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{5, 0.3});
+  ASSERT_TRUE(index.ok());
+  const NeuronGroup group{layer, {1, 3}};
+
+  NtaEngine nta(sys.engine.get(), &index.value());
+  const auto reference = nta.Highest(group, ExactOptions(6));
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto begun = nta.BeginHighest(group, ExactOptions(6), &ctx);
+  ASSERT_TRUE(begun.ok());
+  while (!(*begun)->done()) DE_ASSERT_OK((*begun)->Step());
+  auto stepped = (*begun)->TakeResult();
+  ASSERT_TRUE(stepped.ok());
+  ExpectIdentical(reference.value(), stepped.value());
+  EXPECT_EQ(reference->stats.inputs_run, stepped->stats.inputs_run);
+}
+
+TEST(NtaExecutionTest, TakeResultBeforeDoneIsFailedPrecondition) {
+  TinySystem sys(40, 29, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[0];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{4, 0.2});
+  ASSERT_TRUE(index.ok());
+
+  NtaEngine nta(sys.engine.get(), &index.value());
+  QueryContext ctx;
+  auto begun = nta.BeginHighest({layer, {0}}, ExactOptions(5), &ctx);
+  ASSERT_TRUE(begun.ok());
+  ASSERT_FALSE((*begun)->done());
+  auto premature = (*begun)->TakeResult();
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.status().code(), StatusCode::kFailedPrecondition);
+  // The failed take must not have corrupted the execution.
+  while (!(*begun)->done()) DE_ASSERT_OK((*begun)->Step());
+  EXPECT_TRUE((*begun)->TakeResult().ok());
+}
+
+TEST(NtaExecutionTest, BeginRequiresContext) {
+  TinySystem sys(40, 31, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[0];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{4, 0.2});
+  ASSERT_TRUE(index.ok());
+  NtaEngine nta(sys.engine.get(), &index.value());
+  auto begun = nta.BeginHighest({layer, {0}}, ExactOptions(5), nullptr);
+  ASSERT_FALSE(begun.ok());
+  EXPECT_EQ(begun.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NtaExecutionTest, RunUntilSlicesThenRunFinishes) {
+  TinySystem sys(60, 37, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[1];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{4, 0.2});
+  ASSERT_TRUE(index.ok());
+  const NeuronGroup group{layer, {0, 4}};
+
+  NtaEngine nta(sys.engine.get(), &index.value());
+  const auto reference = nta.MostSimilarTo(group, 3, ExactOptions(8));
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto begun = nta.BeginMostSimilarTo(group, 3, ExactOptions(8), &ctx);
+  ASSERT_TRUE(begun.ok());
+  // Time-sliced: run at most two steps per "episode", as a preemptive
+  // scheduler would between parks.
+  while (!(*begun)->done()) {
+    int budget = 2;
+    DE_ASSERT_OK((*begun)->RunUntil([&budget] { return --budget < 0; }));
+  }
+  auto sliced = (*begun)->TakeResult();
+  ASSERT_TRUE(sliced.ok());
+  ExpectIdentical(reference.value(), sliced.value());
+}
+
+TEST(NtaExecutionTest, StepsSplitAcrossThreadsAreBitIdentical) {
+  // The park/resume ownership handoff in miniature: each step runs on a
+  // fresh thread (strictly serialized, as the service's mutex serializes
+  // park → resume), and the result must equal the single-threaded run.
+  TinySystem sys(60, 41, /*batch_size=*/8);
+  const int layer = sys.model->activation_layers()[1];
+  auto index = BuildIndexFor(sys.engine.get(), layer, LayerIndexConfig{4, 0.2});
+  ASSERT_TRUE(index.ok());
+  const NeuronGroup group{layer, {1, 2, 6}};
+
+  NtaEngine nta(sys.engine.get(), &index.value());
+  const auto reference = nta.MostSimilarTo(group, 11, ExactOptions(7));
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto begun = nta.BeginMostSimilarTo(group, 11, ExactOptions(7), &ctx);
+  ASSERT_TRUE(begun.ok());
+  NtaExecution* exec = begun->get();
+  while (!exec->done()) {
+    std::thread worker([exec] {
+      const Status status = exec->Step();
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    });
+    worker.join();
+  }
+  auto handed_off = exec->TakeResult();
+  ASSERT_TRUE(handed_off.ok());
+  ExpectIdentical(reference.value(), handed_off.value());
+  EXPECT_EQ(reference->stats.inputs_run, handed_off->stats.inputs_run);
+}
+
+// ------------------------- facade-level QueryExecution ---------------------
+
+DeepEverestOptions SmallOptions() {
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 4;
+  options.mai_ratio_override = 0.1;
+  return options;
+}
+
+TEST(QueryExecutionTest, BeginSpecStepLoopMatchesExecuteSpec) {
+  TinySystem sys(50, 43, 8);
+  TempDir dir("exec");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const int layer = sys.model->activation_layers()[0];
+
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kMostSimilar;
+  spec.k = 6;
+  spec.layer = layer;
+  spec.neurons = {0, 3, 7};
+  spec.target_id = 5;
+
+  // Warm the index so both executions run the same NTA path.
+  ASSERT_TRUE((*de)->ExecuteSpec(spec).ok());
+  const auto reference = (*de)->ExecuteSpec(spec);
+  ASSERT_TRUE(reference.ok());
+
+  QueryContext ctx;
+  auto begun = (*de)->BeginSpec(spec, &ctx);
+  ASSERT_TRUE(begun.ok()) << begun.status().ToString();
+  int steps = 0;
+  while (!(*begun)->done()) {
+    DE_ASSERT_OK((*begun)->Step());
+    ++steps;
+  }
+  EXPECT_GT(steps, 2);  // resolve/index phases + at least one NTA round
+  auto stepped = (*begun)->TakeResult();
+  ASSERT_TRUE(stepped.ok());
+  ExpectIdentical(reference.value(), stepped.value());
+  EXPECT_EQ(reference->stats.inputs_run, stepped->stats.inputs_run);
+}
+
+TEST(QueryExecutionTest, CancelledContextSurfacesBetweenSteps) {
+  TinySystem sys(50, 47, 8);
+  TempDir dir("exec");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const int layer = sys.model->activation_layers()[0];
+
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = 5;
+  spec.layer = layer;
+  spec.neurons = {0, 1};
+  ASSERT_TRUE((*de)->ExecuteSpec(spec).ok());  // warm
+
+  QueryContext ctx;
+  auto begun = (*de)->BeginSpec(spec, &ctx);
+  ASSERT_TRUE(begun.ok());
+  DE_ASSERT_OK((*begun)->Step());  // resolve
+  ctx.Cancel();
+  while (!(*begun)->done()) {
+    (*begun)->Step();  // must terminate with the cancellation, not hang
+  }
+  auto result = (*begun)->TakeResult();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryExecutionTest, AbandonedExecutionDestructsCleanly) {
+  TinySystem sys(40, 53, 8);
+  TempDir dir("exec");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  auto de = DeepEverest::Create(sys.model.get(), &sys.dataset, &store.value(),
+                                SmallOptions());
+  ASSERT_TRUE(de.ok());
+  const int layer = sys.model->activation_layers()[0];
+
+  QuerySpec spec;
+  spec.kind = QuerySpec::Kind::kHighest;
+  spec.k = 4;
+  spec.layer = layer;
+  spec.neurons = {0, 2};
+  ASSERT_TRUE((*de)->ExecuteSpec(spec).ok());  // warm
+
+  QueryContext ctx;
+  ctx.trace = std::make_shared<Trace>(Trace::NextId());
+  auto begun = (*de)->BeginSpec(spec, &ctx);
+  ASSERT_TRUE(begun.ok());
+  DE_ASSERT_OK((*begun)->Step());
+  DE_ASSERT_OK((*begun)->Step());
+  begun->reset();  // mid-flight abandonment: spans must be closed, no leak
+  ctx.trace->Finish();
+  EXPECT_FALSE(ctx.trace->Snapshot().has_open_spans);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest

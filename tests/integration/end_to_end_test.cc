@@ -138,17 +138,18 @@ TEST(EndToEndTest, ThetaApproximationThroughFacade) {
   const core::NeuronGroup group{layer, *top_neurons};
   ASSERT_TRUE(session.de->TopKHighest(group, 1).ok());  // build index
 
-  core::NtaOptions exact;
-  exact.k = 8;
-  auto exact_result =
-      session.de->TopKMostSimilarWithOptions(7, group, exact);
+  core::QuerySpec spec;
+  spec.kind = core::QuerySpec::Kind::kMostSimilar;
+  spec.k = 8;
+  spec.layer = group.layer;
+  spec.neurons = group.neurons;
+  spec.target_id = 7;
+  auto exact_result = session.de->ExecuteSpec(spec);
   ASSERT_TRUE(exact_result.ok());
 
-  core::NtaOptions approx;
-  approx.k = 8;
+  core::QuerySpec approx = spec;
   approx.theta = 0.6;
-  auto approx_result =
-      session.de->TopKMostSimilarWithOptions(7, group, approx);
+  auto approx_result = session.de->ExecuteSpec(approx);
   ASSERT_TRUE(approx_result.ok());
   EXPECT_LE(approx_result->stats.inputs_run, exact_result->stats.inputs_run);
   // θ guarantee against the exact worst distance.

@@ -836,6 +836,111 @@ TEST(QueryServerTest, HealthzAndModelName) {
   EXPECT_EQ(client->Post("/v1/query", body)->status, 200);
 }
 
+// Every result carries its query_id, and per-model /v1/stats sections carry
+// the live-state breakdown plus the preemption counters.
+TEST(QueryServerTest, ResultCarriesQueryIdAndStatsCarryStates) {
+  ServerFixture fix;
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+
+  const std::string body =
+      R"({"kind":"highest","layer":)" +
+      std::to_string(fix.system->model()->activation_layers().front()) +
+      R"(,"neurons":[0,1],"k":3})";
+  auto response = client->Post("/v1/query", body);
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200) << response->body;
+  auto parsed = ParseJson(response->body);
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* query_id = parsed->Find("query_id");
+  ASSERT_NE(query_id, nullptr);
+  EXPECT_GT(query_id->int_value(), 0);
+  // The id is the trace id: the span tree is fetchable under it.
+  auto trace = client->Get("/v1/trace/" +
+                           std::to_string(query_id->int_value()));
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->status, 200) << trace->body;
+
+  auto stats = client->Get("/v1/stats");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->status, 200);
+  auto stats_json = ParseJson(stats->body);
+  ASSERT_TRUE(stats_json.ok());
+  const JsonValue* section =
+      FindModelStats(*stats_json, fix.system->model_name());
+  ASSERT_NE(section, nullptr);
+  const JsonValue* states = section->Find("states");
+  ASSERT_NE(states, nullptr);
+  EXPECT_EQ(states->Find("queued")->int_value(), 0);
+  EXPECT_EQ(states->Find("running")->int_value(), 0);
+  EXPECT_EQ(states->Find("parked")->int_value(), 0);
+  EXPECT_EQ(section->Find("parked")->int_value(), 0);
+  ASSERT_NE(section->Find("parked_total"), nullptr);
+  ASSERT_NE(section->Find("resumed_total"), nullptr);
+  ASSERT_NE(section->Find("preemptions"), nullptr);
+}
+
+// DELETE /v1/query/<id> cancels a live streaming query: the stream's
+// `accepted` event names the id, a second connection deletes it, and the
+// stream terminates with a Cancelled error event.
+TEST(QueryServerTest, DeleteCancelsLiveQueryById) {
+  DemoSystemOptions demo_options;
+  demo_options.device_latency_scale = 8.0;  // slow enough to cancel mid-run
+  ServerFixture fix(demo_options);
+  auto client = fix.Connect();
+  ASSERT_TRUE(client.ok());
+  auto canceller = fix.Connect();
+  ASSERT_TRUE(canceller.ok());
+
+  uint64_t query_id = 0;
+  std::string final_event;
+  auto response = client->GetStream(
+      "/v1/query?stream=1&kind=highest&layer=" +
+          std::to_string(fix.system->model()->activation_layers().front()) +
+          "&neurons=0,1,2,3&k=10",
+      [&](const std::string& line) {
+        auto event = ParseJson(line);
+        EXPECT_TRUE(event.ok()) << line;
+        if (!event.ok()) return true;
+        const std::string kind = event->Find("event")->string_value();
+        if (kind == "accepted") {
+          query_id =
+              static_cast<uint64_t>(event->Find("query_id")->int_value());
+          EXPECT_GT(query_id, 0u);
+          auto cancel = canceller->Request(
+              "DELETE", "/v1/query/" + std::to_string(query_id));
+          EXPECT_TRUE(cancel.ok());
+          EXPECT_EQ(cancel->status, 200) << cancel->body;
+          auto body = ParseJson(cancel->body);
+          EXPECT_TRUE(body.ok());
+          EXPECT_TRUE(body->Find("cancel_requested")->bool_value());
+        } else if (kind == "error" || kind == "result") {
+          final_event = line;
+        }
+        return true;
+      });
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_GT(query_id, 0u);
+  auto final_json = ParseJson(final_event);
+  ASSERT_TRUE(final_json.ok()) << final_event;
+  EXPECT_EQ(final_json->Find("event")->string_value(), "error");
+  ASSERT_NE(final_json->Find("code"), nullptr) << final_event;
+  EXPECT_EQ(final_json->Find("code")->string_value(), "Cancelled");
+  EXPECT_EQ(fix.service->Snapshot().cancelled, 1);
+
+  // Once finished the id is no longer live: a second DELETE is 404. A
+  // non-numeric id is a 400, an unknown numeric id a 404.
+  EXPECT_EQ(canceller
+                ->Request("DELETE", "/v1/query/" + std::to_string(query_id))
+                ->status,
+            404);
+  EXPECT_EQ(canceller->Request("DELETE", "/v1/query/bogus")->status, 400);
+  EXPECT_EQ(canceller->Request("DELETE", "/v1/query/999999999")->status, 404);
+  // Other methods on the route are rejected.
+  EXPECT_EQ(canceller->Get("/v1/query/" + std::to_string(query_id))->status,
+            405);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace deepeverest

@@ -1,0 +1,391 @@
+// Preemptive park/resume scheduling of the QueryService: a worker stepping
+// a non-interactive query parks it between NTA rounds when interactive work
+// arrives, runs the interactive query, and the parked query resumes later —
+// on any worker — with a bit-identical answer. Also pins the deadline
+// semantics around parking (expired-while-parked counts as
+// deadline_exceeded, never rejected_past_deadline, and never burns worker
+// time on resume) and the cancel/shutdown interactions. The multi-worker
+// stress at the bottom is the TSan target for the single-owner execution
+// handoff.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/deepeverest.h"
+#include "service/query_service.h"
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace service {
+namespace {
+
+using core::DeepEverest;
+using core::DeepEverestOptions;
+using core::TopKResult;
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+DeepEverestOptions EngineOptions() {
+  DeepEverestOptions options;
+  options.batch_size = 8;
+  options.num_partitions_override = 8;  // more rounds = more park points
+  options.mai_ratio_override = 0.1;
+  options.enable_iqa = false;  // keep per-query inputs_run deterministic
+  return options;
+}
+
+struct PreemptFixture {
+  PreemptFixture(uint32_t num_inputs, uint64_t seed)
+      : sys(num_inputs, seed, 8), dir("preempt_svc") {
+    auto opened = storage::FileStore::Open(dir.path());
+    EXPECT_TRUE(opened.ok());
+    store = std::make_unique<storage::FileStore>(std::move(opened.value()));
+    auto created = DeepEverest::Create(sys.model.get(), &sys.dataset,
+                                       store.get(), EngineOptions());
+    EXPECT_TRUE(created.ok()) << created.status().ToString();
+    engine = std::move(created.value());
+  }
+
+  /// Warm every index, then make each device batch cost `launch_seconds` of
+  /// real time — bulk queries become long enough that interactive work
+  /// reliably arrives mid-flight.
+  void MakeQueriesSlow(double launch_seconds) {
+    ASSERT_TRUE(engine->PreprocessAllLayers().ok());
+    engine->inference()->mutable_cost_model()->launch_overhead_seconds =
+        launch_seconds;
+    engine->inference()->set_simulate_device_latency(true);
+  }
+
+  core::QuerySpec MakeQuery(uint64_t session, QosClass qos,
+                            double deadline_seconds = 0.0) const {
+    core::QuerySpec query;
+    query.kind = core::QuerySpec::Kind::kMostSimilar;
+    query.layer = sys.model->activation_layers()[0];
+    query.neurons = {0, 1, 2};
+    query.k = 8;
+    query.target_id = 3;
+    query.session_id = session;
+    query.qos = qos;
+    if (deadline_seconds > 0.0) query.deadline_ms = deadline_seconds * 1e3;
+    return query;
+  }
+
+  /// The uninterrupted ground truth for MakeQuery's result, computed
+  /// engine-direct (same warm index, no service in the way).
+  Result<TopKResult> Reference(uint64_t session) const {
+    return engine->ExecuteSpec(MakeQuery(session, QosClass::kBatch));
+  }
+
+  TinySystem sys;
+  TempDir dir;
+  std::unique_ptr<storage::FileStore> store;
+  std::unique_ptr<DeepEverest> engine;
+};
+
+using Future = std::future<Result<TopKResult>>;
+
+Future MustSubmit(QueryService* service, core::QuerySpec query) {
+  auto submitted = service->Submit(std::move(query));
+  EXPECT_TRUE(submitted.ok()) << submitted.status().ToString();
+  return std::move(submitted.value());
+}
+
+void WaitUntilInFlight(QueryService* service) {
+  while (service->Snapshot().inflight == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void ExpectIdentical(const TopKResult& expected, const TopKResult& actual) {
+  ASSERT_EQ(expected.entries.size(), actual.entries.size());
+  for (size_t i = 0; i < expected.entries.size(); ++i) {
+    EXPECT_EQ(expected.entries[i].input_id, actual.entries[i].input_id)
+        << "rank " << i;
+    EXPECT_EQ(expected.entries[i].value, actual.entries[i].value)
+        << "rank " << i;
+  }
+}
+
+TEST(PreemptionTest, InteractivePreemptsBulkAndBulkStaysBitIdentical) {
+  PreemptFixture fix(80, 201);
+  fix.MakeQueriesSlow(0.004);
+  const auto reference = fix.Reference(1);
+  ASSERT_TRUE(reference.ok());
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  Future bulk =
+      MustSubmit(service->get(), fix.MakeQuery(1, QosClass::kBestEffort));
+  WaitUntilInFlight(service->get());
+  Future interactive =
+      MustSubmit(service->get(), fix.MakeQuery(2, QosClass::kInteractive));
+
+  auto interactive_result = interactive.get();
+  ASSERT_TRUE(interactive_result.ok())
+      << interactive_result.status().ToString();
+  auto bulk_result = bulk.get();
+  ASSERT_TRUE(bulk_result.ok()) << bulk_result.status().ToString();
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_GE(stats.parked_total, 1);
+  EXPECT_GE(stats.resumed_total, 1);
+  EXPECT_GE(stats.preemptions, 1);
+  EXPECT_EQ(stats.parked, 0u);  // nothing left behind
+  EXPECT_EQ(stats.completed, 2);
+
+  // The preempted run answers exactly like the uninterrupted one — same
+  // entries bit-for-bit AND the same exact inference charge.
+  ExpectIdentical(reference.value(), bulk_result.value());
+  EXPECT_EQ(reference->stats.inputs_run, bulk_result->stats.inputs_run);
+  EXPECT_EQ(reference->stats.rounds, bulk_result->stats.rounds);
+}
+
+TEST(PreemptionTest, PreemptionDisabledNeverParks) {
+  PreemptFixture fix(80, 203);
+  fix.MakeQueriesSlow(0.002);
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.enable_preemption = false;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  Future bulk =
+      MustSubmit(service->get(), fix.MakeQuery(1, QosClass::kBestEffort));
+  WaitUntilInFlight(service->get());
+  Future interactive =
+      MustSubmit(service->get(), fix.MakeQuery(2, QosClass::kInteractive));
+  ASSERT_TRUE(bulk.get().ok());
+  ASSERT_TRUE(interactive.get().ok());
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.parked_total, 0);
+  EXPECT_EQ(stats.resumed_total, 0);
+  EXPECT_EQ(stats.preemptions, 0);
+}
+
+TEST(PreemptionTest, DeadlineExpiredWhileParkedCountsAsDeadlineExceeded) {
+  PreemptFixture fix(80, 205);
+  fix.MakeQueriesSlow(0.004);
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 256;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  // A bulk query that cannot finish inside its deadline, parked under a
+  // steady interactive load that outlives the deadline. Whether the clock
+  // runs out while it is parked (the common case here) or between rounds,
+  // it EXECUTED — so it must count as deadline_exceeded, and must never be
+  // mistaken for a queued-only rejected_past_deadline.
+  Future bulk = MustSubmit(
+      service->get(),
+      fix.MakeQuery(1, QosClass::kBestEffort, /*deadline_seconds=*/0.15));
+  WaitUntilInFlight(service->get());
+
+  // Keep at least two interactive queries outstanding until well past the
+  // deadline, so the worker never gets back to the parked bulk early.
+  const auto hold_until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  std::deque<Future> outstanding;
+  uint64_t session = 10;
+  while (std::chrono::steady_clock::now() < hold_until) {
+    while (outstanding.size() < 2) {
+      outstanding.push_back(MustSubmit(
+          service->get(), fix.MakeQuery(session++, QosClass::kInteractive)));
+    }
+    ASSERT_TRUE(outstanding.front().get().ok());
+    outstanding.pop_front();
+  }
+  while (!outstanding.empty()) {
+    ASSERT_TRUE(outstanding.front().get().ok());
+    outstanding.pop_front();
+  }
+
+  auto bulk_result = bulk.get();
+  ASSERT_FALSE(bulk_result.ok());
+  EXPECT_EQ(bulk_result.status().code(), StatusCode::kDeadlineExceeded);
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_GE(stats.parked_total, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.rejected_past_deadline, 0);
+  EXPECT_EQ(stats.parked, 0u);
+}
+
+TEST(PreemptionTest, FreshQueryPastDeadlineStillRejectedWithoutExecuting) {
+  // The flip side of the parked-deadline fix: a query whose deadline passed
+  // while it only ever sat in the queue is still a rejection, not an abort.
+  PreemptFixture fix(40, 207);
+  fix.MakeQueriesSlow(0.001);
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  core::QuerySpec doomed = fix.MakeQuery(1, QosClass::kBatch);
+  doomed.deadline_ms = 0.0;  // already due at admission
+  Future future = MustSubmit(service->get(), std::move(doomed));
+  auto result = future.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.rejected_past_deadline, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 0);
+}
+
+TEST(PreemptionTest, CancelWhileParkedSurfacesAsCancelled) {
+  PreemptFixture fix(80, 209);
+  fix.MakeQueriesSlow(0.004);
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  auto bulk = (*service)->SubmitWithControl(
+      fix.MakeQuery(1, QosClass::kBestEffort));
+  ASSERT_TRUE(bulk.ok());
+  WaitUntilInFlight(service->get());
+
+  // Force a park and hold it parked with a drip of interactive work.
+  std::deque<Future> outstanding;
+  uint64_t session = 20;
+  for (int i = 0; i < 4; ++i) {
+    outstanding.push_back(MustSubmit(
+        service->get(), fix.MakeQuery(session++, QosClass::kInteractive)));
+  }
+  while ((*service)->Snapshot().parked == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(bulk->context->lifecycle(),
+            core::QueryContext::Lifecycle::kParked);
+  bulk->context->Cancel();
+
+  while (!outstanding.empty()) {
+    ASSERT_TRUE(outstanding.front().get().ok());
+    outstanding.pop_front();
+  }
+  auto bulk_result = bulk->result.get();
+  ASSERT_FALSE(bulk_result.ok());
+  EXPECT_EQ(bulk_result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(bulk->context->lifecycle(),
+            core::QueryContext::Lifecycle::kFinished);
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_GE(stats.parked_total, 1);
+  EXPECT_EQ(stats.parked, 0u);
+}
+
+TEST(PreemptionTest, ShutdownCancelsParkedQuery) {
+  PreemptFixture fix(80, 211);
+  fix.MakeQueriesSlow(0.004);
+
+  QueryServiceOptions options;
+  options.num_workers = 1;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  Future bulk =
+      MustSubmit(service->get(), fix.MakeQuery(1, QosClass::kBestEffort));
+  WaitUntilInFlight(service->get());
+  std::vector<Future> interactive;
+  for (uint64_t s = 0; s < 3; ++s) {
+    interactive.push_back(MustSubmit(
+        service->get(), fix.MakeQuery(30 + s, QosClass::kInteractive)));
+  }
+  while ((*service)->Snapshot().parked == 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  (*service)->Shutdown();
+
+  auto bulk_result = bulk.get();
+  ASSERT_FALSE(bulk_result.ok());
+  EXPECT_EQ(bulk_result.status().code(), StatusCode::kCancelled);
+  // Interactive futures all resolved one way or the other (no hang).
+  for (Future& f : interactive) f.get();
+  EXPECT_EQ((*service)->Snapshot().parked, 0u);
+}
+
+TEST(PreemptionTest, MultiWorkerParkResumeStressStaysBitIdentical) {
+  // Two workers, two long bulk queries, a burst of interactive traffic, a
+  // concurrent Snapshot poller: parked executions hand off between workers
+  // (any worker may resume either bulk query) while stats are read. Run
+  // under TSan this is the ownership-protocol proof; everywhere it is the
+  // bit-equality proof under real contention.
+  PreemptFixture fix(80, 213);
+  fix.MakeQueriesSlow(0.002);
+  const auto ref1 = fix.Reference(1);
+  const auto ref2 = fix.Reference(2);
+  ASSERT_TRUE(ref1.ok());
+  ASSERT_TRUE(ref2.ok());
+
+  QueryServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 256;
+  options.slow_query_seconds = 0.0;
+  auto service = QueryService::Create(fix.engine.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ServiceStats stats = (*service)->Snapshot();
+      EXPECT_LE(stats.parked, static_cast<size_t>(2));
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  Future bulk1 =
+      MustSubmit(service->get(), fix.MakeQuery(1, QosClass::kBestEffort));
+  Future bulk2 =
+      MustSubmit(service->get(), fix.MakeQuery(2, QosClass::kBatch));
+  // Both workers occupied before the interactive burst.
+  while ((*service)->Snapshot().inflight < 2) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  std::vector<Future> interactive;
+  for (uint64_t s = 0; s < 8; ++s) {
+    interactive.push_back(MustSubmit(
+        service->get(), fix.MakeQuery(40 + s, QosClass::kInteractive)));
+  }
+
+  for (Future& f : interactive) ASSERT_TRUE(f.get().ok());
+  auto result1 = bulk1.get();
+  auto result2 = bulk2.get();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  ASSERT_TRUE(result1.ok()) << result1.status().ToString();
+  ASSERT_TRUE(result2.ok()) << result2.status().ToString();
+  ExpectIdentical(ref1.value(), result1.value());
+  ExpectIdentical(ref2.value(), result2.value());
+  EXPECT_EQ(ref1->stats.inputs_run, result1->stats.inputs_run);
+  EXPECT_EQ(ref2->stats.inputs_run, result2->stats.inputs_run);
+
+  const ServiceStats stats = (*service)->Snapshot();
+  EXPECT_GE(stats.parked_total, 1);
+  EXPECT_EQ(stats.parked_total, stats.resumed_total);
+  EXPECT_EQ(stats.parked, 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace deepeverest

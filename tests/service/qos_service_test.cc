@@ -248,6 +248,12 @@ TEST(QosServiceTest, QueuedPastDeadlineIsRejectedWithoutRunning) {
   QueryServiceOptions options;
   options.num_workers = 1;
   options.max_queue_depth = 64;
+  // This test pins the *queued*-expiry taxonomy: the doomed query must sit
+  // behind the blocker until its deadline lapses. With preemption on, the
+  // interactive arrival can park the batch blocker at a round boundary and
+  // dispatch the doomed query before its 1 ms deadline expires.
+  // preemption_test.cc covers the same taxonomy with preemption enabled.
+  options.enable_preemption = false;
   auto service = QueryService::Create(fix.engine.get(), options);
   ASSERT_TRUE(service.ok());
 
