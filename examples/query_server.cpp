@@ -26,6 +26,7 @@
 
 #include "bench_util/demo_system.h"
 #include "net/query_server.h"
+#include "persist/ingest.h"
 #include "service/engine_registry.h"
 #include "service/query_service.h"
 
@@ -45,6 +46,7 @@ int Run(int argc, char** argv) {
   net::QueryServerOptions server_options;
   server_options.http.port = 8080;
   service::QueryServiceOptions service_options;
+  persist::IngestQueueOptions ingest_options;
 
   for (int i = 1; i < argc; ++i) {
     auto next_value = [&](const char* flag) -> const char* {
@@ -68,10 +70,19 @@ int Run(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--device-scale") == 0) {
       demo_options.device_latency_scale =
           std::atof(next_value("--device-scale"));
+    } else if (std::strcmp(argv[i], "--store-dir") == 0) {
+      // Persistent store for model A: snapshots + ingest log survive the
+      // process, so a restart over the same directory recovers (the crash
+      // e2e job kill -9s this binary and restarts it here).
+      demo_options.store_dir = next_value("--store-dir");
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0) {
+      ingest_options.snapshot_every =
+          static_cast<uint32_t>(std::atoi(next_value("--snapshot-every")));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--inputs N] [--seed N] "
-                   "[--workers N] [--device-scale X]\n",
+                   "[--workers N] [--device-scale X] [--store-dir PATH] "
+                   "[--snapshot-every N]\n",
                    argv[0]);
       return 2;
     }
@@ -88,6 +99,7 @@ int Run(int argc, char** argv) {
   }
   bench_util::DemoSystemOptions demo_options_b = demo_options;
   demo_options_b.seed = bench_util::DemoModelBSeed(demo_options.seed);
+  demo_options_b.store_dir.clear();  // only model A persists (and ingests)
   auto system_b = bench_util::DemoSystem::Make(demo_options_b);
   if (!system_b.ok()) {
     std::fprintf(stderr, "demo system B: %s\n",
@@ -114,6 +126,26 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  // Model A accepts ingest (B stays query-only, exercising the 404 path).
+  // Creation recovers: replays the ingest log into the dataset and installs
+  // the last committed snapshot's indexes before the listener opens.
+  ingest_options.trace_sink = [svc = service_a->get()](
+                                  std::shared_ptr<Trace> trace) {
+    svc->RecordTrace(std::move(trace));
+  };
+  auto ingest = persist::IngestQueue::Create(
+      (*system_a)->engine(), (*system_a)->mutable_dataset(),
+      (*system_a)->store(), ingest_options);
+  if (!ingest.ok()) {
+    std::fprintf(stderr, "ingest queue: %s\n",
+                 ingest.status().ToString().c_str());
+    return 1;
+  }
+  if (!registry.AttachIngest(bench_util::kDemoModelA, ingest->get()).ok()) {
+    std::fprintf(stderr, "ingest attach failed\n");
+    return 1;
+  }
+
   auto server = net::QueryServer::Start(&registry, server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "http server: %s\n",
@@ -124,12 +156,13 @@ int Run(int argc, char** argv) {
   // The readiness line the CI job (and any supervisor) waits for; flushed
   // immediately so a pipe reader sees it before the first request.
   std::printf("query_server listening on 127.0.0.1:%u models=%s,%s inputs=%u "
-              "seed=%llu workers=%d\n",
+              "seed=%llu workers=%d recovered_inputs=%u recovered_layers=%u\n",
               static_cast<unsigned>((*server)->port()),
               bench_util::kDemoModelA, bench_util::kDemoModelB,
               demo_options.num_inputs,
               static_cast<unsigned long long>(demo_options.seed),
-              service_options.num_workers);
+              service_options.num_workers, (*ingest)->recovered_inputs(),
+              (*ingest)->recovered_layers());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -140,6 +173,7 @@ int Run(int argc, char** argv) {
 
   std::printf("shutting down\n");
   (*server)->Shutdown();
+  (*ingest)->Shutdown();
   (*service_a)->Shutdown();
   (*service_b)->Shutdown();
   return 0;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the ingest bench (bench_ingest): durable-ack throughput, a concurrent
+# ingest-vs-query arm that verifies every observed answer is BIT-IDENTICAL
+# to a fresh engine built over exactly the prefix the query pinned, and a
+# snapshot/warm-restart arm asserted to run zero startup inference. Writes
+# the JSON report under reproduce/reports/; that report is what gets
+# committed as BENCH_ingest.json at the repo root.
+#
+# bench_ingest exits non-zero on any bit-equality or recovery failure, so
+# this script doubles as a correctness smoke.
+#
+# Usage:
+#   reproduce/run_ingest_bench.sh [build_dir] [report_dir]
+#
+# Scale knobs (environment):
+#   DE_BENCH_INGEST_BASE     base dataset inputs  (default 400)
+#   DE_BENCH_INGEST_BATCHES  ingest batches       (default 12)
+#   DE_BENCH_INGEST_BATCH    inputs per batch     (default 16)
+# Quick smoke pass:
+#   DE_BENCH_INGEST_BASE=100 DE_BENCH_INGEST_BATCHES=4 \
+#   reproduce/run_ingest_bench.sh
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+REPORT_DIR="${2:-$REPO_ROOT/reproduce/reports}"
+BENCH="$BUILD_DIR/bench_ingest"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: '$BENCH' not found or not executable." >&2
+  echo "Configure and build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j --target bench_ingest" >&2
+  exit 2
+fi
+
+mkdir -p "$REPORT_DIR"
+REPORT="$REPORT_DIR/bench_ingest.json"
+
+echo "== bench_ingest -> $REPORT"
+if ! "$BENCH" 2>"$REPORT_DIR/bench_ingest.log" >"$REPORT"; then
+  echo "FAILED: bench_ingest reported a bit-equality or recovery failure" >&2
+  cat "$REPORT_DIR/bench_ingest.log" >&2
+  exit 1
+fi
+cat "$REPORT"
+
+echo
+echo "All pinned-watermark answers bit-identical; warm restart ran zero inference."
+echo "To refresh the committed snapshot: cp $REPORT $REPO_ROOT/BENCH_ingest.json"

@@ -29,6 +29,12 @@
 #                 outside src/kernels/: every SIMD body lives behind the
 #                 dispatched KernelTable so the scalar-vs-AVX2 parity
 #                 suite covers it and non-x86 builds stay portable.
+#   raw-io        No raw POSIX file IO (::open/::write/::rename, fsync,
+#                 O_* flags) in src/ outside src/storage/ and
+#                 src/persist/: durability lives behind FileStore's
+#                 write-temp/fsync/rename primitives so crash-safety is
+#                 provable in one place. A stray ::write elsewhere is an
+#                 unaudited commit point.
 #
 # Usage:
 #   scripts/lint.sh              lint the repository
@@ -173,6 +179,25 @@ check_simd_intrinsics() {
   return 0
 }
 
+# --- rule: raw-io ------------------------------------------------------------
+check_raw_io() {
+  local root="$1"
+  [ -d "${root}/src" ] || return 0
+  local out
+  out="$(grep -rnE '(::(open|write|pwrite|rename|fsync|fdatasync)[[:space:]]*\(|(^|[^A-Za-z0-9_:.])(fsync|fdatasync|pwrite)[[:space:]]*\(|[^A-Za-z0-9_]O_(WRONLY|RDWR|CREAT|APPEND|TRUNC|SYNC|DSYNC)[^A-Za-z0-9_])' \
+      "${root}/src" --include='*.h' --include='*.cc' 2>/dev/null |
+    grep -vE "^${root}/src/(storage|persist)/" |
+    grep -v 'lint:allow(raw-io)' |
+    grep -vE ':[0-9]+:[[:space:]]*(//|\*|///)' || true)"
+  if [ -n "${out}" ]; then
+    while IFS= read -r hit; do
+      note "raw-io: raw file IO outside src/storage//src/persist/ (go through storage::FileStore): ${hit}"
+    done <<<"${out}"
+    FAIL=1
+  fi
+  return 0
+}
+
 run_all() {
   local root="$1"
   FAIL=0
@@ -182,6 +207,7 @@ run_all() {
   check_double_format "${root}"
   check_raw_mutex "${root}"
   check_simd_intrinsics "${root}"
+  check_raw_io "${root}"
   return "${FAIL}"
 }
 
@@ -226,6 +252,10 @@ self_test() {
   printf '#include <immintrin.h>\n__m256d f(__m256d v) { return _mm256_add_pd(v, v); }\n' \
       > "${scratch}/src/core/seeded.cc"
   expect_fire simd-intrinsics
+
+  printf '#include <fcntl.h>\nint f(const char* p) { return ::open(p, O_WRONLY | O_CREAT, 0644); }\n' \
+      > "${scratch}/src/core/seeded.cc"
+  expect_fire raw-io
 
   # And a clean tree must pass.
   if ! run_all "${scratch}"; then

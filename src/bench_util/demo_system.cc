@@ -35,7 +35,7 @@ DemoSystem::DemoSystem(nn::ModelPtr model, data::Dataset dataset)
 DemoSystem::~DemoSystem() {
   engine_.reset();  // the engine writes through the store; drop it first
   store_.reset();
-  if (!store_dir_.empty()) {
+  if (!store_dir_.empty() && owns_store_dir_) {
     std::error_code ec;
     std::filesystem::remove_all(store_dir_, ec);
   }
@@ -50,8 +50,13 @@ Result<std::unique_ptr<DemoSystem>> DemoSystem::Make(
       nn::MakeTinyMlp(options.input_units, options.seed),
       MakeVectorDataset(options.num_inputs, options.input_units,
                         options.seed + 1)));
-  DE_ASSIGN_OR_RETURN(system->store_dir_,
-                      storage::MakeTempDir("demo_system"));
+  if (options.store_dir.empty()) {
+    DE_ASSIGN_OR_RETURN(system->store_dir_,
+                        storage::MakeTempDir("demo_system"));
+  } else {
+    system->store_dir_ = options.store_dir;
+    system->owns_store_dir_ = false;  // persistent: survives this process
+  }
   DE_ASSIGN_OR_RETURN(storage::FileStore store,
                       storage::FileStore::Open(system->store_dir_));
   system->store_ = std::make_unique<storage::FileStore>(std::move(store));

@@ -34,6 +34,11 @@ struct DemoSystemOptions {
   /// factor, giving queries realistic multi-millisecond execution so
   /// streaming/cancellation races are exercisable.
   double device_latency_scale = 0.0;
+  /// When non-empty, the FileStore opens over this directory instead of a
+  /// fresh temp dir, and the directory survives destruction — the warm
+  /// restart / crash-recovery path: a second process over the same
+  /// directory recovers the first one's snapshots and ingest log.
+  std::string store_dir;
 };
 
 /// \brief A self-contained engine over the TinyMlp model and a synthetic
@@ -53,6 +58,10 @@ class DemoSystem {
   core::DeepEverest* engine() { return engine_.get(); }
   const nn::Model* model() const { return model_.get(); }
   const data::Dataset* dataset() const { return &dataset_; }
+  /// Mutable handle for the ingest pipeline (appends only; the base inputs
+  /// stay deterministic).
+  data::Dataset* mutable_dataset() { return &dataset_; }
+  storage::FileStore* store() { return store_.get(); }
   /// The wire-protocol model name clients address queries to.
   const std::string& model_name() const { return model_->name(); }
 
@@ -62,6 +71,7 @@ class DemoSystem {
   nn::ModelPtr model_;
   data::Dataset dataset_;
   std::string store_dir_;
+  bool owns_store_dir_ = true;
   std::unique_ptr<storage::FileStore> store_;
   std::unique_ptr<core::DeepEverest> engine_;
 };

@@ -84,6 +84,18 @@ class BinaryReader {
   Status ReadU32Vector(std::vector<uint32_t>* out);
   Status ReadU64Vector(std::vector<uint64_t>* out);
 
+  /// Advances past `n` bytes without copying (skipping a framed payload
+  /// that was already consumed out-of-band).
+  Status Skip(uint64_t n) {
+    if (n > size_ - pos_) {
+      return Status::IOError("truncated buffer: cannot skip " +
+                             std::to_string(n) + " bytes, have " +
+                             std::to_string(size_ - pos_));
+    }
+    pos_ += static_cast<size_t>(n);
+    return Status::OK();
+  }
+
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 

@@ -26,6 +26,11 @@ DeepEverest::DeepEverest(const nn::Model* model, const data::Dataset* dataset,
   if (options_.enable_iqa) {
     iqa_cache_ = std::make_unique<IqaCache>(options_.iqa_capacity_bytes,
                                             options_.iqa_shards);
+    // When a persisted index fails validation and is rebuilt, drop the
+    // layer's cached activation rows too: they are recomputable and cheap to
+    // lose, and this keeps "discard corrupt derived state" a single switch.
+    index_manager_.set_index_invalidation_hook(
+        [this](int layer) { iqa_cache_->EraseLayer(layer); });
   }
 }
 
@@ -168,6 +173,11 @@ struct QueryExecution::Impl {
   Phase phase = Phase::kResolve;
   Status error = Status::OK();
   NeuronGroup group;
+  // The query's pinned index version: holding the shared_ptr keeps this
+  // exact index alive even if ingest swaps a newer one into the
+  // IndexManager mid-query, so every round sees one consistent dataset
+  // prefix and the answer is bit-identical to a fresh scan over it.
+  LayerIndexPtr index_ref;
   // The NTA engine must outlive its execution across steps (the old code
   // stack-allocated it inside a run-to-completion frame).
   std::unique_ptr<NtaEngine> engine;
@@ -226,16 +236,19 @@ struct QueryExecution::Impl {
     // can never leak into these numbers.
     const nn::InferenceReceipt ensure_start = ctx->receipt;
     storage::LayerActivationMatrix fresh;
-    const LayerIndex* index = nullptr;
     {
       SpanScope span(ctx->trace.get(), "index.ensure");
-      DE_ASSIGN_OR_RETURN(index, system->index_manager()->EnsureIndex(
-                                     group.layer, &fresh, nullptr,
-                                     &ctx->receipt));
+      DE_ASSIGN_OR_RETURN(index_ref, system->index_manager()->EnsureIndex(
+                                         group.layer, &fresh, nullptr,
+                                         &ctx->receipt));
       span.AddInt("inputs_run",
                   ctx->receipt.inputs_run - ensure_start.inputs_run);
       span.AddInt("built", fresh.num_inputs > 0 ? 1 : 0);
     }
+    // Pin the dataset version this query answers over. Candidates only ever
+    // come from the pinned index, so the result covers exactly the prefix
+    // [0, pinned_dataset_version) even while ingest grows the dataset.
+    ctx->pinned_dataset_version = index_ref->num_inputs();
     // The build (or the wait on another thread's build) may have consumed
     // the whole deadline budget; abort before scanning or running NTA.
     DE_RETURN_NOT_OK(ctx->CheckRunnable());
@@ -251,7 +264,14 @@ struct QueryExecution::Impl {
     options.use_mai = system->options().enable_mai;
     DE_ASSIGN_OR_RETURN(options.dist, MakeDistance(spec.distance));
 
-    if (fresh.num_inputs > 0) {
+    // Answer from the freshly computed matrix when possible (§4.6). A
+    // most-similar target ingested after the build started is not covered by
+    // `fresh`; fall through to NTA, whose prologue computes the target's
+    // activations via inference.
+    const bool target_in_fresh =
+        !has_target_id ||
+        static_cast<uint64_t>(spec.target_id) < fresh.num_inputs;
+    if (fresh.num_inputs > 0 && target_in_fresh) {
       // Incremental indexing (§4.6): the index was just built, which
       // computed every input's activations anyway — answer the triggering
       // query from them directly.
@@ -280,7 +300,7 @@ struct QueryExecution::Impl {
 
     // The NTA phase spans many Steps; keep its span open across them.
     if (ctx->trace != nullptr) nta_span = ctx->trace->StartSpan("nta");
-    engine = std::make_unique<NtaEngine>(system->inference(), index);
+    engine = std::make_unique<NtaEngine>(system->inference(), index_ref.get());
     Result<std::unique_ptr<NtaExecution>> begun =
         spec.kind == QuerySpec::Kind::kHighest
             ? engine->BeginHighest(group, options, ctx)
@@ -380,6 +400,7 @@ Result<TopKResult> QueryExecution::TakeResult() {
   stats.simulated_gpu_seconds = im.ctx->receipt.simulated_gpu_seconds -
                                 im.start_receipt.simulated_gpu_seconds;
   stats.wall_seconds = im.active_seconds;
+  stats.dataset_version = im.ctx->pinned_dataset_version;
   return result;
 }
 

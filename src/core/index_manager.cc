@@ -1,8 +1,10 @@
 #include "core/index_manager.h"
 
 #include <numeric>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "persist/format.h"
 
 namespace deepeverest {
 namespace core {
@@ -12,15 +14,45 @@ std::string IndexManager::KeyFor(const std::string& model_name, int layer) {
 }
 
 bool IndexManager::IsIndexed(int layer) const {
-  if (FindLoaded(layer) != nullptr) return true;
+  if (Peek(layer) != nullptr) return true;
   return options_.persist &&
          store_->Exists(KeyFor(inference_->model().name(), layer));
 }
 
-const LayerIndex* IndexManager::FindLoaded(int layer) const {
+LayerIndexPtr IndexManager::Peek(int layer) const {
   common::ReaderMutexLock lock(&mu_);
   auto it = loaded_.find(layer);
-  return it != loaded_.end() ? &it->second : nullptr;
+  return it != loaded_.end() ? it->second : nullptr;
+}
+
+std::vector<int> IndexManager::LoadedLayers() const {
+  common::ReaderMutexLock lock(&mu_);
+  std::vector<int> layers;
+  layers.reserve(loaded_.size());
+  for (const auto& entry : loaded_) layers.push_back(entry.first);
+  return layers;
+}
+
+LayerIndexPtr IndexManager::Publish(int layer, LayerIndex index) {
+  auto shared = std::make_shared<const LayerIndex>(std::move(index));
+  common::WriterMutexLock lock(&mu_);
+  loaded_[layer] = shared;
+  return shared;
+}
+
+Status IndexManager::InstallIndex(int layer, LayerIndex index) {
+  if (layer < 0 || layer >= inference_->model().num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(layer) +
+                              " out of range");
+  }
+  const int64_t neurons = inference_->model().NeuronCount(layer);
+  if (index.num_neurons() != neurons) {
+    return Status::InvalidArgument(
+        "index neuron count " + std::to_string(index.num_neurons()) +
+        " does not match layer " + std::to_string(layer));
+  }
+  Publish(layer, std::move(index));
+  return Status::OK();
 }
 
 common::Mutex* IndexManager::BuildMutexFor(int layer) {
@@ -30,7 +62,41 @@ common::Mutex* IndexManager::BuildMutexFor(int layer) {
   return slot.get();
 }
 
-Result<const LayerIndex*> IndexManager::EnsureIndex(
+Status IndexManager::PersistIndex(int layer, const LayerIndex& index,
+                                  double* persist_seconds) {
+  Stopwatch watch;
+  if (options_.persist) {
+    BinaryWriter writer;
+    index.Serialize(&writer);
+    // Checksum envelope + write-temp/fsync/rename: a crash mid-persist
+    // leaves the previous file (or a stray .tmp), never a truncated index
+    // that a later session would deserialize.
+    DE_RETURN_NOT_OK(
+        store_->WriteAtomic(KeyFor(inference_->model().name(), layer),
+                            persist::WrapChecksum(writer.buffer()),
+                            options_.force_sync));
+  }
+  if (persist_seconds != nullptr) *persist_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<storage::LayerActivationMatrix> IndexManager::ComputeRows(
+    int layer, uint32_t base, uint32_t count, nn::InferenceReceipt* receipt) {
+  const uint64_t num_neurons =
+      static_cast<uint64_t>(inference_->model().NeuronCount(layer));
+  std::vector<uint32_t> ids(count);
+  std::iota(ids.begin(), ids.end(), base);
+  std::vector<std::vector<float>> rows;
+  DE_RETURN_NOT_OK(inference_->ComputeLayer(ids, layer, &rows, receipt));
+  storage::LayerActivationMatrix acts =
+      storage::LayerActivationMatrix::Make(count, num_neurons);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::copy(rows[i].begin(), rows[i].end(), acts.MutableRow(i));
+  }
+  return acts;
+}
+
+Result<LayerIndexPtr> IndexManager::EnsureIndex(
     int layer, storage::LayerActivationMatrix* fresh_acts,
     PreprocessTimings* timings, nn::InferenceReceipt* receipt) {
   if (layer < 0 || layer >= inference_->model().num_layers()) {
@@ -38,49 +104,48 @@ Result<const LayerIndex*> IndexManager::EnsureIndex(
                               " out of range");
   }
   // Fast path: already in memory (shared lock only).
-  if (const LayerIndex* index = FindLoaded(layer)) return index;
+  if (LayerIndexPtr index = Peek(layer)) return index;
 
   // Build-once/read-many: serialise loaders/builders of this layer while
   // other layers proceed in parallel. Whoever wins the race does the work;
   // later arrivals find the loaded entry on re-check.
   common::MutexLock build_lock(BuildMutexFor(layer));
-  if (const LayerIndex* index = FindLoaded(layer)) return index;
+  if (LayerIndexPtr index = Peek(layer)) return index;
 
-  // Try disk.
+  // Try disk. Any validation failure (truncation, bit rot, foreign format)
+  // falls through to a rebuild instead of serving from a corrupt file.
   const std::string key = KeyFor(inference_->model().name(), layer);
   if (options_.persist && store_->Exists(key)) {
-    DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Read(key));
-    BinaryReader reader(bytes);
-    DE_ASSIGN_OR_RETURN(LayerIndex index, LayerIndex::Deserialize(&reader));
-    common::WriterMutexLock lock(&mu_);
-    auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
-    DE_CHECK(inserted);
-    return &pos->second;
+    auto load = [&]() -> Result<LayerIndex> {
+      DE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, store_->Read(key));
+      DE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                          persist::UnwrapChecksum(bytes, "index '" + key + "'"));
+      BinaryReader reader(payload);
+      return LayerIndex::Deserialize(&reader);
+    };
+    Result<LayerIndex> loaded = load();
+    if (loaded.ok()) {
+      return Publish(layer, std::move(*loaded));
+    }
+    DE_LOG_WARNING << "discarding corrupt persisted index for layer " << layer
+                   << " and rebuilding: " << loaded.status().ToString();
+    if (on_index_invalidated_) on_index_invalidated_(layer);
   }
 
   return BuildIndex(layer, fresh_acts, timings, receipt);
 }
 
-Result<const LayerIndex*> IndexManager::BuildIndex(
+Result<LayerIndexPtr> IndexManager::BuildIndex(
     int layer, storage::LayerActivationMatrix* fresh_acts,
     PreprocessTimings* timings, nn::InferenceReceipt* receipt) {
   const uint32_t num_inputs = inference_->dataset().size();
-  const uint64_t num_neurons =
-      static_cast<uint64_t>(inference_->model().NeuronCount(layer));
 
   // 1. DNN inference over the entire dataset for this layer (§4.6 notes
   // inference restarts from the first layer every time, because only queried
   // layers are persisted — ComputeLayer does exactly that).
   Stopwatch watch;
-  std::vector<uint32_t> ids(num_inputs);
-  std::iota(ids.begin(), ids.end(), 0u);
-  std::vector<std::vector<float>> rows;
-  DE_RETURN_NOT_OK(inference_->ComputeLayer(ids, layer, &rows, receipt));
-  storage::LayerActivationMatrix acts =
-      storage::LayerActivationMatrix::Make(num_inputs, num_neurons);
-  for (uint32_t id = 0; id < num_inputs; ++id) {
-    std::copy(rows[id].begin(), rows[id].end(), acts.MutableRow(id));
-  }
+  DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix acts,
+                      ComputeRows(layer, 0, num_inputs, receipt));
   const double inference_seconds = watch.ElapsedSeconds();
 
   // 2. Sort & partition: build NPI + MAI.
@@ -89,16 +154,9 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
                       LayerIndex::Build(acts, options_.layer_config));
   const double index_seconds = watch.ElapsedSeconds();
 
-  // 3. Persist.
-  watch.Reset();
-  if (options_.persist) {
-    BinaryWriter writer;
-    index.Serialize(&writer);
-    DE_RETURN_NOT_OK(
-        store_->Write(KeyFor(inference_->model().name(), layer),
-                      writer.buffer(), options_.force_sync));
-  }
-  const double persist_seconds = watch.ElapsedSeconds();
+  // 3. Persist (checksummed, atomic).
+  double persist_seconds = 0.0;
+  DE_RETURN_NOT_OK(PersistIndex(layer, index, &persist_seconds));
 
   if (timings != nullptr) {
     timings->inference_seconds += inference_seconds;
@@ -107,10 +165,42 @@ Result<const LayerIndex*> IndexManager::BuildIndex(
   }
   if (fresh_acts != nullptr) *fresh_acts = std::move(acts);
 
-  common::WriterMutexLock lock(&mu_);
-  auto [pos, inserted] = loaded_.emplace(layer, std::move(index));
-  DE_CHECK(inserted);
-  return &pos->second;
+  return Publish(layer, std::move(index));
+}
+
+Status IndexManager::CatchUp(int layer, uint32_t target_size,
+                             nn::InferenceReceipt* receipt) {
+  if (layer < 0 || layer >= inference_->model().num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(layer) +
+                              " out of range");
+  }
+  common::MutexLock build_lock(BuildMutexFor(layer));
+  LayerIndexPtr current = Peek(layer);
+  if (current == nullptr) {
+    return Status::FailedPrecondition("layer " + std::to_string(layer) +
+                                      " has no loaded index to merge into");
+  }
+  while (current->num_inputs() < target_size) {
+    const uint32_t base = current->num_inputs();
+    const uint32_t count = target_size - base;
+    DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix delta,
+                        ComputeRows(layer, base, count, receipt));
+    Result<LayerIndex> merged = current->AppendInputs(delta);
+    if (!merged.ok()) {
+      if (merged.status().code() != StatusCode::kFailedPrecondition) {
+        return merged.status();
+      }
+      // Degenerate index shape that cannot take appends: rebuild wholesale
+      // at the target size (rare; only single-partition MAI configs).
+      DE_ASSIGN_OR_RETURN(storage::LayerActivationMatrix all,
+                          ComputeRows(layer, 0, target_size, receipt));
+      merged = LayerIndex::Build(all, options_.layer_config);
+      DE_RETURN_NOT_OK(merged.status());
+    }
+    DE_RETURN_NOT_OK(PersistIndex(layer, *merged, nullptr));
+    current = Publish(layer, std::move(*merged));
+  }
+  return Status::OK();
 }
 
 Status IndexManager::PreprocessAllLayers(PreprocessTimings* timings) {

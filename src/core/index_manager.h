@@ -1,9 +1,11 @@
 #ifndef DEEPEVEREST_CORE_INDEX_MANAGER_H_
 #define DEEPEVEREST_CORE_INDEX_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/result.h"
@@ -38,22 +40,27 @@ struct IndexManagerOptions {
   bool force_sync = false;
 };
 
-/// \brief Builds, persists, loads, and caches per-layer indexes — the
-/// incremental indexing strategy of paper §4.6.
+/// Immutable, shared view of one layer's index. Queries hold a reference for
+/// their whole lifetime, pinning the dataset version (== num_inputs()) they
+/// started at even if ingest swaps in a newer index underneath them.
+using LayerIndexPtr = std::shared_ptr<const LayerIndex>;
+
+/// \brief Builds, persists, loads, merges, and caches per-layer indexes —
+/// the incremental indexing strategy of paper §4.6, extended with live
+/// appends for the ingest path.
 ///
 /// No preprocessing happens up front: the first query against a layer pays
 /// for one full-dataset inference pass over that layer, builds NPI+MAI from
 /// the computed activations, and persists them. Later queries (and later
 /// sessions pointing at the same FileStore) reuse the index.
 ///
-/// Thread-safety: EnsureIndex/IsIndexed/IsLoaded are safe to call
-/// concurrently. Index construction is build-once/read-many: a per-layer
-/// build mutex serialises builders of the *same* layer (the losers wait and
-/// then reuse the winner's index, so the expensive full-dataset inference
-/// pass runs exactly once per layer), while different layers build in
-/// parallel. Returned LayerIndex pointers stay valid for the manager's
-/// lifetime — `loaded_` is a node-based map, so inserts never move existing
-/// entries.
+/// Thread-safety: all public methods are safe to call concurrently. Index
+/// construction is build-once/read-many: a per-layer build mutex serialises
+/// builders/mergers of the *same* layer (the losers wait and then reuse the
+/// winner's index, so the expensive full-dataset inference pass runs exactly
+/// once per layer), while different layers build in parallel. Loaded indexes
+/// are immutable and handed out as shared_ptr; CatchUp replaces the pointer
+/// wholesale, so readers of the old version are never invalidated.
 class IndexManager {
  public:
   /// Does not take ownership; all pointers must outlive the manager.
@@ -72,10 +79,29 @@ class IndexManager {
   /// when the index was already available). `receipt`, if non-null, is
   /// charged the build's inference — only callers that actually performed
   /// the build pay; losers of a build race (and disk loads) add nothing.
-  Result<const LayerIndex*> EnsureIndex(
+  Result<LayerIndexPtr> EnsureIndex(
       int layer, storage::LayerActivationMatrix* fresh_acts = nullptr,
       PreprocessTimings* timings = nullptr,
       nn::InferenceReceipt* receipt = nullptr);
+
+  /// The loaded index for `layer`, or nullptr (never touches disk).
+  LayerIndexPtr Peek(int layer) const;
+
+  /// Layers currently loaded in memory, ascending.
+  std::vector<int> LoadedLayers() const;
+
+  /// Installs an externally restored index (snapshot load at startup),
+  /// replacing any loaded entry for `layer`. Does not persist to the legacy
+  /// per-layer key — the snapshot is the durable copy.
+  Status InstallIndex(int layer, LayerIndex index);
+
+  /// Merges inputs [index.num_inputs, target_size) into `layer`'s loaded
+  /// index: inference on just the new rows, incremental NPI/MAI insert,
+  /// atomic persist, pointer swap. No-op when already caught up; error if
+  /// the layer was never built (first query builds at full size anyway).
+  /// Serialises with concurrent builders via the per-layer build mutex.
+  Status CatchUp(int layer, uint32_t target_size,
+                 nn::InferenceReceipt* receipt = nullptr);
 
   /// Whether the layer's index exists in memory or on disk.
   bool IsIndexed(int layer) const;
@@ -95,15 +121,32 @@ class IndexManager {
 
   static std::string KeyFor(const std::string& model_name, int layer);
 
+  /// Called (without internal locks held) whenever a persisted index for
+  /// `layer` fails validation and is discarded for a rebuild — the hook that
+  /// lets the engine drop derived caches (IqaCache) for that layer.
+  void set_index_invalidation_hook(std::function<void(int)> hook) {
+    on_index_invalidated_ = std::move(hook);
+  }
+
   const IndexManagerOptions& options() const { return options_; }
 
  private:
-  Result<const LayerIndex*> BuildIndex(
-      int layer, storage::LayerActivationMatrix* fresh_acts,
-      PreprocessTimings* timings, nn::InferenceReceipt* receipt);
+  Result<LayerIndexPtr> BuildIndex(int layer,
+                                   storage::LayerActivationMatrix* fresh_acts,
+                                   PreprocessTimings* timings,
+                                   nn::InferenceReceipt* receipt);
 
-  /// Returns the loaded index for `layer`, or nullptr. Takes mu_ shared.
-  const LayerIndex* FindLoaded(int layer) const;
+  /// Serialises `index` inside a checksum envelope and atomically replaces
+  /// the layer's persisted file (no-op when persistence is off).
+  Status PersistIndex(int layer, const LayerIndex& index,
+                      double* persist_seconds);
+
+  /// Computes activations for input ids [base, base + count) of `layer`.
+  Result<storage::LayerActivationMatrix> ComputeRows(
+      int layer, uint32_t base, uint32_t count, nn::InferenceReceipt* receipt);
+
+  /// Stores `index` as the loaded entry for `layer` (insert or replace).
+  LayerIndexPtr Publish(int layer, LayerIndex index);
 
   /// The per-layer mutex serialising builders of `layer`. Takes build_map_mu_.
   common::Mutex* BuildMutexFor(int layer);
@@ -111,13 +154,11 @@ class IndexManager {
   nn::InferenceEngine* inference_;
   storage::FileStore* store_;
   IndexManagerOptions options_;
+  std::function<void(int)> on_index_invalidated_;
 
   /// Guards loaded_. Readers (queries on indexed layers) take it shared.
-  /// Returned LayerIndex pointers legitimately outlive the lock (loaded_ is
-  /// a node-based map and entries are never removed — see the class
-  /// comment), so only map access itself is annotated.
   mutable common::SharedMutex mu_;
-  std::map<int, LayerIndex> loaded_ GUARDED_BY(mu_);
+  std::map<int, LayerIndexPtr> loaded_ GUARDED_BY(mu_);
 
   /// Guards build_mu_; never held while building.
   common::Mutex build_map_mu_;

@@ -178,6 +178,123 @@ Result<LayerIndex> LayerIndex::BuildEquiWidth(
   return index;
 }
 
+uint32_t LayerIndex::AssignPidExtending(int64_t neuron, float activation,
+                                        int start_pid) {
+  int best = -1;
+  float best_gap = kInf;
+  for (int pid = start_pid; pid < num_partitions_; ++pid) {
+    const size_t bi = BoundIndex(neuron, static_cast<uint32_t>(pid));
+    const float lo = lower_[bi];
+    const float hi = upper_[bi];
+    if (lo > hi) continue;  // empty partition
+    if (activation >= lo && activation <= hi) {
+      return static_cast<uint32_t>(pid);
+    }
+    const float gap = activation > hi ? activation - hi : lo - activation;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = pid;
+    }
+  }
+  if (best < 0) {
+    // Every candidate partition is empty; seed the first one. (This can only
+    // happen when ALL of them are empty, so descending order is preserved.)
+    const size_t bi = BoundIndex(neuron, static_cast<uint32_t>(start_pid));
+    lower_[bi] = activation;
+    upper_[bi] = activation;
+    return static_cast<uint32_t>(start_pid);
+  }
+  // The value sits in a gap between the chosen partition and its neighbour,
+  // so extending the near bound toward it cannot overlap another partition.
+  const size_t bi = BoundIndex(neuron, static_cast<uint32_t>(best));
+  if (activation > upper_[bi]) {
+    upper_[bi] = activation;
+  } else {
+    lower_[bi] = activation;
+  }
+  return static_cast<uint32_t>(best);
+}
+
+Result<LayerIndex> LayerIndex::AppendInputs(
+    const storage::LayerActivationMatrix& delta) const {
+  if (delta.num_inputs == 0) {
+    return Status::InvalidArgument("empty activation delta");
+  }
+  if (static_cast<int64_t>(delta.num_neurons) != num_neurons_) {
+    return Status::InvalidArgument("delta neuron count mismatch");
+  }
+  if (static_cast<uint64_t>(num_inputs_) + delta.num_inputs >
+      std::numeric_limits<uint32_t>::max()) {
+    return Status::OutOfRange("input id space exhausted");
+  }
+  if (mai_count_ > 0 && num_partitions_ < 2) {
+    // Degenerate build (every input is in the MAI): a displaced entry would
+    // have no partition to land in. Callers fall back to a full rebuild.
+    return Status::FailedPrecondition(
+        "cannot append to a single-partition MAI index");
+  }
+
+  LayerIndex out;
+  out.num_inputs_ = num_inputs_ + delta.num_inputs;
+  out.num_neurons_ = num_neurons_;
+  out.num_partitions_ = num_partitions_;
+  out.mai_count_ = mai_count_;
+  out.lower_ = lower_;
+  out.upper_ = upper_;
+  out.mai_ = mai_;
+  const size_t total_slots =
+      static_cast<size_t>(num_neurons_) * out.num_inputs_;
+  out.pids_ = PackedIntArray(total_slots, pids_.bits_per_value());
+
+  constexpr size_t kBlock = 1024;
+  uint64_t buf[kBlock];
+  for (int64_t neuron = 0; neuron < num_neurons_; ++neuron) {
+    // Existing PIDs keep their value but the neuron-major stride changes, so
+    // the packed row is re-laid-out wholesale.
+    const size_t old_base = static_cast<size_t>(neuron) * num_inputs_;
+    const size_t new_base = static_cast<size_t>(neuron) * out.num_inputs_;
+    for (size_t begin = 0; begin < num_inputs_; begin += kBlock) {
+      const size_t count =
+          std::min(kBlock, static_cast<size_t>(num_inputs_) - begin);
+      pids_.GetMany(old_base + begin, count, buf);
+      for (size_t i = 0; i < count; ++i) {
+        out.pids_.Set(new_base + begin + i, buf[i]);
+      }
+    }
+
+    MaiEntry* mai_row =
+        out.mai_.data() + static_cast<size_t>(neuron) * mai_count_;
+    for (uint32_t j = 0; j < delta.num_inputs; ++j) {
+      const uint32_t id = num_inputs_ + j;
+      const float v = delta.At(j, static_cast<uint64_t>(neuron));
+      if (mai_count_ > 0 && v > mai_row[mai_count_ - 1].activation) {
+        // The new input enters the MAI (partition 0); the old minimum is
+        // displaced into a regular partition. Ties keep the incumbent: MAI
+        // order is (activation desc, id asc) and new ids are the largest.
+        const MaiEntry evicted = mai_row[mai_count_ - 1];
+        uint32_t pos = 0;
+        while (pos < mai_count_ && !(v > mai_row[pos].activation)) ++pos;
+        for (uint32_t r = mai_count_ - 1; r > pos; --r) {
+          mai_row[r] = mai_row[r - 1];
+        }
+        mai_row[pos] = MaiEntry{v, id};
+        out.pids_.Set(new_base + id, 0);
+        const size_t b0 = out.BoundIndex(neuron, 0);
+        out.upper_[b0] = mai_row[0].activation;
+        out.lower_[b0] = mai_row[mai_count_ - 1].activation;
+        const uint32_t epid =
+            out.AssignPidExtending(neuron, evicted.activation, 1);
+        out.pids_.Set(new_base + evicted.input_id, epid);
+      } else {
+        const int start_pid = mai_count_ > 0 ? 1 : 0;
+        const uint32_t pid = out.AssignPidExtending(neuron, v, start_pid);
+        out.pids_.Set(new_base + id, pid);
+      }
+    }
+  }
+  return out;
+}
+
 void LayerIndex::GetInputIds(int64_t neuron, uint32_t pid,
                              std::vector<uint32_t>* out) const {
   // Per-round membership scan: bulk-unpack the neuron's PID column in

@@ -60,6 +60,19 @@ class LayerIndex {
   static Result<LayerIndex> Build(const storage::LayerActivationMatrix& acts,
                                   const LayerIndexConfig& config);
 
+  /// Incremental insert (paper §4.6 extended to a growing dataset): returns a
+  /// NEW index covering the original inputs plus `delta`, whose rows are the
+  /// activations of input ids [num_inputs, num_inputs + delta.num_inputs).
+  /// The original index is unchanged, so in-flight queries pinned to it stay
+  /// consistent. New inputs that beat a neuron's MAI minimum displace it
+  /// (the evicted entry is re-housed in a regular partition); all others are
+  /// routed to the containing partition, or the nearest one with its bound
+  /// extended. Partitions stay disjoint and ordered by activation descending
+  /// — the invariants NTA's threshold math relies on — though they are no
+  /// longer exactly equi-depth (a performance, not correctness, property).
+  Result<LayerIndex> AppendInputs(
+      const storage::LayerActivationMatrix& delta) const;
+
   LayerIndex(LayerIndex&&) = default;
   LayerIndex& operator=(LayerIndex&&) = default;
   LayerIndex(const LayerIndex&) = delete;
@@ -120,6 +133,11 @@ class LayerIndex {
   static Result<LayerIndex> BuildEquiWidth(
       const storage::LayerActivationMatrix& acts,
       const LayerIndexConfig& config);
+
+  /// Assigns `activation` to a partition in [start_pid, num_partitions),
+  /// extending the nearest partition's bound when the value falls in a gap
+  /// (mutates bounds; used only while constructing a merged index).
+  uint32_t AssignPidExtending(int64_t neuron, float activation, int start_pid);
 
   size_t BoundIndex(int64_t neuron, uint32_t pid) const {
     DE_CHECK_LT(static_cast<int>(pid), num_partitions_);

@@ -343,21 +343,27 @@ struct NtaExecution::Impl {
   }
 
   // The upper bound on any unseen input's activation for neuron gi: the
-  // next unconsumed MAI entry, else the next unprocessed partition's upper
-  // bound, else 0 (all inputs seen; activations assumed non-negative).
+  // next unconsumed MAI entry, else the max upper bound over the remaining
+  // unprocessed partitions, else 0 (all inputs seen; activations assumed
+  // non-negative). Taking the max — not the first non-empty partition's
+  // bound — keeps the threshold sound even if incremental merges leave the
+  // remaining partitions only approximately ordered.
   double UpperOf(size_t gi) const {
     if (use_mai && mai_next[gi] < mai_count) {
       return index->MaiEntries(group.neurons[gi])[mai_next[gi]].activation;
     }
+    double best = 0.0;
+    bool found = false;
     for (int pid = next_partition[gi]; pid < num_partitions; ++pid) {
       const double lo =
           index->LowerBound(group.neurons[gi], static_cast<uint32_t>(pid));
       const double hi =
           index->UpperBound(group.neurons[gi], static_cast<uint32_t>(pid));
       if (lo > hi) continue;  // empty
-      return hi;
+      if (!found || hi > best) best = hi;
+      found = true;
     }
-    return 0.0;
+    return found ? best : 0.0;
   }
 
   void CheckAndProgressHighest() {
@@ -803,7 +809,9 @@ Status NtaEngine::ValidateGroup(const NeuronGroup& group) const {
         " does not match layer " + std::to_string(group.layer) + " (" +
         std::to_string(layer_neurons) + " neurons)");
   }
-  if (index_->num_inputs() != inference_->dataset().size()) {
+  // The index may lag a live-growing dataset (ingest): it must cover a
+  // prefix of the dataset, never more inputs than exist.
+  if (index_->num_inputs() > inference_->dataset().size()) {
     return Status::FailedPrecondition("index built for a different dataset");
   }
   for (int64_t n : group.neurons) {

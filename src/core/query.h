@@ -46,6 +46,9 @@ struct QueryStats {
   /// the query up (0 outside the service).
   double queue_seconds = 0.0;
   bool terminated_early = false;  // stopped via threshold, not exhaustion
+  /// Dataset version (input count) the query was pinned at: the answer is
+  /// bit-identical to a fresh scan over inputs [0, dataset_version).
+  int64_t dataset_version = 0;
 };
 
 /// \brief Result of a top-k query.

@@ -104,6 +104,11 @@ class QueryContext {
   /// because the trace outlives the context in the recent-trace ring that
   /// backs `GET /v1/trace/<id>`.
   std::shared_ptr<Trace> trace;
+  /// Dataset version (input count) this query's index was pinned at, filled
+  /// in when the execution resolves its index. The answer covers exactly the
+  /// prefix [0, pinned_dataset_version) even if ingest grows the dataset
+  /// while the query runs.
+  uint32_t pinned_dataset_version = 0;
 
   /// Absolute deadline. Unset (the default) means no deadline.
   void SetDeadline(Clock::time_point deadline) { deadline_ = deadline; }

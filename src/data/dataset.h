@@ -1,53 +1,134 @@
 #ifndef DEEPEVEREST_DATA_DATASET_H_
 #define DEEPEVEREST_DATA_DATASET_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "tensor/tensor.h"
 
 namespace deepeverest {
 namespace data {
 
-/// \brief An in-memory input dataset.
+/// \brief An in-memory, append-only input dataset.
 ///
-/// The paper pre-loads the full input set into memory for all experiments;
-/// we do the same. Inputs are addressed by dense `inputID` in [0, size).
+/// The paper pre-loads the full input set into memory for all experiments; we
+/// additionally support live appends so the ingest path can grow the dataset
+/// while queries run. Inputs are addressed by dense `inputID` in [0, size).
+///
+/// Concurrency contract: `Add` may run concurrently with any number of
+/// readers (`input`, `label`, `size`). Readers only ever observe a prefix of
+/// fully-written inputs: storage is a fixed table of doubling-capacity chunks
+/// (so existing elements never move on growth) and `size_` is published with
+/// release ordering only after the new element is in place. Concurrent `Add`
+/// calls are serialized internally. Moving a Dataset is NOT thread-safe and
+/// must not overlap with any other access.
 class Dataset {
  public:
   Dataset(std::string name, Shape input_shape)
-      : name_(std::move(name)), input_shape_(std::move(input_shape)) {}
+      : name_(std::move(name)),
+        input_shape_(std::move(input_shape)),
+        add_mu_(new common::Mutex()) {}
 
-  /// Appends one input; shape must match. Returns the new input's ID.
+  Dataset(Dataset&& other) noexcept
+      : name_(std::move(other.name_)),
+        input_shape_(std::move(other.input_shape_)),
+        chunks_(std::move(other.chunks_)),
+        add_mu_(std::move(other.add_mu_)) {
+    size_.store(other.size_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+  Dataset& operator=(Dataset&& other) noexcept {
+    if (this != &other) {
+      name_ = std::move(other.name_);
+      input_shape_ = std::move(other.input_shape_);
+      chunks_ = std::move(other.chunks_);
+      add_mu_ = std::move(other.add_mu_);
+      size_.store(other.size_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+      other.size_.store(0, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+
+  /// Appends one input; shape must match. Returns the new input's ID. Safe to
+  /// call while readers are active; the new input becomes visible atomically.
   uint32_t Add(Tensor input, int label) {
     DE_CHECK(input.shape() == input_shape_)
         << "input shape mismatch: " << input.shape().ToString() << " vs "
         << input_shape_.ToString();
-    inputs_.push_back(std::move(input));
-    labels_.push_back(label);
-    return static_cast<uint32_t>(inputs_.size() - 1);
+    common::MutexLock lock(add_mu_.get());
+    const uint32_t id = size_.load(std::memory_order_relaxed);
+    DE_CHECK_LT(id, Capacity()) << "dataset full";
+    const int chunk = ChunkFor(id);
+    const uint32_t offset = OffsetFor(id, chunk);
+    if (offset == 0) {
+      auto fresh = std::make_unique<Chunk>();
+      fresh->inputs.resize(ChunkCapacity(chunk));
+      fresh->labels.resize(ChunkCapacity(chunk), 0);
+      chunks_[chunk] = std::move(fresh);
+    }
+    chunks_[chunk]->inputs[offset] = std::move(input);
+    chunks_[chunk]->labels[offset] = label;
+    size_.store(id + 1, std::memory_order_release);
+    return id;
   }
 
   const std::string& name() const { return name_; }
   const Shape& input_shape() const { return input_shape_; }
-  uint32_t size() const { return static_cast<uint32_t>(inputs_.size()); }
+  uint32_t size() const { return size_.load(std::memory_order_acquire); }
 
   const Tensor& input(uint32_t id) const {
     DE_CHECK_LT(id, size());
-    return inputs_[id];
+    const int chunk = ChunkFor(id);
+    return chunks_[chunk]->inputs[OffsetFor(id, chunk)];
   }
   int label(uint32_t id) const {
     DE_CHECK_LT(id, size());
-    return labels_[id];
+    const int chunk = ChunkFor(id);
+    return chunks_[chunk]->labels[OffsetFor(id, chunk)];
   }
 
  private:
+  // Chunk c holds kBaseChunk << c elements and starts at global id
+  // kBaseChunk * ((1 << c) - 1). The chunk table itself never reallocates, so
+  // a reader holding a reference is never invalidated by a concurrent Add.
+  static constexpr uint32_t kBaseChunk = 64;
+  static constexpr int kMaxChunks = 26;  // > 4e9 inputs
+
+  struct Chunk {
+    std::vector<Tensor> inputs;
+    std::vector<int> labels;
+  };
+
+  static constexpr uint32_t ChunkCapacity(int chunk) {
+    return kBaseChunk << chunk;
+  }
+  static constexpr uint64_t Capacity() {
+    return static_cast<uint64_t>(kBaseChunk) *
+           ((uint64_t{1} << kMaxChunks) - 1);
+  }
+  static int ChunkFor(uint32_t id) {
+    const uint32_t v = id / kBaseChunk + 1;
+    return 31 - __builtin_clz(v);
+  }
+  static uint32_t OffsetFor(uint32_t id, int chunk) {
+    return id - kBaseChunk * ((uint32_t{1} << chunk) - 1);
+  }
+
   std::string name_;
   Shape input_shape_;
-  std::vector<Tensor> inputs_;
-  std::vector<int> labels_;
+  std::array<std::unique_ptr<Chunk>, kMaxChunks> chunks_;
+  std::atomic<uint32_t> size_{0};
+  std::unique_ptr<common::Mutex> add_mu_;
 };
 
 /// \brief Configuration for the synthetic image generator.

@@ -82,7 +82,43 @@ void WriteQueryStats(const core::QueryStats& stats, JsonWriter* w) {
   w->Double(stats.queue_seconds);
   w->Key("terminated_early");
   w->Bool(stats.terminated_early);
+  w->Key("dataset_version");
+  w->Int(stats.dataset_version);
   w->EndObject();
+}
+
+/// Writes one ingest pipeline snapshot as the members of an already-open
+/// object (shared by /v1/snapshot and the per-model sections of /v1/stats).
+void WriteIngestStatsFields(const service::IngestStats& stats, JsonWriter* w) {
+  w->Key("dataset_size");
+  w->Uint(stats.dataset_size);
+  w->Key("ingested_total");
+  w->Int(stats.ingested_total);
+  w->Key("rejected_total");
+  w->Int(stats.rejected_total);
+  w->Key("applies_total");
+  w->Int(stats.applies_total);
+  w->Key("min_watermark");
+  w->Uint(stats.min_watermark);
+  w->Key("watermarks");
+  w->BeginArray();
+  for (const service::IngestLayerWatermark& layer : stats.layers) {
+    w->BeginObject();
+    w->Key("layer");
+    w->Int(layer.layer);
+    w->Key("watermark");
+    w->Uint(layer.watermark);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("snapshots_written");
+  w->Int(stats.snapshots_written);
+  w->Key("snapshot_bytes");
+  w->Int(stats.snapshot_bytes);
+  w->Key("snapshot_age_seconds");
+  w->Double(stats.snapshot_age_seconds);
+  w->Key("snapshot_dataset_size");
+  w->Uint(stats.snapshot_dataset_size);
 }
 
 /// One NDJSON progress event: the round, the current threshold/bounds, and
@@ -303,6 +339,45 @@ Result<std::unique_ptr<QueryServer>> QueryServer::Start(
         CollectHttpMetrics(http, emitter);
       }));
   server->collector_handles_.push_back(server->metrics_.AddCollector(
+      [registry](service::MetricsEmitter* emitter) {
+        // Ingest pipeline metrics, one label set per model with a sink.
+        for (const std::string& name : registry->ModelNames()) {
+          service::IngestSink* sink = registry->FindIngest(name);
+          if (sink == nullptr) continue;
+          const service::IngestStats stats = sink->Stats();
+          const service::MetricsEmitter::Labels labels = {{"model", name}};
+          emitter->Counter("deepeverest_ingested_inputs_total",
+                           "Inputs durably accepted by POST /v1/ingest.",
+                           labels, static_cast<double>(stats.ingested_total));
+          emitter->Counter(
+              "deepeverest_ingest_rejected_total",
+              "Ingest batches rejected because the apply backlog was full.",
+              labels, static_cast<double>(stats.rejected_total));
+          emitter->Counter(
+              "deepeverest_ingest_applies_total",
+              "Incremental index apply passes completed.", labels,
+              static_cast<double>(stats.applies_total));
+          emitter->Gauge("deepeverest_ingest_dataset_size",
+                         "Inputs visible to queries (dataset size).", labels,
+                         static_cast<double>(stats.dataset_size));
+          emitter->Gauge(
+              "deepeverest_ingest_watermark",
+              "Minimum index high-watermark across built layers; equals "
+              "the dataset size when the index tier is caught up.",
+              labels, static_cast<double>(stats.min_watermark));
+          emitter->Counter("deepeverest_snapshots_written_total",
+                           "Snapshots committed since process start.", labels,
+                           static_cast<double>(stats.snapshots_written));
+          emitter->Gauge("deepeverest_snapshot_bytes",
+                         "On-disk size of the last committed snapshot.",
+                         labels, static_cast<double>(stats.snapshot_bytes));
+          emitter->Gauge(
+              "deepeverest_snapshot_age_seconds",
+              "Seconds since the last committed snapshot (-1 = none).",
+              labels, stats.snapshot_age_seconds);
+        }
+      }));
+  server->collector_handles_.push_back(server->metrics_.AddCollector(
       [raw = server.get()](service::MetricsEmitter* emitter) {
         const BuildInfo& build = GetBuildInfo();
         emitter->Gauge("deepeverest_build_info",
@@ -371,6 +446,30 @@ void QueryServer::Handle(const HttpRequest& request,
       return;
     }
     HandleModels(writer);
+    return;
+  }
+  if (request.path == "/v1/ingest") {
+    if (request.method != "POST") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleIngest(request, writer);
+    return;
+  }
+  if (request.path == "/v1/snapshot") {
+    if (request.method != "GET") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleSnapshot(request, writer, /*save=*/false);
+    return;
+  }
+  if (request.path == "/v1/snapshot/save") {
+    if (request.method != "POST") {
+      writer->WriteResponse(405, "text/plain", "method not allowed\n");
+      return;
+    }
+    HandleSnapshot(request, writer, /*save=*/true);
     return;
   }
   if (request.path == "/v1/stats") {
@@ -740,6 +839,147 @@ void QueryServer::HandleCancel(const std::string& path,
   writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
 }
 
+void QueryServer::HandleIngest(const HttpRequest& request,
+                               HttpResponseWriter* writer) {
+  auto parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    WriteError(writer, parsed.status());
+    return;
+  }
+  if (!parsed->is_object()) {
+    WriteError(writer,
+               Status::InvalidArgument("request body must be a JSON object"));
+    return;
+  }
+  // Routing mirrors /v1/query: `model` picks the pipeline, absent routes to
+  // the default model. A served model without an attached ingest pipeline is
+  // a 404 — it answers queries only.
+  std::string model = registry_->default_model();
+  if (const JsonValue* field = parsed->Find("model")) {
+    if (!field->is_string()) {
+      WriteError(writer, Status::InvalidArgument("'model' must be a string"));
+      return;
+    }
+    model = field->string_value();
+  }
+  service::IngestSink* sink = registry_->FindIngest(model);
+  if (sink == nullptr) {
+    WriteError(writer,
+               Status::NotFound("model '" + model +
+                                "' does not accept ingest here (no ingest "
+                                "pipeline attached)"));
+    return;
+  }
+
+  const JsonValue* inputs_field = parsed->Find("inputs");
+  if (inputs_field == nullptr || !inputs_field->is_array()) {
+    WriteError(writer, Status::InvalidArgument(
+                           "'inputs' must be an array of input objects"));
+    return;
+  }
+  std::vector<service::IngestInput> inputs;
+  inputs.reserve(inputs_field->array_items().size());
+  for (const JsonValue& item : inputs_field->array_items()) {
+    if (!item.is_object()) {
+      WriteError(writer, Status::InvalidArgument(
+                             "each input must be an object with 'values'"));
+      return;
+    }
+    const JsonValue* values = item.Find("values");
+    if (values == nullptr || !values->is_array()) {
+      WriteError(writer, Status::InvalidArgument(
+                             "each input needs a 'values' number array"));
+      return;
+    }
+    service::IngestInput input;
+    input.values.reserve(values->array_items().size());
+    for (const JsonValue& v : values->array_items()) {
+      if (!v.is_number()) {
+        WriteError(writer,
+                   Status::InvalidArgument("'values' must hold numbers"));
+        return;
+      }
+      input.values.push_back(static_cast<float>(v.number_value()));
+    }
+    if (const JsonValue* label = item.Find("label")) {
+      if (!label->is_number()) {
+        WriteError(writer,
+                   Status::InvalidArgument("'label' must be a number"));
+        return;
+      }
+      input.label = static_cast<int>(label->number_value());
+    }
+    inputs.push_back(std::move(input));
+  }
+
+  auto ack = sink->Ingest(inputs);
+  if (!ack.ok()) {
+    WriteError(writer, ack.status());
+    return;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("model");
+  w.String(model);
+  w.Key("first_id");
+  w.Uint(ack->first_id);
+  w.Key("count");
+  w.Uint(ack->count);
+  w.Key("dataset_size");
+  w.Uint(ack->dataset_size);
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
+void QueryServer::HandleSnapshot(const HttpRequest& request,
+                                 HttpResponseWriter* writer, bool save) {
+  std::string model = registry_->default_model();
+  const auto param = request.query.find("model");
+  if (param != request.query.end()) {
+    model = param->second;
+  } else if (save && !request.body.empty()) {
+    auto parsed = ParseJson(request.body);
+    if (!parsed.ok()) {
+      WriteError(writer, parsed.status());
+      return;
+    }
+    if (const JsonValue* field =
+            parsed->is_object() ? parsed->Find("model") : nullptr) {
+      if (!field->is_string()) {
+        WriteError(writer,
+                   Status::InvalidArgument("'model' must be a string"));
+        return;
+      }
+      model = field->string_value();
+    }
+  }
+  service::IngestSink* sink = registry_->FindIngest(model);
+  if (sink == nullptr) {
+    WriteError(writer,
+               Status::NotFound("model '" + model +
+                                "' has no ingest/snapshot pipeline here"));
+    return;
+  }
+  if (save) {
+    const Status saved = sink->SaveSnapshot();
+    if (!saved.ok()) {
+      WriteError(writer, saved);
+      return;
+    }
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("model");
+  w.String(model);
+  if (save) {
+    w.Key("saved");
+    w.Bool(true);
+  }
+  WriteIngestStatsFields(sink->Stats(), &w);
+  w.EndObject();
+  writer->WriteResponse(200, "application/json", w.TakeString() + "\n");
+}
+
 void QueryServer::HandleModels(HttpResponseWriter* writer) {
   JsonWriter w;
   w.BeginObject();
@@ -809,6 +1049,13 @@ void QueryServer::HandleStats(HttpResponseWriter* writer) {
     w.Key("parked");
     w.Uint(parked);
     w.EndObject();
+    // Ingest pipeline state, for models that accept ingest.
+    if (service::IngestSink* sink = registry_->FindIngest(name)) {
+      w.Key("ingest");
+      w.BeginObject();
+      WriteIngestStatsFields(sink->Stats(), &w);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();

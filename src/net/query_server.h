@@ -56,6 +56,19 @@ struct QueryServerOptions {
 ///    query was still live — queued queries fail at dispatch, running ones
 ///    abort between NTA rounds, parked ones fail at resume — or 404 once
 ///    it has finished (cancelling a finished query has no meaning).
+///  - `POST /v1/ingest` — body `{"model": ..., "inputs": [{"values":
+///    [...], "label": ...}, ...]}`: durably accepts new inputs for the
+///    routed model while queries keep running; the reply carries the
+///    assigned dense ids (`first_id`, `count`) and the dataset size after
+///    the batch. 429 when the incremental-apply backlog is full (retry),
+///    404 when the routed model serves queries only (no ingest pipeline
+///    attached). Acknowledged inputs survive crashes and are indexed
+///    exactly once.
+///  - `GET /v1/snapshot` — the routed model's ingest/snapshot state
+///    (`?model=...`, default like /v1/query): per-layer index watermarks,
+///    backlog counters, and the last committed snapshot's size/age.
+///  - `POST /v1/snapshot/save` — forces a full catch-up and a committed
+///    snapshot; replies after the manifest rename is durable.
 ///  - `GET /v1/models` — the models served here (and which is default).
 ///  - `GET /v1/stats` — one ServiceStats section per model, plus server
 ///    uptime and build info.
@@ -112,6 +125,10 @@ class QueryServer {
                             core::QuerySpec spec, HttpResponseWriter* writer,
                             bool want_trace);
   void HandleModels(HttpResponseWriter* writer);
+  void HandleIngest(const HttpRequest& request, HttpResponseWriter* writer);
+  /// GET /v1/snapshot (`save` false) and POST /v1/snapshot/save (true).
+  void HandleSnapshot(const HttpRequest& request, HttpResponseWriter* writer,
+                      bool save);
   void HandleStats(HttpResponseWriter* writer);
   void HandleMetrics(HttpResponseWriter* writer);
   void HandleTrace(const std::string& path, HttpResponseWriter* writer);

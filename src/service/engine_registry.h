@@ -7,6 +7,7 @@
 
 #include "common/mutex.h"
 #include "common/result.h"
+#include "service/ingest_sink.h"
 #include "service/query_service.h"
 
 namespace deepeverest {
@@ -51,12 +52,28 @@ class EngineRegistry {
   /// Registered model names, in registration order.
   std::vector<std::string> ModelNames() const;
 
+  /// Attaches the ingest pipeline serving `name`'s dataset and indexes.
+  /// The model must already be registered; the sink (not owned) must
+  /// outlive the registry. NotFound when the model is not registered,
+  /// AlreadyExists when a sink is already attached.
+  Status AttachIngest(const std::string& name, IngestSink* sink);
+
+  /// The ingest sink for `name`; nullptr when the model is not registered
+  /// or serves queries only (no ingest attached).
+  IngestSink* FindIngest(const std::string& name) const;
+
   size_t size() const;
   bool empty() const { return size() == 0; }
 
  private:
+  struct Entry {
+    std::string name;
+    QueryService* service = nullptr;
+    IngestSink* ingest = nullptr;  // optional
+  };
+
   mutable common::Mutex mu_;
-  std::vector<std::pair<std::string, QueryService*>> entries_ GUARDED_BY(mu_);
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace service

@@ -1,0 +1,79 @@
+#ifndef DEEPEVEREST_SERVICE_INGEST_SINK_H_
+#define DEEPEVEREST_SERVICE_INGEST_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace deepeverest {
+namespace service {
+
+/// One input submitted for ingestion.
+struct IngestInput {
+  std::vector<float> values;
+  int label = 0;
+};
+
+/// Acknowledgement of a durably accepted ingest batch. Once returned, the
+/// inputs survive any crash and will be indexed exactly once.
+struct IngestAck {
+  uint32_t first_id = 0;      // dense id of the first accepted input
+  uint32_t count = 0;         // number of inputs accepted
+  uint32_t dataset_size = 0;  // dataset size after the batch
+};
+
+/// Per-layer index high-watermark: input ids [0, watermark) are indexed.
+struct IngestLayerWatermark {
+  int layer = 0;
+  uint32_t watermark = 0;
+};
+
+/// Observability snapshot of one model's ingest pipeline.
+struct IngestStats {
+  uint32_t dataset_size = 0;
+  /// Inputs durably accepted since process start.
+  int64_t ingested_total = 0;
+  /// Batches rejected because the apply backlog was full (HTTP 429).
+  int64_t rejected_total = 0;
+  /// Apply passes the background worker has completed.
+  int64_t applies_total = 0;
+  /// Minimum watermark across built layers; equals dataset_size when the
+  /// index tier is fully caught up (0 when no layer is built yet).
+  uint32_t min_watermark = 0;
+  std::vector<IngestLayerWatermark> layers;
+  int64_t snapshots_written = 0;
+  /// Size and age of the last committed snapshot (-1 age = none yet).
+  int64_t snapshot_bytes = 0;
+  double snapshot_age_seconds = -1.0;
+  uint32_t snapshot_dataset_size = 0;
+};
+
+/// \brief Abstract ingest endpoint one model's service exposes.
+///
+/// Implemented by persist::IngestQueue; the service/net layers only see this
+/// interface, so the network front-end routes `POST /v1/ingest` and the
+/// snapshot admin endpoints without depending on the persistence subsystem.
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+
+  /// Durably accepts a batch (appends to the ingest log, publishes to the
+  /// dataset) and schedules incremental index maintenance. Returns
+  /// ResourceExhausted when the apply backlog is over the admission bound.
+  virtual Result<IngestAck> Ingest(const std::vector<IngestInput>& inputs) = 0;
+
+  /// Current pipeline counters and watermarks.
+  virtual IngestStats Stats() const = 0;
+
+  /// Forces a full catch-up of every built layer followed by a committed
+  /// snapshot; blocks until the manifest rename is durable.
+  virtual Status SaveSnapshot() = 0;
+};
+
+}  // namespace service
+}  // namespace deepeverest
+
+#endif  // DEEPEVEREST_SERVICE_INGEST_SINK_H_

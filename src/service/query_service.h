@@ -273,6 +273,12 @@ class QueryService {
     return trace_ring_.Find(trace_id);
   }
 
+  /// Pushes an externally produced trace (e.g. an ingest apply pass) into
+  /// the same ring, so `GET /v1/trace/<id>` serves it like a query trace.
+  void RecordTrace(std::shared_ptr<Trace> trace) {
+    if (trace != nullptr) trace_ring_.Push(std::move(trace));
+  }
+
   const QueryServiceOptions& options() const { return options_; }
 
  private:

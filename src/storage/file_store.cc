@@ -67,6 +67,76 @@ Status FileStore::Write(const std::string& key,
   return Status::OK();
 }
 
+Status FileStore::WriteAtomic(const std::string& key,
+                              const std::vector<uint8_t>& data, bool sync) {
+  const std::string tmp_key = key + ".tmp";
+  DE_RETURN_NOT_OK(Write(tmp_key, data, sync));
+  return Rename(tmp_key, key);
+}
+
+Status FileStore::Append(const std::string& key,
+                         const std::vector<uint8_t>& data, bool sync) {
+  const std::string path = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create parent dirs for '" + key +
+                           "': " + ec.message());
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open('" + path + "') failed: " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("append('" + path + "') failed: " +
+                             std::strerror(err));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fsync('" + path + "') failed: " +
+                           std::strerror(err));
+  }
+  if (::close(fd) != 0) {
+    return Status::IOError("close('" + path + "') failed: " +
+                           std::strerror(errno));
+  }
+  bytes_written_ += data.size();
+  return Status::OK();
+}
+
+Status FileStore::Rename(const std::string& from, const std::string& to) {
+  const std::string from_path = PathFor(from);
+  const std::string to_path = PathFor(to);
+  std::error_code ec;
+  fs::create_directories(fs::path(to_path).parent_path(), ec);
+  if (ec) {
+    return Status::IOError("cannot create parent dirs for '" + to +
+                           "': " + ec.message());
+  }
+  if (::rename(from_path.c_str(), to_path.c_str()) != 0) {
+    return Status::IOError("rename('" + from + "' -> '" + to +
+                           "') failed: " + std::strerror(errno));
+  }
+  // Make the rename itself durable: fsync the destination directory so the
+  // new directory entry survives a crash.
+  const std::string dir = fs::path(to_path).parent_path().string();
+  const int dfd = ::open(dir.c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
 Result<std::vector<uint8_t>> FileStore::Read(const std::string& key) const {
   const std::string path = PathFor(key);
   const int fd = ::open(path.c_str(), O_RDONLY);

@@ -49,6 +49,25 @@ class FileStore {
   Status Write(const std::string& key, const std::vector<uint8_t>& data,
                bool sync = false);
 
+  /// Crash-safe replacement of `key`: writes `<key>.tmp`, fsyncs it, renames
+  /// it over `key`, then fsyncs the parent directory. After a crash at any
+  /// point the reader sees either the old bytes or the new bytes, never a
+  /// truncated mix (a stray `<key>.tmp` may remain and is ignored/overwritten
+  /// by the next writer).
+  Status WriteAtomic(const std::string& key, const std::vector<uint8_t>& data,
+                     bool sync = true);
+
+  /// Appends `data` to `key`, creating it if absent. When `sync` is true the
+  /// appended bytes are flushed to the device before returning. A crash mid-
+  /// append can leave a torn tail; readers of append-only logs must frame and
+  /// checksum their records (see persist::IngestLog).
+  Status Append(const std::string& key, const std::vector<uint8_t>& data,
+                bool sync = false);
+
+  /// Atomically renames `from` to `to` (replacing `to` if present) and fsyncs
+  /// the destination's parent directory so the rename itself is durable.
+  Status Rename(const std::string& from, const std::string& to);
+
   Result<std::vector<uint8_t>> Read(const std::string& key) const;
 
   bool Exists(const std::string& key) const;

@@ -1,0 +1,131 @@
+// Crash/corruption behavior of the legacy per-layer index persist path:
+// writes are write-temp/fsync/rename (a kill can never leave a torn file
+// under the live key), every load is checksum-validated, and a corrupt or
+// truncated file triggers rebuild-and-rewarn plus cache invalidation —
+// never a silently wrong index.
+#include "core/index_manager.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace deepeverest {
+namespace core {
+namespace {
+
+using testing_util::TempDir;
+using testing_util::TinySystem;
+
+IndexManagerOptions Opts() {
+  IndexManagerOptions options;
+  options.layer_config = LayerIndexConfig{4, 0.1};
+  options.persist = true;
+  return options;
+}
+
+void FlipByteAt(const std::string& path, size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x10);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+TEST(IndexManagerCrashTest, PersistLeavesNoTempFiles) {
+  TinySystem sys(25, 51, 8);
+  TempDir dir("imc");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  ASSERT_TRUE(manager.EnsureIndex(sys.model->activation_layers()[0]).ok());
+
+  auto keys = store->ListKeys();
+  ASSERT_TRUE(keys.ok());
+  bool saw_index = false;
+  for (const std::string& key : *keys) {
+    EXPECT_EQ(key.find(".tmp"), std::string::npos) << key;
+    saw_index = saw_index || key.rfind("index/", 0) == 0;
+  }
+  EXPECT_TRUE(saw_index);
+}
+
+TEST(IndexManagerCrashTest, TruncatedIndexFileRebuildsAndInvalidates) {
+  TinySystem sys(25, 52, 8);
+  TempDir dir("imc-trunc");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  const int layer = sys.model->activation_layers()[0];
+  const std::string key = IndexManager::KeyFor(sys.model->name(), layer);
+
+  uint32_t built_inputs = 0;
+  {
+    IndexManager manager(sys.engine.get(), &store.value(), Opts());
+    auto index = manager.EnsureIndex(layer);
+    ASSERT_TRUE(index.ok());
+    built_inputs = (*index)->num_inputs();
+  }
+  // Simulate a torn write that somehow landed under the live key (e.g.
+  // media failure): halve the file.
+  const std::string path = store->root() + "/" + key;
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  std::vector<int> invalidated;
+  manager.set_index_invalidation_hook(
+      [&](int l) { invalidated.push_back(l); });
+  auto index = manager.EnsureIndex(layer);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  EXPECT_EQ((*index)->num_inputs(), built_inputs);
+  // The rebuild re-ran inference (corrupt bytes are never trusted) and
+  // fired the invalidation hook so caches keyed on the old index drop.
+  ASSERT_EQ(invalidated.size(), 1u);
+  EXPECT_EQ(invalidated[0], layer);
+
+  // The rewritten file must load cleanly in a third manager — no rebuild,
+  // no hook.
+  IndexManager manager3(sys.engine.get(), &store.value(), Opts());
+  bool hook_fired = false;
+  manager3.set_index_invalidation_hook([&](int) { hook_fired = true; });
+  const int64_t inference_before = sys.engine->stats().inputs_run;
+  ASSERT_TRUE(manager3.EnsureIndex(layer).ok());
+  EXPECT_FALSE(hook_fired);
+  EXPECT_EQ(sys.engine->stats().inputs_run, inference_before);
+}
+
+TEST(IndexManagerCrashTest, BitFlippedIndexFileRebuildsAndInvalidates) {
+  TinySystem sys(25, 53, 8);
+  TempDir dir("imc-flip");
+  auto store = storage::FileStore::Open(dir.path());
+  ASSERT_TRUE(store.ok());
+  const int layer = sys.model->activation_layers()[1];
+  const std::string key = IndexManager::KeyFor(sys.model->name(), layer);
+
+  {
+    IndexManager manager(sys.engine.get(), &store.value(), Opts());
+    ASSERT_TRUE(manager.EnsureIndex(layer).ok());
+  }
+  const std::string path = store->root() + "/" + key;
+  FlipByteAt(path, std::filesystem::file_size(path) / 2);
+
+  IndexManager manager(sys.engine.get(), &store.value(), Opts());
+  std::vector<int> invalidated;
+  manager.set_index_invalidation_hook(
+      [&](int l) { invalidated.push_back(l); });
+  auto index = manager.EnsureIndex(layer);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  ASSERT_EQ(invalidated.size(), 1u);
+  EXPECT_EQ(invalidated[0], layer);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepeverest
